@@ -1,0 +1,75 @@
+//! E5/E6 micro-benchmarks: structural join algorithms and holistic twig
+//! joins vs their baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xqr_joins::{
+    element_list, enumerate_matches, mpmgjn, nested_loop, stack_tree_anc, stack_tree_desc,
+    twig_stack, JoinKind, TwigPattern,
+};
+use xqr_store::Document;
+use xqr_xdm::{NamePool, QName};
+use xqr_xmlgen::{random_tree, RandomTreeConfig};
+
+struct Fixture {
+    doc: Arc<Document>,
+    names: Arc<NamePool>,
+}
+
+fn fixture(nodes: usize, p_anc: f64) -> Fixture {
+    let names = Arc::new(NamePool::new());
+    let cfg = RandomTreeConfig { nodes, p_ancestor: p_anc, p_descendant: 0.2, ..Default::default() };
+    let doc = Document::parse(&random_tree(&cfg), names.clone()).unwrap();
+    Fixture { doc, names }
+}
+
+fn bench_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_structural_join");
+    for p in [0.05f64, 0.25] {
+        let f = fixture(10_000, p);
+        let a = f.names.intern(&QName::local("a"));
+        let d = f.names.intern(&QName::local("d"));
+        let alist = element_list(&f.doc, a);
+        let dlist = element_list(&f.doc, d);
+        let label = format!("p{}", (p * 100.0) as u32);
+        group.bench_with_input(BenchmarkId::new("stack_tree_desc", &label), &(), |b, _| {
+            b.iter(|| stack_tree_desc(&alist, &dlist, JoinKind::AncestorDescendant))
+        });
+        group.bench_with_input(BenchmarkId::new("stack_tree_anc", &label), &(), |b, _| {
+            b.iter(|| stack_tree_anc(&alist, &dlist, JoinKind::AncestorDescendant))
+        });
+        group.bench_with_input(BenchmarkId::new("mpmgjn", &label), &(), |b, _| {
+            b.iter(|| mpmgjn(&alist, &dlist, JoinKind::AncestorDescendant))
+        });
+        if alist.len() * dlist.len() < 4_000_000 {
+            group.bench_with_input(BenchmarkId::new("nested_loop", &label), &(), |b, _| {
+                b.iter(|| nested_loop(&alist, &dlist, JoinKind::AncestorDescendant))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("navigation", &label), &(), |b, _| {
+            let twig = TwigPattern::parse("//a//d", &f.names).unwrap();
+            b.iter(|| enumerate_matches(&f.doc, &twig))
+        });
+    }
+    group.finish();
+}
+
+fn bench_twig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_twig");
+    let f = fixture(10_000, 0.15);
+    let twig = TwigPattern::parse("//a[t0]/d", &f.names).unwrap();
+    let lists: Vec<_> = twig.nodes.iter().map(|n| element_list(&f.doc, n.name)).collect();
+    group.bench_function("twig_stack", |b| b.iter(|| twig_stack(&twig, &lists)));
+    group.bench_function("binary_plan", |b| {
+        b.iter(|| {
+            let ab = stack_tree_desc(&lists[0], &lists[1], JoinKind::ParentChild);
+            let ad = stack_tree_desc(&lists[0], &lists[2], JoinKind::ParentChild);
+            (ab.len(), ad.len())
+        })
+    });
+    group.bench_function("navigation", |b| b.iter(|| enumerate_matches(&f.doc, &twig)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_structural, bench_twig);
+criterion_main!(benches);

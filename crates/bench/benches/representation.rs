@@ -1,0 +1,42 @@
+//! E3 micro-benchmarks: build and scan costs per data representation
+//! (DOM tree vs TokenStream array vs labeled store).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xqr_store::{dom, Document};
+use xqr_tokenstream::{drain, TokenStream};
+use xqr_xdm::NamePool;
+use xqr_xmlgen::{auction_site, XmarkConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_build");
+    for n in [500usize, 2_000] {
+        let xml = auction_site(&XmarkConfig::scaled(n));
+        group.bench_with_input(BenchmarkId::new("dom", n), &xml, |b, xml| {
+            b.iter(|| dom::parse_dom(xml).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tokenstream", n), &xml, |b, xml| {
+            b.iter(|| TokenStream::from_xml(xml, Arc::new(NamePool::new())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("store", n), &xml, |b, xml| {
+            b.iter(|| Document::parse(xml, Arc::new(NamePool::new())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_scan");
+    let xml = auction_site(&XmarkConfig::scaled(2_000));
+    let names = Arc::new(NamePool::new());
+    let dom_tree = dom::parse_dom(&xml).unwrap();
+    let stream = TokenStream::from_xml(&xml, names.clone()).unwrap();
+    let doc = Document::parse(&xml, names).unwrap();
+    group.bench_function("dom_count", |b| b.iter(|| dom::count_nodes(&dom_tree)));
+    group.bench_function("tokenstream_drain", |b| b.iter(|| drain(&mut stream.iter()).unwrap()));
+    group.bench_function("store_elements", |b| b.iter(|| doc.all_elements().count()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_scan);
+criterion_main!(benches);

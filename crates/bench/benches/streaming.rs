@@ -1,0 +1,75 @@
+//! E1/E10 micro-benchmarks: streaming matcher vs materialized execution;
+//! skip() effectiveness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xqr_core::{DynamicContext, Engine, Item, NodeRef};
+use xqr_xmlgen::{auction_site, XmarkConfig};
+
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_streaming");
+    group.sample_size(20);
+    for n in [500usize, 2_000] {
+        let xml = auction_site(&XmarkConfig::scaled(n));
+        group.bench_with_input(BenchmarkId::new("streaming", n), &xml, |b, xml| {
+            let engine = Engine::new();
+            let q = engine.compile("/site/people/person").unwrap();
+            b.iter(|| {
+                let mut count = 0u64;
+                q.execute_streaming(&engine, xml, |_| count += 1).unwrap();
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", n), &xml, |b, xml| {
+            b.iter(|| {
+                // Fresh engine per iteration: the store grows per load.
+                let engine = Engine::new();
+                engine.query_xml(xml, "/site/people/person").unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_skip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_skip");
+    group.sample_size(20);
+    let xml = auction_site(&XmarkConfig::scaled(2_000));
+    let engine = Engine::new();
+    for (label, q) in [
+        ("selective_with_skip", "/site/closed_auctions/closed_auction"),
+        ("descendant_no_skip", "//closed_auction"),
+    ] {
+        let prepared = engine.compile(q).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                prepared.execute_streaming(&engine, &xml, |_| count += 1).unwrap();
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_positional_early_exit(c: &mut Criterion) {
+    // E2's lazy-evaluation claim as a micro-benchmark.
+    let mut group = c.benchmark_group("e2_lazy");
+    let engine = Engine::new();
+    let doc = engine.load_document("x.xml", &auction_site(&XmarkConfig::scaled(2_000))).unwrap();
+    let item = Item::Node(NodeRef::new(doc, xqr_core::NodeId(0)));
+    for (label, q) in [
+        ("first_person", "(.//person)[1]"),
+        ("all_persons", ".//person"),
+    ] {
+        let prepared = engine.compile(q).unwrap();
+        group.bench_function(label, |b| {
+            let mut ctx = DynamicContext::new();
+            ctx.context_item = Some(item.clone());
+            b.iter(|| prepared.execute(&engine, &ctx).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_materialized, bench_skip, bench_positional_early_exit);
+criterion_main!(benches);

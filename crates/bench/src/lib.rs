@@ -1,0 +1,5 @@
+//! # xqr-bench — shared helpers for the experiment harness and benches.
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, Scale, Table};

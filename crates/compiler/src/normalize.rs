@@ -1,0 +1,652 @@
+//! Normalization: AST → core expression tree.
+//!
+//! The talk's compilation step 2. What happens here:
+//! * FLWOR decomposes into nested `For`/`Let` with an `If` for `where`
+//!   (kept tupled only when `order by` is present);
+//! * every path step gets an explicit `Ddo` wrapper (sort by document
+//!   order + duplicate elimination), which the optimizer later proves
+//!   away where the talk's semantic table allows;
+//! * variables resolve to dense registers; functions to table indices;
+//! * `xs:type(e)` constructor calls become casts, `fn:boolean` becomes
+//!   the EBV primitive;
+//! * constant positional predicates become `PositionConst` so the
+//!   runtime can `skip()`.
+
+use crate::builtins::is_builtin;
+use crate::core_expr::*;
+use std::collections::HashMap;
+use xqr_xdm::{
+    AtomicType, AtomicValue, Error, ErrorCode, ItemType, Occurrence, QName, Result, SequenceType,
+};
+use xqr_xqparser::ast::{self, AttrPart, DirContent, Expr, FlworClause, NameOrExpr};
+use xqr_xqparser::{FN_NS, XS_NS};
+
+struct Normalizer {
+    next_var: u32,
+    /// Lexical scope stack: name → register.
+    scopes: Vec<HashMap<QName, VarId>>,
+    /// Function signatures, pre-registered for mutual recursion.
+    signatures: Vec<(QName, usize)>,
+}
+
+impl Normalizer {
+    fn new() -> Self {
+        Normalizer { next_var: 0, scopes: vec![HashMap::new()], signatures: Vec::new() }
+    }
+
+    fn fresh(&mut self) -> VarId {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        id
+    }
+
+    fn bind(&mut self, name: &QName) -> VarId {
+        let id = self.fresh();
+        self.scopes.last_mut().expect("scope stack non-empty").insert(name.clone(), id);
+        id
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn lookup(&self, name: &QName, pos: usize) -> Result<VarId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(id) = scope.get(name) {
+                return Ok(*id);
+            }
+        }
+        Err(Error::new(ErrorCode::UndefinedName, format!("undefined variable ${name}")).at(pos))
+    }
+
+    fn find_function(&self, name: &QName, arity: usize) -> Option<FuncId> {
+        self.signatures
+            .iter()
+            .position(|(n, a)| n == name && *a == arity)
+            .map(|i| FuncId(i as u32))
+    }
+
+    fn normalize(&mut self, e: &Expr) -> Result<Core> {
+        Ok(match e {
+            Expr::Literal(v, _) => Core::Const(v.clone()),
+            Expr::VarRef(name, pos) => Core::Var(self.lookup(name, *pos)?),
+            Expr::ContextItem(_) => Core::ContextItem,
+            Expr::Root(_) => Core::Root,
+            Expr::Sequence(items, _) => {
+                if items.is_empty() {
+                    Core::Empty
+                } else {
+                    Core::Seq(items.iter().map(|i| self.normalize(i)).collect::<Result<_>>()?)
+                }
+            }
+            Expr::Range(a, b, _) => {
+                Core::Range(self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::Arith(op, a, b, _) => {
+                Core::Arith(*op, self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::Neg(a, _) => Core::Neg(self.normalize(a)?.boxed()),
+            Expr::Comparison(op, a, b, _) => {
+                Core::Compare(*op, self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::And(a, b, _) => Core::And(
+                Core::Ebv(self.normalize(a)?.boxed()).boxed(),
+                Core::Ebv(self.normalize(b)?.boxed()).boxed(),
+            ),
+            Expr::Or(a, b, _) => Core::Or(
+                Core::Ebv(self.normalize(a)?.boxed()).boxed(),
+                Core::Ebv(self.normalize(b)?.boxed()).boxed(),
+            ),
+            Expr::Union(a, b, _) => {
+                Core::Union(self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::Intersect(a, b, _) => {
+                Core::Intersect(self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::Except(a, b, _) => {
+                Core::Except(self.normalize(a)?.boxed(), self.normalize(b)?.boxed())
+            }
+            Expr::Path(lhs, rhs, _) => {
+                let input = self.normalize(lhs)?;
+                let step = self.normalize(rhs)?;
+                Core::Ddo(Core::PathMap { input: input.boxed(), step: step.boxed() }.boxed())
+            }
+            Expr::AxisStep { axis, test, predicates, .. } => {
+                let mut out = Core::Step { axis: *axis, test: test.clone() };
+                for p in predicates {
+                    out = self.normalize_predicate(out, p)?;
+                }
+                out
+            }
+            Expr::Filter(inner, predicates, _) => {
+                let mut out = self.normalize(inner)?;
+                for p in predicates {
+                    out = self.normalize_predicate(out, p)?;
+                }
+                out
+            }
+            Expr::FunctionCall(name, args, pos) => self.normalize_call(name, args, *pos)?,
+            Expr::Flwor { clauses, where_clause, order_by, stable, return_clause, .. } => {
+                self.normalize_flwor(clauses, where_clause, order_by, *stable, return_clause)?
+            }
+            Expr::Quantified { every, bindings, satisfies, .. } => {
+                self.normalize_quantified(*every, bindings, satisfies)?
+            }
+            Expr::If { cond, then_branch, else_branch, .. } => Core::If {
+                cond: Core::Ebv(self.normalize(cond)?.boxed()).boxed(),
+                then_branch: self.normalize(then_branch)?.boxed(),
+                else_branch: self.normalize(else_branch)?.boxed(),
+            },
+            Expr::Typeswitch { operand, cases, default_var, default_body, .. } => {
+                let operand = self.normalize(operand)?.boxed();
+                let mut core_cases = Vec::with_capacity(cases.len());
+                for c in cases {
+                    self.push_scope();
+                    let var = c.var.as_ref().map(|v| self.bind(v));
+                    let body = self.normalize(&c.body)?;
+                    self.pop_scope();
+                    core_cases.push(CoreCase { var, ty: c.ty.clone(), body });
+                }
+                self.push_scope();
+                let dvar = default_var.as_ref().map(|v| self.bind(v));
+                let dbody = self.normalize(default_body)?.boxed();
+                self.pop_scope();
+                Core::Typeswitch {
+                    operand,
+                    cases: core_cases,
+                    default_var: dvar,
+                    default_body: dbody,
+                }
+            }
+            Expr::InstanceOf(a, ty, _) => {
+                Core::InstanceOf(self.normalize(a)?.boxed(), ty.clone())
+            }
+            Expr::CastAs(a, ty, pos) => {
+                let (at, opt) = atomic_of(ty, *pos)?;
+                Core::CastAs(self.normalize(a)?.boxed(), at, opt)
+            }
+            Expr::CastableAs(a, ty, pos) => {
+                let (at, opt) = atomic_of(ty, *pos)?;
+                Core::CastableAs(self.normalize(a)?.boxed(), at, opt)
+            }
+            Expr::TreatAs(a, ty, _) => Core::TreatAs(self.normalize(a)?.boxed(), ty.clone()),
+            Expr::DirectElement { name, attributes, namespaces, content, .. } => {
+                let mut items = Vec::new();
+                for (aname, parts) in attributes {
+                    items.push(Core::AttrCtor {
+                        name: CoreName::Const(aname.clone()),
+                        value: self.normalize_attr_parts(parts)?,
+                    });
+                }
+                for c in content {
+                    match c {
+                        DirContent::Text(t) => items.push(Core::TextCtor(
+                            Core::Const(AtomicValue::string(t.as_str())).boxed(),
+                        )),
+                        DirContent::Enclosed(e) => items.push(self.normalize(e)?),
+                        DirContent::Child(e) => items.push(self.normalize(e)?),
+                    }
+                }
+                Core::ElemCtor {
+                    name: CoreName::Const(name.clone()),
+                    namespaces: namespaces.clone(),
+                    content: items,
+                }
+            }
+            Expr::ComputedElement { name, content, .. } => Core::ElemCtor {
+                name: self.normalize_name(name)?,
+                namespaces: Vec::new(),
+                content: match content {
+                    Some(c) => vec![self.normalize(c)?],
+                    None => Vec::new(),
+                },
+            },
+            Expr::ComputedAttribute { name, content, .. } => Core::AttrCtor {
+                name: self.normalize_name(name)?,
+                value: match content {
+                    Some(c) => vec![self.normalize(c)?],
+                    None => Vec::new(),
+                },
+            },
+            Expr::ComputedText(e, _) => Core::TextCtor(self.normalize(e)?.boxed()),
+            Expr::ComputedComment(e, _) => Core::CommentCtor(self.normalize(e)?.boxed()),
+            Expr::ComputedPi { target, content, .. } => Core::PiCtor {
+                target: self.normalize_name(target)?,
+                value: match content {
+                    Some(c) => self.normalize(c)?.boxed(),
+                    None => Core::Empty.boxed(),
+                },
+            },
+            Expr::ComputedDocument(e, _) => Core::DocCtor(self.normalize(e)?.boxed()),
+            // `ordered {}` is the default mode; `unordered {}` becomes an
+            // annotation via the unordered builtin (a rewrite hook).
+            Expr::Ordered(e, _) => self.normalize(e)?,
+            Expr::Unordered(e, _) => Core::Builtin("unordered", vec![self.normalize(e)?]),
+        })
+    }
+
+    fn normalize_name(&mut self, n: &NameOrExpr) -> Result<CoreName> {
+        Ok(match n {
+            NameOrExpr::Name(q) => CoreName::Const(q.clone()),
+            NameOrExpr::Expr(e) => CoreName::Computed(self.normalize(e)?.boxed()),
+        })
+    }
+
+    fn normalize_attr_parts(&mut self, parts: &[AttrPart]) -> Result<Vec<Core>> {
+        parts
+            .iter()
+            .map(|p| match p {
+                AttrPart::Text(t) => Ok(Core::Const(AtomicValue::string(t.as_str()))),
+                AttrPart::Enclosed(e) => self.normalize(e),
+            })
+            .collect()
+    }
+
+    fn normalize_predicate(&mut self, input: Core, pred: &Expr) -> Result<Core> {
+        // A constant integer predicate is positional selection.
+        if let Expr::Literal(AtomicValue::Integer(k), _) = pred {
+            return Ok(Core::PositionConst { input: input.boxed(), position: *k });
+        }
+        let p = self.normalize(pred)?;
+        Ok(Core::Filter { input: input.boxed(), predicate: p.boxed() })
+    }
+
+    fn normalize_call(&mut self, name: &QName, args: &[Expr], pos: usize) -> Result<Core> {
+        let cargs: Vec<Core> =
+            args.iter().map(|a| self.normalize(a)).collect::<Result<_>>()?;
+        // User-declared functions first (they may shadow nothing else —
+        // fn: names resolve to the fn namespace, user names elsewhere).
+        if let Some(id) = self.find_function(name, args.len()) {
+            return Ok(Core::UserCall(id, cargs));
+        }
+        // xs:TYPE(value) constructor → cast (empty-preserving).
+        if name.namespace() == Some(XS_NS) || name.namespace() == Some(xqr_xqparser::XDT_NS) {
+            if let Some(at) = AtomicType::from_name(&format!("xs:{}", name.local_name())) {
+                if cargs.len() == 1 {
+                    let mut it = cargs.into_iter();
+                    return Ok(Core::CastAs(
+                        it.next().expect("one arg").boxed(),
+                        at,
+                        true,
+                    ));
+                }
+            }
+            return Err(Error::new(
+                ErrorCode::UndefinedFunction,
+                format!("unknown constructor function {name}"),
+            )
+            .at(pos));
+        }
+        if name.namespace() == Some(FN_NS) {
+            if let Some(canonical) = is_builtin(name.local_name(), args.len()) {
+                // fn:boolean is the EBV primitive.
+                if canonical == "boolean" {
+                    let mut it = cargs.into_iter();
+                    return Ok(Core::Ebv(it.next().expect("one arg").boxed()));
+                }
+                return Ok(Core::Builtin(canonical, cargs));
+            }
+        }
+        Err(Error::new(
+            ErrorCode::UndefinedFunction,
+            format!("unknown function {}#{}", name, args.len()),
+        )
+        .at(pos))
+    }
+
+    fn normalize_flwor(
+        &mut self,
+        clauses: &[FlworClause],
+        where_clause: &Option<Box<Expr>>,
+        order_by: &[ast::OrderSpec],
+        stable: bool,
+        return_clause: &Expr,
+    ) -> Result<Core> {
+        if order_by.is_empty() {
+            return self.normalize_flwor_plain(clauses, where_clause, return_clause);
+        }
+        // Tupled form: sources normalize in sequence, each clause's
+        // bindings visible to the next.
+        self.push_scope();
+        let mut core_clauses = Vec::with_capacity(clauses.len());
+        for c in clauses {
+            match c {
+                FlworClause::For { var, position, source, .. } => {
+                    let src = self.normalize(source)?;
+                    let v = self.bind(var);
+                    let p = position.as_ref().map(|p| self.bind(p));
+                    core_clauses.push(CoreClause::For { var: v, position: p, source: src });
+                }
+                FlworClause::Let { var, ty, value } => {
+                    let mut val = self.normalize(value)?;
+                    if let Some(t) = ty {
+                        val = Core::TreatAs(val.boxed(), t.clone());
+                    }
+                    let v = self.bind(var);
+                    core_clauses.push(CoreClause::Let { var: v, value: val });
+                }
+            }
+        }
+        let wc = match where_clause {
+            Some(w) => Some(Core::Ebv(self.normalize(w)?.boxed()).boxed()),
+            None => None,
+        };
+        let order = order_by
+            .iter()
+            .map(|o| {
+                Ok(CoreOrderSpec {
+                    key: self.normalize(&o.key)?,
+                    descending: o.descending,
+                    // Default empty handling: empty least.
+                    empty_least: o.empty_least.unwrap_or(true),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let body = self.normalize(return_clause)?.boxed();
+        self.pop_scope();
+        Ok(Core::OrderedFlwor { clauses: core_clauses, where_clause: wc, order, stable, body })
+    }
+
+    fn normalize_flwor_plain(
+        &mut self,
+        clauses: &[FlworClause],
+        where_clause: &Option<Box<Expr>>,
+        return_clause: &Expr,
+    ) -> Result<Core> {
+        // Recursive decomposition, innermost first:
+        //   for $x in S ... return R  ≡  For x S { ... }
+        // with `where C` becoming `if (ebv C) then R else ()`.
+        match clauses.split_first() {
+            None => {
+                let inner = match where_clause {
+                    Some(w) => {
+                        let cond = Core::Ebv(self.normalize(w)?.boxed()).boxed();
+                        Core::If {
+                            cond,
+                            then_branch: self.normalize(return_clause)?.boxed(),
+                            else_branch: Core::Empty.boxed(),
+                        }
+                    }
+                    None => self.normalize(return_clause)?,
+                };
+                Ok(inner)
+            }
+            Some((first, rest)) => match first {
+                FlworClause::For { var, position, source, .. } => {
+                    let src = self.normalize(source)?;
+                    self.push_scope();
+                    let v = self.bind(var);
+                    let p = position.as_ref().map(|p| self.bind(p));
+                    let body = self.normalize_flwor_plain(rest, where_clause, return_clause)?;
+                    self.pop_scope();
+                    Ok(Core::For {
+                        var: v,
+                        position: p,
+                        source: src.boxed(),
+                        body: body.boxed(),
+                    })
+                }
+                FlworClause::Let { var, ty, value } => {
+                    let mut val = self.normalize(value)?;
+                    // Declared types are enforced (`treat as`); the
+                    // type-rewrite family removes provably-satisfied ones.
+                    if let Some(t) = ty {
+                        val = Core::TreatAs(val.boxed(), t.clone());
+                    }
+                    self.push_scope();
+                    let v = self.bind(var);
+                    let body = self.normalize_flwor_plain(rest, where_clause, return_clause)?;
+                    self.pop_scope();
+                    Ok(Core::Let { var: v, value: val.boxed(), body: body.boxed() })
+                }
+            },
+        }
+    }
+
+    fn normalize_quantified(
+        &mut self,
+        every: bool,
+        bindings: &[(QName, Option<SequenceType>, Expr)],
+        satisfies: &Expr,
+    ) -> Result<Core> {
+        match bindings.split_first() {
+            None => Ok(Core::Ebv(self.normalize(satisfies)?.boxed())),
+            Some(((var, _ty, source), rest)) => {
+                let src = self.normalize(source)?;
+                self.push_scope();
+                let v = self.bind(var);
+                let inner = self.normalize_quantified(every, rest, satisfies)?;
+                self.pop_scope();
+                Ok(Core::Quantified {
+                    every,
+                    var: v,
+                    source: src.boxed(),
+                    satisfies: inner.boxed(),
+                })
+            }
+        }
+    }
+}
+
+fn atomic_of(ty: &SequenceType, pos: usize) -> Result<(AtomicType, bool)> {
+    match ty {
+        SequenceType::Of(ItemType::Atomic(at), occ) => {
+            Ok((*at, *occ == Occurrence::Optional))
+        }
+        other => Err(Error::type_error(format!("cast target must be an atomic type, got {other}"))
+            .at(pos)),
+    }
+}
+
+/// Normalize a parsed module into the core representation.
+pub fn normalize_module(module: &ast::Module) -> Result<CoreModule> {
+    let mut n = Normalizer::new();
+    // Pass 1: function signatures (mutual recursion).
+    for f in &module.prolog.functions {
+        n.signatures.push((f.name.clone(), f.params.len()));
+    }
+    // Globals bind in order; later globals see earlier ones.
+    let mut globals = Vec::new();
+    for v in &module.prolog.variables {
+        let value = match &v.value {
+            Some(e) => Some(n.normalize(e)?),
+            None => None,
+        };
+        let id = n.bind(&v.name);
+        globals.push((v.name.clone(), id, value));
+    }
+    // Pass 2: function bodies (globals are in scope).
+    let mut functions = Vec::new();
+    for f in &module.prolog.functions {
+        n.push_scope();
+        let params: Vec<(VarId, Option<SequenceType>)> =
+            f.params.iter().map(|(pn, pt)| (n.bind(pn), pt.clone())).collect();
+        let body = match &f.body {
+            Some(b) => n.normalize(b)?,
+            None => {
+                return Err(Error::new(
+                    ErrorCode::UndefinedFunction,
+                    format!("external function {} has no implementation", f.name),
+                ))
+            }
+        };
+        n.pop_scope();
+        functions.push(CoreFunction {
+            name: f.name.clone(),
+            params,
+            return_type: f.return_type.clone(),
+            body,
+        });
+    }
+    let body = n.normalize(&module.body)?;
+    Ok(CoreModule { functions, globals, body, var_count: n.next_var })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xqparser::parse_query;
+
+    fn norm(src: &str) -> CoreModule {
+        normalize_module(&parse_query(src).unwrap()).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn flwor_decomposes_to_for_if() {
+        let m = norm("for $x in (1,2,3) where $x eq 2 return $x");
+        match &m.body {
+            Core::For { body, .. } => {
+                assert!(matches!(&**body, Core::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_decomposes() {
+        let m = norm("let $x := 1 return $x + 1");
+        assert!(matches!(&m.body, Core::Let { .. }));
+    }
+
+    #[test]
+    fn order_by_keeps_tupled_form() {
+        let m = norm("for $x in (3,1,2) order by $x return $x");
+        assert!(matches!(&m.body, Core::OrderedFlwor { .. }));
+    }
+
+    #[test]
+    fn undefined_variable_is_an_error() {
+        let e = normalize_module(&parse_query("$nope").unwrap()).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UndefinedName);
+    }
+
+    #[test]
+    fn declared_paths_get_ddo() {
+        let m = norm("declare variable $x := <a/>; $x/a/b");
+        fn count_ddo(c: &Core) -> usize {
+            let mut n = matches!(c, Core::Ddo(_)) as usize;
+            c.for_each_child(&mut |ch| n += count_ddo(ch));
+            n
+        }
+        assert_eq!(count_ddo(&m.body), 2);
+    }
+
+    #[test]
+    fn positional_predicate_specializes() {
+        let m = norm("declare variable $x := <a/>; $x/b[3]");
+        fn find_pos(c: &Core) -> bool {
+            if matches!(c, Core::PositionConst { position: 3, .. }) {
+                return true;
+            }
+            let mut found = false;
+            c.for_each_child(&mut |ch| found |= find_pos(ch));
+            found
+        }
+        assert!(find_pos(&m.body));
+    }
+
+    #[test]
+    fn xs_constructor_becomes_cast() {
+        let m = norm(r#"xs:integer("42")"#);
+        assert!(matches!(m.body, Core::CastAs(_, AtomicType::Integer, true)));
+    }
+
+    #[test]
+    fn fn_boolean_becomes_ebv() {
+        let m = norm("boolean(1)");
+        assert!(matches!(m.body, Core::Ebv(_)));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let e = normalize_module(&parse_query("nonsense(1)").unwrap()).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UndefinedFunction);
+        // wrong arity too
+        let e = normalize_module(&parse_query("count(1, 2)").unwrap()).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UndefinedFunction);
+    }
+
+    #[test]
+    fn user_functions_resolve_with_recursion() {
+        let m = norm(
+            "declare function local:fib($n as xs:integer) as xs:integer {
+               if ($n lt 2) then $n else local:fib($n - 1) + local:fib($n - 2)
+             };
+             local:fib(10)",
+        );
+        assert_eq!(m.functions.len(), 1);
+        assert!(matches!(m.body, Core::UserCall(FuncId(0), _)));
+        // body contains recursive calls to itself
+        fn has_call(c: &Core) -> bool {
+            if matches!(c, Core::UserCall(FuncId(0), _)) {
+                return true;
+            }
+            let mut found = false;
+            c.for_each_child(&mut |ch| found |= has_call(ch));
+            found
+        }
+        assert!(has_call(&m.functions[0].body));
+    }
+
+    #[test]
+    fn quantified_nests() {
+        let m = norm("some $x in (1,2), $y in (3,4) satisfies $x eq $y");
+        match &m.body {
+            Core::Quantified { satisfies, .. } => {
+                assert!(matches!(&**satisfies, Core::Quantified { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_shadowing_gets_distinct_registers() {
+        let m = norm("for $x in (1,2) return for $x in (3,4) return $x");
+        fn inner_var(c: &Core) -> Option<VarId> {
+            match c {
+                Core::For { body, .. } => match &**body {
+                    Core::For { var, body: b2, .. } => match &**b2 {
+                        Core::Var(v) => {
+                            assert_eq!(v, var);
+                            Some(*v)
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        let outer_var = match &m.body {
+            Core::For { var, .. } => *var,
+            other => panic!("{other:?}"),
+        };
+        let inner = inner_var(&m.body).expect("nested for");
+        assert_ne!(outer_var, inner);
+    }
+
+    #[test]
+    fn globals_and_externals() {
+        let m = norm("declare variable $a := 1; declare variable $b external; $a + $b");
+        assert_eq!(m.globals.len(), 2);
+        assert!(m.globals[0].2.is_some());
+        assert!(m.globals[1].2.is_none());
+    }
+
+    #[test]
+    fn direct_constructor_content_normalizes() {
+        let m = norm(r#"<a x="1">t{2}</a>"#);
+        match &m.body {
+            Core::ElemCtor { content, .. } => {
+                assert_eq!(content.len(), 3); // attr, text, enclosed
+                assert!(matches!(content[0], Core::AttrCtor { .. }));
+                assert!(matches!(content[1], Core::TextCtor(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

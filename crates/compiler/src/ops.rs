@@ -1,0 +1,343 @@
+//! Value-level arithmetic — the talk's operator rules, shared by the
+//! optimizer's constant folder and the runtime:
+//!
+//! "atomize all operands; if either operand is (), => (); if an operand
+//! is untyped, cast to xs:double; if the operand types differ but can be
+//! promoted to a common type, do so; if the operator is consistent with
+//! the types, apply it; else throw a type exception."
+
+use xqr_xdm::{
+    AtomicType, AtomicValue, Decimal, Duration, Error, ErrorCode, Result,
+};
+use xqr_xqparser::ast::ArithOp;
+
+/// Apply a binary arithmetic operator to two single atomic values.
+pub fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue> {
+    use AtomicValue as V;
+    // Untyped operands cast to xs:double.
+    let a = promote_untyped(a)?;
+    let b = promote_untyped(b)?;
+
+    // Date/time ± duration and duration arithmetic first.
+    match (&a, &b, op) {
+        (V::Date(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Add) => {
+            return Ok(V::Date(d.add_duration(*u)?));
+        }
+        (V::Date(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Sub) => {
+            return Ok(V::Date(d.add_duration(u.negate())?));
+        }
+        (V::DateTime(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Add) => {
+            return Ok(V::DateTime(d.add_duration(*u)?));
+        }
+        (V::DateTime(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Sub) => {
+            return Ok(V::DateTime(d.add_duration(u.negate())?));
+        }
+        (V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), V::Date(d), ArithOp::Add) => {
+            return Ok(V::Date(d.add_duration(*u)?));
+        }
+        (V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), V::DateTime(d), ArithOp::Add) => {
+            return Ok(V::DateTime(d.add_duration(*u)?));
+        }
+        (V::DateTime(x), V::DateTime(y), ArithOp::Sub) => {
+            return Ok(V::DayTimeDuration(x.sub_datetime(y, 0)));
+        }
+        (V::Date(x), V::Date(y), ArithOp::Sub) => {
+            return Ok(V::DayTimeDuration(x.to_datetime().sub_datetime(&y.to_datetime(), 0)));
+        }
+        (
+            V::Duration(x) | V::YearMonthDuration(x) | V::DayTimeDuration(x),
+            V::Duration(y) | V::YearMonthDuration(y) | V::DayTimeDuration(y),
+            ArithOp::Add,
+        ) => {
+            return duration_value(x.checked_add(*y)?);
+        }
+        (
+            V::Duration(x) | V::YearMonthDuration(x) | V::DayTimeDuration(x),
+            V::Duration(y) | V::YearMonthDuration(y) | V::DayTimeDuration(y),
+            ArithOp::Sub,
+        ) => {
+            return duration_value(x.checked_add(y.negate())?);
+        }
+        (V::Duration(x) | V::YearMonthDuration(x) | V::DayTimeDuration(x), _, ArithOp::Mul)
+            if b.is_numeric() =>
+        {
+            return duration_value(x.scale(b.to_double()?)?);
+        }
+        (_, V::Duration(y) | V::YearMonthDuration(y) | V::DayTimeDuration(y), ArithOp::Mul)
+            if a.is_numeric() =>
+        {
+            return duration_value(y.scale(a.to_double()?)?);
+        }
+        (V::Duration(x) | V::YearMonthDuration(x) | V::DayTimeDuration(x), _, ArithOp::Div)
+            if b.is_numeric() =>
+        {
+            let d = b.to_double()?;
+            if d == 0.0 {
+                return Err(Error::new(ErrorCode::DivisionByZero, "duration div by zero"));
+            }
+            return duration_value(x.scale(1.0 / d)?);
+        }
+        _ => {}
+    }
+
+    if !a.is_numeric() || !b.is_numeric() {
+        return Err(Error::type_error(format!(
+            "operator {} not defined for {} and {}",
+            op.symbol(),
+            a.type_of().name(),
+            b.type_of().name()
+        )));
+    }
+    numeric_arith(op, &a, &b)
+}
+
+fn duration_value(d: Duration) -> Result<AtomicValue> {
+    Ok(if d.is_year_month() && !d.is_day_time() {
+        AtomicValue::YearMonthDuration(d)
+    } else if d.is_day_time() && !d.is_year_month() {
+        AtomicValue::DayTimeDuration(d)
+    } else if d.months == 0 && d.millis == 0 {
+        AtomicValue::DayTimeDuration(d)
+    } else {
+        AtomicValue::Duration(d)
+    })
+}
+
+fn promote_untyped(v: &AtomicValue) -> Result<AtomicValue> {
+    match v {
+        AtomicValue::UntypedAtomic(s) => {
+            Ok(AtomicValue::Double(xqr_xdm::parse_double(s.trim()).map_err(|_| {
+                Error::value(format!("cannot promote untyped {s:?} to xs:double"))
+            })?))
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// The promoted common numeric type of two numeric values.
+fn common_numeric(a: AtomicType, b: AtomicType) -> AtomicType {
+    use AtomicType::*;
+    match (a, b) {
+        (Double, _) | (_, Double) => Double,
+        (Float, _) | (_, Float) => Float,
+        (Decimal, _) | (_, Decimal) => Decimal,
+        _ => Integer,
+    }
+}
+
+fn numeric_arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValue> {
+    use AtomicValue as V;
+    let target = common_numeric(a.type_of(), b.type_of());
+    // div on exact numerics yields decimal.
+    let target = if op == ArithOp::Div && target == AtomicType::Integer {
+        AtomicType::Decimal
+    } else {
+        target
+    };
+    match target {
+        AtomicType::Integer => {
+            let (x, y) = match (a, b) {
+                (V::Integer(x), V::Integer(y)) => (*x, *y),
+                _ => unreachable!("integer target implies integer operands"),
+            };
+            let r = match op {
+                ArithOp::Add => x.checked_add(y),
+                ArithOp::Sub => x.checked_sub(y),
+                ArithOp::Mul => x.checked_mul(y),
+                ArithOp::IDiv => {
+                    if y == 0 {
+                        return Err(Error::new(ErrorCode::DivisionByZero, "idiv by zero"));
+                    }
+                    x.checked_div(y)
+                }
+                ArithOp::Mod => {
+                    if y == 0 {
+                        return Err(Error::new(ErrorCode::DivisionByZero, "mod by zero"));
+                    }
+                    x.checked_rem(y)
+                }
+                ArithOp::Div => unreachable!("handled via decimal"),
+            };
+            r.map(V::Integer)
+                .ok_or_else(|| Error::new(ErrorCode::Overflow, "integer overflow"))
+        }
+        AtomicType::Decimal => {
+            let x = to_decimal(a)?;
+            let y = to_decimal(b)?;
+            Ok(match op {
+                ArithOp::Add => V::Decimal(x.checked_add(y)?),
+                ArithOp::Sub => V::Decimal(x.checked_sub(y)?),
+                ArithOp::Mul => V::Decimal(x.checked_mul(y)?),
+                ArithOp::Div => V::Decimal(x.checked_div(y)?),
+                ArithOp::IDiv => {
+                    let q = x.checked_idiv(y)?;
+                    V::Integer(i64::try_from(q).map_err(|_| {
+                        Error::new(ErrorCode::Overflow, "idiv overflow")
+                    })?)
+                }
+                ArithOp::Mod => V::Decimal(x.checked_rem(y)?),
+            })
+        }
+        AtomicType::Float => {
+            let x = a.to_double()? as f32;
+            let y = b.to_double()? as f32;
+            float_arith(op, x as f64, y as f64).map(|d| V::Float(d as f32))
+        }
+        _ => {
+            let x = a.to_double()?;
+            let y = b.to_double()?;
+            float_arith(op, x, y).map(V::Double)
+        }
+    }
+}
+
+fn float_arith(op: ArithOp, x: f64, y: f64) -> Result<f64> {
+    Ok(match op {
+        ArithOp::Add => x + y,
+        ArithOp::Sub => x - y,
+        ArithOp::Mul => x * y,
+        ArithOp::Div => x / y, // IEEE: yields ±INF / NaN, no error
+        ArithOp::IDiv => {
+            if y == 0.0 {
+                return Err(Error::new(ErrorCode::DivisionByZero, "idiv by zero"));
+            }
+            if x.is_nan() || x.is_infinite() {
+                return Err(Error::value("idiv of non-finite value"));
+            }
+            (x / y).trunc()
+        }
+        ArithOp::Mod => {
+            if y == 0.0 {
+                f64::NAN
+            } else {
+                x % y
+            }
+        }
+    })
+}
+
+fn to_decimal(v: &AtomicValue) -> Result<Decimal> {
+    match v {
+        AtomicValue::Decimal(d) => Ok(*d),
+        AtomicValue::Integer(i) => Ok(Decimal::from_i64(*i)),
+        other => Decimal::from_f64(other.to_double()?),
+    }
+}
+
+/// Unary minus.
+pub fn negate(v: &AtomicValue) -> Result<AtomicValue> {
+    use AtomicValue as V;
+    match promote_untyped(v)? {
+        V::Integer(i) => i
+            .checked_neg()
+            .map(V::Integer)
+            .ok_or_else(|| Error::new(ErrorCode::Overflow, "integer overflow")),
+        V::Decimal(d) => Ok(V::Decimal(d.checked_neg()?)),
+        V::Double(d) => Ok(V::Double(-d)),
+        V::Float(f) => Ok(V::Float(-f)),
+        other => Err(Error::type_error(format!(
+            "unary minus not defined for {}",
+            other.type_of().name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqr_xdm::AtomicValue as V;
+
+    fn int(i: i64) -> V {
+        V::Integer(i)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(arith(ArithOp::Add, &int(1), &int(4)).unwrap(), int(5));
+        assert_eq!(arith(ArithOp::Mul, &int(4), &int(8)).unwrap(), int(32));
+        assert_eq!(arith(ArithOp::IDiv, &int(7), &int(2)).unwrap(), int(3));
+        assert_eq!(arith(ArithOp::Mod, &int(-7), &int(3)).unwrap(), int(-1));
+    }
+
+    #[test]
+    fn integer_div_yields_decimal() {
+        let r = arith(ArithOp::Div, &int(5), &int(6)).unwrap();
+        assert_eq!(r.type_of(), AtomicType::Decimal);
+        let r = arith(ArithOp::Div, &int(5), &int(2)).unwrap();
+        assert_eq!(r.string_value(), "2.5");
+    }
+
+    #[test]
+    fn promotion_ladder() {
+        let d = V::Decimal(Decimal::parse("1.5").unwrap());
+        assert_eq!(arith(ArithOp::Add, &int(1), &d).unwrap().type_of(), AtomicType::Decimal);
+        let f = V::Double(1.0);
+        assert_eq!(arith(ArithOp::Add, &d, &f).unwrap().type_of(), AtomicType::Double);
+    }
+
+    #[test]
+    fn untyped_promotes_to_double() {
+        // The talk: <a>42</a> + 1 works (untyped → double); <a>baz</a> + 1 errors.
+        let u = V::untyped("42");
+        assert_eq!(arith(ArithOp::Add, &u, &int(1)).unwrap(), V::Double(43.0));
+        let bad = V::untyped("baz");
+        assert!(arith(ArithOp::Add, &bad, &int(1)).is_err());
+    }
+
+    #[test]
+    fn double_division_is_ieee() {
+        let r = arith(ArithOp::Div, &V::Double(1.0), &V::Double(0.0)).unwrap();
+        assert_eq!(r, V::Double(f64::INFINITY));
+        // but exact numerics error
+        assert_eq!(
+            arith(ArithOp::Div, &int(1), &int(0)).unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
+        assert_eq!(
+            arith(ArithOp::IDiv, &int(1), &int(0)).unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn strings_do_not_add() {
+        let s = V::string("x");
+        let e = arith(ArithOp::Add, &s, &int(1)).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Type);
+    }
+
+    #[test]
+    fn date_plus_duration() {
+        let d = AtomicValue::parse_as("2002-05-20", AtomicType::Date).unwrap();
+        let dur = AtomicValue::parse_as("P1M", AtomicType::YearMonthDuration).unwrap();
+        let r = arith(ArithOp::Add, &d, &dur).unwrap();
+        assert_eq!(r.string_value(), "2002-06-20");
+        let r = arith(ArithOp::Sub, &d, &dur).unwrap();
+        assert_eq!(r.string_value(), "2002-04-20");
+    }
+
+    #[test]
+    fn datetime_difference() {
+        let a = AtomicValue::parse_as("2004-01-02T00:00:00Z", AtomicType::DateTime).unwrap();
+        let b = AtomicValue::parse_as("2004-01-01T00:00:00Z", AtomicType::DateTime).unwrap();
+        let r = arith(ArithOp::Sub, &a, &b).unwrap();
+        assert_eq!(r.string_value(), "P1D");
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let dur = AtomicValue::parse_as("PT2H", AtomicType::DayTimeDuration).unwrap();
+        let r = arith(ArithOp::Mul, &dur, &V::Double(1.5)).unwrap();
+        assert_eq!(r.string_value(), "PT3H");
+        let r = arith(ArithOp::Div, &dur, &int(2)).unwrap();
+        assert_eq!(r.string_value(), "PT1H");
+    }
+
+    #[test]
+    fn negate_values() {
+        assert_eq!(negate(&int(5)).unwrap(), int(-5));
+        assert_eq!(negate(&V::Double(2.5)).unwrap(), V::Double(-2.5));
+        assert!(negate(&V::string("x")).is_err());
+        assert_eq!(negate(&V::untyped("3")).unwrap(), V::Double(-3.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! The compilation pipeline: parse → normalize → (type-check) →
+//! (optimize). The talk's "major compilation steps" with code generation
+//! deferred to the runtime (which interprets the annotated core tree).
+
+use crate::analysis::needs_node_identity;
+use crate::core_expr::CoreModule;
+use crate::normalize::normalize_module;
+use crate::rewrite::{optimize_module, RewriteConfig, RewriteStats};
+use crate::typing::check_module;
+use xqr_xdm::{Result, SequenceType};
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Run the rewrite optimizer (and with which families).
+    pub rewrite: RewriteConfig,
+    /// Enforce the static typing feature (strict mode).
+    pub static_typing: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { rewrite: RewriteConfig::all(), static_typing: false }
+    }
+}
+
+/// The compiled artifact handed to the runtime.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub module: CoreModule,
+    /// Inferred static type of the body.
+    pub body_type: SequenceType,
+    /// Optimizer firing counts (empty when optimization was off).
+    pub stats: RewriteStats,
+    /// Whether any operator requires node identity — when false, the
+    /// runtime may construct id-free output (experiment E11).
+    pub needs_node_ids: bool,
+}
+
+/// Compile query text.
+pub fn compile(source: &str, options: &CompileOptions) -> Result<CompiledQuery> {
+    let ast = xqr_xqparser::parse_query(source)?;
+    let mut module = normalize_module(&ast)?;
+    // Type-check before optimization so user-visible static errors do
+    // not depend on which rewrites fired.
+    let body_type = check_module(&module, options.static_typing)?;
+    let stats = optimize_module(&mut module, &options.rewrite);
+    let needs_node_ids = needs_node_identity(&module.body)
+        || module.functions.iter().any(|f| needs_node_identity(&f.body))
+        || module
+            .globals
+            .iter()
+            .any(|(_, _, v)| v.as_ref().map(needs_node_identity).unwrap_or(false));
+    Ok(CompiledQuery { module, body_type, stats, needs_node_ids })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_and_reports_type() {
+        let q = compile("1 + 2", &CompileOptions::default()).unwrap();
+        assert_eq!(q.body_type.to_string(), "xs:integer");
+        assert!(!q.needs_node_ids);
+    }
+
+    #[test]
+    fn optimization_can_be_disabled() {
+        let off = CompileOptions { rewrite: RewriteConfig::none(), ..Default::default() };
+        let q = compile("1 + 2", &off).unwrap();
+        assert!(q.stats.is_empty());
+    }
+
+    #[test]
+    fn node_id_analysis_propagates() {
+        let q = compile("<a/> is <b/>", &CompileOptions::default()).unwrap();
+        assert!(q.needs_node_ids);
+        let q = compile("<a>{1+2}</a>", &CompileOptions::default()).unwrap();
+        assert!(!q.needs_node_ids);
+    }
+
+    #[test]
+    fn static_typing_strict_errors() {
+        let strict = CompileOptions { static_typing: true, ..Default::default() };
+        assert!(compile("\"a\" + 1", &strict).is_err());
+        assert!(compile("\"a\" + 1", &CompileOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_surface() {
+        assert!(compile("1 +", &CompileOptions::default()).is_err());
+    }
+}

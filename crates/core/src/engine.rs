@@ -1,0 +1,384 @@
+//! The engine facade: compile once, execute many times, stream when the
+//! query allows it.
+
+use crate::explain::explain;
+use std::sync::Arc;
+use xqr_compiler::{compile, CompileOptions, CompiledQuery};
+use xqr_runtime::{
+    serialize_sequence, Counters, DynamicContext, Evaluator, ExecState, Item, RuntimeOptions,
+    Sequence, StreamMatcher, StreamPattern, StreamStats,
+};
+use xqr_store::{DocId, NodeRef, Store};
+use xqr_tokenstream::ParserTokenIterator;
+use xqr_xdm::{NamePool, QName, Result};
+use xqr_xmlparse;
+
+/// Stack for the evaluation thread: recursive-descent evaluation over
+/// deep queries/documents is stack-hungry in unoptimized builds.
+const EVAL_STACK_BYTES: usize = 256 * 1024 * 1024;
+
+/// Engine-level options.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    pub compile: CompileOptions,
+    pub runtime: RuntimeOptions,
+}
+
+impl EngineOptions {
+    /// Options with the optimizer disabled (the materializing baseline
+    /// for the benches).
+    pub fn unoptimized() -> Self {
+        EngineOptions {
+            compile: CompileOptions {
+                rewrite: xqr_compiler::RewriteConfig::none(),
+                ..Default::default()
+            },
+            runtime: RuntimeOptions::default(),
+        }
+    }
+}
+
+/// The query engine: a document store plus compilation options.
+pub struct Engine {
+    store: Arc<Store>,
+    options: EngineOptions,
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine::with_options(EngineOptions::default())
+    }
+
+    pub fn with_options(mut options: EngineOptions) -> Engine {
+        // The evaluation thread has a large stack; allow deep recursion.
+        if options.runtime.max_call_depth == RuntimeOptions::default().max_call_depth {
+            options.runtime.max_call_depth = 2048;
+        }
+        Engine { store: Store::new(), options }
+    }
+
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    pub fn names(&self) -> &Arc<NamePool> {
+        self.store.names()
+    }
+
+    /// Parse and register a document under a URI (for `fn:doc`).
+    pub fn load_document(&self, uri: &str, xml: &str) -> Result<DocId> {
+        self.store.load_xml(xml, Some(uri))
+    }
+
+    /// Compile a query with the engine's options.
+    pub fn compile(&self, query: &str) -> Result<PreparedQuery> {
+        let compiled = compile(query, &self.options.compile)?;
+        let streamable = StreamPattern::extract(&compiled.module.body);
+        // `count(//path)` runs in streaming counting mode: matches are
+        // skipped over, never serialized.
+        let streamable_count = match &compiled.module.body {
+            xqr_compiler::Core::Builtin("count", args) if args.len() == 1 => {
+                StreamPattern::extract(&args[0])
+            }
+            _ => None,
+        };
+        Ok(PreparedQuery {
+            compiled,
+            streamable,
+            streamable_count,
+            runtime: self.options.runtime.clone(),
+        })
+    }
+
+    /// One-shot convenience: run `query` against `xml` bound as the
+    /// context item, returning the serialized result.
+    pub fn query_xml(&self, xml: &str, query: &str) -> Result<String> {
+        let prepared = self.compile(query)?;
+        let doc = self.store.load_xml(xml, None)?;
+        let mut ctx = DynamicContext::new();
+        ctx.context_item = Some(Item::Node(NodeRef::new(doc, xqr_store::NodeId(0))));
+        let result = prepared.execute(self, &ctx)?;
+        Ok(result.serialize())
+    }
+
+    /// One-shot convenience without input.
+    pub fn query(&self, query: &str) -> Result<String> {
+        let prepared = self.compile(query)?;
+        let result = prepared.execute(self, &DynamicContext::new())?;
+        Ok(result.serialize())
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A compiled, reusable query.
+pub struct PreparedQuery {
+    compiled: CompiledQuery,
+    streamable: Option<StreamPattern>,
+    streamable_count: Option<StreamPattern>,
+    runtime: RuntimeOptions,
+}
+
+impl PreparedQuery {
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+
+    /// Can this query run in token-streaming mode (E1)?
+    pub fn is_streamable(&self) -> bool {
+        self.streamable.is_some()
+    }
+
+    /// Is this a `count(//path)` query that can stream-count?
+    pub fn is_streamable_count(&self) -> bool {
+        self.streamable_count.is_some()
+    }
+
+    /// Stream-count matches over XML text without materializing anything
+    /// (for `count(//path)`-shaped queries). Returns (count, stats).
+    pub fn execute_streaming_count(
+        &self,
+        engine: &Engine,
+        xml: &str,
+    ) -> Result<(u64, StreamStats)> {
+        let pattern = self.streamable_count.clone().ok_or_else(|| {
+            xqr_xdm::Error::new(
+                xqr_xdm::ErrorCode::Internal,
+                "query is not a streamable count; use execute()",
+            )
+        })?;
+        let it = ParserTokenIterator::new(xml, engine.names().clone());
+        let mut matcher = StreamMatcher::new(it, pattern);
+        let n = matcher.count_matches()?;
+        Ok((n, matcher.stats))
+    }
+
+    /// Streaming emits *outermost* matches; for child-only patterns this
+    /// equals materialized evaluation exactly (matches cannot nest).
+    pub fn streaming_is_exact(&self) -> bool {
+        self.streamable.as_ref().map(|p| p.is_exact()).unwrap_or(false)
+    }
+
+    /// Whether execution needs node identities (E11's analysis).
+    pub fn needs_node_ids(&self) -> bool {
+        self.compiled.needs_node_ids
+    }
+
+    /// Human-readable plan.
+    pub fn explain(&self) -> String {
+        let mut text = explain(&self.compiled);
+        text.push_str(&format!("streamable: {}\n", self.is_streamable()));
+        text
+    }
+
+    /// Execute against the engine's store, on a dedicated evaluation
+    /// thread with a roomy stack.
+    pub fn execute(&self, engine: &Engine, ctx: &DynamicContext) -> Result<QueryResult> {
+        let store = engine.store.clone();
+        let compiled = &self.compiled;
+        let runtime = self.runtime.clone();
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("xqr-eval".into())
+                .stack_size(EVAL_STACK_BYTES)
+                .spawn_scoped(scope, move || -> Result<QueryResult> {
+                    let ev = Evaluator::new(&compiled.module, ctx).with_options(runtime);
+                    let mut st = ExecState::new(store.clone(), compiled.module.var_count);
+                    let items = ev.eval_module(&mut st)?;
+                    Ok(QueryResult { items, store, counters: ev.counters })
+                })
+                .expect("spawn eval thread")
+                .join()
+                .expect("eval thread panicked")
+        })
+    }
+
+    /// Execute in token-streaming mode directly over XML text, invoking
+    /// `on_match` for each serialized result subtree as soon as its end
+    /// tag is parsed. Errors if the query is not streamable.
+    pub fn execute_streaming<F: FnMut(&str)>(
+        &self,
+        engine: &Engine,
+        xml: &str,
+        mut on_match: F,
+    ) -> Result<StreamStats> {
+        let pattern = self.streamable.clone().ok_or_else(|| {
+            xqr_xdm::Error::new(
+                xqr_xdm::ErrorCode::Internal,
+                "query is not streamable; use execute()",
+            )
+        })?;
+        let it = ParserTokenIterator::new(xml, engine.names().clone());
+        let mut matcher = StreamMatcher::new(it, pattern);
+        while let Some(m) = matcher.next_match()? {
+            on_match(&m);
+        }
+        Ok(matcher.stats)
+    }
+}
+
+/// The materialized result of one execution.
+pub struct QueryResult {
+    pub items: Sequence,
+    pub store: Arc<Store>,
+    pub counters: Counters,
+}
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Serialize per the sequence serialization rules.
+    pub fn serialize(&self) -> String {
+        serialize_sequence(&self.items, &self.store)
+    }
+
+    /// The string values of the items.
+    pub fn string_values(&self) -> Vec<String> {
+        self.items.iter().map(|i| i.string_value(&self.store)).collect()
+    }
+
+    /// Serialize with pretty-printed (indented) node items.
+    pub fn serialize_pretty(&self) -> Result<String> {
+        let opts = xqr_xmlparse::WriterOptions { indent: Some("  ".into()), declaration: false };
+        let mut out = String::new();
+        let mut prev_atomic = false;
+        for item in &self.items {
+            match item {
+                Item::Atomic(_) => {
+                    if prev_atomic {
+                        out.push(' ');
+                    }
+                    out.push_str(&item.string_value(&self.store));
+                    prev_atomic = true;
+                }
+                Item::Node(n) => {
+                    if !out.is_empty() {
+                        out.push('\n');
+                    }
+                    let doc = self.store.doc_of(*n);
+                    out.push_str(&doc.serialize_node_opts(n.node, opts.clone())?);
+                    prev_atomic = false;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Build a dynamic context bound to a document loaded in an engine.
+pub fn context_with_doc(engine: &Engine, uri: &str, xml: &str) -> Result<DynamicContext> {
+    let id = engine.load_document(uri, xml)?;
+    let mut ctx = DynamicContext::new();
+    ctx.context_item = Some(Item::Node(NodeRef::new(id, xqr_store::NodeId(0))));
+    ctx.add_document(uri, xml);
+    Ok(ctx)
+}
+
+/// Bind a variable by local name (test convenience).
+pub fn bind(ctx: &mut DynamicContext, name: &str, value: Sequence) {
+    ctx.bind_variable(QName::local(name), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_queries() {
+        let engine = Engine::new();
+        assert_eq!(engine.query("1 + 1").unwrap(), "2");
+        assert_eq!(
+            engine.query_xml("<a><b>x</b></a>", "string(/a/b)").unwrap(),
+            "x"
+        );
+    }
+
+    #[test]
+    fn prepared_queries_are_reusable() {
+        let engine = Engine::new();
+        let q = engine.compile("declare variable $n external; $n * 2").unwrap();
+        for i in 1..5 {
+            let mut ctx = DynamicContext::new();
+            bind(&mut ctx, "n", vec![Item::integer(i)]);
+            assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), (i * 2).to_string());
+        }
+    }
+
+    #[test]
+    fn doc_function_through_engine() {
+        let engine = Engine::new();
+        engine.load_document("bib.xml", "<bib><b/><b/></bib>").unwrap();
+        assert_eq!(engine.query(r#"count(doc("bib.xml")//b)"#).unwrap(), "2");
+    }
+
+    #[test]
+    fn streamable_detection_and_streaming_run() {
+        let engine = Engine::new();
+        let q = engine.compile("/list/item").unwrap();
+        assert!(q.is_streamable());
+        let mut hits = Vec::new();
+        let stats = q
+            .execute_streaming(&engine, "<list><item>1</item><x><item>no</item></x><item>2</item></list>", |m| {
+                hits.push(m.to_string())
+            })
+            .unwrap();
+        assert_eq!(hits, vec!["<item>1</item>", "<item>2</item>"]);
+        assert_eq!(stats.matches, 2);
+        let q2 = engine.compile("1 + 1").unwrap();
+        assert!(!q2.is_streamable());
+        assert!(q2.execute_streaming(&engine, "<a/>", |_| {}).is_err());
+    }
+
+    #[test]
+    fn streaming_and_materialized_agree() {
+        let engine = Engine::new();
+        let xml = "<r><a><b>1</b></a><b>2</b><c><b>3</b></c></r>";
+        let q = engine.compile("//b").unwrap();
+        let mut streamed = Vec::new();
+        q.execute_streaming(&engine, xml, |m| streamed.push(m.to_string())).unwrap();
+        let out = engine.query_xml(xml, "//b").unwrap();
+        assert_eq!(streamed.join(""), out);
+    }
+
+    #[test]
+    fn deep_recursion_allowed_on_engine_thread() {
+        let engine = Engine::new();
+        let out = engine
+            .query(
+                "declare function local:sum($n as xs:integer) as xs:integer {
+                   if ($n le 0) then 0 else $n + local:sum($n - 1)
+                 };
+                 local:sum(2000)",
+            )
+            .unwrap();
+        assert_eq!(out, "2001000");
+    }
+
+    #[test]
+    fn explain_is_exposed() {
+        let engine = Engine::new();
+        let q = engine.compile("//a[3]").unwrap();
+        let text = q.explain();
+        assert!(text.contains("streamable: false"), "{text}");
+        assert!(text.contains("skip-enabled"), "{text}");
+    }
+
+    #[test]
+    fn counters_surface() {
+        let engine = Engine::new();
+        let q = engine.compile("<a>{1}</a>").unwrap();
+        let r = q.execute(&engine, &DynamicContext::new()).unwrap();
+        assert_eq!(r.counters.nodes_constructed.get(), 1);
+        assert!(!q.needs_node_ids());
+    }
+}

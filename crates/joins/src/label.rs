@@ -1,0 +1,81 @@
+//! Containment labels as consumed by the join algorithms.
+//!
+//! The store assigns every node `(start, end, level)` (start = preorder
+//! index); here we extract, per element name, the **sorted-by-start
+//! inverted list** of labeled nodes that all structural join algorithms
+//! take as input ("Structural Joins: A Primitive for Efficient XML Query
+//! Pattern Matching", on the talk's reading list).
+
+use xqr_store::{Document, NodeId};
+use xqr_xdm::NameId;
+
+/// A node with its containment label, detached from the store so join
+/// kernels are pure functions over slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Labeled {
+    pub node: NodeId,
+    pub start: u32,
+    pub end: u32,
+    pub level: u16,
+}
+
+impl Labeled {
+    /// Is `self` a (proper) ancestor of `d`?
+    #[inline]
+    pub fn contains(&self, d: &Labeled) -> bool {
+        self.start < d.start && d.start <= self.end
+    }
+
+    /// Is `self` the parent of `d`?
+    #[inline]
+    pub fn is_parent_of(&self, d: &Labeled) -> bool {
+        self.contains(d) && self.level + 1 == d.level
+    }
+}
+
+/// The inverted list for one element name, sorted by `start`.
+pub fn element_list(doc: &Document, name: NameId) -> Vec<Labeled> {
+    doc.elements_named(name)
+        .iter()
+        .map(|&i| {
+            let n = NodeId(i);
+            Labeled { node: n, start: doc.start(n), end: doc.end(n), level: doc.level(n) }
+        })
+        .collect()
+}
+
+/// Inverted list for every element (used for `*` tests).
+pub fn all_elements_list(doc: &Document) -> Vec<Labeled> {
+    doc.all_elements()
+        .map(|n| Labeled { node: n, start: doc.start(n), end: doc.end(n), level: doc.level(n) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xqr_xdm::{NamePool, QName};
+
+    #[test]
+    fn lists_are_sorted_and_labeled() {
+        let names = Arc::new(NamePool::new());
+        let d = Document::parse("<a><b/><a><b/></a></a>", names.clone()).unwrap();
+        let a = names.get(&QName::local("a")).unwrap();
+        let b = names.get(&QName::local("b")).unwrap();
+        let alist = element_list(&d, a);
+        let blist = element_list(&d, b);
+        assert_eq!(alist.len(), 2);
+        assert_eq!(blist.len(), 2);
+        assert!(alist.windows(2).all(|w| w[0].start < w[1].start));
+        // outer a contains both b's, inner a contains only the second
+        assert!(alist[0].contains(&blist[0]));
+        assert!(alist[0].contains(&blist[1]));
+        assert!(!alist[1].contains(&blist[0]));
+        assert!(alist[1].contains(&blist[1]));
+        // parenthood needs the level check
+        assert!(alist[0].is_parent_of(&blist[0]));
+        assert!(!alist[0].is_parent_of(&blist[1]));
+        assert!(alist[1].is_parent_of(&blist[1]));
+    }
+}

@@ -1,0 +1,43 @@
+//! # xqr-joins — structural and holistic twig joins
+//!
+//! The algorithmic core the talk's "query evaluation, algorithms"
+//! reading list surveys, implemented over the store's containment labels:
+//!
+//! * [`stacktree`] — Stack-Tree-Desc/-Anc binary structural joins,
+//!   MPMGJN merge join, nested-loop oracle (Al-Khalifa et al.);
+//! * [`pathstack`]/[`twigstack`] — holistic path/twig joins with
+//!   bounded intermediate results (Bruno et al.);
+//! * [`navigate`] — the navigational baseline and correctness oracle;
+//! * [`twig`] — the twig pattern language shared by all of them.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xqr_joins::{element_list, stack_tree_desc, JoinKind};
+//! use xqr_store::Document;
+//! use xqr_xdm::{NamePool, QName};
+//!
+//! let names = Arc::new(NamePool::new());
+//! let doc = Document::parse("<a><b/><a><b/></a></a>", names.clone()).unwrap();
+//! let a = names.intern(&QName::local("a"));
+//! let b = names.intern(&QName::local("b"));
+//! let pairs = stack_tree_desc(
+//!     &element_list(&doc, a),
+//!     &element_list(&doc, b),
+//!     JoinKind::AncestorDescendant,
+//! );
+//! assert_eq!(pairs.len(), 3); // outer a→2 b's, inner a→1
+//! ```
+
+pub mod label;
+pub mod navigate;
+pub mod pathstack;
+pub mod stacktree;
+pub mod twig;
+pub mod twigstack;
+
+pub use label::{all_elements_list, element_list, Labeled};
+pub use navigate::{count_matches, enumerate_matches, matches_of_node};
+pub use pathstack::path_stack;
+pub use stacktree::{mpmgjn, nested_loop, normalize, stack_tree_anc, stack_tree_desc, JoinKind, Pair};
+pub use twig::{EdgeKind, TwigNode, TwigPattern};
+pub use twigstack::{twig_stack, TwigStats};

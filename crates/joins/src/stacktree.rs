@@ -1,0 +1,268 @@
+//! Binary structural joins over containment-labeled lists.
+//!
+//! Implements the Stack-Tree family from Al-Khalifa et al. ("Structural
+//! Joins: A Primitive for Efficient XML Query Pattern Matching"), plus
+//! the naive nested-loop baseline and an MPMGJN-style merge join with
+//! backtracking (Zhang et al.), which the Stack-Tree paper uses as its
+//! comparison point. Experiment E5 races these against navigation.
+
+use crate::label::Labeled;
+
+/// A matched (ancestor, descendant) pair.
+pub type Pair = (Labeled, Labeled);
+
+/// Join condition: ancestor-descendant (`//`) or parent-child (`/`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    AncestorDescendant,
+    ParentChild,
+}
+
+impl JoinKind {
+    #[inline]
+    fn matches(self, a: &Labeled, d: &Labeled) -> bool {
+        match self {
+            JoinKind::AncestorDescendant => a.contains(d),
+            JoinKind::ParentChild => a.is_parent_of(d),
+        }
+    }
+}
+
+/// Stack-Tree-Desc: output sorted by descendant. Both inputs must be
+/// sorted by `start`. Runs in O(|A| + |D| + |output|).
+pub fn stack_tree_desc(alist: &[Labeled], dlist: &[Labeled], kind: JoinKind) -> Vec<Pair> {
+    let mut out = Vec::new();
+    let mut stack: Vec<Labeled> = Vec::new();
+    let mut a = 0usize;
+    let mut d = 0usize;
+    while d < dlist.len() && (a < alist.len() || !stack.is_empty()) {
+        if a < alist.len() && alist[a].start < dlist[d].start {
+            // Next event is an ancestor-candidate start.
+            while let Some(top) = stack.last() {
+                if top.end < alist[a].start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push(alist[a]);
+            a += 1;
+        } else {
+            while let Some(top) = stack.last() {
+                if top.end < dlist[d].start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // Every remaining stack entry contains dlist[d].
+            for anc in &stack {
+                if kind.matches(anc, &dlist[d]) {
+                    out.push((*anc, dlist[d]));
+                }
+            }
+            d += 1;
+        }
+    }
+    out
+}
+
+/// Stack-Tree-Anc: output sorted by ancestor. Same inputs/complexity;
+/// buffers per-stack-entry "inherit lists" so results can be emitted in
+/// ancestor order when an entry pops.
+pub fn stack_tree_anc(alist: &[Labeled], dlist: &[Labeled], kind: JoinKind) -> Vec<Pair> {
+    struct Entry {
+        anc: Labeled,
+        /// Matches for this ancestor, plus matches inherited from popped
+        /// descendants-in-stack below it.
+        self_list: Vec<Pair>,
+        inherit: Vec<Pair>,
+    }
+    let mut out = Vec::new();
+    let mut stack: Vec<Entry> = Vec::new();
+    let mut a = 0usize;
+    let mut d = 0usize;
+
+    fn pop(stack: &mut Vec<Entry>, out: &mut Vec<Pair>) {
+        let e = stack.pop().expect("pop on non-empty stack");
+        // Ancestor order: this entry's own pairs (smallest ancestor
+        // start) precede pairs inherited from its popped descendants.
+        let mut merged = e.self_list;
+        merged.extend(e.inherit);
+        if let Some(parent) = stack.last_mut() {
+            parent.inherit.extend(merged);
+        } else {
+            out.extend(merged);
+        }
+    }
+
+    while d < dlist.len() && (a < alist.len() || !stack.is_empty()) {
+        if a < alist.len() && alist[a].start < dlist[d].start {
+            while let Some(top) = stack.last() {
+                if top.anc.end < alist[a].start {
+                    pop(&mut stack, &mut out);
+                } else {
+                    break;
+                }
+            }
+            stack.push(Entry { anc: alist[a], self_list: Vec::new(), inherit: Vec::new() });
+            a += 1;
+        } else {
+            while let Some(top) = stack.last() {
+                if top.anc.end < dlist[d].start {
+                    pop(&mut stack, &mut out);
+                } else {
+                    break;
+                }
+            }
+            for e in stack.iter_mut() {
+                if kind.matches(&e.anc, &dlist[d]) {
+                    e.self_list.push((e.anc, dlist[d]));
+                }
+            }
+            d += 1;
+        }
+    }
+    while !stack.is_empty() {
+        pop(&mut stack, &mut out);
+    }
+    out
+}
+
+/// MPMGJN-style merge join: like a sort-merge join on the interval
+/// predicate, but must *backtrack* the descendant cursor for each new
+/// ancestor (nested ancestors re-scan descendants), so it degrades on
+/// deeply recursive data — exactly the weakness Stack-Tree fixes.
+pub fn mpmgjn(alist: &[Labeled], dlist: &[Labeled], kind: JoinKind) -> Vec<Pair> {
+    let mut out = Vec::new();
+    let mut d_base = 0usize;
+    for a in alist {
+        // Advance the base past descendants that end before this ancestor
+        // starts (they can never match later ancestors either).
+        while d_base < dlist.len() && dlist[d_base].start < a.start {
+            d_base += 1;
+        }
+        let mut d = d_base;
+        while d < dlist.len() && dlist[d].start <= a.end {
+            if kind.matches(a, &dlist[d]) {
+                out.push((*a, dlist[d]));
+            }
+            d += 1;
+        }
+    }
+    out
+}
+
+/// O(|A|·|D|) nested-loop baseline — the correctness oracle.
+pub fn nested_loop(alist: &[Labeled], dlist: &[Labeled], kind: JoinKind) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for a in alist {
+        for d in dlist {
+            if kind.matches(a, d) {
+                out.push((*a, *d));
+            }
+        }
+    }
+    out
+}
+
+/// Sort pairs (descendant-major) for comparisons between algorithms.
+pub fn normalize(mut pairs: Vec<Pair>) -> Vec<Pair> {
+    pairs.sort_by_key(|(a, d)| (d.start, a.start));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::element_list;
+    use std::sync::Arc;
+    use xqr_store::Document;
+    use xqr_xdm::{NamePool, QName};
+
+    fn lists(xml: &str, anc: &str, desc: &str) -> (Vec<Labeled>, Vec<Labeled>) {
+        let names = Arc::new(NamePool::new());
+        let d = Document::parse(xml, names.clone()).unwrap();
+        let a = names.intern(&QName::local(anc));
+        let b = names.intern(&QName::local(desc));
+        (element_list(&d, a), element_list(&d, b))
+    }
+
+    const NESTED: &str = "<a><b/><a><b/><a><b/></a></a><c><b/></c></a>";
+
+    #[test]
+    fn stack_tree_desc_matches_oracle() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        let got = normalize(stack_tree_desc(&al, &dl, JoinKind::AncestorDescendant));
+        let want = normalize(nested_loop(&al, &dl, JoinKind::AncestorDescendant));
+        assert_eq!(got, want);
+        // 3 a's, 4 b's: outer a contains all 4, middle contains 2, inner 1 → 7? Check oracle count.
+        assert_eq!(got.len(), want.len());
+        assert!(got.len() >= 6);
+    }
+
+    #[test]
+    fn stack_tree_anc_matches_oracle() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        let got = normalize(stack_tree_anc(&al, &dl, JoinKind::AncestorDescendant));
+        let want = normalize(nested_loop(&al, &dl, JoinKind::AncestorDescendant));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn anc_variant_emits_in_ancestor_order() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        let got = stack_tree_anc(&al, &dl, JoinKind::AncestorDescendant);
+        let ancs: Vec<u32> = got.iter().map(|(a, _)| a.start).collect();
+        let mut sorted = ancs.clone();
+        sorted.sort();
+        assert_eq!(ancs, sorted);
+    }
+
+    #[test]
+    fn desc_variant_emits_in_descendant_order() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        let got = stack_tree_desc(&al, &dl, JoinKind::AncestorDescendant);
+        let descs: Vec<u32> = got.iter().map(|(_, d)| d.start).collect();
+        let mut sorted = descs.clone();
+        sorted.sort();
+        assert_eq!(descs, sorted);
+    }
+
+    #[test]
+    fn parent_child_filters_levels() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        let pc = normalize(stack_tree_desc(&al, &dl, JoinKind::ParentChild));
+        let want = normalize(nested_loop(&al, &dl, JoinKind::ParentChild));
+        assert_eq!(pc, want);
+        let ad = stack_tree_desc(&al, &dl, JoinKind::AncestorDescendant);
+        assert!(pc.len() < ad.len());
+    }
+
+    #[test]
+    fn mpmgjn_matches_oracle() {
+        let (al, dl) = lists(NESTED, "a", "b");
+        for kind in [JoinKind::AncestorDescendant, JoinKind::ParentChild] {
+            let got = normalize(mpmgjn(&al, &dl, kind));
+            let want = normalize(nested_loop(&al, &dl, kind));
+            assert_eq!(got, want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (al, dl) = lists("<a><b/></a>", "a", "zzz");
+        assert!(stack_tree_desc(&al, &dl, JoinKind::AncestorDescendant).is_empty());
+        let (al2, dl2) = lists("<a><b/></a>", "zzz", "b");
+        assert!(stack_tree_desc(&al2, &dl2, JoinKind::AncestorDescendant).is_empty());
+        let _ = (al, dl, al2, dl2);
+    }
+
+    #[test]
+    fn disjoint_siblings_do_not_match() {
+        let (al, dl) = lists("<r><a/><b/><a/><b/></r>", "a", "b");
+        assert!(stack_tree_desc(&al, &dl, JoinKind::AncestorDescendant).is_empty());
+        assert!(stack_tree_anc(&al, &dl, JoinKind::AncestorDescendant).is_empty());
+        assert!(mpmgjn(&al, &dl, JoinKind::AncestorDescendant).is_empty());
+    }
+}

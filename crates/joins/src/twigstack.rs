@@ -1,0 +1,358 @@
+//! TwigStack (Bruno, Koudas, Srivastava) — holistic evaluation of a
+//! *branching* twig pattern. `getNext` only lets an element onto its
+//! stack when it is guaranteed to participate in a root-to-leaf path
+//! solution (exact for descendant-only twigs), so the intermediate
+//! result — the set of path solutions — stays proportional to the
+//! output, unlike a plan of binary structural joins. Experiment E6
+//! measures precisely that gap.
+
+use crate::label::Labeled;
+use crate::pathstack;
+use crate::twig::{EdgeKind, TwigPattern};
+use std::collections::HashMap;
+use xqr_store::NodeId;
+
+/// Instrumentation for the optimality claims.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwigStats {
+    /// Path solutions emitted before the merge phase.
+    pub path_solutions: usize,
+    /// Full twig matches after merging.
+    pub merged: usize,
+    /// Elements pushed onto stacks (work measure).
+    pub pushes: usize,
+}
+
+struct State<'a> {
+    twig: &'a TwigPattern,
+    lists: &'a [Vec<Labeled>],
+    cursors: Vec<usize>,
+    stacks: Vec<Vec<(Labeled, usize)>>,
+    /// Path solutions per leaf twig node: tuples along `path_to(leaf)`.
+    solutions: Vec<Vec<Vec<NodeId>>>,
+    /// Leaf node indices (computed once).
+    leaves: Vec<usize>,
+    /// Precomputed root-to-node paths per twig node.
+    paths: Vec<Vec<usize>>,
+    stats: TwigStats,
+}
+
+impl<'a> State<'a> {
+    fn next_start(&self, q: usize) -> u32 {
+        self.lists[q].get(self.cursors[q]).map(|e| e.start).unwrap_or(u32::MAX)
+    }
+
+    fn next_end(&self, q: usize) -> u32 {
+        self.lists[q].get(self.cursors[q]).map(|e| e.end).unwrap_or(u32::MAX)
+    }
+
+    fn exhausted(&self, q: usize) -> bool {
+        self.cursors[q] >= self.lists[q].len()
+    }
+
+    /// All leaf streams exhausted → no further solutions possible.
+    fn ended(&self) -> bool {
+        self.leaves.iter().all(|&l| self.exhausted(l))
+    }
+
+    fn get_next(&mut self, q: usize) -> usize {
+        let n_children = self.twig.nodes[q].children.len();
+        if n_children == 0 {
+            return q;
+        }
+        let mut qmin = self.twig.nodes[q].children[0];
+        let mut qmax = qmin;
+        for i in 0..n_children {
+            let qi = self.twig.nodes[q].children[i];
+            let ni = self.get_next(qi);
+            if ni != qi {
+                return ni;
+            }
+            if self.next_start(qi) < self.next_start(qmin) {
+                qmin = qi;
+            }
+            if self.next_start(qi) > self.next_start(qmax) {
+                qmax = qi;
+            }
+        }
+        // Advance q past elements that cannot contain qmax's head.
+        while self.next_end(q) < self.next_start(qmax) {
+            self.cursors[q] += 1;
+        }
+        if self.next_start(q) < self.next_start(qmin) {
+            q
+        } else {
+            qmin
+        }
+    }
+
+    fn clean_stack(&mut self, q: usize, next_start: u32) {
+        while let Some((top, _)) = self.stacks[q].last() {
+            if top.end < next_start {
+                self.stacks[q].pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Emit the path solutions for a just-pushed leaf entry, walking the
+    /// saved parent pointers like PathStack.
+    fn emit_leaf(&mut self, leaf: usize) {
+        let path = std::mem::take(&mut self.paths[leaf]);
+        let leaf_slot = path.len() - 1;
+        let mut partial: Vec<Option<NodeId>> = vec![None; path.len()];
+        let entry_idx = self.stacks[leaf].len() - 1;
+        let mut found: Vec<Vec<NodeId>> = Vec::new();
+        self.expand(&path, leaf_slot, entry_idx, &mut partial, &mut found);
+        self.paths[leaf] = path;
+        let leaf_pos = self.leaves.iter().position(|&l| l == leaf).expect("leaf");
+        self.stats.path_solutions += found.len();
+        self.solutions[leaf_pos].extend(found);
+    }
+
+    fn expand(
+        &self,
+        path: &[usize],
+        slot: usize,
+        entry_idx: usize,
+        partial: &mut Vec<Option<NodeId>>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        let q = path[slot];
+        let (elem, parent_top) = self.stacks[q][entry_idx];
+        partial[slot] = Some(elem.node);
+        if slot == 0 {
+            out.push(partial.iter().map(|n| n.expect("full path")).collect());
+        } else {
+            let pq = path[slot - 1];
+            let edge = self.twig.nodes[q].edge;
+            for pi in 0..parent_top.min(self.stacks[pq].len()) {
+                let (pelem, _) = self.stacks[pq][pi];
+                let ok = match edge {
+                    EdgeKind::Descendant => pelem.contains(&elem),
+                    EdgeKind::Child => pelem.is_parent_of(&elem),
+                };
+                if ok {
+                    self.expand(path, slot - 1, pi, partial, out);
+                }
+            }
+        }
+        partial[slot] = None;
+    }
+}
+
+/// Run TwigStack over per-twig-node sorted element lists. Returns full
+/// match tuples (indexed by twig node) and the instrumentation.
+pub fn twig_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> (Vec<Vec<NodeId>>, TwigStats) {
+    assert_eq!(lists.len(), twig.len());
+    // Fast path: PathStack already handles linear patterns.
+    if twig.is_path() {
+        let sols = pathstack::path_stack(twig, lists);
+        let stats = TwigStats {
+            path_solutions: sols.len(),
+            merged: sols.len(),
+            pushes: 0,
+        };
+        return (sols, stats);
+    }
+    let leaves = twig.leaves();
+    let paths: Vec<Vec<usize>> = (0..twig.len()).map(|i| twig.path_to(i)).collect();
+    let mut st = State {
+        twig,
+        lists,
+        cursors: vec![0; twig.len()],
+        stacks: vec![Vec::new(); twig.len()],
+        solutions: vec![Vec::new(); leaves.len()],
+        leaves: leaves.clone(),
+        paths,
+        stats: TwigStats::default(),
+    };
+
+    while !st.ended() {
+        let q = st.get_next(0);
+        if st.exhausted(q) {
+            break;
+        }
+        let next = st.lists[q][st.cursors[q]];
+        let parent = st.twig.nodes[q].parent;
+        if let Some(p) = parent {
+            st.clean_stack(p, next.start);
+        }
+        if parent.is_none_or(|p| !st.stacks[p].is_empty()) {
+            st.clean_stack(q, next.start);
+            let parent_top = parent.map(|p| st.stacks[p].len()).unwrap_or(0);
+            st.stacks[q].push((next, parent_top));
+            st.stats.pushes += 1;
+            st.cursors[q] += 1;
+            if st.twig.nodes[q].children.is_empty() {
+                st.emit_leaf(q);
+                st.stacks[q].pop();
+            }
+        } else {
+            st.cursors[q] += 1;
+        }
+    }
+
+    let merged = merge_path_solutions(twig, &leaves, &st.solutions);
+    st.stats.merged = merged.len();
+    (merged, st.stats)
+}
+
+/// Merge per-leaf path solutions into full twig matches: tuples must
+/// agree on every shared (branching) twig node. Hash-joins each leaf's
+/// solutions against the accumulated partials on the shared twig
+/// indices, so the merge is linear in inputs + output.
+fn merge_path_solutions(
+    twig: &TwigPattern,
+    leaves: &[usize],
+    solutions: &[Vec<Vec<NodeId>>],
+) -> Vec<Vec<NodeId>> {
+    // Partials are twig-indexed assignments (None = unbound yet).
+    let mut partials: Vec<Vec<Option<NodeId>>> = vec![vec![None; twig.len()]];
+    let mut bound: Vec<bool> = vec![false; twig.len()];
+    for (li, &leaf) in leaves.iter().enumerate() {
+        let path = twig.path_to(leaf);
+        // Twig indices this path shares with what is already bound.
+        let shared: Vec<usize> = path.iter().copied().filter(|&t| bound[t]).collect();
+        // Index the new solutions by their values at the shared indices.
+        let mut by_key: HashMap<Vec<NodeId>, Vec<&Vec<NodeId>>> = HashMap::new();
+        for sol in &solutions[li] {
+            let key: Vec<NodeId> = shared
+                .iter()
+                .map(|&t| {
+                    let slot = path.iter().position(|&p| p == t).expect("shared on path");
+                    sol[slot]
+                })
+                .collect();
+            by_key.entry(key).or_default().push(sol);
+        }
+        let mut next: Vec<Vec<Option<NodeId>>> = Vec::new();
+        for partial in &partials {
+            let key: Vec<NodeId> =
+                shared.iter().map(|&t| partial[t].expect("bound index")).collect();
+            if let Some(sols) = by_key.get(&key) {
+                for sol in sols {
+                    let mut merged = partial.clone();
+                    for (slot, &t) in path.iter().enumerate() {
+                        merged[t] = Some(sol[slot]);
+                    }
+                    next.push(merged);
+                }
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return Vec::new();
+        }
+        for &t in &path {
+            bound[t] = true;
+        }
+    }
+    let mut out: Vec<Vec<NodeId>> = partials
+        .into_iter()
+        .map(|m| m.into_iter().map(|n| n.expect("all twig nodes bound")).collect())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::element_list;
+    use crate::navigate::enumerate_matches;
+    use std::sync::Arc;
+    use xqr_store::Document;
+    use xqr_xdm::NamePool;
+
+    fn run(xml: &str, pattern: &str) -> (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>, TwigStats) {
+        let names = Arc::new(NamePool::new());
+        let d = Document::parse(xml, names.clone()).unwrap();
+        let t = TwigPattern::parse(pattern, &names).unwrap();
+        let lists: Vec<_> = t.nodes.iter().map(|n| element_list(&d, n.name)).collect();
+        let (got, stats) = twig_stack(&t, &lists);
+        let mut want = enumerate_matches(&d, &t);
+        want.sort();
+        want.dedup();
+        (got, want, stats)
+    }
+
+    #[test]
+    fn branching_twig_matches_oracle() {
+        let xml = "<bib><book><author/><title/></book><book><title/></book></bib>";
+        let (got, want, stats) = run(xml, "//book[author]/title");
+        assert_eq!(got, want);
+        assert_eq!(stats.merged, 1);
+    }
+
+    #[test]
+    fn multiple_solutions() {
+        let xml = "<bib><book><author/><author/><title/><title/></book></bib>";
+        let (got, want, _) = run(xml, "//book[author]/title");
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn descendant_edges_recursive_data() {
+        let xml = "<a><b/><a><c/><b/><a><b/><c/></a></a></a>";
+        let (got, want, _) = run(xml, "//a[//b]//c");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn three_way_branch() {
+        let xml = "<r><p><x/><y/><z/></p><p><x/><z/></p></r>";
+        let (got, want, _) = run(xml, "//p[x][y]/z");
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn no_solution_when_branch_missing() {
+        let xml = "<r><p><x/></p></r>";
+        let (got, want, _) = run(xml, "//p[x][y]/z");
+        assert_eq!(got, want);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn linear_pattern_delegates_to_pathstack() {
+        let (got, want, _) = run("<a><b><c/></b></a>", "//a/b/c");
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn path_solution_count_bounded_for_descendant_twigs() {
+        // For descendant-only twigs TwigStack's path solutions are all
+        // mergeable: path_solutions ≈ useful work.
+        let mut xml = String::from("<r>");
+        for _ in 0..20 {
+            xml.push_str("<p><x/><y/></p>");
+        }
+        xml.push_str("</r>");
+        let (got, want, stats) = run(&xml, "//p[//x]//y");
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 20);
+        // 2 path solutions per match (one per leaf), all useful.
+        assert_eq!(stats.path_solutions, 40);
+    }
+
+    #[test]
+    fn deep_recursion_stress() {
+        let mut xml = String::new();
+        for _ in 0..30 {
+            xml.push_str("<a><b/>");
+        }
+        xml.push_str("<c/>");
+        for _ in 0..30 {
+            xml.push_str("</a>");
+        }
+        let (got, want, _) = run(&xml, "//a[b]//c");
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 30);
+    }
+}

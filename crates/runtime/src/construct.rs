@@ -1,0 +1,371 @@
+//! Node construction — the side-effecting operation of XQuery.
+//!
+//! Every constructor evaluation creates a fresh document in the store,
+//! giving constructed nodes new identities; enclosed node items are
+//! deep-copied ("XML does not allow cut and paste", as the talk's LET-
+//! folding slide puts it). Content assembly follows the spec: attribute
+//! items must precede everything else, adjacent atomic values join with
+//! a single space into one text node.
+
+use crate::value::Item;
+use std::sync::Arc;
+use xqr_store::{Document, DocumentBuilder, NodeId, NodeRef, Store};
+use xqr_xdm::{Error, ErrorCode, NodeKind, QName, Result};
+
+/// Build a new element; returns the element node.
+pub fn build_element(
+    store: &Arc<Store>,
+    name: &QName,
+    namespaces: &[(Option<String>, String)],
+    content: &[Item],
+) -> Result<NodeRef> {
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    write_element(&mut b, store, name, namespaces, content)?;
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(1)))
+}
+
+/// Build a standalone attribute node.
+pub fn build_attribute(store: &Arc<Store>, name: &QName, value: &str) -> Result<NodeRef> {
+    if name.local_name() == "xmlns" {
+        return Err(Error::new(
+            ErrorCode::InvalidConstructor,
+            "cannot construct an attribute named xmlns",
+        ));
+    }
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    b.attribute(name, value);
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(1)))
+}
+
+/// Build a text node. Empty content yields `None` (the constructor's
+/// result is the empty sequence).
+pub fn build_text(store: &Arc<Store>, content: &str) -> Result<NodeRef> {
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    b.text(content);
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(1)))
+}
+
+pub fn build_comment(store: &Arc<Store>, content: &str) -> Result<NodeRef> {
+    if content.contains("--") || content.ends_with('-') {
+        return Err(Error::new(
+            ErrorCode::InvalidConstructor,
+            "comment content must not contain '--' or end with '-'",
+        ));
+    }
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    b.comment(content);
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(1)))
+}
+
+pub fn build_pi(store: &Arc<Store>, target: &str, content: &str) -> Result<NodeRef> {
+    if target.eq_ignore_ascii_case("xml") {
+        return Err(Error::new(ErrorCode::InvalidConstructor, "PI target 'xml' is reserved"));
+    }
+    if content.contains("?>") {
+        return Err(Error::new(ErrorCode::InvalidConstructor, "PI content must not contain '?>'"));
+    }
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    b.pi(target, content);
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(1)))
+}
+
+/// Build a document node from content items.
+pub fn build_document(store: &Arc<Store>, content: &[Item]) -> Result<NodeRef> {
+    let mut b = DocumentBuilder::new(store.names().clone());
+    b.start_document();
+    write_content(&mut b, store, content, /*allow_attributes=*/ false)?;
+    b.end();
+    let doc = b.finish()?;
+    let id = store.add_document(doc);
+    Ok(NodeRef::new(id, NodeId(0)))
+}
+
+fn write_element(
+    b: &mut DocumentBuilder,
+    store: &Arc<Store>,
+    name: &QName,
+    namespaces: &[(Option<String>, String)],
+    content: &[Item],
+) -> Result<()> {
+    b.start_element(name);
+    for (prefix, uri) in namespaces {
+        b.namespace(prefix.as_deref().unwrap_or(""), uri);
+    }
+    // Attribute phase.
+    let mut idx = 0;
+    let mut seen: Vec<QName> = Vec::new();
+    while idx < content.len() {
+        match &content[idx] {
+            Item::Node(n) if node_kind(store, *n) == NodeKind::Attribute => {
+                let doc = store.doc_of(*n);
+                let aname = doc.name(n.node).expect("attributes are named");
+                if seen.contains(&aname) {
+                    return Err(Error::new(
+                        ErrorCode::DuplicateAttribute,
+                        format!("duplicate attribute {aname}"),
+                    ));
+                }
+                b.attribute(&aname, doc.value(n.node).unwrap_or(""));
+                seen.push(aname);
+                idx += 1;
+            }
+            _ => break,
+        }
+    }
+    // Child phase: no attributes allowed from here on.
+    write_content_from(b, store, &content[idx..], false)?;
+    b.end();
+    Ok(())
+}
+
+fn write_content(
+    b: &mut DocumentBuilder,
+    store: &Arc<Store>,
+    content: &[Item],
+    allow_attributes: bool,
+) -> Result<()> {
+    write_content_from(b, store, content, allow_attributes)
+}
+
+fn write_content_from(
+    b: &mut DocumentBuilder,
+    store: &Arc<Store>,
+    content: &[Item],
+    allow_attributes: bool,
+) -> Result<()> {
+    let mut atom_run: Option<String> = None;
+    for item in content {
+        match item {
+            Item::Atomic(v) => {
+                let s = v.string_value();
+                match atom_run.as_mut() {
+                    Some(run) => {
+                        run.push(' ');
+                        run.push_str(&s);
+                    }
+                    None => atom_run = Some(s),
+                }
+            }
+            Item::Node(n) => {
+                if let Some(run) = atom_run.take() {
+                    if !run.is_empty() {
+                        b.text(&run);
+                    }
+                }
+                if !allow_attributes && node_kind(store, *n) == NodeKind::Attribute {
+                    return Err(Error::new(
+                        ErrorCode::InvalidConstructor,
+                        "attribute node follows non-attribute content",
+                    ));
+                }
+                copy_node(b, store, *n)?;
+            }
+        }
+    }
+    if let Some(run) = atom_run {
+        if !run.is_empty() {
+            b.text(&run);
+        }
+    }
+    Ok(())
+}
+
+/// Deep-copy a node (and its subtree) into the builder.
+pub fn copy_node(b: &mut DocumentBuilder, store: &Arc<Store>, n: NodeRef) -> Result<()> {
+    let doc = store.doc_of(n);
+    copy_from_doc(b, &doc, n.node)
+}
+
+fn copy_from_doc(b: &mut DocumentBuilder, doc: &Document, n: NodeId) -> Result<()> {
+    match doc.kind(n) {
+        NodeKind::Document => {
+            let mut c = doc.first_child(n);
+            while let Some(ch) = c {
+                copy_from_doc(b, doc, ch)?;
+                c = doc.next_sibling(ch);
+            }
+        }
+        NodeKind::Element => {
+            let name = doc.name(n).expect("elements are named");
+            b.start_element(&name);
+            for ns in doc.namespaces(n) {
+                let prefix = doc.name(ns).map(|q| q.local_name().to_string()).unwrap_or_default();
+                b.namespace(&prefix, doc.value(ns).unwrap_or(""));
+            }
+            for a in doc.attributes(n) {
+                b.attribute(&doc.name(a).expect("attrs named"), doc.value(a).unwrap_or(""));
+            }
+            let mut c = doc.first_child(n);
+            while let Some(ch) = c {
+                copy_from_doc(b, doc, ch)?;
+                c = doc.next_sibling(ch);
+            }
+            b.end();
+        }
+        NodeKind::Text => b.text(doc.value(n).unwrap_or("")),
+        NodeKind::Comment => b.comment(doc.value(n).unwrap_or("")),
+        NodeKind::ProcessingInstruction => {
+            let target = doc.name(n).map(|q| q.local_name().to_string()).unwrap_or_default();
+            b.pi(&target, doc.value(n).unwrap_or(""));
+        }
+        NodeKind::Attribute => {
+            b.attribute(&doc.name(n).expect("attrs named"), doc.value(n).unwrap_or(""));
+        }
+        NodeKind::Namespace => {
+            let prefix = doc.name(n).map(|q| q.local_name().to_string()).unwrap_or_default();
+            b.namespace(&prefix, doc.value(n).unwrap_or(""));
+        }
+    }
+    Ok(())
+}
+
+fn node_kind(store: &Arc<Store>, n: NodeRef) -> NodeKind {
+    store.doc_of(n).kind(n.node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serialize(store: &Arc<Store>, n: NodeRef) -> String {
+        store.doc_of(n).serialize_node(n.node)
+    }
+
+    #[test]
+    fn element_with_text_content() {
+        let store = Store::new();
+        let el = build_element(
+            &store,
+            &QName::local("a"),
+            &[],
+            &[Item::integer(1), Item::integer(2)],
+        )
+        .unwrap();
+        assert_eq!(serialize(&store, el), "<a>1 2</a>");
+    }
+
+    #[test]
+    fn attributes_then_children() {
+        let store = Store::new();
+        let attr = build_attribute(&store, &QName::local("x"), "1").unwrap();
+        let child = build_element(&store, &QName::local("b"), &[], &[]).unwrap();
+        let el = build_element(
+            &store,
+            &QName::local("a"),
+            &[],
+            &[Item::Node(attr), Item::Node(child)],
+        )
+        .unwrap();
+        assert_eq!(serialize(&store, el), r#"<a x="1"><b/></a>"#);
+    }
+
+    #[test]
+    fn attribute_after_content_is_an_error() {
+        let store = Store::new();
+        let attr = build_attribute(&store, &QName::local("x"), "1").unwrap();
+        let e = build_element(
+            &store,
+            &QName::local("a"),
+            &[],
+            &[Item::string("text"), Item::Node(attr)],
+        )
+        .unwrap_err();
+        assert_eq!(e.code, ErrorCode::InvalidConstructor);
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let store = Store::new();
+        let a1 = build_attribute(&store, &QName::local("x"), "1").unwrap();
+        let a2 = build_attribute(&store, &QName::local("x"), "2").unwrap();
+        let e = build_element(&store, &QName::local("a"), &[], &[Item::Node(a1), Item::Node(a2)])
+            .unwrap_err();
+        assert_eq!(e.code, ErrorCode::DuplicateAttribute);
+    }
+
+    #[test]
+    fn copied_nodes_get_new_identity() {
+        let store = Store::new();
+        let d = store.load_xml("<src><b>x</b></src>", None).unwrap();
+        let doc = store.document(d);
+        let src = doc.first_child(doc.root()).unwrap();
+        let b_node = doc.first_child(src).unwrap();
+        let copied = build_element(
+            &store,
+            &QName::local("out"),
+            &[],
+            &[Item::Node(NodeRef::new(d, b_node))],
+        )
+        .unwrap();
+        assert_eq!(serialize(&store, copied), "<out><b>x</b></out>");
+        // New document id → new identity.
+        assert_ne!(copied.doc, d);
+    }
+
+    #[test]
+    fn document_copy_expands_children() {
+        let store = Store::new();
+        let d = store.load_xml("<r><a/></r>", None).unwrap();
+        let el = build_element(
+            &store,
+            &QName::local("wrap"),
+            &[],
+            &[Item::Node(NodeRef::new(d, NodeId(0)))],
+        )
+        .unwrap();
+        assert_eq!(serialize(&store, el), "<wrap><r><a/></r></wrap>");
+    }
+
+    #[test]
+    fn comment_and_pi_validation() {
+        let store = Store::new();
+        assert!(build_comment(&store, "ok comment").is_ok());
+        assert!(build_comment(&store, "bad -- comment").is_err());
+        assert!(build_comment(&store, "ends with -").is_err());
+        assert!(build_pi(&store, "xml", "x").is_err());
+        assert!(build_pi(&store, "t", "has ?> inside").is_err());
+        assert!(build_pi(&store, "t", "fine").is_ok());
+    }
+
+    #[test]
+    fn namespaces_on_constructed_element() {
+        let store = Store::new();
+        let el = build_element(
+            &store,
+            &QName::prefixed("urn:p", "p", "a"),
+            &[(Some("p".to_string()), "urn:p".to_string())],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(serialize(&store, el), r#"<p:a xmlns:p="urn:p"/>"#);
+    }
+
+    #[test]
+    fn standalone_text_node() {
+        let store = Store::new();
+        let t = build_text(&store, "hello").unwrap();
+        let doc = store.doc_of(t);
+        assert_eq!(doc.kind(t.node), NodeKind::Text);
+        assert_eq!(doc.string_value(t.node), "hello");
+    }
+}

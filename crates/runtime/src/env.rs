@@ -1,0 +1,172 @@
+//! The dynamic context (the talk's "dynamic context" slide: external
+//! variable values, current item/position/size, current date and time,
+//! implicit timezone, available documents) and the evaluator's variable
+//! frame.
+
+use crate::value::{Item, Sequence};
+use std::collections::HashMap;
+use std::sync::Arc;
+use xqr_compiler::VarId;
+use xqr_store::{NodeRef, Store};
+use xqr_xdm::{DateTime, Error, ErrorCode, QName, Result, TzOffset};
+
+/// Values for the dynamic context, supplied by the application.
+pub struct DynamicContext {
+    /// External variable bindings by name.
+    pub variables: HashMap<QName, Sequence>,
+    /// The initial context item (`.` at the top level).
+    pub context_item: Option<Item>,
+    /// `fn:current-dateTime()` — fixed for the whole execution, per spec.
+    pub current_datetime: DateTime,
+    /// Implicit timezone in minutes.
+    pub implicit_timezone: TzOffset,
+    /// XML documents available to `fn:doc`, by URI (parsed on demand and
+    /// cached in the store).
+    pub documents: HashMap<String, String>,
+    /// Default collection (`fn:collection()` with no args).
+    pub default_collection: Vec<NodeRef>,
+}
+
+impl DynamicContext {
+    pub fn new() -> Self {
+        DynamicContext {
+            variables: HashMap::new(),
+            context_item: None,
+            current_datetime: DateTime {
+                year: 2004,
+                month: 9,
+                day: 14,
+                hour: 0,
+                minute: 0,
+                second: 0,
+                millis: 0,
+                tz: Some(0),
+            },
+            implicit_timezone: 0,
+            documents: HashMap::new(),
+            default_collection: Vec::new(),
+        }
+    }
+
+    pub fn bind_variable(&mut self, name: QName, value: Sequence) -> &mut Self {
+        self.variables.insert(name, value);
+        self
+    }
+
+    pub fn with_context_item(mut self, item: Item) -> Self {
+        self.context_item = Some(item);
+        self
+    }
+
+    pub fn add_document(&mut self, uri: impl Into<String>, xml: impl Into<String>) -> &mut Self {
+        self.documents.insert(uri.into(), xml.into());
+        self
+    }
+}
+
+impl Default for DynamicContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The variable frame: register file with save/restore semantics so a
+/// register can be reused by sibling scopes (function inlining reuses
+/// parameter registers).
+pub struct Frame {
+    slots: Vec<Option<Arc<Sequence>>>,
+}
+
+impl Frame {
+    pub fn new(size: u32) -> Self {
+        Frame { slots: vec![None; size as usize] }
+    }
+
+    pub fn get(&self, var: VarId) -> Result<Arc<Sequence>> {
+        self.slots
+            .get(var.0 as usize)
+            .and_then(|s| s.clone())
+            .ok_or_else(|| {
+                Error::new(ErrorCode::UndefinedName, format!("unbound register ${}", var.0))
+            })
+    }
+
+    /// Bind a register, returning the previous value for restoration.
+    pub fn bind(&mut self, var: VarId, value: Arc<Sequence>) -> Option<Arc<Sequence>> {
+        let slot = &mut self.slots[var.0 as usize];
+        slot.replace(value)
+    }
+
+    pub fn restore(&mut self, var: VarId, saved: Option<Arc<Sequence>>) {
+        self.slots[var.0 as usize] = saved;
+    }
+
+    /// Grow to cover registers added by the optimizer.
+    pub fn ensure(&mut self, size: u32) {
+        if self.slots.len() < size as usize {
+            self.slots.resize(size as usize, None);
+        }
+    }
+}
+
+/// The focus: context item, position and size (the talk's "current item,
+/// current position and size").
+#[derive(Debug, Clone)]
+pub struct Focus {
+    pub item: Item,
+    pub position: i64,
+    /// Context size; `None` when unknown (streaming filters compute it
+    /// only when `last()` is used).
+    pub size: Option<i64>,
+}
+
+/// Everything the evaluator threads through: the store, the dynamic
+/// context and the focus stack.
+pub struct ExecState {
+    pub store: Arc<Store>,
+    pub frame: Frame,
+    pub focus: Vec<Focus>,
+}
+
+impl ExecState {
+    pub fn new(store: Arc<Store>, frame_size: u32) -> Self {
+        ExecState { store, frame: Frame::new(frame_size), focus: Vec::new() }
+    }
+
+    pub fn focus(&self) -> Option<&Focus> {
+        self.focus.last()
+    }
+
+    pub fn context_item(&self) -> Result<&Item> {
+        self.focus
+            .last()
+            .map(|f| &f.item)
+            .ok_or_else(|| Error::new(ErrorCode::MissingContext, "no context item"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_bind_and_restore() {
+        let mut f = Frame::new(2);
+        assert!(f.get(VarId(0)).is_err());
+        let saved = f.bind(VarId(0), Arc::new(vec![Item::integer(1)]));
+        assert_eq!(f.get(VarId(0)).unwrap()[0], Item::integer(1));
+        let saved2 = f.bind(VarId(0), Arc::new(vec![Item::integer(2)]));
+        assert_eq!(f.get(VarId(0)).unwrap()[0], Item::integer(2));
+        f.restore(VarId(0), saved2);
+        assert_eq!(f.get(VarId(0)).unwrap()[0], Item::integer(1));
+        f.restore(VarId(0), saved);
+        assert!(f.get(VarId(0)).is_err());
+    }
+
+    #[test]
+    fn context_item_error_when_absent() {
+        let state = ExecState::new(Store::new(), 0);
+        let e = state.context_item().unwrap_err();
+        assert_eq!(e.code, ErrorCode::MissingContext);
+    }
+}

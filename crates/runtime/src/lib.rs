@@ -1,0 +1,43 @@
+//! # xqr-runtime — the streaming evaluator
+//!
+//! Push-based, lazily short-circuiting interpreter over the compiled
+//! core tree, plus the token-level streaming path matcher, the built-in
+//! function library, node construction, the three comparison families,
+//! and a small regex engine for the string functions.
+
+pub mod compare;
+pub mod construct;
+pub mod env;
+pub mod eval;
+pub mod functions;
+pub mod regex;
+pub mod stream_path;
+pub mod value;
+
+pub use env::{DynamicContext, ExecState, Focus, Frame};
+pub use eval::{Counters, Evaluator, Flow, RuntimeOptions, Sink};
+pub use stream_path::{StreamMatcher, StreamPattern, StreamStats, StreamStep};
+pub use value::{effective_boolean_value, serialize_sequence, Item, Sequence};
+
+use std::sync::Arc;
+use xqr_compiler::CompiledQuery;
+use xqr_store::Store;
+use xqr_xdm::Result;
+
+/// One-shot execution of a compiled query (tests and simple embeddings;
+/// the engine facade in `xqr-core` adds streaming serialization and
+/// explain output on top).
+pub fn execute(
+    query: &CompiledQuery,
+    store: &Arc<Store>,
+    dyn_ctx: &DynamicContext,
+    options: RuntimeOptions,
+) -> Result<(Sequence, Counters)> {
+    let ev = Evaluator::new(&query.module, dyn_ctx).with_options(options);
+    let mut st = ExecState::new(store.clone(), query.module.var_count);
+    let result = ev.eval_module(&mut st)?;
+    Ok((result, ev.counters))
+}
+
+#[cfg(test)]
+mod eval_tests;

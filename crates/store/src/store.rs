@@ -1,0 +1,143 @@
+//! The multi-document store and global node references.
+//!
+//! Node identity and document order across documents: a [`NodeRef`] is
+//! `(doc, node)` and the data model's arbitrary-but-stable cross-document
+//! order is the lexicographic order on that pair. The runtime appends
+//! result documents for constructed nodes here too, which is what gives
+//! constructed nodes *new* identities (the talk: "can the result of an
+//! expression contain newly created nodes?").
+
+use crate::document::{DocId, Document, NodeId};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+use xqr_xdm::{Error, ErrorCode, NamePool, Result};
+
+/// A node in some document of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    pub doc: DocId,
+    pub node: NodeId,
+}
+
+impl NodeRef {
+    pub fn new(doc: DocId, node: NodeId) -> Self {
+        NodeRef { doc, node }
+    }
+}
+
+#[derive(Default)]
+struct StoreInner {
+    docs: Vec<Arc<Document>>,
+    by_uri: HashMap<String, DocId>,
+}
+
+/// A shared, append-only collection of documents.
+pub struct Store {
+    names: Arc<NamePool>,
+    inner: RwLock<StoreInner>,
+}
+
+impl Store {
+    pub fn new() -> Arc<Store> {
+        Arc::new(Store { names: Arc::new(NamePool::new()), inner: RwLock::new(StoreInner::default()) })
+    }
+
+    pub fn with_names(names: Arc<NamePool>) -> Arc<Store> {
+        Arc::new(Store { names, inner: RwLock::new(StoreInner::default()) })
+    }
+
+    pub fn names(&self) -> &Arc<NamePool> {
+        &self.names
+    }
+
+    /// Register a document, returning its id.
+    pub fn add_document(&self, doc: Arc<Document>) -> DocId {
+        let mut inner = self.inner.write().expect("store lock");
+        let id = DocId(inner.docs.len() as u32);
+        if let Some(uri) = &doc.uri {
+            inner.by_uri.insert(uri.clone(), id);
+        }
+        inner.docs.push(doc);
+        id
+    }
+
+    /// Parse and register XML text under an optional URI.
+    pub fn load_xml(&self, xml: &str, uri: Option<&str>) -> Result<DocId> {
+        let doc = Document::parse_with_uri(xml, self.names.clone(), uri)?;
+        Ok(self.add_document(doc))
+    }
+
+    pub fn document(&self, id: DocId) -> Arc<Document> {
+        self.inner.read().expect("store lock").docs[id.0 as usize].clone()
+    }
+
+    pub fn document_by_uri(&self, uri: &str) -> Result<(DocId, Arc<Document>)> {
+        let inner = self.inner.read().expect("store lock");
+        match inner.by_uri.get(uri) {
+            Some(&id) => Ok((id, inner.docs[id.0 as usize].clone())),
+            None => Err(Error::new(
+                ErrorCode::DocumentNotFound,
+                format!("no document available at {uri:?}"),
+            )),
+        }
+    }
+
+    pub fn doc_count(&self) -> usize {
+        self.inner.read().expect("store lock").docs.len()
+    }
+
+    /// Resolve a node reference to its document.
+    pub fn doc_of(&self, n: NodeRef) -> Arc<Document> {
+        self.document(n.doc)
+    }
+
+    /// Document order across the whole store.
+    pub fn doc_order(&self, a: NodeRef, b: NodeRef) -> std::cmp::Ordering {
+        a.cmp(&b)
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Store({} documents)", self.doc_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_lookup_by_uri() {
+        let store = Store::new();
+        let id = store.load_xml("<a/>", Some("bib.xml")).unwrap();
+        let (found, doc) = store.document_by_uri("bib.xml").unwrap();
+        assert_eq!(found, id);
+        assert_eq!(doc.len(), 2); // document node + element
+        assert!(store.document_by_uri("other.xml").is_err());
+    }
+
+    #[test]
+    fn node_refs_order_across_documents() {
+        let store = Store::new();
+        let d1 = store.load_xml("<a/>", None).unwrap();
+        let d2 = store.load_xml("<b/>", None).unwrap();
+        let n1 = NodeRef::new(d1, NodeId(1));
+        let n2 = NodeRef::new(d2, NodeId(0));
+        assert!(n1 < n2);
+        let n3 = NodeRef::new(d1, NodeId(0));
+        assert!(n3 < n1);
+    }
+
+    #[test]
+    fn shared_name_pool_across_documents() {
+        let store = Store::new();
+        store.load_xml("<x/>", None).unwrap();
+        store.load_xml("<x/>", None).unwrap();
+        // Same name interned once.
+        let names = store.names();
+        let before = names.len();
+        names.intern(&xqr_xdm::QName::local("x"));
+        assert_eq!(names.len(), before);
+    }
+}

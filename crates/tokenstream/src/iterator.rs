@@ -1,0 +1,58 @@
+//! The pull interface — the talk's TokenIterator:
+//! "`open()`: prepare execution; `next()`: return next token; `skip()`:
+//! skip all tokens until first token of sibling; `close()`: release
+//! resources. Conceptually the same as in RDBMS — pull-based — but more
+//! fine-grained."
+//!
+//! In Rust, `open`/`close` map onto construction and drop; `next` and
+//! `skip` are the trait methods. Implementations must also resolve pooled
+//! ids, because consumers downstream of a pipe only hold the iterator.
+
+use crate::token::{StrId, Token};
+use std::sync::Arc;
+use xqr_xdm::{NameId, QName, Result};
+
+/// A pull source of data-model tokens.
+pub trait TokenIterator {
+    /// Return the next token, or `None` at end of stream.
+    fn next_token(&mut self) -> Result<Option<Token>>;
+
+    /// If the most recently returned token opened a subtree, advance past
+    /// the matching close and return how many tokens were skipped.
+    /// Otherwise a no-op returning 0.
+    fn skip_subtree(&mut self) -> Result<usize>;
+
+    /// Resolve a pooled string id from this stream.
+    fn pooled_str(&self, id: StrId) -> Arc<str>;
+
+    /// Resolve an interned name id.
+    fn name(&self, id: NameId) -> QName;
+}
+
+/// Blanket impl so `Box<dyn TokenIterator>` composes.
+impl<T: TokenIterator + ?Sized> TokenIterator for Box<T> {
+    fn next_token(&mut self) -> Result<Option<Token>> {
+        (**self).next_token()
+    }
+
+    fn skip_subtree(&mut self) -> Result<usize> {
+        (**self).skip_subtree()
+    }
+
+    fn pooled_str(&self, id: StrId) -> Arc<str> {
+        (**self).pooled_str(id)
+    }
+
+    fn name(&self, id: NameId) -> QName {
+        (**self).name(id)
+    }
+}
+
+/// Drain an iterator, counting tokens (test/bench helper).
+pub fn drain(it: &mut dyn TokenIterator) -> Result<usize> {
+    let mut n = 0;
+    while it.next_token()?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}

@@ -1,0 +1,96 @@
+//! String pooling — the TokenStream's dictionary compression.
+//!
+//! "Pooling: store strings only once (dictionary-based compression);
+//! works for all QNames (names and types) and text." Interning is
+//! hash-based; [`StrId`]s are dense, so the wire encoder can emit each
+//! string definition once and reference it by id afterwards.
+
+use crate::token::StrId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An append-only interning pool of strings. Not thread-safe by design:
+/// one pool belongs to one `TokenStream` under construction.
+#[derive(Debug, Default, Clone)]
+pub struct StringPool {
+    strings: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, StrId>,
+}
+
+impl StringPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its dense id.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if let Some(id) = self.index.get(s) {
+            return *id;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = StrId(self.strings.len() as u32);
+        self.strings.push(arc.clone());
+        self.index.insert(arc, id);
+        id
+    }
+
+    pub fn get(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    pub fn get_arc(&self, id: StrId) -> Arc<str> {
+        self.strings[id.0 as usize].clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Total bytes of pooled payload (for the pooling experiment E4).
+    pub fn payload_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (StrId, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (StrId(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut p = StringPool::new();
+        let a = p.intern("hello");
+        let b = p.intern("world");
+        let c = p.intern("hello");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(a), "hello");
+        assert_eq!(p.get(b), "world");
+    }
+
+    #[test]
+    fn payload_counts_unique_only() {
+        let mut p = StringPool::new();
+        p.intern("aaaa");
+        p.intern("aaaa");
+        p.intern("bb");
+        assert_eq!(p.payload_bytes(), 6);
+    }
+
+    #[test]
+    fn empty_string_is_a_value() {
+        let mut p = StringPool::new();
+        let e = p.intern("");
+        assert_eq!(p.get(e), "");
+        assert_eq!(p.len(), 1);
+    }
+}

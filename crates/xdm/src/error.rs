@@ -1,0 +1,177 @@
+//! Error codes and the engine-wide `Result` type.
+//!
+//! XQuery assigns stable codes (`err:XPTY0004`, `err:FORG0001`, ...) to
+//! static and dynamic errors; keeping the codes lets tests assert on *which*
+//! error a query raises, mirroring how conformance suites work.
+
+use std::fmt;
+
+/// The stable error code taxonomy used across the engine. Codes follow the
+/// W3C XQuery 1.0 error namespace where one exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// XPST0003 — grammar / syntax error in the query text.
+    Syntax,
+    /// XPST0008 — undefined variable or other name.
+    UndefinedName,
+    /// XPST0017 — unknown function or wrong arity.
+    UndefinedFunction,
+    /// XPTY0004 — static or dynamic type mismatch.
+    Type,
+    /// XPTY0018 — path step mixes nodes and atomic values.
+    MixedPathResult,
+    /// XPTY0019 — path step applied to an atomic value.
+    PathOnAtomic,
+    /// XPTY0020 — axis step with a non-node context item.
+    AxisOnAtomic,
+    /// FORG0001 — invalid lexical value for a cast/constructor.
+    InvalidValue,
+    /// FORG0006 — invalid argument type (e.g. EBV of a bad sequence).
+    InvalidArgument,
+    /// FOAR0001 — division by zero.
+    DivisionByZero,
+    /// FOAR0002 — numeric overflow/underflow.
+    Overflow,
+    /// FOCA0002 — invalid QName lexical form.
+    InvalidQName,
+    /// FORG0003/4/5 — fn:zero-or-one / one-or-more / exactly-one violated.
+    Cardinality,
+    /// FODC0002 — document/collection not available.
+    DocumentNotFound,
+    /// FONS0004 — no namespace found for prefix.
+    UnboundPrefix,
+    /// FOCH0002 — unsupported collation.
+    UnsupportedCollation,
+    /// FORX0002 — invalid pattern (our literal/char-class subset).
+    InvalidPattern,
+    /// XQDY0025 — duplicate attribute name in constructor.
+    DuplicateAttribute,
+    /// XQDY0026/0041/0044 and friends — constructor content errors.
+    InvalidConstructor,
+    /// XPDY0002 — dynamic context component (e.g. context item) absent.
+    MissingContext,
+    /// FOER0000 — fn:error() or user-raised error.
+    UserError,
+    /// XQST0034/0049/etc — static errors in prolog declarations.
+    StaticProlog,
+    /// Engine limit exceeded (depth, size); not a W3C code.
+    Limit,
+    /// Internal invariant violation — a bug in the engine, never the query.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The W3C-style code string, used in messages and tests.
+    pub fn as_str(self) -> &'static str {
+        use ErrorCode::*;
+        match self {
+            Syntax => "XPST0003",
+            UndefinedName => "XPST0008",
+            UndefinedFunction => "XPST0017",
+            Type => "XPTY0004",
+            MixedPathResult => "XPTY0018",
+            PathOnAtomic => "XPTY0019",
+            AxisOnAtomic => "XPTY0020",
+            InvalidValue => "FORG0001",
+            InvalidArgument => "FORG0006",
+            DivisionByZero => "FOAR0001",
+            Overflow => "FOAR0002",
+            InvalidQName => "FOCA0002",
+            Cardinality => "FORG0004",
+            DocumentNotFound => "FODC0002",
+            UnboundPrefix => "FONS0004",
+            UnsupportedCollation => "FOCH0002",
+            InvalidPattern => "FORX0002",
+            DuplicateAttribute => "XQDY0025",
+            InvalidConstructor => "XQDY0026",
+            MissingContext => "XPDY0002",
+            UserError => "FOER0000",
+            StaticProlog => "XQST0034",
+            Limit => "XQRL0001",
+            Internal => "XQRL0000",
+        }
+    }
+}
+
+/// An engine error: a code plus a human-readable message and an optional
+/// source position (byte offset into the query text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    pub code: ErrorCode,
+    pub message: String,
+    pub position: Option<usize>,
+}
+
+impl Error {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Error { code, message: message.into(), position: None }
+    }
+
+    pub fn at(mut self, position: usize) -> Self {
+        self.position = Some(position);
+        self
+    }
+
+    pub fn syntax(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Syntax, message)
+    }
+
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Type, message)
+    }
+
+    pub fn value(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::InvalidValue, message)
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "err:{}: {}", self.code.as_str(), self.message)?;
+        if let Some(pos) = self.position {
+            write!(f, " (at offset {pos})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_position() {
+        let e = Error::syntax("unexpected token").at(17);
+        let s = e.to_string();
+        assert!(s.contains("XPST0003"), "{s}");
+        assert!(s.contains("offset 17"), "{s}");
+    }
+
+    #[test]
+    fn codes_are_distinct_strings() {
+        use std::collections::HashSet;
+        let all = [
+            ErrorCode::Syntax,
+            ErrorCode::UndefinedName,
+            ErrorCode::UndefinedFunction,
+            ErrorCode::Type,
+            ErrorCode::InvalidValue,
+            ErrorCode::DivisionByZero,
+            ErrorCode::Overflow,
+            ErrorCode::Cardinality,
+            ErrorCode::DocumentNotFound,
+            ErrorCode::MissingContext,
+            ErrorCode::Internal,
+        ];
+        let set: HashSet<_> = all.iter().map(|c| c.as_str()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! # xqr-xdm — the XQuery 1.0 data model
+//!
+//! Foundation crate of the `xqr` workspace: qualified names with an
+//! interning pool, the 19 XML Schema primitive atomic types with exact
+//! decimal arithmetic and timeline-based date/time comparison, the seven
+//! node kinds, sequence types with subtyping, and the engine-wide error
+//! taxonomy.
+//!
+//! Everything above (parser, TokenStream, store, compiler, runtime) speaks
+//! in these types; nothing here depends on any other workspace crate.
+
+pub mod atomic;
+pub mod datetime;
+pub mod decimal;
+pub mod error;
+pub mod node;
+pub mod qname;
+pub mod types;
+
+pub use atomic::{fmt_float, parse_double, parse_integer, AtomicType, AtomicValue};
+pub use datetime::{Date, DateTime, Duration, Gregorian, GregorianKind, Time, TzOffset};
+pub use decimal::Decimal;
+pub use error::{Error, ErrorCode, Result};
+pub use node::NodeKind;
+pub use qname::{NameId, NamePool, QName};
+pub use types::{ItemType, NameTest, Occurrence, SequenceType};

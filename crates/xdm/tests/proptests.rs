@@ -1,0 +1,165 @@
+//! Property tests on the data-model foundations: decimal arithmetic
+//! laws, date/time roundtrips, cast roundtrips, comparison coherence.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use xqr_xdm::{AtomicType, AtomicValue, DateTime, Decimal, Duration};
+
+fn arb_decimal() -> impl Strategy<Value = Decimal> {
+    (any::<i64>(), 0u32..6).prop_map(|(c, s)| Decimal::from_parts(c as i128, s).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- decimals --------------------------------------------------------
+
+    #[test]
+    fn decimal_display_parse_roundtrip(d in arb_decimal()) {
+        let back = Decimal::parse(&d.to_string()).unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn decimal_addition_commutes(a in arb_decimal(), b in arb_decimal()) {
+        let ab = a.checked_add(b);
+        let ba = b.checked_add(a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "asymmetric overflow: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn decimal_add_sub_inverse(a in arb_decimal(), b in arb_decimal()) {
+        if let Ok(sum) = a.checked_add(b) {
+            if let Ok(back) = sum.checked_sub(b) {
+                prop_assert_eq!(a, back);
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_comparison_total_and_consistent(a in arb_decimal(), b in arb_decimal()) {
+        // Exactly one of <, ==, > holds, and it matches subtraction sign.
+        let ord = a.cmp(&b);
+        if let Ok(diff) = a.checked_sub(b) {
+            let expect = if diff.is_zero() {
+                Ordering::Equal
+            } else if diff.is_negative() {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+            prop_assert_eq!(ord, expect);
+        }
+    }
+
+    #[test]
+    fn decimal_mul_by_zero_and_one(a in arb_decimal()) {
+        prop_assert_eq!(a.checked_mul(Decimal::ZERO).unwrap(), Decimal::ZERO);
+        prop_assert_eq!(a.checked_mul(Decimal::ONE).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_floor_ceiling_bracket(a in arb_decimal()) {
+        let f = a.floor();
+        let c = a.ceiling();
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c.checked_sub(f).unwrap() <= Decimal::ONE);
+    }
+
+    // ---- dates -----------------------------------------------------------
+
+    #[test]
+    fn datetime_timeline_roundtrip(ms in -30_000_000_000_000i64..30_000_000_000_000i64) {
+        let dt = DateTime::from_timeline_millis(ms, Some(0));
+        prop_assert_eq!(dt.timeline_millis(0), ms);
+        // Display→parse roundtrip too.
+        let back = DateTime::parse(&dt.to_string()).unwrap();
+        prop_assert_eq!(back.timeline_millis(0), ms);
+    }
+
+    #[test]
+    fn date_plus_duration_minus_duration(days in -100_000i64..100_000, months in -600i64..600) {
+        let base = DateTime::from_timeline_millis(days * 86_400_000, Some(0)).date();
+        let dur = Duration::from_months(months);
+        let there = base.add_duration(dur).unwrap();
+        // Month arithmetic clamps days, so the roundtrip may be lossy,
+        // but it can never be off by more than the clamp (3 days).
+        let back = there.add_duration(dur.negate()).unwrap();
+        let diff = (back.to_datetime().timeline_millis(0)
+            - base.to_datetime().timeline_millis(0)).abs();
+        prop_assert!(diff <= 3 * 86_400_000, "{} → {} → {}", base, there, back);
+    }
+
+    #[test]
+    fn duration_display_parse_roundtrip(months in -10_000i64..10_000, millis in -(86_400_000i64 * 1000)..(86_400_000 * 1000)) {
+        // Mixed-sign durations have no lexical form; align the signs.
+        let (months, millis) = if months < 0 { (months, -millis.abs()) } else { (months, millis.abs()) };
+        let d = Duration { months, millis };
+        let back = Duration::parse(&d.to_string()).unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn date_comparison_matches_timeline(a in -50_000i64..50_000, b in -50_000i64..50_000) {
+        let da = DateTime::from_timeline_millis(a * 86_400_000, Some(0)).date();
+        let db = DateTime::from_timeline_millis(b * 86_400_000, Some(0)).date();
+        prop_assert_eq!(da.compare(&db, 0), a.cmp(&b));
+    }
+
+    // ---- casts -----------------------------------------------------------
+
+    #[test]
+    fn integer_string_cast_roundtrip(i in any::<i64>()) {
+        let v = AtomicValue::Integer(i);
+        let s = v.cast_to(AtomicType::String).unwrap();
+        let back = s.cast_to(AtomicType::Integer).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn decimal_string_cast_roundtrip(d in arb_decimal()) {
+        let v = AtomicValue::Decimal(d);
+        let s = v.cast_to(AtomicType::String).unwrap();
+        let back = s.cast_to(AtomicType::Decimal).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn boolean_casts(b in any::<bool>()) {
+        let v = AtomicValue::Boolean(b);
+        for ty in [AtomicType::String, AtomicType::Integer, AtomicType::Double] {
+            let cast = v.cast_to(ty).unwrap();
+            let back = cast.cast_to(AtomicType::Boolean).unwrap();
+            prop_assert_eq!(&v, &back, "via {}", ty.name());
+        }
+    }
+
+    #[test]
+    fn untyped_roundtrips_through_string(s in "[a-zA-Z0-9 .+-]{0,20}") {
+        let v = AtomicValue::untyped(s.as_str());
+        let cast = v.cast_to(AtomicType::String).unwrap();
+        prop_assert_eq!(cast.string_value(), s);
+    }
+
+    #[test]
+    fn castable_iff_cast_succeeds(i in any::<i64>(), ty in prop_oneof![
+        Just(AtomicType::String), Just(AtomicType::Double), Just(AtomicType::Boolean),
+        Just(AtomicType::Date)
+    ]) {
+        let v = AtomicValue::Integer(i);
+        prop_assert_eq!(v.castable_to(ty), v.cast_to(ty).is_ok());
+    }
+
+    #[test]
+    fn value_compare_antisymmetric(a in any::<i64>(), b in any::<i64>()) {
+        let va = AtomicValue::Integer(a);
+        let vb = AtomicValue::Integer(b);
+        let ab = va.value_compare(&vb, 0).unwrap().unwrap();
+        let ba = vb.value_compare(&va, 0).unwrap().unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+    }
+}

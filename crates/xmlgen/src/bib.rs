@@ -1,0 +1,67 @@
+//! Bibliography documents shaped like the tutorial's `bib.xml` running
+//! example: books with year, title, authors, publisher and price.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+const TITLES: &[&str] = &[
+    "The politics of experience",
+    "Data on the Web",
+    "TCP/IP Illustrated",
+    "Advanced Programming in the Unix environment",
+    "Economics of Technology and Content for Digital TV",
+    "Holistic Twig Joins",
+    "Structural Joins",
+    "Projecting XML Documents",
+];
+const LASTS: &[&str] =
+    &["Laing", "Stevens", "Abiteboul", "Buneman", "Suciu", "Gerbarg", "Bruno", "Koudas"];
+const FIRSTS: &[&str] = &["Ronald", "W.", "Serge", "Peter", "Dan", "Darcy", "Nicolas", "Nick"];
+const PUBLISHERS: &[&str] =
+    &["Addison-Wesley", "Morgan Kaufmann", "Springer Verlag", "Kluwer", "MIT Press"];
+
+/// Generate a bibliography with `books` entries.
+pub fn bibliography(seed: u64, books: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = String::with_capacity(books * 220);
+    x.push_str("<bib>");
+    for i in 0..books {
+        let year = 1967 + rng.gen_range(0..40);
+        let title = TITLES[i % TITLES.len()];
+        let publisher = PUBLISHERS[rng.gen_range(0..PUBLISHERS.len())];
+        let price = rng.gen_range(1000..15000) as f64 / 100.0;
+        let _ = write!(x, "<book year=\"{year}\"><title>{title} vol. {i}</title>");
+        for _ in 0..rng.gen_range(1..4) {
+            let _ = write!(
+                x,
+                "<author><last>{}</last><first>{}</first></author>",
+                LASTS[rng.gen_range(0..LASTS.len())],
+                FIRSTS[rng.gen_range(0..FIRSTS.len())]
+            );
+        }
+        let _ = write!(x, "<publisher>{publisher}</publisher><price>{price:.2}</price></book>");
+    }
+    x.push_str("</bib>");
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_scaled() {
+        assert_eq!(bibliography(7, 10), bibliography(7, 10));
+        assert_ne!(bibliography(7, 10), bibliography(8, 10));
+        assert!(bibliography(7, 100).len() > bibliography(7, 10).len() * 5);
+    }
+
+    #[test]
+    fn shape() {
+        let x = bibliography(1, 3);
+        assert_eq!(x.matches("<book ").count(), 3);
+        assert!(x.contains("<publisher>"));
+        assert!(x.contains("year=\""));
+    }
+}

@@ -1,0 +1,166 @@
+//! The ebXML trading-partner configuration document — the input of the
+//! talk's "fraction of a real customer XQuery" (ebSample.xml). The
+//! element vocabulary matches what that query navigates:
+//! `wlc/trading-partner` with addresses, certificates, delivery
+//! channels, document exchanges and transports, plus
+//! `collaboration-agreement` and `conversation-definition` sections.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// Generate a configuration with `partners` trading partners.
+pub fn trading_partners(seed: u64, partners: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = String::with_capacity(partners * 1200);
+    x.push_str("<wlc>");
+    for i in 0..partners {
+        let ptype = if rng.gen_bool(0.5) { "LOCAL" } else { "REMOTE" };
+        let protocol = if rng.gen_bool(0.7) { "ebXML" } else { "RosettaNet" };
+        let transport_protocol = if rng.gen_bool(0.5) { "http" } else { "https" };
+        let _ = write!(
+            x,
+            "<trading-partner name=\"tp{i}\" type=\"{ptype}\" email=\"tp{i}@example.org\" phone=\"555-{i:04}\" user-name=\"user{i}\" extended-property-set-name=\"eps{}\">",
+            i % 4
+        );
+        let _ = write!(
+            x,
+            "<party-identifier business-id=\"biz-{i:05}\"/><address>{} Exchange Road</address>",
+            rng.gen_range(1..999)
+        );
+        if rng.gen_bool(0.8) {
+            let _ = write!(x, "<client-certificate name=\"cc{i}\"/>");
+        }
+        if ptype == "REMOTE" {
+            let _ = write!(x, "<server-certificate name=\"sc{i}\"/>");
+        }
+        let _ = write!(x, "<signature-certificate name=\"sig{i}\"/>");
+        if protocol == "RosettaNet" {
+            let _ = write!(x, "<encryption-certificate name=\"enc{i}\"/>");
+        }
+        // Delivery channels + document exchanges + transports whose names
+        // join up — exactly what the customer query's where-clause
+        // equi-joins on. Several channels per partner make the triple
+        // join genuinely n-way (the shape join detection pays off on).
+        let channels = rng.gen_range(1..4usize);
+        for k in 0..channels {
+            let _ = write!(
+                x,
+                "<delivery-channel name=\"dc{i}_{k}\" document-exchange-name=\"de{i}_{k}\" transport-name=\"tr{i}_{k}\" nonrepudiation-of-origin=\"{}\" nonrepudiation-of-receipt=\"{}\"/>",
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5)
+            );
+        }
+        for k in 1..channels {
+            let _ = write!(
+                x,
+                "<document-exchange name=\"de{i}_{k}\" business-protocol-name=\"{protocol}\" protocol-version=\"2.0\"/>"
+            );
+            let _ = write!(
+                x,
+                "<transport name=\"tr{i}_{k}\" protocol=\"{transport_protocol}\" protocol-version=\"1.1\"><endpoint uri=\"{transport_protocol}://partner{i}.example.org/x{k}\"/></transport>"
+            );
+        }
+        let _ = write!(
+            x,
+            "<document-exchange name=\"de{i}_0\" business-protocol-name=\"{protocol}\" protocol-version=\"2.0\">"
+        );
+        if protocol == "ebXML" {
+            let _ = write!(
+                x,
+                "<EBXML-binding signature-certificate-name=\"sig{i}\" delivery-semantics=\"OnceAndOnlyOnce\""
+            );
+            if rng.gen_bool(0.6) {
+                let _ = write!(x, " ttl=\"{}\"", rng.gen_range(1..120) * 1000);
+            }
+            if rng.gen_bool(0.6) {
+                let _ = write!(x, " retries=\"{}\"", rng.gen_range(1..5));
+            }
+            if rng.gen_bool(0.6) {
+                let _ = write!(x, " retry-interval=\"{}\"", rng.gen_range(1..60) * 1000);
+            }
+            x.push_str("/>");
+        } else {
+            let _ = write!(
+                x,
+                "<RosettaNet-binding signature-certificate-name=\"sig{i}\" encryption-certificate-name=\"enc{i}\" cipher-algorithm=\"RC5\" encryption-level=\"{}\"",
+                rng.gen_range(0..3)
+            );
+            if rng.gen_bool(0.5) {
+                let _ = write!(x, " retries=\"{}\"", rng.gen_range(1..5));
+            }
+            if rng.gen_bool(0.5) {
+                let _ = write!(x, " retry-interval=\"{}\"", rng.gen_range(1..60) * 1000);
+            }
+            if rng.gen_bool(0.5) {
+                let _ = write!(x, " time-out=\"{}\"", rng.gen_range(1..600) * 1000);
+            }
+            x.push_str("/>");
+        }
+        x.push_str("</document-exchange>");
+        let _ = write!(
+            x,
+            "<transport name=\"tr{i}_0\" protocol=\"{transport_protocol}\" protocol-version=\"1.1\"><endpoint uri=\"{transport_protocol}://partner{i}.example.org/exchange\"/></transport>"
+        );
+        x.push_str("</trading-partner>");
+    }
+    // Collaboration agreements pair random partners' delivery channels.
+    for i in 0..partners.max(1) / 2 {
+        let a = rng.gen_range(0..partners.max(1));
+        let b = rng.gen_range(0..partners.max(1));
+        let _ = write!(
+            x,
+            "<collaboration-agreement name=\"ca{i}\"><party delivery-channel-name=\"dc{a}_0\" trading-partner-name=\"tp{a}\"/><party delivery-channel-name=\"dc{b}_0\" trading-partner-name=\"tp{b}\"/></collaboration-agreement>"
+        );
+    }
+    // Conversation definitions with workflow roles.
+    for i in 0..partners.max(1) / 3 + 1 {
+        let protocol = if i % 2 == 0 { "ebXML" } else { "RosettaNet" };
+        let _ = write!(
+            x,
+            "<conversation-definition name=\"cd{i}\" business-protocol-name=\"{protocol}\"><role name=\"initiator\" wlpi-template=\"flow{i}\" description=\"starts cd{i}\"/><role name=\"participant\" wlpi-template=\"\"/></conversation-definition>"
+        );
+    }
+    for i in 0..4 {
+        let _ = write!(x, "<extended-property-set name=\"eps{i}\"><property key=\"k{i}\">v{i}</property></extended-property-set>");
+    }
+    x.push_str("</wlc>");
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(trading_partners(3, 5), trading_partners(3, 5));
+    }
+
+    #[test]
+    fn vocabulary_matches_customer_query() {
+        let x = trading_partners(1, 8);
+        for needle in [
+            "trading-partner",
+            "party-identifier",
+            "delivery-channel",
+            "document-exchange",
+            "EBXML-binding",
+            "collaboration-agreement",
+            "conversation-definition",
+            "extended-property-set",
+            "endpoint uri=",
+        ] {
+            assert!(x.contains(needle), "{needle}");
+        }
+    }
+
+    #[test]
+    fn join_keys_line_up() {
+        // dcN/deN/trN names must join.
+        let x = trading_partners(1, 3);
+        assert!(x.contains("document-exchange-name=\"de0_0\""));
+        assert!(x.contains("<document-exchange name=\"de0_0\""));
+        assert!(x.contains("<transport name=\"tr0_0\""));
+    }
+}

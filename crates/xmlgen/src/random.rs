@@ -1,0 +1,146 @@
+//! Parameterized random trees — the workload for the structural-join
+//! experiments, where ancestor/descendant selectivity and nesting depth
+//! are the variables the algorithms are sensitive to.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-tree parameters.
+#[derive(Debug, Clone)]
+pub struct RandomTreeConfig {
+    pub seed: u64,
+    /// Total number of elements to generate (approximate).
+    pub nodes: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Tag alphabet: tags are `t0..t{alphabet}`.
+    pub alphabet: usize,
+    /// Probability that a generated element is named `a` (the join's
+    /// ancestor tag) — controls ancestor selectivity.
+    pub p_ancestor: f64,
+    /// Probability that a generated element is named `d` (descendant
+    /// tag).
+    pub p_descendant: f64,
+    /// Probability a node gets a short text child.
+    pub p_text: f64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig {
+            seed: 7,
+            nodes: 1000,
+            max_depth: 12,
+            alphabet: 8,
+            p_ancestor: 0.1,
+            p_descendant: 0.2,
+            p_text: 0.3,
+        }
+    }
+}
+
+/// Generate a random tree with the given shape.
+pub fn random_tree(config: &RandomTreeConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = String::with_capacity(config.nodes * 16);
+    out.push_str("<root>");
+    let mut budget = config.nodes as isize;
+    // Generate a forest of subtrees until the node budget is exhausted.
+    while budget > 0 {
+        gen_subtree(&mut rng, config, 1, &mut budget, &mut out);
+    }
+    out.push_str("</root>");
+    out
+}
+
+fn tag(rng: &mut StdRng, config: &RandomTreeConfig) -> String {
+    let roll: f64 = rng.gen();
+    if roll < config.p_ancestor {
+        "a".to_string()
+    } else if roll < config.p_ancestor + config.p_descendant {
+        "d".to_string()
+    } else {
+        format!("t{}", rng.gen_range(0..config.alphabet.max(1)))
+    }
+}
+
+fn gen_subtree(
+    rng: &mut StdRng,
+    config: &RandomTreeConfig,
+    depth: usize,
+    budget: &mut isize,
+    out: &mut String,
+) {
+    if *budget <= 0 {
+        return;
+    }
+    *budget -= 1;
+    let t = tag(rng, config);
+    out.push('<');
+    out.push_str(&t);
+    out.push('>');
+    if rng.gen_bool(config.p_text) {
+        out.push('x');
+    }
+    if depth < config.max_depth {
+        let children = rng.gen_range(0..4);
+        for _ in 0..children {
+            gen_subtree(rng, config, depth + 1, budget, out);
+        }
+    }
+    out.push_str("</");
+    out.push_str(&t);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = RandomTreeConfig::default();
+        assert_eq!(random_tree(&c), random_tree(&c));
+    }
+
+    #[test]
+    fn respects_budget_roughly() {
+        let c = RandomTreeConfig { nodes: 500, ..Default::default() };
+        let x = random_tree(&c);
+        let opens = x.matches('<').count();
+        // opens counts both open and close tags; elements ≈ opens/2.
+        let elements = opens / 2;
+        assert!((400..=700).contains(&elements), "{elements}");
+    }
+
+    #[test]
+    fn selectivity_parameters_steer_tag_frequencies() {
+        let many_a = RandomTreeConfig { p_ancestor: 0.5, p_descendant: 0.1, ..Default::default() };
+        let few_a = RandomTreeConfig { p_ancestor: 0.01, p_descendant: 0.1, ..Default::default() };
+        let xa = random_tree(&many_a);
+        let xf = random_tree(&few_a);
+        assert!(xa.matches("<a>").count() > xf.matches("<a>").count() * 3);
+    }
+
+    #[test]
+    fn depth_bounded() {
+        let c = RandomTreeConfig { max_depth: 3, nodes: 300, ..Default::default() };
+        let x = random_tree(&c);
+        let mut depth = 0usize;
+        let mut max = 0usize;
+        let mut i = 0;
+        let b = x.as_bytes();
+        while i < b.len() {
+            if b[i] == b'<' {
+                if b[i + 1] == b'/' {
+                    depth -= 1;
+                } else {
+                    depth += 1;
+                    max = max.max(depth);
+                }
+            }
+            i += 1;
+        }
+        assert!(max <= 4, "{max}"); // root + 3
+    }
+}

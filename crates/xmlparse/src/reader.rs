@@ -1,0 +1,839 @@
+//! A hand-written, namespace-aware XML 1.0 pull parser.
+//!
+//! Single pass over a `&str`, no lookahead buffer beyond one byte, no
+//! allocation for structure — strings are allocated only for the content
+//! that reaches the consumer. DTDs are skipped (internal subsets are
+//! tolerated but not interpreted; external entities are never fetched).
+
+use crate::event::{Attribute, NamespaceDecl, XmlEvent};
+use std::sync::Arc;
+use xqr_xdm::{Error, ErrorCode, QName, Result};
+
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+
+/// Pull parser over an in-memory document or fragment.
+pub struct XmlReader<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    /// Stack of open element names (lexical, for end-tag matching) plus
+    /// the number of namespace bindings each frame pushed.
+    open: Vec<(QName, usize)>,
+    /// Namespace bindings, innermost last: (prefix, uri). `None` prefix is
+    /// the default namespace; an empty uri un-declares.
+    ns: Vec<(Option<Arc<str>>, Arc<str>)>,
+    started: bool,
+    finished: bool,
+    /// Pending EndElement to emit after an empty-element tag.
+    pending_end: Option<QName>,
+    seen_root: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    pub fn new(input: &'a str) -> Self {
+        XmlReader {
+            input: input.as_bytes(),
+            src: input,
+            pos: 0,
+            open: Vec::new(),
+            ns: Vec::new(),
+            started: false,
+            finished: false,
+            pending_end: None,
+            seen_root: false,
+        }
+    }
+
+    /// Current byte offset, for error reporting.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::syntax(msg.into()).at(self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Pull the next event. After `EndDocument`, keeps returning
+    /// `EndDocument`.
+    pub fn next_event(&mut self) -> Result<XmlEvent> {
+        if !self.started {
+            self.started = true;
+            self.skip_prolog()?;
+            return Ok(XmlEvent::StartDocument);
+        }
+        if let Some(name) = self.pending_end.take() {
+            self.pop_element();
+            return Ok(XmlEvent::EndElement { name });
+        }
+        if self.finished {
+            return Ok(XmlEvent::EndDocument);
+        }
+        // Between-root-content handling: at top level, whitespace,
+        // comments and PIs are allowed; anything else after the root
+        // closed is an error.
+        loop {
+            if self.at_eof() {
+                if !self.open.is_empty() {
+                    return Err(self.err("unexpected end of input: unclosed elements"));
+                }
+                if !self.seen_root {
+                    return Err(self.err("document has no root element"));
+                }
+                self.finished = true;
+                return Ok(XmlEvent::EndDocument);
+            }
+            if self.open.is_empty() {
+                // Only misc allowed at top level besides the single root.
+                let save = self.pos;
+                self.skip_ws();
+                if self.at_eof() {
+                    continue;
+                }
+                if self.peek() != Some(b'<') {
+                    return Err(self.err("text content outside the root element"));
+                }
+                self.pos = if self.pos > save { self.pos } else { save };
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    if self.eat("<!--") {
+                        return self.read_comment();
+                    }
+                    if self.eat("<![CDATA[") {
+                        return self.read_cdata();
+                    }
+                    if self.eat("<?") {
+                        return self.read_pi();
+                    }
+                    if self.input.get(self.pos + 1) == Some(&b'/') {
+                        self.pos += 2;
+                        return self.read_end_tag();
+                    }
+                    if self.input.get(self.pos + 1) == Some(&b'!') {
+                        return Err(self.err("unexpected markup declaration in content"));
+                    }
+                    self.pos += 1;
+                    return self.read_start_tag();
+                }
+                Some(_) => return self.read_text(),
+                None => continue,
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        // Optional XML declaration.
+        if self.input[self.pos..].starts_with(b"<?xml")
+            && matches!(
+                self.input.get(self.pos + 5),
+                Some(b' ' | b'\t' | b'\r' | b'\n' | b'?')
+            )
+        {
+            let end = self.find("?>").ok_or_else(|| self.err("unterminated XML declaration"))?;
+            self.pos = end + 2;
+        }
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.input[self.pos..].starts_with(b"<!--") {
+                self.pos += 4;
+                let end = self.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+                self.pos = end + 3;
+            } else if self.input[self.pos..].starts_with(b"<?") {
+                let end = self.find("?>").ok_or_else(|| self.err("unterminated PI"))?;
+                self.pos = end + 2;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<()> {
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 1usize;
+        let mut in_internal = false;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => in_internal = true,
+                b']' => in_internal = false,
+                b'<' if in_internal => depth += 1,
+                b'>'
+                    if !in_internal => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Ok(());
+                        }
+                    }
+                _ => {}
+            }
+        }
+        Err(self.err("unterminated DOCTYPE"))
+    }
+
+    fn find(&self, needle: &str) -> Option<usize> {
+        self.src[self.pos..].find(needle).map(|i| self.pos + i)
+    }
+
+    /// Read a (possibly prefixed) name; `:` is accepted here and the
+    /// prefix/local split is validated by `split_name`.
+    fn read_name(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        let mut chars = self.src[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let mut end = self.src.len();
+        for (i, c) in chars {
+            if !(is_name_char(c) || c == ':') {
+                end = start + i;
+                break;
+            }
+        }
+        self.pos = end;
+        Ok(&self.src[start..end])
+    }
+
+    fn split_name(&self, name: &'a str) -> Result<(Option<&'a str>, &'a str)> {
+        match name.split_once(':') {
+            Some((p, l)) => {
+                if p.is_empty() || l.is_empty() || l.contains(':') {
+                    Err(self.err(format!("invalid QName {name:?}")))
+                } else {
+                    Ok((Some(p), l))
+                }
+            }
+            None => Ok((None, name)),
+        }
+    }
+
+    fn resolve(&self, prefix: Option<&str>, local: &str, is_attr: bool) -> Result<QName> {
+        match prefix {
+            None => {
+                if is_attr {
+                    // Unprefixed attributes are in no namespace.
+                    return Ok(QName::local(local));
+                }
+                // Default namespace for elements.
+                for (p, uri) in self.ns.iter().rev() {
+                    if p.is_none() {
+                        if uri.is_empty() {
+                            return Ok(QName::local(local));
+                        }
+                        return Ok(QName::ns(uri, local));
+                    }
+                }
+                Ok(QName::local(local))
+            }
+            Some("xml") => Ok(QName::prefixed(XML_NS, "xml", local)),
+            Some(p) => {
+                for (bp, uri) in self.ns.iter().rev() {
+                    if bp.as_deref() == Some(p) {
+                        if uri.is_empty() {
+                            return Err(Error::new(
+                                ErrorCode::UnboundPrefix,
+                                format!("prefix {p:?} has been undeclared"),
+                            )
+                            .at(self.pos));
+                        }
+                        return Ok(QName::prefixed(uri, p, local));
+                    }
+                }
+                Err(Error::new(ErrorCode::UnboundPrefix, format!("unbound prefix {p:?}"))
+                    .at(self.pos))
+            }
+        }
+    }
+
+    fn read_start_tag(&mut self) -> Result<XmlEvent> {
+        let raw_name = self.read_name()?;
+        let mut raw_attrs: Vec<(&'a str, String)> = Vec::new();
+        let mut decls: Vec<NamespaceDecl> = Vec::new();
+        loop {
+            let ws_start = self.pos;
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return self.finish_start_tag(raw_name, raw_attrs, decls, false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(">")?;
+                    return self.finish_start_tag(raw_name, raw_attrs, decls, true);
+                }
+                Some(_) => {
+                    if self.pos == ws_start {
+                        return Err(self.err("expected whitespace before attribute"));
+                    }
+                    if matches!(self.peek(), Some(b'>' | b'/')) {
+                        continue;
+                    }
+                    let attr_name = self.read_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.read_attr_value()?;
+                    // Namespace declarations are bindings, not attributes.
+                    if attr_name == "xmlns" {
+                        decls.push(NamespaceDecl { prefix: None, uri: Arc::from(value.as_str()) });
+                    } else if let Some(p) = attr_name.strip_prefix("xmlns:") {
+                        if p.is_empty() {
+                            return Err(self.err("empty namespace prefix"));
+                        }
+                        decls.push(NamespaceDecl {
+                            prefix: Some(Arc::from(p)),
+                            uri: Arc::from(value.as_str()),
+                        });
+                    } else {
+                        raw_attrs.push((attr_name, value));
+                    }
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn finish_start_tag(
+        &mut self,
+        raw_name: &'a str,
+        raw_attrs: Vec<(&'a str, String)>,
+        decls: Vec<NamespaceDecl>,
+        empty: bool,
+    ) -> Result<XmlEvent> {
+        if self.open.is_empty() {
+            if self.seen_root {
+                return Err(self.err("multiple root elements"));
+            }
+            self.seen_root = true;
+        }
+        // Push bindings before resolving names on this element.
+        for d in &decls {
+            self.ns.push((d.prefix.clone(), d.uri.clone()));
+        }
+        let (prefix, local) = self.split_name(raw_name)?;
+        let name = self.resolve(prefix, local, false)?;
+        let mut attributes = Vec::with_capacity(raw_attrs.len());
+        for (an, av) in &raw_attrs {
+            let (p, l) = self.split_name(an)?;
+            let qn = self.resolve(p, l, true)?;
+            if attributes.iter().any(|a: &Attribute| a.name == qn) {
+                return Err(Error::new(
+                    ErrorCode::DuplicateAttribute,
+                    format!("duplicate attribute {qn}"),
+                )
+                .at(self.pos));
+            }
+            attributes.push(Attribute { name: qn, value: Arc::from(av.as_str()) });
+        }
+        if empty {
+            self.pending_end = Some(name.clone());
+            // The frame is popped when the pending end is delivered.
+            self.open.push((name.clone(), decls.len()));
+        } else {
+            self.open.push((name.clone(), decls.len()));
+        }
+        Ok(XmlEvent::StartElement { name, attributes, namespaces: decls, empty })
+    }
+
+    fn pop_element(&mut self) {
+        if let Some((_, n_decls)) = self.open.pop() {
+            for _ in 0..n_decls {
+                self.ns.pop();
+            }
+        }
+    }
+
+    fn read_end_tag(&mut self) -> Result<XmlEvent> {
+        let raw_name = self.read_name()?;
+        self.skip_ws();
+        self.expect(">")?;
+        let (prefix, local) = self.split_name(raw_name)?;
+        let name = self.resolve(prefix, local, false)?;
+        match self.open.last() {
+            Some((open_name, _)) if *open_name == name => {
+                self.pop_element();
+                Ok(XmlEvent::EndElement { name })
+            }
+            Some((open_name, _)) => Err(self.err(format!(
+                "mismatched end tag: expected </{}>, found </{}>",
+                open_name, name
+            ))),
+            None => Err(self.err(format!("unmatched end tag </{name}>"))),
+        }
+    }
+
+    fn read_text(&mut self) -> Result<XmlEvent> {
+        if self.open.is_empty() {
+            return Err(self.err("text content outside the root element"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'<') => break,
+                Some(b'&') => {
+                    let c = self.read_entity()?;
+                    out.push_str(&c);
+                }
+                Some(b']') if self.input[self.pos..].starts_with(b"]]>") => {
+                    return Err(self.err("']]>' not allowed in character data"));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' || b == b'&' || (b == b']' && self.input[self.pos..].starts_with(b"]]>"))
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.src[start..self.pos]);
+                }
+            }
+        }
+        Ok(XmlEvent::Text(normalize_newlines(&out).into()))
+    }
+
+    fn read_entity(&mut self) -> Result<String> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let end = self.find(";").ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = &self.src[self.pos..end];
+        self.pos = end + 1;
+        Ok(match name {
+            "lt" => "<".into(),
+            "gt" => ">".into(),
+            "amp" => "&".into(),
+            "quot" => "\"".into(),
+            "apos" => "'".into(),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err(format!("invalid codepoint in &{name};")))?
+                    .to_string()
+            }
+            _ if name.starts_with('#') => {
+                let cp = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err(format!("invalid codepoint in &{name};")))?
+                    .to_string()
+            }
+            _ => {
+                return Err(self.err(format!(
+                    "unknown entity &{name}; (no DTD entity support)"
+                )))
+            }
+        })
+    }
+
+    fn read_attr_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'<') => return Err(self.err("'<' not allowed in attribute value")),
+                Some(b'&') => {
+                    let c = self.read_entity()?;
+                    out.push_str(&c);
+                }
+                Some(b'\t') | Some(b'\n') | Some(b'\r') => {
+                    // Attribute-value normalization: whitespace → space.
+                    out.push(' ');
+                    self.pos += 1;
+                    if self.src.as_bytes().get(self.pos.wrapping_sub(1)) == Some(&b'\r')
+                        && self.peek() == Some(b'\n')
+                    {
+                        self.pos += 1;
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' || b == b'<' || b == b'\t' || b == b'\n' || b == b'\r'
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.src[start..self.pos]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_comment(&mut self) -> Result<XmlEvent> {
+        let end = self.find("--").ok_or_else(|| self.err("unterminated comment"))?;
+        let text = &self.src[self.pos..end];
+        if !self.src[end..].starts_with("-->") {
+            return Err(self.err("'--' not allowed inside a comment"));
+        }
+        self.pos = end + 3;
+        Ok(XmlEvent::Comment(normalize_newlines(text).into()))
+    }
+
+    fn read_cdata(&mut self) -> Result<XmlEvent> {
+        if self.open.is_empty() {
+            return Err(self.err("CDATA outside the root element"));
+        }
+        let end = self.find("]]>").ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let text = &self.src[self.pos..end];
+        self.pos = end + 3;
+        Ok(XmlEvent::Text(normalize_newlines(text).into()))
+    }
+
+    fn read_pi(&mut self) -> Result<XmlEvent> {
+        let target = self.read_name()?;
+        if target.eq_ignore_ascii_case("xml") {
+            return Err(self.err("PI target 'xml' is reserved"));
+        }
+        let end = self.find("?>").ok_or_else(|| self.err("unterminated PI"))?;
+        let data = self.src[self.pos..end].trim_start();
+        self.pos = end + 2;
+        Ok(XmlEvent::ProcessingInstruction {
+            target: Arc::from(target),
+            data: Arc::from(normalize_newlines(data).as_str()),
+        })
+    }
+}
+
+/// XML 1.0 end-of-line handling: `\r\n` and `\r` become `\n`.
+fn normalize_newlines(s: &str) -> String {
+    if !s.contains('\r') {
+        return s.to_string();
+    }
+    s.replace("\r\n", "\n").replace('\r', "\n")
+}
+
+pub fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic()
+        || c == '_'
+        || (!c.is_ascii() && c.is_alphabetic())
+        || matches!(c, '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}')
+}
+
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.' || c == '\u{B7}'
+}
+
+/// Convenience: collect all events of a document, failing fast.
+pub fn parse_events(input: &str) -> Result<Vec<XmlEvent>> {
+    let mut reader = XmlReader::new(input);
+    let mut events = Vec::new();
+    loop {
+        let ev = reader.next_event()?;
+        let done = ev == XmlEvent::EndDocument;
+        events.push(ev);
+        if done {
+            return Ok(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(events: &[XmlEvent]) -> Vec<String> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::Text(t) => Some(t.to_string()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = parse_events("<a><b>hi</b></a>").unwrap();
+        assert_eq!(evs.len(), 7); // SD, <a>, <b>, text, </b>, </a>, ED
+        assert!(matches!(&evs[1], XmlEvent::StartElement { name, .. } if name.local_name() == "a"));
+        assert_eq!(texts(&evs), vec!["hi"]);
+    }
+
+    #[test]
+    fn empty_element_emits_balanced_events() {
+        let evs = parse_events("<a><b/></a>").unwrap();
+        let starts = evs.iter().filter(|e| e.is_start_element()).count();
+        let ends = evs.iter().filter(|e| e.is_end_element()).count();
+        assert_eq!(starts, 2);
+        assert_eq!(ends, 2);
+    }
+
+    #[test]
+    fn attributes_and_duplicates() {
+        let evs = parse_events(r#"<book year="1967" title='x'/>"#).unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes.len(), 2);
+                assert_eq!(&*attributes[0].value, "1967");
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DuplicateAttribute);
+    }
+
+    #[test]
+    fn namespace_resolution() {
+        let evs = parse_events(
+            r#"<book xmlns="urn:b" xmlns:a="urn:a"><a:ref a:isbn="1"/><title/></book>"#,
+        )
+        .unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { name, namespaces, .. } => {
+                assert_eq!(name.namespace(), Some("urn:b"));
+                assert_eq!(namespaces.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &evs[2] {
+            XmlEvent::StartElement { name, attributes, .. } => {
+                assert_eq!(name.namespace(), Some("urn:a"));
+                assert_eq!(name.local_name(), "ref");
+                // prefixed attribute is in the prefix namespace
+                assert_eq!(attributes[0].name.namespace(), Some("urn:a"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // <title/> inherits the default namespace
+        match &evs[4] {
+            XmlEvent::StartElement { name, .. } => assert_eq!(name.namespace(), Some("urn:b")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unprefixed_attribute_has_no_namespace() {
+        let evs = parse_events(r#"<a xmlns="urn:x" b="1"/>"#).unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].name.namespace(), None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_namespace_undeclaration() {
+        let evs = parse_events(r#"<a xmlns="urn:x"><b xmlns=""/></a>"#).unwrap();
+        match &evs[2] {
+            XmlEvent::StartElement { name, .. } => assert_eq!(name.namespace(), None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_prefix_is_an_error() {
+        let err = parse_events("<x:a/>").unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnboundPrefix);
+    }
+
+    #[test]
+    fn xml_prefix_is_predeclared() {
+        let evs = parse_events(r#"<a xml:lang="en"/>"#).unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].name.namespace(), Some(XML_NS));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let evs = parse_events("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>").unwrap();
+        assert_eq!(texts(&evs), vec![r#"<>&"'AB"#]);
+        assert!(parse_events("<a>&nope;</a>").is_err());
+        assert!(parse_events("<a>&#xD800;</a>").is_err()); // surrogate
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let evs = parse_events("<a><![CDATA[<not> & markup]]></a>").unwrap();
+        assert_eq!(texts(&evs), vec!["<not> & markup"]);
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = parse_events("<a><!-- note --><?target some data?></a>").unwrap();
+        assert!(matches!(&evs[2], XmlEvent::Comment(c) if &**c == " note "));
+        assert!(matches!(
+            &evs[3],
+            XmlEvent::ProcessingInstruction { target, data }
+                if &**target == "target" && &**data == "some data"
+        ));
+        assert!(parse_events("<a><!-- a -- b --></a>").is_err());
+    }
+
+    #[test]
+    fn prolog_is_skipped() {
+        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ENTITY x \"y\">]>\n<!-- hi -->\n<a/>";
+        let evs = parse_events(doc).unwrap();
+        assert!(evs.iter().any(|e| e.is_start_element()));
+    }
+
+    #[test]
+    fn well_formedness_errors() {
+        assert!(parse_events("<a><b></a></b>").is_err());
+        assert!(parse_events("<a>").is_err());
+        assert!(parse_events("</a>").is_err());
+        assert!(parse_events("<a/><b/>").is_err());
+        assert!(parse_events("text").is_err());
+        assert!(parse_events("").is_err());
+        assert!(parse_events("<a>]]></a>").is_err());
+        assert!(parse_events("<a b=<c>/>").is_err());
+        assert!(parse_events(r#"<a b="x<y"/>"#).is_err());
+    }
+
+    #[test]
+    fn mixed_content_order_is_preserved() {
+        let evs = parse_events("<s>The great <title>P</title> Even facts</s>").unwrap();
+        let kinds: Vec<&str> = evs
+            .iter()
+            .map(|e| match e {
+                XmlEvent::StartDocument => "SD",
+                XmlEvent::EndDocument => "ED",
+                XmlEvent::StartElement { .. } => "SE",
+                XmlEvent::EndElement { .. } => "EE",
+                XmlEvent::Text(_) => "T",
+                XmlEvent::Comment(_) => "C",
+                XmlEvent::ProcessingInstruction { .. } => "PI",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["SD", "SE", "T", "SE", "T", "EE", "T", "EE", "ED"]);
+    }
+
+    #[test]
+    fn attribute_value_normalization() {
+        let evs = parse_events("<a b=\"x\n\ty\"/>").unwrap();
+        match &evs[1] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(&*attributes[0].value, "x  y");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn newline_normalization_in_text() {
+        let evs = parse_events("<a>x\r\ny\rz</a>").unwrap();
+        assert_eq!(texts(&evs), vec!["x\ny\nz"]);
+    }
+
+    #[test]
+    fn nested_namespace_scopes() {
+        // The talk's "nested scopes" slide: same prefix rebound inside.
+        let doc = r#"<a xmlns:ns="uri1"><ns:x/><b xmlns:ns="uri2"><ns:x/></b><ns:x/></a>"#;
+        let evs = parse_events(doc).unwrap();
+        let uris: Vec<Option<String>> = evs
+            .iter()
+            .filter_map(|e| match e {
+                XmlEvent::StartElement { name, .. } if name.local_name() == "x" => {
+                    Some(name.namespace().map(str::to_string))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            uris,
+            vec![
+                Some("uri1".to_string()),
+                Some("uri2".to_string()),
+                Some("uri1".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut doc = String::new();
+        for _ in 0..1000 {
+            doc.push_str("<a>");
+        }
+        for _ in 0..1000 {
+            doc.push_str("</a>");
+        }
+        let evs = parse_events(&doc).unwrap();
+        assert_eq!(evs.len(), 2002);
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let evs = parse_events("<données champ=\"é\">日本語</données>").unwrap();
+        assert!(matches!(&evs[1], XmlEvent::StartElement { name, .. } if name.local_name() == "données"));
+        assert_eq!(texts(&evs), vec!["日本語"]);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::parse_events;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn xml_parser_never_panics(s in ".{0,100}") {
+            let _ = parse_events(&s);
+        }
+
+        #[test]
+        fn xml_parser_never_panics_on_markupish(s in "[a-z<>/=\"'& ;!\\[\\]-]{0,80}") {
+            let _ = parse_events(&s);
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Event-driven XML serializer ("(DM4) Serialize" in the talk's processing
+//! picture). Consumes [`XmlEvent`]s — from the reader, the TokenStream, or
+//! query results — and produces well-formed markup with correct escaping.
+
+use crate::event::{NamespaceDecl, XmlEvent};
+use xqr_xdm::{Error, QName, Result};
+
+/// Escape character data content.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape attribute values (double-quote delimited).
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\t' => out.push_str("&#9;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct WriterOptions {
+    /// Pretty-print with this indent string per depth level; `None`
+    /// writes everything on one line (lossless).
+    pub indent: Option<String>,
+    /// Emit an XML declaration first.
+    pub declaration: bool,
+}
+
+
+/// Streaming writer: feed events in document order; read the buffer at
+/// any point (the streaming benches measure time-to-first-byte this way).
+pub struct XmlWriter {
+    out: String,
+    opts: WriterOptions,
+    depth: usize,
+    /// Start tag is open, awaiting `>`; lets `<a/>` collapse.
+    tag_open: bool,
+    /// The element just opened had no children yet (drives indenting and
+    /// empty-tag collapsing).
+    last_was_start: bool,
+    /// Pending element name stack for end tags.
+    stack: Vec<QName>,
+    /// True once any non-whitespace content was written into the current
+    /// element, which suppresses pretty-printing inside mixed content.
+    mixed: Vec<bool>,
+}
+
+impl XmlWriter {
+    pub fn new(opts: WriterOptions) -> Self {
+        let mut out = String::new();
+        if opts.declaration {
+            out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+            if opts.indent.is_some() {
+                out.push('\n');
+            }
+        }
+        XmlWriter { out, opts, depth: 0, tag_open: false, last_was_start: false, stack: Vec::new(), mixed: vec![false] }
+    }
+
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn close_tag_if_open(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(indent) = &self.opts.indent {
+            if !self.out.is_empty() && !self.mixed.last().copied().unwrap_or(false) {
+                self.out.push('\n');
+                for _ in 0..self.depth {
+                    self.out.push_str(indent);
+                }
+            }
+        }
+    }
+
+    /// Write one event. Events must arrive balanced and in order.
+    pub fn write(&mut self, event: &XmlEvent) -> Result<()> {
+        match event {
+            XmlEvent::StartDocument | XmlEvent::EndDocument => {}
+            XmlEvent::StartElement { name, attributes, namespaces, .. } => {
+                self.close_tag_if_open();
+                self.newline_indent();
+                self.out.push('<');
+                self.out.push_str(&name.lexical());
+                for d in namespaces {
+                    self.write_ns_decl(d);
+                }
+                for a in attributes {
+                    self.out.push(' ');
+                    self.out.push_str(&a.name.lexical());
+                    self.out.push_str("=\"");
+                    escape_attr(&a.value, &mut self.out);
+                    self.out.push('"');
+                }
+                self.tag_open = true;
+                self.last_was_start = true;
+                self.depth += 1;
+                self.stack.push(name.clone());
+                self.mixed.push(false);
+            }
+            XmlEvent::EndElement { .. } => {
+                let name = self.stack.pop().ok_or_else(|| {
+                    Error::internal("unbalanced EndElement in serializer")
+                })?;
+                self.depth -= 1;
+                let was_mixed = self.mixed.pop().unwrap_or(false);
+                if self.tag_open {
+                    self.out.push_str("/>");
+                    self.tag_open = false;
+                } else {
+                    if !self.last_was_start && !was_mixed {
+                        self.newline_indent();
+                    }
+                    self.out.push_str("</");
+                    self.out.push_str(&name.lexical());
+                    self.out.push('>');
+                }
+                self.last_was_start = false;
+            }
+            XmlEvent::Text(t) => {
+                self.close_tag_if_open();
+                if let Some(m) = self.mixed.last_mut() {
+                    *m = true;
+                }
+                escape_text(t, &mut self.out);
+                self.last_was_start = false;
+            }
+            XmlEvent::Comment(c) => {
+                self.close_tag_if_open();
+                self.newline_indent();
+                self.out.push_str("<!--");
+                self.out.push_str(c);
+                self.out.push_str("-->");
+                self.last_was_start = false;
+            }
+            XmlEvent::ProcessingInstruction { target, data } => {
+                self.close_tag_if_open();
+                self.newline_indent();
+                self.out.push_str("<?");
+                self.out.push_str(target);
+                if !data.is_empty() {
+                    self.out.push(' ');
+                    self.out.push_str(data);
+                }
+                self.out.push_str("?>");
+                self.last_was_start = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_ns_decl(&mut self, d: &NamespaceDecl) {
+        self.out.push(' ');
+        match &d.prefix {
+            None => self.out.push_str("xmlns"),
+            Some(p) => {
+                self.out.push_str("xmlns:");
+                self.out.push_str(p);
+            }
+        }
+        self.out.push_str("=\"");
+        escape_attr(&d.uri, &mut self.out);
+        self.out.push('"');
+    }
+}
+
+/// Serialize a whole event stream to a string.
+pub fn serialize_events<'a>(
+    events: impl IntoIterator<Item = &'a XmlEvent>,
+    opts: WriterOptions,
+) -> Result<String> {
+    let mut w = XmlWriter::new(opts);
+    for ev in events {
+        w.write(ev)?;
+    }
+    Ok(w.into_string())
+}
+
+/// Parse and re-serialize: the canonicalization used by roundtrip tests.
+pub fn reserialize(input: &str) -> Result<String> {
+    let events = crate::reader::parse_events(input)?;
+    serialize_events(&events, WriterOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::parse_events;
+
+    #[test]
+    fn roundtrip_simple() {
+        let doc = r#"<a b="1"><c>text</c><d/></a>"#;
+        assert_eq!(reserialize(doc).unwrap(), doc);
+    }
+
+    #[test]
+    fn escaping_in_text_and_attrs() {
+        let events = parse_events("<a b=\"&quot;&lt;\">x &amp; y &lt; z</a>").unwrap();
+        let out = serialize_events(&events, WriterOptions::default()).unwrap();
+        assert_eq!(out, "<a b=\"&quot;&lt;\">x &amp; y &lt; z</a>");
+        // and it parses back to the same content
+        assert_eq!(reserialize(&out).unwrap(), out);
+    }
+
+    #[test]
+    fn namespace_decls_roundtrip() {
+        let doc = r#"<b:a xmlns:b="urn:b" b:x="1"><b:c/></b:a>"#;
+        assert_eq!(reserialize(doc).unwrap(), doc);
+    }
+
+    #[test]
+    fn empty_element_collapses() {
+        assert_eq!(reserialize("<a></a>").unwrap(), "<a/>");
+        assert_eq!(reserialize("<a> </a>").unwrap(), "<a> </a>");
+    }
+
+    #[test]
+    fn indentation() {
+        let events = parse_events("<a><b><c/></b><d>t</d></a>").unwrap();
+        let out = serialize_events(
+            &events,
+            WriterOptions { indent: Some("  ".into()), declaration: false },
+        )
+        .unwrap();
+        assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n  <d>t</d>\n</a>");
+    }
+
+    #[test]
+    fn declaration_emitted() {
+        let events = parse_events("<a/>").unwrap();
+        let out = serialize_events(
+            &events,
+            WriterOptions { indent: None, declaration: true },
+        )
+        .unwrap();
+        assert!(out.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn comment_and_pi_roundtrip() {
+        let doc = "<a><!-- note --><?t d?></a>";
+        assert_eq!(reserialize(doc).unwrap(), doc);
+    }
+
+    #[test]
+    fn cdata_becomes_escaped_text() {
+        assert_eq!(
+            reserialize("<a><![CDATA[<x>&]]></a>").unwrap(),
+            "<a>&lt;x&gt;&amp;</a>"
+        );
+    }
+
+    #[test]
+    fn mixed_content_not_reindented() {
+        let events = parse_events("<p>one <b>two</b> three</p>").unwrap();
+        let out = serialize_events(
+            &events,
+            WriterOptions { indent: Some("  ".into()), declaration: false },
+        )
+        .unwrap();
+        assert_eq!(out, "<p>one <b>two</b> three</p>");
+    }
+}

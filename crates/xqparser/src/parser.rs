@@ -1,0 +1,1917 @@
+//! Recursive-descent XQuery parser.
+//!
+//! Character-level (no separate token stream): XQuery's lexical grammar
+//! is mode-dependent (direct constructors embed XML syntax, `*` is an
+//! operator after an operand and a wildcard at operand position), which
+//! a hand-rolled descent handles naturally. Namespace prefixes are
+//! resolved *during* parsing against the prolog and any in-scope
+//! constructor `xmlns` attributes — the talk's "nested scopes" slide is
+//! a parser concern here, not a runtime one.
+
+use crate::ast::*;
+use xqr_xdm::{
+    AtomicType, AtomicValue, Decimal, Error, ErrorCode, ItemType, NameTest, NodeKind, Occurrence,
+    QName, Result, SequenceType,
+};
+
+pub const XS_NS: &str = "http://www.w3.org/2001/XMLSchema";
+pub const XDT_NS: &str = "http://www.w3.org/2003/11/xpath-datatypes";
+pub const FN_NS: &str = "http://www.w3.org/2003/11/xpath-functions";
+pub const LOCAL_NS: &str = "http://www.w3.org/2003/11/xquery-local-functions";
+pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// Stack reserved for the parse thread. Recursive descent over ~17
+/// productions per nesting level is stack-hungry in unoptimized builds;
+/// parsing on a dedicated thread makes the depth guard ([`MAX_DEPTH`])
+/// the only nesting limit, independent of the caller's stack.
+const PARSER_STACK_BYTES: usize = 32 * 1024 * 1024;
+
+/// Parse a complete query (prolog + body).
+pub fn parse_query(src: &str) -> Result<Module> {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("xqr-parse".into())
+            .stack_size(PARSER_STACK_BYTES)
+            .spawn_scoped(scope, || {
+                let mut p = Parser::new(src);
+                p.parse_module()
+            })
+            .expect("spawn parser thread")
+            .join()
+            .expect("parser thread panicked")
+    })
+}
+
+/// Parse a standalone expression (no prolog) — convenient in tests.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let module = parse_query(src)?;
+    Ok(module.body)
+}
+
+struct NsBinding {
+    prefix: String,
+    uri: String,
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    ns: Vec<NsBinding>,
+    /// Stack of default element namespaces (constructor-scoped).
+    default_elem_ns: Vec<Option<String>>,
+    default_fn_ns: String,
+    /// Boundary-space policy for direct constructors.
+    preserve_boundary_space: bool,
+    /// Expression nesting depth (guards against stack exhaustion on
+    /// adversarial input).
+    depth: usize,
+}
+
+/// Maximum expression nesting depth before the parser reports a limit
+/// error instead of risking stack exhaustion.
+pub const MAX_DEPTH: usize = 200;
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        let ns = vec![
+            NsBinding { prefix: "xml".into(), uri: XML_NS.into() },
+            NsBinding { prefix: "xs".into(), uri: XS_NS.into() },
+            NsBinding { prefix: "xsd".into(), uri: XS_NS.into() },
+            NsBinding { prefix: "xdt".into(), uri: XDT_NS.into() },
+            NsBinding { prefix: "fn".into(), uri: FN_NS.into() },
+            NsBinding { prefix: "xf".into(), uri: FN_NS.into() },
+            NsBinding { prefix: "local".into(), uri: LOCAL_NS.into() },
+        ];
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            ns,
+            default_elem_ns: vec![None],
+            default_fn_ns: FN_NS.into(),
+            preserve_boundary_space: false,
+            depth: 0,
+        }
+    }
+
+    // ---- low-level cursor -------------------------------------------------
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::syntax(msg.into()).at(self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    /// Skip whitespace and (nested) `(: ... :)` comments.
+    fn ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.starts_with("(:") {
+                let mut depth = 0usize;
+                while self.pos < self.bytes.len() {
+                    if self.starts_with("(:") {
+                        depth += 1;
+                        self.pos += 2;
+                    } else if self.starts_with(":)") {
+                        depth -= 1;
+                        self.pos += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Consume a literal symbol after skipping whitespace.
+    fn eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    /// Consume a keyword (word-boundary checked).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.ws();
+        if self.starts_with(kw) {
+            let after = self.pos + kw.len();
+            let boundary = match self.bytes.get(after) {
+                None => true,
+                Some(&b) => !(b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.'),
+            };
+            if boundary {
+                self.pos = after;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Peek a keyword without consuming.
+    fn peek_kw(&mut self, kw: &str) -> bool {
+        let save = self.pos;
+        let ok = self.eat_kw(kw);
+        self.pos = save;
+        ok
+    }
+
+    /// Peek keyword sequence like ["for", "$"].
+    fn peek_kw_then(&mut self, kw: &str, sym: &str) -> bool {
+        let save = self.pos;
+        let ok = self.eat_kw(kw) && self.eat(sym);
+        self.pos = save;
+        ok
+    }
+
+    fn peek_two_kw(&mut self, kw1: &str, kw2: &str) -> bool {
+        let save = self.pos;
+        let ok = self.eat_kw(kw1) && self.eat_kw(kw2);
+        self.pos = save;
+        ok
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.ws();
+        self.pos >= self.bytes.len()
+    }
+
+    // ---- names ------------------------------------------------------------
+
+    fn parse_ncname(&mut self) -> Result<String> {
+        self.ws();
+        let start = self.pos;
+        let mut chars = self.src[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if xqr_xmlparse::is_name_start(c) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let mut end = self.src.len();
+        for (i, c) in chars {
+            if !xqr_xmlparse::is_name_char(c) {
+                end = start + i;
+                break;
+            }
+        }
+        self.pos = end;
+        Ok(self.src[start..end].to_string())
+    }
+
+    /// `prefix:local` or `local`. Returns (prefix, local). The `:` is
+    /// only consumed when a name follows — `axis::`, `prefix:*` and
+    /// `let $x := …` keep their colons.
+    fn parse_raw_qname(&mut self) -> Result<(Option<String>, String)> {
+        let first = self.parse_ncname()?;
+        let name_follows = self.peek() == Some(b':')
+            && self
+                .peek_at(1)
+                .is_some_and(|b| b.is_ascii_alphabetic() || b == b'_' || b >= 0x80);
+        if name_follows {
+            self.pos += 1;
+            let local = self.parse_ncname_nows()?;
+            Ok((Some(first), local))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn parse_ncname_nows(&mut self) -> Result<String> {
+        let start = self.pos;
+        let mut chars = self.src[self.pos..].char_indices();
+        match chars.next() {
+            Some((_, c)) if xqr_xmlparse::is_name_start(c) => {}
+            _ => return Err(self.err("expected a name after ':'")),
+        }
+        let mut end = self.src.len();
+        for (i, c) in chars {
+            if !xqr_xmlparse::is_name_char(c) {
+                end = start + i;
+                break;
+            }
+        }
+        self.pos = end;
+        Ok(self.src[start..end].to_string())
+    }
+
+    fn lookup_prefix(&self, prefix: &str) -> Result<String> {
+        for b in self.ns.iter().rev() {
+            if b.prefix == prefix {
+                return Ok(b.uri.clone());
+            }
+        }
+        Err(Error::new(ErrorCode::UnboundPrefix, format!("unbound prefix {prefix:?}"))
+            .at(self.pos))
+    }
+
+    /// Resolve a parsed raw name in element context (default element ns
+    /// applies when no prefix).
+    fn resolve_element_name(&mut self, prefix: Option<String>, local: String) -> Result<QName> {
+        match prefix {
+            Some(p) => {
+                let uri = self.lookup_prefix(&p)?;
+                Ok(QName::prefixed(&uri, &p, &local))
+            }
+            None => match self.default_elem_ns.last().and_then(|o| o.clone()) {
+                Some(uri) if !uri.is_empty() => Ok(QName::ns(&uri, &local)),
+                _ => Ok(QName::local(&local)),
+            },
+        }
+    }
+
+    /// Resolve in no-default context (attributes, variables).
+    fn resolve_plain_name(&mut self, prefix: Option<String>, local: String) -> Result<QName> {
+        match prefix {
+            Some(p) => {
+                let uri = self.lookup_prefix(&p)?;
+                Ok(QName::prefixed(&uri, &p, &local))
+            }
+            None => Ok(QName::local(&local)),
+        }
+    }
+
+    /// Resolve a function name (default function ns applies).
+    fn resolve_function_name(&mut self, prefix: Option<String>, local: String) -> Result<QName> {
+        match prefix {
+            Some(p) => {
+                let uri = self.lookup_prefix(&p)?;
+                Ok(QName::prefixed(&uri, &p, &local))
+            }
+            None => Ok(QName::ns(&self.default_fn_ns.clone(), &local)),
+        }
+    }
+
+    fn parse_var_name(&mut self) -> Result<QName> {
+        self.expect("$")?;
+        let (p, l) = self.parse_raw_qname()?;
+        self.resolve_plain_name(p, l)
+    }
+
+    // ---- module & prolog ---------------------------------------------------
+
+    fn parse_module(&mut self) -> Result<Module> {
+        let prolog = self.parse_prolog()?;
+        let body = self.parse_expr()?;
+        if !self.at_eof() {
+            return Err(self.err("unexpected trailing input after query body"));
+        }
+        Ok(Module { prolog, body })
+    }
+
+    fn parse_prolog(&mut self) -> Result<Prolog> {
+        let mut prolog = Prolog::default();
+        loop {
+            self.ws();
+            let save = self.pos;
+            let decl_kw = self.eat_kw("declare") || self.eat_kw("define");
+            if !decl_kw {
+                // `import module`/`import schema`/`module namespace` are
+                // the (unsupported) module & schema-import features.
+                if self.peek_two_kw("import", "module")
+                    || self.peek_two_kw("import", "schema")
+                    || self.peek_two_kw("module", "namespace")
+                {
+                    return Err(Error::new(
+                        ErrorCode::StaticProlog,
+                        "the module feature is not supported: inline the library functions",
+                    )
+                    .at(self.pos));
+                }
+                break;
+            }
+            if self.eat_kw("boundary-space") {
+                if self.eat_kw("preserve") {
+                    self.preserve_boundary_space = true;
+                    prolog.boundary_space_preserve = true;
+                } else if self.eat_kw("strip") {
+                    self.preserve_boundary_space = false;
+                } else {
+                    return Err(self.err("expected 'preserve' or 'strip'"));
+                }
+                self.expect(";")?;
+            } else if self.eat_kw("namespace") {
+                let prefix = self.parse_ncname()?;
+                self.expect("=")?;
+                let uri = self.parse_string_literal()?;
+                self.ns.push(NsBinding { prefix: prefix.clone(), uri: uri.clone() });
+                prolog.namespaces.push((prefix, uri));
+                self.expect(";")?;
+            } else if self.eat_kw("default") {
+                if self.eat_kw("element") {
+                    self.expect_kw("namespace")?;
+                    let uri = self.parse_string_literal()?;
+                    self.default_elem_ns[0] = Some(uri.clone());
+                    prolog.default_element_ns = Some(uri);
+                } else if self.eat_kw("function") {
+                    self.expect_kw("namespace")?;
+                    let uri = self.parse_string_literal()?;
+                    self.default_fn_ns = uri.clone();
+                    prolog.default_function_ns = Some(uri);
+                } else {
+                    return Err(self.err("expected 'element' or 'function' after 'default'"));
+                }
+                self.expect(";")?;
+            } else if self.eat_kw("variable") {
+                let name = self.parse_var_name()?;
+                let ty = if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                let value = if self.eat_kw("external") {
+                    None
+                } else if self.eat(":=") {
+                    Some(self.parse_expr_single()?)
+                } else if self.eat("{") {
+                    // Older `define variable $x { expr }` syntax (as in
+                    // the talk's module example).
+                    let e = self.parse_expr()?;
+                    self.expect("}")?;
+                    Some(e)
+                } else {
+                    return Err(self.err("expected ':=', '{' or 'external' in variable declaration"));
+                };
+                prolog.variables.push(VarDecl { name, ty, value });
+                self.expect(";").ok(); // tolerate missing ';' in old syntax
+            } else if self.eat_kw("function") {
+                let (p, l) = self.parse_raw_qname()?;
+                let name = match p {
+                    Some(_) => self.resolve_function_name(p, l)?,
+                    // Unprefixed declarations land in local: per spec.
+                    None => QName::prefixed(LOCAL_NS, "local", &l),
+                };
+                self.expect("(")?;
+                let mut params = Vec::new();
+                if !self.eat(")") {
+                    loop {
+                        let pname = self.parse_var_name()?;
+                        let pty = if self.eat_kw("as") {
+                            Some(self.parse_sequence_type()?)
+                        } else {
+                            None
+                        };
+                        params.push((pname, pty));
+                        if self.eat(")") {
+                            break;
+                        }
+                        self.expect(",")?;
+                    }
+                }
+                let return_type =
+                    if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                let body = if self.eat_kw("external") {
+                    None
+                } else {
+                    self.expect("{")?;
+                    let e = self.parse_expr()?;
+                    self.expect("}")?;
+                    Some(e)
+                };
+                prolog.functions.push(FunctionDecl { name, params, return_type, body });
+                self.expect(";").ok();
+            } else {
+                // Not a prolog declaration we know: rewind (could be the
+                // body starting with a path like `declare/...` — unlikely
+                // but don't swallow).
+                self.pos = save;
+                break;
+            }
+        }
+        Ok(prolog)
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// Expr := ExprSingle ("," ExprSingle)*
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let first = self.parse_expr_single()?;
+        if !self.peek_comma() {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat(",") {
+            items.push(self.parse_expr_single()?);
+        }
+        Ok(Expr::Sequence(items, pos))
+    }
+
+    fn peek_comma(&mut self) -> bool {
+        self.ws();
+        self.peek() == Some(b',')
+    }
+
+    fn parse_expr_single(&mut self) -> Result<Expr> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.depth -= 1;
+            return Err(Error::new(
+                ErrorCode::Limit,
+                format!("expression nesting exceeds {MAX_DEPTH} levels"),
+            )
+            .at(self.pos));
+        }
+        let result = self.parse_expr_single_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_single_inner(&mut self) -> Result<Expr> {
+        self.ws();
+        if self.peek_kw_then("validate", "{")
+            || (self.peek_kw("validate")
+                && {
+                    let save = self.pos;
+                    let two = self.eat_kw("validate")
+                        && (self.eat_kw("lax") || self.eat_kw("strict"))
+                        && self.eat("{");
+                    self.pos = save;
+                    two
+                })
+        {
+            return Err(Error::new(
+                ErrorCode::StaticProlog,
+                "the schema validation feature is not supported (see DESIGN.md)",
+            )
+            .at(self.pos));
+        }
+        if self.peek_kw_then("for", "$") || self.peek_kw_then("let", "$") {
+            return self.parse_flwor();
+        }
+        if self.peek_kw_then("some", "$") || self.peek_kw_then("every", "$") {
+            return self.parse_quantified();
+        }
+        if self.peek_kw_then("if", "(") {
+            return self.parse_if();
+        }
+        if self.peek_kw_then("typeswitch", "(") {
+            return self.parse_typeswitch();
+        }
+        self.parse_or()
+    }
+
+    fn parse_flwor(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut clauses = Vec::new();
+        loop {
+            if self.peek_kw_then("for", "$") {
+                self.eat_kw("for");
+                loop {
+                    let var = self.parse_var_name()?;
+                    let ty =
+                        if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                    let position = if self.eat_kw("at") {
+                        Some(self.parse_var_name()?)
+                    } else {
+                        None
+                    };
+                    self.expect_kw("in")?;
+                    let source = self.parse_expr_single()?;
+                    clauses.push(FlworClause::For { var, position, ty, source });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else if self.peek_kw_then("let", "$") {
+                self.eat_kw("let");
+                loop {
+                    let var = self.parse_var_name()?;
+                    let ty =
+                        if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                    self.expect(":=")?;
+                    let value = self.parse_expr_single()?;
+                    clauses.push(FlworClause::Let { var, ty, value });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(Box::new(self.parse_expr_single()?))
+        } else {
+            None
+        };
+        let mut stable = false;
+        let mut order_by = Vec::new();
+        if self.peek_two_kw("stable", "order") {
+            self.eat_kw("stable");
+            stable = true;
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let key = self.parse_expr_single()?;
+                let descending = if self.eat_kw("descending") {
+                    true
+                } else {
+                    self.eat_kw("ascending");
+                    false
+                };
+                let empty_least = if self.eat_kw("empty") {
+                    if self.eat_kw("least") {
+                        Some(true)
+                    } else if self.eat_kw("greatest") {
+                        Some(false)
+                    } else {
+                        return Err(self.err("expected 'least' or 'greatest' after 'empty'"));
+                    }
+                } else {
+                    None
+                };
+                order_by.push(OrderSpec { key, descending, empty_least });
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("return")?;
+        let return_clause = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Flwor { clauses, where_clause, order_by, stable, return_clause, pos })
+    }
+
+    fn parse_quantified(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let every = if self.eat_kw("every") {
+            true
+        } else {
+            self.eat_kw("some");
+            false
+        };
+        let mut bindings = Vec::new();
+        loop {
+            let var = self.parse_var_name()?;
+            let ty = if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+            self.expect_kw("in")?;
+            let source = self.parse_expr_single()?;
+            bindings.push((var, ty, source));
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect_kw("satisfies")?;
+        let satisfies = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Quantified { every, bindings, satisfies, pos })
+    }
+
+    fn parse_if(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        self.eat_kw("if");
+        self.expect("(")?;
+        let cond = Box::new(self.parse_expr()?);
+        self.expect(")")?;
+        self.expect_kw("then")?;
+        let then_branch = Box::new(self.parse_expr_single()?);
+        self.expect_kw("else")?;
+        let else_branch = Box::new(self.parse_expr_single()?);
+        Ok(Expr::If { cond, then_branch, else_branch, pos })
+    }
+
+    fn parse_typeswitch(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        self.eat_kw("typeswitch");
+        self.expect("(")?;
+        let operand = Box::new(self.parse_expr()?);
+        self.expect(")")?;
+        let mut cases = Vec::new();
+        while self.eat_kw("case") {
+            let var = if self.ws_peek() == Some(b'$') {
+                let v = self.parse_var_name()?;
+                self.expect("as")?;
+                Some(v)
+            } else {
+                None
+            };
+            let ty = self.parse_sequence_type()?;
+            self.expect_kw("return")?;
+            let body = self.parse_expr_single()?;
+            cases.push(TypeswitchCase { var, ty, body });
+        }
+        if cases.is_empty() {
+            return Err(self.err("typeswitch needs at least one case"));
+        }
+        self.expect_kw("default")?;
+        let default_var = if self.ws_peek() == Some(b'$') {
+            Some(self.parse_var_name()?)
+        } else {
+            None
+        };
+        self.expect_kw("return")?;
+        let default_body = Box::new(self.parse_expr_single()?);
+        Ok(Expr::Typeswitch { operand, cases, default_var, default_body, pos })
+    }
+
+    fn ws_peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.peek()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_comparison()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_comparison()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_range()?;
+        let op = self.try_comparison_op();
+        match op {
+            Some(op) => {
+                let rhs = self.parse_range()?;
+                Ok(Expr::Comparison(op, Box::new(lhs), Box::new(rhs), pos))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn try_comparison_op(&mut self) -> Option<CompOp> {
+        self.ws();
+        // Multi-char symbols first.
+        for (sym, op) in [
+            ("<<", CompOp::Before),
+            (">>", CompOp::After),
+            ("<=", CompOp::GenLe),
+            (">=", CompOp::GenGe),
+            ("!=", CompOp::GenNe),
+        ] {
+            if self.starts_with(sym) {
+                self.pos += sym.len();
+                return Some(op);
+            }
+        }
+        // `<` could start a direct constructor only at operand position;
+        // here we are at operator position, so it is a comparison.
+        if self.starts_with("<") {
+            self.pos += 1;
+            return Some(CompOp::GenLt);
+        }
+        if self.starts_with(">") {
+            self.pos += 1;
+            return Some(CompOp::GenGt);
+        }
+        if self.starts_with("=") {
+            self.pos += 1;
+            return Some(CompOp::GenEq);
+        }
+        for (kw, op) in [
+            ("eq", CompOp::ValEq),
+            ("ne", CompOp::ValNe),
+            ("lt", CompOp::ValLt),
+            ("le", CompOp::ValLe),
+            ("gt", CompOp::ValGt),
+            ("ge", CompOp::ValGe),
+            ("is", CompOp::Is),
+        ] {
+            if self.eat_kw(kw) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn parse_range(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_additive()?;
+        if self.eat_kw("to") {
+            let rhs = self.parse_additive()?;
+            Ok(Expr::Range(Box::new(lhs), Box::new(rhs), pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            self.ws();
+            if self.starts_with("+") {
+                self.pos += 1;
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Arith(ArithOp::Add, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.starts_with("-") {
+                self.pos += 1;
+                let rhs = self.parse_multiplicative()?;
+                lhs = Expr::Arith(ArithOp::Sub, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_union_expr()?;
+        loop {
+            self.ws();
+            if self.starts_with("*") {
+                self.pos += 1;
+                let rhs = self.parse_union_expr()?;
+                lhs = Expr::Arith(ArithOp::Mul, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat_kw("div") {
+                let rhs = self.parse_union_expr()?;
+                lhs = Expr::Arith(ArithOp::Div, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat_kw("idiv") {
+                let rhs = self.parse_union_expr()?;
+                lhs = Expr::Arith(ArithOp::IDiv, Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat_kw("mod") {
+                let rhs = self.parse_union_expr()?;
+                lhs = Expr::Arith(ArithOp::Mod, Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_union_expr(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_intersect_except()?;
+        loop {
+            self.ws();
+            if self.eat_kw("union") || (self.starts_with("|") && !self.starts_with("||")) {
+                if self.peek() == Some(b'|') {
+                    self.pos += 1;
+                }
+                let rhs = self.parse_intersect_except()?;
+                lhs = Expr::Union(Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_intersect_except(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut lhs = self.parse_instance_of()?;
+        loop {
+            if self.eat_kw("intersect") {
+                let rhs = self.parse_instance_of()?;
+                lhs = Expr::Intersect(Box::new(lhs), Box::new(rhs), pos);
+            } else if self.eat_kw("except") {
+                let rhs = self.parse_instance_of()?;
+                lhs = Expr::Except(Box::new(lhs), Box::new(rhs), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_instance_of(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_treat()?;
+        if self.peek_two_kw("instance", "of") {
+            self.eat_kw("instance");
+            self.eat_kw("of");
+            let ty = self.parse_sequence_type()?;
+            Ok(Expr::InstanceOf(Box::new(lhs), ty, pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_treat(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_castable()?;
+        if self.peek_two_kw("treat", "as") {
+            self.eat_kw("treat");
+            self.eat_kw("as");
+            let ty = self.parse_sequence_type()?;
+            Ok(Expr::TreatAs(Box::new(lhs), ty, pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_castable(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_cast()?;
+        if self.peek_two_kw("castable", "as") {
+            self.eat_kw("castable");
+            self.eat_kw("as");
+            let ty = self.parse_single_type()?;
+            Ok(Expr::CastableAs(Box::new(lhs), ty, pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_cast(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let lhs = self.parse_unary()?;
+        if self.peek_two_kw("cast", "as") {
+            self.eat_kw("cast");
+            self.eat_kw("as");
+            let ty = self.parse_single_type()?;
+            Ok(Expr::CastAs(Box::new(lhs), ty, pos))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let mut negs = 0usize;
+        loop {
+            self.ws();
+            if self.starts_with("-") {
+                self.pos += 1;
+                negs += 1;
+            } else if self.starts_with("+") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let inner = self.parse_path()?;
+        if negs % 2 == 1 {
+            Ok(Expr::Neg(Box::new(inner), pos))
+        } else {
+            Ok(inner)
+        }
+    }
+
+    // ---- paths --------------------------------------------------------------
+
+    fn parse_path(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        if self.starts_with("//") {
+            self.pos += 2;
+            let root = Expr::Root(pos);
+            let dos = Expr::AxisStep {
+                axis: AxisName::DescendantOrSelf,
+                test: NodeTest::AnyKind,
+                predicates: Vec::new(),
+                pos,
+            };
+            let lhs = Expr::Path(Box::new(root), Box::new(dos), pos);
+            return self.parse_relative_path_first(lhs, pos);
+        }
+        if self.starts_with("/") {
+            self.pos += 1;
+            let root = Expr::Root(pos);
+            // A lone `/` is allowed.
+            self.ws();
+            if self.at_step_start() {
+                return self.parse_relative_path_first(root, pos);
+            }
+            return Ok(root);
+        }
+        let first = self.parse_step()?;
+        self.parse_relative_path(first, pos)
+    }
+
+    fn at_step_start(&mut self) -> bool {
+        match self.peek() {
+            Some(b) => {
+                b == b'@'
+                    || b == b'.'
+                    || b == b'*'
+                    || b == b'$'
+                    || b == b'('
+                    || b == b'\''
+                    || b == b'"'
+                    || b.is_ascii_alphanumeric()
+                    || b == b'_'
+                    || b == b'<'
+                    || !b.is_ascii()
+            }
+            None => false,
+        }
+    }
+
+    fn parse_relative_path_first(&mut self, lhs: Expr, pos: Pos) -> Result<Expr> {
+        let step = self.parse_step()?;
+        let joined = Expr::Path(Box::new(lhs), Box::new(step), pos);
+        self.parse_relative_path(joined, pos)
+    }
+
+    fn parse_relative_path(&mut self, mut lhs: Expr, pos: Pos) -> Result<Expr> {
+        loop {
+            self.ws();
+            if self.starts_with("//") {
+                self.pos += 2;
+                let dos = Expr::AxisStep {
+                    axis: AxisName::DescendantOrSelf,
+                    test: NodeTest::AnyKind,
+                    predicates: Vec::new(),
+                    pos,
+                };
+                lhs = Expr::Path(Box::new(lhs), Box::new(dos), pos);
+                let step = self.parse_step()?;
+                lhs = Expr::Path(Box::new(lhs), Box::new(step), pos);
+            } else if self.starts_with("/") {
+                self.pos += 1;
+                let step = self.parse_step()?;
+                lhs = Expr::Path(Box::new(lhs), Box::new(step), pos);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// One step: an axis step or a filter (primary + predicates).
+    fn parse_step(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        // `..` abbreviation.
+        if self.starts_with("..") {
+            self.pos += 2;
+            let step = Expr::AxisStep {
+                axis: AxisName::Parent,
+                test: NodeTest::AnyKind,
+                predicates: Vec::new(),
+                pos,
+            };
+            return self.attach_predicates_axis(step);
+        }
+        // `@name` abbreviation.
+        if self.starts_with("@") {
+            self.pos += 1;
+            let test = self.parse_node_test(AxisName::Attribute)?;
+            let step =
+                Expr::AxisStep { axis: AxisName::Attribute, test, predicates: Vec::new(), pos };
+            return self.attach_predicates_axis(step);
+        }
+        // Explicit axis `axis::test`.
+        let save = self.pos;
+        if let Ok(name) = self.parse_ncname() {
+            if self.starts_with("::") {
+                if let Some(axis) = AxisName::parse(&name) {
+                    self.pos += 2;
+                    let test = self.parse_node_test(axis)?;
+                    let step = Expr::AxisStep { axis, test, predicates: Vec::new(), pos };
+                    return self.attach_predicates_axis(step);
+                }
+                return Err(self.err(format!("unknown axis {name:?}")));
+            }
+        }
+        self.pos = save;
+        // Kind tests / name tests / wildcard as child-axis steps — but a
+        // primary expression (literal, var, paren, call, constructor)
+        // wins when it applies.
+        if let Some(primary) = self.try_parse_primary()? {
+            let mut preds = Vec::new();
+            while self.eat("[") {
+                preds.push(self.parse_expr()?);
+                self.expect("]")?;
+            }
+            if preds.is_empty() {
+                return Ok(primary);
+            }
+            return Ok(Expr::Filter(Box::new(primary), preds, pos));
+        }
+        // Fall back to a child-axis name test.
+        let test = self.parse_node_test(AxisName::Child)?;
+        let axis = match &test {
+            NodeTest::Attribute(_) => AxisName::Attribute,
+            _ => AxisName::Child,
+        };
+        let step = Expr::AxisStep { axis, test, predicates: Vec::new(), pos };
+        self.attach_predicates_axis(step)
+    }
+
+    fn attach_predicates_axis(&mut self, step: Expr) -> Result<Expr> {
+        let mut step = step;
+        while self.eat("[") {
+            let p = self.parse_expr()?;
+            self.expect("]")?;
+            if let Expr::AxisStep { predicates, .. } = &mut step {
+                predicates.push(p);
+            }
+        }
+        Ok(step)
+    }
+
+    fn parse_node_test(&mut self, axis: AxisName) -> Result<NodeTest> {
+        self.ws();
+        if self.starts_with("*") {
+            self.pos += 1;
+            if self.peek() == Some(b':') {
+                self.pos += 1;
+                let local = self.parse_ncname_nows()?;
+                return Ok(NodeTest::LocalWildcard(local));
+            }
+            return Ok(NodeTest::AnyName);
+        }
+        let (prefix, local) = self.parse_raw_qname()?;
+        // prefix:* wildcard.
+        if prefix.is_none() && self.peek() == Some(b':') && self.peek_at(1) == Some(b'*') {
+            self.pos += 2;
+            let uri = self.lookup_prefix(&local)?;
+            return Ok(NodeTest::NamespaceWildcard(uri));
+        }
+        // Kind tests.
+        if prefix.is_none() && self.starts_with("(") {
+            match local.as_str() {
+                "node" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(NodeTest::AnyKind);
+                }
+                "text" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(NodeTest::Text);
+                }
+                "comment" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(NodeTest::Comment);
+                }
+                "processing-instruction" => {
+                    self.expect("(")?;
+                    self.ws();
+                    let target = if self.peek() == Some(b')') {
+                        None
+                    } else if matches!(self.peek(), Some(b'\'' | b'"')) {
+                        Some(self.parse_string_literal()?)
+                    } else {
+                        Some(self.parse_ncname()?)
+                    };
+                    self.expect(")")?;
+                    return Ok(NodeTest::Pi(target));
+                }
+                "document-node" => {
+                    self.expect("(")?;
+                    self.ws();
+                    // Optional inner element test, ignored beyond parsing.
+                    if !self.starts_with(")") {
+                        let _ = self.parse_node_test(axis)?;
+                    }
+                    self.expect(")")?;
+                    return Ok(NodeTest::Document);
+                }
+                "element" | "schema-element" => {
+                    self.expect("(")?;
+                    let name = self.parse_kind_test_name()?;
+                    self.expect(")")?;
+                    return Ok(NodeTest::Element(name));
+                }
+                "attribute" | "schema-attribute" => {
+                    self.expect("(")?;
+                    let name = self.parse_kind_test_name()?;
+                    self.expect(")")?;
+                    return Ok(NodeTest::Attribute(name));
+                }
+                _ => {}
+            }
+        }
+        // Plain name test: default element namespace applies on
+        // non-attribute axes.
+        let q = if axis == AxisName::Attribute || axis == AxisName::Namespace {
+            self.resolve_plain_name(prefix, local)?
+        } else {
+            self.resolve_element_name(prefix, local)?
+        };
+        Ok(NodeTest::Name(q))
+    }
+
+    /// Inside `element(...)` / `attribute(...)`: `*` or name, optionally
+    /// `, typeName` (parsed and discarded — schema import is out of
+    /// scope, documented in DESIGN.md).
+    fn parse_kind_test_name(&mut self) -> Result<Option<QName>> {
+        self.ws();
+        let name = if self.peek() == Some(b')') {
+            None
+        } else if self.starts_with("*") {
+            self.pos += 1;
+            None
+        } else {
+            let (p, l) = self.parse_raw_qname()?;
+            Some(self.resolve_element_name(p, l)?)
+        };
+        if self.eat(",") {
+            self.ws();
+            if self.starts_with("*") {
+                self.pos += 1;
+            } else {
+                let _ = self.parse_raw_qname()?;
+            }
+        }
+        Ok(name)
+    }
+
+    // ---- primaries ------------------------------------------------------------
+
+    /// Try to parse a primary expression; `Ok(None)` means "not a
+    /// primary here — treat as a name test".
+    fn try_parse_primary(&mut self) -> Result<Option<Expr>> {
+        self.ws();
+        let pos = self.pos;
+        match self.peek() {
+            Some(b'\'') | Some(b'"') => {
+                let s = self.parse_string_literal()?;
+                return Ok(Some(Expr::Literal(AtomicValue::string(s.as_str()), pos)));
+            }
+            Some(b'0'..=b'9') => return Ok(Some(self.parse_numeric_literal()?)),
+            Some(b'.') => {
+                if self.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+                    return Ok(Some(self.parse_numeric_literal()?));
+                }
+                if self.starts_with("..") {
+                    return Ok(None); // handled by step parser
+                }
+                self.pos += 1;
+                return Ok(Some(Expr::ContextItem(pos)));
+            }
+            Some(b'$') => {
+                let name = self.parse_var_name()?;
+                return Ok(Some(Expr::VarRef(name, pos)));
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                self.ws();
+                if self.starts_with(")") {
+                    self.pos += 1;
+                    return Ok(Some(Expr::empty(pos)));
+                }
+                let e = self.parse_expr()?;
+                self.expect(")")?;
+                return Ok(Some(e));
+            }
+            Some(b'<') => {
+                // Direct constructor (only valid at operand position).
+                return Ok(Some(self.parse_direct_constructor()?));
+            }
+            _ => {}
+        }
+        // ordered/unordered blocks.
+        if self.peek_kw_then("ordered", "{") {
+            self.eat_kw("ordered");
+            self.expect("{")?;
+            let e = self.parse_expr()?;
+            self.expect("}")?;
+            return Ok(Some(Expr::Ordered(Box::new(e), pos)));
+        }
+        if self.peek_kw_then("unordered", "{") {
+            self.eat_kw("unordered");
+            self.expect("{")?;
+            let e = self.parse_expr()?;
+            self.expect("}")?;
+            return Ok(Some(Expr::Unordered(Box::new(e), pos)));
+        }
+        // Computed constructors.
+        if let Some(e) = self.try_parse_computed_constructor()? {
+            return Ok(Some(e));
+        }
+        // Function call: QName "(" — but kind-test names are not calls.
+        let save = self.pos;
+        if let Ok((prefix, local)) = self.parse_raw_qname() {
+            self.ws();
+            if self.starts_with("(")
+                && !(prefix.is_none()
+                    && matches!(
+                        local.as_str(),
+                        "node"
+                            | "text"
+                            | "comment"
+                            | "processing-instruction"
+                            | "document-node"
+                            | "element"
+                            | "attribute"
+                            | "schema-element"
+                            | "schema-attribute"
+                            | "item"
+                            | "empty-sequence"
+                            | "if"
+                            | "typeswitch"
+                    ))
+            {
+                let name = self.resolve_function_name(prefix, local)?;
+                self.expect("(")?;
+                let mut args = Vec::new();
+                self.ws();
+                if !self.eat(")") {
+                    loop {
+                        args.push(self.parse_expr_single()?);
+                        if self.eat(")") {
+                            break;
+                        }
+                        self.expect(",")?;
+                    }
+                }
+                return Ok(Some(Expr::FunctionCall(name, args, pos)));
+            }
+        }
+        self.pos = save;
+        Ok(None)
+    }
+
+    fn parse_numeric_literal(&mut self) -> Result<Expr> {
+        self.ws();
+        let pos = self.pos;
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_decimal = false;
+        if self.peek() == Some(b'.') {
+            is_decimal = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let mut is_double = false;
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_double = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let value = if is_double {
+            AtomicValue::Double(
+                xqr_xdm::parse_double(text).map_err(|e| self.err(e.message))?,
+            )
+        } else if is_decimal {
+            AtomicValue::Decimal(Decimal::parse(text).map_err(|e| self.err(e.message))?)
+        } else {
+            AtomicValue::Integer(
+                text.parse::<i64>().map_err(|_| self.err("integer literal overflow"))?,
+            )
+        };
+        Ok(Expr::Literal(value, pos))
+    }
+
+    fn parse_string_literal(&mut self) -> Result<String> {
+        self.ws();
+        let quote = match self.peek() {
+            Some(q @ (b'\'' | b'"')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(q) if q == quote => {
+                    // Doubled quote is an escape.
+                    if self.peek_at(1) == Some(quote) {
+                        out.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                }
+                Some(b'&') => {
+                    let s = self.parse_entity_ref()?;
+                    out.push_str(&s);
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_entity_ref(&mut self) -> Result<String> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        let end = self.src[self.pos..]
+            .find(';')
+            .map(|i| self.pos + i)
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
+        let name = &self.src[self.pos + 1..end];
+        self.pos = end + 1;
+        Ok(match name {
+            "lt" => "<".into(),
+            "gt" => ">".into(),
+            "amp" => "&".into(),
+            "quot" => "\"".into(),
+            "apos" => "'".into(),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let cp = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err("bad character reference"))?;
+                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?.to_string()
+            }
+            _ if name.starts_with('#') => {
+                let cp =
+                    name[1..].parse::<u32>().map_err(|_| self.err("bad character reference"))?;
+                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?.to_string()
+            }
+            _ => return Err(self.err(format!("unknown entity &{name};"))),
+        })
+    }
+
+    // ---- types -------------------------------------------------------------
+
+    fn parse_sequence_type(&mut self) -> Result<SequenceType> {
+        self.ws();
+        // empty() / empty-sequence()
+        if self.peek_kw_then("empty-sequence", "(") {
+            self.eat_kw("empty-sequence");
+            self.expect("(")?;
+            self.expect(")")?;
+            return Ok(SequenceType::Empty);
+        }
+        if self.peek_kw_then("empty", "(") {
+            self.eat_kw("empty");
+            self.expect("(")?;
+            self.expect(")")?;
+            return Ok(SequenceType::Empty);
+        }
+        let item = self.parse_item_type()?;
+        let occ = self.parse_occurrence();
+        Ok(SequenceType::Of(item, occ))
+    }
+
+    fn parse_occurrence(&mut self) -> Occurrence {
+        match self.peek() {
+            Some(b'?') => {
+                self.pos += 1;
+                Occurrence::Optional
+            }
+            Some(b'*') => {
+                self.pos += 1;
+                Occurrence::ZeroOrMore
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                Occurrence::OneOrMore
+            }
+            _ => Occurrence::One,
+        }
+    }
+
+    fn parse_item_type(&mut self) -> Result<ItemType> {
+        self.ws();
+        if self.peek_kw_then("item", "(") {
+            self.eat_kw("item");
+            self.expect("(")?;
+            self.expect(")")?;
+            return Ok(ItemType::AnyItem);
+        }
+        let save = self.pos;
+        let (prefix, local) = self.parse_raw_qname()?;
+        if prefix.is_none() && self.starts_with("(") {
+            match local.as_str() {
+                "node" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(ItemType::AnyNode);
+                }
+                "text" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(ItemType::Kind(NodeKind::Text, NameTest::Any));
+                }
+                "comment" => {
+                    self.expect("(")?;
+                    self.expect(")")?;
+                    return Ok(ItemType::Kind(NodeKind::Comment, NameTest::Any));
+                }
+                "processing-instruction" => {
+                    self.expect("(")?;
+                    self.ws();
+                    if !self.starts_with(")") {
+                        if matches!(self.peek(), Some(b'\'' | b'"')) {
+                            let _ = self.parse_string_literal()?;
+                        } else {
+                            let _ = self.parse_ncname()?;
+                        }
+                    }
+                    self.expect(")")?;
+                    return Ok(ItemType::Kind(NodeKind::ProcessingInstruction, NameTest::Any));
+                }
+                "document-node" => {
+                    self.expect("(")?;
+                    self.ws();
+                    if !self.starts_with(")") {
+                        let _ = self.parse_item_type()?;
+                    }
+                    self.expect(")")?;
+                    return Ok(ItemType::Kind(NodeKind::Document, NameTest::Any));
+                }
+                "element" | "schema-element" => {
+                    self.expect("(")?;
+                    let name = self.parse_kind_test_name()?;
+                    self.expect(")")?;
+                    return Ok(ItemType::element(name));
+                }
+                "attribute" | "schema-attribute" => {
+                    self.expect("(")?;
+                    let name = self.parse_kind_test_name()?;
+                    self.expect(")")?;
+                    return Ok(ItemType::attribute(name));
+                }
+                _ => {}
+            }
+        }
+        // Atomic type name.
+        self.pos = save;
+        let (prefix, local) = self.parse_raw_qname()?;
+        let full = match &prefix {
+            Some(p) => format!("{p}:{local}"),
+            None => local.clone(),
+        };
+        match AtomicType::from_name(&full) {
+            Some(t) => Ok(ItemType::Atomic(t)),
+            None => Err(self.err(format!("unknown type name {full:?}"))),
+        }
+    }
+
+    /// SingleType := AtomicType "?"?
+    fn parse_single_type(&mut self) -> Result<SequenceType> {
+        self.ws();
+        let (prefix, local) = self.parse_raw_qname()?;
+        let full = match &prefix {
+            Some(p) => format!("{p}:{local}"),
+            None => local.clone(),
+        };
+        let at = AtomicType::from_name(&full)
+            .ok_or_else(|| self.err(format!("unknown atomic type {full:?}")))?;
+        let occ = if self.peek() == Some(b'?') {
+            self.pos += 1;
+            Occurrence::Optional
+        } else {
+            Occurrence::One
+        };
+        Ok(SequenceType::Of(ItemType::Atomic(at), occ))
+    }
+
+    // ---- computed constructors -----------------------------------------------
+
+    fn try_parse_computed_constructor(&mut self) -> Result<Option<Expr>> {
+        self.ws();
+        let pos = self.pos;
+        let save = self.pos;
+        for kw in ["element", "attribute", "text", "comment", "document", "processing-instruction"]
+        {
+            if !self.peek_kw(kw) {
+                continue;
+            }
+            self.eat_kw(kw);
+            self.ws();
+            match kw {
+                "text" | "comment" | "document" => {
+                    if self.starts_with("{") {
+                        self.pos += 1;
+                        let e = self.parse_expr()?;
+                        self.expect("}")?;
+                        let boxed = Box::new(e);
+                        return Ok(Some(match kw {
+                            "text" => Expr::ComputedText(boxed, pos),
+                            "comment" => Expr::ComputedComment(boxed, pos),
+                            _ => Expr::ComputedDocument(boxed, pos),
+                        }));
+                    }
+                    self.pos = save;
+                    return Ok(None);
+                }
+                "element" | "attribute" | "processing-instruction" => {
+                    // name form: keyword QName { ... } ; expr form:
+                    // keyword { nameExpr } { ... }
+                    let name: NameOrExpr;
+                    if self.starts_with("{") {
+                        self.pos += 1;
+                        let ne = self.parse_expr()?;
+                        self.expect("}")?;
+                        name = NameOrExpr::Expr(ne);
+                    } else {
+                        let name_save = self.pos;
+                        match self.parse_raw_qname() {
+                            Ok((p, l)) => {
+                                self.ws();
+                                if !self.starts_with("{") {
+                                    // Not a constructor after all (e.g. a
+                                    // path step named `element`).
+                                    self.pos = save;
+                                    return Ok(None);
+                                }
+                                let q = if kw == "attribute" {
+                                    self.resolve_plain_name(p, l)?
+                                } else {
+                                    self.resolve_element_name(p, l)?
+                                };
+                                name = NameOrExpr::Name(q);
+                                let _ = name_save;
+                            }
+                            Err(_) => {
+                                self.pos = save;
+                                return Ok(None);
+                            }
+                        }
+                    }
+                    self.ws();
+                    if !self.starts_with("{") {
+                        self.pos = save;
+                        return Ok(None);
+                    }
+                    self.pos += 1;
+                    self.ws();
+                    let content = if self.starts_with("}") {
+                        None
+                    } else {
+                        Some(Box::new(self.parse_expr()?))
+                    };
+                    self.expect("}")?;
+                    return Ok(Some(match kw {
+                        "element" => Expr::ComputedElement { name: Box::new(name), content, pos },
+                        "attribute" => {
+                            Expr::ComputedAttribute { name: Box::new(name), content, pos }
+                        }
+                        _ => Expr::ComputedPi { target: Box::new(name), content, pos },
+                    }));
+                }
+                _ => unreachable!(),
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- direct constructors ---------------------------------------------------
+
+    fn parse_direct_constructor(&mut self) -> Result<Expr> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        if self.starts_with("<!--") {
+            self.pos += 4;
+            let end = self.src[self.pos..]
+                .find("-->")
+                .map(|i| self.pos + i)
+                .ok_or_else(|| self.err("unterminated comment constructor"))?;
+            let text = self.src[self.pos..end].to_string();
+            self.pos = end + 3;
+            return Ok(Expr::ComputedComment(
+                Box::new(Expr::Literal(AtomicValue::string(text.as_str()), self.pos)),
+                self.pos,
+            ));
+        }
+        if self.starts_with("<?") {
+            self.pos += 2;
+            let target = self.parse_ncname_nows()?;
+            let end = self.src[self.pos..]
+                .find("?>")
+                .map(|i| self.pos + i)
+                .ok_or_else(|| self.err("unterminated PI constructor"))?;
+            let data = self.src[self.pos..end].trim_start().to_string();
+            self.pos = end + 2;
+            return Ok(Expr::ComputedPi {
+                target: Box::new(NameOrExpr::Name(QName::local(&target))),
+                content: Some(Box::new(Expr::Literal(
+                    AtomicValue::string(data.as_str()),
+                    self.pos,
+                ))),
+                pos: self.pos,
+            });
+        }
+        self.parse_direct_element()
+    }
+
+    fn parse_direct_element(&mut self) -> Result<Expr> {
+        let pos = self.pos;
+        self.expect("<")?;
+        let (raw_prefix, raw_local) = self.parse_raw_qname()?;
+        // Collect raw attributes first; xmlns bindings take effect for
+        // resolving everything on this element and its content.
+        let mut raw_attrs: Vec<(Option<String>, String, Vec<AttrPart>)> = Vec::new();
+        let mut namespaces: Vec<(Option<String>, String)> = Vec::new();
+        let mut pushed_ns = 0usize;
+        let mut pushed_default = false;
+        loop {
+            self.ws();
+            if self.starts_with("/>") || self.starts_with(">") {
+                break;
+            }
+            let (ap, al) = self.parse_raw_qname()?;
+            self.ws();
+            self.expect("=")?;
+            self.ws();
+            let parts = self.parse_attr_value_template()?;
+            let flat = |parts: &[AttrPart]| -> Option<String> {
+                let mut s = String::new();
+                for p in parts {
+                    match p {
+                        AttrPart::Text(t) => s.push_str(t),
+                        AttrPart::Enclosed(_) => return None,
+                    }
+                }
+                Some(s)
+            };
+            if ap.is_none() && al == "xmlns" {
+                let uri = flat(&parts)
+                    .ok_or_else(|| self.err("xmlns value must be a literal string"))?;
+                self.default_elem_ns.push(Some(uri.clone()));
+                pushed_default = true;
+                namespaces.push((None, uri));
+            } else if ap.as_deref() == Some("xmlns") {
+                let uri = flat(&parts)
+                    .ok_or_else(|| self.err("xmlns value must be a literal string"))?;
+                self.ns.push(NsBinding { prefix: al.clone(), uri: uri.clone() });
+                pushed_ns += 1;
+                namespaces.push((Some(al), uri));
+            } else {
+                raw_attrs.push((ap, al, parts));
+            }
+        }
+        // Resolve names now that bindings are in scope.
+        let name = self.resolve_element_name(raw_prefix, raw_local.clone())?;
+        let mut attributes = Vec::new();
+        for (ap, al, parts) in raw_attrs {
+            let q = self.resolve_plain_name(ap, al)?;
+            if attributes.iter().any(|(n, _): &(QName, _)| *n == q) {
+                return Err(Error::new(
+                    ErrorCode::DuplicateAttribute,
+                    format!("duplicate attribute {q}"),
+                )
+                .at(self.pos));
+            }
+            attributes.push((q, parts));
+        }
+        let mut content = Vec::new();
+        if self.eat("/>") {
+            // Empty element.
+        } else {
+            self.expect(">")?;
+            content = self.parse_element_content(&raw_local)?;
+        }
+        // Pop constructor-scoped bindings.
+        for _ in 0..pushed_ns {
+            self.ns.pop();
+        }
+        if pushed_default {
+            self.default_elem_ns.pop();
+        }
+        Ok(Expr::DirectElement { name, attributes, namespaces, content, pos })
+    }
+
+    fn parse_attr_value_template(&mut self) -> Result<Vec<AttrPart>> {
+        let quote = match self.peek() {
+            Some(q @ (b'\'' | b'"')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut parts = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    if self.peek_at(1) == Some(quote) {
+                        text.push(quote as char);
+                        self.pos += 2;
+                    } else {
+                        self.pos += 1;
+                        break;
+                    }
+                }
+                Some(b'{') => {
+                    if self.peek_at(1) == Some(b'{') {
+                        text.push('{');
+                        self.pos += 2;
+                    } else {
+                        if !text.is_empty() {
+                            parts.push(AttrPart::Text(std::mem::take(&mut text)));
+                        }
+                        self.pos += 1;
+                        let e = self.parse_expr()?;
+                        self.expect("}")?;
+                        parts.push(AttrPart::Enclosed(e));
+                    }
+                }
+                Some(b'}') => {
+                    if self.peek_at(1) == Some(b'}') {
+                        text.push('}');
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("'}' must be doubled in attribute values"));
+                    }
+                }
+                Some(b'&') => {
+                    let s = self.parse_entity_ref()?;
+                    text.push_str(&s);
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    text.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        if !text.is_empty() {
+            parts.push(AttrPart::Text(text));
+        }
+        Ok(parts)
+    }
+
+    fn parse_element_content(&mut self, closing_name: &str) -> Result<Vec<DirContent>> {
+        let mut content = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated element constructor")),
+                Some(b'<') => {
+                    if !text.is_empty() {
+                        push_text(&mut content, std::mem::take(&mut text), self.preserve_boundary_space);
+                    }
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let (p, l) = self.parse_raw_qname()?;
+                        let written = match &p {
+                            Some(pp) => format!("{pp}:{l}"),
+                            None => l.clone(),
+                        };
+                        // Match on written name (prefix included).
+                        let expected_norm = closing_name;
+                        if written.split(':').next_back() != expected_norm.split(':').next_back()
+                            && written != expected_norm
+                        {
+                            return Err(self.err(format!(
+                                "mismatched constructor end tag </{written}>, expected </{expected_norm}>"
+                            )));
+                        }
+                        self.ws();
+                        self.expect(">")?;
+                        return Ok(content);
+                    }
+                    if self.starts_with("<![CDATA[") {
+                        self.pos += 9;
+                        let end = self.src[self.pos..]
+                            .find("]]>")
+                            .map(|i| self.pos + i)
+                            .ok_or_else(|| self.err("unterminated CDATA"))?;
+                        text.push_str(&self.src[self.pos..end]);
+                        self.pos = end + 3;
+                        continue;
+                    }
+                    let child = self.parse_direct_constructor()?;
+                    content.push(DirContent::Child(child));
+                }
+                Some(b'{') => {
+                    if self.peek_at(1) == Some(b'{') {
+                        text.push('{');
+                        self.pos += 2;
+                    } else {
+                        if !text.is_empty() {
+                            push_text(
+                                &mut content,
+                                std::mem::take(&mut text),
+                                self.preserve_boundary_space,
+                            );
+                        }
+                        self.pos += 1;
+                        // The talk's customer query uses `{-- comment --}`;
+                        // standard XQuery has no such form, but accept and
+                        // drop it for compatibility with old examples.
+                        self.ws();
+                        if self.starts_with("--") {
+                            let end = self.src[self.pos + 2..]
+                                .find("--}")
+                                .map(|i| self.pos + 2 + i)
+                                .ok_or_else(|| self.err("unterminated {-- --} comment"))?;
+                            self.pos = end + 3;
+                            continue;
+                        }
+                        let e = self.parse_expr()?;
+                        self.expect("}")?;
+                        content.push(DirContent::Enclosed(e));
+                    }
+                }
+                Some(b'}') => {
+                    if self.peek_at(1) == Some(b'}') {
+                        text.push('}');
+                        self.pos += 2;
+                    } else {
+                        return Err(self.err("'}' must be doubled in element content"));
+                    }
+                }
+                Some(b'&') => {
+                    let s = self.parse_entity_ref()?;
+                    text.push_str(&s);
+                }
+                Some(_) => {
+                    let c = self.src[self.pos..].chars().next().expect("in-bounds char");
+                    text.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Boundary-space policy: under "strip" (the XQuery default),
+/// whitespace-only literal text between constructor pieces is dropped;
+/// `declare boundary-space preserve` keeps it.
+fn push_text(content: &mut Vec<DirContent>, text: String, preserve: bool) {
+    if !preserve && text.chars().all(|c| c.is_ascii_whitespace()) {
+        return;
+    }
+    content.push(DirContent::Text(text));
+}

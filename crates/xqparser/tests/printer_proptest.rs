@@ -1,0 +1,76 @@
+//! Generative fuzzing of the parser/printer pair: random query *text*
+//! assembled from grammar templates must hit a print→parse→print
+//! fixpoint, and randomly generated well-formed expressions must parse.
+
+use proptest::prelude::*;
+use xqr_xqparser::{parse_query, print_module};
+
+/// Strategy: small closed XQuery expressions composed recursively from
+/// templates. Everything generated is grammatically valid by
+/// construction.
+fn arb_query() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        (0i64..1000).prop_map(|i| i.to_string()),
+        (0u32..100, 1u32..100).prop_map(|(a, b)| format!("{a}.{b}")),
+        "[a-z]{1,6}".prop_map(|s| format!("\"{s}\"")),
+        Just("()".to_string()),
+        Just(".".to_string()).prop_map(|_| "(1, 2)".to_string()),
+    ];
+    atom.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("div"), Just("idiv"), Just("mod")
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("eq"), Just("="), Just("lt"), Just("<="), Just("and"), Just("or")
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("(if ({a}) then {b} else ())")),
+            ("[a-z]{1,4}", inner.clone(), inner.clone())
+                .prop_map(|(v, src, body)| format!("(for ${v} in {src} return {body})")),
+            ("[a-z]{1,4}", inner.clone(), inner.clone())
+                .prop_map(|(v, val, body)| format!("(let ${v} := {val} return ({body}))")),
+            inner.clone().prop_map(|a| format!("count(({a}))")),
+            inner.clone().prop_map(|a| format!("string(({a}))")),
+            (inner.clone(), 1usize..4).prop_map(|(a, k)| format!("(({a}))[{k}]")),
+            ("[a-z]{1,5}", inner.clone())
+                .prop_map(|(tag, c)| format!("<{tag} a=\"{{{c}}}\">{{{c}}}</{tag}>")),
+            inner.clone().prop_map(|a| format!("(some $q in ({a}) satisfies $q eq 1)")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_queries_parse(q in arb_query()) {
+        parse_query(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+    }
+
+    #[test]
+    fn print_parse_print_fixpoint(q in arb_query()) {
+        let m1 = parse_query(&q).unwrap();
+        let p1 = print_module(&m1);
+        let m2 = parse_query(&p1).unwrap_or_else(|e| panic!("printed {p1:?}: {e}"));
+        let p2 = print_module(&m2);
+        prop_assert_eq!(p1, p2, "source: {}", q);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in ".{0,80}") {
+        // Any input: parse returns Ok or Err, never panics.
+        let _ = parse_query(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_query_like_garbage(s in "[a-z0-9$/(){}\\[\\]<>\"'@:=+*,. -]{0,60}") {
+        let _ = parse_query(&s);
+    }
+}

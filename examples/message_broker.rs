@@ -1,0 +1,50 @@
+//! The talk's "XML message brokers" use case: "simple path expressions,
+//! single input message, small data sets, transient and streaming data".
+//!
+//! A broker evaluates routing predicates over a stream of messages; the
+//! engine's token-streaming mode never materializes a message, and
+//! `skip()` jumps over subtrees that cannot match.
+//!
+//! ```sh
+//! cargo run --example message_broker
+//! ```
+
+use xqr::Engine;
+
+fn main() -> xqr::Result<()> {
+    let engine = Engine::new();
+    // Route on the order header: match /order/header/priority.
+    let route = engine.compile("/order/header/priority")?;
+    assert!(route.is_streamable(), "routing pattern should stream");
+
+    // A stream of inbound messages (in reality: sockets / queues).
+    let messages = [r#"<order id="1"><header><priority>gold</priority></header><lines><line sku="a" qty="2"/></lines></order>"#.to_string(),
+        format!(
+            r#"<order id="2"><header><priority>standard</priority></header><lines>{}</lines></order>"#,
+            "<line sku=\"bulk\" qty=\"1\"/>".repeat(5_000)
+        ),
+        r#"<order id="3"><header><priority>gold</priority></header><lines/></order>"#.to_string(),
+        r#"<note>not an order at all</note>"#.to_string()];
+
+    let mut gold = 0usize;
+    let mut total_skipped = 0u64;
+    for (i, msg) in messages.iter().enumerate() {
+        let mut matched = Vec::new();
+        let stats = route.execute_streaming(&engine, msg, |m| matched.push(m.to_string()))?;
+        total_skipped += stats.tokens_skipped;
+        let is_gold = matched.iter().any(|m| m.contains("gold"));
+        if is_gold {
+            gold += 1;
+        }
+        println!(
+            "message {}: {} bytes, priority match: {:?}, tokens skipped: {}",
+            i + 1,
+            msg.len(),
+            matched.first().map(|s| s.as_str()).unwrap_or("-"),
+            stats.tokens_skipped
+        );
+    }
+    println!("\nrouted {gold} gold orders; skipped {total_skipped} tokens total");
+    println!("(the 5000-line bulk order was skipped past, not parsed into a tree)");
+    Ok(())
+}

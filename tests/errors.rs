@@ -1,0 +1,207 @@
+//! Error-code conformance: which W3C error code each failure mode
+//! raises, both static (compile-time) and dynamic (run-time). The engine
+//! keeps stable codes so embedders can dispatch on them.
+
+use xqr::{DynamicContext, Engine, ErrorCode};
+
+fn compile_err(query: &str) -> ErrorCode {
+    let engine = Engine::new();
+    engine
+        .compile(query)
+        .map(|_| ())
+        .expect_err(&format!("{query:?} should fail to compile"))
+        .code
+}
+
+fn run_err(query: &str) -> ErrorCode {
+    let engine = Engine::new();
+    engine.load_document("bib.xml", "<bib><book><price>10</price></book></bib>").unwrap();
+    let q = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("{query:?} should compile, got {e}"));
+    q.execute(&engine, &DynamicContext::new())
+        .map(|_| ())
+        .expect_err(&format!("{query:?} should fail at runtime"))
+        .code
+}
+
+#[test]
+fn static_errors() {
+    // Syntax.
+    assert_eq!(compile_err("1 +"), ErrorCode::Syntax);
+    assert_eq!(compile_err("for $x in"), ErrorCode::Syntax);
+    assert_eq!(compile_err("<a><b></a>"), ErrorCode::Syntax);
+    assert_eq!(compile_err("let $x = 1 return $x"), ErrorCode::Syntax);
+    // Undefined names.
+    assert_eq!(compile_err("$nope"), ErrorCode::UndefinedName);
+    assert_eq!(compile_err("let $x := 1 return $y"), ErrorCode::UndefinedName);
+    // Variable scope ends at the binding expression.
+    assert_eq!(
+        compile_err("(let $x := 1 return $x) + $x"),
+        ErrorCode::UndefinedName
+    );
+    // Unknown functions and wrong arity.
+    assert_eq!(compile_err("frobnicate(1)"), ErrorCode::UndefinedFunction);
+    assert_eq!(compile_err("count()"), ErrorCode::UndefinedFunction);
+    assert_eq!(compile_err("count((1,2), 3)"), ErrorCode::UndefinedFunction);
+    // Unbound namespace prefixes.
+    assert_eq!(compile_err("$x/zz:a"), ErrorCode::UnboundPrefix);
+    // Unknown types.
+    assert_eq!(compile_err("1 instance of xs:frob"), ErrorCode::Syntax);
+    // Duplicate attributes in a direct constructor.
+    assert_eq!(compile_err(r#"<a x="1" x="2"/>"#), ErrorCode::DuplicateAttribute);
+}
+
+#[test]
+fn dynamic_type_errors() {
+    assert_eq!(run_err(r#""a" + 1"#), ErrorCode::Type);
+    assert_eq!(run_err("true() + 1"), ErrorCode::Type);
+    assert_eq!(run_err(r#""a" eq 1"#), ErrorCode::Type);
+    assert_eq!(run_err("(1, 2) eq 1"), ErrorCode::Type);
+    assert_eq!(run_err("1 treat as xs:string"), ErrorCode::Type);
+    assert_eq!(run_err(r#""x" cast as xs:integer"#), ErrorCode::InvalidValue);
+    assert_eq!(run_err("() cast as xs:integer"), ErrorCode::Type);
+    // `<a>42</a> eq 42` — the talk's slide says error.
+    assert_eq!(run_err("<a>42</a> eq 42"), ErrorCode::Type);
+    // But general comparison coerces: type error only on bad lexicals.
+    assert_eq!(run_err("<a>baz</a> = 42"), ErrorCode::InvalidValue);
+}
+
+#[test]
+fn arithmetic_errors() {
+    assert_eq!(run_err("1 idiv 0"), ErrorCode::DivisionByZero);
+    assert_eq!(run_err("1 mod 0"), ErrorCode::DivisionByZero);
+    assert_eq!(run_err("1.5 div 0"), ErrorCode::DivisionByZero); // exact decimal
+    assert_eq!(
+        run_err("9223372036854775807 + 1"),
+        ErrorCode::Overflow
+    );
+    // IEEE doubles divide by zero without error.
+    let engine = Engine::new();
+    assert_eq!(engine.query("string(1e0 div 0)").unwrap(), "INF");
+}
+
+#[test]
+fn cardinality_errors() {
+    assert_eq!(run_err("exactly-one(())"), ErrorCode::Cardinality);
+    assert_eq!(run_err("exactly-one((1, 2))"), ErrorCode::Cardinality);
+    assert_eq!(run_err("zero-or-one((1, 2))"), ErrorCode::Cardinality);
+    assert_eq!(run_err("one-or-more(())"), ErrorCode::Cardinality);
+}
+
+#[test]
+fn context_errors() {
+    // No context item at the top level.
+    assert_eq!(run_err("./a"), ErrorCode::MissingContext);
+    assert_eq!(run_err("position()"), ErrorCode::MissingContext);
+    // Unbound external variable.
+    assert_eq!(run_err("declare variable $v external; $v"), ErrorCode::MissingContext);
+    // Missing document.
+    assert_eq!(run_err(r#"doc("no-such.xml")"#), ErrorCode::DocumentNotFound);
+}
+
+#[test]
+fn path_errors() {
+    assert_eq!(run_err("(1)/a"), ErrorCode::PathOnAtomic);
+    // Mixed nodes and atomics from one path.
+    assert_eq!(
+        run_err("let $d := <r><a>1</a><a>2</a></r> return $d/a/(if (. = 1) then . else 9)"),
+        ErrorCode::MixedPathResult
+    );
+}
+
+#[test]
+fn constructor_errors() {
+    assert_eq!(
+        run_err("element a { (attribute x { 1 }, attribute x { 2 }) }"),
+        ErrorCode::DuplicateAttribute
+    );
+    assert_eq!(
+        run_err(r#"element a { ("text", attribute x { 1 }) }"#),
+        ErrorCode::InvalidConstructor
+    );
+    assert_eq!(run_err(r#"comment { "a--b" }"#), ErrorCode::InvalidConstructor);
+    assert_eq!(
+        run_err(r#"processing-instruction xml { "x" }"#),
+        ErrorCode::InvalidConstructor
+    );
+}
+
+#[test]
+fn user_errors_and_limits() {
+    assert_eq!(run_err("error()"), ErrorCode::UserError);
+    assert_eq!(run_err(r#"error((), "boom")"#), ErrorCode::UserError);
+    assert_eq!(
+        run_err("declare function local:f($n) { local:f($n) }; local:f(1)"),
+        ErrorCode::Limit
+    );
+    assert_eq!(run_err(r#"tokenize("x", "[bad")"#), ErrorCode::InvalidPattern);
+}
+
+#[test]
+fn function_signature_enforcement() {
+    // Declared parameter types are checked at call time.
+    assert_eq!(
+        run_err("declare function local:f($x as xs:integer) { $x }; local:f(\"s\")"),
+        ErrorCode::Type
+    );
+    // Declared return types too.
+    assert_eq!(
+        run_err("declare function local:f() as xs:integer { \"s\" }; local:f()"),
+        ErrorCode::Type
+    );
+}
+
+#[test]
+fn laziness_of_errors() {
+    // Errors in unevaluated branches never fire.
+    let engine = Engine::new();
+    assert_eq!(engine.query("if (true()) then 1 else 1 idiv 0").unwrap(), "1");
+    assert_eq!(engine.query("(1 to 10)[1] , ()").unwrap(), "1");
+    // The talk: false and error → false is permitted.
+    assert_eq!(engine.query("1 eq 2 and 1 idiv 0 eq 1").unwrap(), "false");
+    // Early-exit operators skip erroring tails.
+    assert_eq!(
+        engine.query("some $x in (1, 1 idiv 0) satisfies $x eq 1").unwrap(),
+        "true"
+    );
+}
+
+#[test]
+fn let_declared_types_enforced() {
+    assert_eq!(
+        run_err("let $x as xs:integer := \"s\" return $x"),
+        ErrorCode::Type
+    );
+    let engine = Engine::new();
+    assert_eq!(
+        engine.query("let $x as xs:integer := 5 return $x + 1").unwrap(),
+        "6"
+    );
+    assert_eq!(
+        engine
+            .query("let $x as xs:string* := (\"a\", \"b\") return string-join($x, \"\")")
+            .unwrap(),
+        "ab"
+    );
+}
+
+#[test]
+fn function_bodies_have_no_focus() {
+    // `.` and position() inside a function body are context errors even
+    // when the caller has a focus.
+    assert_eq!(
+        run_err(
+            "declare function local:f() { position() };
+             (1, 2, 3)[local:f()]"
+        ),
+        ErrorCode::MissingContext
+    );
+    assert_eq!(
+        run_err(
+            "declare function local:ctx() { . };
+             doc(\"bib.xml\")//book[local:ctx()]"
+        ),
+        ErrorCode::MissingContext
+    );
+}

@@ -1,0 +1,311 @@
+//! Cross-crate pipeline tests: behaviours that only show up when the
+//! whole stack runs together.
+
+use xqr::{bind, DynamicContext, Engine, EngineOptions, Item};
+use xqr_xmlgen::{auction_site, bibliography, trading_partners, XmarkConfig};
+
+#[test]
+fn generated_workloads_parse_and_query() {
+    let engine = Engine::new();
+    let xmark = auction_site(&XmarkConfig::scaled(400));
+    engine.load_document("auction.xml", &xmark).unwrap();
+    let people: usize =
+        engine.query(r#"count(doc("auction.xml")/site/people/person)"#).unwrap().parse().unwrap();
+    assert!(people > 50);
+    // Every person has a name.
+    assert_eq!(
+        engine
+            .query(r#"count(doc("auction.xml")//person[empty(name)])"#)
+            .unwrap(),
+        "0"
+    );
+    // Bidder increases are numeric and non-negative.
+    assert_eq!(
+        engine
+            .query(r#"every $i in doc("auction.xml")//bidder/increase satisfies number($i) ge 0"#)
+            .unwrap(),
+        "true"
+    );
+}
+
+#[test]
+fn xmark_join_query() {
+    // Join closed auctions to buyers — the XMark Q8/Q9 shape.
+    let engine = Engine::new();
+    engine.load_document("a.xml", &auction_site(&XmarkConfig::scaled(300))).unwrap();
+    let q = engine
+        .compile(
+            r#"
+            let $d := doc("a.xml")
+            for $p in $d/site/people/person
+            let $bought := $d/site/closed_auctions/closed_auction[buyer/@person = $p/@id]
+            where count($bought) ge 2
+            order by count($bought) descending, $p/@id
+            return <big-buyer id="{$p/@id}" n="{count($bought)}"/>
+            "#,
+        )
+        .unwrap();
+    let r = q.execute(&engine, &DynamicContext::new()).unwrap();
+    // Deterministic workload → deterministic result; sanity: descending.
+    let counts: Vec<i64> = r
+        .items
+        .iter()
+        .filter_map(|i| i.as_node())
+        .map(|n| {
+            let doc = r.store.doc_of(n);
+            let attr = doc.attribute(n.node, &xqr::QName::local("n")).unwrap();
+            doc.value(attr).unwrap().parse().unwrap()
+        })
+        .collect();
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    assert!(counts.iter().all(|&c| c >= 2));
+}
+
+#[test]
+fn bibliography_report_roundtrips_through_reparse() {
+    // Query output is well-formed XML that can be re-loaded and queried.
+    let engine = Engine::new();
+    engine.load_document("bib.xml", &bibliography(7, 40)).unwrap();
+    let report = engine
+        .query(
+            r#"<report>{
+                for $b in doc("bib.xml")//book
+                where $b/price > 100
+                return <expensive year="{$b/@year}">{string($b/title)}</expensive>
+            }</report>"#,
+        )
+        .unwrap();
+    let engine2 = Engine::new();
+    let n = engine2.query_xml(&report, "count(/report/expensive)").unwrap();
+    let m = engine.query(r#"count(doc("bib.xml")//book[price > 100])"#).unwrap();
+    assert_eq!(n, m);
+}
+
+#[test]
+fn trading_partner_doc_queryable_by_customer_shapes() {
+    let engine = Engine::new();
+    engine.load_document("eb.xml", &trading_partners(4, 25)).unwrap();
+    // The dc/de/tr names triple-join completely: every delivery channel
+    // resolves to exactly one document exchange and transport.
+    assert_eq!(
+        engine
+            .query(
+                r#"every $dc in doc("eb.xml")//delivery-channel satisfies
+                   count(doc("eb.xml")//document-exchange[@name = $dc/@document-exchange-name]) eq 1"#
+            )
+            .unwrap(),
+        "true"
+    );
+}
+
+#[test]
+fn external_variables_flow_through_engine() {
+    let engine = Engine::new();
+    let q = engine
+        .compile(
+            "declare variable $xs external;
+             declare variable $k as xs:integer external;
+             for $x in $xs where $x ge $k return $x * 10",
+        )
+        .unwrap();
+    let mut ctx = DynamicContext::new();
+    bind(&mut ctx, "xs", vec![Item::integer(1), Item::integer(5), Item::integer(9)]);
+    bind(&mut ctx, "k", vec![Item::integer(5)]);
+    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), "50 90");
+}
+
+#[test]
+fn unoptimized_engine_runs_everything_the_optimized_does() {
+    let queries = [
+        "count(doc(\"g.xml\")//person)",
+        "for $p in doc(\"g.xml\")//person[address] return string($p/name)",
+        "<x>{sum(doc(\"g.xml\")//increase)}</x>",
+    ];
+    let xml = auction_site(&XmarkConfig::scaled(200));
+    let run = |opts: EngineOptions| -> Vec<String> {
+        let engine = Engine::with_options(opts);
+        engine.load_document("g.xml", &xml).unwrap();
+        queries.iter().map(|q| engine.query(q).unwrap()).collect()
+    };
+    assert_eq!(run(EngineOptions::default()), run(EngineOptions::unoptimized()));
+}
+
+#[test]
+fn store_grows_with_constructed_documents_only_when_constructing() {
+    let engine = Engine::new();
+    engine.load_document("b.xml", &bibliography(1, 5)).unwrap();
+    let before = engine.store().doc_count();
+    engine.query(r#"count(doc("b.xml")//book)"#).unwrap();
+    assert_eq!(engine.store().doc_count(), before, "pure query adds no documents");
+    engine.query("<a><b/></a>").unwrap();
+    assert!(engine.store().doc_count() > before, "construction adds documents");
+}
+
+#[test]
+fn error_positions_point_into_the_query() {
+    let engine = Engine::new();
+    let err = engine.compile("1 +\n+ $undefined").map(|_| ()).unwrap_err();
+    assert!(err.position.is_some());
+    let err = engine.compile("for $x in (1,2) return $y").map(|_| ()).unwrap_err();
+    assert_eq!(err.code, xqr::ErrorCode::UndefinedName);
+}
+
+#[test]
+fn explain_mentions_the_right_operators() {
+    let engine = Engine::new();
+    engine.load_document("b.xml", &bibliography(1, 5)).unwrap();
+    let q = engine
+        .compile(
+            "for $a in doc(\"b.xml\")//book
+             return for $b in doc(\"b.xml\")//book
+                    return if ($a/publisher = $b/publisher) then 1 else ()",
+        )
+        .unwrap();
+    let plan = q.explain();
+    assert!(plan.contains("hash-join"), "{plan}");
+    let q2 = engine.compile("(doc(\"b.xml\")//book)[2]").unwrap();
+    assert!(q2.explain().contains("skip-enabled"));
+}
+
+#[test]
+fn big_document_count_is_stable() {
+    // A moderately large end-to-end run as a smoke test for the store.
+    let xml = auction_site(&XmarkConfig::scaled(5_000));
+    let engine = Engine::new();
+    let out = engine.query_xml(&xml, "count(//*)").unwrap();
+    let n: usize = out.parse().unwrap();
+    assert!(n > 10_000, "{n}");
+    // Name index agrees with navigation.
+    let via_index = engine.query_xml(&xml, "count(//person)").unwrap();
+    let via_nav = engine.query_xml(&xml, "count(/site/people/*)").unwrap();
+    assert_eq!(via_index, via_nav);
+}
+
+#[test]
+fn pretty_serialization() {
+    let engine = Engine::new();
+    let q = engine.compile("<a><b><c/></b><d>t</d></a>").unwrap();
+    let r = q.execute(&engine, &DynamicContext::new()).unwrap();
+    assert_eq!(
+        r.serialize_pretty().unwrap(),
+        "<a>\n  <b>\n    <c/>\n  </b>\n  <d>t</d>\n</a>"
+    );
+    // Mixed atomic + node results.
+    let q = engine.compile("(1, 2, <x/>)").unwrap();
+    let r = q.execute(&engine, &DynamicContext::new()).unwrap();
+    assert_eq!(r.serialize_pretty().unwrap(), "1 2\n<x/>");
+}
+
+#[test]
+fn group_join_preserves_results_and_accelerates_q8() {
+    // XMark Q8 on a small document: optimized (group join) and
+    // unoptimized must agree exactly.
+    let xml = auction_site(&XmarkConfig::scaled(400));
+    let q = r#"
+        for $p in doc("a.xml")/site/people/person
+        let $a := for $t in doc("a.xml")/site/closed_auctions/closed_auction
+                  where $t/buyer/@person = $p/@id
+                  return $t
+        where count($a) ge 2
+        order by count($a) descending, $p/@id
+        return <buyer id="{$p/@id}" n="{count($a)}"/>
+    "#;
+    let run = |opts: EngineOptions| {
+        let engine = Engine::with_options(opts);
+        engine.load_document("a.xml", &xml).unwrap();
+        let prepared = engine.compile(q).unwrap();
+        let plan = prepared.explain();
+        let r = prepared.execute(&engine, &DynamicContext::new()).unwrap();
+        (r.serialize(), plan)
+    };
+    let (opt, plan) = run(EngineOptions::default());
+    let (unopt, _) = run(EngineOptions::unoptimized());
+    assert_eq!(opt, unopt);
+    // Note: the order-by keeps this query in the tupled FLWOR form,
+    // where group-join detection does not apply; the plain-FLWOR variant
+    // exercises it below.
+    let _ = plan;
+    let q2 = r#"
+        count(for $p in doc("a.xml")/site/people/person
+              let $a := for $t in doc("a.xml")/site/closed_auctions/closed_auction
+                        where $t/buyer/@person = $p/@id
+                        return $t
+              return count($a))
+    "#;
+    let engine = Engine::new();
+    engine.load_document("a.xml", &xml).unwrap();
+    let prepared = engine.compile(q2).unwrap();
+    assert!(
+        prepared.explain().contains("hash-group-join"),
+        "{}",
+        prepared.explain()
+    );
+    let opt2 = prepared.execute(&engine, &DynamicContext::new()).unwrap().serialize();
+    let engine2 = Engine::with_options(EngineOptions::unoptimized());
+    engine2.load_document("a.xml", &xml).unwrap();
+    let unopt2 = engine2.query(q2).unwrap();
+    assert_eq!(opt2, unopt2);
+}
+
+#[test]
+fn q8_and_q8b_formulations_agree() {
+    // The quadratic (order-by-tupled) and group-joined formulations of
+    // XMark Q8 must produce the same buyers and counts.
+    let xml = auction_site(&XmarkConfig::scaled(600));
+    let engine = Engine::new();
+    engine.load_document("a.xml", &xml).unwrap();
+    let q8 = engine
+        .query(
+            r#"for $p in doc("a.xml")/site/people/person
+               let $a := for $t in doc("a.xml")/site/closed_auctions/closed_auction
+                         where $t/buyer/@person = $p/@id
+                         return $t
+               where count($a) ge 2
+               order by count($a) descending, $p/@id
+               return <b id="{$p/@id}" n="{count($a)}"/>"#,
+        )
+        .unwrap();
+    let q8b = engine
+        .query(
+            r#"for $r in (for $p in doc("a.xml")/site/people/person
+                          let $a := for $t in doc("a.xml")/site/closed_auctions/closed_auction
+                                    return if ($t/buyer/@person = $p/@id) then $t else ()
+                          return if (count($a) ge 2)
+                                 then <b id="{$p/@id}" n="{count($a)}"/>
+                                 else ())
+               order by number($r/@n) descending, $r/@id
+               return $r"#,
+        )
+        .unwrap();
+    assert_eq!(q8, q8b);
+    assert!(q8.contains("<b id="));
+}
+
+#[test]
+fn context_with_doc_helper() {
+    let engine = Engine::new();
+    let ctx = xqr::context_with_doc(&engine, "inv.xml", "<inv><item/><item/></inv>").unwrap();
+    // Context item is bound to the document…
+    let q = engine.compile("count(.//item)").unwrap();
+    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), "2");
+    // …and the document is also reachable via fn:doc.
+    let q2 = engine.compile(r#"count(doc("inv.xml")//item)"#).unwrap();
+    assert_eq!(q2.execute(&engine, &ctx).unwrap().serialize(), "2");
+}
+
+#[test]
+fn streaming_count_agrees_with_materialized() {
+    let engine = Engine::new();
+    let xml = auction_site(&XmarkConfig::scaled(500));
+    // Child-only pattern: exact agreement guaranteed.
+    let q = engine.compile("count(/site/people/person)").unwrap();
+    assert!(q.is_streamable_count());
+    let (n, stats) = q.execute_streaming_count(&engine, &xml).unwrap();
+    let materialized = engine.query_xml(&xml, "count(/site/people/person)").unwrap();
+    assert_eq!(n.to_string(), materialized);
+    assert!(stats.tokens_skipped > 0, "match subtrees should be skipped: {stats:?}");
+    // Non-count queries refuse.
+    let q2 = engine.compile("/site/people/person").unwrap();
+    assert!(!q2.is_streamable_count());
+    assert!(q2.execute_streaming_count(&engine, &xml).is_err());
+}
