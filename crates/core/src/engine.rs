@@ -10,8 +10,31 @@ use xqr_runtime::{
 };
 use xqr_store::{DocId, NodeRef, Store};
 use xqr_tokenstream::ParserTokenIterator;
-use xqr_xdm::{NamePool, QName, Result};
+use xqr_xdm::{Error, NamePool, QName, QueryGuard, Result};
 use xqr_xmlparse;
+
+/// Render a panic payload (the engine's fault-containment boundary turns
+/// panics into `err:XQRL0000` instead of aborting the embedder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` with panics contained: a panic becomes `err:XQRL0000`.
+fn contain_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(Error::internal(format!(
+            "evaluation panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
 
 /// Stack for the evaluation thread: recursive-descent evaluation over
 /// deep queries/documents is stack-hungry in unoptimized builds.
@@ -98,14 +121,14 @@ impl Engine {
         let mut ctx = DynamicContext::new();
         ctx.context_item = Some(Item::Node(NodeRef::new(doc, xqr_store::NodeId(0))));
         let result = prepared.execute(self, &ctx)?;
-        Ok(result.serialize())
+        result.serialize_guarded()
     }
 
     /// One-shot convenience without input.
     pub fn query(&self, query: &str) -> Result<String> {
         let prepared = self.compile(query)?;
         let result = prepared.execute(self, &DynamicContext::new())?;
-        Ok(result.serialize())
+        result.serialize_guarded()
     }
 }
 
@@ -151,10 +174,17 @@ impl PreparedQuery {
                 "query is not a streamable count; use execute()",
             )
         })?;
-        let it = ParserTokenIterator::new(xml, engine.names().clone());
+        let guard = QueryGuard::new(self.runtime.limits);
+        let it = if guard.is_unlimited() {
+            ParserTokenIterator::new(xml, engine.names().clone())
+        } else {
+            ParserTokenIterator::with_guard(xml, engine.names().clone(), guard.clone())
+        };
         let mut matcher = StreamMatcher::new(it, pattern);
-        let n = matcher.count_matches()?;
-        Ok((n, matcher.stats))
+        contain_panic(|| {
+            let n = matcher.count_matches()?;
+            Ok((n, matcher.stats))
+        })
     }
 
     /// Streaming emits *outermost* matches; for child-only patterns this
@@ -172,28 +202,61 @@ impl PreparedQuery {
     pub fn explain(&self) -> String {
         let mut text = explain(&self.compiled);
         text.push_str(&format!("streamable: {}\n", self.is_streamable()));
+        text.push_str(&format!("limits: {}\n", self.runtime.limits));
         text
     }
 
     /// Execute against the engine's store, on a dedicated evaluation
-    /// thread with a roomy stack.
+    /// thread with a roomy stack. Budgets come from the engine's
+    /// [`RuntimeOptions::limits`]; use [`PreparedQuery::execute_guarded`]
+    /// to supply a guard whose [`xqr_xdm::CancelHandle`] another thread
+    /// holds.
     pub fn execute(&self, engine: &Engine, ctx: &DynamicContext) -> Result<QueryResult> {
+        self.execute_guarded(engine, ctx, QueryGuard::new(self.runtime.limits))
+    }
+
+    /// [`PreparedQuery::execute`] with a caller-supplied guard.
+    ///
+    /// The guard carries the deadline, budgets and cancellation flag for
+    /// this one execution; obtain a [`xqr_xdm::CancelHandle`] from it
+    /// *before* calling and trigger it from any other thread to stop the
+    /// query with `err:XQRL0003`. Panics on the evaluation thread are
+    /// contained and surface as `err:XQRL0000` — they never abort the
+    /// embedding process.
+    pub fn execute_guarded(
+        &self,
+        engine: &Engine,
+        ctx: &DynamicContext,
+        guard: QueryGuard,
+    ) -> Result<QueryResult> {
         let store = engine.store.clone();
         let compiled = &self.compiled;
         let runtime = self.runtime.clone();
         std::thread::scope(|scope| {
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name("xqr-eval".into())
                 .stack_size(EVAL_STACK_BYTES)
                 .spawn_scoped(scope, move || -> Result<QueryResult> {
                     let ev = Evaluator::new(&compiled.module, ctx).with_options(runtime);
-                    let mut st = ExecState::new(store.clone(), compiled.module.var_count);
-                    let items = ev.eval_module(&mut st)?;
-                    Ok(QueryResult { items, store, counters: ev.counters })
+                    let mut st =
+                        ExecState::with_guard(store.clone(), compiled.module.var_count, guard);
+                    let items = ev.eval_module(&mut st);
+                    ev.counters.record_guard_usage(&st.guard.usage());
+                    Ok(QueryResult {
+                        items: items?,
+                        store,
+                        counters: ev.counters,
+                        guard: st.guard,
+                    })
                 })
-                .expect("spawn eval thread")
-                .join()
-                .expect("eval thread panicked")
+                .map_err(|e| Error::internal(format!("failed to spawn eval thread: {e}")))?;
+            match handle.join() {
+                Ok(result) => result,
+                Err(payload) => Err(Error::internal(format!(
+                    "evaluation thread panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            }
         })
     }
 
@@ -212,20 +275,33 @@ impl PreparedQuery {
                 "query is not streamable; use execute()",
             )
         })?;
-        let it = ParserTokenIterator::new(xml, engine.names().clone());
-        let mut matcher = StreamMatcher::new(it, pattern);
-        while let Some(m) = matcher.next_match()? {
-            on_match(&m);
-        }
-        Ok(matcher.stats)
+        let guard = QueryGuard::new(self.runtime.limits);
+        let mut matcher = if guard.is_unlimited() {
+            let it = ParserTokenIterator::new(xml, engine.names().clone());
+            StreamMatcher::new(it, pattern)
+        } else {
+            let it =
+                ParserTokenIterator::with_guard(xml, engine.names().clone(), guard.clone());
+            StreamMatcher::new(it, pattern).with_guard(guard)
+        };
+        contain_panic(|| {
+            while let Some(m) = matcher.next_match()? {
+                on_match(&m);
+            }
+            Ok(matcher.stats)
+        })
     }
 }
 
 /// The materialized result of one execution.
+#[derive(Debug)]
 pub struct QueryResult {
     pub items: Sequence,
     pub store: Arc<Store>,
     pub counters: Counters,
+    /// The execution's guard, kept so serialization can charge the
+    /// output-byte budget.
+    guard: QueryGuard,
 }
 
 impl QueryResult {
@@ -240,6 +316,15 @@ impl QueryResult {
     /// Serialize per the sequence serialization rules.
     pub fn serialize(&self) -> String {
         serialize_sequence(&self.items, &self.store)
+    }
+
+    /// [`QueryResult::serialize`], charging the execution's output-byte
+    /// budget: errors with `err:XQRL0001` when the serialized form
+    /// exceeds the cap set in [`xqr_xdm::Limits::with_max_output_bytes`].
+    pub fn serialize_guarded(&self) -> Result<String> {
+        let out = serialize_sequence(&self.items, &self.store);
+        self.guard.note_output_bytes(out.len() as u64)?;
+        Ok(out)
     }
 
     /// The string values of the items.
@@ -371,6 +456,54 @@ mod tests {
         let text = q.explain();
         assert!(text.contains("streamable: false"), "{text}");
         assert!(text.contains("skip-enabled"), "{text}");
+    }
+
+    #[test]
+    fn injected_panic_becomes_internal_error() {
+        let engine = Engine::with_options(EngineOptions {
+            runtime: RuntimeOptions { debug_inject_panic: true, ..Default::default() },
+            ..Default::default()
+        });
+        let err = engine.query("1 + 1").unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Internal);
+        assert!(err.to_string().contains("panicked"), "{err}");
+        // The process survived; a normal engine still works.
+        assert_eq!(Engine::new().query("2 + 2").unwrap(), "4");
+    }
+
+    #[test]
+    fn explain_reports_limits() {
+        let engine = Engine::new();
+        let q = engine.compile("1").unwrap();
+        assert!(q.explain().contains("limits: unlimited"), "{}", q.explain());
+        let engine = Engine::with_options(EngineOptions {
+            runtime: RuntimeOptions {
+                limits: xqr_xdm::Limits::unlimited().with_max_items(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let q = engine.compile("1").unwrap();
+        assert!(q.explain().contains("items: 10"), "{}", q.explain());
+    }
+
+    #[test]
+    fn cancel_handle_stops_execution_from_another_thread() {
+        use xqr_xdm::{ErrorCode, Limits, QueryGuard};
+        let engine = Engine::new();
+        // Unbounded-enough work that only cancellation can stop it.
+        let q = engine.compile("sum(1 to 10000000000)").unwrap();
+        let guard = QueryGuard::new(Limits::unlimited());
+        let handle = guard.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            handle.cancel();
+        });
+        let err = q
+            .execute_guarded(&engine, &DynamicContext::new(), guard)
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err.code, ErrorCode::Cancelled);
     }
 
     #[test]

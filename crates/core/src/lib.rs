@@ -22,4 +22,6 @@ pub use explain::explain;
 pub use xqr_compiler::{CompileOptions, CompiledQuery, RewriteConfig};
 pub use xqr_runtime::{DynamicContext, Item, RuntimeOptions, Sequence, StreamStats};
 pub use xqr_store::{DocId, Document, NodeId, NodeRef, Store};
-pub use xqr_xdm::{AtomicValue, Error, ErrorCode, QName, Result};
+pub use xqr_xdm::{
+    AtomicValue, CancelHandle, Error, ErrorCode, GuardUsage, Limits, QName, QueryGuard, Result,
+};

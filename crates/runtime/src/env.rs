@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use xqr_compiler::VarId;
 use xqr_store::{NodeRef, Store};
-use xqr_xdm::{DateTime, Error, ErrorCode, QName, Result, TzOffset};
+use xqr_xdm::{DateTime, Error, ErrorCode, QName, QueryGuard, Result, TzOffset};
 
 /// Values for the dynamic context, supplied by the application.
 pub struct DynamicContext {
@@ -121,16 +121,23 @@ pub struct Focus {
 }
 
 /// Everything the evaluator threads through: the store, the dynamic
-/// context and the focus stack.
+/// context, the focus stack and the per-execution resource guard.
 pub struct ExecState {
     pub store: Arc<Store>,
     pub frame: Frame,
     pub focus: Vec<Focus>,
+    /// Resource governance for this execution; `QueryGuard::unlimited()`
+    /// when the embedder set no limits.
+    pub guard: QueryGuard,
 }
 
 impl ExecState {
     pub fn new(store: Arc<Store>, frame_size: u32) -> Self {
-        ExecState { store, frame: Frame::new(frame_size), focus: Vec::new() }
+        Self::with_guard(store, frame_size, QueryGuard::unlimited())
+    }
+
+    pub fn with_guard(store: Arc<Store>, frame_size: u32, guard: QueryGuard) -> Self {
+        ExecState { store, frame: Frame::new(frame_size), focus: Vec::new(), guard }
     }
 
     pub fn focus(&self) -> Option<&Focus> {

@@ -24,8 +24,8 @@ use std::sync::Arc;
 use xqr_compiler::{Core, CoreClause, CoreModule, CoreName, FuncId, VarId};
 use xqr_store::{walk, Axis, NodeId, NodeRef};
 use xqr_xdm::{
-    AtomicType, AtomicValue, Error, ErrorCode, ItemType, NameTest, NodeKind, QName, Result,
-    SequenceType,
+    AtomicType, AtomicValue, Error, ErrorCode, GuardUsage, ItemType, Limits, NameTest, NodeKind,
+    QName, Result, SequenceType,
 };
 use xqr_xqparser::ast::{AxisName, NodeTest};
 
@@ -85,6 +85,22 @@ pub struct Counters {
     pub function_calls: Cell<u64>,
     pub memo_hits: Cell<u64>,
     pub join_builds: Cell<u64>,
+    /// Budget consumption gauges, copied from the [`xqr_xdm::QueryGuard`]
+    /// after execution so explain/bench output can report them.
+    pub budget_items: Cell<u64>,
+    pub budget_tokens: Cell<u64>,
+    pub budget_output_bytes: Cell<u64>,
+    pub budget_peak_depth: Cell<u64>,
+}
+
+impl Counters {
+    /// Snapshot the guard's consumption gauges into the counters.
+    pub fn record_guard_usage(&self, usage: &GuardUsage) {
+        self.budget_items.set(usage.items);
+        self.budget_tokens.set(usage.tokens);
+        self.budget_output_bytes.set(usage.output_bytes);
+        self.budget_peak_depth.set(usage.peak_depth);
+    }
 }
 
 /// Runtime options.
@@ -96,11 +112,23 @@ pub struct RuntimeOptions {
     /// for ordinary (2 MiB) stacks; the engine facade raises it because
     /// it evaluates on a dedicated large-stack thread.
     pub max_call_depth: usize,
+    /// Resource budgets for the execution (deadline, cancellation,
+    /// materialization/token/output/depth caps). Unlimited by default.
+    pub limits: Limits,
+    /// Test-only fault injection: panic at `eval_module` entry so the
+    /// engine's panic-containment boundary can be exercised. Never set
+    /// outside tests.
+    pub debug_inject_panic: bool,
 }
 
 impl Default for RuntimeOptions {
     fn default() -> Self {
-        RuntimeOptions { memoize_functions: false, max_call_depth: 64 }
+        RuntimeOptions {
+            memoize_functions: false,
+            max_call_depth: 64,
+            limits: Limits::unlimited(),
+            debug_inject_panic: false,
+        }
     }
 }
 
@@ -168,6 +196,9 @@ impl<'m> Evaluator<'m> {
 
     /// Evaluate the module body (globals first).
     pub fn eval_module(&self, st: &mut ExecState) -> Result<Sequence> {
+        if self.options.debug_inject_panic {
+            panic!("debug_inject_panic: deliberate internal fault");
+        }
         st.frame.ensure(self.module.var_count);
         for (name, var, value) in &self.module.globals {
             let seq = match value {
@@ -221,6 +252,7 @@ impl<'m> Evaluator<'m> {
     /// Stream `e` into `sink`.
     pub fn push(&self, e: &Core, st: &mut ExecState, sink: &mut dyn Sink) -> Result<Flow> {
         self.counters.items_produced.set(self.counters.items_produced.get() + 1);
+        st.guard.note_items(1)?;
         match e {
             Core::Const(v) => sink.accept(self, st, Item::Atomic(v.clone())),
             Core::Empty => Ok(Flow::More),
@@ -238,6 +270,10 @@ impl<'m> Evaluator<'m> {
                 let (Some(lo), Some(hi)) = (lo, hi) else { return Ok(Flow::More) };
                 let mut i = lo;
                 while i <= hi {
+                    // Ranges produce items without recursing through
+                    // `push`, so they charge the guard directly — this is
+                    // what bounds `for $x in 1 to 100000000`.
+                    st.guard.note_items(1)?;
                     if sink.accept(self, st, Item::integer(i))? == Flow::Done {
                         return Ok(Flow::Done);
                     }
@@ -954,7 +990,7 @@ impl<'m> Evaluator<'m> {
         let xml = self.dyn_ctx.documents.get(uri).ok_or_else(|| {
             Error::new(ErrorCode::DocumentNotFound, format!("no document at {uri:?}"))
         })?;
-        let id = st.store.load_xml(xml, Some(uri))?;
+        let id = st.store.load_xml_guarded(xml, Some(uri), &st.guard)?;
         let n = NodeRef::new(id, NodeId(0));
         self.doc_cache.borrow_mut().insert(uri.to_string(), n);
         Ok(n)

@@ -22,21 +22,37 @@ pub use value::{effective_boolean_value, serialize_sequence, Item, Sequence};
 use std::sync::Arc;
 use xqr_compiler::CompiledQuery;
 use xqr_store::Store;
-use xqr_xdm::Result;
+use xqr_xdm::{QueryGuard, Result};
 
 /// One-shot execution of a compiled query (tests and simple embeddings;
 /// the engine facade in `xqr-core` adds streaming serialization and
-/// explain output on top).
+/// explain output on top). The guard is built from `options.limits`, so
+/// budgets and deadlines apply here too.
 pub fn execute(
     query: &CompiledQuery,
     store: &Arc<Store>,
     dyn_ctx: &DynamicContext,
     options: RuntimeOptions,
 ) -> Result<(Sequence, Counters)> {
+    let guard = QueryGuard::new(options.limits);
+    execute_guarded(query, store, dyn_ctx, options, guard)
+}
+
+/// [`execute`] with a caller-supplied guard — how the engine facade
+/// shares one guard (and its [`xqr_xdm::CancelHandle`]) across parsing,
+/// evaluation and serialization.
+pub fn execute_guarded(
+    query: &CompiledQuery,
+    store: &Arc<Store>,
+    dyn_ctx: &DynamicContext,
+    options: RuntimeOptions,
+    guard: QueryGuard,
+) -> Result<(Sequence, Counters)> {
     let ev = Evaluator::new(&query.module, dyn_ctx).with_options(options);
-    let mut st = ExecState::new(store.clone(), query.module.var_count);
-    let result = ev.eval_module(&mut st)?;
-    Ok((result, ev.counters))
+    let mut st = ExecState::with_guard(store.clone(), query.module.var_count, guard);
+    let result = ev.eval_module(&mut st);
+    ev.counters.record_guard_usage(&st.guard.usage());
+    Ok((result?, ev.counters))
 }
 
 #[cfg(test)]

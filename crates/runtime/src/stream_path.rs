@@ -12,7 +12,7 @@
 
 use xqr_compiler::Core;
 use xqr_tokenstream::{Token, TokenIterator};
-use xqr_xdm::{QName, Result};
+use xqr_xdm::{Error, QName, QueryGuard, Result};
 use xqr_xmlparse::{WriterOptions, XmlWriter};
 use xqr_xqparser::ast::{AxisName, NodeTest};
 
@@ -51,6 +51,14 @@ impl StreamPattern {
             return None;
         }
         Some(StreamPattern { steps })
+    }
+
+    /// [`StreamPattern::extract`] for callers that have already decided
+    /// the plan is streamable: a non-streamable core is an internal
+    /// error (`err:XQRL0000`), never a panic.
+    pub fn extract_required(core: &Core) -> Result<StreamPattern> {
+        StreamPattern::extract(core)
+            .ok_or_else(|| Error::internal(format!("not streamable: {core:?}")))
     }
 
     /// Child-only patterns match at a fixed depth: matches cannot nest
@@ -127,6 +135,9 @@ pub struct StreamMatcher<I: TokenIterator> {
     capture_depth: Option<usize>,
     writer: Option<XmlWriter>,
     pending: Vec<(QName, Vec<xqr_xmlparse::Attribute>, Vec<xqr_xmlparse::NamespaceDecl>)>,
+    /// Optional budget: emitted matches charge the output-byte cap (the
+    /// token/depth budgets are charged by a guarded token iterator).
+    guard: Option<QueryGuard>,
     pub stats: StreamStats,
 }
 
@@ -139,8 +150,14 @@ impl<I: TokenIterator> StreamMatcher<I> {
             capture_depth: None,
             writer: None,
             pending: Vec::new(),
+            guard: None,
             stats: StreamStats::default(),
         }
+    }
+
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     fn advance_mask(&self, parent_mask: u32, name: &QName) -> u32 {
@@ -252,6 +269,9 @@ impl<I: TokenIterator> StreamMatcher<I> {
                         self.capture_depth = None;
                         let out = self.writer.take().expect("writer").into_string();
                         self.stats.matches += 1;
+                        if let Some(guard) = &self.guard {
+                            guard.note_output_bytes(out.len() as u64)?;
+                        }
                         return Ok(Some(out));
                     }
                 }
@@ -332,8 +352,7 @@ mod tests {
 
     fn pattern(query: &str) -> StreamPattern {
         let q = compile(query, &CompileOptions::default()).unwrap();
-        StreamPattern::extract(&q.module.body)
-            .unwrap_or_else(|| panic!("not streamable: {query} → {:?}", q.module.body))
+        StreamPattern::extract_required(&q.module.body).unwrap()
     }
 
     fn run(query: &str, xml: &str) -> (Vec<String>, StreamStats) {
@@ -429,6 +448,31 @@ mod tests {
     fn nested_matches_capture_outermost() {
         let (out, _) = run("//b", "<a><b>outer<b>inner</b></b></a>");
         assert_eq!(out, vec!["<b>outer<b>inner</b></b>"]);
+    }
+
+    #[test]
+    fn extract_required_reports_internal_error() {
+        let q = compile("1 + 1", &CompileOptions::default()).unwrap();
+        let e = StreamPattern::extract_required(&q.module.body).unwrap_err();
+        assert_eq!(e.code, xqr_xdm::ErrorCode::Internal);
+        assert!(e.to_string().contains("not streamable"));
+    }
+
+    #[test]
+    fn output_cap_stops_streaming_matches() {
+        use xqr_xdm::{ErrorCode, Limits, QueryGuard};
+        let p = pattern("/a/b");
+        let it = ParserTokenIterator::new(
+            "<a><b>1</b><b>2</b><b>3</b></a>",
+            Arc::new(NamePool::new()),
+        );
+        let guard = QueryGuard::new(Limits::unlimited().with_max_output_bytes(10));
+        let mut m = StreamMatcher::new(it, p).with_guard(guard);
+        // "<b>1</b>" is 8 bytes — under the cap.
+        assert!(m.next_match().unwrap().is_some());
+        // The second match takes the total to 16 bytes.
+        let err = m.next_match().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Limit);
     }
 
     #[test]

@@ -61,6 +61,18 @@ impl Document {
         Self::from_tokens_with_uri(&mut it, names, uri)
     }
 
+    /// Guarded parse: the token pull charges `guard`'s token budget and
+    /// the underlying reader enforces its depth/document-size limits.
+    pub fn parse_guarded(
+        input: &str,
+        names: Arc<NamePool>,
+        uri: Option<&str>,
+        guard: &xqr_xdm::QueryGuard,
+    ) -> Result<Arc<Document>> {
+        let mut it = ParserTokenIterator::with_guard(input, names.clone(), guard.clone());
+        Self::from_tokens_with_uri(&mut it, names, uri)
+    }
+
     /// Build from any token iterator.
     pub fn from_tokens(
         it: &mut dyn TokenIterator,

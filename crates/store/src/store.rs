@@ -67,6 +67,19 @@ impl Store {
         Ok(self.add_document(doc))
     }
 
+    /// Guarded [`Store::load_xml`]: parsing respects the guard's token,
+    /// depth and document-size limits — how `fn:doc` loads documents
+    /// inside a guarded execution.
+    pub fn load_xml_guarded(
+        &self,
+        xml: &str,
+        uri: Option<&str>,
+        guard: &xqr_xdm::QueryGuard,
+    ) -> Result<DocId> {
+        let doc = Document::parse_guarded(xml, self.names.clone(), uri, guard)?;
+        Ok(self.add_document(doc))
+    }
+
     pub fn document(&self, id: DocId) -> Arc<Document> {
         self.inner.read().expect("store lock").docs[id.0 as usize].clone()
     }

@@ -12,7 +12,7 @@ use crate::stream::{TokenStream, TokenStreamBuilder};
 use crate::token::{StrId, Token};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use xqr_xdm::{NameId, NamePool, QName, Result};
+use xqr_xdm::{NameId, NamePool, QName, QueryGuard, Result};
 use xqr_xmlparse::{XmlEvent, XmlReader, XmlWriter, WriterOptions};
 
 /// Streaming adapter: XML text → tokens, one event at a time.
@@ -23,6 +23,7 @@ pub struct ParserTokenIterator<'a> {
     queue: VecDeque<Token>,
     finished: bool,
     last_opened: bool,
+    guard: Option<QueryGuard>,
 }
 
 impl<'a> ParserTokenIterator<'a> {
@@ -34,7 +35,18 @@ impl<'a> ParserTokenIterator<'a> {
             queue: VecDeque::new(),
             finished: false,
             last_opened: false,
+            guard: None,
         }
+    }
+
+    /// Guarded construction: the reader enforces depth/size limits and
+    /// every token delivered (including skipped ones) charges the token
+    /// budget, which also polls cancellation and the deadline.
+    pub fn with_guard(input: &'a str, names: Arc<NamePool>, guard: QueryGuard) -> Self {
+        let mut it = ParserTokenIterator::new(input, names);
+        it.reader = XmlReader::new(input).with_guard(guard.clone());
+        it.guard = Some(guard);
+        it
     }
 
     /// Bytes of input consumed so far — lets tests assert that results
@@ -92,6 +104,11 @@ impl<'a> TokenIterator for ParserTokenIterator<'a> {
             self.enqueue_event(ev);
         }
         let t = self.queue.pop_front();
+        if t.is_some() {
+            if let Some(guard) = &self.guard {
+                guard.note_tokens(1)?;
+            }
+        }
         self.last_opened = t.map(|t| t.opens()).unwrap_or(false);
         Ok(t)
     }
@@ -399,5 +416,32 @@ mod tests {
         let names = Arc::new(NamePool::new());
         let mut it = ParserTokenIterator::new("<a><b/></a>", names);
         assert_eq!(drain(&mut it).unwrap(), 6);
+    }
+
+    #[test]
+    fn guarded_iterator_charges_every_token_including_skips() {
+        use xqr_xdm::{ErrorCode, Limits, QueryGuard};
+        let names = Arc::new(NamePool::new());
+        let guard = QueryGuard::unlimited();
+        let mut it =
+            ParserTokenIterator::with_guard("<a><b><c/><d/></b><e/></a>", names, guard.clone());
+        it.next_token().unwrap(); // SD
+        it.next_token().unwrap(); // <a>
+        it.next_token().unwrap(); // <b>
+        it.skip_subtree().unwrap(); // 5 tokens consumed internally
+        assert_eq!(guard.usage().tokens, 8);
+
+        // And a tight budget trips mid-stream with the stable code.
+        let names = Arc::new(NamePool::new());
+        let guard = QueryGuard::new(Limits::unlimited().with_max_tokens(3));
+        let mut it = ParserTokenIterator::with_guard("<a><b/><c/></a>", names, guard);
+        let err = loop {
+            match it.next_token() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("budget should trip before exhaustion"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code, ErrorCode::Limit);
     }
 }

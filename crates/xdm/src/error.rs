@@ -54,10 +54,14 @@ pub enum ErrorCode {
     UserError,
     /// XQST0034/0049/etc — static errors in prolog declarations.
     StaticProlog,
-    /// Engine limit exceeded (depth, size); not a W3C code.
+    /// Engine limit exceeded (depth, size, budget); not a W3C code.
     Limit,
     /// Internal invariant violation — a bug in the engine, never the query.
     Internal,
+    /// Wall-clock deadline exceeded; not a W3C code.
+    Timeout,
+    /// Execution cancelled by the embedder; not a W3C code.
+    Cancelled,
 }
 
 impl ErrorCode {
@@ -89,6 +93,8 @@ impl ErrorCode {
             StaticProlog => "XQST0034",
             Limit => "XQRL0001",
             Internal => "XQRL0000",
+            Timeout => "XQRL0002",
+            Cancelled => "XQRL0003",
         }
     }
 }
@@ -126,6 +132,18 @@ impl Error {
 
     pub fn internal(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Internal, message)
+    }
+
+    pub fn limit(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Limit, message)
+    }
+
+    pub fn timeout(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Timeout, message)
+    }
+
+    pub fn cancelled(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Cancelled, message)
     }
 }
 

@@ -13,6 +13,7 @@ pub mod atomic;
 pub mod datetime;
 pub mod decimal;
 pub mod error;
+pub mod guard;
 pub mod node;
 pub mod qname;
 pub mod types;
@@ -21,6 +22,7 @@ pub use atomic::{fmt_float, parse_double, parse_integer, AtomicType, AtomicValue
 pub use datetime::{Date, DateTime, Duration, Gregorian, GregorianKind, Time, TzOffset};
 pub use decimal::Decimal;
 pub use error::{Error, ErrorCode, Result};
+pub use guard::{CancelHandle, GuardUsage, Limits, QueryGuard};
 pub use node::NodeKind;
 pub use qname::{NameId, NamePool, QName};
 pub use types::{ItemType, NameTest, Occurrence, SequenceType};

@@ -7,10 +7,16 @@
 
 use crate::event::{Attribute, NamespaceDecl, XmlEvent};
 use std::sync::Arc;
-use xqr_xdm::{Error, ErrorCode, QName, Result};
+use xqr_xdm::{Error, ErrorCode, QName, QueryGuard, Result};
 
 pub const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
 pub const XMLNS_NS: &str = "http://www.w3.org/2000/xmlns/";
+
+/// Hard cap on element nesting regardless of any [`QueryGuard`] limit:
+/// downstream consumers (store build, serializer) recurse over element
+/// structure, so unbounded depth is a stack-overflow vector. Deep enough
+/// for any sane document, far below any thread's stack budget.
+pub const DEFAULT_MAX_DEPTH: usize = 10_000;
 
 /// Pull parser over an in-memory document or fragment.
 pub struct XmlReader<'a> {
@@ -28,6 +34,10 @@ pub struct XmlReader<'a> {
     /// Pending EndElement to emit after an empty-element tag.
     pending_end: Option<QName>,
     seen_root: bool,
+    /// Hard nesting cap; always enforced (see [`DEFAULT_MAX_DEPTH`]).
+    max_depth: usize,
+    /// Optional per-execution budget: nesting depth, document size.
+    guard: Option<QueryGuard>,
 }
 
 impl<'a> XmlReader<'a> {
@@ -42,7 +52,22 @@ impl<'a> XmlReader<'a> {
             finished: false,
             pending_end: None,
             seen_root: false,
+            max_depth: DEFAULT_MAX_DEPTH,
+            guard: None,
         }
+    }
+
+    /// Attach a per-execution guard; the reader then also enforces the
+    /// guard's XML depth and document-size limits.
+    pub fn with_guard(mut self, guard: QueryGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Override the hard nesting cap (tests; embedders with odd inputs).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
     }
 
     /// Current byte offset, for error reporting.
@@ -94,6 +119,9 @@ impl<'a> XmlReader<'a> {
     /// Pull the next event. After `EndDocument`, keeps returning
     /// `EndDocument`.
     pub fn next_event(&mut self) -> Result<XmlEvent> {
+        if let Some(guard) = &self.guard {
+            guard.check_document_bytes(self.pos as u64).map_err(|e| e.at(self.pos))?;
+        }
         if !self.started {
             self.started = true;
             self.skip_prolog()?;
@@ -346,6 +374,17 @@ impl<'a> XmlReader<'a> {
                 return Err(self.err("multiple root elements"));
             }
             self.seen_root = true;
+        }
+        let depth = self.open.len() + 1;
+        if depth > self.max_depth {
+            return Err(Error::limit(format!(
+                "XML nesting depth limit of {} exceeded",
+                self.max_depth
+            ))
+            .at(self.pos));
+        }
+        if let Some(guard) = &self.guard {
+            guard.enter_depth(depth as u64).map_err(|e| e.at(self.pos))?;
         }
         // Push bindings before resolving names on this element.
         for d in &decls {
@@ -808,6 +847,54 @@ mod tests {
         }
         let evs = parse_events(&doc).unwrap();
         assert_eq!(evs.len(), 2002);
+    }
+
+    #[test]
+    fn pathological_nesting_hits_depth_limit() {
+        // 100k-deep would overflow downstream recursion; the reader must
+        // refuse it with the stable limit code instead.
+        let doc = "<a>".repeat(100_000);
+        let mut r = super::XmlReader::new(&doc);
+        let err = loop {
+            match r.next_event() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Limit);
+        assert!(err.message.contains("depth"), "{err}");
+    }
+
+    #[test]
+    fn guard_depth_limit_is_tighter_than_hard_cap() {
+        use xqr_xdm::{Limits, QueryGuard};
+        let doc = format!("{}{}", "<a>".repeat(50), "</a>".repeat(50));
+        let guard = QueryGuard::new(Limits::unlimited().with_max_xml_depth(10));
+        let mut r = super::XmlReader::new(&doc).with_guard(guard.clone());
+        let err = loop {
+            match r.next_event() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Limit);
+        assert_eq!(guard.usage().peak_depth, 11);
+    }
+
+    #[test]
+    fn guard_document_size_limit() {
+        use xqr_xdm::{Limits, QueryGuard};
+        let doc = format!("<r>{}</r>", "x".repeat(10_000));
+        let guard = QueryGuard::new(Limits::unlimited().with_max_document_bytes(100));
+        let mut r = super::XmlReader::new(&doc).with_guard(guard);
+        let err = loop {
+            match r.next_event() {
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Limit);
+        assert!(err.message.contains("document size"), "{err}");
     }
 
     #[test]

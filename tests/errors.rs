@@ -139,6 +139,40 @@ fn user_errors_and_limits() {
 }
 
 #[test]
+fn governance_error_codes_are_stable() {
+    // Embedders dispatch on these; they must never change.
+    assert_eq!(ErrorCode::Internal.as_str(), "XQRL0000");
+    assert_eq!(ErrorCode::Limit.as_str(), "XQRL0001");
+    assert_eq!(ErrorCode::Timeout.as_str(), "XQRL0002");
+    assert_eq!(ErrorCode::Cancelled.as_str(), "XQRL0003");
+
+    use std::time::Duration;
+    use xqr::{EngineOptions, Limits, RuntimeOptions};
+    // Each governed failure mode raises its own code.
+    let budgeted = Engine::with_options(EngineOptions {
+        runtime: RuntimeOptions {
+            limits: Limits::unlimited().with_max_items(100),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let q = budgeted.compile("for $x in 1 to 100000000 return $x").unwrap();
+    let err = q.execute(&budgeted, &DynamicContext::new()).unwrap_err();
+    assert_eq!(err.code, ErrorCode::Limit);
+
+    let deadlined = Engine::with_options(EngineOptions {
+        runtime: RuntimeOptions {
+            limits: Limits::unlimited().with_deadline(Duration::from_millis(1)),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let q = deadlined.compile("for $x in 1 to 100000000 return $x").unwrap();
+    let err = q.execute(&deadlined, &DynamicContext::new()).unwrap_err();
+    assert_eq!(err.code, ErrorCode::Timeout);
+}
+
+#[test]
 fn function_signature_enforcement() {
     // Declared parameter types are checked at call time.
     assert_eq!(

@@ -9,7 +9,10 @@ use xqr::xqr_joins::{
     element_list, enumerate_matches, matches_of_node, mpmgjn, nested_loop, normalize, path_stack,
     stack_tree_anc, stack_tree_desc, twig_stack, JoinKind, TwigPattern,
 };
-use xqr::{CompileOptions, Document, Engine, EngineOptions, RewriteConfig};
+use xqr::{
+    CompileOptions, Document, DynamicContext, Engine, EngineOptions, Limits, QueryGuard,
+    RewriteConfig, RuntimeOptions,
+};
 use xqr_xdm::NamePool;
 use xqr_xmlgen::{random_tree, RandomTreeConfig};
 
@@ -219,6 +222,76 @@ proptest! {
             (Err(_), _) => {}
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn guarded_execution_never_panics_and_respects_budgets(q in arb_closed_query()) {
+        run_guarded_case(&q)?;
+    }
+
+    #[test]
+    fn guarded_path_queries_over_documents_never_panic(xml in arb_tree(), qidx in 0usize..6) {
+        // Same property over documents: budgeted path evaluation either
+        // succeeds or returns a coded error.
+        let queries = [
+            "count(//a)",
+            "//a//d",
+            "for $x in //* return <r>{string($x)}</r>",
+            "(//d)[1]",
+            "string-join(for $x in //a return string($x), \",\")",
+            "for $x in //a, $y in //d return 1",
+        ];
+        let limits = Limits::unlimited()
+            .with_max_items(20_000)
+            .with_max_output_bytes(1 << 18)
+            .with_deadline(std::time::Duration::from_secs(5));
+        let engine = Engine::with_options(EngineOptions {
+            runtime: RuntimeOptions { limits, ..Default::default() },
+            ..Default::default()
+        });
+        match engine.query_xml(&xml, queries[qidx]) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(
+                !e.code.as_str().is_empty(),
+                "uncoded error for {} on {}", queries[qidx], xml
+            ),
+        }
+    }
+}
+
+/// Resource governance property: under a small budget, any generated
+/// query either succeeds or fails with a stable coded error — never a
+/// panic (the engine boundary contains those as `err:XQRL0000`) — and
+/// the recorded consumption never runs away past the caps.
+fn run_guarded_case(q: &str) -> std::result::Result<(), TestCaseError> {
+    const MAX_ITEMS: u64 = 50_000;
+    let limits = Limits::unlimited()
+        .with_max_items(MAX_ITEMS)
+        .with_max_output_bytes(1 << 20)
+        .with_deadline(std::time::Duration::from_secs(5));
+    let engine = Engine::with_options(EngineOptions {
+        runtime: RuntimeOptions { limits, ..Default::default() },
+        ..Default::default()
+    });
+    let prepared = match engine.compile(q) {
+        Ok(p) => p,
+        Err(_) => return Ok(()), // statically invalid — fine
+    };
+    let guard = QueryGuard::new(limits);
+    match prepared.execute_guarded(&engine, &DynamicContext::new(), guard.clone()) {
+        Ok(r) => {
+            let _ = r.serialize_guarded();
+        }
+        Err(e) => prop_assert!(!e.code.as_str().is_empty(), "uncoded error for {}", q),
+    }
+    // Items are charged one at a time, so consumption stops within one
+    // charge of the cap.
+    let u = guard.usage();
+    prop_assert!(u.items <= MAX_ITEMS + 1, "items gauge ran away: {} for {}", u.items, q);
+    Ok(())
 }
 
 proptest! {

@@ -1,0 +1,163 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! Implements the group/bench_function/bench_with_input surface the
+//! workspace's benches use, with a simple measurement loop: warm up
+//! briefly, then time batches until ~`sample_size` samples or a wall
+//! budget is reached, and report median ns/iter. No plots, no statistics
+//! machinery — enough to compare implementations and keep `cargo bench`
+//! working without the network.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 50 }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        f(&mut b);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: aim for batches of at least ~1ms so
+        // Instant overhead doesn't dominate sub-microsecond routines.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).max(1) as usize;
+
+        let wall_budget = Duration::from_millis(500);
+        let bench_start = Instant::now();
+        for _ in 0..self.budget {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+            if bench_start.elapsed() > wall_budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, label: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{label}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{label}: median {:.1} ns/iter (min {:.1}, max {:.1}, {} samples)",
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+    }
+}
+
+/// Identity function that defeats constant-propagation of benchmark
+/// results, same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite doubles across a wide magnitude range; no NaN/inf, which
+        // matches how the workspace's tests use numeric inputs.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(61) as i32 - 30;
+        mantissa * (2f64).powi(exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with occasional BMP characters.
+        if rng.below(4) == 0 {
+            char::from_u32(0x00A1 + rng.below(0xFF) as u32).unwrap_or('x')
+        } else {
+            (0x20 + rng.below(0x5F) as u8) as char
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supported grammar (covers every pattern in this workspace's tests):
+//!
+//! ```text
+//! pattern := element*
+//! element := atom repetition?
+//! atom    := '.'                      (any printable ASCII)
+//!          | '[' class-item* ']'      (character class)
+//!          | '\' char                 (escaped literal)
+//!          | char                     (literal)
+//! class-item := char '-' char         (range)
+//!             | '\' char              (escaped literal)
+//!             | char                  (literal; '-' literal at edges)
+//! repetition := '{' n '}' | '{' m ',' n '}'
+//! ```
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Any printable ASCII character (0x20..=0x7E).
+    Dot,
+    /// Inclusive character ranges; single chars are (c, c).
+    Class(Vec<(char, char)>),
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        let c = *chars.get(i).expect("dangling escape in class");
+                        i += 1;
+                        c
+                    } else {
+                        let c = chars[i];
+                        i += 1;
+                        c
+                    };
+                    // `a-z` range: only when '-' is between two members.
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1; // '-'
+                        let hi = if chars[i] == '\\' {
+                            i += 1;
+                            let hi = chars[i];
+                            i += 1;
+                            hi
+                        } else {
+                            let hi = chars[i];
+                            i += 1;
+                            hi
+                        };
+                        assert!(c <= hi, "inverted class range {c}-{hi}");
+                        ranges.push((c, hi));
+                    } else {
+                        ranges.push((c, c));
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).expect("dangling escape");
+                i += 1;
+                Atom::Lit(c)
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let mut first = String::new();
+            while chars[i].is_ascii_digit() {
+                first.push(chars[i]);
+                i += 1;
+            }
+            let m: u32 = first.parse().expect("bad repetition count");
+            let n = if chars[i] == ',' {
+                i += 1;
+                let mut second = String::new();
+                while chars[i].is_ascii_digit() {
+                    second.push(chars[i]);
+                    i += 1;
+                }
+                second.parse().expect("bad repetition bound")
+            } else {
+                m
+            };
+            assert_eq!(chars[i], '}', "unterminated repetition in {pattern:?}");
+            i += 1;
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        out.push(Element { atom, min, max });
+    }
+    out
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => (0x20 + rng.below(0x7F - 0x20) as u8) as char,
+        Atom::Lit(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64 - *lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).expect("class range");
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+    }
+}
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for el in &elements {
+        let count = if el.min == el.max {
+            el.min
+        } else {
+            el.min + rng.below((el.max - el.min + 1) as u64) as u32
+        };
+        for _ in 0..count {
+            out.push(gen_char(&el.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn class_with_range_and_bound() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,5}", &mut r);
+            assert!((1..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn dot_any_printable() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching(".{0,100}", &mut r);
+            assert!(s.len() <= 100);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn escapes_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z<>/=\"'& ;!\\[\\]-]{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase()
+                        || "<>/=\"'& ;![]-".contains(c),
+                    "unexpected char {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn literal_runs() {
+        let mut r = rng();
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+    }
+}

@@ -1,0 +1,104 @@
+//! Case runner and config for the vendored proptest subset.
+
+/// Deterministic PRNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng { state: seed ^ 0x9e3779b97f4a7c15 };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; bound must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Abort after this many consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!`; try another input.
+    Reject,
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Run `case` until `config.cases` inputs pass (rejections don't count).
+/// Panics on the first failed assertion, reporting the case number so a
+/// failure is findable under the deterministic seeding.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        // Derive each case's seed from the test name and attempt index so
+        // every test walks its own reproducible sequence.
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let mut rng = TestRng::from_seed(seed.wrapping_add(attempt.wrapping_mul(0x9e3779b9)));
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passed cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {attempt} failed: {msg}");
+            }
+        }
+    }
+}

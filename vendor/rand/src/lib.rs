@@ -1,0 +1,151 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The workload generators (`xqr-xmlgen`) only need a seedable,
+//! deterministic PRNG with `gen_range`, `gen_bool` and `gen::<f64>()`.
+//! This stub backs `StdRng` with SplitMix64 — not cryptographic, but
+//! statistically fine for generating test documents, and fully
+//! deterministic for a given seed (which the proptest suites rely on to
+//! cross-check independent implementations on the same tree).
+
+pub mod rngs {
+    /// Deterministic 64-bit PRNG (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Mix the seed once so seeds 0,1,2… don't start in nearby states.
+        let mut rng = rngs::StdRng::from_state(seed ^ 0x5851f42d4c957f2d);
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Types `Rng::gen_range` can sample uniformly from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Modulo bias is ≤ span/2^64 — irrelevant for workload gen.
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+/// Types `Rng::gen` can produce from the standard distribution.
+pub trait StandardSample {
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait Rng {
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T;
+    fn gen_bool(&mut self, p: f64) -> bool;
+    fn gen<T: StandardSample>(&mut self) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0,1]");
+        f64::sample_standard(self) < p
+    }
+
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..500);
+            assert!((10..500).contains(&v));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let n = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}
