@@ -665,7 +665,7 @@ pub fn e9_transform(scale: Scale) -> Table {
         let (r_unopt, t_unopt) = time(|| q2.execute(&engine2, &DynamicContext::new()).unwrap());
         // Naive DOM transformer (parse + walk each run, like a CLI XSLT).
         let (_, t_dom) = time(|| dom_baseline_transform(&xml));
-        assert_eq!(r_opt.serialize().len(), r_unopt.serialize().len());
+        assert_eq!(r_opt.serialize_guarded().unwrap().len(), r_unopt.serialize_guarded().unwrap().len());
         rows.push(vec![
             partners.to_string(),
             format!("{}", xml.len() / 1024),
@@ -841,7 +841,7 @@ pub fn e12_memo(scale: Scale) -> Table {
     });
     let prepared_m = engine_memo.compile(q).unwrap();
     let (r2, t_memo) = time(|| prepared_m.execute(&engine_memo, &DynamicContext::new()).unwrap());
-    assert_eq!(r1.serialize(), r2.serialize());
+    assert_eq!(r1.serialize_guarded().unwrap(), r2.serialize_guarded().unwrap());
     rows.push(vec![
         "memoized fib(22)".into(),
         r2.counters.function_calls.get().to_string(),
@@ -951,7 +951,7 @@ mod tests {
         engine.load_document("ebsample.xml", &trading_partners(9, 10)).unwrap();
         let q = engine.compile(customer_query()).unwrap();
         let r = q.execute(&engine, &DynamicContext::new()).unwrap();
-        let out = r.serialize();
+        let out = r.serialize_guarded().unwrap();
         assert!(out.starts_with("<result>"));
         assert_eq!(out.matches("<trading-partner ").count(), 10);
         assert!(out.contains("<ebxml-binding"), "{}", &out[..500.min(out.len())]);
@@ -965,7 +965,7 @@ mod tests {
         engine.load_document("ebsample.xml", &trading_partners(9, 6)).unwrap();
         let prepared = engine.compile(&q).unwrap();
         let r = prepared.execute(&engine, &DynamicContext::new()).unwrap();
-        assert!(r.serialize().contains("<binding"));
+        assert!(r.serialize_guarded().unwrap().contains("<binding"));
     }
 
     #[test]
@@ -974,7 +974,7 @@ mod tests {
         let engine = Engine::new();
         engine.load_document("ebsample.xml", &xml).unwrap();
         let q = engine.compile(customer_query()).unwrap();
-        let engine_out = q.execute(&engine, &DynamicContext::new()).unwrap().serialize();
+        let engine_out = q.execute(&engine, &DynamicContext::new()).unwrap().serialize_guarded().unwrap();
         let dom_out = dom_baseline_transform(&xml);
         assert_eq!(
             engine_out.matches("<trading-partner ").count(),

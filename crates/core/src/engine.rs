@@ -59,6 +59,22 @@ impl EngineOptions {
             runtime: RuntimeOptions::default(),
         }
     }
+
+    /// A stable fingerprint of everything that affects what
+    /// [`Engine::compile`] produces — plan caches key on
+    /// `(query text, fingerprint)` so a cached plan is only reused under
+    /// options that would have compiled it identically.
+    ///
+    /// Derived from the `Debug` rendering of the options, which covers
+    /// every field (rewrite rule set, typing, memoization, call depth,
+    /// limits); any new option field automatically perturbs the print.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{:?}", self.compile).hash(&mut h);
+        format!("{:?}", self.runtime).hash(&mut h);
+        h.finish()
+    }
 }
 
 /// The query engine: a document store plus compilation options.
@@ -82,6 +98,10 @@ impl Engine {
 
     pub fn store(&self) -> &Arc<Store> {
         &self.store
+    }
+
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
     }
 
     pub fn names(&self) -> &Arc<NamePool> {
@@ -115,13 +135,22 @@ impl Engine {
 
     /// One-shot convenience: run `query` against `xml` bound as the
     /// context item, returning the serialized result.
+    ///
+    /// The input document is removed from the store once the result is
+    /// serialized, so repeated one-shot queries run in bounded memory
+    /// instead of growing the store by one document per call.
     pub fn query_xml(&self, xml: &str, query: &str) -> Result<String> {
         let prepared = self.compile(query)?;
         let doc = self.store.load_xml(xml, None)?;
         let mut ctx = DynamicContext::new();
         ctx.context_item = Some(Item::Node(NodeRef::new(doc, xqr_store::NodeId(0))));
-        let result = prepared.execute(self, &ctx)?;
-        result.serialize_guarded()
+        // Serialize before removing: result items may reference nodes of
+        // the input document.
+        let out = prepared
+            .execute(self, &ctx)
+            .and_then(|result| result.serialize_guarded());
+        self.store.remove_document(doc);
+        out
     }
 
     /// One-shot convenience without input.
@@ -130,7 +159,34 @@ impl Engine {
         let result = prepared.execute(self, &DynamicContext::new())?;
         result.serialize_guarded()
     }
+
+    /// [`Engine::compile`] wrapped in an [`Arc`], the form plan caches
+    /// hand out: a [`PreparedQuery`] is immutable and `Send + Sync`, so
+    /// one compilation can serve concurrent executions on many threads.
+    pub fn compile_shared(&self, query: &str) -> Result<Arc<PreparedQuery>> {
+        self.compile(query).map(Arc::new)
+    }
 }
+
+// The service layer shares these across threads; breaking `Send + Sync`
+// on any of them is a compile error here, not a runtime surprise.
+const _: () = {
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync>() {}
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn _assertions() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<Store>();
+        assert_send_sync::<xqr_xdm::CancelHandle>();
+        assert_send_sync::<xqr_xdm::QueryGuard>();
+        // `QueryResult` carries per-execution `Cell` counters: it moves
+        // between threads (worker → caller) but is not shared.
+        assert_send::<QueryResult>();
+    }
+};
 
 impl Default for Engine {
     fn default() -> Self {
@@ -229,6 +285,10 @@ impl PreparedQuery {
         ctx: &DynamicContext,
         guard: QueryGuard,
     ) -> Result<QueryResult> {
+        // A guard that expired (or was cancelled) while the query waited
+        // in a run queue must fail here, deterministically — the charge
+        // stride never polls the clock on a query this cheap.
+        guard.check_startup()?;
         let store = engine.store.clone();
         let compiled = &self.compiled;
         let runtime = self.runtime.clone();
@@ -314,13 +374,25 @@ impl QueryResult {
     }
 
     /// Serialize per the sequence serialization rules.
+    ///
+    /// Delegates to [`QueryResult::serialize_guarded`] so output-byte
+    /// budgets can never be bypassed; because this signature cannot
+    /// report the failure, it **panics** when the execution's budget is
+    /// exceeded. Prefer `serialize_guarded` in any code that configures
+    /// [`xqr_xdm::Limits::with_max_output_bytes`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use serialize_guarded(): this panics when an output-byte budget is exceeded"
+    )]
     pub fn serialize(&self) -> String {
-        serialize_sequence(&self.items, &self.store)
+        self.serialize_guarded()
+            .unwrap_or_else(|e| panic!("QueryResult::serialize: {e}"))
     }
 
-    /// [`QueryResult::serialize`], charging the execution's output-byte
-    /// budget: errors with `err:XQRL0001` when the serialized form
-    /// exceeds the cap set in [`xqr_xdm::Limits::with_max_output_bytes`].
+    /// Serialize per the sequence serialization rules, charging the
+    /// execution's output-byte budget: errors with `err:XQRL0001` when
+    /// the serialized form exceeds the cap set in
+    /// [`xqr_xdm::Limits::with_max_output_bytes`].
     pub fn serialize_guarded(&self) -> Result<String> {
         let out = serialize_sequence(&self.items, &self.store);
         self.guard.note_output_bytes(out.len() as u64)?;
@@ -395,8 +467,61 @@ mod tests {
         for i in 1..5 {
             let mut ctx = DynamicContext::new();
             bind(&mut ctx, "n", vec![Item::integer(i)]);
-            assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), (i * 2).to_string());
+            assert_eq!(
+                q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(),
+                (i * 2).to_string()
+            );
         }
+    }
+
+    #[test]
+    fn one_shot_queries_run_in_bounded_memory() {
+        // Regression: `query_xml` used to load the input document into
+        // the shared store on every call and never remove it.
+        let engine = Engine::new();
+        for i in 0..1000 {
+            let xml = format!("<a><b>{i}</b></a>");
+            assert_eq!(engine.query_xml(&xml, "string(/a/b)").unwrap(), i.to_string());
+        }
+        assert_eq!(engine.store().doc_count(), 0);
+        // The input document is removed even when execution fails.
+        assert!(engine.query_xml("<a/>", "1 idiv 0").is_err());
+        assert_eq!(engine.store().doc_count(), 0);
+    }
+
+    #[test]
+    fn one_prepared_plan_shared_across_eight_threads() {
+        let engine = Engine::new();
+        engine
+            .load_document("bib.xml", "<bib><book><price>7</price></book><book><price>35</price></book></bib>")
+            .unwrap();
+        let q = engine
+            .compile(r#"sum(for $p in doc("bib.xml")//price return xs:integer($p))"#)
+            .unwrap();
+        let q = std::sync::Arc::new(q);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let q = q.clone();
+                    let engine = &engine;
+                    scope.spawn(move || {
+                        (0..20)
+                            .map(|_| {
+                                q.execute(engine, &DynamicContext::new())
+                                    .unwrap()
+                                    .serialize_guarded()
+                                    .unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for out in h.join().unwrap() {
+                    assert_eq!(out, "42");
+                }
+            }
+        });
     }
 
     #[test]

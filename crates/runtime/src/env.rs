@@ -28,6 +28,14 @@ pub struct DynamicContext {
 }
 
 impl DynamicContext {
+    /// An empty context.
+    ///
+    /// This sits on the service layer's per-request hot path (one fresh
+    /// context per query), so it must stay allocation-free: empty
+    /// `HashMap`s and `Vec`s defer their first allocation to the first
+    /// insert, and every other field is plain data. Keep it that way —
+    /// anything that needs to allocate belongs in a builder method, not
+    /// here.
     pub fn new() -> Self {
         DynamicContext {
             variables: HashMap::new(),

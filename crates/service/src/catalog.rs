@@ -1,0 +1,242 @@
+//! Document catalog: named documents under a total-bytes budget.
+//!
+//! A long-lived service cannot let its document store grow without
+//! bound. The catalog owns every document it loads — named, so queries
+//! reach them via `fn:doc("name")` — and tracks each one's in-memory
+//! size ([`xqr_store::Document::memory_bytes`]). When the sum exceeds
+//! the configured budget, least-recently-used documents are evicted via
+//! [`xqr_store::Store::remove_document`], which frees the store slot for
+//! reuse (generation-checked ids make stale references detectable rather
+//! than dangling).
+//!
+//! Eviction is safe with respect to running queries: a query that has
+//! already resolved the document holds an `Arc<Document>` and keeps the
+//! tree alive until it finishes; a query that resolves *after* eviction
+//! gets a clean `err:FODC0002` (document not found).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xqr_store::{DocId, Store};
+use xqr_xdm::Result;
+
+/// Catalog counters, snapshotted via [`DocumentCatalog::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Live named documents.
+    pub docs: u64,
+    /// Sum of the live documents' in-memory sizes.
+    pub bytes: u64,
+    /// Documents evicted to stay under the byte budget (replacements and
+    /// explicit removals are not counted).
+    pub evictions: u64,
+}
+
+struct CatEntry {
+    id: DocId,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct CatalogInner {
+    entries: HashMap<String, CatEntry>,
+    total_bytes: u64,
+}
+
+/// Named documents with LRU eviction under a total-bytes budget.
+pub struct DocumentCatalog {
+    store: Arc<Store>,
+    /// Total in-memory byte budget; `None` means unbounded.
+    max_bytes: Option<u64>,
+    inner: Mutex<CatalogInner>,
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DocumentCatalog {
+    pub fn new(store: Arc<Store>, max_bytes: Option<u64>) -> Self {
+        DocumentCatalog {
+            store,
+            max_bytes,
+            inner: Mutex::new(CatalogInner { entries: HashMap::new(), total_bytes: 0 }),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Parse `xml` and register it under `name` (reachable from queries
+    /// as `doc("name")`). Replaces any previous document of the same
+    /// name, then evicts least-recently-used documents until the catalog
+    /// fits its byte budget again. The just-loaded document is never its
+    /// own eviction victim — a single document larger than the whole
+    /// budget is admitted alone (and will be evicted by the next load).
+    pub fn put(&self, name: &str, xml: &str) -> Result<DocId> {
+        // Parse outside the catalog lock: loads can be large.
+        let id = self.store.load_xml(xml, Some(name))?;
+        let bytes = self.store.document(id).memory_bytes() as u64;
+        let mut inner = self.inner.lock().expect("catalog lock");
+        if let Some(old) = inner.entries.remove(name) {
+            self.store.remove_document(old.id);
+            inner.total_bytes = inner.total_bytes.saturating_sub(old.bytes);
+        }
+        let tick = self.next_tick();
+        inner.entries.insert(name.to_string(), CatEntry { id, bytes, last_used: tick });
+        inner.total_bytes += bytes;
+        if let Some(budget) = self.max_bytes {
+            while inner.total_bytes > budget && inner.entries.len() > 1 {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .filter(|(_, e)| e.id != id)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("len > 1 and one entry is the new doc");
+                let evicted = inner.entries.remove(&victim).expect("victim exists");
+                self.store.remove_document(evicted.id);
+                inner.total_bytes = inner.total_bytes.saturating_sub(evicted.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Resolve a name, refreshing its LRU position. `None` if the name
+    /// was never loaded or has been evicted.
+    pub fn get(&self, name: &str) -> Option<DocId> {
+        let mut inner = self.inner.lock().expect("catalog lock");
+        let tick = self.next_tick();
+        inner.entries.get_mut(name).map(|e| {
+            e.last_used = tick;
+            e.id
+        })
+    }
+
+    /// True while `name` is loaded (does not refresh LRU position).
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.lock().expect("catalog lock").entries.contains_key(name)
+    }
+
+    /// Remove a named document, freeing its store slot. Returns `false`
+    /// if the name is not loaded.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("catalog lock");
+        match inner.entries.remove(name) {
+            Some(e) => {
+                self.store.remove_document(e.id);
+                inner.total_bytes = inner.total_bytes.saturating_sub(e.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("catalog lock").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of live documents' in-memory sizes.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().expect("catalog lock").total_bytes
+    }
+
+    pub fn stats(&self) -> CatalogStats {
+        let inner = self.inner.lock().expect("catalog lock");
+        CatalogStats {
+            docs: inner.entries.len() as u64,
+            bytes: inner.total_bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc_of_bytes(n: usize) -> String {
+        // Rough size control: one text node of n bytes.
+        format!("<d>{}</d>", "x".repeat(n))
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let store = Store::new();
+        let cat = DocumentCatalog::new(store.clone(), None);
+        let id = cat.put("a.xml", "<a/>").unwrap();
+        assert_eq!(cat.get("a.xml"), Some(id));
+        assert_eq!(store.doc_count(), 1);
+        assert!(cat.remove("a.xml"));
+        assert!(cat.get("a.xml").is_none());
+        assert_eq!(store.doc_count(), 0);
+        assert!(!cat.remove("a.xml"));
+    }
+
+    #[test]
+    fn replacement_frees_the_old_document() {
+        let store = Store::new();
+        let cat = DocumentCatalog::new(store.clone(), None);
+        let old = cat.put("d.xml", &doc_of_bytes(10_000)).unwrap();
+        let bytes_before = cat.total_bytes();
+        let new = cat.put("d.xml", "<tiny/>").unwrap();
+        assert_ne!(old, new);
+        assert_eq!(store.doc_count(), 1);
+        assert!(cat.total_bytes() < bytes_before);
+        assert!(store.try_document(old).is_none(), "old doc was removed");
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let store = Store::new();
+        // Budget for roughly two of the three documents.
+        let one_doc = {
+            let probe = Store::new();
+            let id = probe.load_xml(&doc_of_bytes(10_000), None).unwrap();
+            probe.document(id).memory_bytes() as u64
+        };
+        let cat = DocumentCatalog::new(store.clone(), Some(one_doc * 2 + one_doc / 2));
+        cat.put("a.xml", &doc_of_bytes(10_000)).unwrap();
+        cat.put("b.xml", &doc_of_bytes(10_000)).unwrap();
+        cat.get("a.xml"); // refresh a: b becomes the LRU victim
+        cat.put("c.xml", &doc_of_bytes(10_000)).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert!(cat.contains("a.xml"));
+        assert!(!cat.contains("b.xml"), "b was least recently used");
+        assert!(cat.contains("c.xml"));
+        assert_eq!(cat.stats().evictions, 1);
+        assert_eq!(store.doc_count(), 2);
+        assert!(cat.total_bytes() <= one_doc * 2 + one_doc / 2);
+    }
+
+    #[test]
+    fn oversized_document_is_admitted_alone() {
+        let store = Store::new();
+        let cat = DocumentCatalog::new(store.clone(), Some(64));
+        cat.put("small.xml", "<s/>").unwrap();
+        cat.put("big.xml", &doc_of_bytes(100_000)).unwrap();
+        // The oversized doc evicted everything else but stays itself.
+        assert_eq!(cat.len(), 1);
+        assert!(cat.contains("big.xml"));
+    }
+
+    #[test]
+    fn evicted_documents_vanish_from_doc_function() {
+        use xqr_core::Engine;
+        let engine = Engine::new();
+        let cat = DocumentCatalog::new(engine.store().clone(), Some(1));
+        cat.put("a.xml", "<a><b/></a>").unwrap();
+        assert_eq!(engine.query(r#"count(doc("a.xml")//b)"#).unwrap(), "1");
+        cat.put("z.xml", "<z/>").unwrap(); // budget of 1 byte: evicts a.xml
+        assert!(!cat.contains("a.xml"));
+        let err = engine.query(r#"doc("a.xml")"#).unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::DocumentNotFound);
+    }
+}

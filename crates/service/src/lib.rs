@@ -1,0 +1,41 @@
+//! # xqr-service — an embeddable, thread-safe query service.
+//!
+//! The paper's XQRL processor was productized as a server that compiles a
+//! query once and executes it many times; this crate is that service
+//! layer for the `xqr` engine. It wraps [`xqr_core::Engine`] with the
+//! three pieces that separate a query evaluator from a system:
+//!
+//! * a **sharded LRU plan cache** ([`PlanCache`]) keyed by
+//!   `(query text, engine-options fingerprint)` so repeated queries skip
+//!   parse/normalize/typecheck/optimize entirely;
+//! * a **document catalog** ([`DocumentCatalog`]) that owns named
+//!   documents under a total-bytes budget with LRU eviction, built on
+//!   `Store::remove_document`;
+//! * **admission control** ([`WorkerPool`]): a bounded run queue in front
+//!   of a fixed set of workers — when both the workers and the queue are
+//!   full, new queries are rejected with the stable error
+//!   `err:XQRL0004 Overloaded` instead of queueing without bound.
+//!
+//! [`QueryService`] composes the three and surfaces a [`ServiceStats`]
+//! snapshot (cache hit rate, p50/p99 latency, active/queued gauges) both
+//! as a struct and as `explain`-style text.
+//!
+//! ```
+//! use xqr_service::{QueryService, ServiceConfig};
+//!
+//! let service = QueryService::new(ServiceConfig::default());
+//! service.load_document("bib.xml", "<bib><book/><book/></bib>").unwrap();
+//! assert_eq!(service.run(r#"count(doc("bib.xml")//book)"#).unwrap(), "2");
+//! assert_eq!(service.run(r#"count(doc("bib.xml")//book)"#).unwrap(), "2");
+//! assert!(service.stats().plan_hits >= 1);
+//! ```
+
+pub mod catalog;
+pub mod plan_cache;
+pub mod pool;
+pub mod service;
+
+pub use catalog::{CatalogStats, DocumentCatalog};
+pub use plan_cache::{PlanCache, PlanCacheStats};
+pub use pool::{PoolStats, WorkerPool};
+pub use service::{QueryService, ServiceConfig, ServiceStats};

@@ -1,0 +1,261 @@
+//! Sharded LRU cache of compiled query plans.
+//!
+//! Compilation (parse → normalize → typecheck → optimize) dominates the
+//! cost of short queries, and a service sees the same query texts over
+//! and over — the paper's production deployment made prepared plans a
+//! first-class citizen for exactly this reason. The cache is keyed by
+//! `(query text, engine-options fingerprint)`
+//! ([`xqr_core::EngineOptions::fingerprint`]): a plan is only reused
+//! under options that would have compiled it identically.
+//!
+//! Sharding: the key hash picks one of N independently locked shards, so
+//! concurrent lookups from a worker pool contend only 1/N of the time.
+//! Each shard is a small `HashMap` with last-used ticks; eviction scans
+//! the shard for the oldest tick, which is O(shard size) but shards are
+//! bounded at `capacity / shards` entries — tens, not thousands.
+//! Compilation happens *outside* the shard lock: two threads racing on
+//! the same missing key may both compile, but neither ever blocks the
+//! shard on a slow compile.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use xqr_core::{Engine, PreparedQuery};
+use xqr_xdm::Result;
+
+/// Cache counters, snapshotted via [`PlanCache::stats`].
+///
+/// `lookups` is counted independently of `hits`/`misses` so the
+/// invariant `hits + misses == lookups` is a real consistency check,
+/// not an identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub lookups: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+type Key = (Arc<str>, u64);
+
+struct Shard {
+    map: HashMap<Key, Entry>,
+}
+
+/// A sharded, capacity-bounded LRU cache of compiled plans.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max entries per shard (total capacity / shard count, at least 1).
+    shard_capacity: usize,
+    /// Logical clock for LRU ordering, shared by all shards.
+    tick: AtomicU64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans across `shards` shards.
+    /// Both are clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = (capacity.max(1) + shards - 1) / shards;
+        PlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard { map: HashMap::new() })).collect(),
+            shard_capacity,
+            tick: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Look up the plan for `(query, fingerprint)`, compiling with
+    /// `engine` on a miss. Compilation errors are *not* cached — a
+    /// mistyped query costs a compile each time, which keeps the cache
+    /// free of dead entries.
+    pub fn get_or_compile(&self, engine: &Engine, query: &str) -> Result<Arc<PreparedQuery>> {
+        let key: Key = (Arc::from(query), engine.options().fingerprint());
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard_of(&key).lock().expect("plan cache lock");
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.last_used = self.next_tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.plan.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside the lock; a concurrent racer on the same key
+        // may also compile, and whichever inserts last wins. Both get a
+        // correct plan either way.
+        let plan = engine.compile_shared(query)?;
+        let mut shard = self.shard_of(&key).lock().expect("plan cache lock");
+        while shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("shard at capacity is non-empty");
+            shard.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let tick = self.next_tick();
+        shard.map.insert(key, Entry { plan: plan.clone(), last_used: tick });
+        Ok(plan)
+    }
+
+    /// Drop every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("plan cache lock").map.clear();
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("plan cache lock").map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(64, 4);
+        for _ in 0..10 {
+            cache.get_or_compile(&engine, "1 + 1").unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.lookups, 10);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 9);
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert!(s.hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn distinct_queries_are_distinct_entries() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(64, 4);
+        cache.get_or_compile(&engine, "1").unwrap();
+        cache.get_or_compile(&engine, "2").unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn different_options_miss_on_the_same_text() {
+        use xqr_core::EngineOptions;
+        let a = Engine::new();
+        let b = Engine::with_options(EngineOptions::unoptimized());
+        assert_ne!(a.options().fingerprint(), b.options().fingerprint());
+        let cache = PlanCache::new(64, 4);
+        cache.get_or_compile(&a, "//x").unwrap();
+        cache.get_or_compile(&b, "//x").unwrap();
+        assert_eq!(cache.stats().misses, 2, "same text, different options: no reuse");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru() {
+        let engine = Engine::new();
+        // One shard so the LRU order is total.
+        let cache = PlanCache::new(2, 1);
+        cache.get_or_compile(&engine, "1").unwrap();
+        cache.get_or_compile(&engine, "2").unwrap();
+        cache.get_or_compile(&engine, "1").unwrap(); // refresh "1"
+        cache.get_or_compile(&engine, "3").unwrap(); // evicts "2"
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let before = cache.stats().hits;
+        cache.get_or_compile(&engine, "1").unwrap();
+        assert_eq!(cache.stats().hits, before + 1, "\"1\" survived eviction");
+        cache.get_or_compile(&engine, "2").unwrap();
+        assert_eq!(cache.stats().misses, 4, "\"2\" was the LRU victim");
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(8, 1);
+        assert!(cache.get_or_compile(&engine, "1 +").is_err());
+        assert!(cache.get_or_compile(&engine, "1 +").is_err());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_are_consistent() {
+        let engine = std::sync::Arc::new(Engine::new());
+        let cache = std::sync::Arc::new(PlanCache::new(16, 4));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let engine = engine.clone();
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let q = format!("{} + {}", t % 3, i % 5);
+                        cache.get_or_compile(&engine, &q).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.lookups, 400);
+        assert_eq!(s.hits + s.misses, s.lookups);
+    }
+}

@@ -1,0 +1,398 @@
+//! [`QueryService`]: the composed service facade.
+//!
+//! One object an embedder shares across threads (`Arc<QueryService>` or
+//! `&QueryService` — everything inside is `Sync`): documents go in via
+//! the byte-budgeted catalog, queries go through the sharded plan cache
+//! and the admission-controlled worker pool, and a [`ServiceStats`]
+//! snapshot reports how the service is doing.
+//!
+//! Per-request governance: every admitted query gets its own
+//! [`QueryGuard`] built from [`ServiceConfig::per_query_limits`], and
+//! its deadline clock starts at *submission* — time spent waiting in the
+//! run queue counts against the budget, which is the service-level
+//! meaning of a deadline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::catalog::DocumentCatalog;
+use crate::plan_cache::PlanCache;
+use crate::pool::WorkerPool;
+use xqr_core::{Engine, EngineOptions, PreparedQuery};
+use xqr_runtime::DynamicContext;
+use xqr_store::DocId;
+use xqr_xdm::{CancelHandle, Error, LatencyHistogram, Limits, QueryGuard, Result};
+
+/// Configuration for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Compile/runtime options for the underlying engine. Part of the
+    /// plan-cache key via [`EngineOptions::fingerprint`].
+    pub engine: EngineOptions,
+    /// Total plans the cache may hold before evicting LRU entries.
+    pub plan_cache_capacity: usize,
+    /// Independently locked cache shards (contention divider).
+    pub plan_cache_shards: usize,
+    /// Total in-memory bytes of catalog documents; `None` = unbounded.
+    pub catalog_max_bytes: Option<u64>,
+    /// Worker threads — queries executing at once.
+    pub max_concurrent: usize,
+    /// Admitted queries that may wait for a worker; beyond this,
+    /// submissions fail with `err:XQRL0004 Overloaded`.
+    pub max_queued: usize,
+    /// Budgets applied to every query (deadline measured from
+    /// submission, so queue wait is included).
+    pub per_query_limits: Limits,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineOptions::default(),
+            plan_cache_capacity: 256,
+            plan_cache_shards: 8,
+            catalog_max_bytes: None,
+            max_concurrent: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            max_queued: 64,
+            per_query_limits: Limits::unlimited(),
+        }
+    }
+}
+
+struct ServiceShared {
+    engine: Arc<Engine>,
+    plans: PlanCache,
+    limits: Limits,
+    served: AtomicU64,
+    failed: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// A thread-safe query service over one engine. See the crate docs.
+pub struct QueryService {
+    shared: Arc<ServiceShared>,
+    catalog: DocumentCatalog,
+    pool: WorkerPool,
+}
+
+/// An admitted, in-flight query. Obtain from [`QueryService::submit`];
+/// call [`QueryTicket::wait`] for the result, or cancel from any thread
+/// via the [`CancelHandle`].
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<String>>,
+    cancel: CancelHandle,
+}
+
+impl std::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryTicket")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+impl QueryTicket {
+    /// A handle that stops this query with `err:XQRL0003` when
+    /// triggered; clonable and safe to move to another thread.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    /// Block until the query finishes and return its serialized result.
+    pub fn wait(self) -> Result<String> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(Error::cancelled("service shut down before the query ran"))
+        })
+    }
+}
+
+impl QueryService {
+    pub fn new(config: ServiceConfig) -> Self {
+        let engine = Arc::new(Engine::with_options(config.engine.clone()));
+        let catalog = DocumentCatalog::new(engine.store().clone(), config.catalog_max_bytes);
+        QueryService {
+            shared: Arc::new(ServiceShared {
+                engine,
+                plans: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
+                limits: config.per_query_limits,
+                served: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                latency: LatencyHistogram::new(),
+            }),
+            catalog,
+            pool: WorkerPool::new(config.max_concurrent, config.max_queued),
+        }
+    }
+
+    /// The engine the service runs on (e.g. for `explain` output).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// The document catalog (direct access for eviction-sensitive
+    /// embedders; [`QueryService::load_document`] is the common path).
+    pub fn catalog(&self) -> &DocumentCatalog {
+        &self.catalog
+    }
+
+    /// Load `xml` under `name`, reachable from queries as `doc("name")`.
+    /// May evict least-recently-used documents to fit the byte budget.
+    pub fn load_document(&self, name: &str, xml: &str) -> Result<DocId> {
+        self.catalog.put(name, xml)
+    }
+
+    /// Remove a named document. `false` if not loaded.
+    pub fn remove_document(&self, name: &str) -> bool {
+        self.catalog.remove(name)
+    }
+
+    /// Compile through the plan cache without executing (warm-up path).
+    pub fn prepare(&self, query: &str) -> Result<Arc<PreparedQuery>> {
+        self.shared.plans.get_or_compile(&self.shared.engine, query)
+    }
+
+    /// Admit a query for execution, or fail fast with `err:XQRL0004`
+    /// when the workers and the run queue are both full. Compilation
+    /// (or the cache hit) happens on the worker, so a shed query costs
+    /// the service nothing but the admission check.
+    pub fn submit(&self, query: &str, ctx: DynamicContext) -> Result<QueryTicket> {
+        let shared = self.shared.clone();
+        let query = query.to_string();
+        let guard = QueryGuard::new(shared.limits);
+        let cancel = guard.cancel_handle();
+        let submitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        self.pool.submit_with_publish(move || {
+            let outcome = shared
+                .plans
+                .get_or_compile(&shared.engine, &query)
+                .and_then(|plan| plan.execute_guarded(&shared.engine, &ctx, guard))
+                .and_then(|result| result.serialize_guarded());
+            shared.latency.record(submitted.elapsed());
+            match &outcome {
+                Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
+            };
+            // Deliver in the publish phase: the worker slot is free by the
+            // time the waiter wakes, so "wait, then submit" never sheds.
+            // The submitter may have stopped waiting; that's fine.
+            Some(Box::new(move || {
+                let _ = tx.send(outcome);
+            }) as Box<dyn FnOnce() + Send>)
+        })?;
+        Ok(QueryTicket { rx, cancel })
+    }
+
+    /// Run a query to completion with an empty dynamic context.
+    pub fn run(&self, query: &str) -> Result<String> {
+        self.submit(query, DynamicContext::new())?.wait()
+    }
+
+    /// Run a query to completion with the given context (external
+    /// variable bindings, context item, …).
+    pub fn run_with_context(&self, query: &str, ctx: DynamicContext) -> Result<String> {
+        self.submit(query, ctx)?.wait()
+    }
+
+    /// A consistent-enough snapshot of every service counter. Individual
+    /// gauges are read with relaxed ordering, so a snapshot taken while
+    /// queries are in flight may be mid-update; quiescent snapshots are
+    /// exact.
+    pub fn stats(&self) -> ServiceStats {
+        let plans = self.shared.plans.stats();
+        let catalog = self.catalog.stats();
+        let pool = self.pool.stats();
+        ServiceStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            rejected: pool.rejected,
+            active: pool.active,
+            queued: pool.queued,
+            max_concurrent: self.pool.workers() as u64,
+            max_queued: self.pool.max_queued() as u64,
+            plan_lookups: plans.lookups,
+            plan_hits: plans.hits,
+            plan_misses: plans.misses,
+            plan_evictions: plans.evictions,
+            plan_entries: plans.entries,
+            catalog_docs: catalog.docs,
+            catalog_bytes: catalog.bytes,
+            catalog_evictions: catalog.evictions,
+            latency_count: self.shared.latency.count(),
+            latency_mean: self.shared.latency.mean(),
+            latency_p50: self.shared.latency.p50(),
+            latency_p99: self.shared.latency.p99(),
+        }
+    }
+
+    /// [`QueryService::stats`] rendered as `explain`-style text.
+    pub fn stats_text(&self) -> String {
+        self.stats().to_string()
+    }
+}
+
+/// Point-in-time snapshot of the service counters and gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries that completed successfully.
+    pub served: u64,
+    /// Queries that completed with a coded error (including budget
+    /// trips, timeouts, and cancellations).
+    pub failed: u64,
+    /// Queries shed at admission with `err:XQRL0004`.
+    pub rejected: u64,
+    /// Queries executing right now.
+    pub active: u64,
+    /// Queries admitted and waiting for a worker.
+    pub queued: u64,
+    pub max_concurrent: u64,
+    pub max_queued: u64,
+    pub plan_lookups: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    pub plan_evictions: u64,
+    pub plan_entries: u64,
+    pub catalog_docs: u64,
+    pub catalog_bytes: u64,
+    pub catalog_evictions: u64,
+    pub latency_count: u64,
+    pub latency_mean: Duration,
+    pub latency_p50: Duration,
+    pub latency_p99: Duration,
+}
+
+impl ServiceStats {
+    /// Fraction of plan lookups served from cache, in `[0, 1]`.
+    pub fn plan_hit_rate(&self) -> f64 {
+        if self.plan_lookups == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / self.plan_lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "service: served: {} failed: {} rejected: {}",
+            self.served, self.failed, self.rejected
+        )?;
+        writeln!(
+            f,
+            "plans:   lookups: {} hits: {} misses: {} evictions: {} entries: {} hit-rate: {:.1}%",
+            self.plan_lookups,
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_evictions,
+            self.plan_entries,
+            self.plan_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "catalog: docs: {} bytes: {} evictions: {}",
+            self.catalog_docs, self.catalog_bytes, self.catalog_evictions
+        )?;
+        writeln!(
+            f,
+            "pool:    active: {} queued: {} max-concurrent: {} max-queued: {}",
+            self.active, self.queued, self.max_concurrent, self.max_queued
+        )?;
+        write!(
+            f,
+            "latency: n: {} mean: {:?} p50: {:?} p99: {:?}",
+            self.latency_count, self.latency_mean, self.latency_p50, self.latency_p99
+        )
+    }
+}
+
+// The whole point of the service is cross-thread sharing; hold the
+// compiler to it.
+const _: () = {
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync>() {}
+    #[allow(dead_code)]
+    fn _assertions() {
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<ServiceConfig>();
+        assert_send_sync::<ServiceStats>();
+        assert_send_sync::<DynamicContext>();
+    }
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_queries_and_counts_them() {
+        let service = QueryService::new(ServiceConfig::default());
+        assert_eq!(service.run("1 + 1").unwrap(), "2");
+        assert_eq!(service.run("1 + 1").unwrap(), "2");
+        assert_eq!(service.run("2 * 3").unwrap(), "6");
+        let s = service.stats();
+        assert_eq!(s.served, 3);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.plan_lookups, 3);
+        assert_eq!(s.plan_hits, 1);
+        assert_eq!(s.plan_misses, 2);
+        assert_eq!(s.latency_count, 3);
+        assert!(s.latency_p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn documents_reach_queries_through_the_catalog() {
+        let service = QueryService::new(ServiceConfig::default());
+        service.load_document("bib.xml", "<bib><book/><book/></bib>").unwrap();
+        assert_eq!(service.run(r#"count(doc("bib.xml")//book)"#).unwrap(), "2");
+        assert!(service.remove_document("bib.xml"));
+        let err = service.run(r#"doc("bib.xml")"#).unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::DocumentNotFound);
+    }
+
+    #[test]
+    fn failed_queries_count_as_failed() {
+        let service = QueryService::new(ServiceConfig::default());
+        assert!(service.run("1 idiv 0").is_err());
+        assert!(service.run("1 +").is_err());
+        let s = service.stats();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.failed, 2);
+    }
+
+    #[test]
+    fn per_query_limits_apply() {
+        let service = QueryService::new(ServiceConfig {
+            per_query_limits: Limits::unlimited().with_max_items(100),
+            ..Default::default()
+        });
+        let err = service.run("for $x in 1 to 100000000 return $x").unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Limit);
+        assert_eq!(service.stats().failed, 1);
+    }
+
+    #[test]
+    fn tickets_cancel_from_another_thread() {
+        let service = QueryService::new(ServiceConfig::default());
+        let ticket = service.submit("sum(1 to 10000000000)", DynamicContext::new()).unwrap();
+        let handle = ticket.cancel_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            handle.cancel();
+        });
+        let err = ticket.wait().unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Cancelled);
+    }
+
+    #[test]
+    fn stats_text_renders_every_section() {
+        let service = QueryService::new(ServiceConfig::default());
+        service.run("1").unwrap();
+        let text = service.stats_text();
+        for section in ["service:", "plans:", "catalog:", "pool:", "latency:"] {
+            assert!(text.contains(section), "{text}");
+        }
+    }
+}

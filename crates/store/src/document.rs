@@ -15,8 +15,33 @@ use xqr_tokenstream::{ParserTokenIterator, StringPool, Token, TokenIterator};
 use xqr_xdm::{Error, NameId, NamePool, NodeKind, QName, Result};
 
 /// Identifies a document within a [`crate::store::Store`].
+///
+/// Ids are *generation-checked*: the store reuses the slot of a removed
+/// document (see `Store::remove_document`) but bumps the slot's
+/// generation, so a stale `DocId` held across a removal can never
+/// silently resolve to the wrong document — it fails the generation
+/// check instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DocId(pub u32);
+pub struct DocId {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl DocId {
+    pub(crate) fn new(index: u32, generation: u32) -> Self {
+        DocId { index, generation }
+    }
+
+    /// The slot index within the store (stable while the document lives).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The slot generation this id was minted under.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+}
 
 /// A node within one document: its preorder index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -25,13 +25,28 @@ impl NodeRef {
     }
 }
 
-#[derive(Default)]
-struct StoreInner {
-    docs: Vec<Arc<Document>>,
-    by_uri: HashMap<String, DocId>,
+/// One document slot. Slots are reused after removal; the generation
+/// counter is bumped on every removal so stale [`DocId`]s fail their
+/// generation check instead of resolving to an unrelated document.
+struct Slot {
+    generation: u32,
+    doc: Option<Arc<Document>>,
 }
 
-/// A shared, append-only collection of documents.
+#[derive(Default)]
+struct StoreInner {
+    slots: Vec<Slot>,
+    /// Indices of empty slots, ready for reuse.
+    free: Vec<u32>,
+    by_uri: HashMap<String, DocId>,
+    /// Sum of `Document::memory_bytes` over live documents.
+    live_bytes: u64,
+}
+
+/// A shared collection of documents. Loading is cheap-append; removal
+/// ([`Store::remove_document`]) frees the slot for reuse so long-lived
+/// stores (one-shot query paths, document catalogs with eviction) run in
+/// bounded memory instead of growing forever.
 pub struct Store {
     names: Arc<NamePool>,
     inner: RwLock<StoreInner>,
@@ -50,15 +65,58 @@ impl Store {
         &self.names
     }
 
-    /// Register a document, returning its id.
+    /// Register a document, returning its id. Slots of previously removed
+    /// documents are reused (with a fresh generation).
     pub fn add_document(&self, doc: Arc<Document>) -> DocId {
         let mut inner = self.inner.write().expect("store lock");
-        let id = DocId(inner.docs.len() as u32);
+        inner.live_bytes += doc.memory_bytes() as u64;
+        let id = match inner.free.pop() {
+            Some(index) => {
+                let slot = &mut inner.slots[index as usize];
+                slot.doc = Some(doc.clone());
+                DocId::new(index, slot.generation)
+            }
+            None => {
+                let index = inner.slots.len() as u32;
+                inner.slots.push(Slot { generation: 0, doc: Some(doc.clone()) });
+                DocId::new(index, 0)
+            }
+        };
         if let Some(uri) = &doc.uri {
             inner.by_uri.insert(uri.clone(), id);
         }
-        inner.docs.push(doc);
         id
+    }
+
+    /// Remove a document, freeing its slot for reuse. Returns `false` if
+    /// the id is stale (already removed) — removal is idempotent.
+    ///
+    /// Callers must ensure no live [`NodeRef`]s into the document remain;
+    /// resolving one afterwards via [`Store::document`] panics with a
+    /// stale-id message (contained by the engine's panic boundary, but a
+    /// caller bug nonetheless). Holders of an already-resolved
+    /// `Arc<Document>` are unaffected — the tree is freed when the last
+    /// clone drops.
+    pub fn remove_document(&self, id: DocId) -> bool {
+        let mut inner = self.inner.write().expect("store lock");
+        let Some(slot) = inner.slots.get_mut(id.index() as usize) else {
+            return false;
+        };
+        if slot.generation != id.generation() || slot.doc.is_none() {
+            return false;
+        }
+        let doc = slot.doc.take().expect("checked live above");
+        slot.generation = slot.generation.wrapping_add(1);
+        inner.free.push(id.index());
+        inner.live_bytes = inner.live_bytes.saturating_sub(doc.memory_bytes() as u64);
+        if let Some(uri) = &doc.uri {
+            // Only unlink the URI if it still maps to *this* document (a
+            // reload under the same URI may have superseded the mapping).
+            if inner.by_uri.get(uri) == Some(&id) {
+                inner.by_uri.remove(uri);
+            }
+        }
+        true
     }
 
     /// Parse and register XML text under an optional URI.
@@ -80,14 +138,35 @@ impl Store {
         Ok(self.add_document(doc))
     }
 
+    /// Resolve a document id. Panics on a stale id (document removed) —
+    /// that is a caller bug, not a query error; use
+    /// [`Store::try_document`] to probe gracefully.
     pub fn document(&self, id: DocId) -> Arc<Document> {
-        self.inner.read().expect("store lock").docs[id.0 as usize].clone()
+        self.try_document(id).unwrap_or_else(|| {
+            panic!("stale DocId {id:?}: document was removed from the store")
+        })
+    }
+
+    /// Resolve a document id, returning `None` when the id is stale.
+    pub fn try_document(&self, id: DocId) -> Option<Arc<Document>> {
+        let inner = self.inner.read().expect("store lock");
+        let slot = inner.slots.get(id.index() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        slot.doc.clone()
     }
 
     pub fn document_by_uri(&self, uri: &str) -> Result<(DocId, Arc<Document>)> {
         let inner = self.inner.read().expect("store lock");
         match inner.by_uri.get(uri) {
-            Some(&id) => Ok((id, inner.docs[id.0 as usize].clone())),
+            Some(&id) => {
+                let doc = inner.slots[id.index() as usize]
+                    .doc
+                    .clone()
+                    .expect("by_uri points at a live slot");
+                Ok((id, doc))
+            }
             None => Err(Error::new(
                 ErrorCode::DocumentNotFound,
                 format!("no document available at {uri:?}"),
@@ -95,8 +174,16 @@ impl Store {
         }
     }
 
+    /// Number of live (not removed) documents.
     pub fn doc_count(&self) -> usize {
-        self.inner.read().expect("store lock").docs.len()
+        let inner = self.inner.read().expect("store lock");
+        inner.slots.len() - inner.free.len()
+    }
+
+    /// Approximate bytes held by live documents
+    /// (sum of [`Document::memory_bytes`]).
+    pub fn live_bytes(&self) -> u64 {
+        self.inner.read().expect("store lock").live_bytes
     }
 
     /// Resolve a node reference to its document.
@@ -140,6 +227,49 @@ mod tests {
         assert!(n1 < n2);
         let n3 = NodeRef::new(d1, NodeId(0));
         assert!(n3 < n1);
+    }
+
+    #[test]
+    fn remove_document_frees_and_reuses_slots() {
+        let store = Store::new();
+        let id = store.load_xml("<a><b/><c/></a>", Some("a.xml")).unwrap();
+        assert_eq!(store.doc_count(), 1);
+        assert!(store.live_bytes() > 0);
+
+        assert!(store.remove_document(id));
+        assert_eq!(store.doc_count(), 0);
+        assert_eq!(store.live_bytes(), 0);
+        assert!(store.document_by_uri("a.xml").is_err());
+        // Removal is idempotent; the stale id no longer resolves.
+        assert!(!store.remove_document(id));
+        assert!(store.try_document(id).is_none());
+
+        // The freed slot is reused with a bumped generation.
+        let id2 = store.load_xml("<d/>", None).unwrap();
+        assert_eq!(id2.index(), id.index());
+        assert_ne!(id2.generation(), id.generation());
+        assert!(store.try_document(id).is_none());
+        assert!(store.try_document(id2).is_some());
+    }
+
+    #[test]
+    fn reload_under_same_uri_supersedes_mapping() {
+        let store = Store::new();
+        let old = store.load_xml("<v1/>", Some("doc.xml")).unwrap();
+        let new = store.load_xml("<v2/>", Some("doc.xml")).unwrap();
+        // Removing the superseded document must not unlink the new one.
+        assert!(store.remove_document(old));
+        let (found, _) = store.document_by_uri("doc.xml").unwrap();
+        assert_eq!(found, new);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale DocId")]
+    fn stale_id_resolution_panics() {
+        let store = Store::new();
+        let id = store.load_xml("<a/>", None).unwrap();
+        store.remove_document(id);
+        store.document(id);
     }
 
     #[test]

@@ -62,6 +62,9 @@ pub enum ErrorCode {
     Timeout,
     /// Execution cancelled by the embedder; not a W3C code.
     Cancelled,
+    /// Service admission control rejected the query (worker pool and run
+    /// queue both full); not a W3C code.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -95,6 +98,7 @@ impl ErrorCode {
             Internal => "XQRL0000",
             Timeout => "XQRL0002",
             Cancelled => "XQRL0003",
+            Overloaded => "XQRL0004",
         }
     }
 }
@@ -144,6 +148,10 @@ impl Error {
 
     pub fn cancelled(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Cancelled, message)
+    }
+
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Overloaded, message)
     }
 }
 

@@ -210,6 +210,26 @@ impl QueryGuard {
         }
     }
 
+    /// Unconditionally poll cancellation and the wall-clock deadline —
+    /// no stride skip. Called once at execution entry so a query whose
+    /// budget expired (or was cancelled) while it sat in a run queue
+    /// fails before doing any work; the stride-sampled charges would
+    /// never notice on a query too cheap to cross a stride boundary.
+    pub fn check_startup(&self) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(Error::cancelled("query cancelled by embedder"));
+        }
+        if let Some(at) = self.inner.deadline_at {
+            if Instant::now() > at {
+                return Err(Error::timeout(format!(
+                    "deadline of {:?} exceeded before execution started",
+                    self.inner.limits.deadline.unwrap_or_default()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     #[inline]
     fn check_cancel_and_deadline(&self, count_before: u64, n: u64) -> Result<()> {
         if self.is_cancelled() {

@@ -14,6 +14,7 @@ pub mod datetime;
 pub mod decimal;
 pub mod error;
 pub mod guard;
+pub mod histogram;
 pub mod node;
 pub mod qname;
 pub mod types;
@@ -23,6 +24,7 @@ pub use datetime::{Date, DateTime, Duration, Gregorian, GregorianKind, Time, TzO
 pub use decimal::Decimal;
 pub use error::{Error, ErrorCode, Result};
 pub use guard::{CancelHandle, GuardUsage, Limits, QueryGuard};
+pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use node::NodeKind;
 pub use qname::{NameId, NamePool, QName};
 pub use types::{ItemType, NameTest, Occurrence, SequenceType};

@@ -31,7 +31,7 @@ fn main() -> xqr::Result<()> {
         ctx.context_item = Some(Item::Node(xqr::NodeRef::new(doc, xqr::NodeId(0))));
         bind(&mut ctx, "limit", vec![Item::integer(limit)]);
         let result = prepared.execute(&engine, &ctx)?;
-        println!("under ${limit}: {}", result.serialize());
+        println!("under ${limit}: {}", result.serialize_guarded().unwrap());
     }
 
     // 3. Inspect the compiled plan.

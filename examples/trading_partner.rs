@@ -49,7 +49,7 @@ fn main() -> xqr::Result<()> {
     let t0 = Instant::now();
     let result = q.execute(&engine, &DynamicContext::new())?;
     let t_opt = t0.elapsed();
-    let out = result.serialize();
+    let out = result.serialize_guarded().unwrap();
 
     let unopt = Engine::with_options(EngineOptions {
         compile: CompileOptions { rewrite: RewriteConfig::none(), ..Default::default() },
@@ -60,7 +60,7 @@ fn main() -> xqr::Result<()> {
     let t1 = Instant::now();
     let result2 = q2.execute(&unopt, &DynamicContext::new())?;
     let t_unopt = t1.elapsed();
-    assert_eq!(out.len(), result2.serialize().len());
+    assert_eq!(out.len(), result2.serialize_guarded().unwrap().len());
 
     println!(
         "output: {} KiB, {} bindings",

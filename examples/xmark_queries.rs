@@ -110,7 +110,7 @@ fn main() -> xqr::Result<()> {
         let t0 = Instant::now();
         let result = prepared.execute(&engine, &DynamicContext::new())?;
         let dt = t0.elapsed();
-        let out = result.serialize();
+        let out = result.serialize_guarded().unwrap();
         let preview: String = out.chars().take(60).collect();
         println!("{id:>4} {dt:>9.2?}  [{:>5} items]  {what}\n      {preview}", result.len());
     }

@@ -20,14 +20,17 @@
 //! [`xqr_xdm`] (data model), [`xqr_xmlparse`] (XML parser),
 //! [`xqr_tokenstream`] (the token substrate), [`xqr_store`] (labeled
 //! node store), [`xqr_joins`] (structural/twig joins), [`xqr_xqparser`]
-//! (XQuery front-end), [`xqr_compiler`], [`xqr_runtime`], and
-//! [`xqr_xmlgen`] (workload generators).
+//! (XQuery front-end), [`xqr_compiler`], [`xqr_runtime`],
+//! [`xqr_xmlgen`] (workload generators), and [`xqr_service`] (the
+//! concurrent query service: plan cache, document catalog, admission
+//! control).
 
 pub use xqr_core::*;
 
 pub use xqr_compiler;
 pub use xqr_joins;
 pub use xqr_runtime;
+pub use xqr_service;
 pub use xqr_store;
 pub use xqr_tokenstream;
 pub use xqr_xdm;

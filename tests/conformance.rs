@@ -30,7 +30,7 @@ fn check_all(cases: &[(&str, &str)]) {
             let out = q
                 .execute(&engine, &DynamicContext::new())
                 .unwrap_or_else(|e| panic!("run {query:?} (opt={optimize}): {e}"))
-                .serialize();
+                .serialize_guarded().unwrap();
             assert_eq!(&out, expected, "query {query:?} (optimize={optimize})");
         }
     }
@@ -471,7 +471,7 @@ fn collection_function() {
         xqr::NodeRef::new(d1, xqr::NodeId(0)),
         xqr::NodeRef::new(d2, xqr::NodeId(0)),
     ];
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), "3");
+    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "3");
     // collection(uri) behaves like doc(uri).
     assert_eq!(
         engine.query(r#"count(collection("b.xml")//x)"#).unwrap(),

@@ -145,6 +145,7 @@ fn governance_error_codes_are_stable() {
     assert_eq!(ErrorCode::Limit.as_str(), "XQRL0001");
     assert_eq!(ErrorCode::Timeout.as_str(), "XQRL0002");
     assert_eq!(ErrorCode::Cancelled.as_str(), "XQRL0003");
+    assert_eq!(ErrorCode::Overloaded.as_str(), "XQRL0004");
 
     use std::time::Duration;
     use xqr::{EngineOptions, Limits, RuntimeOptions};

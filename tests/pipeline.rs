@@ -111,7 +111,7 @@ fn external_variables_flow_through_engine() {
     let mut ctx = DynamicContext::new();
     bind(&mut ctx, "xs", vec![Item::integer(1), Item::integer(5), Item::integer(9)]);
     bind(&mut ctx, "k", vec![Item::integer(5)]);
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), "50 90");
+    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "50 90");
 }
 
 #[test]
@@ -216,7 +216,7 @@ fn group_join_preserves_results_and_accelerates_q8() {
         let prepared = engine.compile(q).unwrap();
         let plan = prepared.explain();
         let r = prepared.execute(&engine, &DynamicContext::new()).unwrap();
-        (r.serialize(), plan)
+        (r.serialize_guarded().unwrap(), plan)
     };
     let (opt, plan) = run(EngineOptions::default());
     let (unopt, _) = run(EngineOptions::unoptimized());
@@ -240,7 +240,7 @@ fn group_join_preserves_results_and_accelerates_q8() {
         "{}",
         prepared.explain()
     );
-    let opt2 = prepared.execute(&engine, &DynamicContext::new()).unwrap().serialize();
+    let opt2 = prepared.execute(&engine, &DynamicContext::new()).unwrap().serialize_guarded().unwrap();
     let engine2 = Engine::with_options(EngineOptions::unoptimized());
     engine2.load_document("a.xml", &xml).unwrap();
     let unopt2 = engine2.query(q2).unwrap();
@@ -287,10 +287,10 @@ fn context_with_doc_helper() {
     let ctx = xqr::context_with_doc(&engine, "inv.xml", "<inv><item/><item/></inv>").unwrap();
     // Context item is bound to the document…
     let q = engine.compile("count(.//item)").unwrap();
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize(), "2");
+    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "2");
     // …and the document is also reachable via fn:doc.
     let q2 = engine.compile(r#"count(doc("inv.xml")//item)"#).unwrap();
-    assert_eq!(q2.execute(&engine, &ctx).unwrap().serialize(), "2");
+    assert_eq!(q2.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "2");
 }
 
 #[test]

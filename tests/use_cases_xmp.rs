@@ -65,7 +65,7 @@ fn run(q: &str) -> String {
     prepared
         .execute(&e, &DynamicContext::new())
         .unwrap_or_else(|err| panic!("run: {err}\n{q}"))
-        .serialize()
+        .serialize_guarded().unwrap()
 }
 
 #[test]
