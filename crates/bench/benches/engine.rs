@@ -16,19 +16,33 @@ fn bench_rewrite_ablation(c: &mut Criterion) {
              return if ($a/publisher = $b/publisher and $a/@year = 1967) then $b/title else ()";
     for (label, cfg) in [
         ("all_rules", RewriteConfig::all()),
-        ("no_join_detection", RewriteConfig::without("join_detection")),
-        ("no_ddo_elimination", RewriteConfig::without("ddo_elimination")),
+        (
+            "no_join_detection",
+            RewriteConfig::without("join_detection"),
+        ),
+        (
+            "no_ddo_elimination",
+            RewriteConfig::without("ddo_elimination"),
+        ),
         ("no_rules", RewriteConfig::none()),
     ] {
         let engine = Engine::with_options(EngineOptions {
-            compile: CompileOptions { rewrite: cfg, ..Default::default() },
+            compile: CompileOptions {
+                rewrite: cfg,
+                ..Default::default()
+            },
             runtime: RuntimeOptions::default(),
         });
         engine.load_document("bib.xml", &bib).unwrap();
         let prepared = engine.compile(q).unwrap();
         prepared.execute(&engine, &DynamicContext::new()).unwrap();
         group.bench_function(label, |b| {
-            b.iter(|| prepared.execute(&engine, &DynamicContext::new()).unwrap().len())
+            b.iter(|| {
+                prepared
+                    .execute(&engine, &DynamicContext::new())
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();
@@ -66,9 +80,16 @@ fn bench_transformation(c: &mut Criterion) {
     group.bench_function("engine_unoptimized", |b| {
         b.iter(|| q2.execute(&engine2, &DynamicContext::new()).unwrap().len())
     });
-    group.bench_function("dom_transformer", |b| b.iter(|| dom_baseline_transform(&xml).len()));
+    group.bench_function("dom_transformer", |b| {
+        b.iter(|| dom_baseline_transform(&xml).len())
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_rewrite_ablation, bench_compile_phases, bench_transformation);
+criterion_group!(
+    benches,
+    bench_rewrite_ablation,
+    bench_compile_phases,
+    bench_transformation
+);
 criterion_main!(benches);

@@ -18,7 +18,12 @@ struct Fixture {
 
 fn fixture(nodes: usize, p_anc: f64) -> Fixture {
     let names = Arc::new(NamePool::new());
-    let cfg = RandomTreeConfig { nodes, p_ancestor: p_anc, p_descendant: 0.2, ..Default::default() };
+    let cfg = RandomTreeConfig {
+        nodes,
+        p_ancestor: p_anc,
+        p_descendant: 0.2,
+        ..Default::default()
+    };
     let doc = Document::parse(&random_tree(&cfg), names.clone()).unwrap();
     Fixture { doc, names }
 }
@@ -58,7 +63,11 @@ fn bench_twig(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_twig");
     let f = fixture(10_000, 0.15);
     let twig = TwigPattern::parse("//a[t0]/d", &f.names).unwrap();
-    let lists: Vec<_> = twig.nodes.iter().map(|n| element_list(&f.doc, n.name)).collect();
+    let lists: Vec<_> = twig
+        .nodes
+        .iter()
+        .map(|n| element_list(&f.doc, n.name))
+        .collect();
     group.bench_function("twig_stack", |b| b.iter(|| twig_stack(&twig, &lists)));
     group.bench_function("binary_plan", |b| {
         b.iter(|| {
@@ -67,7 +76,9 @@ fn bench_twig(c: &mut Criterion) {
             (ab.len(), ad.len())
         })
     });
-    group.bench_function("navigation", |b| b.iter(|| enumerate_matches(&f.doc, &twig)));
+    group.bench_function("navigation", |b| {
+        b.iter(|| enumerate_matches(&f.doc, &twig))
+    });
     group.finish();
 }
 

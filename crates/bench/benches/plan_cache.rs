@@ -32,7 +32,9 @@ const QUERIES: &[(&str, &str)] = &[
 fn bench_compile_vs_hit(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_cache");
     let engine = Engine::new();
-    engine.load_document("bib.xml", &bibliography(2, 100)).unwrap();
+    engine
+        .load_document("bib.xml", &bibliography(2, 100))
+        .unwrap();
 
     for (label, q) in QUERIES {
         group.bench_with_input(BenchmarkId::new("cold_compile", label), q, |b, q| {
@@ -46,9 +48,11 @@ fn bench_compile_vs_hit(c: &mut Criterion) {
         });
 
         let prepared = engine.compile(q).unwrap();
-        group.bench_with_input(BenchmarkId::new("execute_only", label), &prepared, |b, p| {
-            b.iter(|| p.execute(&engine, &DynamicContext::new()).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("execute_only", label),
+            &prepared,
+            |b, p| b.iter(|| p.execute(&engine, &DynamicContext::new()).unwrap().len()),
+        );
     }
     group.finish();
 }

@@ -33,7 +33,9 @@ fn bench_scan(c: &mut Criterion) {
     let stream = TokenStream::from_xml(&xml, names.clone()).unwrap();
     let doc = Document::parse(&xml, names).unwrap();
     group.bench_function("dom_count", |b| b.iter(|| dom::count_nodes(&dom_tree)));
-    group.bench_function("tokenstream_drain", |b| b.iter(|| drain(&mut stream.iter()).unwrap()));
+    group.bench_function("tokenstream_drain", |b| {
+        b.iter(|| drain(&mut stream.iter()).unwrap())
+    });
     group.bench_function("store_elements", |b| b.iter(|| doc.all_elements().count()));
     group.finish();
 }

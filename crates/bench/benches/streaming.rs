@@ -36,14 +36,19 @@ fn bench_skip(c: &mut Criterion) {
     let xml = auction_site(&XmarkConfig::scaled(2_000));
     let engine = Engine::new();
     for (label, q) in [
-        ("selective_with_skip", "/site/closed_auctions/closed_auction"),
+        (
+            "selective_with_skip",
+            "/site/closed_auctions/closed_auction",
+        ),
         ("descendant_no_skip", "//closed_auction"),
     ] {
         let prepared = engine.compile(q).unwrap();
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut count = 0u64;
-                prepared.execute_streaming(&engine, &xml, |_| count += 1).unwrap();
+                prepared
+                    .execute_streaming(&engine, &xml, |_| count += 1)
+                    .unwrap();
                 count
             })
         });
@@ -55,7 +60,9 @@ fn bench_positional_early_exit(c: &mut Criterion) {
     // E2's lazy-evaluation claim as a micro-benchmark.
     let mut group = c.benchmark_group("e2_lazy");
     let engine = Engine::new();
-    let doc = engine.load_document("x.xml", &auction_site(&XmarkConfig::scaled(2_000))).unwrap();
+    let doc = engine
+        .load_document("x.xml", &auction_site(&XmarkConfig::scaled(2_000)))
+        .unwrap();
     let item = Item::Node(NodeRef::new(doc, xqr_core::NodeId(0)));
     for (label, q) in [
         ("first_person", "(.//person)[1]"),
@@ -71,5 +78,10 @@ fn bench_positional_early_exit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming_vs_materialized, bench_skip, bench_positional_early_exit);
+criterion_group!(
+    benches,
+    bench_streaming_vs_materialized,
+    bench_skip,
+    bench_positional_early_exit
+);
 criterion_main!(benches);

@@ -14,10 +14,16 @@ fn bench_encoding(c: &mut Criterion) {
     let xml = auction_site(&XmarkConfig::scaled(2_000));
     let stream = TokenStream::from_xml(&xml, Arc::new(NamePool::new())).unwrap();
     group.bench_function("encode_pooled", |b| b.iter(|| encode(&stream, true).len()));
-    group.bench_function("encode_unpooled", |b| b.iter(|| encode(&stream, false).len()));
+    group.bench_function("encode_unpooled", |b| {
+        b.iter(|| encode(&stream, false).len())
+    });
     let pooled = encode(&stream, true);
     group.bench_function("decode_pooled", |b| {
-        b.iter(|| decode(pooled.clone(), Arc::new(NamePool::new())).unwrap().len())
+        b.iter(|| {
+            decode(pooled.clone(), Arc::new(NamePool::new()))
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }
@@ -58,15 +64,28 @@ fn bench_memoization(c: &mut Criterion) {
     let plain = Engine::new();
     let prepared = plain.compile(q).unwrap();
     group.bench_function("fib18_plain", |b| {
-        b.iter(|| prepared.execute(&plain, &DynamicContext::new()).unwrap().len())
+        b.iter(|| {
+            prepared
+                .execute(&plain, &DynamicContext::new())
+                .unwrap()
+                .len()
+        })
     });
     let memo = Engine::with_options(EngineOptions {
         compile: Default::default(),
-        runtime: RuntimeOptions { memoize_functions: true, ..Default::default() },
+        runtime: RuntimeOptions {
+            memoize_functions: true,
+            ..Default::default()
+        },
     });
     let prepared_m = memo.compile(q).unwrap();
     group.bench_function("fib18_memoized", |b| {
-        b.iter(|| prepared_m.execute(&memo, &DynamicContext::new()).unwrap().len())
+        b.iter(|| {
+            prepared_m
+                .execute(&memo, &DynamicContext::new())
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }
@@ -76,18 +95,36 @@ fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_construction");
     group.sample_size(20);
     let engine = Engine::new();
-    let no_ids = engine.compile("for $i in 1 to 200 return <item n=\"{$i}\">{$i}</item>").unwrap();
+    let no_ids = engine
+        .compile("for $i in 1 to 200 return <item n=\"{$i}\">{$i}</item>")
+        .unwrap();
     let with_ids = engine
         .compile("count((for $i in 1 to 200 return <i/>) | (for $i in 1 to 200 return <i/>))")
         .unwrap();
     group.bench_function("construct_no_identity", |b| {
-        b.iter(|| no_ids.execute(&engine, &DynamicContext::new()).unwrap().len())
+        b.iter(|| {
+            no_ids
+                .execute(&engine, &DynamicContext::new())
+                .unwrap()
+                .len()
+        })
     });
     group.bench_function("construct_with_identity_ops", |b| {
-        b.iter(|| with_ids.execute(&engine, &DynamicContext::new()).unwrap().len())
+        b.iter(|| {
+            with_ids
+                .execute(&engine, &DynamicContext::new())
+                .unwrap()
+                .len()
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_encoding, bench_buffer_sharing, bench_memoization, bench_construction);
+criterion_group!(
+    benches,
+    bench_encoding,
+    bench_buffer_sharing,
+    bench_memoization,
+    bench_construction
+);
 criterion_main!(benches);

@@ -6,11 +6,13 @@
 //!
 //! With no experiment ids, runs everything.
 
-
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -22,7 +24,8 @@ fn main() {
     // Run individually so a single experiment can be selected without
     // paying for the others.
     use xqr_bench::experiments::*;
-    let runners: Vec<(&str, Box<dyn Fn(Scale) -> Table>)> = vec![
+    type Runner = Box<dyn Fn(Scale) -> Table>;
+    let runners: Vec<(&str, Runner)> = vec![
         ("E1", Box::new(e1_streaming)),
         ("E2", Box::new(e2_lazy)),
         ("E3", Box::new(e3_representation)),

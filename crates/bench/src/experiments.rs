@@ -120,7 +120,10 @@ pub fn e1_streaming(scale: Scale) -> Table {
             ms(first.unwrap_or_default()),
             ms(stream_total),
             ms(mat_total),
-            format!("{:.1}x", mat_total.as_secs_f64() / stream_total.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                mat_total.as_secs_f64() / stream_total.as_secs_f64().max(1e-9)
+            ),
         ]);
         let _ = out;
     }
@@ -149,7 +152,10 @@ pub fn e2_lazy(scale: Scale) -> Table {
     let cases = [
         (format!("(1 to {n})[3]"), "positional [3]"),
         (format!("exists(1 to {n})"), "exists()"),
-        (format!("some $x in (1 to {n}) satisfies $x eq 5"), "some … satisfies"),
+        (
+            format!("some $x in (1 to {n}) satisfies $x eq 5"),
+            "some … satisfies",
+        ),
         (format!("count(1 to {n})"), "count() (no early exit)"),
     ];
     let mut rows = Vec::new();
@@ -210,7 +216,10 @@ pub fn e3_representation(scale: Scale) -> Table {
     };
     Table {
         id: "E3",
-        title: format!("representation comparison ({} KiB XMark document)", xml.len() / 1024),
+        title: format!(
+            "representation comparison ({} KiB XMark document)",
+            xml.len() / 1024
+        ),
         headers: vec![
             "representation".into(),
             "build".into(),
@@ -219,9 +228,21 @@ pub fn e3_representation(scale: Scale) -> Table {
             "units scanned".into(),
         ],
         rows: vec![
-            row("DOM tree (Rc nodes)", dom_build, dom_scan, dom_mem, dom_count),
+            row(
+                "DOM tree (Rc nodes)",
+                dom_build,
+                dom_scan,
+                dom_mem,
+                dom_count,
+            ),
             row("TokenStream (array)", ts_build, ts_scan, ts_mem, ts_count),
-            row("labeled store (SoA)", store_build, store_scan, store_mem, store_count),
+            row(
+                "labeled store (SoA)",
+                store_build,
+                store_scan,
+                store_mem,
+                store_count,
+            ),
         ],
     }
 }
@@ -350,7 +371,11 @@ pub fn e6_twig(scale: Scale) -> Table {
         let names = Arc::new(NamePool::new());
         let doc = Document::parse(&xml, names.clone()).unwrap();
         let twig = TwigPattern::parse("//a[t0]/d", &names).unwrap();
-        let lists: Vec<_> = twig.nodes.iter().map(|n| element_list(&doc, n.name)).collect();
+        let lists: Vec<_> = twig
+            .nodes
+            .iter()
+            .map(|n| element_list(&doc, n.name))
+            .collect();
 
         let ((matches, stats), t_twig) = time(|| twig_stack(&twig, &lists));
         // Binary plan: (a ad t0) then (a pc d), merge on a.
@@ -406,7 +431,10 @@ pub fn e7_rewrites(scale: Scale) -> Table {
     let n = scale.pick(500, 5_000);
     let bib = bibliography(3, n);
     let queries: Vec<(&str, String)> = vec![
-        ("ddo-heavy path", "count(doc(\"bib.xml\")/bib/book/author/last)".to_string()),
+        (
+            "ddo-heavy path",
+            "count(doc(\"bib.xml\")/bib/book/author/last)".to_string(),
+        ),
         (
             "join query",
             "for $a in doc(\"bib.xml\")//book return for $b in doc(\"bib.xml\")//book \
@@ -419,7 +447,10 @@ pub fn e7_rewrites(scale: Scale) -> Table {
              where count($b/author) ge $k - 7 return $b/title"
                 .to_string(),
         ),
-        ("positional", "(doc(\"bib.xml\")//book)[5]/title".to_string()),
+        (
+            "positional",
+            "(doc(\"bib.xml\")//book)[5]/title".to_string(),
+        ),
     ];
     let families = [
         "none-disabled",
@@ -440,7 +471,10 @@ pub fn e7_rewrites(scale: Scale) -> Table {
         let mut cells = vec![family.to_string()];
         for (_, q) in &queries {
             let engine = Engine::with_options(EngineOptions {
-                compile: CompileOptions { rewrite: cfg.clone(), ..Default::default() },
+                compile: CompileOptions {
+                    rewrite: cfg.clone(),
+                    ..Default::default()
+                },
                 runtime: RuntimeOptions::default(),
             });
             engine.load_document("bib.xml", &bib).unwrap();
@@ -471,7 +505,11 @@ pub fn e8_compile(_scale: Scale) -> Table {
                   order by $b/title return <r>{$b/title, $b/price}</r>";
     let giant = giant_customer_query();
     let mut rows = Vec::new();
-    for (label, q) in [("tiny", small), ("medium", medium), ("trading-partner (giant)", &giant)] {
+    for (label, q) in [
+        ("tiny", small),
+        ("medium", medium),
+        ("trading-partner (giant)", &giant),
+    ] {
         let (ast, t_parse) = time(|| xqr_xqparser::parse_query(q).unwrap());
         let (mut module, t_norm) = time(|| normalize_module(&ast).unwrap());
         let (_, t_type) = time(|| typing::check_module(&module, false).unwrap());
@@ -566,7 +604,10 @@ pub fn dom_baseline_transform(xml: &str) -> String {
         let name = get_attr(tp, "name");
         let mut pid = Vec::new();
         dom::descendants_named(tp, "party-identifier", &mut pid);
-        let bid = pid.first().map(|p| get_attr(p, "business-id")).unwrap_or_default();
+        let bid = pid
+            .first()
+            .map(|p| get_attr(p, "business-id"))
+            .unwrap_or_default();
         out.push_str(&format!(
             "<trading-partner name=\"{}\" business-id=\"{}\" type=\"{}\">",
             name,
@@ -585,7 +626,10 @@ pub fn dom_baseline_transform(xml: &str) -> String {
         let mut ccs = Vec::new();
         dom::descendants_named(tp, "client-certificate", &mut ccs);
         for cc in &ccs {
-            out.push_str(&format!("<client-certificate name=\"{}\"/>", get_attr(cc, "name")));
+            out.push_str(&format!(
+                "<client-certificate name=\"{}\"/>",
+                get_attr(cc, "name")
+            ));
         }
         // dc × de × tr triple join by nested scans.
         let (mut dcs, mut des, mut trs) = (Vec::new(), Vec::new(), Vec::new());
@@ -665,14 +709,20 @@ pub fn e9_transform(scale: Scale) -> Table {
         let (r_unopt, t_unopt) = time(|| q2.execute(&engine2, &DynamicContext::new()).unwrap());
         // Naive DOM transformer (parse + walk each run, like a CLI XSLT).
         let (_, t_dom) = time(|| dom_baseline_transform(&xml));
-        assert_eq!(r_opt.serialize_guarded().unwrap().len(), r_unopt.serialize_guarded().unwrap().len());
+        assert_eq!(
+            r_opt.serialize_guarded().unwrap().len(),
+            r_unopt.serialize_guarded().unwrap().len()
+        );
         rows.push(vec![
             partners.to_string(),
             format!("{}", xml.len() / 1024),
             ms(t_opt),
             ms(t_unopt),
             ms(t_dom),
-            format!("{:.1}x", t_dom.as_secs_f64() / t_opt.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_dom.as_secs_f64() / t_opt.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     Table {
@@ -700,7 +750,10 @@ pub fn e10_skip(scale: Scale) -> Table {
     let engine = Engine::new();
     let mut rows = Vec::new();
     for (label, q) in [
-        ("selective child path", "/site/closed_auctions/closed_auction"),
+        (
+            "selective child path",
+            "/site/closed_auctions/closed_auction",
+        ),
         ("semi-selective", "/site/people/person/name"),
         ("descendant (no skip)", "//name"),
         ("streaming count", "count(/site/people/person)"),
@@ -713,7 +766,9 @@ pub fn e10_skip(scale: Scale) -> Table {
             count = n;
             stats
         } else {
-            prepared.execute_streaming(&engine, &xml, |_| count += 1).unwrap()
+            prepared
+                .execute_streaming(&engine, &xml, |_| count += 1)
+                .unwrap()
         };
         let t = t0.elapsed();
         rows.push(vec![
@@ -732,7 +787,10 @@ pub fn e10_skip(scale: Scale) -> Table {
     }
     Table {
         id: "E10",
-        title: format!("skip() effectiveness on a {} KiB document", xml.len() / 1024),
+        title: format!(
+            "skip() effectiveness on a {} KiB document",
+            xml.len() / 1024
+        ),
         headers: vec![
             "case".into(),
             "query".into(),
@@ -753,7 +811,9 @@ pub fn e10_skip(scale: Scale) -> Table {
 pub fn e11_nodeids(scale: Scale) -> Table {
     let n = scale.pick(2_000, 30_000);
     let engine = Engine::new();
-    engine.load_document("bib.xml", &bibliography(2, n)).unwrap();
+    engine
+        .load_document("bib.xml", &bibliography(2, n))
+        .unwrap();
     let mut rows = Vec::new();
     for (label, q) in [
         (
@@ -764,7 +824,10 @@ pub fn e11_nodeids(scale: Scale) -> Table {
             "construct + identity ops (ids needed)",
             "count((for $i in 1 to 500 return <item/>) | (for $i in 1 to 500 return <item/>))",
         ),
-        ("path query (ddo ⇒ ids)", "count(doc(\"bib.xml\")//book/author)"),
+        (
+            "path query (ddo ⇒ ids)",
+            "count(doc(\"bib.xml\")//book/author)",
+        ),
     ] {
         let prepared = engine.compile(q).unwrap();
         prepared.execute(&engine, &DynamicContext::new()).unwrap();
@@ -825,7 +888,10 @@ pub fn e12_memo(scale: Scale) -> Table {
         (total / 3).to_string(),
         ms(shared),
         ms(reparsed),
-        format!("{:.1}x", reparsed.as_secs_f64() / shared.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}x",
+            reparsed.as_secs_f64() / shared.as_secs_f64().max(1e-9)
+        ),
     ]);
 
     // Function memoization: fib with and without.
@@ -834,21 +900,38 @@ pub fn e12_memo(scale: Scale) -> Table {
              }; local:fib(22)";
     let engine_plain = Engine::new();
     let prepared = engine_plain.compile(q).unwrap();
-    let (r1, t_plain) = time(|| prepared.execute(&engine_plain, &DynamicContext::new()).unwrap());
+    let (r1, t_plain) = time(|| {
+        prepared
+            .execute(&engine_plain, &DynamicContext::new())
+            .unwrap()
+    });
     let engine_memo = Engine::with_options(EngineOptions {
         compile: CompileOptions::default(),
-        runtime: RuntimeOptions { memoize_functions: true, ..Default::default() },
+        runtime: RuntimeOptions {
+            memoize_functions: true,
+            ..Default::default()
+        },
     });
     let prepared_m = engine_memo.compile(q).unwrap();
-    let (r2, t_memo) = time(|| prepared_m.execute(&engine_memo, &DynamicContext::new()).unwrap());
-    assert_eq!(r1.serialize_guarded().unwrap(), r2.serialize_guarded().unwrap());
+    let (r2, t_memo) = time(|| {
+        prepared_m
+            .execute(&engine_memo, &DynamicContext::new())
+            .unwrap()
+    });
+    assert_eq!(
+        r1.serialize_guarded().unwrap(),
+        r2.serialize_guarded().unwrap()
+    );
     rows.push(vec![
         "memoized fib(22)".into(),
         r2.counters.function_calls.get().to_string(),
         r1.counters.function_calls.get().to_string(),
         ms(t_memo),
         ms(t_plain),
-        format!("{:.1}x", t_plain.as_secs_f64() / t_memo.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}x",
+            t_plain.as_secs_f64() / t_memo.as_secs_f64().max(1e-9)
+        ),
     ]);
 
     Table {
@@ -948,13 +1031,19 @@ mod tests {
     #[test]
     fn customer_query_compiles_and_runs() {
         let engine = Engine::new();
-        engine.load_document("ebsample.xml", &trading_partners(9, 10)).unwrap();
+        engine
+            .load_document("ebsample.xml", &trading_partners(9, 10))
+            .unwrap();
         let q = engine.compile(customer_query()).unwrap();
         let r = q.execute(&engine, &DynamicContext::new()).unwrap();
         let out = r.serialize_guarded().unwrap();
         assert!(out.starts_with("<result>"));
         assert_eq!(out.matches("<trading-partner ").count(), 10);
-        assert!(out.contains("<ebxml-binding"), "{}", &out[..500.min(out.len())]);
+        assert!(
+            out.contains("<ebxml-binding"),
+            "{}",
+            &out[..500.min(out.len())]
+        );
     }
 
     #[test]
@@ -962,7 +1051,9 @@ mod tests {
         let q = giant_customer_query();
         assert!(q.len() > 1500);
         let engine = Engine::new();
-        engine.load_document("ebsample.xml", &trading_partners(9, 6)).unwrap();
+        engine
+            .load_document("ebsample.xml", &trading_partners(9, 6))
+            .unwrap();
         let prepared = engine.compile(&q).unwrap();
         let r = prepared.execute(&engine, &DynamicContext::new()).unwrap();
         assert!(r.serialize_guarded().unwrap().contains("<binding"));
@@ -974,7 +1065,11 @@ mod tests {
         let engine = Engine::new();
         engine.load_document("ebsample.xml", &xml).unwrap();
         let q = engine.compile(customer_query()).unwrap();
-        let engine_out = q.execute(&engine, &DynamicContext::new()).unwrap().serialize_guarded().unwrap();
+        let engine_out = q
+            .execute(&engine, &DynamicContext::new())
+            .unwrap()
+            .serialize_guarded()
+            .unwrap();
         let dom_out = dom_baseline_transform(&xml);
         assert_eq!(
             engine_out.matches("<trading-partner ").count(),

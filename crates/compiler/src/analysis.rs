@@ -45,22 +45,37 @@ impl UseCount {
 pub fn var_use(e: &Core, var: VarId) -> UseCount {
     match e {
         Core::Var(v) if *v == var => UseCount::Once,
-        Core::For { source, body, .. } | Core::Quantified { source, satisfies: body, .. } => {
+        Core::For { source, body, .. }
+        | Core::Quantified {
+            source,
+            satisfies: body,
+            ..
+        } => {
             // Body runs once per binding: uses inside count as Many.
             var_use(source, var).add(var_use(body, var).under_loop())
         }
-        Core::OrderedFlwor { clauses, where_clause, order, body, .. } => {
+        Core::OrderedFlwor {
+            clauses,
+            where_clause,
+            order,
+            body,
+            ..
+        } => {
             let mut n = UseCount::Zero;
             for c in clauses {
                 n = n.add(match c {
                     CoreClause::For { source, .. } => var_use(source, var),
                     CoreClause::Let { value, .. } => var_use(value, var),
-                    CoreClause::GroupLet { inner, inner_key, outer_key, match_body, .. } => {
-                        var_use(inner, var)
-                            .add(var_use(inner_key, var).under_loop())
-                            .add(var_use(outer_key, var).under_loop())
-                            .add(var_use(match_body, var).under_loop())
-                    }
+                    CoreClause::GroupLet {
+                        inner,
+                        inner_key,
+                        outer_key,
+                        match_body,
+                        ..
+                    } => var_use(inner, var)
+                        .add(var_use(inner_key, var).under_loop())
+                        .add(var_use(outer_key, var).under_loop())
+                        .add(var_use(match_body, var).under_loop()),
                 });
             }
             if let Some(w) = where_clause {
@@ -75,9 +90,7 @@ pub fn var_use(e: &Core, var: VarId) -> UseCount {
             // Predicate runs once per item.
             var_use(input, var).add(var_use(predicate, var).under_loop())
         }
-        Core::PathMap { input, step } => {
-            var_use(input, var).add(var_use(step, var).under_loop())
-        }
+        Core::PathMap { input, step } => var_use(input, var).add(var_use(step, var).under_loop()),
         Core::UserCall(_, args) => {
             // Function bodies may use parameters many times; do not
             // inline through calls.
@@ -133,10 +146,15 @@ pub fn can_raise_error(e: &Core) -> bool {
         Core::PositionConst { input, .. } => can_raise_error(input),
         Core::For { source, body, .. } => can_raise_error(source) || can_raise_error(body),
         Core::Let { value, body, .. } => can_raise_error(value) || can_raise_error(body),
-        Core::If { cond, then_branch, else_branch } => {
-            can_raise_error(cond) || can_raise_error(then_branch) || can_raise_error(else_branch)
-        }
-        Core::And(a, b) | Core::Or(a, b) | Core::Union(a, b) | Core::Intersect(a, b)
+        Core::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => can_raise_error(cond) || can_raise_error(then_branch) || can_raise_error(else_branch),
+        Core::And(a, b)
+        | Core::Or(a, b)
+        | Core::Union(a, b)
+        | Core::Intersect(a, b)
         | Core::Except(a, b) => can_raise_error(a) || can_raise_error(b),
         Core::ElemCtor { name, content, .. } => {
             matches!(name, crate::core_expr::CoreName::Computed(_))
@@ -149,8 +167,19 @@ pub fn can_raise_error(e: &Core) -> bool {
             // A few builtins are total on any input.
             let total = matches!(
                 *name,
-                "count" | "empty" | "exists" | "true" | "false" | "not" | "position" | "last"
-                    | "string" | "concat" | "reverse" | "trace" | "unordered"
+                "count"
+                    | "empty"
+                    | "exists"
+                    | "true"
+                    | "false"
+                    | "not"
+                    | "position"
+                    | "last"
+                    | "string"
+                    | "concat"
+                    | "reverse"
+                    | "trace"
+                    | "unordered"
             );
             !total || args.iter().any(can_raise_error)
         }
@@ -180,11 +209,19 @@ pub struct OrderFacts {
 }
 
 impl OrderFacts {
-    pub const UNKNOWN: OrderFacts =
-        OrderFacts { ordered: false, distinct: false, non_nesting: false, max_one: false };
+    pub const UNKNOWN: OrderFacts = OrderFacts {
+        ordered: false,
+        distinct: false,
+        non_nesting: false,
+        max_one: false,
+    };
 
-    pub const SINGLE: OrderFacts =
-        OrderFacts { ordered: true, distinct: true, non_nesting: true, max_one: true };
+    pub const SINGLE: OrderFacts = OrderFacts {
+        ordered: true,
+        distinct: true,
+        non_nesting: true,
+        max_one: true,
+    };
 
     /// Is a ddo on top of an expression with these facts redundant?
     pub fn ddo_redundant(&self) -> bool {
@@ -234,7 +271,12 @@ pub fn order_facts(e: &Core) -> OrderFacts {
 pub fn order_facts_with(e: &Core, vars: &HashMap<VarId, OrderFacts>) -> OrderFacts {
     match e {
         Core::Root | Core::ContextItem | Core::Const(_) => OrderFacts::SINGLE,
-        Core::Empty => OrderFacts { ordered: true, distinct: true, non_nesting: true, max_one: true },
+        Core::Empty => OrderFacts {
+            ordered: true,
+            distinct: true,
+            non_nesting: true,
+            max_one: true,
+        },
         Core::Var(v) => vars.get(v).copied().unwrap_or(OrderFacts::UNKNOWN),
         // doc()/document() return at most one document node.
         Core::Builtin(name, _) if matches!(*name, "doc" | "document" | "root") => {
@@ -242,7 +284,12 @@ pub fn order_facts_with(e: &Core, vars: &HashMap<VarId, OrderFacts>) -> OrderFac
         }
         Core::Ddo(inner) => {
             let f = order_facts_with(inner, vars);
-            OrderFacts { ordered: true, distinct: true, non_nesting: f.non_nesting, max_one: f.max_one }
+            OrderFacts {
+                ordered: true,
+                distinct: true,
+                non_nesting: f.non_nesting,
+                max_one: f.max_one,
+            }
         }
         Core::Step { axis, .. } => step_facts(*axis, OrderFacts::SINGLE),
         Core::PathMap { input, step } => {
@@ -251,20 +298,27 @@ pub fn order_facts_with(e: &Core, vars: &HashMap<VarId, OrderFacts>) -> OrderFac
                 Core::Step { axis, .. } => step_facts(*axis, src),
                 // Steps that are themselves paths from the context item:
                 // compose facts step by step.
-                Core::PathMap { .. } | Core::Ddo(_) | Core::Filter { .. }
-                | Core::PositionConst { .. } => {
-                    compose_context_facts(src, step)
-                }
+                Core::PathMap { .. }
+                | Core::Ddo(_)
+                | Core::Filter { .. }
+                | Core::PositionConst { .. } => compose_context_facts(src, step),
                 _ => OrderFacts::UNKNOWN,
             }
         }
         Core::Filter { input, .. } => {
             let f = order_facts_with(input, vars);
             // Filtering preserves order/distinctness/non-nesting.
-            OrderFacts { max_one: false, ..f }
+            OrderFacts {
+                max_one: false,
+                ..f
+            }
         }
         Core::PositionConst { .. } => OrderFacts::SINGLE,
-        Core::If { then_branch, else_branch, .. } => {
+        Core::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let t = order_facts_with(then_branch, vars);
             let f = order_facts_with(else_branch, vars);
             OrderFacts {
@@ -305,7 +359,10 @@ fn compose_context_facts(src: OrderFacts, e: &Core) -> OrderFacts {
         }
         Core::Filter { input, .. } => {
             let f = compose_context_facts(src, input);
-            OrderFacts { max_one: false, ..f }
+            OrderFacts {
+                max_one: false,
+                ..f
+            }
         }
         _ => OrderFacts::UNKNOWN,
     }
@@ -325,7 +382,10 @@ pub fn needs_node_identity(e: &Core) -> bool {
             *name == "distinct-nodes" || args.iter().any(needs_node_identity)
         }
         Core::Step { axis, .. } => {
-            matches!(axis, AxisName::Parent | AxisName::Ancestor | AxisName::AncestorOrSelf)
+            matches!(
+                axis,
+                AxisName::Parent | AxisName::Ancestor | AxisName::AncestorOrSelf
+            )
         }
         _ => {
             let mut any = false;
@@ -437,12 +497,20 @@ mod tests {
 
     #[test]
     fn node_identity_analysis() {
-        assert!(needs_node_identity(&body("declare variable $a := <a/>; $a is $a")));
-        assert!(needs_node_identity(&body("declare variable $a := <a/>; $a/b union $a/c")));
+        assert!(needs_node_identity(&body(
+            "declare variable $a := <a/>; $a is $a"
+        )));
+        assert!(needs_node_identity(&body(
+            "declare variable $a := <a/>; $a/b union $a/c"
+        )));
         // A pure construct-and-return pipeline: paths require ddo → id.
-        assert!(needs_node_identity(&body("declare variable $a := <a/>; $a/b")));
+        assert!(needs_node_identity(&body(
+            "declare variable $a := <a/>; $a/b"
+        )));
         // Constructed output with no path/identity ops does not.
         assert!(!needs_node_identity(&body("<a>{1 + 2}</a>")));
-        assert!(!needs_node_identity(&body("for $x in (1,2) return <v>{$x}</v>")));
+        assert!(!needs_node_identity(&body(
+            "for $x in (1,2) return <v>{$x}</v>"
+        )));
     }
 }

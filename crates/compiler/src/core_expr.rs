@@ -24,10 +24,20 @@ pub struct VarId(pub u32);
 pub struct FuncId(pub u32);
 
 /// A binding clause inside an [`Core::OrderedFlwor`].
+// Clause values live inside the enclosing FLWOR node, never in bulk
+// arrays, so the size spread between variants is not worth boxing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreClause {
-    For { var: VarId, position: Option<VarId>, source: Core },
-    Let { var: VarId, value: Core },
+    For {
+        var: VarId,
+        position: Option<VarId>,
+        source: Core,
+    },
+    Let {
+        var: VarId,
+        value: Core,
+    },
     /// A decorrelated let-bound join: the `inner` side is evaluated and
     /// hashed on `inner_key` **once per FLWOR evaluation**; per tuple,
     /// `outer_key` probes the table and the matches (mapped through
@@ -136,18 +146,30 @@ pub enum Core {
     Intersect(Box<Core>, Box<Core>),
     Except(Box<Core>, Box<Core>),
     /// One axis step applied to the context item.
-    Step { axis: AxisName, test: NodeTest },
+    Step {
+        axis: AxisName,
+        test: NodeTest,
+    },
     /// `input/step`: evaluate `step` with each node of `input` as
     /// context; the result is NOT yet sorted/deduplicated — an enclosing
     /// [`Core::Ddo`] does that unless the optimizer removed it.
-    PathMap { input: Box<Core>, step: Box<Core> },
+    PathMap {
+        input: Box<Core>,
+        step: Box<Core>,
+    },
     /// Distinct-document-order (sort by doc order + dedup by identity).
     Ddo(Box<Core>),
     /// Predicate filter with position semantics (`e[pred]`).
-    Filter { input: Box<Core>, predicate: Box<Core> },
+    Filter {
+        input: Box<Core>,
+        predicate: Box<Core>,
+    },
     /// Positional selection `e[k]` with a constant k — compiled
     /// specially so the runtime can skip (experiment E10).
-    PositionConst { input: Box<Core>, position: i64 },
+    PositionConst {
+        input: Box<Core>,
+        position: i64,
+    },
     /// Built-in function call, resolved by name (the runtime's library
     /// dispatches; unknown names were rejected at compile time).
     Builtin(&'static str, Vec<Core>),
@@ -169,10 +191,16 @@ pub enum Core {
         namespaces: Vec<(Option<String>, String)>,
         content: Vec<Core>,
     },
-    AttrCtor { name: CoreName, value: Vec<Core> },
+    AttrCtor {
+        name: CoreName,
+        value: Vec<Core>,
+    },
     TextCtor(Box<Core>),
     CommentCtor(Box<Core>),
-    PiCtor { target: CoreName, value: Box<Core> },
+    PiCtor {
+        target: CoreName,
+        value: Box<Core>,
+    },
     DocCtor(Box<Core>),
     /// Value join detected by the optimizer: for each `outer` binding,
     /// probe `inner` by key equality (hash join at runtime). With
@@ -209,9 +237,19 @@ impl Core {
         use Core::*;
         match self {
             Const(_) | Empty | Var(_) | ContextItem | Root | Step { .. } => {}
-            Seq(items) => items.iter().for_each(|c| f(c)),
-            Range(a, b) | Arith(_, a, b) | Compare(_, a, b) | And(a, b) | Or(a, b)
-            | Union(a, b) | Intersect(a, b) | Except(a, b) => {
+            Seq(items) => {
+                for c in items {
+                    f(c)
+                }
+            }
+            Range(a, b)
+            | Arith(_, a, b)
+            | Compare(_, a, b)
+            | And(a, b)
+            | Or(a, b)
+            | Union(a, b)
+            | Intersect(a, b)
+            | Except(a, b) => {
                 f(a);
                 f(b);
             }
@@ -224,13 +262,23 @@ impl Core {
                 f(value);
                 f(body);
             }
-            OrderedFlwor { clauses, where_clause, order, body, .. } => {
+            OrderedFlwor {
+                clauses,
+                where_clause,
+                order,
+                body,
+                ..
+            } => {
                 for c in clauses {
                     match c {
                         CoreClause::For { source, .. } => f(source),
                         CoreClause::Let { value, .. } => f(value),
                         CoreClause::GroupLet {
-                            inner, inner_key, outer_key, match_body, ..
+                            inner,
+                            inner_key,
+                            outer_key,
+                            match_body,
+                            ..
                         } => {
                             f(inner);
                             f(inner_key);
@@ -247,12 +295,18 @@ impl Core {
                 }
                 f(body);
             }
-            If { cond, then_branch, else_branch } => {
+            If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 f(cond);
                 f(then_branch);
                 f(else_branch);
             }
-            Quantified { source, satisfies, .. } => {
+            Quantified {
+                source, satisfies, ..
+            } => {
                 f(source);
                 f(satisfies);
             }
@@ -265,9 +319,18 @@ impl Core {
                 f(predicate);
             }
             PositionConst { input, .. } => f(input),
-            Builtin(_, args) | UserCall(_, args) => args.iter().for_each(|c| f(c)),
+            Builtin(_, args) | UserCall(_, args) => {
+                for c in args {
+                    f(c)
+                }
+            }
             InstanceOf(a, _) | CastAs(a, _, _) | CastableAs(a, _, _) | TreatAs(a, _) => f(a),
-            Typeswitch { operand, cases, default_body, .. } => {
+            Typeswitch {
+                operand,
+                cases,
+                default_body,
+                ..
+            } => {
                 f(operand);
                 for c in cases {
                     f(&c.body);
@@ -278,13 +341,17 @@ impl Core {
                 if let CoreName::Computed(e) = name {
                     f(e);
                 }
-                content.iter().for_each(|c| f(c));
+                for c in content {
+                    f(c)
+                }
             }
             AttrCtor { name, value } => {
                 if let CoreName::Computed(e) = name {
                     f(e);
                 }
-                value.iter().for_each(|c| f(c));
+                for c in value {
+                    f(c)
+                }
             }
             PiCtor { target, value } => {
                 if let CoreName::Computed(e) = target {
@@ -292,7 +359,15 @@ impl Core {
                 }
                 f(value);
             }
-            HashJoin { outer, inner, outer_key, inner_key, group, body, .. } => {
+            HashJoin {
+                outer,
+                inner,
+                outer_key,
+                inner_key,
+                group,
+                body,
+                ..
+            } => {
                 f(outer);
                 f(inner);
                 f(outer_key);
@@ -310,9 +385,19 @@ impl Core {
         use Core::*;
         match self {
             Const(_) | Empty | Var(_) | ContextItem | Root | Step { .. } => {}
-            Seq(items) => items.iter_mut().for_each(|c| f(c)),
-            Range(a, b) | Arith(_, a, b) | Compare(_, a, b) | And(a, b) | Or(a, b)
-            | Union(a, b) | Intersect(a, b) | Except(a, b) => {
+            Seq(items) => {
+                for c in items {
+                    f(c)
+                }
+            }
+            Range(a, b)
+            | Arith(_, a, b)
+            | Compare(_, a, b)
+            | And(a, b)
+            | Or(a, b)
+            | Union(a, b)
+            | Intersect(a, b)
+            | Except(a, b) => {
                 f(a);
                 f(b);
             }
@@ -325,13 +410,23 @@ impl Core {
                 f(value);
                 f(body);
             }
-            OrderedFlwor { clauses, where_clause, order, body, .. } => {
+            OrderedFlwor {
+                clauses,
+                where_clause,
+                order,
+                body,
+                ..
+            } => {
                 for c in clauses {
                     match c {
                         CoreClause::For { source, .. } => f(source),
                         CoreClause::Let { value, .. } => f(value),
                         CoreClause::GroupLet {
-                            inner, inner_key, outer_key, match_body, ..
+                            inner,
+                            inner_key,
+                            outer_key,
+                            match_body,
+                            ..
                         } => {
                             f(inner);
                             f(inner_key);
@@ -348,12 +443,18 @@ impl Core {
                 }
                 f(body);
             }
-            If { cond, then_branch, else_branch } => {
+            If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 f(cond);
                 f(then_branch);
                 f(else_branch);
             }
-            Quantified { source, satisfies, .. } => {
+            Quantified {
+                source, satisfies, ..
+            } => {
                 f(source);
                 f(satisfies);
             }
@@ -366,9 +467,18 @@ impl Core {
                 f(predicate);
             }
             PositionConst { input, .. } => f(input),
-            Builtin(_, args) | UserCall(_, args) => args.iter_mut().for_each(|c| f(c)),
+            Builtin(_, args) | UserCall(_, args) => {
+                for c in args {
+                    f(c)
+                }
+            }
             InstanceOf(a, _) | CastAs(a, _, _) | CastableAs(a, _, _) | TreatAs(a, _) => f(a),
-            Typeswitch { operand, cases, default_body, .. } => {
+            Typeswitch {
+                operand,
+                cases,
+                default_body,
+                ..
+            } => {
                 f(operand);
                 for c in cases {
                     f(&mut c.body);
@@ -379,13 +489,17 @@ impl Core {
                 if let CoreName::Computed(e) = name {
                     f(e);
                 }
-                content.iter_mut().for_each(|c| f(c));
+                for c in content {
+                    f(c)
+                }
             }
             AttrCtor { name, value } => {
                 if let CoreName::Computed(e) = name {
                     f(e);
                 }
-                value.iter_mut().for_each(|c| f(c));
+                for c in value {
+                    f(c)
+                }
             }
             PiCtor { target, value } => {
                 if let CoreName::Computed(e) = target {
@@ -393,7 +507,15 @@ impl Core {
                 }
                 f(value);
             }
-            HashJoin { outer, inner, outer_key, inner_key, group, body, .. } => {
+            HashJoin {
+                outer,
+                inner,
+                outer_key,
+                inner_key,
+                group,
+                body,
+                ..
+            } => {
                 f(outer);
                 f(inner);
                 f(outer_key);
@@ -419,7 +541,12 @@ impl Core {
             }
             Let { var, .. } => vec![*var],
             Quantified { var, .. } => vec![*var],
-            HashJoin { outer_var, inner_var, group, .. } => {
+            HashJoin {
+                outer_var,
+                inner_var,
+                group,
+                ..
+            } => {
                 let mut v = vec![*outer_var, *inner_var];
                 if let Some(g) = group {
                     v.push(g.let_var);
@@ -440,7 +567,9 @@ impl Core {
                     CoreClause::GroupLet { var, inner_var, .. } => vec![*var, *inner_var],
                 })
                 .collect(),
-            Typeswitch { cases, default_var, .. } => {
+            Typeswitch {
+                cases, default_var, ..
+            } => {
                 let mut v: Vec<VarId> = cases.iter().filter_map(|c| c.var).collect();
                 if let Some(d) = default_var {
                     v.push(*d);

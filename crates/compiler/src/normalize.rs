@@ -31,7 +31,11 @@ struct Normalizer {
 
 impl Normalizer {
     fn new() -> Self {
-        Normalizer { next_var: 0, scopes: vec![HashMap::new()], signatures: Vec::new() }
+        Normalizer {
+            next_var: 0,
+            scopes: vec![HashMap::new()],
+            signatures: Vec::new(),
+        }
     }
 
     fn fresh(&mut self) -> VarId {
@@ -42,7 +46,10 @@ impl Normalizer {
 
     fn bind(&mut self, name: &QName) -> VarId {
         let id = self.fresh();
-        self.scopes.last_mut().expect("scope stack non-empty").insert(name.clone(), id);
+        self.scopes
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(name.clone(), id);
         id
     }
 
@@ -60,7 +67,11 @@ impl Normalizer {
                 return Ok(*id);
             }
         }
-        Err(Error::new(ErrorCode::UndefinedName, format!("undefined variable ${name}")).at(pos))
+        Err(Error::new(
+            ErrorCode::UndefinedName,
+            format!("undefined variable ${name}"),
+        )
+        .at(pos))
     }
 
     fn find_function(&self, name: &QName, arity: usize) -> Option<FuncId> {
@@ -80,7 +91,12 @@ impl Normalizer {
                 if items.is_empty() {
                     Core::Empty
                 } else {
-                    Core::Seq(items.iter().map(|i| self.normalize(i)).collect::<Result<_>>()?)
+                    Core::Seq(
+                        items
+                            .iter()
+                            .map(|i| self.normalize(i))
+                            .collect::<Result<_>>()?,
+                    )
                 }
             }
             Expr::Range(a, b, _) => {
@@ -113,10 +129,24 @@ impl Normalizer {
             Expr::Path(lhs, rhs, _) => {
                 let input = self.normalize(lhs)?;
                 let step = self.normalize(rhs)?;
-                Core::Ddo(Core::PathMap { input: input.boxed(), step: step.boxed() }.boxed())
+                Core::Ddo(
+                    Core::PathMap {
+                        input: input.boxed(),
+                        step: step.boxed(),
+                    }
+                    .boxed(),
+                )
             }
-            Expr::AxisStep { axis, test, predicates, .. } => {
-                let mut out = Core::Step { axis: *axis, test: test.clone() };
+            Expr::AxisStep {
+                axis,
+                test,
+                predicates,
+                ..
+            } => {
+                let mut out = Core::Step {
+                    axis: *axis,
+                    test: test.clone(),
+                };
                 for p in predicates {
                     out = self.normalize_predicate(out, p)?;
                 }
@@ -130,18 +160,37 @@ impl Normalizer {
                 out
             }
             Expr::FunctionCall(name, args, pos) => self.normalize_call(name, args, *pos)?,
-            Expr::Flwor { clauses, where_clause, order_by, stable, return_clause, .. } => {
-                self.normalize_flwor(clauses, where_clause, order_by, *stable, return_clause)?
-            }
-            Expr::Quantified { every, bindings, satisfies, .. } => {
-                self.normalize_quantified(*every, bindings, satisfies)?
-            }
-            Expr::If { cond, then_branch, else_branch, .. } => Core::If {
+            Expr::Flwor {
+                clauses,
+                where_clause,
+                order_by,
+                stable,
+                return_clause,
+                ..
+            } => self.normalize_flwor(clauses, where_clause, order_by, *stable, return_clause)?,
+            Expr::Quantified {
+                every,
+                bindings,
+                satisfies,
+                ..
+            } => self.normalize_quantified(*every, bindings, satisfies)?,
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => Core::If {
                 cond: Core::Ebv(self.normalize(cond)?.boxed()).boxed(),
                 then_branch: self.normalize(then_branch)?.boxed(),
                 else_branch: self.normalize(else_branch)?.boxed(),
             },
-            Expr::Typeswitch { operand, cases, default_var, default_body, .. } => {
+            Expr::Typeswitch {
+                operand,
+                cases,
+                default_var,
+                default_body,
+                ..
+            } => {
                 let operand = self.normalize(operand)?.boxed();
                 let mut core_cases = Vec::with_capacity(cases.len());
                 for c in cases {
@@ -149,7 +198,11 @@ impl Normalizer {
                     let var = c.var.as_ref().map(|v| self.bind(v));
                     let body = self.normalize(&c.body)?;
                     self.pop_scope();
-                    core_cases.push(CoreCase { var, ty: c.ty.clone(), body });
+                    core_cases.push(CoreCase {
+                        var,
+                        ty: c.ty.clone(),
+                        body,
+                    });
                 }
                 self.push_scope();
                 let dvar = default_var.as_ref().map(|v| self.bind(v));
@@ -162,9 +215,7 @@ impl Normalizer {
                     default_body: dbody,
                 }
             }
-            Expr::InstanceOf(a, ty, _) => {
-                Core::InstanceOf(self.normalize(a)?.boxed(), ty.clone())
-            }
+            Expr::InstanceOf(a, ty, _) => Core::InstanceOf(self.normalize(a)?.boxed(), ty.clone()),
             Expr::CastAs(a, ty, pos) => {
                 let (at, opt) = atomic_of(ty, *pos)?;
                 Core::CastAs(self.normalize(a)?.boxed(), at, opt)
@@ -174,7 +225,13 @@ impl Normalizer {
                 Core::CastableAs(self.normalize(a)?.boxed(), at, opt)
             }
             Expr::TreatAs(a, ty, _) => Core::TreatAs(self.normalize(a)?.boxed(), ty.clone()),
-            Expr::DirectElement { name, attributes, namespaces, content, .. } => {
+            Expr::DirectElement {
+                name,
+                attributes,
+                namespaces,
+                content,
+                ..
+            } => {
                 let mut items = Vec::new();
                 for (aname, parts) in attributes {
                     items.push(Core::AttrCtor {
@@ -214,7 +271,9 @@ impl Normalizer {
             },
             Expr::ComputedText(e, _) => Core::TextCtor(self.normalize(e)?.boxed()),
             Expr::ComputedComment(e, _) => Core::CommentCtor(self.normalize(e)?.boxed()),
-            Expr::ComputedPi { target, content, .. } => Core::PiCtor {
+            Expr::ComputedPi {
+                target, content, ..
+            } => Core::PiCtor {
                 target: self.normalize_name(target)?,
                 value: match content {
                     Some(c) => self.normalize(c)?.boxed(),
@@ -249,15 +308,23 @@ impl Normalizer {
     fn normalize_predicate(&mut self, input: Core, pred: &Expr) -> Result<Core> {
         // A constant integer predicate is positional selection.
         if let Expr::Literal(AtomicValue::Integer(k), _) = pred {
-            return Ok(Core::PositionConst { input: input.boxed(), position: *k });
+            return Ok(Core::PositionConst {
+                input: input.boxed(),
+                position: *k,
+            });
         }
         let p = self.normalize(pred)?;
-        Ok(Core::Filter { input: input.boxed(), predicate: p.boxed() })
+        Ok(Core::Filter {
+            input: input.boxed(),
+            predicate: p.boxed(),
+        })
     }
 
     fn normalize_call(&mut self, name: &QName, args: &[Expr], pos: usize) -> Result<Core> {
-        let cargs: Vec<Core> =
-            args.iter().map(|a| self.normalize(a)).collect::<Result<_>>()?;
+        let cargs: Vec<Core> = args
+            .iter()
+            .map(|a| self.normalize(a))
+            .collect::<Result<_>>()?;
         // User-declared functions first (they may shadow nothing else —
         // fn: names resolve to the fn namespace, user names elsewhere).
         if let Some(id) = self.find_function(name, args.len()) {
@@ -268,11 +335,7 @@ impl Normalizer {
             if let Some(at) = AtomicType::from_name(&format!("xs:{}", name.local_name())) {
                 if cargs.len() == 1 {
                     let mut it = cargs.into_iter();
-                    return Ok(Core::CastAs(
-                        it.next().expect("one arg").boxed(),
-                        at,
-                        true,
-                    ));
+                    return Ok(Core::CastAs(it.next().expect("one arg").boxed(), at, true));
                 }
             }
             return Err(Error::new(
@@ -315,11 +378,20 @@ impl Normalizer {
         let mut core_clauses = Vec::with_capacity(clauses.len());
         for c in clauses {
             match c {
-                FlworClause::For { var, position, source, .. } => {
+                FlworClause::For {
+                    var,
+                    position,
+                    source,
+                    ..
+                } => {
                     let src = self.normalize(source)?;
                     let v = self.bind(var);
                     let p = position.as_ref().map(|p| self.bind(p));
-                    core_clauses.push(CoreClause::For { var: v, position: p, source: src });
+                    core_clauses.push(CoreClause::For {
+                        var: v,
+                        position: p,
+                        source: src,
+                    });
                 }
                 FlworClause::Let { var, ty, value } => {
                     let mut val = self.normalize(value)?;
@@ -348,7 +420,13 @@ impl Normalizer {
             .collect::<Result<Vec<_>>>()?;
         let body = self.normalize(return_clause)?.boxed();
         self.pop_scope();
-        Ok(Core::OrderedFlwor { clauses: core_clauses, where_clause: wc, order, stable, body })
+        Ok(Core::OrderedFlwor {
+            clauses: core_clauses,
+            where_clause: wc,
+            order,
+            stable,
+            body,
+        })
     }
 
     fn normalize_flwor_plain(
@@ -376,7 +454,12 @@ impl Normalizer {
                 Ok(inner)
             }
             Some((first, rest)) => match first {
-                FlworClause::For { var, position, source, .. } => {
+                FlworClause::For {
+                    var,
+                    position,
+                    source,
+                    ..
+                } => {
                     let src = self.normalize(source)?;
                     self.push_scope();
                     let v = self.bind(var);
@@ -401,7 +484,11 @@ impl Normalizer {
                     let v = self.bind(var);
                     let body = self.normalize_flwor_plain(rest, where_clause, return_clause)?;
                     self.pop_scope();
-                    Ok(Core::Let { var: v, value: val.boxed(), body: body.boxed() })
+                    Ok(Core::Let {
+                        var: v,
+                        value: val.boxed(),
+                        body: body.boxed(),
+                    })
                 }
             },
         }
@@ -434,11 +521,10 @@ impl Normalizer {
 
 fn atomic_of(ty: &SequenceType, pos: usize) -> Result<(AtomicType, bool)> {
     match ty {
-        SequenceType::Of(ItemType::Atomic(at), occ) => {
-            Ok((*at, *occ == Occurrence::Optional))
-        }
-        other => Err(Error::type_error(format!("cast target must be an atomic type, got {other}"))
-            .at(pos)),
+        SequenceType::Of(ItemType::Atomic(at), occ) => Ok((*at, *occ == Occurrence::Optional)),
+        other => Err(
+            Error::type_error(format!("cast target must be an atomic type, got {other}")).at(pos),
+        ),
     }
 }
 
@@ -463,8 +549,11 @@ pub fn normalize_module(module: &ast::Module) -> Result<CoreModule> {
     let mut functions = Vec::new();
     for f in &module.prolog.functions {
         n.push_scope();
-        let params: Vec<(VarId, Option<SequenceType>)> =
-            f.params.iter().map(|(pn, pt)| (n.bind(pn), pt.clone())).collect();
+        let params: Vec<(VarId, Option<SequenceType>)> = f
+            .params
+            .iter()
+            .map(|(pn, pt)| (n.bind(pn), pt.clone()))
+            .collect();
         let body = match &f.body {
             Some(b) => n.normalize(b)?,
             None => {
@@ -483,7 +572,12 @@ pub fn normalize_module(module: &ast::Module) -> Result<CoreModule> {
         });
     }
     let body = n.normalize(&module.body)?;
-    Ok(CoreModule { functions, globals, body, var_count: n.next_var })
+    Ok(CoreModule {
+        functions,
+        globals,
+        body,
+        var_count: n.next_var,
+    })
 }
 
 #[cfg(test)]

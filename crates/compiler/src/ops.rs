@@ -6,9 +6,7 @@
 //! promoted to a common type, do so; if the operator is consistent with
 //! the types, apply it; else throw a type exception."
 
-use xqr_xdm::{
-    AtomicType, AtomicValue, Decimal, Duration, Error, ErrorCode, Result,
-};
+use xqr_xdm::{AtomicType, AtomicValue, Decimal, Duration, Error, ErrorCode, Result};
 use xqr_xqparser::ast::ArithOp;
 
 /// Apply a binary arithmetic operator to two single atomic values.
@@ -20,29 +18,55 @@ pub fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValu
 
     // Date/time ± duration and duration arithmetic first.
     match (&a, &b, op) {
-        (V::Date(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Add) => {
+        (
+            V::Date(d),
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            ArithOp::Add,
+        ) => {
             return Ok(V::Date(d.add_duration(*u)?));
         }
-        (V::Date(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Sub) => {
+        (
+            V::Date(d),
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            ArithOp::Sub,
+        ) => {
             return Ok(V::Date(d.add_duration(u.negate())?));
         }
-        (V::DateTime(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Add) => {
+        (
+            V::DateTime(d),
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            ArithOp::Add,
+        ) => {
             return Ok(V::DateTime(d.add_duration(*u)?));
         }
-        (V::DateTime(d), V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), ArithOp::Sub) => {
+        (
+            V::DateTime(d),
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            ArithOp::Sub,
+        ) => {
             return Ok(V::DateTime(d.add_duration(u.negate())?));
         }
-        (V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), V::Date(d), ArithOp::Add) => {
+        (
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            V::Date(d),
+            ArithOp::Add,
+        ) => {
             return Ok(V::Date(d.add_duration(*u)?));
         }
-        (V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u), V::DateTime(d), ArithOp::Add) => {
+        (
+            V::Duration(u) | V::YearMonthDuration(u) | V::DayTimeDuration(u),
+            V::DateTime(d),
+            ArithOp::Add,
+        ) => {
             return Ok(V::DateTime(d.add_duration(*u)?));
         }
         (V::DateTime(x), V::DateTime(y), ArithOp::Sub) => {
             return Ok(V::DayTimeDuration(x.sub_datetime(y, 0)));
         }
         (V::Date(x), V::Date(y), ArithOp::Sub) => {
-            return Ok(V::DayTimeDuration(x.to_datetime().sub_datetime(&y.to_datetime(), 0)));
+            return Ok(V::DayTimeDuration(
+                x.to_datetime().sub_datetime(&y.to_datetime(), 0),
+            ));
         }
         (
             V::Duration(x) | V::YearMonthDuration(x) | V::DayTimeDuration(x),
@@ -73,7 +97,10 @@ pub fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValu
         {
             let d = b.to_double()?;
             if d == 0.0 {
-                return Err(Error::new(ErrorCode::DivisionByZero, "duration div by zero"));
+                return Err(Error::new(
+                    ErrorCode::DivisionByZero,
+                    "duration div by zero",
+                ));
             }
             return duration_value(x.scale(1.0 / d)?);
         }
@@ -94,9 +121,7 @@ pub fn arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<AtomicValu
 fn duration_value(d: Duration) -> Result<AtomicValue> {
     Ok(if d.is_year_month() && !d.is_day_time() {
         AtomicValue::YearMonthDuration(d)
-    } else if d.is_day_time() && !d.is_year_month() {
-        AtomicValue::DayTimeDuration(d)
-    } else if d.months == 0 && d.millis == 0 {
+    } else if (d.is_day_time() && !d.is_year_month()) || (d.months == 0 && d.millis == 0) {
         AtomicValue::DayTimeDuration(d)
     } else {
         AtomicValue::Duration(d)
@@ -105,11 +130,10 @@ fn duration_value(d: Duration) -> Result<AtomicValue> {
 
 fn promote_untyped(v: &AtomicValue) -> Result<AtomicValue> {
     match v {
-        AtomicValue::UntypedAtomic(s) => {
-            Ok(AtomicValue::Double(xqr_xdm::parse_double(s.trim()).map_err(|_| {
-                Error::value(format!("cannot promote untyped {s:?} to xs:double"))
-            })?))
-        }
+        AtomicValue::UntypedAtomic(s) => Ok(AtomicValue::Double(
+            xqr_xdm::parse_double(s.trim())
+                .map_err(|_| Error::value(format!("cannot promote untyped {s:?} to xs:double")))?,
+        )),
         other => Ok(other.clone()),
     }
 }
@@ -171,9 +195,10 @@ fn numeric_arith(op: ArithOp, a: &AtomicValue, b: &AtomicValue) -> Result<Atomic
                 ArithOp::Div => V::Decimal(x.checked_div(y)?),
                 ArithOp::IDiv => {
                     let q = x.checked_idiv(y)?;
-                    V::Integer(i64::try_from(q).map_err(|_| {
-                        Error::new(ErrorCode::Overflow, "idiv overflow")
-                    })?)
+                    V::Integer(
+                        i64::try_from(q)
+                            .map_err(|_| Error::new(ErrorCode::Overflow, "idiv overflow"))?,
+                    )
                 }
                 ArithOp::Mod => V::Decimal(x.checked_rem(y)?),
             })
@@ -270,9 +295,15 @@ mod tests {
     #[test]
     fn promotion_ladder() {
         let d = V::Decimal(Decimal::parse("1.5").unwrap());
-        assert_eq!(arith(ArithOp::Add, &int(1), &d).unwrap().type_of(), AtomicType::Decimal);
+        assert_eq!(
+            arith(ArithOp::Add, &int(1), &d).unwrap().type_of(),
+            AtomicType::Decimal
+        );
         let f = V::Double(1.0);
-        assert_eq!(arith(ArithOp::Add, &d, &f).unwrap().type_of(), AtomicType::Double);
+        assert_eq!(
+            arith(ArithOp::Add, &d, &f).unwrap().type_of(),
+            AtomicType::Double
+        );
     }
 
     #[test]

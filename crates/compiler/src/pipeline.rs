@@ -20,7 +20,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { rewrite: RewriteConfig::all(), static_typing: false }
+        CompileOptions {
+            rewrite: RewriteConfig::all(),
+            static_typing: false,
+        }
     }
 }
 
@@ -46,12 +49,20 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<CompiledQuery> 
     let body_type = check_module(&module, options.static_typing)?;
     let stats = optimize_module(&mut module, &options.rewrite);
     let needs_node_ids = needs_node_identity(&module.body)
-        || module.functions.iter().any(|f| needs_node_identity(&f.body))
+        || module
+            .functions
+            .iter()
+            .any(|f| needs_node_identity(&f.body))
         || module
             .globals
             .iter()
             .any(|(_, _, v)| v.as_ref().map(needs_node_identity).unwrap_or(false));
-    Ok(CompiledQuery { module, body_type, stats, needs_node_ids })
+    Ok(CompiledQuery {
+        module,
+        body_type,
+        stats,
+        needs_node_ids,
+    })
 }
 
 #[cfg(test)]
@@ -67,7 +78,10 @@ mod tests {
 
     #[test]
     fn optimization_can_be_disabled() {
-        let off = CompileOptions { rewrite: RewriteConfig::none(), ..Default::default() };
+        let off = CompileOptions {
+            rewrite: RewriteConfig::none(),
+            ..Default::default()
+        };
         let q = compile("1 + 2", &off).unwrap();
         assert!(q.stats.is_empty());
     }
@@ -82,7 +96,10 @@ mod tests {
 
     #[test]
     fn static_typing_strict_errors() {
-        let strict = CompileOptions { static_typing: true, ..Default::default() };
+        let strict = CompileOptions {
+            static_typing: true,
+            ..Default::default()
+        };
         assert!(compile("\"a\" + 1", &strict).is_err());
         assert!(compile("\"a\" + 1", &CompileOptions::default()).is_ok());
     }

@@ -11,13 +11,15 @@
 //! [`RewriteConfig`] switches whole rule families on/off so the ablation
 //! experiment (E7) can measure each family's contribution.
 
-use crate::analysis::{can_raise_error, creates_nodes, order_facts_with, OrderFacts, var_use, UseCount};
+use crate::analysis::{
+    can_raise_error, creates_nodes, order_facts_with, var_use, OrderFacts, UseCount,
+};
 use crate::core_expr::*;
 use crate::ops;
 use crate::typing::{infer, TypeEnv};
 use std::collections::HashMap;
 use xqr_xdm::{AtomicValue, SequenceType};
-use xqr_xqparser::ast::{AxisName, CompOp, NodeTest};
+use xqr_xqparser::ast::{ArithOp, AxisName, CompOp, NodeTest};
 
 /// Which rule families run. `all()` is the production default; the
 /// ablation benches switch families off one at a time.
@@ -39,6 +41,12 @@ pub struct RewriteConfig {
     pub boolean_rewrites: bool,
     /// Upper bound on full bottom-up passes.
     pub max_passes: usize,
+    /// Test-only fault injection for the differential fuzz harness's
+    /// mutation sanity check: constant folding of an integer `a - b`
+    /// deliberately computes `b - a`. A correct differential oracle must
+    /// flag this miscompile within a few hundred generated cases. Never
+    /// set outside the harness.
+    pub debug_miscompile_sub: bool,
 }
 
 impl RewriteConfig {
@@ -57,6 +65,7 @@ impl RewriteConfig {
             type_rewrites: true,
             boolean_rewrites: true,
             max_passes: 8,
+            debug_miscompile_sub: false,
         }
     }
 
@@ -75,6 +84,7 @@ impl RewriteConfig {
             type_rewrites: false,
             boolean_rewrites: false,
             max_passes: 1,
+            debug_miscompile_sub: false,
         }
     }
 
@@ -169,7 +179,12 @@ impl<'a> Optimizer<'a> {
         let mut changed = false;
         // Record binder facts for the children we are about to visit.
         let bound: Vec<(VarId, Option<OrderFacts>)> = match &e {
-            Core::For { var, position, source, .. } => {
+            Core::For {
+                var,
+                position,
+                source,
+                ..
+            } => {
                 let mut v = vec![(*var, self.var_facts.insert(*var, OrderFacts::SINGLE))];
                 let _ = source;
                 if let Some(p) = position {
@@ -291,6 +306,16 @@ impl<'a> Optimizer<'a> {
         match e {
             Core::Arith(op, a, b) => {
                 if let (Core::Const(x), Core::Const(y)) = (&**a, &**b) {
+                    // The harness's mutation sanity check: fold integer
+                    // subtraction with the operands swapped.
+                    let (x, y) = if self.config.debug_miscompile_sub
+                        && *op == ArithOp::Sub
+                        && matches!((x, y), (AtomicValue::Integer(_), AtomicValue::Integer(_)))
+                    {
+                        (y, x)
+                    } else {
+                        (x, y)
+                    };
                     // Fold only when the operation succeeds; a constant
                     // error stays for the runtime to raise (lazily).
                     if let Ok(v) = ops::arith(*op, x, y) {
@@ -348,7 +373,11 @@ impl<'a> Optimizer<'a> {
                 }
                 _ => None,
             },
-            Core::If { cond, then_branch, else_branch } => match &**cond {
+            Core::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => match &**cond {
                 Core::Const(AtomicValue::Boolean(true)) => {
                     self.fired("constant-fold-if");
                     Some((**then_branch).clone())
@@ -361,7 +390,10 @@ impl<'a> Optimizer<'a> {
             },
             Core::Seq(items) => {
                 // Flatten nested sequences, drop empties, unwrap singles.
-                if items.iter().any(|i| matches!(i, Core::Seq(_) | Core::Empty)) {
+                if items
+                    .iter()
+                    .any(|i| matches!(i, Core::Seq(_) | Core::Empty))
+                {
                     let mut flat = Vec::with_capacity(items.len());
                     for i in items {
                         match i {
@@ -441,7 +473,10 @@ impl<'a> Optimizer<'a> {
                 Some(Core::Const(AtomicValue::Boolean(false)))
             }
             "concat" => {
-                if args.iter().all(|a| matches!(a, Core::Const(_) | Core::Empty)) {
+                if args
+                    .iter()
+                    .all(|a| matches!(a, Core::Const(_) | Core::Empty))
+                {
                     let mut s = String::new();
                     for a in args {
                         if let Core::Const(v) = a {
@@ -529,8 +564,18 @@ impl<'a> Optimizer<'a> {
                     Some((**inner).clone())
                 }
                 Core::Builtin(n, _)
-                    if matches!(*n, "not" | "empty" | "exists" | "contains" | "starts-with"
-                        | "ends-with" | "deep-equal" | "true" | "false") =>
+                    if matches!(
+                        *n,
+                        "not"
+                            | "empty"
+                            | "exists"
+                            | "contains"
+                            | "starts-with"
+                            | "ends-with"
+                            | "deep-equal"
+                            | "true"
+                            | "false"
+                    ) =>
                 {
                     self.fired("ebv-unwrap");
                     Some((**inner).clone())
@@ -563,7 +608,9 @@ impl<'a> Optimizer<'a> {
     /// never inline node constructors ("NO! Side effects."); inline
     /// trivially or when used once outside a loop.
     fn let_fold(&mut self, e: &Core) -> Option<Core> {
-        let Core::Let { var, value, body } = e else { return None };
+        let Core::Let { var, value, body } = e else {
+            return None;
+        };
         // A let whose value is a filtered inner loop keyed on a free
         // variable is a group-join candidate: leave it for
         // `detect_group_join` (which fires at the enclosing `for`).
@@ -580,8 +627,7 @@ impl<'a> Optimizer<'a> {
             return None;
         }
         let trivial = matches!(&**value, Core::Const(_) | Core::Var(_) | Core::Empty);
-        let inline = trivial
-            || (uses == UseCount::Once && !creates_nodes(value));
+        let inline = trivial || (uses == UseCount::Once && !creates_nodes(value));
         if inline && !creates_nodes(value) {
             self.fired("let-fold");
             return Some(substitute(body, *var, value));
@@ -592,7 +638,15 @@ impl<'a> Optimizer<'a> {
     // ---- FOR simplification ------------------------------------------------------
 
     fn for_simplify(&mut self, e: &Core) -> Option<Core> {
-        let Core::For { var, position, source, body } = e else { return None };
+        let Core::For {
+            var,
+            position,
+            source,
+            body,
+        } = e
+        else {
+            return None;
+        };
         match &**source {
             Core::Empty => {
                 self.fired("for-over-empty");
@@ -625,7 +679,12 @@ impl<'a> Optimizer<'a> {
             }
             // for $x in (for $y in S return B) return C
             //   → for $y in S return (for $x in B return C)
-            Core::For { var: v2, position: None, source: s2, body: b2 } => {
+            Core::For {
+                var: v2,
+                position: None,
+                source: s2,
+                body: b2,
+            } => {
                 self.fired("for-unnest");
                 return Some(Core::For {
                     var: *v2,
@@ -641,7 +700,11 @@ impl<'a> Optimizer<'a> {
                 });
             }
             // for $x in (let $y := V return B) → let $y := V for $x in B
-            Core::Let { var: v2, value, body: b2 } => {
+            Core::Let {
+                var: v2,
+                value,
+                body: b2,
+            } => {
                 self.fired("for-source-let-hoist");
                 return Some(Core::Let {
                     var: *v2,
@@ -670,11 +733,17 @@ impl<'a> Optimizer<'a> {
                     && !uses_var(step, *var)
                     && matches!(
                         &**step,
-                        Core::Step { axis: AxisName::Child | AxisName::Attribute | AxisName::SelfAxis, .. }
+                        Core::Step {
+                            axis: AxisName::Child | AxisName::Attribute | AxisName::SelfAxis,
+                            ..
+                        }
                     )
                 {
                     self.fired("for-to-path");
-                    return Some(Core::PathMap { input: source.clone(), step: step.clone() });
+                    return Some(Core::PathMap {
+                        input: source.clone(),
+                        step: step.clone(),
+                    });
                 }
             }
         }
@@ -688,8 +757,23 @@ impl<'a> Optimizer<'a> {
     /// The talk's caveat: hoisting *evaluates* C even when S is empty, so
     /// C must be provably error-free and side-effect-free.
     fn where_hoist(&mut self, e: &Core) -> Option<Core> {
-        let Core::For { var, position, source, body } = e else { return None };
-        let Core::If { cond, then_branch, else_branch } = &**body else { return None };
+        let Core::For {
+            var,
+            position,
+            source,
+            body,
+        } = e
+        else {
+            return None;
+        };
+        let Core::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &**body
+        else {
+            return None;
+        };
         if !matches!(&**else_branch, Core::Empty) {
             return None;
         }
@@ -733,7 +817,15 @@ impl<'a> Optimizer<'a> {
     /// evaluation — otherwise dataflow analysis and error analysis
     /// required" — we do the analysis).
     fn loop_hoist(&mut self, e: &Core) -> Option<Core> {
-        let Core::For { var, position, source, body } = e else { return None };
+        let Core::For {
+            var,
+            position,
+            source,
+            body,
+        } = e
+        else {
+            return None;
+        };
         let mut loop_vars = vec![*var];
         if let Some(p) = position {
             loop_vars.push(*p);
@@ -791,34 +883,62 @@ impl<'a> Optimizer<'a> {
         //     created by normalization is consumed under a Ddo, and both
         //     forms denote the same node *set*.
         if let Core::PathMap { input, step } = e {
-            if let Core::Step { axis: AxisName::Child, test } = &**step {
+            if let Core::Step {
+                axis: AxisName::Child,
+                test,
+            } = &**step
+            {
                 let inner = match &**input {
                     Core::Ddo(i) => i,
                     other => other,
                 };
-                if let Core::PathMap { input: x, step: dos } = inner {
+                if let Core::PathMap {
+                    input: x,
+                    step: dos,
+                } = inner
+                {
                     if matches!(
                         &**dos,
-                        Core::Step { axis: AxisName::DescendantOrSelf, test: NodeTest::AnyKind }
+                        Core::Step {
+                            axis: AxisName::DescendantOrSelf,
+                            test: NodeTest::AnyKind
+                        }
                     ) {
                         self.fired("dos-collapse");
                         return Some(Core::PathMap {
                             input: x.clone(),
-                            step: Core::Step { axis: AxisName::Descendant, test: test.clone() }
-                                .boxed(),
+                            step: Core::Step {
+                                axis: AxisName::Descendant,
+                                test: test.clone(),
+                            }
+                            .boxed(),
                         });
                     }
                 }
             }
             // (2) parent-after-child collapse ("dealing with backwards
             //     navigation"): x/child::t/parent::node() → x[child::t].
-            if let Core::Step { axis: AxisName::Parent, test: NodeTest::AnyKind } = &**step {
+            if let Core::Step {
+                axis: AxisName::Parent,
+                test: NodeTest::AnyKind,
+            } = &**step
+            {
                 let inner = match &**input {
                     Core::Ddo(i) => i,
                     other => other,
                 };
-                if let Core::PathMap { input: x, step: child } = inner {
-                    if matches!(&**child, Core::Step { axis: AxisName::Child, .. }) {
+                if let Core::PathMap {
+                    input: x,
+                    step: child,
+                } = inner
+                {
+                    if matches!(
+                        &**child,
+                        Core::Step {
+                            axis: AxisName::Child,
+                            ..
+                        }
+                    ) {
                         self.fired("parent-collapse");
                         return Some(Core::Filter {
                             input: x.clone(),
@@ -851,7 +971,9 @@ impl<'a> Optimizer<'a> {
     const INLINE_SIZE_LIMIT: usize = 60;
 
     fn inline_function(&mut self, e: &Core) -> Option<Core> {
-        let Core::UserCall(fid, args) = e else { return None };
+        let Core::UserCall(fid, args) = e else {
+            return None;
+        };
         if self.recursive.get(fid.0 as usize).copied().unwrap_or(true) {
             return None;
         }
@@ -884,7 +1006,11 @@ impl<'a> Optimizer<'a> {
                 Some(ty) => Core::TreatAs(arg.clone().boxed(), ty.clone()),
                 None => arg.clone(),
             };
-            out = Core::Let { var: *pvar, value: value.boxed(), body: out.boxed() };
+            out = Core::Let {
+                var: *pvar,
+                value: value.boxed(),
+                body: out.boxed(),
+            };
         }
         Some(out)
     }
@@ -895,14 +1021,35 @@ impl<'a> Optimizer<'a> {
     /// with B independent of `$x`, `$k1` over `$x`, `$k2` over `$y`
     /// → hash join (the talk's "join ordering" family).
     fn detect_join(&mut self, e: &Core) -> Option<Core> {
-        let Core::For { var: x, position: None, source: a, body } = e else { return None };
-        let Core::For { var: y, position: None, source: b, body: inner } = &**body else {
+        let Core::For {
+            var: x,
+            position: None,
+            source: a,
+            body,
+        } = e
+        else {
+            return None;
+        };
+        let Core::For {
+            var: y,
+            position: None,
+            source: b,
+            body: inner,
+        } = &**body
+        else {
             return None;
         };
         if uses_var(b, *x) {
             return None;
         }
-        let Core::If { cond, then_branch, else_branch } = &**inner else { return None };
+        let Core::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &**inner
+        else {
+            return None;
+        };
         if !matches!(&**else_branch, Core::Empty) {
             return None;
         }
@@ -922,12 +1069,18 @@ impl<'a> Optimizer<'a> {
                 };
                 if let Core::Compare(op, k1, k2) = cmp {
                     if matches!(op, CompOp::GenEq | CompOp::ValEq) {
-                        if uses_var(k1, *x) && !uses_var(k1, *y) && uses_var(k2, *y) && !uses_var(k2, *x)
+                        if uses_var(k1, *x)
+                            && !uses_var(k1, *y)
+                            && uses_var(k2, *y)
+                            && !uses_var(k2, *x)
                         {
                             key = Some((k1, k2));
                             continue;
                         }
-                        if uses_var(k2, *x) && !uses_var(k2, *y) && uses_var(k1, *y) && !uses_var(k1, *x)
+                        if uses_var(k2, *x)
+                            && !uses_var(k2, *y)
+                            && uses_var(k1, *y)
+                            && !uses_var(k1, *x)
                         {
                             key = Some((k2, k1));
                             continue;
@@ -949,9 +1102,7 @@ impl<'a> Optimizer<'a> {
         } else {
             let mut cond_iter = residual.into_iter().cloned();
             let first = cond_iter.next().expect("non-empty residual");
-            let combined = cond_iter.fold(first, |acc, c| {
-                Core::And(acc.boxed(), c.boxed())
-            });
+            let combined = cond_iter.fold(first, |acc, c| Core::And(acc.boxed(), c.boxed()));
             Core::If {
                 cond: combined.boxed(),
                 then_branch: then_branch.clone(),
@@ -977,18 +1128,43 @@ impl<'a> Optimizer<'a> {
     /// becomes a hash **group** join: T is scanned and hashed once, the
     /// matches (mapped through R) bind to `$a` per outer item.
     fn detect_group_join(&mut self, e: &Core) -> Option<Core> {
-        let Core::For { var: p, position: None, source: outer_src, body } = e else {
+        let Core::For {
+            var: p,
+            position: None,
+            source: outer_src,
+            body,
+        } = e
+        else {
             return None;
         };
-        let Core::Let { var: a, value, body: let_body } = &**body else { return None };
-        let Core::For { var: t, position: None, source: inner_src, body: inner_body } = &**value
+        let Core::Let {
+            var: a,
+            value,
+            body: let_body,
+        } = &**body
+        else {
+            return None;
+        };
+        let Core::For {
+            var: t,
+            position: None,
+            source: inner_src,
+            body: inner_body,
+        } = &**value
         else {
             return None;
         };
         if uses_var(inner_src, *p) {
             return None;
         }
-        let Core::If { cond, then_branch, else_branch } = &**inner_body else { return None };
+        let Core::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &**inner_body
+        else {
+            return None;
+        };
         if !matches!(&**else_branch, Core::Empty) {
             return None;
         }
@@ -996,18 +1172,21 @@ impl<'a> Optimizer<'a> {
             Core::Ebv(c) => &**c,
             other => other,
         };
-        let Core::Compare(op, k1, k2) = cmp else { return None };
+        let Core::Compare(op, k1, k2) = cmp else {
+            return None;
+        };
         if !matches!(op, CompOp::GenEq | CompOp::ValEq) {
             return None;
         }
-        let (okey, ikey) = if uses_var(k1, *p) && !uses_var(k1, *t) && uses_var(k2, *t) && !uses_var(k2, *p)
-        {
-            (k1, k2)
-        } else if uses_var(k2, *p) && !uses_var(k2, *t) && uses_var(k1, *t) && !uses_var(k1, *p) {
-            (k2, k1)
-        } else {
-            return None;
-        };
+        let (okey, ikey) =
+            if uses_var(k1, *p) && !uses_var(k1, *t) && uses_var(k2, *t) && !uses_var(k2, *p) {
+                (k1, k2)
+            } else if uses_var(k2, *p) && !uses_var(k2, *t) && uses_var(k1, *t) && !uses_var(k1, *p)
+            {
+                (k2, k1)
+            } else {
+                return None;
+            };
         if creates_nodes(okey) || creates_nodes(ikey) || creates_nodes(inner_src) {
             return None;
         }
@@ -1026,7 +1205,10 @@ impl<'a> Optimizer<'a> {
             inner: inner_src.clone(),
             outer_key: okey.clone().boxed(),
             inner_key: ikey.clone().boxed(),
-            group: Some(GroupSpec { let_var: *a, match_body: then_branch.clone() }),
+            group: Some(GroupSpec {
+                let_var: *a,
+                match_body: then_branch.clone(),
+            }),
             body: let_body.clone(),
         })
     }
@@ -1036,7 +1218,14 @@ impl<'a> Optimizer<'a> {
     /// inner hash table once per FLWOR evaluation instead of rescanning
     /// per tuple.
     fn decorrelate_flwor(&mut self, e: &Core) -> Option<Core> {
-        let Core::OrderedFlwor { clauses, where_clause, order, stable, body } = e else {
+        let Core::OrderedFlwor {
+            clauses,
+            where_clause,
+            order,
+            stable,
+            body,
+        } = e
+        else {
             return None;
         };
         // Variables bound by this FLWOR's clauses (the inner side must
@@ -1068,11 +1257,21 @@ impl<'a> Optimizer<'a> {
             // clauses ahead of the GroupLet.
             let mut lifted: Vec<(VarId, Core)> = Vec::new();
             let mut cursor: &Core = value;
-            while let Core::Let { var: lv, value: lval, body: lbody } = cursor {
+            while let Core::Let {
+                var: lv,
+                value: lval,
+                body: lbody,
+            } = cursor
+            {
                 lifted.push((*lv, (**lval).clone()));
                 cursor = lbody;
             }
-            let Core::For { var: t, position: None, source: inner_src, body: inner_body } = cursor
+            let Core::For {
+                var: t,
+                position: None,
+                source: inner_src,
+                body: inner_body,
+            } = cursor
             else {
                 new_clauses.push(push_original());
                 continue;
@@ -1083,7 +1282,12 @@ impl<'a> Optimizer<'a> {
                 new_clauses.push(push_original());
                 continue;
             }
-            let Core::If { cond, then_branch, else_branch } = &**inner_body else {
+            let Core::If {
+                cond,
+                then_branch,
+                else_branch,
+            } = &**inner_body
+            else {
                 new_clauses.push(push_original());
                 continue;
             };
@@ -1125,7 +1329,10 @@ impl<'a> Optimizer<'a> {
             changed = true;
             self.fired("flwor-decorrelate");
             for (lv, lval) in lifted {
-                new_clauses.push(CoreClause::Let { var: lv, value: lval });
+                new_clauses.push(CoreClause::Let {
+                    var: lv,
+                    value: lval,
+                });
             }
             new_clauses.push(CoreClause::GroupLet {
                 var: *var,
@@ -1191,7 +1398,11 @@ impl<'a> Optimizer<'a> {
         let nv = self.fresh();
         let replaced = replace_subexpr(e, &sub, nv);
         self.fired("cse-factor");
-        Some(Core::Let { var: nv, value: sub.boxed(), body: replaced.boxed() })
+        Some(Core::Let {
+            var: nv,
+            value: sub.boxed(),
+            body: replaced.boxed(),
+        })
     }
 
     // ---- type-based rewrites ---------------------------------------------------------------------
@@ -1247,14 +1458,24 @@ fn uses_context(e: &Core) -> bool {
     match e {
         Core::ContextItem | Core::Root | Core::Step { .. } => true,
         Core::Builtin(n, args) => {
-            matches!(*n, "position" | "last" | "string" | "number" | "name" | "local-name"
-                | "namespace-uri" | "normalize-space" | "string-length")
-                && args.is_empty()
+            matches!(
+                *n,
+                "position"
+                    | "last"
+                    | "string"
+                    | "number"
+                    | "name"
+                    | "local-name"
+                    | "namespace-uri"
+                    | "normalize-space"
+                    | "string-length"
+            ) && args.is_empty()
                 || args.iter().any(uses_context)
         }
         // PathMap/Filter rebind the context for their step/predicate;
         // only the input's context sensitivity leaks out.
-        Core::PathMap { input, .. } | Core::Filter { input, .. }
+        Core::PathMap { input, .. }
+        | Core::Filter { input, .. }
         | Core::PositionConst { input, .. } => uses_context(input),
         _ => {
             let mut any = false;
@@ -1268,8 +1489,21 @@ fn uses_context(e: &Core) -> bool {
 /// `for $t in T return if (k1 = k2) then R else ()` with the equality
 /// splitting between `$t` and some free variable?
 fn is_join_candidate_value(value: &Core) -> bool {
-    let Core::For { var: t, position: None, body, .. } = value else { return false };
-    let Core::If { cond, else_branch, .. } = &**body else { return false };
+    let Core::For {
+        var: t,
+        position: None,
+        body,
+        ..
+    } = value
+    else {
+        return false;
+    };
+    let Core::If {
+        cond, else_branch, ..
+    } = &**body
+    else {
+        return false;
+    };
     if !matches!(&**else_branch, Core::Empty) {
         return false;
     }
@@ -1277,7 +1511,9 @@ fn is_join_candidate_value(value: &Core) -> bool {
         Core::Ebv(c) => &**c,
         other => other,
     };
-    let Core::Compare(op, k1, k2) = cmp else { return false };
+    let Core::Compare(op, k1, k2) = cmp else {
+        return false;
+    };
     if !matches!(op, CompOp::GenEq | CompOp::ValEq) {
         return false;
     }
@@ -1375,6 +1611,7 @@ fn compute_recursive(functions: &[CoreFunction]) -> Vec<bool> {
         visit(&f.body, &mut reach[i]);
     }
     // Transitive closure (n is tiny).
+    #[allow(clippy::needless_range_loop)] // reach[i] and reach[k] alias the same vec
     for k in 0..n {
         for i in 0..n {
             if reach[i][k] {
@@ -1491,10 +1728,8 @@ mod tests {
 
     #[test]
     fn for_unnesting() {
-        let (e, stats) = opt(
-            "declare variable $s external;
-             for $x in (for $y in $s return $y) return $x",
-        );
+        let (e, stats) = opt("declare variable $s external;
+             for $x in (for $y in $s return $y) return $x");
         // collapses to $s eventually
         assert!(matches!(e, Core::Var(_)), "{e:?}");
         let _ = stats;
@@ -1512,10 +1747,8 @@ mod tests {
 
     #[test]
     fn where_hoisting_blocked_by_errors() {
-        let (_, stats) = opt(
-            "declare variable $s external; declare variable $n external;
-             for $x in $s where (1 idiv $n) eq 1 return $x",
-        );
+        let (_, stats) = opt("declare variable $s external; declare variable $n external;
+             for $x in $s where (1 idiv $n) eq 1 return $x");
         assert!(!stats.contains_key("where-hoist"));
     }
 
@@ -1524,7 +1757,13 @@ mod tests {
         let (e, stats) = opt("//book");
         assert!(stats.contains_key("dos-collapse"), "{stats:?}");
         fn has_descendant(e: &Core) -> bool {
-            if matches!(e, Core::Step { axis: AxisName::Descendant, .. }) {
+            if matches!(
+                e,
+                Core::Step {
+                    axis: AxisName::Descendant,
+                    ..
+                }
+            ) {
                 return true;
             }
             let mut f = false;
@@ -1551,7 +1790,10 @@ mod tests {
 
     #[test]
     fn ddo_kept_when_order_unknown() {
-        let e = opt_with("declare variable $s external; $s//a//b", &RewriteConfig::all());
+        let e = opt_with(
+            "declare variable $s external; $s//a//b",
+            &RewriteConfig::all(),
+        );
         fn count_ddo(e: &Core) -> usize {
             let mut n = matches!(e, Core::Ddo(_)) as usize;
             e.for_each_child(&mut |c| n += count_ddo(c));
@@ -1587,12 +1829,10 @@ mod tests {
 
     #[test]
     fn recursive_functions_not_inlined() {
-        let (e, stats) = opt(
-            "declare function local:f($n as xs:integer) as xs:integer {
+        let (e, stats) = opt("declare function local:f($n as xs:integer) as xs:integer {
                if ($n le 0) then 0 else local:f($n - 1)
              };
-             local:f(3)",
-        );
+             local:f(3)");
         assert!(!stats.contains_key("function-inline"));
         assert!(matches!(e, Core::UserCall(..)));
     }
@@ -1620,11 +1860,12 @@ mod tests {
     #[test]
     fn loop_invariant_hoisting() {
         // The talk's unfolding example: ($input + 2) moves out of the loop.
-        let (e, stats) = opt(
-            "declare variable $input external;
-             for $x in (1 to 10) return count(($input, $input, $input)) + $x",
+        let (e, stats) = opt("declare variable $input external;
+             for $x in (1 to 10) return count(($input, $input, $input)) + $x");
+        assert!(
+            stats.contains_key("loop-invariant-hoist"),
+            "{stats:?}\n{e:?}"
         );
-        assert!(stats.contains_key("loop-invariant-hoist"), "{stats:?}\n{e:?}");
         // Result shape: Let above the For.
         fn let_above_for(e: &Core) -> bool {
             match e {
@@ -1644,16 +1885,12 @@ mod tests {
     #[test]
     fn loop_hoisting_blocked_by_errors_and_loop_vars() {
         // Errors must not be speculated.
-        let (_, stats) = opt(
-            "declare variable $input external;
-             for $x in (1 to 10) return ($input idiv 0) + $x",
-        );
+        let (_, stats) = opt("declare variable $input external;
+             for $x in (1 to 10) return ($input idiv 0) + $x");
         assert!(!stats.contains_key("loop-invariant-hoist"), "{stats:?}");
         // Sub-expressions using the loop variable stay put.
-        let (_, stats) = opt(
-            "declare variable $input external;
-             for $x in (1 to 10) return count(($input, $x, $input, $x, $input))",
-        );
+        let (_, stats) = opt("declare variable $input external;
+             for $x in (1 to 10) return count(($input, $x, $input, $x, $input))");
         assert!(!stats.contains_key("loop-invariant-hoist"), "{stats:?}");
     }
 
@@ -1734,7 +1971,10 @@ mod tests {
         assert!(stats.contains_key("flwor-decorrelate"), "{stats:?}\n{e:?}");
         fn has_group_let(e: &Core) -> bool {
             if let Core::OrderedFlwor { clauses, .. } = e {
-                if clauses.iter().any(|c| matches!(c, CoreClause::GroupLet { .. })) {
+                if clauses
+                    .iter()
+                    .any(|c| matches!(c, CoreClause::GroupLet { .. }))
+                {
                     return true;
                 }
             }
@@ -1747,10 +1987,8 @@ mod tests {
 
     #[test]
     fn cse_factors_repeated_subexpression() {
-        let (e, stats) = opt(
-            "declare variable $d external;
-             if (count($d/a/b) gt 1) then count($d/a/b) else 0",
-        );
+        let (e, stats) = opt("declare variable $d external;
+             if (count($d/a/b) gt 1) then count($d/a/b) else 0");
         assert!(stats.contains_key("cse-factor"), "{stats:?}\n{e:?}");
         assert!(matches!(e, Core::Let { .. }), "{e:?}");
     }

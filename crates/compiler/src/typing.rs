@@ -11,9 +11,7 @@
 
 use crate::core_expr::*;
 use std::collections::HashMap;
-use xqr_xdm::{
-    AtomicType, Error, ItemType, NameTest, NodeKind, Occurrence, Result, SequenceType,
-};
+use xqr_xdm::{AtomicType, Error, ItemType, NameTest, NodeKind, Occurrence, Result, SequenceType};
 use xqr_xqparser::ast::{AxisName, CompOp, NodeTest};
 
 /// Typing environment: register types plus the function table.
@@ -27,11 +25,21 @@ pub struct TypeEnv<'a> {
 
 impl<'a> TypeEnv<'a> {
     pub fn new(functions: &'a [CoreFunction]) -> Self {
-        TypeEnv { functions, vars: HashMap::new(), errors: Vec::new(), strict: false }
+        TypeEnv {
+            functions,
+            vars: HashMap::new(),
+            errors: Vec::new(),
+            strict: false,
+        }
     }
 
     pub fn strict(functions: &'a [CoreFunction]) -> Self {
-        TypeEnv { functions, vars: HashMap::new(), errors: Vec::new(), strict: true }
+        TypeEnv {
+            functions,
+            vars: HashMap::new(),
+            errors: Vec::new(),
+            strict: true,
+        }
     }
 
     pub fn bind(&mut self, var: VarId, ty: SequenceType) {
@@ -93,12 +101,14 @@ fn step_item_type(axis: AxisName, test: &NodeTest) -> ItemType {
         NodeTest::Comment => ItemType::Kind(NodeKind::Comment, NameTest::Any),
         NodeTest::Pi(_) => ItemType::Kind(NodeKind::ProcessingInstruction, NameTest::Any),
         NodeTest::Document => ItemType::Kind(NodeKind::Document, NameTest::Any),
-        NodeTest::Element(n) => {
-            ItemType::Kind(NodeKind::Element, n.clone().map_or(NameTest::Any, NameTest::Name))
-        }
-        NodeTest::Attribute(n) => {
-            ItemType::Kind(NodeKind::Attribute, n.clone().map_or(NameTest::Any, NameTest::Name))
-        }
+        NodeTest::Element(n) => ItemType::Kind(
+            NodeKind::Element,
+            n.clone().map_or(NameTest::Any, NameTest::Name),
+        ),
+        NodeTest::Attribute(n) => ItemType::Kind(
+            NodeKind::Attribute,
+            n.clone().map_or(NameTest::Any, NameTest::Name),
+        ),
     }
 }
 
@@ -116,13 +126,16 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
             }
             ty
         }
-        Range(_, _) => {
-            SequenceType::zero_or_more(ItemType::Atomic(AtomicType::Integer))
-        }
+        Range(_, _) => SequenceType::zero_or_more(ItemType::Atomic(AtomicType::Integer)),
         Var(v) => env.var_type(*v),
         ContextItem => SequenceType::one(ItemType::AnyItem),
         Root => SequenceType::one(ItemType::Kind(NodeKind::Document, NameTest::Any)),
-        For { var, position, source, body } => {
+        For {
+            var,
+            position,
+            source,
+            body,
+        } => {
             let src = infer(source, env);
             env.bind(*var, src.item_one());
             if let Some(p) = position {
@@ -140,7 +153,11 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
             let mut multiplier = Occurrence::One;
             for c in clauses {
                 match c {
-                    CoreClause::For { var, position, source } => {
+                    CoreClause::For {
+                        var,
+                        position,
+                        source,
+                    } => {
                         let src = infer(source, env);
                         env.bind(*var, src.item_one());
                         if let Some(p) = position {
@@ -156,7 +173,13 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
                         let v = infer(value, env);
                         env.bind(*var, v);
                     }
-                    CoreClause::GroupLet { var, inner_var, inner, match_body, .. } => {
+                    CoreClause::GroupLet {
+                        var,
+                        inner_var,
+                        inner,
+                        match_body,
+                        ..
+                    } => {
                         let it = infer(inner, env);
                         env.bind(*inner_var, it.item_one());
                         let mt = infer(match_body, env);
@@ -175,7 +198,11 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
                 SequenceType::Of(item, _) => SequenceType::zero_or_more(item),
             }
         }
-        If { then_branch, else_branch, .. } => {
+        If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             let t = infer(then_branch, env);
             let f = infer(else_branch, env);
             t.union(&f)
@@ -276,7 +303,11 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
             match t {
                 SequenceType::Empty => SequenceType::Empty,
                 SequenceType::Of(item, occ) => {
-                    let item = if item.is_node_type() { item } else { ItemType::AnyNode };
+                    let item = if item.is_node_type() {
+                        item
+                    } else {
+                        ItemType::AnyNode
+                    };
                     SequenceType::Of(item, occ)
                 }
             }
@@ -314,7 +345,12 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
             }
         }
         TreatAs(_, ty) => ty.clone(),
-        Typeswitch { operand, cases, default_var, default_body } => {
+        Typeswitch {
+            operand,
+            cases,
+            default_var,
+            default_body,
+        } => {
             let op_ty = infer(operand, env);
             let mut result: Option<SequenceType> = None;
             for c in cases {
@@ -340,11 +376,20 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
         AttrCtor { .. } => SequenceType::one(ItemType::attribute(None)),
         TextCtor(_) => SequenceType::one(ItemType::Kind(NodeKind::Text, NameTest::Any)),
         CommentCtor(_) => SequenceType::one(ItemType::Kind(NodeKind::Comment, NameTest::Any)),
-        PiCtor { .. } => {
-            SequenceType::one(ItemType::Kind(NodeKind::ProcessingInstruction, NameTest::Any))
-        }
+        PiCtor { .. } => SequenceType::one(ItemType::Kind(
+            NodeKind::ProcessingInstruction,
+            NameTest::Any,
+        )),
         DocCtor(_) => SequenceType::one(ItemType::Kind(NodeKind::Document, NameTest::Any)),
-        HashJoin { outer_var, outer, inner_var, inner, group, body, .. } => {
+        HashJoin {
+            outer_var,
+            outer,
+            inner_var,
+            inner,
+            group,
+            body,
+            ..
+        } => {
             let ot = infer(outer, env);
             env.bind(*outer_var, ot.item_one());
             let it = infer(inner, env);
@@ -371,21 +416,29 @@ fn builtin_type(name: &str, args: &[Core], env: &mut TypeEnv<'_>) -> SequenceTyp
     use AtomicType::*;
     match name {
         "count" | "string-length" | "position" | "last" => atomic(Integer),
-        "string" | "name" | "local-name" | "namespace-uri" | "concat" | "string-join"
-        | "upper-case" | "lower-case" | "normalize-space" | "translate" | "substring"
-        | "substring-before" | "substring-after" | "codepoints-to-string" | "replace" => {
-            atomic(String)
-        }
+        "string"
+        | "name"
+        | "local-name"
+        | "namespace-uri"
+        | "concat"
+        | "string-join"
+        | "upper-case"
+        | "lower-case"
+        | "normalize-space"
+        | "translate"
+        | "substring"
+        | "substring-before"
+        | "substring-after"
+        | "codepoints-to-string"
+        | "replace" => atomic(String),
         "empty" | "exists" | "not" | "true" | "false" | "contains" | "starts-with"
         | "ends-with" | "deep-equal" | "boolean" | "matches" => atomic(Boolean),
-        "abs" | "ceiling" | "floor" | "round" | "round-half-to-even" => {
-            match arg_types.first() {
-                Some(SequenceType::Of(ItemType::Atomic(a), occ)) if a.is_numeric() => {
-                    SequenceType::Of(ItemType::Atomic(*a), *occ)
-                }
-                _ => SequenceType::optional(ItemType::Atomic(AnyAtomic)),
+        "abs" | "ceiling" | "floor" | "round" | "round-half-to-even" => match arg_types.first() {
+            Some(SequenceType::Of(ItemType::Atomic(a), occ)) if a.is_numeric() => {
+                SequenceType::Of(ItemType::Atomic(*a), *occ)
             }
-        }
+            _ => SequenceType::optional(ItemType::Atomic(AnyAtomic)),
+        },
         "number" => atomic(Double),
         "sum" => match arg_types.first() {
             Some(SequenceType::Of(ItemType::Atomic(a), _)) if a.is_numeric() => atomic(*a),
@@ -426,12 +479,19 @@ fn builtin_type(name: &str, args: &[Core], env: &mut TypeEnv<'_>) -> SequenceTyp
         "current-time" => atomic(Time),
         "current-dateTime" => atomic(DateTime),
         "implicit-timezone" => atomic(DayTimeDuration),
-        "year-from-date" | "month-from-date" | "day-from-date" | "year-from-dateTime"
-        | "month-from-dateTime" | "day-from-dateTime" | "hours-from-dateTime"
-        | "minutes-from-dateTime" | "years-from-duration" | "months-from-duration"
-        | "days-from-duration" | "hours-from-duration" | "minutes-from-duration" => {
-            atomic(Integer)
-        }
+        "year-from-date"
+        | "month-from-date"
+        | "day-from-date"
+        | "year-from-dateTime"
+        | "month-from-dateTime"
+        | "day-from-dateTime"
+        | "hours-from-dateTime"
+        | "minutes-from-dateTime"
+        | "years-from-duration"
+        | "months-from-duration"
+        | "days-from-duration"
+        | "hours-from-duration"
+        | "minutes-from-duration" => atomic(Integer),
         "seconds-from-duration" => atomic(Decimal),
         "seconds-from-dateTime" => atomic(Decimal),
         "add-date" => atomic(Date),
@@ -446,8 +506,11 @@ fn builtin_type(name: &str, args: &[Core], env: &mut TypeEnv<'_>) -> SequenceTyp
 /// Type-check a whole module; returns the body type (strict mode
 /// accumulates errors in the env).
 pub fn check_module(module: &CoreModule, strict: bool) -> Result<SequenceType> {
-    let mut env =
-        if strict { TypeEnv::strict(&module.functions) } else { TypeEnv::new(&module.functions) };
+    let mut env = if strict {
+        TypeEnv::strict(&module.functions)
+    } else {
+        TypeEnv::new(&module.functions)
+    };
     for (_, var, value) in &module.globals {
         let ty = match value {
             Some(v) => infer(v, &mut env),
@@ -557,7 +620,10 @@ mod tests {
         let t = ty("if (1) then 1 else \"x\"");
         assert_eq!(t, atomic(AtomicType::AnyAtomic));
         let t = ty("if (1) then 1 else ()");
-        assert_eq!(t, SequenceType::optional(ItemType::Atomic(AtomicType::Integer)));
+        assert_eq!(
+            t,
+            SequenceType::optional(ItemType::Atomic(AtomicType::Integer))
+        );
     }
 
     #[test]
@@ -571,9 +637,8 @@ mod tests {
 
     #[test]
     fn function_return_types() {
-        let t = ty(
-            "declare function local:f($x as xs:integer) as xs:integer { $x + 1 }; local:f(1)",
-        );
+        let t =
+            ty("declare function local:f($x as xs:integer) as xs:integer { $x + 1 }; local:f(1)");
         assert_eq!(t, atomic(AtomicType::Integer));
     }
 

@@ -93,7 +93,10 @@ impl Engine {
         if options.runtime.max_call_depth == RuntimeOptions::default().max_call_depth {
             options.runtime.max_call_depth = 2048;
         }
-        Engine { store: Store::new(), options }
+        Engine {
+            store: Store::new(),
+            options,
+        }
     }
 
     pub fn store(&self) -> &Arc<Store> {
@@ -246,7 +249,10 @@ impl PreparedQuery {
     /// Streaming emits *outermost* matches; for child-only patterns this
     /// equals materialized evaluation exactly (matches cannot nest).
     pub fn streaming_is_exact(&self) -> bool {
-        self.streamable.as_ref().map(|p| p.is_exact()).unwrap_or(false)
+        self.streamable
+            .as_ref()
+            .map(|p| p.is_exact())
+            .unwrap_or(false)
     }
 
     /// Whether execution needs node identities (E11's analysis).
@@ -340,8 +346,7 @@ impl PreparedQuery {
             let it = ParserTokenIterator::new(xml, engine.names().clone());
             StreamMatcher::new(it, pattern)
         } else {
-            let it =
-                ParserTokenIterator::with_guard(xml, engine.names().clone(), guard.clone());
+            let it = ParserTokenIterator::with_guard(xml, engine.names().clone(), guard.clone());
             StreamMatcher::new(it, pattern).with_guard(guard)
         };
         contain_panic(|| {
@@ -401,12 +406,18 @@ impl QueryResult {
 
     /// The string values of the items.
     pub fn string_values(&self) -> Vec<String> {
-        self.items.iter().map(|i| i.string_value(&self.store)).collect()
+        self.items
+            .iter()
+            .map(|i| i.string_value(&self.store))
+            .collect()
     }
 
     /// Serialize with pretty-printed (indented) node items.
     pub fn serialize_pretty(&self) -> Result<String> {
-        let opts = xqr_xmlparse::WriterOptions { indent: Some("  ".into()), declaration: false };
+        let opts = xqr_xmlparse::WriterOptions {
+            indent: Some("  ".into()),
+            declaration: false,
+        };
         let mut out = String::new();
         let mut prev_atomic = false;
         for item in &self.items {
@@ -463,12 +474,17 @@ mod tests {
     #[test]
     fn prepared_queries_are_reusable() {
         let engine = Engine::new();
-        let q = engine.compile("declare variable $n external; $n * 2").unwrap();
+        let q = engine
+            .compile("declare variable $n external; $n * 2")
+            .unwrap();
         for i in 1..5 {
             let mut ctx = DynamicContext::new();
             bind(&mut ctx, "n", vec![Item::integer(i)]);
             assert_eq!(
-                q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(),
+                q.execute(&engine, &ctx)
+                    .unwrap()
+                    .serialize_guarded()
+                    .unwrap(),
                 (i * 2).to_string()
             );
         }
@@ -481,7 +497,10 @@ mod tests {
         let engine = Engine::new();
         for i in 0..1000 {
             let xml = format!("<a><b>{i}</b></a>");
-            assert_eq!(engine.query_xml(&xml, "string(/a/b)").unwrap(), i.to_string());
+            assert_eq!(
+                engine.query_xml(&xml, "string(/a/b)").unwrap(),
+                i.to_string()
+            );
         }
         assert_eq!(engine.store().doc_count(), 0);
         // The input document is removed even when execution fails.
@@ -493,7 +512,10 @@ mod tests {
     fn one_prepared_plan_shared_across_eight_threads() {
         let engine = Engine::new();
         engine
-            .load_document("bib.xml", "<bib><book><price>7</price></book><book><price>35</price></book></bib>")
+            .load_document(
+                "bib.xml",
+                "<bib><book><price>7</price></book><book><price>35</price></book></bib>",
+            )
             .unwrap();
         let q = engine
             .compile(r#"sum(for $p in doc("bib.xml")//price return xs:integer($p))"#)
@@ -527,7 +549,9 @@ mod tests {
     #[test]
     fn doc_function_through_engine() {
         let engine = Engine::new();
-        engine.load_document("bib.xml", "<bib><b/><b/></bib>").unwrap();
+        engine
+            .load_document("bib.xml", "<bib><b/><b/></bib>")
+            .unwrap();
         assert_eq!(engine.query(r#"count(doc("bib.xml")//b)"#).unwrap(), "2");
     }
 
@@ -538,9 +562,11 @@ mod tests {
         assert!(q.is_streamable());
         let mut hits = Vec::new();
         let stats = q
-            .execute_streaming(&engine, "<list><item>1</item><x><item>no</item></x><item>2</item></list>", |m| {
-                hits.push(m.to_string())
-            })
+            .execute_streaming(
+                &engine,
+                "<list><item>1</item><x><item>no</item></x><item>2</item></list>",
+                |m| hits.push(m.to_string()),
+            )
             .unwrap();
         assert_eq!(hits, vec!["<item>1</item>", "<item>2</item>"]);
         assert_eq!(stats.matches, 2);
@@ -555,7 +581,8 @@ mod tests {
         let xml = "<r><a><b>1</b></a><b>2</b><c><b>3</b></c></r>";
         let q = engine.compile("//b").unwrap();
         let mut streamed = Vec::new();
-        q.execute_streaming(&engine, xml, |m| streamed.push(m.to_string())).unwrap();
+        q.execute_streaming(&engine, xml, |m| streamed.push(m.to_string()))
+            .unwrap();
         let out = engine.query_xml(xml, "//b").unwrap();
         assert_eq!(streamed.join(""), out);
     }
@@ -586,7 +613,10 @@ mod tests {
     #[test]
     fn injected_panic_becomes_internal_error() {
         let engine = Engine::with_options(EngineOptions {
-            runtime: RuntimeOptions { debug_inject_panic: true, ..Default::default() },
+            runtime: RuntimeOptions {
+                debug_inject_panic: true,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let err = engine.query("1 + 1").unwrap_err();

@@ -2,7 +2,7 @@
 //! optimizer statistics — the engine's answer to the talk's "debugging
 //! and explaining XQuery behavior" open problem.
 
-use xqr_compiler::{Core, CoreClause, CoreName, CompiledQuery};
+use xqr_compiler::{CompiledQuery, Core, CoreClause, CoreName};
 
 /// Render a compiled query: body plan, per-function plans, rewrite stats.
 pub fn explain(query: &CompiledQuery) -> String {
@@ -115,7 +115,11 @@ mod tests {
 
     #[test]
     fn explain_renders_plan_and_stats() {
-        let q = compile("for $x in (1, 2) where $x eq 2 return <r>{$x}</r>", &CompileOptions::default()).unwrap();
+        let q = compile(
+            "for $x in (1, 2) where $x eq 2 return <r>{$x}</r>",
+            &CompileOptions::default(),
+        )
+        .unwrap();
         let text = explain(&q);
         assert!(text.contains("plan:"), "{text}");
         assert!(text.contains("for $"), "{text}");

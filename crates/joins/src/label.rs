@@ -39,7 +39,12 @@ pub fn element_list(doc: &Document, name: NameId) -> Vec<Labeled> {
         .iter()
         .map(|&i| {
             let n = NodeId(i);
-            Labeled { node: n, start: doc.start(n), end: doc.end(n), level: doc.level(n) }
+            Labeled {
+                node: n,
+                start: doc.start(n),
+                end: doc.end(n),
+                level: doc.level(n),
+            }
         })
         .collect()
 }
@@ -47,7 +52,12 @@ pub fn element_list(doc: &Document, name: NameId) -> Vec<Labeled> {
 /// Inverted list for every element (used for `*` tests).
 pub fn all_elements_list(doc: &Document) -> Vec<Labeled> {
     doc.all_elements()
-        .map(|n| Labeled { node: n, start: doc.start(n), end: doc.end(n), level: doc.level(n) })
+        .map(|n| Labeled {
+            node: n,
+            start: doc.start(n),
+            end: doc.end(n),
+            level: doc.level(n),
+        })
         .collect()
 }
 

@@ -38,6 +38,8 @@ pub mod twigstack;
 pub use label::{all_elements_list, element_list, Labeled};
 pub use navigate::{count_matches, enumerate_matches, matches_of_node};
 pub use pathstack::path_stack;
-pub use stacktree::{mpmgjn, nested_loop, normalize, stack_tree_anc, stack_tree_desc, JoinKind, Pair};
+pub use stacktree::{
+    mpmgjn, nested_loop, normalize, stack_tree_anc, stack_tree_desc, JoinKind, Pair,
+};
 pub use twig::{EdgeKind, TwigNode, TwigPattern};
 pub use twigstack::{twig_stack, TwigStats};

@@ -77,7 +77,9 @@ fn candidates(
     };
     walk(doc, from, axis)
         .into_iter()
-        .filter(|&n| doc.kind(n) == NodeKind::Element && doc.name_id(n) == twig.nodes[twig_idx].name)
+        .filter(|&n| {
+            doc.kind(n) == NodeKind::Element && doc.name_id(n) == twig.nodes[twig_idx].name
+        })
         .collect()
 }
 

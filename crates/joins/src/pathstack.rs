@@ -65,10 +65,20 @@ pub fn path_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> Vec<Vec<NodeId>
             continue;
         }
         let parent_top = if q == 0 { 0 } else { stacks[q - 1].len() };
-        stacks[q].push(Entry { elem: next, parent_top });
+        stacks[q].push(Entry {
+            elem: next,
+            parent_top,
+        });
         if q == n - 1 {
             // Leaf push: emit all solutions ending at this element.
-            emit_solutions(twig, &stacks, n - 1, stacks[n - 1].len() - 1, &mut Vec::new(), &mut out);
+            emit_solutions(
+                twig,
+                &stacks,
+                n - 1,
+                stacks[n - 1].len() - 1,
+                &mut Vec::new(),
+                &mut out,
+            );
             stacks[n - 1].pop();
         }
     }

@@ -105,7 +105,11 @@ pub fn stack_tree_anc(alist: &[Labeled], dlist: &[Labeled], kind: JoinKind) -> V
                     break;
                 }
             }
-            stack.push(Entry { anc: alist[a], self_list: Vec::new(), inherit: Vec::new() });
+            stack.push(Entry {
+                anc: alist[a],
+                self_list: Vec::new(),
+                inherit: Vec::new(),
+            });
             a += 1;
         } else {
             while let Some(top) = stack.last() {

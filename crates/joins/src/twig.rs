@@ -48,12 +48,23 @@ impl TwigPattern {
             nodes.push(TwigNode {
                 name,
                 edge,
-                children: if i + 1 < steps.len() { vec![i + 1] } else { vec![] },
+                children: if i + 1 < steps.len() {
+                    vec![i + 1]
+                } else {
+                    vec![]
+                },
                 parent: if i == 0 { None } else { Some(i - 1) },
             });
         }
-        TwigPattern { nodes, root_edge: if steps.len() == 1 { root_edge } else { steps[0].0 } }
-            .with_root_edge(root_edge)
+        TwigPattern {
+            nodes,
+            root_edge: if steps.len() == 1 {
+                root_edge
+            } else {
+                steps[0].0
+            },
+        }
+        .with_root_edge(root_edge)
     }
 
     fn with_root_edge(mut self, e: EdgeKind) -> Self {
@@ -64,7 +75,12 @@ impl TwigPattern {
     /// Add a branch under `parent`, returning the new node's index.
     pub fn add_child(&mut self, parent: usize, edge: EdgeKind, name: NameId) -> usize {
         let idx = self.nodes.len();
-        self.nodes.push(TwigNode { name, edge, children: vec![], parent: Some(parent) });
+        self.nodes.push(TwigNode {
+            name,
+            edge,
+            children: vec![],
+            parent: Some(parent),
+        });
         self.nodes[parent].children.push(idx);
         idx
     }
@@ -73,7 +89,11 @@ impl TwigPattern {
     /// by `/` or `//`, with `[...]` branches. Only element names (the
     /// join experiments don't need more).
     pub fn parse(pattern: &str, names: &NamePool) -> Result<TwigPattern> {
-        let mut p = Parser { src: pattern.as_bytes(), pos: 0, names };
+        let mut p = Parser {
+            src: pattern.as_bytes(),
+            pos: 0,
+            names,
+        };
         p.parse_twig()
     }
 
@@ -87,7 +107,9 @@ impl TwigPattern {
 
     /// Indices of leaf nodes.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].children.is_empty()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty())
+            .collect()
     }
 
     /// Is the pattern a pure path (no branching)?
@@ -116,7 +138,10 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn parse_twig(&mut self) -> Result<TwigPattern> {
         let root_edge = self.parse_edge()?;
-        let mut twig = TwigPattern { nodes: Vec::new(), root_edge };
+        let mut twig = TwigPattern {
+            nodes: Vec::new(),
+            root_edge,
+        };
         self.parse_steps(&mut twig, None)?;
         if twig.nodes.is_empty() {
             return Err(xqr_xdm::Error::syntax("empty twig pattern"));
@@ -136,7 +161,9 @@ impl<'a> Parser<'a> {
         } else if self.eat(b"/") {
             Ok(EdgeKind::Child)
         } else {
-            Err(xqr_xdm::Error::syntax("twig pattern must start with / or //"))
+            Err(xqr_xdm::Error::syntax(
+                "twig pattern must start with / or //",
+            ))
         }
     }
 
@@ -159,7 +186,12 @@ impl<'a> Parser<'a> {
         loop {
             let name = self.parse_name()?;
             let idx = twig.nodes.len();
-            twig.nodes.push(TwigNode { name, edge, children: vec![], parent });
+            twig.nodes.push(TwigNode {
+                name,
+                edge,
+                children: vec![],
+                parent,
+            });
             if let Some(p) = parent {
                 twig.nodes[p].children.push(idx);
             }
@@ -193,7 +225,12 @@ impl<'a> Parser<'a> {
         loop {
             let name = self.parse_name()?;
             let idx = twig.nodes.len();
-            twig.nodes.push(TwigNode { name, edge, children: vec![], parent: Some(parent) });
+            twig.nodes.push(TwigNode {
+                name,
+                edge,
+                children: vec![],
+                parent: Some(parent),
+            });
             twig.nodes[parent].children.push(idx);
             while self.eat(b"[") {
                 let branch_edge = self.parse_edge().unwrap_or(EdgeKind::Child);

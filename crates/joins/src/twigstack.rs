@@ -39,11 +39,17 @@ struct State<'a> {
 
 impl<'a> State<'a> {
     fn next_start(&self, q: usize) -> u32 {
-        self.lists[q].get(self.cursors[q]).map(|e| e.start).unwrap_or(u32::MAX)
+        self.lists[q]
+            .get(self.cursors[q])
+            .map(|e| e.start)
+            .unwrap_or(u32::MAX)
     }
 
     fn next_end(&self, q: usize) -> u32 {
-        self.lists[q].get(self.cursors[q]).map(|e| e.end).unwrap_or(u32::MAX)
+        self.lists[q]
+            .get(self.cursors[q])
+            .map(|e| e.end)
+            .unwrap_or(u32::MAX)
     }
 
     fn exhausted(&self, q: usize) -> bool {
@@ -55,19 +61,50 @@ impl<'a> State<'a> {
         self.leaves.iter().all(|&l| self.exhausted(l))
     }
 
+    /// Every stream in q's subtree is fully consumed.
+    fn subtree_exhausted(&self, q: usize) -> bool {
+        self.exhausted(q)
+            && self.twig.nodes[q]
+                .children
+                .iter()
+                .all(|&c| self.subtree_exhausted(c))
+    }
+
     fn get_next(&mut self, q: usize) -> usize {
-        let n_children = self.twig.nodes[q].children.len();
-        if n_children == 0 {
+        if self.twig.nodes[q].children.is_empty() {
             return q;
         }
-        let mut qmin = self.twig.nodes[q].children[0];
-        let mut qmax = qmin;
-        for i in 0..n_children {
+        // Children whose subtrees are spent can neither block nor supply
+        // further elements; skipping them keeps the join draining the
+        // remaining branches (e.g. `//book[author/last]/price` once the
+        // last `last` has streamed but `price` elements are pending).
+        let mut live: Vec<usize> = Vec::new();
+        let mut any_spent = false;
+        for i in 0..self.twig.nodes[q].children.len() {
             let qi = self.twig.nodes[q].children[i];
+            if self.subtree_exhausted(qi) {
+                any_spent = true;
+                continue;
+            }
             let ni = self.get_next(qi);
             if ni != qi {
                 return ni;
             }
+            live.push(qi);
+        }
+        if any_spent {
+            // Streams are consumed in document order, so every remaining
+            // q element starts after all elements of the spent subtree
+            // and can never contain one — no new q element can complete
+            // a match. Existing stack entries still serve other leaves.
+            self.cursors[q] = self.lists[q].len();
+        }
+        let Some(&first) = live.first() else {
+            return q;
+        };
+        let mut qmin = first;
+        let mut qmax = first;
+        for &qi in &live {
             if self.next_start(qi) < self.next_start(qmin) {
                 qmin = qi;
             }
@@ -229,8 +266,10 @@ fn merge_path_solutions(
         }
         let mut next: Vec<Vec<Option<NodeId>>> = Vec::new();
         for partial in &partials {
-            let key: Vec<NodeId> =
-                shared.iter().map(|&t| partial[t].expect("bound index")).collect();
+            let key: Vec<NodeId> = shared
+                .iter()
+                .map(|&t| partial[t].expect("bound index"))
+                .collect();
             if let Some(sols) = by_key.get(&key) {
                 for sol in sols {
                     let mut merged = partial.clone();
@@ -251,7 +290,11 @@ fn merge_path_solutions(
     }
     let mut out: Vec<Vec<NodeId>> = partials
         .into_iter()
-        .map(|m| m.into_iter().map(|n| n.expect("all twig nodes bound")).collect())
+        .map(|m| {
+            m.into_iter()
+                .map(|n| n.expect("all twig nodes bound"))
+                .collect()
+        })
         .collect();
     out.sort();
     out.dedup();
@@ -316,6 +359,42 @@ mod tests {
         let (got, want, _) = run(xml, "//p[x][y]/z");
         assert_eq!(got, want);
         assert!(got.is_empty());
+    }
+
+    /// Regression: a multi-level branch (`author/last`) whose subtree
+    /// closes before the output leaf (`price`) starts used to abort the
+    /// join — `get_next` kept bubbling the exhausted `last` stream up
+    /// and the main loop broke with `price` elements still pending.
+    #[test]
+    fn branch_subtree_closing_before_output_leaf() {
+        for (xml, pattern, n) in [
+            (
+                "<bib><book><author><last/></author><price/></book></bib>",
+                "//book[author/last]/price",
+                1,
+            ),
+            (
+                "<bib><book><author><last/></author><price/></book>\
+                 <book><author><last/></author><price/></book></bib>",
+                "//book[author/last]/price",
+                2,
+            ),
+            (
+                "<bib><book><author><x><last/></x></author><price/></book></bib>",
+                "//book[author//last]/price",
+                1,
+            ),
+            // Output leaf before the branch: already worked, keep pinned.
+            (
+                "<bib><book><price/><author><last/></author></book></bib>",
+                "//book[author/last]/price",
+                1,
+            ),
+        ] {
+            let (got, want, _) = run(xml, pattern);
+            assert_eq!(got, want, "{pattern} on {xml}");
+            assert_eq!(got.len(), n, "{pattern} on {xml}");
+        }
     }
 
     #[test]

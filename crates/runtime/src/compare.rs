@@ -79,8 +79,10 @@ pub fn general_compare(
     tz: TzOffset,
 ) -> Result<bool> {
     // Atomize lazily on the left, eagerly once on the right.
-    let rhs_vals: Vec<AtomicValue> =
-        rhs.iter().map(|i| i.typed_value(store)).collect::<Result<_>>()?;
+    let rhs_vals: Vec<AtomicValue> = rhs
+        .iter()
+        .map(|i| i.typed_value(store))
+        .collect::<Result<_>>()?;
     for li in lhs {
         let a = li.typed_value(store)?;
         for b in &rhs_vals {
@@ -128,6 +130,9 @@ pub fn node_compare(op: CompOp, lhs: &[Item], rhs: &[Item]) -> Result<Option<boo
 }
 
 #[cfg(test)]
+// `&[x.clone()]` reads as "a one-item operand sequence" in these tests;
+// `slice::from_ref` would obscure that.
+#[allow(clippy::cloned_ref_to_slice_refs)]
 mod tests {
     use super::*;
     use std::sync::Arc;
@@ -149,8 +154,9 @@ mod tests {
     fn general_comparison_is_existential() {
         let s = store();
         // (1,2) = (2,3) → true (the talk's example)
-        assert!(general_compare(CompOp::GenEq, &[int(1), int(2)], &[int(2), int(3)], &s, 0)
-            .unwrap());
+        assert!(
+            general_compare(CompOp::GenEq, &[int(1), int(2)], &[int(2), int(3)], &s, 0).unwrap()
+        );
         // (1,3) = (1,2) and also != — not transitive, famously.
         assert!(general_compare(CompOp::GenNe, &[int(1), int(2)], &[int(1)], &s, 0).unwrap());
         assert!(general_compare(CompOp::GenEq, &[int(1), int(2)], &[int(1)], &s, 0).unwrap());
@@ -163,10 +169,14 @@ mod tests {
         let s = store();
         // <a>42</a> = 42 → true (untyped coerced to double)
         assert!(general_compare(CompOp::GenEq, &[untyped("42")], &[int(42)], &s, 0).unwrap());
-        assert!(
-            general_compare(CompOp::GenEq, &[untyped("42")], &[Item::Atomic(AtomicValue::Double(42.0))], &s, 0)
-                .unwrap()
-        );
+        assert!(general_compare(
+            CompOp::GenEq,
+            &[untyped("42")],
+            &[Item::Atomic(AtomicValue::Double(42.0))],
+            &s,
+            0
+        )
+        .unwrap());
         // <a>baz</a> = 42 → type error (cast fails)
         assert!(general_compare(CompOp::GenEq, &[untyped("baz")], &[int(42)], &s, 0).is_err());
         // untyped vs string: string comparison
@@ -183,7 +193,10 @@ mod tests {
     #[test]
     fn value_comparison_empty_preserving() {
         let s = store();
-        assert_eq!(value_compare(CompOp::ValEq, &[], &[int(42)], &s, 0).unwrap(), None);
+        assert_eq!(
+            value_compare(CompOp::ValEq, &[], &[int(42)], &s, 0).unwrap(),
+            None
+        );
         assert_eq!(
             value_compare(CompOp::ValEq, &[int(42)], &[int(42)], &s, 0).unwrap(),
             Some(true)

@@ -75,10 +75,16 @@ pub fn build_comment(store: &Arc<Store>, content: &str) -> Result<NodeRef> {
 
 pub fn build_pi(store: &Arc<Store>, target: &str, content: &str) -> Result<NodeRef> {
     if target.eq_ignore_ascii_case("xml") {
-        return Err(Error::new(ErrorCode::InvalidConstructor, "PI target 'xml' is reserved"));
+        return Err(Error::new(
+            ErrorCode::InvalidConstructor,
+            "PI target 'xml' is reserved",
+        ));
     }
     if content.contains("?>") {
-        return Err(Error::new(ErrorCode::InvalidConstructor, "PI content must not contain '?>'"));
+        return Err(Error::new(
+            ErrorCode::InvalidConstructor,
+            "PI content must not contain '?>'",
+        ));
     }
     let mut b = DocumentBuilder::new(store.names().clone());
     b.start_document();
@@ -209,11 +215,17 @@ fn copy_from_doc(b: &mut DocumentBuilder, doc: &Document, n: NodeId) -> Result<(
             let name = doc.name(n).expect("elements are named");
             b.start_element(&name);
             for ns in doc.namespaces(n) {
-                let prefix = doc.name(ns).map(|q| q.local_name().to_string()).unwrap_or_default();
+                let prefix = doc
+                    .name(ns)
+                    .map(|q| q.local_name().to_string())
+                    .unwrap_or_default();
                 b.namespace(&prefix, doc.value(ns).unwrap_or(""));
             }
             for a in doc.attributes(n) {
-                b.attribute(&doc.name(a).expect("attrs named"), doc.value(a).unwrap_or(""));
+                b.attribute(
+                    &doc.name(a).expect("attrs named"),
+                    doc.value(a).unwrap_or(""),
+                );
             }
             let mut c = doc.first_child(n);
             while let Some(ch) = c {
@@ -225,14 +237,23 @@ fn copy_from_doc(b: &mut DocumentBuilder, doc: &Document, n: NodeId) -> Result<(
         NodeKind::Text => b.text(doc.value(n).unwrap_or("")),
         NodeKind::Comment => b.comment(doc.value(n).unwrap_or("")),
         NodeKind::ProcessingInstruction => {
-            let target = doc.name(n).map(|q| q.local_name().to_string()).unwrap_or_default();
+            let target = doc
+                .name(n)
+                .map(|q| q.local_name().to_string())
+                .unwrap_or_default();
             b.pi(&target, doc.value(n).unwrap_or(""));
         }
         NodeKind::Attribute => {
-            b.attribute(&doc.name(n).expect("attrs named"), doc.value(n).unwrap_or(""));
+            b.attribute(
+                &doc.name(n).expect("attrs named"),
+                doc.value(n).unwrap_or(""),
+            );
         }
         NodeKind::Namespace => {
-            let prefix = doc.name(n).map(|q| q.local_name().to_string()).unwrap_or_default();
+            let prefix = doc
+                .name(n)
+                .map(|q| q.local_name().to_string())
+                .unwrap_or_default();
             b.namespace(&prefix, doc.value(n).unwrap_or(""));
         }
     }
@@ -298,8 +319,13 @@ mod tests {
         let store = Store::new();
         let a1 = build_attribute(&store, &QName::local("x"), "1").unwrap();
         let a2 = build_attribute(&store, &QName::local("x"), "2").unwrap();
-        let e = build_element(&store, &QName::local("a"), &[], &[Item::Node(a1), Item::Node(a2)])
-            .unwrap_err();
+        let e = build_element(
+            &store,
+            &QName::local("a"),
+            &[],
+            &[Item::Node(a1), Item::Node(a2)],
+        )
+        .unwrap_err();
         assert_eq!(e.code, ErrorCode::DuplicateAttribute);
     }
 

@@ -87,7 +87,9 @@ pub struct Frame {
 
 impl Frame {
     pub fn new(size: u32) -> Self {
-        Frame { slots: vec![None; size as usize] }
+        Frame {
+            slots: vec![None; size as usize],
+        }
     }
 
     pub fn get(&self, var: VarId) -> Result<Arc<Sequence>> {
@@ -95,7 +97,10 @@ impl Frame {
             .get(var.0 as usize)
             .and_then(|s| s.clone())
             .ok_or_else(|| {
-                Error::new(ErrorCode::UndefinedName, format!("unbound register ${}", var.0))
+                Error::new(
+                    ErrorCode::UndefinedName,
+                    format!("unbound register ${}", var.0),
+                )
             })
     }
 
@@ -145,7 +150,12 @@ impl ExecState {
     }
 
     pub fn with_guard(store: Arc<Store>, frame_size: u32, guard: QueryGuard) -> Self {
-        ExecState { store, frame: Frame::new(frame_size), focus: Vec::new(), guard }
+        ExecState {
+            store,
+            frame: Frame::new(frame_size),
+            focus: Vec::new(),
+            guard,
+        }
     }
 
     pub fn focus(&self) -> Option<&Focus> {

@@ -15,9 +15,7 @@ use crate::compare::{general_compare, node_compare, value_compare};
 use crate::construct;
 use crate::env::{DynamicContext, ExecState, Focus};
 use crate::functions;
-use crate::value::{
-    atomize, atomize_one, effective_boolean_value, Item, Sequence,
-};
+use crate::value::{atomize, atomize_one, effective_boolean_value, Item, Sequence};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -71,7 +69,11 @@ struct LimitSink<'a> {
 impl Sink for LimitSink<'_> {
     fn accept(&mut self, _ev: &Evaluator<'_>, _st: &mut ExecState, item: Item) -> Result<Flow> {
         self.out.push(item);
-        Ok(if self.out.len() >= self.limit { Flow::Done } else { Flow::More })
+        Ok(if self.out.len() >= self.limit {
+            Flow::Done
+        } else {
+            Flow::More
+        })
     }
 }
 
@@ -158,7 +160,9 @@ fn join_keys(v: &AtomicValue) -> Vec<JoinKey> {
         V::Decimal(d) => vec![JoinKey::Num(d.to_f64().to_bits())],
         V::Double(d) => vec![JoinKey::Num(d.to_bits())],
         V::Float(f) => vec![JoinKey::Num((*f as f64).to_bits())],
-        V::Date(d) => vec![JoinKey::Num((d.to_datetime().timeline_millis(0) as f64).to_bits())],
+        V::Date(d) => vec![JoinKey::Num(
+            (d.to_datetime().timeline_millis(0) as f64).to_bits(),
+        )],
         V::DateTime(d) => vec![JoinKey::Num((d.timeline_millis(0) as f64).to_bits())],
         other => vec![JoinKey::Str(other.string_value())],
     }
@@ -203,22 +207,21 @@ impl<'m> Evaluator<'m> {
         for (name, var, value) in &self.module.globals {
             let seq = match value {
                 Some(e) => self.eval(e, st)?,
-                None => self
-                    .dyn_ctx
-                    .variables
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| {
-                        Error::new(
-                            ErrorCode::MissingContext,
-                            format!("external variable ${name} not bound"),
-                        )
-                    })?,
+                None => self.dyn_ctx.variables.get(name).cloned().ok_or_else(|| {
+                    Error::new(
+                        ErrorCode::MissingContext,
+                        format!("external variable ${name} not bound"),
+                    )
+                })?,
             };
             st.frame.bind(*var, Arc::new(seq));
         }
         if let Some(item) = &self.dyn_ctx.context_item {
-            st.focus.push(Focus { item: item.clone(), position: 1, size: Some(1) });
+            st.focus.push(Focus {
+                item: item.clone(),
+                position: 1,
+                size: Some(1),
+            });
         }
         self.eval(&self.module.body, st)
     }
@@ -236,9 +239,18 @@ impl<'m> Evaluator<'m> {
             return Ok(Sequence::new());
         }
         let mut out = Sequence::new();
-        let flow = self.push(e, st, &mut LimitSink { out: &mut out, limit })?;
+        let flow = self.push(
+            e,
+            st,
+            &mut LimitSink {
+                out: &mut out,
+                limit,
+            },
+        )?;
         if flow == Flow::Done {
-            self.counters.early_exits.set(self.counters.early_exits.get() + 1);
+            self.counters
+                .early_exits
+                .set(self.counters.early_exits.get() + 1);
         }
         Ok(out)
     }
@@ -251,7 +263,9 @@ impl<'m> Evaluator<'m> {
 
     /// Stream `e` into `sink`.
     pub fn push(&self, e: &Core, st: &mut ExecState, sink: &mut dyn Sink) -> Result<Flow> {
-        self.counters.items_produced.set(self.counters.items_produced.get() + 1);
+        self.counters
+            .items_produced
+            .set(self.counters.items_produced.get() + 1);
         st.guard.note_items(1)?;
         match e {
             Core::Const(v) => sink.accept(self, st, Item::Atomic(v.clone())),
@@ -267,7 +281,9 @@ impl<'m> Evaluator<'m> {
             Core::Range(a, b) => {
                 let lo = self.eval_integer_opt(a, st)?;
                 let hi = self.eval_integer_opt(b, st)?;
-                let (Some(lo), Some(hi)) = (lo, hi) else { return Ok(Flow::More) };
+                let (Some(lo), Some(hi)) = (lo, hi) else {
+                    return Ok(Flow::More);
+                };
                 let mut i = lo;
                 while i <= hi {
                     // Ranges produce items without recursing through
@@ -306,8 +322,19 @@ impl<'m> Evaluator<'m> {
                     )),
                 }
             }
-            Core::For { var, position, source, body } => {
-                let mut fs = ForSink { var: *var, position: *position, body, downstream: sink, index: 0 };
+            Core::For {
+                var,
+                position,
+                source,
+                body,
+            } => {
+                let mut fs = ForSink {
+                    var: *var,
+                    position: *position,
+                    body,
+                    downstream: sink,
+                    index: 0,
+                };
                 self.push(source, st, &mut fs)
             }
             Core::Let { var, value, body } => {
@@ -317,7 +344,11 @@ impl<'m> Evaluator<'m> {
                 st.frame.restore(*var, saved);
                 r
             }
-            Core::If { cond, then_branch, else_branch } => {
+            Core::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval_ebv(cond, st)? {
                     self.push(then_branch, st, sink)
                 } else {
@@ -339,7 +370,12 @@ impl<'m> Evaluator<'m> {
             Core::Arith(op, a, b) => self.eval_arith(*op, a, b, st, sink),
             Core::Neg(a) => self.eval_neg(a, st, sink),
             Core::Compare(op, a, b) => self.eval_compare(*op, a, b, st, sink),
-            Core::Quantified { every, var, source, satisfies } => {
+            Core::Quantified {
+                every,
+                var,
+                source,
+                satisfies,
+            } => {
                 let mut qs = QuantSink {
                     var: *var,
                     every: *every,
@@ -354,7 +390,12 @@ impl<'m> Evaluator<'m> {
             Core::Except(a, b) => self.eval_set_op(a, b, SetOp::Except, st, sink),
             Core::Step { axis, test } => self.eval_step(*axis, test, st, sink),
             Core::PathMap { input, step } => {
-                let mut ps = PathSink { step, downstream: sink, saw_node: false, saw_atomic: false };
+                let mut ps = PathSink {
+                    step,
+                    downstream: sink,
+                    saw_node: false,
+                    saw_atomic: false,
+                };
                 self.push(input, st, &mut ps)
             }
             Core::Ddo(inner) => {
@@ -373,17 +414,24 @@ impl<'m> Evaluator<'m> {
                     let items = self.eval(input, st)?;
                     let size = items.len() as i64;
                     for (i, item) in items.into_iter().enumerate() {
-                        st.focus.push(Focus { item: item.clone(), position: i as i64 + 1, size: Some(size) });
+                        st.focus.push(Focus {
+                            item: item.clone(),
+                            position: i as i64 + 1,
+                            size: Some(size),
+                        });
                         let keep = self.predicate_holds(predicate, st, i as i64 + 1)?;
                         st.focus.pop();
-                        if keep
-                            && sink.accept(self, st, item)? == Flow::Done {
-                                return Ok(Flow::Done);
-                            }
+                        if keep && sink.accept(self, st, item)? == Flow::Done {
+                            return Ok(Flow::Done);
+                        }
                     }
                     Ok(Flow::More)
                 } else {
-                    let mut fs = FilterSink { predicate, downstream: sink, position: 0 };
+                    let mut fs = FilterSink {
+                        predicate,
+                        downstream: sink,
+                        position: 0,
+                    };
                     self.push(input, st, &mut fs)
                 }
             }
@@ -391,11 +439,17 @@ impl<'m> Evaluator<'m> {
                 if *position < 1 {
                     return Ok(Flow::More);
                 }
-                let mut ps = NthSink { wanted: *position, seen: 0, downstream: sink };
+                let mut ps = NthSink {
+                    wanted: *position,
+                    seen: 0,
+                    downstream: sink,
+                };
                 let flow = self.push(input, st, &mut ps)?;
                 if flow == Flow::Done {
                     // We stopped the upstream early — the talk's skip().
-                    self.counters.early_exits.set(self.counters.early_exits.get() + 1);
+                    self.counters
+                        .early_exits
+                        .set(self.counters.early_exits.get() + 1);
                 }
                 Ok(Flow::More)
             }
@@ -412,12 +466,17 @@ impl<'m> Evaluator<'m> {
                 self.eval_castable(inner, *ty, *optional, st, sink)
             }
             Core::TreatAs(inner, ty) => self.eval_treat(inner, ty, st, sink),
-            Core::Typeswitch { operand, cases, default_var, default_body } => {
-                self.eval_typeswitch(operand, cases, *default_var, default_body, st, sink)
-            }
-            Core::ElemCtor { name, namespaces, content } => {
-                self.eval_elem_ctor(name, namespaces, content, st, sink)
-            }
+            Core::Typeswitch {
+                operand,
+                cases,
+                default_var,
+                default_body,
+            } => self.eval_typeswitch(operand, cases, *default_var, default_body, st, sink),
+            Core::ElemCtor {
+                name,
+                namespaces,
+                content,
+            } => self.eval_elem_ctor(name, namespaces, content, st, sink),
             Core::AttrCtor { name, value } => self.eval_attr_ctor(name, value, st, sink),
             Core::TextCtor(inner) => self.eval_leaf_ctor(LeafCtor::Text, inner, st, sink),
             Core::CommentCtor(inner) => self.eval_leaf_ctor(LeafCtor::Comment, inner, st, sink),
@@ -428,12 +487,26 @@ impl<'m> Evaluator<'m> {
             Core::DocCtor(inner) => {
                 let items = self.eval(inner, st)?;
                 let node = construct::build_document(&st.store, &items)?;
-                self.counters.nodes_constructed.set(self.counters.nodes_constructed.get() + 1);
+                self.counters
+                    .nodes_constructed
+                    .set(self.counters.nodes_constructed.get() + 1);
                 sink.accept(self, st, Item::Node(node))
             }
-            Core::OrderedFlwor { clauses, where_clause, order, stable, body } => {
-                self.eval_ordered_flwor(clauses, where_clause.as_deref(), order, *stable, body, st, sink)
-            }
+            Core::OrderedFlwor {
+                clauses,
+                where_clause,
+                order,
+                stable,
+                body,
+            } => self.eval_ordered_flwor(
+                clauses,
+                where_clause.as_deref(),
+                order,
+                *stable,
+                body,
+                st,
+                sink,
+            ),
             Core::HashJoin {
                 outer_var,
                 outer,
@@ -444,12 +517,19 @@ impl<'m> Evaluator<'m> {
                 group,
                 body,
             } => self.eval_hash_join(
-                *outer_var, outer, *inner_var, inner, outer_key, inner_key, group.as_ref(), body,
-                st, sink,
+                *outer_var,
+                outer,
+                *inner_var,
+                inner,
+                outer_key,
+                inner_key,
+                group.as_ref(),
+                body,
+                st,
+                sink,
             ),
         }
     }
-
 
     #[inline(never)]
     fn eval_arith(
@@ -536,11 +616,15 @@ impl<'m> Evaluator<'m> {
             }
             SetOp::Intersect => {
                 right.sort();
-                left.into_iter().filter(|n| right.binary_search(n).is_ok()).collect()
+                left.into_iter()
+                    .filter(|n| right.binary_search(n).is_ok())
+                    .collect()
             }
             SetOp::Except => {
                 right.sort();
-                left.into_iter().filter(|n| right.binary_search(n).is_err()).collect()
+                left.into_iter()
+                    .filter(|n| right.binary_search(n).is_err())
+                    .collect()
             }
         };
         out.sort();
@@ -563,7 +647,9 @@ impl<'m> Evaluator<'m> {
             if optional {
                 return Ok(Flow::More);
             }
-            return Err(Error::type_error("cast of empty sequence to non-optional type"));
+            return Err(Error::type_error(
+                "cast of empty sequence to non-optional type",
+            ));
         };
         sink.accept(self, st, Item::Atomic(v.cast_to(ty)?))
     }
@@ -598,7 +684,9 @@ impl<'m> Evaluator<'m> {
         let items = self.eval(inner, st)?;
         let store = st.store.clone();
         if !sequence_matches(&items, ty, &store) {
-            return Err(Error::type_error(format!("treat as {ty} failed at runtime")));
+            return Err(Error::type_error(format!(
+                "treat as {ty} failed at runtime"
+            )));
         }
         for item in items {
             if sink.accept(self, st, item)? == Flow::Done {
@@ -654,7 +742,9 @@ impl<'m> Evaluator<'m> {
             items.extend(self.eval(c, st)?);
         }
         let node = construct::build_element(&st.store, &qname, namespaces, &items)?;
-        self.counters.nodes_constructed.set(self.counters.nodes_constructed.get() + 1);
+        self.counters
+            .nodes_constructed
+            .set(self.counters.nodes_constructed.get() + 1);
         sink.accept(self, st, Item::Node(node))
     }
 
@@ -687,7 +777,9 @@ impl<'m> Evaluator<'m> {
             }
         }
         let node = construct::build_attribute(&st.store, &qname, &s)?;
-        self.counters.nodes_constructed.set(self.counters.nodes_constructed.get() + 1);
+        self.counters
+            .nodes_constructed
+            .set(self.counters.nodes_constructed.get() + 1);
         sink.accept(self, st, Item::Node(node))
     }
 
@@ -705,12 +797,18 @@ impl<'m> Evaluator<'m> {
         }
         let store = st.store.clone();
         let vals = atomize(&items, &store)?;
-        let s = vals.iter().map(|v| v.string_value()).collect::<Vec<_>>().join(" ");
+        let s = vals
+            .iter()
+            .map(|v| v.string_value())
+            .collect::<Vec<_>>()
+            .join(" ");
         let node = match kind {
             LeafCtor::Text => construct::build_text(&st.store, &s)?,
             LeafCtor::Comment => construct::build_comment(&st.store, &s)?,
         };
-        self.counters.nodes_constructed.set(self.counters.nodes_constructed.get() + 1);
+        self.counters
+            .nodes_constructed
+            .set(self.counters.nodes_constructed.get() + 1);
         sink.accept(self, st, Item::Node(node))
     }
 
@@ -725,7 +823,11 @@ impl<'m> Evaluator<'m> {
         let items = self.eval(value, st)?;
         let store = st.store.clone();
         let vals = atomize(&items, &store)?;
-        let s = vals.iter().map(|v| v.string_value()).collect::<Vec<_>>().join(" ");
+        let s = vals
+            .iter()
+            .map(|v| v.string_value())
+            .collect::<Vec<_>>()
+            .join(" ");
         let node = construct::build_pi(&st.store, target.local_name(), &s)?;
         sink.accept(self, st, Item::Node(node))
     }
@@ -733,7 +835,9 @@ impl<'m> Evaluator<'m> {
     fn eval_integer_opt(&self, e: &Core, st: &mut ExecState) -> Result<Option<i64>> {
         let store = st.store.clone();
         let items = self.eval(e, st)?;
-        let Some(v) = atomize_one(&items, &store, "range")? else { return Ok(None) };
+        let Some(v) = atomize_one(&items, &store, "range")? else {
+            return Ok(None);
+        };
         match v.cast_to(AtomicType::Integer) {
             Ok(AtomicValue::Integer(i)) => Ok(Some(i)),
             _ => Err(Error::type_error("range bounds must be integers")),
@@ -780,9 +884,13 @@ impl<'m> Evaluator<'m> {
         if !any_node {
             return Ok(items);
         }
-        self.counters.ddo_sorts.set(self.counters.ddo_sorts.get() + 1);
-        let mut nodes: Vec<NodeRef> =
-            items.into_iter().map(|i| i.as_node().expect("all nodes")).collect();
+        self.counters
+            .ddo_sorts
+            .set(self.counters.ddo_sorts.get() + 1);
+        let mut nodes: Vec<NodeRef> = items
+            .into_iter()
+            .map(|i| i.as_node().expect("all nodes"))
+            .collect();
         nodes.sort();
         nodes.dedup();
         Ok(nodes.into_iter().map(Item::Node).collect())
@@ -825,7 +933,10 @@ impl<'m> Evaluator<'m> {
                 let _ = store;
                 return Ok(match v {
                     AtomicValue::Integer(k) => *k == position,
-                    other => other.to_double().map(|d| d == position as f64).unwrap_or(false),
+                    other => other
+                        .to_double()
+                        .map(|d| d == position as f64)
+                        .unwrap_or(false),
                 });
             }
         }
@@ -881,7 +992,9 @@ impl<'m> Evaluator<'m> {
             .functions
             .get(fid.0 as usize)
             .ok_or_else(|| Error::internal("dangling function id"))?;
-        self.counters.function_calls.set(self.counters.function_calls.get() + 1);
+        self.counters
+            .function_calls
+            .set(self.counters.function_calls.get() + 1);
         // Evaluate arguments, checking declared types.
         let store = st.store.clone();
         let mut values = Vec::with_capacity(args.len());
@@ -899,9 +1012,7 @@ impl<'m> Evaluator<'m> {
         }
         // Memoization: atomic-only argument lists keyed by string form.
         let memo_key = if self.options.memoize_functions {
-            let all_atomic = values
-                .iter()
-                .all(|v| v.iter().all(|i| !i.is_node()));
+            let all_atomic = values.iter().all(|v| v.iter().all(|i| !i.is_node()));
             if all_atomic {
                 let key = values
                     .iter()
@@ -925,7 +1036,9 @@ impl<'m> Evaluator<'m> {
         };
         if let Some(k) = &memo_key {
             if let Some(cached) = self.memo.borrow().get(k) {
-                self.counters.memo_hits.set(self.counters.memo_hits.get() + 1);
+                self.counters
+                    .memo_hits
+                    .set(self.counters.memo_hits.get() + 1);
                 for item in cached.iter() {
                     if sink.accept(self, st, item.clone())? == Flow::Done {
                         return Ok(Flow::Done);
@@ -938,7 +1051,10 @@ impl<'m> Evaluator<'m> {
         if depth >= self.options.max_call_depth {
             return Err(Error::new(
                 ErrorCode::Limit,
-                format!("function call depth exceeds {}", self.options.max_call_depth),
+                format!(
+                    "function call depth exceeds {}",
+                    self.options.max_call_depth
+                ),
             ));
         }
         self.depth.set(depth + 1);
@@ -988,7 +1104,10 @@ impl<'m> Evaluator<'m> {
             return Ok(n);
         }
         let xml = self.dyn_ctx.documents.get(uri).ok_or_else(|| {
-            Error::new(ErrorCode::DocumentNotFound, format!("no document at {uri:?}"))
+            Error::new(
+                ErrorCode::DocumentNotFound,
+                format!("no document at {uri:?}"),
+            )
         })?;
         let id = st.store.load_xml_guarded(xml, Some(uri), &st.guard)?;
         let n = NodeRef::new(id, NodeId(0));
@@ -1013,15 +1132,25 @@ impl<'m> Evaluator<'m> {
         let mut tuples: Vec<Tuple> = Vec::new();
         let mut group_cache: HashMap<usize, (Sequence, HashMap<JoinKey, Vec<usize>>)> =
             HashMap::new();
-        self.gen_tuples(clauses, 0, where_clause, st, &mut Vec::new(), &mut tuples, &mut group_cache)?;
+        self.gen_tuples(
+            clauses,
+            0,
+            where_clause,
+            st,
+            &mut Vec::new(),
+            &mut tuples,
+            &mut group_cache,
+        )?;
 
         // Evaluate sort keys per tuple.
         let store = st.store.clone();
         let tz = self.dyn_ctx.implicit_timezone;
         let mut keyed: Vec<(Vec<Option<AtomicValue>>, Tuple)> = Vec::with_capacity(tuples.len());
         for tuple in tuples {
-            let saved: Vec<_> =
-                tuple.iter().map(|(v, seq)| (*v, st.frame.bind(*v, seq.clone()))).collect();
+            let saved: Vec<_> = tuple
+                .iter()
+                .map(|(v, seq)| (*v, st.frame.bind(*v, seq.clone())))
+                .collect();
             let mut keys = Vec::with_capacity(order.len());
             for spec in order {
                 let items = self.eval(&spec.key, st)?;
@@ -1083,8 +1212,10 @@ impl<'m> Evaluator<'m> {
         }
         // Emit bodies in sorted tuple order.
         for (_, tuple) in keyed {
-            let saved: Vec<_> =
-                tuple.iter().map(|(v, seq)| (*v, st.frame.bind(*v, seq.clone()))).collect();
+            let saved: Vec<_> = tuple
+                .iter()
+                .map(|(v, seq)| (*v, st.frame.bind(*v, seq.clone())))
+                .collect();
             let r = self.push(body, st, sink);
             for (v, s) in saved.into_iter().rev() {
                 st.frame.restore(v, s);
@@ -1118,7 +1249,11 @@ impl<'m> Evaluator<'m> {
             return Ok(());
         }
         match &clauses[idx] {
-            CoreClause::For { var, position, source } => {
+            CoreClause::For {
+                var,
+                position,
+                source,
+            } => {
                 let items = self.eval(source, st)?;
                 for (i, item) in items.into_iter().enumerate() {
                     let one = Arc::new(vec![item]);
@@ -1131,7 +1266,13 @@ impl<'m> Evaluator<'m> {
                         current.push((*p, pv));
                     }
                     let r = self.gen_tuples(
-                        clauses, idx + 1, where_clause, st, current, out, group_cache,
+                        clauses,
+                        idx + 1,
+                        where_clause,
+                        st,
+                        current,
+                        out,
+                        group_cache,
                     );
                     if let Some((p, s)) = pos_saved {
                         st.frame.restore(p, s);
@@ -1147,13 +1288,27 @@ impl<'m> Evaluator<'m> {
                 let v = Arc::new(self.eval(value, st)?);
                 let saved = st.frame.bind(*var, v.clone());
                 current.push((*var, v));
-                let r =
-                    self.gen_tuples(clauses, idx + 1, where_clause, st, current, out, group_cache);
+                let r = self.gen_tuples(
+                    clauses,
+                    idx + 1,
+                    where_clause,
+                    st,
+                    current,
+                    out,
+                    group_cache,
+                );
                 st.frame.restore(*var, saved);
                 current.pop();
                 r
             }
-            CoreClause::GroupLet { var, inner_var, inner, inner_key, outer_key, match_body } => {
+            CoreClause::GroupLet {
+                var,
+                inner_var,
+                inner,
+                inner_key,
+                outer_key,
+                match_body,
+            } => {
                 // Build (once) the inner items + hash table.
                 if let std::collections::hash_map::Entry::Vacant(e) = group_cache.entry(idx) {
                     let store = st.store.clone();
@@ -1170,7 +1325,9 @@ impl<'m> Evaluator<'m> {
                             }
                         }
                     }
-                    self.counters.join_builds.set(self.counters.join_builds.get() + 1);
+                    self.counters
+                        .join_builds
+                        .set(self.counters.join_builds.get() + 1);
                     e.insert((inner_items, table));
                 }
                 // Probe with the current tuple's outer key.
@@ -1201,8 +1358,15 @@ impl<'m> Evaluator<'m> {
                 let v = Arc::new(grouped);
                 let saved = st.frame.bind(*var, v.clone());
                 current.push((*var, v));
-                let r =
-                    self.gen_tuples(clauses, idx + 1, where_clause, st, current, out, group_cache);
+                let r = self.gen_tuples(
+                    clauses,
+                    idx + 1,
+                    where_clause,
+                    st,
+                    current,
+                    out,
+                    group_cache,
+                );
                 st.frame.restore(*var, saved);
                 current.pop();
                 r
@@ -1224,7 +1388,9 @@ impl<'m> Evaluator<'m> {
         st: &mut ExecState,
         sink: &mut dyn Sink,
     ) -> Result<Flow> {
-        self.counters.join_builds.set(self.counters.join_builds.get() + 1);
+        self.counters
+            .join_builds
+            .set(self.counters.join_builds.get() + 1);
         let store = st.store.clone();
         // Build phase over the inner (independent) side.
         let inner_items = self.eval(inner, st)?;
@@ -1403,7 +1569,11 @@ impl Sink for PathSink<'_> {
                 "path step applied to an atomic value",
             ));
         }
-        st.focus.push(Focus { item, position: 0, size: None });
+        st.focus.push(Focus {
+            item,
+            position: 0,
+            size: None,
+        });
         // Verify result homogeneity through a checking shim.
         let mut shim = HomogeneitySink {
             downstream: self.downstream,
@@ -1448,7 +1618,11 @@ struct FilterSink<'a> {
 impl Sink for FilterSink<'_> {
     fn accept(&mut self, ev: &Evaluator<'_>, st: &mut ExecState, item: Item) -> Result<Flow> {
         self.position += 1;
-        st.focus.push(Focus { item: item.clone(), position: self.position, size: None });
+        st.focus.push(Focus {
+            item: item.clone(),
+            position: self.position,
+            size: None,
+        });
         let keep = ev.predicate_holds(self.predicate, st, self.position);
         st.focus.pop();
         if keep? {
@@ -1518,27 +1692,37 @@ pub fn node_test_matches(
         NodeTest::Document => kind == NodeKind::Document,
         NodeTest::Pi(target) => {
             kind == NodeKind::ProcessingInstruction
-                && target.as_ref().is_none_or(|t| {
-                    doc.name(n).map(|q| q.local_name() == t).unwrap_or(false)
-                })
+                && target
+                    .as_ref()
+                    .is_none_or(|t| doc.name(n).map(|q| q.local_name() == t).unwrap_or(false))
         }
         NodeTest::AnyName => kind == principal,
         NodeTest::Name(q) => kind == principal && doc.name(n).as_ref() == Some(q),
         NodeTest::NamespaceWildcard(ns) => {
             kind == principal
-                && doc.name(n).map(|q| q.namespace() == Some(ns.as_str())).unwrap_or(false)
+                && doc
+                    .name(n)
+                    .map(|q| q.namespace() == Some(ns.as_str()))
+                    .unwrap_or(false)
         }
         NodeTest::LocalWildcard(local) => {
             kind == principal
-                && doc.name(n).map(|q| q.local_name() == local).unwrap_or(false)
+                && doc
+                    .name(n)
+                    .map(|q| q.local_name() == local)
+                    .unwrap_or(false)
         }
         NodeTest::Element(name) => {
             kind == NodeKind::Element
-                && name.as_ref().is_none_or(|q| doc.name(n).as_ref() == Some(q))
+                && name
+                    .as_ref()
+                    .is_none_or(|q| doc.name(n).as_ref() == Some(q))
         }
         NodeTest::Attribute(name) => {
             kind == NodeKind::Attribute
-                && name.as_ref().is_none_or(|q| doc.name(n).as_ref() == Some(q))
+                && name
+                    .as_ref()
+                    .is_none_or(|q| doc.name(n).as_ref() == Some(q))
         }
     }
 }

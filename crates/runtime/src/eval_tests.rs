@@ -38,7 +38,10 @@ fn run_both(query: &str) -> String {
     let optimized = run(query);
     let compiled = compile(
         query,
-        &CompileOptions { rewrite: RewriteConfig::none(), ..Default::default() },
+        &CompileOptions {
+            rewrite: RewriteConfig::none(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let store = Store::new();
@@ -46,7 +49,10 @@ fn run_both(query: &str) -> String {
     let (result, _) = crate::execute(&compiled, &store, &ctx, RuntimeOptions::default())
         .unwrap_or_else(|e| panic!("{query} (unoptimized): {e}"));
     let unoptimized = serialize_sequence(&result, &store);
-    assert_eq!(optimized, unoptimized, "optimizer changed semantics of {query}");
+    assert_eq!(
+        optimized, unoptimized,
+        "optimizer changed semantics of {query}"
+    );
     optimized
 }
 
@@ -137,10 +143,16 @@ mod basics {
 
     #[test]
     fn errors_propagate() {
-        assert_eq!(try_run("1 idiv 0").unwrap_err().code, ErrorCode::DivisionByZero);
+        assert_eq!(
+            try_run("1 idiv 0").unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
         assert_eq!(try_run(r#""a" + 1"#).unwrap_err().code, ErrorCode::Type);
         assert_eq!(try_run("error()").unwrap_err().code, ErrorCode::UserError);
-        assert_eq!(try_run("exactly-one(())").unwrap_err().code, ErrorCode::Cardinality);
+        assert_eq!(
+            try_run("exactly-one(())").unwrap_err().code,
+            ErrorCode::Cardinality
+        );
     }
 }
 
@@ -175,7 +187,10 @@ mod comparisons {
         // Two constructions are distinct nodes.
         assert_eq!(run("let $x := <a/> return $x is $x"), "true");
         assert_eq!(run("<a/> is <a/>"), "false");
-        assert_eq!(run("let $x := <a/> return let $y := <b/> return $x << $y"), "true");
+        assert_eq!(
+            run("let $x := <a/> return let $y := <b/> return $x << $y"),
+            "true"
+        );
     }
 }
 
@@ -185,7 +200,10 @@ mod flwor {
     #[test]
     fn basic_iteration() {
         assert_eq!(run_both("for $x in (1, 2, 3) return $x * 2"), "2 4 6");
-        assert_eq!(run_both("for $x in (1, 2, 3) where $x ge 2 return $x"), "2 3");
+        assert_eq!(
+            run_both("for $x in (1, 2, 3) where $x ge 2 return $x"),
+            "2 3"
+        );
         assert_eq!(run_both("let $x := (1, 2, 3) return count($x)"), "3");
     }
 
@@ -203,12 +221,18 @@ mod flwor {
 
     #[test]
     fn positional_variables() {
-        assert_eq!(run_both(r#"for $x at $i in ("a", "b", "c") return $i"#), "1 2 3");
+        assert_eq!(
+            run_both(r#"for $x at $i in ("a", "b", "c") return $i"#),
+            "1 2 3"
+        );
     }
 
     #[test]
     fn order_by() {
-        assert_eq!(run_both("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+        assert_eq!(
+            run_both("for $x in (3, 1, 2) order by $x return $x"),
+            "1 2 3"
+        );
         assert_eq!(
             run_both("for $x in (3, 1, 2) order by $x descending return $x"),
             "3 2 1"
@@ -226,7 +250,9 @@ mod flwor {
         );
         // empty handling
         assert_eq!(
-            run_both("for $x in ((2, 3)[. lt 3], (99)[. lt 3], 1) order by $x empty greatest return $x"),
+            run_both(
+                "for $x in ((2, 3)[. lt 3], (99)[. lt 3], 1) order by $x empty greatest return $x"
+            ),
             "1 2"
         );
     }
@@ -238,7 +264,10 @@ mod flwor {
         assert_eq!(run_both("every $x in (1, 2, 3) satisfies $x gt 1"), "false");
         assert_eq!(run_both("some $x in () satisfies $x eq 1"), "false");
         assert_eq!(run_both("every $x in () satisfies 1 eq 2"), "true");
-        assert_eq!(run_both("some $x in (1, 2), $y in (2, 3) satisfies $x eq $y"), "true");
+        assert_eq!(
+            run_both("some $x in (1, 2), $y in (2, 3) satisfies $x eq $y"),
+            "true"
+        );
     }
 
     #[test]
@@ -312,9 +341,12 @@ mod paths {
     const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last></author><publisher>Addison-Wesley</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author><last>Abiteboul</last></author><author><last>Buneman</last></author><publisher>Morgan Kaufmann</publisher><price>39.95</price></book><book year="1999"><title>Economics of Tech</title><author><last>Shapiro</last></author><publisher>MIT Press</publisher><price>129.95</price></book></bib>"#;
 
     fn run_bib(query: &str) -> String {
-        run_with(&format!(r#"declare variable $doc := doc("bib.xml"); {query}"#), |ctx, _| {
-            ctx.add_document("bib.xml", BIB);
-        })
+        run_with(
+            &format!(r#"declare variable $doc := doc("bib.xml"); {query}"#),
+            |ctx, _| {
+                ctx.add_document("bib.xml", BIB);
+            },
+        )
     }
 
     #[test]
@@ -337,12 +369,18 @@ mod paths {
     fn attributes() {
         assert_eq!(run_bib("string($doc/bib/book[1]/@year)"), "1994");
         assert_eq!(run_bib("count($doc//@year)"), "3");
-        assert_eq!(run_bib("$doc//book[@year = 2000]/title/text()"), "Data on the Web");
+        assert_eq!(
+            run_bib("$doc//book[@year = 2000]/title/text()"),
+            "Data on the Web"
+        );
     }
 
     #[test]
     fn predicates() {
-        assert_eq!(run_bib(r#"$doc//book[price < 50]/title/text()"#), "Data on the Web");
+        assert_eq!(
+            run_bib(r#"$doc//book[price < 50]/title/text()"#),
+            "Data on the Web"
+        );
         assert_eq!(
             run_bib("$doc//book[count(author) gt 1]/title/text()"),
             "Data on the Web"
@@ -351,7 +389,10 @@ mod paths {
         // The classic mistake slide: //book/author[1] ≠ (//book/author)[1]
         assert_eq!(run_bib("count($doc//book/author[1])"), "3");
         assert_eq!(run_bib("count(($doc//book/author)[1])"), "1");
-        assert_eq!(run_bib("$doc//book[position() eq 3]/@year/string()"), "1999");
+        assert_eq!(
+            run_bib("$doc//book[position() eq 3]/@year/string()"),
+            "1999"
+        );
         assert_eq!(run_bib("$doc//book[last()]/@year/string()"), "1999");
     }
 
@@ -434,22 +475,34 @@ mod constructors {
     fn attribute_value_templates() {
         assert_eq!(run(r#"<a b="{1+1}"/>"#), r#"<a b="2"/>"#);
         assert_eq!(run(r#"<a b="x{1}y"/>"#), r#"<a b="x1y"/>"#);
-        assert_eq!(run(r#"let $v := (1,2) return <a b="{$v}"/>"#), r#"<a b="1 2"/>"#);
+        assert_eq!(
+            run(r#"let $v := (1,2) return <a b="{$v}"/>"#),
+            r#"<a b="1 2"/>"#
+        );
     }
 
     #[test]
     fn computed_constructors() {
         assert_eq!(run("element foo { 1 + 1 }"), "<foo>2</foo>");
         assert_eq!(run(r#"element { concat("a", "b") } { "x" }"#), "<ab>x</ab>");
-        assert_eq!(run(r#"<e>{ attribute year { 1967 } }</e>"#), r#"<e year="1967"/>"#);
+        assert_eq!(
+            run(r#"<e>{ attribute year { 1967 } }</e>"#),
+            r#"<e year="1967"/>"#
+        );
         assert_eq!(run(r#"string(text { "hi" })"#), "hi");
         assert_eq!(run("document { <a/> }"), "<a/>");
     }
 
     #[test]
     fn copied_content() {
-        assert_eq!(run("let $x := <b>inner</b> return <a>{$x}</a>"), "<a><b>inner</b></a>");
-        assert_eq!(run("let $x := <b/> return <a>{$x, $x}</a>"), "<a><b/><b/></a>");
+        assert_eq!(
+            run("let $x := <b>inner</b> return <a>{$x}</a>"),
+            "<a><b>inner</b></a>"
+        );
+        assert_eq!(
+            run("let $x := <b/> return <a>{$x, $x}</a>"),
+            "<a><b/><b/></a>"
+        );
     }
 
     #[test]
@@ -462,7 +515,10 @@ mod constructors {
 
     #[test]
     fn querying_constructed_nodes() {
-        assert_eq!(run("let $d := <r><x>1</x><x>2</x></r> return count($d/x)"), "2");
+        assert_eq!(
+            run("let $d := <r><x>1</x><x>2</x></r> return count($d/x)"),
+            "2"
+        );
         assert_eq!(run("<r><x>5</x></r>/x/text()"), "5");
     }
 }
@@ -484,7 +540,10 @@ mod laziness {
 
     #[test]
     fn quantifier_over_huge_range() {
-        assert_eq!(run("some $x in (1 to 1000000000) satisfies $x eq 5"), "true");
+        assert_eq!(
+            run("some $x in (1 to 1000000000) satisfies $x eq 5"),
+            "true"
+        );
     }
 
     #[test]
@@ -576,14 +635,20 @@ mod memoization {
             &compiled,
             &store,
             &ctx,
-            RuntimeOptions { memoize_functions: false, ..Default::default() },
+            RuntimeOptions {
+                memoize_functions: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (r2, c2) = crate::execute(
             &compiled,
             &store,
             &ctx,
-            RuntimeOptions { memoize_functions: true, ..Default::default() },
+            RuntimeOptions {
+                memoize_functions: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(r1, r2);
@@ -618,8 +683,14 @@ mod counters {
         let doc = "<a><b><c/><c/></b><b><c/></b></a>";
         let q = r#"declare variable $d := doc("d.xml"); count($d/a/b/c)"#;
         let run_counting = |cfg: RewriteConfig| {
-            let compiled =
-                compile(q, &CompileOptions { rewrite: cfg, ..Default::default() }).unwrap();
+            let compiled = compile(
+                q,
+                &CompileOptions {
+                    rewrite: cfg,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             let store = Store::new();
             let mut ctx = DynamicContext::new();
             ctx.add_document("d.xml", doc);

@@ -9,9 +9,7 @@ use crate::value::{atomize, atomize_one, deep_equal_item, Item, Sequence};
 use std::collections::HashSet;
 use xqr_compiler::Core;
 use xqr_store::NodeRef;
-use xqr_xdm::{
-    AtomicType, AtomicValue, Decimal, Duration, Error, ErrorCode, Result,
-};
+use xqr_xdm::{AtomicType, AtomicValue, Decimal, Duration, Error, ErrorCode, Result};
 
 /// Evaluate a built-in call, streaming results into `sink`.
 pub fn call(
@@ -30,13 +28,23 @@ pub fn call(
     Ok(Flow::More)
 }
 
-fn one_string(ev: &Evaluator<'_>, args: &[Core], idx: usize, st: &mut ExecState) -> Result<Option<String>> {
+fn one_string(
+    ev: &Evaluator<'_>,
+    args: &[Core],
+    idx: usize,
+    st: &mut ExecState,
+) -> Result<Option<String>> {
     let store = st.store.clone();
     let items = ev.eval(&args[idx], st)?;
     Ok(atomize_one(&items, &store, "string argument")?.map(|v| v.string_value()))
 }
 
-fn string_or_empty(ev: &Evaluator<'_>, args: &[Core], idx: usize, st: &mut ExecState) -> Result<String> {
+fn string_or_empty(
+    ev: &Evaluator<'_>,
+    args: &[Core],
+    idx: usize,
+    st: &mut ExecState,
+) -> Result<String> {
     Ok(one_string(ev, args, idx, st)?.unwrap_or_default())
 }
 
@@ -57,12 +65,7 @@ fn bool_item(b: bool) -> Sequence {
     vec![Item::boolean(b)]
 }
 
-fn dispatch(
-    ev: &Evaluator<'_>,
-    name: &str,
-    args: &[Core],
-    st: &mut ExecState,
-) -> Result<Sequence> {
+fn dispatch(ev: &Evaluator<'_>, name: &str, args: &[Core], st: &mut ExecState) -> Result<Sequence> {
     let store = st.store.clone();
     let tz = ev.dyn_ctx.implicit_timezone;
     Ok(match name {
@@ -92,16 +95,17 @@ fn dispatch(
                 match items.len() {
                     0 => String::new(),
                     1 => items[0].string_value(&store),
-                    _ => {
-                        return Err(Error::type_error("fn:string on a multi-item sequence"))
-                    }
+                    _ => return Err(Error::type_error("fn:string on a multi-item sequence")),
                 }
             };
             str_item(s)
         }
         "data" => {
             let items = ev.eval(&args[0], st)?;
-            atomize(&items, &store)?.into_iter().map(Item::Atomic).collect()
+            atomize(&items, &store)?
+                .into_iter()
+                .map(Item::Atomic)
+                .collect()
         }
         "node-name" => {
             let items = ev.eval(&args[0], st)?;
@@ -164,14 +168,22 @@ fn dispatch(
 
         // ---- documents ---------------------------------------------------------
         "doc" | "document" => {
-            let Some(uri) = one_string(ev, args, 0, st)? else { return Ok(Vec::new()) };
+            let Some(uri) = one_string(ev, args, 0, st)? else {
+                return Ok(Vec::new());
+            };
             vec![Item::Node(ev.resolve_doc(&uri, st)?)]
         }
         "collection" => {
             if args.is_empty() {
-                ev.dyn_ctx.default_collection.iter().map(|n| Item::Node(*n)).collect()
+                ev.dyn_ctx
+                    .default_collection
+                    .iter()
+                    .map(|n| Item::Node(*n))
+                    .collect()
             } else {
-                let Some(uri) = one_string(ev, args, 0, st)? else { return Ok(Vec::new()) };
+                let Some(uri) = one_string(ev, args, 0, st)? else {
+                    return Ok(Vec::new());
+                };
                 vec![Item::Node(ev.resolve_doc(&uri, st)?)]
             }
         }
@@ -229,7 +241,11 @@ fn dispatch(
         "subsequence" => {
             let items = ev.eval(&args[0], st)?;
             let start = number_arg(ev, args, 1, st)?;
-            let len = if args.len() > 2 { Some(number_arg(ev, args, 2, st)?) } else { None };
+            let len = if args.len() > 2 {
+                Some(number_arg(ev, args, 2, st)?)
+            } else {
+                None
+            };
             let start_round = start.round();
             let end = len.map(|l| start_round + l.round());
             items
@@ -308,8 +324,7 @@ fn dispatch(
             let a = ev.eval(&args[0], st)?;
             let b = ev.eval(&args[1], st)?;
             bool_item(
-                a.len() == b.len()
-                    && a.iter().zip(&b).all(|(x, y)| deep_equal_item(x, y, &store)),
+                a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| deep_equal_item(x, y, &store)),
             )
         }
 
@@ -400,18 +415,26 @@ fn dispatch(
         }
         "abs" | "ceiling" | "floor" | "round" => {
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
             vec![Item::Atomic(unary_numeric(name, &v)?)]
         }
         "round-half-to-even" => {
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
-            let precision = if args.len() > 1 { integer_arg(ev, args, 1, st)? } else { 0 };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
+            let precision = if args.len() > 1 {
+                integer_arg(ev, args, 1, st)?
+            } else {
+                0
+            };
             let r = match v {
                 AtomicValue::Integer(_) if precision >= 0 => v,
-                AtomicValue::Integer(i) => AtomicValue::Decimal(
-                    Decimal::from_i64(i).round_half_even(precision),
-                ),
+                AtomicValue::Integer(i) => {
+                    AtomicValue::Decimal(Decimal::from_i64(i).round_half_even(precision))
+                }
                 AtomicValue::Decimal(d) => AtomicValue::Decimal(d.round_half_even(precision)),
                 AtomicValue::Double(d) => {
                     let factor = 10f64.powi(precision as i32);
@@ -449,7 +472,10 @@ fn dispatch(
             let sep = string_or_empty(ev, args, 1, st)?;
             let vals = atomize(&items, &store)?;
             str_item(
-                vals.iter().map(|v| v.string_value()).collect::<Vec<_>>().join(&sep),
+                vals.iter()
+                    .map(|v| v.string_value())
+                    .collect::<Vec<_>>()
+                    .join(&sep),
             )
         }
         "string-length" => {
@@ -464,7 +490,11 @@ fn dispatch(
             let s = string_or_empty(ev, args, 0, st)?;
             let chars: Vec<char> = s.chars().collect();
             let start = number_arg(ev, args, 1, st)?.round();
-            let len = if args.len() > 2 { Some(number_arg(ev, args, 2, st)?.round()) } else { None };
+            let len = if args.len() > 2 {
+                Some(number_arg(ev, args, 2, st)?.round())
+            } else {
+                None
+            };
             let out: String = chars
                 .iter()
                 .enumerate()
@@ -502,7 +532,9 @@ fn dispatch(
             let a = string_or_empty(ev, args, 0, st)?;
             let b = string_or_empty(ev, args, 1, st)?;
             str_item(
-                a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
+                a.find(&b)
+                    .map(|i| a[i + b.len()..].to_string())
+                    .unwrap_or_default(),
             )
         }
         "normalize-space" => {
@@ -583,21 +615,29 @@ fn dispatch(
         }
 
         // ---- dates -----------------------------------------------------------------------------
-        "current-dateTime" => vec![Item::Atomic(AtomicValue::DateTime(ev.dyn_ctx.current_datetime))],
+        "current-dateTime" => vec![Item::Atomic(AtomicValue::DateTime(
+            ev.dyn_ctx.current_datetime,
+        ))],
         "current-date" => {
-            vec![Item::Atomic(AtomicValue::Date(ev.dyn_ctx.current_datetime.date()))]
+            vec![Item::Atomic(AtomicValue::Date(
+                ev.dyn_ctx.current_datetime.date(),
+            ))]
         }
         "current-time" => {
-            vec![Item::Atomic(AtomicValue::Time(ev.dyn_ctx.current_datetime.time()))]
+            vec![Item::Atomic(AtomicValue::Time(
+                ev.dyn_ctx.current_datetime.time(),
+            ))]
         }
         "implicit-timezone" => {
-            vec![Item::Atomic(AtomicValue::DayTimeDuration(Duration::from_millis(
-                ev.dyn_ctx.implicit_timezone as i64 * 60_000,
-            )))]
+            vec![Item::Atomic(AtomicValue::DayTimeDuration(
+                Duration::from_millis(ev.dyn_ctx.implicit_timezone as i64 * 60_000),
+            ))]
         }
         "year-from-date" | "month-from-date" | "day-from-date" => {
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
             let d = match v.cast_to(AtomicType::Date)? {
                 AtomicValue::Date(d) => d,
                 _ => unreachable!("cast to date"),
@@ -608,10 +648,16 @@ fn dispatch(
                 _ => d.day as i64,
             })
         }
-        "year-from-dateTime" | "month-from-dateTime" | "day-from-dateTime"
-        | "hours-from-dateTime" | "minutes-from-dateTime" | "seconds-from-dateTime" => {
+        "year-from-dateTime"
+        | "month-from-dateTime"
+        | "day-from-dateTime"
+        | "hours-from-dateTime"
+        | "minutes-from-dateTime"
+        | "seconds-from-dateTime" => {
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
             let dt = match v.cast_to(AtomicType::DateTime)? {
                 AtomicValue::DateTime(d) => d,
                 _ => unreachable!("cast to dateTime"),
@@ -635,7 +681,9 @@ fn dispatch(
         "add-date" => {
             // The talk's F&O sampler: add-date(date, duration) → date.
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
             let d = match v.cast_to(AtomicType::Date)? {
                 AtomicValue::Date(d) => d,
                 _ => unreachable!("cast to date"),
@@ -659,10 +707,16 @@ fn dispatch(
             vec![Item::Atomic(AtomicValue::Date(d.add_duration(dur)?))]
         }
 
-        "years-from-duration" | "months-from-duration" | "days-from-duration"
-        | "hours-from-duration" | "minutes-from-duration" | "seconds-from-duration" => {
+        "years-from-duration"
+        | "months-from-duration"
+        | "days-from-duration"
+        | "hours-from-duration"
+        | "minutes-from-duration"
+        | "seconds-from-duration" => {
             let items = ev.eval(&args[0], st)?;
-            let Some(v) = atomize_one(&items, &store, name)? else { return Ok(Vec::new()) };
+            let Some(v) = atomize_one(&items, &store, name)? else {
+                return Ok(Vec::new());
+            };
             let d = match v {
                 AtomicValue::Duration(d)
                 | AtomicValue::YearMonthDuration(d)
@@ -732,13 +786,11 @@ fn fold_numeric(vals: Vec<AtomicValue>, what: &str) -> Result<AtomicValue> {
     for v in vals {
         acc = Some(match acc {
             None => match v {
-                AtomicValue::UntypedAtomic(_) => {
-                    xqr_compiler::ops::arith(
-                        xqr_xqparser::ast::ArithOp::Add,
-                        &AtomicValue::Double(0.0),
-                        &v,
-                    )?
-                }
+                AtomicValue::UntypedAtomic(_) => xqr_compiler::ops::arith(
+                    xqr_xqparser::ast::ArithOp::Add,
+                    &AtomicValue::Double(0.0),
+                    &v,
+                )?,
                 other => other,
             },
             Some(a) => xqr_compiler::ops::arith(xqr_xqparser::ast::ArithOp::Add, &a, &v)
@@ -789,23 +841,90 @@ mod tests {
     #[test]
     fn all_builtins_have_implementations() {
         let implemented = [
-            "position", "last", "string", "data", "node-name", "name", "local-name",
-            "namespace-uri", "root", "base-uri", "document-uri", "doc", "document",
-            "collection", "empty", "exists", "count", "distinct-values", "distinct-nodes",
-            "reverse", "subsequence", "insert-before", "remove", "index-of", "zero-or-one",
-            "one-or-more", "exactly-one", "unordered", "deep-equal", "sum", "avg", "min",
-            "max", "not", "true", "false", "boolean", "number", "abs", "ceiling", "floor",
-            "round", "round-half-to-even", "concat", "string-join", "string-length",
-            "substring", "upper-case", "lower-case", "contains", "starts-with", "ends-with",
-            "substring-before", "substring-after", "normalize-space", "translate",
-            "tokenize", "matches", "replace", "string-to-codepoints", "codepoints-to-string", "compare",
-            "current-dateTime", "current-date", "current-time", "implicit-timezone",
-            "year-from-date", "month-from-date", "day-from-date", "year-from-dateTime",
-            "month-from-dateTime", "day-from-dateTime", "hours-from-dateTime",
-            "minutes-from-dateTime", "seconds-from-dateTime", "add-date",
-            "years-from-duration", "months-from-duration", "days-from-duration",
-            "hours-from-duration", "minutes-from-duration", "seconds-from-duration",
-            "error", "trace",
+            "position",
+            "last",
+            "string",
+            "data",
+            "node-name",
+            "name",
+            "local-name",
+            "namespace-uri",
+            "root",
+            "base-uri",
+            "document-uri",
+            "doc",
+            "document",
+            "collection",
+            "empty",
+            "exists",
+            "count",
+            "distinct-values",
+            "distinct-nodes",
+            "reverse",
+            "subsequence",
+            "insert-before",
+            "remove",
+            "index-of",
+            "zero-or-one",
+            "one-or-more",
+            "exactly-one",
+            "unordered",
+            "deep-equal",
+            "sum",
+            "avg",
+            "min",
+            "max",
+            "not",
+            "true",
+            "false",
+            "boolean",
+            "number",
+            "abs",
+            "ceiling",
+            "floor",
+            "round",
+            "round-half-to-even",
+            "concat",
+            "string-join",
+            "string-length",
+            "substring",
+            "upper-case",
+            "lower-case",
+            "contains",
+            "starts-with",
+            "ends-with",
+            "substring-before",
+            "substring-after",
+            "normalize-space",
+            "translate",
+            "tokenize",
+            "matches",
+            "replace",
+            "string-to-codepoints",
+            "codepoints-to-string",
+            "compare",
+            "current-dateTime",
+            "current-date",
+            "current-time",
+            "implicit-timezone",
+            "year-from-date",
+            "month-from-date",
+            "day-from-date",
+            "year-from-dateTime",
+            "month-from-dateTime",
+            "day-from-dateTime",
+            "hours-from-dateTime",
+            "minutes-from-dateTime",
+            "seconds-from-dateTime",
+            "add-date",
+            "years-from-duration",
+            "months-from-duration",
+            "days-from-duration",
+            "hours-from-duration",
+            "minutes-from-duration",
+            "seconds-from-duration",
+            "error",
+            "trace",
         ];
         for (name, _, _) in BUILTINS {
             assert!(

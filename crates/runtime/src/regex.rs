@@ -16,7 +16,12 @@ enum Node {
     Alt(Vec<Vec<Node>>),
     Literal(char),
     AnyChar,
-    Class { negated: bool, singles: Vec<char>, ranges: Vec<(char, char)>, perl: Vec<char> },
+    Class {
+        negated: bool,
+        singles: Vec<char>,
+        ranges: Vec<(char, char)>,
+        perl: Vec<char>,
+    },
     PerlClass(char),
     /// Quantified sub-node: (min, max).
     Repeat(Box<Node>, usize, Option<usize>),
@@ -36,7 +41,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> Error {
-        Error::new(ErrorCode::InvalidPattern, format!("{msg} in pattern {:?}", self.src))
+        Error::new(
+            ErrorCode::InvalidPattern,
+            format!("{msg} in pattern {:?}", self.src),
+        )
     }
 
     fn peek(&self) -> Option<char> {
@@ -150,7 +158,9 @@ impl<'a> Parser<'a> {
         let mut ranges = Vec::new();
         let mut perl = Vec::new();
         loop {
-            let c = self.bump().ok_or_else(|| self.err("unterminated character class"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated character class"))?;
             match c {
                 ']' => break,
                 '\\' => {
@@ -178,7 +188,12 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        Ok(Node::Class { negated, singles, ranges, perl })
+        Ok(Node::Class {
+            negated,
+            singles,
+            ranges,
+            perl,
+        })
     }
 }
 
@@ -196,7 +211,11 @@ fn perl_matches(class: char, c: char) -> bool {
 
 impl Regex {
     pub fn new(pattern: &str) -> Result<Regex> {
-        let mut p = Parser { chars: pattern.chars().collect(), pos: 0, src: pattern };
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            src: pattern,
+        };
         let root = p.parse_alt()?;
         if p.pos != p.chars.len() {
             return Err(p.err("unexpected ')'"));
@@ -207,7 +226,12 @@ impl Regex {
     /// Match at a position; returns all possible end positions via the
     /// continuation (backtracking). We only need the leftmost-longest-ish
     /// first match, so `cont` returns true to accept.
-    fn match_node(node: &Node, text: &[char], at: usize, cont: &mut dyn FnMut(usize) -> bool) -> bool {
+    fn match_node(
+        node: &Node,
+        text: &[char],
+        at: usize,
+        cont: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
         match node {
             Node::Alt(alts) => {
                 for alt in alts {
@@ -239,7 +263,12 @@ impl Regex {
                     false
                 }
             }
-            Node::Class { negated, singles, ranges, perl } => {
+            Node::Class {
+                negated,
+                singles,
+                ranges,
+                perl,
+            } => {
                 if at >= text.len() {
                     return false;
                 }

@@ -87,7 +87,10 @@ fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
                             // *next* step descendant via a pending flag —
                             // we encode it as an anonymous descendant
                             // step matched by merging below.
-                            steps.push(StreamStep { descendant: true, name: None });
+                            steps.push(StreamStep {
+                                descendant: true,
+                                name: None,
+                            });
                             return matches!(test, NodeTest::AnyKind);
                         }
                         _ => return false,
@@ -101,7 +104,10 @@ fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
                     if let Some(last) = steps.last() {
                         if last.descendant && last.name.is_none() && !descendant {
                             steps.pop();
-                            steps.push(StreamStep { descendant: true, name });
+                            steps.push(StreamStep {
+                                descendant: true,
+                                name,
+                            });
                             return true;
                         }
                     }
@@ -134,7 +140,11 @@ pub struct StreamMatcher<I: TokenIterator> {
     /// Depth at which a capture started (serializing until it closes).
     capture_depth: Option<usize>,
     writer: Option<XmlWriter>,
-    pending: Vec<(QName, Vec<xqr_xmlparse::Attribute>, Vec<xqr_xmlparse::NamespaceDecl>)>,
+    pending: Vec<(
+        QName,
+        Vec<xqr_xmlparse::Attribute>,
+        Vec<xqr_xmlparse::NamespaceDecl>,
+    )>,
     /// Optional budget: emitted matches charge the output-byte cap (the
     /// token/depth budgets are charged by a guarded token iterator).
     guard: Option<QueryGuard>,
@@ -185,7 +195,9 @@ impl<I: TokenIterator> StreamMatcher<I> {
     /// Pull until the next full match; returns the serialized subtree.
     pub fn next_match(&mut self) -> Result<Option<String>> {
         loop {
-            let Some(tok) = self.it.next_token()? else { return Ok(None) };
+            let Some(tok) = self.it.next_token()? else {
+                return Ok(None);
+            };
             self.stats.tokens_seen += 1;
             match tok {
                 Token::StartDocument | Token::EndDocument => {}
@@ -225,7 +237,11 @@ impl<I: TokenIterator> StreamMatcher<I> {
                         if let Some((_, _, decls)) = self.pending.last_mut() {
                             let prefix = self.it.pooled_str(pid);
                             decls.push(xqr_xmlparse::NamespaceDecl {
-                                prefix: if prefix.is_empty() { None } else { Some(prefix) },
+                                prefix: if prefix.is_empty() {
+                                    None
+                                } else {
+                                    Some(prefix)
+                                },
                                 uri: self.it.pooled_str(uid),
                             });
                         }
@@ -294,7 +310,9 @@ impl<I: TokenIterator> StreamMatcher<I> {
     pub fn count_matches(&mut self) -> Result<u64> {
         let mut count = 0u64;
         loop {
-            let Some(tok) = self.it.next_token()? else { return Ok(count) };
+            let Some(tok) = self.it.next_token()? else {
+                return Ok(count);
+            };
             self.stats.tokens_seen += 1;
             match tok {
                 Token::StartElement(nid) => {
@@ -462,10 +480,8 @@ mod tests {
     fn output_cap_stops_streaming_matches() {
         use xqr_xdm::{ErrorCode, Limits, QueryGuard};
         let p = pattern("/a/b");
-        let it = ParserTokenIterator::new(
-            "<a><b>1</b><b>2</b><b>3</b></a>",
-            Arc::new(NamePool::new()),
-        );
+        let it =
+            ParserTokenIterator::new("<a><b>1</b><b>2</b><b>3</b></a>", Arc::new(NamePool::new()));
         let guard = QueryGuard::new(Limits::unlimited().with_max_output_bytes(10));
         let mut m = StreamMatcher::new(it, p).with_guard(guard);
         // "<b>1</b>" is 8 bytes — under the cap.

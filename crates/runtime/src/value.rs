@@ -135,12 +135,10 @@ pub fn serialize_sequence(items: &[Item], store: &Store) -> String {
 /// Deep equality of two items (fn:deep-equal on singletons).
 pub fn deep_equal_item(a: &Item, b: &Item, store: &Store) -> bool {
     match (a, b) {
-        (Item::Atomic(x), Item::Atomic(y)) => {
-            match x.value_compare(y, 0) {
-                Ok(Some(o)) => o.is_eq(),
-                _ => false,
-            }
-        }
+        (Item::Atomic(x), Item::Atomic(y)) => match x.value_compare(y, 0) {
+            Ok(Some(o)) => o.is_eq(),
+            _ => false,
+        },
         (Item::Node(x), Item::Node(y)) => {
             let dx = store.doc_of(*x);
             let dy = store.doc_of(*y);
@@ -162,7 +160,9 @@ mod tests {
 
     fn setup() -> (Arc<Store>, NodeRef) {
         let store = Store::new();
-        let id = store.load_xml("<book year=\"1967\"><title>T</title></book>", None).unwrap();
+        let id = store
+            .load_xml("<book year=\"1967\"><title>T</title></book>", None)
+            .unwrap();
         let doc = store.document(id);
         let book = doc.first_child(doc.root()).unwrap();
         (store, NodeRef::new(id, book))
@@ -193,7 +193,12 @@ mod tests {
     fn serialization_spaces_atomics() {
         let (store, book) = setup();
         let s = serialize_sequence(
-            &[Item::integer(1), Item::integer(2), Item::Node(book), Item::integer(3)],
+            &[
+                Item::integer(1),
+                Item::integer(2),
+                Item::Node(book),
+                Item::integer(3),
+            ],
             &store,
         );
         assert_eq!(s, "1 2<book year=\"1967\"><title>T</title></book>3");

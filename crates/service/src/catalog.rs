@@ -59,7 +59,10 @@ impl DocumentCatalog {
         DocumentCatalog {
             store,
             max_bytes,
-            inner: Mutex::new(CatalogInner { entries: HashMap::new(), total_bytes: 0 }),
+            inner: Mutex::new(CatalogInner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+            }),
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
@@ -85,7 +88,14 @@ impl DocumentCatalog {
             inner.total_bytes = inner.total_bytes.saturating_sub(old.bytes);
         }
         let tick = self.next_tick();
-        inner.entries.insert(name.to_string(), CatEntry { id, bytes, last_used: tick });
+        inner.entries.insert(
+            name.to_string(),
+            CatEntry {
+                id,
+                bytes,
+                last_used: tick,
+            },
+        );
         inner.total_bytes += bytes;
         if let Some(budget) = self.max_bytes {
             while inner.total_bytes > budget && inner.entries.len() > 1 {
@@ -118,7 +128,11 @@ impl DocumentCatalog {
 
     /// True while `name` is loaded (does not refresh LRU position).
     pub fn contains(&self, name: &str) -> bool {
-        self.inner.lock().expect("catalog lock").entries.contains_key(name)
+        self.inner
+            .lock()
+            .expect("catalog lock")
+            .entries
+            .contains_key(name)
     }
 
     /// Remove a named document, freeing its store slot. Returns `false`

@@ -81,9 +81,15 @@ impl PlanCache {
     /// Both are clamped to at least 1.
     pub fn new(capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1);
-        let shard_capacity = (capacity.max(1) + shards - 1) / shards;
+        let shard_capacity = capacity.max(1).div_ceil(shards);
         PlanCache {
-            shards: (0..shards).map(|_| Mutex::new(Shard { map: HashMap::new() })).collect(),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
             shard_capacity,
             tick: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
@@ -135,7 +141,13 @@ impl PlanCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let tick = self.next_tick();
-        shard.map.insert(key, Entry { plan: plan.clone(), last_used: tick });
+        shard.map.insert(
+            key,
+            Entry {
+                plan: plan.clone(),
+                last_used: tick,
+            },
+        );
         Ok(plan)
     }
 
@@ -148,7 +160,10 @@ impl PlanCache {
 
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("plan cache lock").map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache lock").map.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -204,7 +219,11 @@ mod tests {
         let cache = PlanCache::new(64, 4);
         cache.get_or_compile(&a, "//x").unwrap();
         cache.get_or_compile(&b, "//x").unwrap();
-        assert_eq!(cache.stats().misses, 2, "same text, different options: no reuse");
+        assert_eq!(
+            cache.stats().misses,
+            2,
+            "same text, different options: no reuse"
+        );
     }
 
     #[test]
@@ -233,6 +252,41 @@ mod tests {
         assert!(cache.get_or_compile(&engine, "1 +").is_err());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// `hits + misses == lookups` must survive heavy eviction churn: a
+    /// tiny cache, many more distinct queries than capacity, and
+    /// concurrent threads racing compiles and evictions.
+    #[test]
+    fn stats_invariant_holds_under_eviction_pressure() {
+        let engine = std::sync::Arc::new(Engine::new());
+        let cache = std::sync::Arc::new(PlanCache::new(4, 2));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let engine = engine.clone();
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        // 32 distinct queries over capacity 4: almost
+                        // every miss evicts something.
+                        let q = format!("{} + {}", t % 4, i % 8);
+                        cache.get_or_compile(&engine, &q).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.lookups, 800);
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert!(s.evictions > 0, "no eviction pressure: {s:?}");
+        // Capacity is per shard: at most ceil(4 / 2) entries per shard.
+        assert!(cache.len() <= 4, "over capacity: {}", cache.len());
+        assert_eq!(s.entries, cache.len() as u64);
+        // Evictions never exceed insertions (= misses that compiled).
+        assert!(s.evictions <= s.misses, "{s:?}");
     }
 
     #[test]

@@ -174,8 +174,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // Jobs are expected to contain their own panics (the engine's
         // execute path does); a panic here would poison nothing but this
         // worker, and the catch keeps the pool at full strength anyway.
-        let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
-            .unwrap_or(None);
+        let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).unwrap_or(None);
         shared.completed.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = shared.state.lock().expect("pool lock");
@@ -219,7 +218,9 @@ mod tests {
             let tx = tx.clone();
             pool.submit(move || tx.send(i).unwrap()).unwrap();
         }
-        let mut got: Vec<i32> = (0..10).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        let mut got: Vec<i32> = (0..10)
+            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
+            .collect();
         got.sort();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
     }

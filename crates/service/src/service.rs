@@ -101,9 +101,9 @@ impl QueryTicket {
 
     /// Block until the query finishes and return its serialized result.
     pub fn wait(self) -> Result<String> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(Error::cancelled("service shut down before the query ran"))
-        })
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(Error::cancelled("service shut down before the query ran")))
     }
 }
 
@@ -345,7 +345,9 @@ mod tests {
     #[test]
     fn documents_reach_queries_through_the_catalog() {
         let service = QueryService::new(ServiceConfig::default());
-        service.load_document("bib.xml", "<bib><book/><book/></bib>").unwrap();
+        service
+            .load_document("bib.xml", "<bib><book/><book/></bib>")
+            .unwrap();
         assert_eq!(service.run(r#"count(doc("bib.xml")//book)"#).unwrap(), "2");
         assert!(service.remove_document("bib.xml"));
         let err = service.run(r#"doc("bib.xml")"#).unwrap_err();
@@ -368,7 +370,9 @@ mod tests {
             per_query_limits: Limits::unlimited().with_max_items(100),
             ..Default::default()
         });
-        let err = service.run("for $x in 1 to 100000000 return $x").unwrap_err();
+        let err = service
+            .run("for $x in 1 to 100000000 return $x")
+            .unwrap_err();
         assert_eq!(err.code, xqr_xdm::ErrorCode::Limit);
         assert_eq!(service.stats().failed, 1);
     }
@@ -376,7 +380,9 @@ mod tests {
     #[test]
     fn tickets_cancel_from_another_thread() {
         let service = QueryService::new(ServiceConfig::default());
-        let ticket = service.submit("sum(1 to 10000000000)", DynamicContext::new()).unwrap();
+        let ticket = service
+            .submit("sum(1 to 10000000000)", DynamicContext::new())
+            .unwrap();
         let handle = ticket.cancel_handle();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));

@@ -35,7 +35,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
         )
     }
 
@@ -205,7 +209,15 @@ mod tests {
     }
 
     // <root><a><b/><c><d/></c></a><e/></root>
-    fn fixture() -> (Arc<Document>, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+    fn fixture() -> (
+        Arc<Document>,
+        NodeId,
+        NodeId,
+        NodeId,
+        NodeId,
+        NodeId,
+        NodeId,
+    ) {
         let d = doc("<root><a><b/><c><d/></c></a><e/></root>");
         let root = d.first_child(d.root()).unwrap();
         let a = d.first_child(root).unwrap();

@@ -99,10 +99,7 @@ impl Document {
     }
 
     /// Build from any token iterator.
-    pub fn from_tokens(
-        it: &mut dyn TokenIterator,
-        names: Arc<NamePool>,
-    ) -> Result<Arc<Document>> {
+    pub fn from_tokens(it: &mut dyn TokenIterator, names: Arc<NamePool>) -> Result<Arc<Document>> {
         Self::from_tokens_with_uri(it, names, None)
     }
 
@@ -122,9 +119,7 @@ impl Document {
                 Token::StartElement(n) => b.start_element_id(n),
                 Token::EndElement => b.end(),
                 Token::Attribute(n, v) => b.attribute_id(n, &it.pooled_str(v)),
-                Token::NamespaceDecl(p, u) => {
-                    b.namespace(&it.pooled_str(p), &it.pooled_str(u))
-                }
+                Token::NamespaceDecl(p, u) => b.namespace(&it.pooled_str(p), &it.pooled_str(u)),
                 Token::Text(s) => b.text(&it.pooled_str(s)),
                 Token::Comment(s) => b.comment(&it.pooled_str(s)),
                 Token::ProcessingInstruction(n, d) => {
@@ -296,13 +291,10 @@ impl Document {
         let mut i = n.0 + 1;
         let len = self.len() as u32;
         std::iter::from_fn(move || {
-            while i < len {
-                if self.kinds[i as usize] == NodeKind::Namespace {
-                    let id = NodeId(i);
-                    i += 1;
-                    return Some(id);
-                }
-                break;
+            if i < len && self.kinds[i as usize] == NodeKind::Namespace {
+                let id = NodeId(i);
+                i += 1;
+                return Some(id);
             }
             None
         })
@@ -310,7 +302,8 @@ impl Document {
 
     /// Look up an attribute by name.
     pub fn attribute(&self, n: NodeId, name: &QName) -> Option<NodeId> {
-        self.attributes(n).find(|&a| self.name(a).as_ref() == Some(name))
+        self.attributes(n)
+            .find(|&a| self.name(a).as_ref() == Some(name))
     }
 
     /// Approximate memory footprint (bytes) — the representation
@@ -356,10 +349,16 @@ impl Document {
                 let namespaces = self
                     .namespaces(n)
                     .map(|ns| {
-                        let prefix =
-                            self.name(ns).map(|q| q.local_name().to_string()).unwrap_or_default();
+                        let prefix = self
+                            .name(ns)
+                            .map(|q| q.local_name().to_string())
+                            .unwrap_or_default();
                         NamespaceDecl {
-                            prefix: if prefix.is_empty() { None } else { Some(prefix.into()) },
+                            prefix: if prefix.is_empty() {
+                                None
+                            } else {
+                                Some(prefix.into())
+                            },
                             uri: self.value(ns).unwrap_or("").into(),
                         }
                     })
@@ -391,7 +390,10 @@ impl Document {
                 w.write(&XmlEvent::Comment(self.value(n).unwrap_or("").into()))?;
             }
             NodeKind::ProcessingInstruction => {
-                let target = self.name(n).map(|q| q.local_name().to_string()).unwrap_or_default();
+                let target = self
+                    .name(n)
+                    .map(|q| q.local_name().to_string())
+                    .unwrap_or_default();
                 w.write(&XmlEvent::ProcessingInstruction {
                     target: target.into(),
                     data: self.value(n).unwrap_or("").into(),
@@ -618,7 +620,9 @@ impl DocumentBuilder {
             {
                 let merged = format!(
                     "{}{}",
-                    self.doc.strings.get(xqr_tokenstream::StrId(self.doc.values[last as usize])),
+                    self.doc
+                        .strings
+                        .get(xqr_tokenstream::StrId(self.doc.values[last as usize])),
                     content
                 );
                 self.doc.values[last as usize] = self.doc.strings.intern(&merged).0;
@@ -650,7 +654,9 @@ impl DocumentBuilder {
             if self.open.len() == 1 {
                 self.end();
             } else {
-                return Err(Error::internal("document builder finished with open elements"));
+                return Err(Error::internal(
+                    "document builder finished with open elements",
+                ));
             }
         }
         let tag_index = TagIndex::build(&self.doc.kinds, &self.doc.node_names);
@@ -682,7 +688,9 @@ mod tests {
 
     #[test]
     fn builds_structure() {
-        let d = doc(r#"<book year="1967"><title>The politics of experience</title><author>R.D. Laing</author></book>"#);
+        let d = doc(
+            r#"<book year="1967"><title>The politics of experience</title><author>R.D. Laing</author></book>"#,
+        );
         // document + book + @year + title + text + author + text
         assert_eq!(d.len(), 7);
         let root = d.root();
@@ -779,7 +787,10 @@ mod tests {
         let ns: Vec<_> = d.namespaces(a).collect();
         assert_eq!(ns.len(), 1);
         assert_eq!(d.value(ns[0]), Some("urn:p"));
-        assert_eq!(d.serialize_node(d.root()), r#"<a xmlns:p="urn:p"><p:b/></a>"#);
+        assert_eq!(
+            d.serialize_node(d.root()),
+            r#"<a xmlns:p="urn:p"><p:b/></a>"#
+        );
     }
 
     #[test]

@@ -49,16 +49,25 @@ pub fn parse_dom(input: &str) -> Result<DomRef> {
         match reader.next_event()? {
             XmlEvent::StartDocument => {}
             XmlEvent::EndDocument => break,
-            XmlEvent::StartElement { name, attributes, .. } => {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
                 let el = DomNode::new(NodeKind::Element);
                 {
                     let mut n = el.borrow_mut();
                     n.name = Some(name);
-                    n.attributes =
-                        attributes.into_iter().map(|a| (a.name, a.value.to_string())).collect();
+                    n.attributes = attributes
+                        .into_iter()
+                        .map(|a| (a.name, a.value.to_string()))
+                        .collect();
                     n.parent = Rc::downgrade(stack.last().expect("stack non-empty"));
                 }
-                stack.last().expect("stack non-empty").borrow_mut().children.push(el.clone());
+                stack
+                    .last()
+                    .expect("stack non-empty")
+                    .borrow_mut()
+                    .children
+                    .push(el.clone());
                 stack.push(el);
             }
             XmlEvent::EndElement { .. } => {
@@ -68,12 +77,22 @@ pub fn parse_dom(input: &str) -> Result<DomRef> {
                 let tn = DomNode::new(NodeKind::Text);
                 tn.borrow_mut().value = t.to_string();
                 tn.borrow_mut().parent = Rc::downgrade(stack.last().expect("stack non-empty"));
-                stack.last().expect("stack non-empty").borrow_mut().children.push(tn);
+                stack
+                    .last()
+                    .expect("stack non-empty")
+                    .borrow_mut()
+                    .children
+                    .push(tn);
             }
             XmlEvent::Comment(c) => {
                 let cn = DomNode::new(NodeKind::Comment);
                 cn.borrow_mut().value = c.to_string();
-                stack.last().expect("stack non-empty").borrow_mut().children.push(cn);
+                stack
+                    .last()
+                    .expect("stack non-empty")
+                    .borrow_mut()
+                    .children
+                    .push(cn);
             }
             XmlEvent::ProcessingInstruction { target, data } => {
                 let pn = DomNode::new(NodeKind::ProcessingInstruction);
@@ -82,7 +101,12 @@ pub fn parse_dom(input: &str) -> Result<DomRef> {
                     n.name = Some(QName::local(&target));
                     n.value = data.to_string();
                 }
-                stack.last().expect("stack non-empty").borrow_mut().children.push(pn);
+                stack
+                    .last()
+                    .expect("stack non-empty")
+                    .borrow_mut()
+                    .children
+                    .push(pn);
             }
         }
     }
@@ -115,7 +139,11 @@ pub fn descendants_named(node: &DomRef, local: &str, out: &mut Vec<DomRef>) {
         {
             let cb = c.borrow();
             if cb.kind == NodeKind::Element
-                && cb.name.as_ref().map(|q| q.local_name() == local).unwrap_or(false)
+                && cb
+                    .name
+                    .as_ref()
+                    .map(|q| q.local_name() == local)
+                    .unwrap_or(false)
             {
                 out.push(c.clone());
             }
@@ -131,7 +159,10 @@ pub fn memory_bytes(node: &DomRef) -> usize {
     let n = node.borrow();
     let own = std::mem::size_of::<DomNode>()
         + n.value.len()
-        + n.attributes.iter().map(|(q, v)| q.local_name().len() + v.len() + 48).sum::<usize>()
+        + n.attributes
+            .iter()
+            .map(|(q, v)| q.local_name().len() + v.len() + 48)
+            .sum::<usize>()
         + n.children.capacity() * std::mem::size_of::<DomRef>();
     own + n.children.iter().map(memory_bytes).sum::<usize>()
 }

@@ -54,11 +54,17 @@ pub struct Store {
 
 impl Store {
     pub fn new() -> Arc<Store> {
-        Arc::new(Store { names: Arc::new(NamePool::new()), inner: RwLock::new(StoreInner::default()) })
+        Arc::new(Store {
+            names: Arc::new(NamePool::new()),
+            inner: RwLock::new(StoreInner::default()),
+        })
     }
 
     pub fn with_names(names: Arc<NamePool>) -> Arc<Store> {
-        Arc::new(Store { names, inner: RwLock::new(StoreInner::default()) })
+        Arc::new(Store {
+            names,
+            inner: RwLock::new(StoreInner::default()),
+        })
     }
 
     pub fn names(&self) -> &Arc<NamePool> {
@@ -78,7 +84,10 @@ impl Store {
             }
             None => {
                 let index = inner.slots.len() as u32;
-                inner.slots.push(Slot { generation: 0, doc: Some(doc.clone()) });
+                inner.slots.push(Slot {
+                    generation: 0,
+                    doc: Some(doc.clone()),
+                });
                 DocId::new(index, 0)
             }
         };
@@ -142,9 +151,8 @@ impl Store {
     /// that is a caller bug, not a query error; use
     /// [`Store::try_document`] to probe gracefully.
     pub fn document(&self, id: DocId) -> Arc<Document> {
-        self.try_document(id).unwrap_or_else(|| {
-            panic!("stale DocId {id:?}: document was removed from the store")
-        })
+        self.try_document(id)
+            .unwrap_or_else(|| panic!("stale DocId {id:?}: document was removed from the store"))
     }
 
     /// Resolve a document id, returning `None` when the id is stale.

@@ -17,6 +17,7 @@ fn arb_doc() -> impl Strategy<Value = Arc<Document>> {
             p_ancestor: 0.2,
             p_descendant: 0.2,
             p_text: 0.3,
+            ..Default::default()
         });
         Document::parse(&xml, Arc::new(NamePool::new())).unwrap()
     })

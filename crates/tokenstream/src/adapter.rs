@@ -13,7 +13,7 @@ use crate::token::{StrId, Token};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use xqr_xdm::{NameId, NamePool, QName, QueryGuard, Result};
-use xqr_xmlparse::{XmlEvent, XmlReader, XmlWriter, WriterOptions};
+use xqr_xmlparse::{WriterOptions, XmlEvent, XmlReader, XmlWriter};
 
 /// Streaming adapter: XML text → tokens, one event at a time.
 pub struct ParserTokenIterator<'a> {
@@ -62,7 +62,12 @@ impl<'a> ParserTokenIterator<'a> {
                 self.queue.push_back(Token::EndDocument);
                 self.finished = true;
             }
-            XmlEvent::StartElement { name, attributes, namespaces, .. } => {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                namespaces,
+                ..
+            } => {
                 let n = self.names.intern(&name);
                 self.queue.push_back(Token::StartElement(n));
                 for d in namespaces {
@@ -204,16 +209,28 @@ pub fn materialize(it: &mut dyn TokenIterator, names: Arc<NamePool>) -> Result<T
 /// `StartElement` event.
 pub fn tokens_to_events(it: &mut dyn TokenIterator) -> Result<Vec<XmlEvent>> {
     let mut events: Vec<XmlEvent> = Vec::new();
-    let mut pending: Option<(QName, Vec<xqr_xmlparse::Attribute>, Vec<xqr_xmlparse::NamespaceDecl>)> =
-        None;
+    let mut pending: Option<(
+        QName,
+        Vec<xqr_xmlparse::Attribute>,
+        Vec<xqr_xmlparse::NamespaceDecl>,
+    )> = None;
     let mut names_stack: Vec<QName> = Vec::new();
 
     fn flush(
         events: &mut Vec<XmlEvent>,
-        pending: &mut Option<(QName, Vec<xqr_xmlparse::Attribute>, Vec<xqr_xmlparse::NamespaceDecl>)>,
+        pending: &mut Option<(
+            QName,
+            Vec<xqr_xmlparse::Attribute>,
+            Vec<xqr_xmlparse::NamespaceDecl>,
+        )>,
     ) {
         if let Some((name, attributes, namespaces)) = pending.take() {
-            events.push(XmlEvent::StartElement { name, attributes, namespaces, empty: false });
+            events.push(XmlEvent::StartElement {
+                name,
+                attributes,
+                namespaces,
+                empty: false,
+            });
         }
     }
 
@@ -245,7 +262,11 @@ pub fn tokens_to_events(it: &mut dyn TokenIterator) -> Result<Vec<XmlEvent>> {
                 if let Some((_, _, decls)) = pending.as_mut() {
                     let prefix = it.pooled_str(p);
                     decls.push(xqr_xmlparse::NamespaceDecl {
-                        prefix: if prefix.is_empty() { None } else { Some(prefix) },
+                        prefix: if prefix.is_empty() {
+                            None
+                        } else {
+                            Some(prefix)
+                        },
                         uri: it.pooled_str(u),
                     });
                 }
@@ -291,7 +312,12 @@ pub fn push_event(b: &mut TokenStreamBuilder, ev: &XmlEvent) {
     match ev {
         XmlEvent::StartDocument => b.push(Token::StartDocument),
         XmlEvent::EndDocument => b.push(Token::EndDocument),
-        XmlEvent::StartElement { name, attributes, namespaces, .. } => {
+        XmlEvent::StartElement {
+            name,
+            attributes,
+            namespaces,
+            ..
+        } => {
             b.start_element(name);
             for d in namespaces {
                 let p = b.intern_str(d.prefix.as_deref().unwrap_or(""));

@@ -77,7 +77,11 @@ impl<I: TokenIterator> BufferFactory<I> {
 
     /// A fresh consumer starting at the beginning of the stream.
     pub fn consumer(&self) -> BufferedIterator<I> {
-        BufferedIterator { shared: self.shared.clone(), pos: 0, last: None }
+        BufferedIterator {
+            shared: self.shared.clone(),
+            pos: 0,
+            last: None,
+        }
     }
 
     /// Tokens pulled from upstream so far — the memoization experiment

@@ -285,10 +285,17 @@ pub fn decode(bytes: Bytes, names: Arc<NamePool>) -> Result<TokenStream> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(Error::value(format!("unsupported token stream version {version}")));
+        return Err(Error::value(format!(
+            "unsupported token stream version {version}"
+        )));
     }
     let pooled = buf.get_u8() != 0;
-    let mut dec = Decoder { buf, pooled, strings: Vec::new(), names: Vec::new() };
+    let mut dec = Decoder {
+        buf,
+        pooled,
+        strings: Vec::new(),
+        names: Vec::new(),
+    };
     let mut b = TokenStream::builder(names);
     while dec.buf.has_remaining() {
         let op = dec.buf.get_u8();
@@ -395,7 +402,11 @@ mod tests {
     #[test]
     fn rejects_corrupt_input() {
         assert!(decode(Bytes::from_static(b"nope"), Arc::new(NamePool::new())).is_err());
-        assert!(decode(Bytes::from_static(b"XQTS\x09\x00"), Arc::new(NamePool::new())).is_err());
+        assert!(decode(
+            Bytes::from_static(b"XQTS\x09\x00"),
+            Arc::new(NamePool::new())
+        )
+        .is_err());
         let s = sample(1);
         let mut bytes = encode(&s, true).to_vec();
         bytes.truncate(bytes.len() - 3);
@@ -408,8 +419,7 @@ mod tests {
         let s = TokenStream::from_xml(xml, Arc::new(NamePool::new())).unwrap();
         for pooled in [true, false] {
             let back = decode(encode(&s, pooled), Arc::new(NamePool::new())).unwrap();
-            let out =
-                crate::adapter::tokens_to_xml(&mut back.iter(), Default::default()).unwrap();
+            let out = crate::adapter::tokens_to_xml(&mut back.iter(), Default::default()).unwrap();
             assert_eq!(out, xml, "pooled={pooled}");
         }
     }

@@ -56,7 +56,10 @@ impl StringPool {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (StrId, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (StrId(i as u32), &**s))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StrId(i as u32), &**s))
     }
 }
 

@@ -26,7 +26,12 @@ pub struct TokenStream {
 impl TokenStream {
     pub fn builder(names: Arc<NamePool>) -> TokenStreamBuilder {
         TokenStreamBuilder {
-            stream: TokenStream { names, pool: StringPool::new(), tokens: Vec::new(), skips: Vec::new() },
+            stream: TokenStream {
+                names,
+                pool: StringPool::new(),
+                tokens: Vec::new(),
+                skips: Vec::new(),
+            },
             open: Vec::new(),
         }
     }
@@ -66,12 +71,20 @@ impl TokenStream {
 
     /// Iterate from the beginning.
     pub fn iter(&self) -> StreamIterator<'_> {
-        StreamIterator { stream: self, pos: 0, last: None }
+        StreamIterator {
+            stream: self,
+            pos: 0,
+            last: None,
+        }
     }
 
     /// Iterate a sub-range (used by buffered re-reads).
     pub fn iter_from(&self, pos: usize) -> StreamIterator<'_> {
-        StreamIterator { stream: self, pos, last: None }
+        StreamIterator {
+            stream: self,
+            pos,
+            last: None,
+        }
     }
 
     /// Approximate in-memory footprint in bytes (tokens + pooled strings
@@ -85,7 +98,12 @@ impl TokenStream {
 
 impl std::fmt::Debug for TokenStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "TokenStream({} tokens, {} pooled strings)", self.tokens.len(), self.pool.len())
+        write!(
+            f,
+            "TokenStream({} tokens, {} pooled strings)",
+            self.tokens.len(),
+            self.pool.len()
+        )
     }
 }
 
@@ -140,7 +158,9 @@ impl TokenStreamBuilder {
 
     pub fn finish(self) -> Result<TokenStream> {
         if !self.open.is_empty() {
-            return Err(Error::internal("unbalanced token stream: unclosed subtrees"));
+            return Err(Error::internal(
+                "unbalanced token stream: unclosed subtrees",
+            ));
         }
         Ok(self.stream)
     }
@@ -261,7 +281,7 @@ mod tests {
         assert!(matches!(t, Token::StartElement(_)));
         let skipped = it.skip_subtree().unwrap();
         assert_eq!(skipped, 2); // text + EndElement
-        // Next is <c>
+                                // Next is <c>
         let t = it.next_token().unwrap().unwrap();
         match t {
             Token::StartElement(n) => assert_eq!(s.name(n).local_name(), "c"),

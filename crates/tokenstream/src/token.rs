@@ -60,7 +60,11 @@ mod tests {
     #[test]
     fn token_is_small() {
         // The array representation's "low overhead" claim rests on this.
-        assert!(std::mem::size_of::<Token>() <= 12, "{}", std::mem::size_of::<Token>());
+        assert!(
+            std::mem::size_of::<Token>() <= 12,
+            "{}",
+            std::mem::size_of::<Token>()
+        );
     }
 
     #[test]

@@ -4,15 +4,17 @@
 
 use proptest::prelude::*;
 use std::sync::Arc;
-use xqr_tokenstream::{
-    BufferFactory, ParserTokenIterator, Token, TokenIterator, TokenStream,
-};
+use xqr_tokenstream::{BufferFactory, ParserTokenIterator, Token, TokenIterator, TokenStream};
 use xqr_xdm::NamePool;
 use xqr_xmlgen::{random_tree, RandomTreeConfig};
 
 fn arb_xml() -> impl Strategy<Value = String> {
     (any::<u64>(), 10usize..200).prop_map(|(seed, nodes)| {
-        random_tree(&RandomTreeConfig { seed, nodes, ..Default::default() })
+        random_tree(&RandomTreeConfig {
+            seed,
+            nodes,
+            ..Default::default()
+        })
     })
 }
 

@@ -140,9 +140,7 @@ impl AtomicType {
         }
         matches!(
             (self, other),
-            (Integer, Decimal)
-                | (YearMonthDuration, Duration)
-                | (DayTimeDuration, Duration)
+            (Integer, Decimal) | (YearMonthDuration, Duration) | (DayTimeDuration, Duration)
         )
     }
 }
@@ -274,7 +272,10 @@ impl AtomicValue {
                 // Callers that know the in-scope namespaces resolve the
                 // prefix before constructing; here we accept NCName or
                 // prefixed form without resolution.
-                if s.is_empty() || s.split(':').count() > 2 || s.starts_with(':') || s.ends_with(':')
+                if s.is_empty()
+                    || s.split(':').count() > 2
+                    || s.starts_with(':')
+                    || s.ends_with(':')
                 {
                     return Err(Error::new(
                         ErrorCode::InvalidQName,
@@ -294,14 +295,18 @@ impl AtomicValue {
             T::YearMonthDuration => {
                 let d = Duration::parse(s)?;
                 if !d.is_year_month() {
-                    return Err(Error::value("yearMonthDuration cannot carry day/time fields"));
+                    return Err(Error::value(
+                        "yearMonthDuration cannot carry day/time fields",
+                    ));
                 }
                 V::YearMonthDuration(d)
             }
             T::DayTimeDuration => {
                 let d = Duration::parse(s)?;
                 if !d.is_day_time() {
-                    return Err(Error::value("dayTimeDuration cannot carry year/month fields"));
+                    return Err(Error::value(
+                        "dayTimeDuration cannot carry year/month fields",
+                    ));
                 }
                 V::DayTimeDuration(d)
             }
@@ -313,7 +318,9 @@ impl AtomicValue {
             T::HexBinary => V::HexBinary(hex_decode(s)?.into()),
             T::Base64Binary => V::Base64Binary(base64_decode(s)?.into()),
             T::Notation => {
-                return Err(Error::type_error("cannot construct xs:NOTATION from a string"))
+                return Err(Error::type_error(
+                    "cannot construct xs:NOTATION from a string",
+                ))
             }
         })
     }
@@ -331,9 +338,7 @@ impl AtomicValue {
             // To string-family: via canonical lexical form.
             (_, T::String) => Ok(V::string(self.string_value())),
             (_, T::UntypedAtomic) => Ok(V::untyped(self.string_value())),
-            (V::String(_) | V::UntypedAtomic(_), _) => {
-                Self::parse_as(&self.string_value(), ty)
-            }
+            (V::String(_) | V::UntypedAtomic(_), _) => Self::parse_as(&self.string_value(), ty),
             (V::AnyUri(s), T::AnyUri) => Ok(V::AnyUri(s.clone())),
 
             // Numeric conversions.
@@ -359,9 +364,7 @@ impl AtomicValue {
             (V::Float(v), T::Double) => Ok(V::Double(*v as f64)),
             (V::Float(v), T::Boolean) => Ok(V::Boolean(!(v.is_nan() || *v == 0.0))),
             (V::Boolean(b), T::Integer) => Ok(V::Integer(*b as i64)),
-            (V::Boolean(b), T::Decimal) => {
-                Ok(V::Decimal(Decimal::from_i64(*b as i64)))
-            }
+            (V::Boolean(b), T::Decimal) => Ok(V::Decimal(Decimal::from_i64(*b as i64))),
             (V::Boolean(b), T::Double) => Ok(V::Double(*b as i64 as f64)),
             (V::Boolean(b), T::Float) => Ok(V::Float(*b as i64 as f32)),
 
@@ -419,14 +422,10 @@ impl AtomicValue {
             (V::Duration(d), T::DayTimeDuration) => {
                 Ok(V::DayTimeDuration(Duration::from_millis(d.millis)))
             }
-            (V::YearMonthDuration(d) | V::DayTimeDuration(d), T::Duration) => {
-                Ok(V::Duration(*d))
-            }
+            (V::YearMonthDuration(d) | V::DayTimeDuration(d), T::Duration) => Ok(V::Duration(*d)),
             // Casting between duration subtypes keeps only the target
             // component, which is zero by the subtype invariant.
-            (V::YearMonthDuration(_), T::DayTimeDuration) => {
-                Ok(V::DayTimeDuration(Duration::ZERO))
-            }
+            (V::YearMonthDuration(_), T::DayTimeDuration) => Ok(V::DayTimeDuration(Duration::ZERO)),
             (V::DayTimeDuration(_), T::YearMonthDuration) => {
                 Ok(V::YearMonthDuration(Duration::ZERO))
             }
@@ -501,9 +500,9 @@ impl AtomicValue {
             (V::HexBinary(x), V::HexBinary(y)) | (V::Base64Binary(x), V::Base64Binary(y)) => {
                 Ok(Some(x.cmp(y)))
             }
-            (V::Gregorian(x), V::Gregorian(y)) if x.kind == y.kind => {
-                Ok(Some((x.year, x.month, x.day).cmp(&(y.year, y.month, y.day))))
-            }
+            (V::Gregorian(x), V::Gregorian(y)) if x.kind == y.kind => Ok(Some(
+                (x.year, x.month, x.day).cmp(&(y.year, y.month, y.day)),
+            )),
             _ => Err(Error::type_error(format!(
                 "cannot compare {} with {}",
                 self.type_of().name(),
@@ -595,7 +594,8 @@ pub fn parse_integer(s: &str) -> Result<i64> {
     if !valid {
         return Err(Error::value(format!("invalid xs:integer literal: {s:?}")));
     }
-    s.parse::<i64>().map_err(|_| Error::new(ErrorCode::Overflow, "integer overflow"))
+    s.parse::<i64>()
+        .map_err(|_| Error::new(ErrorCode::Overflow, "integer overflow"))
 }
 
 /// Parse `xs:double`: decimal or scientific notation, `INF`, `-INF`, `NaN`.
@@ -614,7 +614,8 @@ pub fn parse_double(s: &str) -> Result<f64> {
     if lower.contains("inf") || lower.contains("nan") || s.contains('_') {
         return Err(Error::value(format!("invalid xs:double literal: {s:?}")));
     }
-    s.parse::<f64>().map_err(|_| Error::value(format!("invalid xs:double literal: {s:?}")))
+    s.parse::<f64>()
+        .map_err(|_| Error::value(format!("invalid xs:double literal: {s:?}")))
 }
 
 /// XPath `fn:string` formatting for doubles/floats: plain decimal inside
@@ -627,7 +628,11 @@ pub fn fmt_float(v: f64, _is_float: bool) -> String {
         return if v > 0.0 { "INF".into() } else { "-INF".into() };
     }
     if v == 0.0 {
-        return if v.is_sign_negative() { "-0".into() } else { "0".into() };
+        return if v.is_sign_negative() {
+            "-0".into()
+        } else {
+            "0".into()
+        };
     }
     let abs = v.abs();
     if (1e-6..1e18).contains(&abs) {
@@ -670,8 +675,7 @@ fn hex_decode(s: &str) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-const B64_ALPHABET: &[u8; 64] =
-    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
 
 fn base64_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
@@ -682,8 +686,16 @@ fn base64_encode(bytes: &[u8]) -> String {
         let n = (b0 << 16) | (b1 << 8) | b2;
         out.push(B64_ALPHABET[(n >> 18) as usize & 63] as char);
         out.push(B64_ALPHABET[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { B64_ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { B64_ALPHABET[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -754,15 +766,24 @@ mod tests {
         assert_eq!(v("1", AtomicType::Boolean), AtomicValue::Boolean(true));
         assert_eq!(v("0", AtomicType::Boolean), AtomicValue::Boolean(false));
         assert_eq!(v("125.0", AtomicType::Decimal).string_value(), "125");
-        assert_eq!(v("125.e2", AtomicType::Double), AtomicValue::Double(12500.0));
-        assert_eq!(v("INF", AtomicType::Double), AtomicValue::Double(f64::INFINITY));
+        assert_eq!(
+            v("125.e2", AtomicType::Double),
+            AtomicValue::Double(12500.0)
+        );
+        assert_eq!(
+            v("INF", AtomicType::Double),
+            AtomicValue::Double(f64::INFINITY)
+        );
         assert!(v("NaN", AtomicType::Double).is_nan());
     }
 
     #[test]
     fn parse_trims_whitespace_for_typed() {
         assert_eq!(v("  42 ", AtomicType::Integer), AtomicValue::Integer(42));
-        assert_eq!(v(" true\n", AtomicType::Boolean), AtomicValue::Boolean(true));
+        assert_eq!(
+            v(" true\n", AtomicType::Boolean),
+            AtomicValue::Boolean(true)
+        );
         // but strings keep their content
         assert_eq!(v(" x ", AtomicType::String).string_value(), " x ");
     }
@@ -779,19 +800,33 @@ mod tests {
     #[test]
     fn cast_numeric_matrix() {
         let i = AtomicValue::Integer(42);
-        assert_eq!(i.cast_to(AtomicType::Double).unwrap(), AtomicValue::Double(42.0));
+        assert_eq!(
+            i.cast_to(AtomicType::Double).unwrap(),
+            AtomicValue::Double(42.0)
+        );
         assert_eq!(i.cast_to(AtomicType::String).unwrap().string_value(), "42");
         let d = AtomicValue::Double(2.9);
-        assert_eq!(d.cast_to(AtomicType::Integer).unwrap(), AtomicValue::Integer(2));
+        assert_eq!(
+            d.cast_to(AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(2)
+        );
         let d = AtomicValue::Double(-2.9);
-        assert_eq!(d.cast_to(AtomicType::Integer).unwrap(), AtomicValue::Integer(-2));
-        assert!(AtomicValue::Double(f64::NAN).cast_to(AtomicType::Integer).is_err());
+        assert_eq!(
+            d.cast_to(AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(-2)
+        );
+        assert!(AtomicValue::Double(f64::NAN)
+            .cast_to(AtomicType::Integer)
+            .is_err());
     }
 
     #[test]
     fn cast_untyped_like_lexical() {
         let u = AtomicValue::untyped("42");
-        assert_eq!(u.cast_to(AtomicType::Integer).unwrap(), AtomicValue::Integer(42));
+        assert_eq!(
+            u.cast_to(AtomicType::Integer).unwrap(),
+            AtomicValue::Integer(42)
+        );
         let u = AtomicValue::untyped("baz");
         assert!(u.cast_to(AtomicType::Integer).is_err());
         assert!(u.castable_to(AtomicType::String));
@@ -809,15 +844,24 @@ mod tests {
     #[test]
     fn cast_date_family() {
         let dt = v("2004-09-14T10:00:00Z", AtomicType::DateTime);
-        assert_eq!(dt.cast_to(AtomicType::Date).unwrap().string_value(), "2004-09-14Z");
-        assert_eq!(dt.cast_to(AtomicType::Time).unwrap().string_value(), "10:00:00Z");
+        assert_eq!(
+            dt.cast_to(AtomicType::Date).unwrap().string_value(),
+            "2004-09-14Z"
+        );
+        assert_eq!(
+            dt.cast_to(AtomicType::Time).unwrap().string_value(),
+            "10:00:00Z"
+        );
         let d = v("2004-09-14", AtomicType::Date);
         assert_eq!(
             d.cast_to(AtomicType::DateTime).unwrap().string_value(),
             "2004-09-14T00:00:00"
         );
         assert_eq!(d.cast_to(AtomicType::GYear).unwrap().string_value(), "2004");
-        assert_eq!(d.cast_to(AtomicType::GMonthDay).unwrap().string_value(), "--09-14");
+        assert_eq!(
+            d.cast_to(AtomicType::GMonthDay).unwrap().string_value(),
+            "--09-14"
+        );
     }
 
     #[test]
@@ -864,11 +908,17 @@ mod tests {
     #[test]
     fn effective_boolean_value_rules() {
         assert!(!AtomicValue::string("").effective_boolean_value().unwrap());
-        assert!(AtomicValue::string("false").effective_boolean_value().unwrap());
-        assert!(!AtomicValue::Double(f64::NAN).effective_boolean_value().unwrap());
+        assert!(AtomicValue::string("false")
+            .effective_boolean_value()
+            .unwrap());
+        assert!(!AtomicValue::Double(f64::NAN)
+            .effective_boolean_value()
+            .unwrap());
         assert!(!AtomicValue::Integer(0).effective_boolean_value().unwrap());
         assert!(AtomicValue::Integer(-1).effective_boolean_value().unwrap());
-        assert!(v("2004-01-01", AtomicType::Date).effective_boolean_value().is_err());
+        assert!(v("2004-01-01", AtomicType::Date)
+            .effective_boolean_value()
+            .is_err());
     }
 
     #[test]
@@ -891,7 +941,9 @@ mod tests {
         assert_eq!(b64.string_value(), b64s);
         // Cross-cast preserves bytes.
         assert_eq!(
-            hex.cast_to(AtomicType::Base64Binary).unwrap().string_value(),
+            hex.cast_to(AtomicType::Base64Binary)
+                .unwrap()
+                .string_value(),
             b64s
         );
     }
@@ -927,7 +979,10 @@ mod tests {
 
     #[test]
     fn type_name_resolution() {
-        assert_eq!(AtomicType::from_name("xs:integer"), Some(AtomicType::Integer));
+        assert_eq!(
+            AtomicType::from_name("xs:integer"),
+            Some(AtomicType::Integer)
+        );
         assert_eq!(AtomicType::from_name("integer"), Some(AtomicType::Integer));
         assert_eq!(
             AtomicType::from_name("xdt:untypedAtomic"),

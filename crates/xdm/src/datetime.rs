@@ -115,7 +115,10 @@ pub struct Duration {
 }
 
 impl Duration {
-    pub const ZERO: Duration = Duration { months: 0, millis: 0 };
+    pub const ZERO: Duration = Duration {
+        months: 0,
+        millis: 0,
+    };
 
     pub fn from_months(months: i64) -> Self {
         Duration { months, millis: 0 }
@@ -227,7 +230,10 @@ impl Duration {
     }
 
     pub fn negate(self) -> Duration {
-        Duration { months: -self.months, millis: -self.millis }
+        Duration {
+            months: -self.months,
+            millis: -self.millis,
+        }
     }
 
     pub fn scale(self, factor: f64) -> Result<Duration> {
@@ -302,8 +308,12 @@ fn parse_tz(s: &str) -> Result<(Option<TzOffset>, &str)> {
         let tail = &s[s.len() - 6..];
         let b = tail.as_bytes();
         if (b[0] == b'+' || b[0] == b'-') && b[3] == b':' {
-            let h: i16 = tail[1..3].parse().map_err(|_| Error::value("bad timezone"))?;
-            let m: i16 = tail[4..6].parse().map_err(|_| Error::value("bad timezone"))?;
+            let h: i16 = tail[1..3]
+                .parse()
+                .map_err(|_| Error::value("bad timezone"))?;
+            let m: i16 = tail[4..6]
+                .parse()
+                .map_err(|_| Error::value("bad timezone"))?;
             if h > 14 || m > 59 {
                 return Err(Error::value("timezone out of range"));
             }
@@ -373,11 +383,21 @@ fn parse_time_fields(s: &str) -> Result<(u8, u8, u8, u16)> {
 impl DateTime {
     pub fn parse(s: &str) -> Result<Self> {
         let (tz, rest) = parse_tz(s)?;
-        let t_pos =
-            rest.find('T').ok_or_else(|| Error::value(format!("invalid dateTime: {s:?}")))?;
+        let t_pos = rest
+            .find('T')
+            .ok_or_else(|| Error::value(format!("invalid dateTime: {s:?}")))?;
         let (year, month, day) = parse_date_fields(&rest[..t_pos])?;
         let (hour, minute, second, millis) = parse_time_fields(&rest[t_pos + 1..])?;
-        Ok(DateTime { year, month, day, hour, minute, second, millis, tz })
+        Ok(DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            millis,
+            tz,
+        })
     }
 
     /// Milliseconds from the epoch on the UTC timeline; values without a
@@ -412,7 +432,8 @@ impl DateTime {
     }
 
     pub fn compare(&self, other: &DateTime, implicit_tz: TzOffset) -> Ordering {
-        self.timeline_millis(implicit_tz).cmp(&other.timeline_millis(implicit_tz))
+        self.timeline_millis(implicit_tz)
+            .cmp(&other.timeline_millis(implicit_tz))
     }
 
     /// Add a duration: months first (clamping the day), then millis.
@@ -421,7 +442,12 @@ impl DateTime {
         let year = total_months.div_euclid(12) as i32;
         let month = (total_months.rem_euclid(12) + 1) as u8;
         let day = self.day.min(days_in_month(year, month));
-        let base = DateTime { year, month, day, ..*self };
+        let base = DateTime {
+            year,
+            month,
+            day,
+            ..*self
+        };
         let ms = base.timeline_millis(0) + d.millis;
         Ok(Self::render_at(ms, self.tz))
     }
@@ -443,7 +469,12 @@ impl DateTime {
     }
 
     pub fn date(&self) -> Date {
-        Date { year: self.year, month: self.month, day: self.day, tz: self.tz }
+        Date {
+            year: self.year,
+            month: self.month,
+            day: self.day,
+            tz: self.tz,
+        }
     }
 
     pub fn time(&self) -> Time {
@@ -487,7 +518,12 @@ impl Date {
     pub fn parse(s: &str) -> Result<Self> {
         let (tz, rest) = parse_tz(s)?;
         let (year, month, day) = parse_date_fields(rest)?;
-        Ok(Date { year, month, day, tz })
+        Ok(Date {
+            year,
+            month,
+            day,
+            tz,
+        })
     }
 
     pub fn to_datetime(&self) -> DateTime {
@@ -504,7 +540,8 @@ impl Date {
     }
 
     pub fn compare(&self, other: &Date, implicit_tz: TzOffset) -> Ordering {
-        self.to_datetime().compare(&other.to_datetime(), implicit_tz)
+        self.to_datetime()
+            .compare(&other.to_datetime(), implicit_tz)
     }
 
     pub fn add_duration(&self, d: Duration) -> Result<Date> {
@@ -523,7 +560,13 @@ impl Time {
     pub fn parse(s: &str) -> Result<Self> {
         let (tz, rest) = parse_tz(s)?;
         let (hour, minute, second, millis) = parse_time_fields(rest)?;
-        Ok(Time { hour, minute, second, millis, tz })
+        Ok(Time {
+            hour,
+            minute,
+            second,
+            millis,
+            tz,
+        })
     }
 
     pub fn millis_of_day(&self, implicit_tz: TzOffset) -> i64 {
@@ -535,7 +578,8 @@ impl Time {
     }
 
     pub fn compare(&self, other: &Time, implicit_tz: TzOffset) -> Ordering {
-        self.millis_of_day(implicit_tz).cmp(&other.millis_of_day(implicit_tz))
+        self.millis_of_day(implicit_tz)
+            .cmp(&other.millis_of_day(implicit_tz))
     }
 }
 
@@ -553,7 +597,13 @@ impl Gregorian {
     pub fn parse(kind: GregorianKind, s: &str) -> Result<Self> {
         let bad = || Error::value(format!("invalid gregorian lexical form: {s:?}"));
         let (tz, rest) = parse_tz(s)?;
-        let mut g = Gregorian { kind, year: 1, month: 1, day: 1, tz };
+        let mut g = Gregorian {
+            kind,
+            year: 1,
+            month: 1,
+            day: 1,
+            tz,
+        };
         match kind {
             GregorianKind::Year => {
                 let (neg, digits) = match rest.strip_prefix('-') {
@@ -641,7 +691,14 @@ mod tests {
 
     #[test]
     fn date_rejects_invalid() {
-        for s in ["2002-13-01", "2002-02-30", "2002-00-10", "02-01-01", "2002/01/01", ""] {
+        for s in [
+            "2002-13-01",
+            "2002-02-30",
+            "2002-00-10",
+            "02-01-01",
+            "2002/01/01",
+            "",
+        ] {
             assert!(Date::parse(s).is_err(), "{s:?}");
         }
     }
@@ -688,7 +745,10 @@ mod tests {
     fn duration_parse_and_display() {
         let d = Duration::parse("P1Y2M3DT4H5M6S").unwrap();
         assert_eq!(d.months, 14);
-        assert_eq!(d.millis, 3 * 86_400_000 + 4 * 3_600_000 + 5 * 60_000 + 6 * 1000);
+        assert_eq!(
+            d.millis,
+            3 * 86_400_000 + 4 * 3_600_000 + 5 * 60_000 + 6 * 1000
+        );
         assert_eq!(d.to_string(), "P1Y2M3DT4H5M6S");
         assert_eq!(Duration::parse("PT0S").unwrap(), Duration::ZERO);
         assert_eq!(Duration::parse("-P1D").unwrap().millis, -86_400_000);
@@ -707,14 +767,19 @@ mod tests {
         let d = Date::parse("2004-01-31").unwrap();
         let d2 = d.add_duration(Duration::from_months(1)).unwrap();
         assert_eq!(d2.to_string(), "2004-02-29");
-        let d3 = Date::parse("2003-01-31").unwrap().add_duration(Duration::from_months(1)).unwrap();
+        let d3 = Date::parse("2003-01-31")
+            .unwrap()
+            .add_duration(Duration::from_months(1))
+            .unwrap();
         assert_eq!(d3.to_string(), "2003-02-28");
     }
 
     #[test]
     fn add_day_time_duration() {
         let dt = DateTime::parse("2004-12-31T23:00:00").unwrap();
-        let dt2 = dt.add_duration(Duration::from_millis(2 * 3_600_000)).unwrap();
+        let dt2 = dt
+            .add_duration(Duration::from_millis(2 * 3_600_000))
+            .unwrap();
         assert_eq!(dt2.to_string(), "2005-01-01T01:00:00");
     }
 
@@ -740,28 +805,48 @@ mod tests {
     #[test]
     fn gregorian_forms() {
         assert_eq!(
-            Gregorian::parse(GregorianKind::Year, "1967").unwrap().to_string(),
+            Gregorian::parse(GregorianKind::Year, "1967")
+                .unwrap()
+                .to_string(),
             "1967"
         );
         assert_eq!(
-            Gregorian::parse(GregorianKind::YearMonth, "2004-09").unwrap().to_string(),
+            Gregorian::parse(GregorianKind::YearMonth, "2004-09")
+                .unwrap()
+                .to_string(),
             "2004-09"
         );
-        assert_eq!(Gregorian::parse(GregorianKind::Month, "--09").unwrap().to_string(), "--09");
         assert_eq!(
-            Gregorian::parse(GregorianKind::MonthDay, "--09-14").unwrap().to_string(),
+            Gregorian::parse(GregorianKind::Month, "--09")
+                .unwrap()
+                .to_string(),
+            "--09"
+        );
+        assert_eq!(
+            Gregorian::parse(GregorianKind::MonthDay, "--09-14")
+                .unwrap()
+                .to_string(),
             "--09-14"
         );
-        assert_eq!(Gregorian::parse(GregorianKind::Day, "---14").unwrap().to_string(), "---14");
+        assert_eq!(
+            Gregorian::parse(GregorianKind::Day, "---14")
+                .unwrap()
+                .to_string(),
+            "---14"
+        );
         assert!(Gregorian::parse(GregorianKind::Month, "--13").is_err());
         assert!(Gregorian::parse(GregorianKind::Day, "---32").is_err());
     }
 
     #[test]
     fn civil_day_conversions_roundtrip() {
-        for &(y, m, d) in
-            &[(1970, 1, 1), (2000, 2, 29), (1967, 5, 20), (2204, 12, 31), (1, 1, 1)]
-        {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (2000, 2, 29),
+            (1967, 5, 20),
+            (2204, 12, 31),
+            (1, 1, 1),
+        ] {
             let days = days_from_civil(y, m, d);
             assert_eq!(civil_from_days(days), (y, m, d));
         }

@@ -48,7 +48,10 @@ impl Decimal {
     }
 
     pub fn from_i64(v: i64) -> Self {
-        Decimal { coeff: v as i128, scale: 0 }
+        Decimal {
+            coeff: v as i128,
+            scale: 0,
+        }
     }
 
     fn normalize(mut self) -> Self {
@@ -150,8 +153,9 @@ impl Decimal {
 
     pub fn checked_add(self, other: Decimal) -> Result<Decimal> {
         let (a, b, scale) = Self::align(self, other)?;
-        let coeff =
-            a.checked_add(b).ok_or_else(|| Error::new(ErrorCode::Overflow, "decimal overflow"))?;
+        let coeff = a
+            .checked_add(b)
+            .ok_or_else(|| Error::new(ErrorCode::Overflow, "decimal overflow"))?;
         Ok(Decimal { coeff, scale }.normalize())
     }
 
@@ -164,7 +168,10 @@ impl Decimal {
             .coeff
             .checked_neg()
             .ok_or_else(|| Error::new(ErrorCode::Overflow, "decimal overflow"))?;
-        Ok(Decimal { coeff, scale: self.scale })
+        Ok(Decimal {
+            coeff,
+            scale: self.scale,
+        })
     }
 
     pub fn checked_mul(self, other: Decimal) -> Result<Decimal> {
@@ -172,7 +179,10 @@ impl Decimal {
             .coeff
             .checked_mul(other.coeff)
             .ok_or_else(|| Error::new(ErrorCode::Overflow, "decimal overflow"))?;
-        let mut d = Decimal { coeff, scale: self.scale + other.scale };
+        let mut d = Decimal {
+            coeff,
+            scale: self.scale + other.scale,
+        };
         // Reduce scale if it exceeds what we track.
         while d.scale > MAX_SCALE {
             d.coeff /= 10;
@@ -184,7 +194,10 @@ impl Decimal {
     /// Division rounds half-even at [`MAX_SCALE`] digits.
     pub fn checked_div(self, other: Decimal) -> Result<Decimal> {
         if other.is_zero() {
-            return Err(Error::new(ErrorCode::DivisionByZero, "decimal division by zero"));
+            return Err(Error::new(
+                ErrorCode::DivisionByZero,
+                "decimal division by zero",
+            ));
         }
         // Compute (self / other) at MAX_SCALE digits of fraction:
         // scaled = self.coeff * 10^(MAX_SCALE + other.scale - self.scale) / other.coeff
@@ -223,7 +236,11 @@ impl Decimal {
                 q += 1;
             }
         }
-        Ok(Decimal { coeff: q, scale: target_scale }.normalize())
+        Ok(Decimal {
+            coeff: q,
+            scale: target_scale,
+        }
+        .normalize())
     }
 
     /// `idiv`: integer division truncating toward zero.
@@ -241,12 +258,19 @@ impl Decimal {
             return Err(Error::new(ErrorCode::DivisionByZero, "mod by zero"));
         }
         let (a, b, scale) = Self::align(self, other)?;
-        Ok(Decimal { coeff: a % b, scale }.normalize())
+        Ok(Decimal {
+            coeff: a % b,
+            scale,
+        }
+        .normalize())
     }
 
     pub fn abs(self) -> Decimal {
         if self.coeff < 0 {
-            Decimal { coeff: -self.coeff, scale: self.scale }
+            Decimal {
+                coeff: -self.coeff,
+                scale: self.scale,
+            }
         } else {
             self
         }
@@ -323,7 +347,11 @@ impl Decimal {
             let back = POW10[(-precision) as usize];
             q = q.saturating_mul(back);
         }
-        Decimal { coeff: q, scale: new_scale }.normalize()
+        Decimal {
+            coeff: q,
+            scale: new_scale,
+        }
+        .normalize()
     }
 
     pub fn to_f64(self) -> f64 {
@@ -365,7 +393,9 @@ impl Ord for Decimal {
             Ok((a, b, _)) => a.cmp(&b),
             Err(_) => {
                 // Fall back to float comparison only in the overflow fringe.
-                self.to_f64().partial_cmp(&other.to_f64()).unwrap_or(Ordering::Equal)
+                self.to_f64()
+                    .partial_cmp(&other.to_f64())
+                    .unwrap_or(Ordering::Equal)
             }
         }
     }
@@ -425,7 +455,12 @@ mod tests {
     #[test]
     fn arithmetic_basics() {
         assert_eq!(d("1.1").checked_add(d("2.2")).unwrap(), d("3.3"));
-        assert_eq!(d("1").checked_sub(d("4").checked_mul(d("8.5")).unwrap()).unwrap(), d("-33"));
+        assert_eq!(
+            d("1")
+                .checked_sub(d("4").checked_mul(d("8.5")).unwrap())
+                .unwrap(),
+            d("-33")
+        );
         assert_eq!(d("5").checked_div(d("2")).unwrap(), d("2.5"));
         assert_eq!(d("1").checked_div(d("3")).unwrap().to_string().len(), 20); // 0.333...
     }
@@ -447,9 +482,18 @@ mod tests {
 
     #[test]
     fn division_by_zero_is_an_error() {
-        assert_eq!(d("1").checked_div(d("0")).unwrap_err().code, ErrorCode::DivisionByZero);
-        assert_eq!(d("1").checked_idiv(d("0")).unwrap_err().code, ErrorCode::DivisionByZero);
-        assert_eq!(d("1").checked_rem(d("0")).unwrap_err().code, ErrorCode::DivisionByZero);
+        assert_eq!(
+            d("1").checked_div(d("0")).unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
+        assert_eq!(
+            d("1").checked_idiv(d("0")).unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
+        assert_eq!(
+            d("1").checked_rem(d("0")).unwrap_err().code,
+            ErrorCode::DivisionByZero
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ pub struct Error {
 
 impl Error {
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        Error { code, message: message.into(), position: None }
+        Error {
+            code,
+            message: message.into(),
+            position: None,
+        }
     }
 
     pub fn at(mut self, position: usize) -> Self {

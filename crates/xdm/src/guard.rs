@@ -98,7 +98,8 @@ impl std::fmt::Display for Limits {
         write!(
             f,
             "deadline: {} items: {} tokens: {} output: {} depth: {} doc: {}",
-            self.deadline.map_or_else(|| "-".into(), |d| format!("{}ms", d.as_millis())),
+            self.deadline
+                .map_or_else(|| "-".into(), |d| format!("{}ms", d.as_millis())),
             opt(self.max_items),
             opt(self.max_tokens),
             opt(self.max_output_bytes),
@@ -188,7 +189,9 @@ impl QueryGuard {
     }
 
     pub fn cancel_handle(&self) -> CancelHandle {
-        CancelHandle { inner: self.inner.clone() }
+        CancelHandle {
+            inner: self.inner.clone(),
+        }
     }
 
     pub fn cancel(&self) {
@@ -257,7 +260,9 @@ impl QueryGuard {
         let before = self.inner.items.fetch_add(n, Ordering::Relaxed);
         if let Some(max) = self.inner.limits.max_items {
             if before + n > max {
-                return Err(Error::limit(format!("materialized-item budget of {max} exceeded")));
+                return Err(Error::limit(format!(
+                    "materialized-item budget of {max} exceeded"
+                )));
             }
         }
         self.check_cancel_and_deadline(before, n)
@@ -281,7 +286,9 @@ impl QueryGuard {
         let before = self.inner.output_bytes.fetch_add(n, Ordering::Relaxed);
         if let Some(max) = self.inner.limits.max_output_bytes {
             if before + n > max {
-                return Err(Error::limit(format!("output budget of {max} bytes exceeded")));
+                return Err(Error::limit(format!(
+                    "output budget of {max} bytes exceeded"
+                )));
             }
         }
         self.check_cancel_and_deadline(before, n)
@@ -295,7 +302,9 @@ impl QueryGuard {
         self.inner.peak_depth.fetch_max(depth, Ordering::Relaxed);
         if let Some(max) = self.inner.limits.max_xml_depth {
             if depth > max {
-                return Err(Error::limit(format!("XML nesting depth limit of {max} exceeded")));
+                return Err(Error::limit(format!(
+                    "XML nesting depth limit of {max} exceeded"
+                )));
             }
         }
         Ok(())
@@ -307,7 +316,9 @@ impl QueryGuard {
     pub fn check_document_bytes(&self, total: u64) -> Result<()> {
         if let Some(max) = self.inner.limits.max_document_bytes {
             if total > max {
-                return Err(Error::limit(format!("document size limit of {max} bytes exceeded")));
+                return Err(Error::limit(format!(
+                    "document size limit of {max} bytes exceeded"
+                )));
             }
         }
         Ok(())
@@ -377,7 +388,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(tripped.expect("deadline should fire").code, ErrorCode::Timeout);
+        assert_eq!(
+            tripped.expect("deadline should fire").code,
+            ErrorCode::Timeout
+        );
     }
 
     #[test]
@@ -392,12 +406,17 @@ mod tests {
     #[test]
     fn depth_and_doc_size_limits() {
         let g = QueryGuard::new(
-            Limits::unlimited().with_max_xml_depth(100).with_max_document_bytes(1000),
+            Limits::unlimited()
+                .with_max_xml_depth(100)
+                .with_max_document_bytes(1000),
         );
         g.enter_depth(100).unwrap();
         assert_eq!(g.enter_depth(101).unwrap_err().code, ErrorCode::Limit);
         g.check_document_bytes(1000).unwrap();
-        assert_eq!(g.check_document_bytes(1001).unwrap_err().code, ErrorCode::Limit);
+        assert_eq!(
+            g.check_document_bytes(1001).unwrap_err().code,
+            ErrorCode::Limit
+        );
         assert_eq!(g.usage().peak_depth, 101);
     }
 

@@ -70,8 +70,11 @@ impl LatencyHistogram {
     /// The quantile `q` in `[0, 1]`, reported as the upper bound of the
     /// bucket holding that rank. Returns zero when no samples exist.
     pub fn quantile(&self, q: f64) -> Duration {
-        let counts: Vec<u64> =
-            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return Duration::ZERO;
@@ -139,6 +142,47 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_are_half_open() {
+        // Bucket i covers [2^i, 2^(i+1)): both edges of each boundary.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = 1u64 << i;
+            assert_eq!(LatencyHistogram::bucket_of(lo), i, "lower edge of {i}");
+            assert_eq!(
+                LatencyHistogram::bucket_of(lo * 2 - 1),
+                i,
+                "upper edge of {i}"
+            );
+            assert_eq!(LatencyHistogram::bucket_of(lo * 2), i + 1);
+        }
+    }
+
+    /// A known bimodal distribution: quantiles must step from the fast
+    /// mode to the slow mode exactly where the mass says they should.
+    #[test]
+    fn quantiles_on_a_known_bimodal_distribution() {
+        let h = LatencyHistogram::new();
+        // 900 samples at ~50us, 100 samples at ~800ms.
+        for _ in 0..900 {
+            h.record(Duration::from_micros(50));
+        }
+        for _ in 0..100 {
+            h.record(Duration::from_millis(800));
+        }
+        // p50 and p90 sit in the fast bucket [32, 64) → upper bound 64us.
+        assert_eq!(h.p50(), Duration::from_micros(64));
+        assert_eq!(h.quantile(0.90), Duration::from_micros(64));
+        // p99 crosses into the slow mode: 800ms lands in [2^19, 2^20)us.
+        assert_eq!(h.p99(), Duration::from_micros(1 << 20));
+        // Quantiles are monotone in q.
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(h.quantile(w[0]) <= h.quantile(w[1]), "monotone at {w:?}");
+        }
+        // Mean is pulled between the modes: 0.9*50us + 0.1*800000us.
+        assert_eq!(h.mean(), Duration::from_micros(80_045));
+    }
+
+    #[test]
     fn concurrent_recording_loses_nothing() {
         let h = std::sync::Arc::new(LatencyHistogram::new());
         let threads: Vec<_> = (0..8)
@@ -155,5 +199,15 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(h.count(), 8000);
+        // Every thread recorded the same 0..1000us ramp, so quantiles
+        // must match a single-threaded recording of one ramp exactly.
+        let reference = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            reference.record(Duration::from_micros(i));
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), reference.quantile(q), "q = {q}");
+        }
+        assert_eq!(h.mean(), reference.mean());
     }
 }

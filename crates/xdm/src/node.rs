@@ -37,7 +37,10 @@ impl NodeKind {
     pub fn is_child_kind(self) -> bool {
         matches!(
             self,
-            NodeKind::Element | NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction
+            NodeKind::Element
+                | NodeKind::Text
+                | NodeKind::Comment
+                | NodeKind::ProcessingInstruction
         )
     }
 
@@ -71,6 +74,9 @@ mod tests {
         assert!(NodeKind::Element.is_named());
         assert!(NodeKind::ProcessingInstruction.is_named());
         assert!(!NodeKind::Text.is_named());
-        assert_eq!(NodeKind::ProcessingInstruction.as_str(), "processing-instruction");
+        assert_eq!(
+            NodeKind::ProcessingInstruction.as_str(),
+            "processing-instruction"
+        );
     }
 }

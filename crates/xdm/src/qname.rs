@@ -24,12 +24,20 @@ pub struct QName {
 impl QName {
     /// A name with no namespace, e.g. `book`.
     pub fn local(local: &str) -> Self {
-        QName { ns: None, prefix: None, local: Arc::from(local) }
+        QName {
+            ns: None,
+            prefix: None,
+            local: Arc::from(local),
+        }
     }
 
     /// A name in a namespace with no prefix (default-namespace binding).
     pub fn ns(ns: &str, local: &str) -> Self {
-        QName { ns: Some(Arc::from(ns)), prefix: None, local: Arc::from(local) }
+        QName {
+            ns: Some(Arc::from(ns)),
+            prefix: None,
+            local: Arc::from(local),
+        }
     }
 
     /// A fully spelled-out name, e.g. `amz:ref` in `www.amazon.com`.
@@ -136,7 +144,9 @@ impl NamePool {
         let absent = QName::local("");
         inner.index.insert(absent.clone(), NameId::NONE);
         inner.names.push(absent);
-        NamePool { inner: RwLock::new(inner) }
+        NamePool {
+            inner: RwLock::new(inner),
+        }
     }
 
     /// Intern a name, returning its dense id (idempotent).

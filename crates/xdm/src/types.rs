@@ -118,11 +118,17 @@ pub enum ItemType {
 
 impl ItemType {
     pub fn element(name: Option<QName>) -> Self {
-        ItemType::Kind(NodeKind::Element, name.map_or(NameTest::Any, NameTest::Name))
+        ItemType::Kind(
+            NodeKind::Element,
+            name.map_or(NameTest::Any, NameTest::Name),
+        )
     }
 
     pub fn attribute(name: Option<QName>) -> Self {
-        ItemType::Kind(NodeKind::Attribute, name.map_or(NameTest::Any, NameTest::Name))
+        ItemType::Kind(
+            NodeKind::Attribute,
+            name.map_or(NameTest::Any, NameTest::Name),
+        )
     }
 
     pub fn is_node_type(&self) -> bool {
@@ -143,9 +149,7 @@ impl ItemType {
             (Atomic(_), _) | (_, Atomic(_)) => false,
             (AnyNode | Kind(..), AnyNode) => true,
             (AnyNode, Kind(..)) => false,
-            (Kind(k1, n1), Kind(k2, n2)) => {
-                k1 == k2 && (matches!(n2, NameTest::Any) || n1 == n2)
-            }
+            (Kind(k1, n1), Kind(k2, n2)) => k1 == k2 && (matches!(n2, NameTest::Any) || n1 == n2),
         }
     }
 
@@ -304,8 +308,8 @@ impl SequenceType {
         match (self, other) {
             (SequenceType::Empty, t) | (t, SequenceType::Empty) => t.clone(),
             (SequenceType::Of(i1, o1), SequenceType::Of(i2, o2)) => {
-                let merged = SequenceType::Of(i1.clone(), *o1)
-                    .union(&SequenceType::Of(i2.clone(), *o2));
+                let merged =
+                    SequenceType::Of(i1.clone(), *o1).union(&SequenceType::Of(i2.clone(), *o2));
                 match merged {
                     SequenceType::Of(i, _) => SequenceType::Of(i, o1.concat(*o2)),
                     e => e,
@@ -401,8 +405,7 @@ mod tests {
         assert!(one_int.is_subtype_of(&opt_dec));
         assert!(!opt_dec.is_subtype_of(&one_int));
         assert!(SequenceType::Empty.is_subtype_of(&opt_dec));
-        assert!(!SequenceType::Empty
-            .is_subtype_of(&SequenceType::one_or_more(ItemType::AnyItem)));
+        assert!(!SequenceType::Empty.is_subtype_of(&SequenceType::one_or_more(ItemType::AnyItem)));
         assert!(one_int.is_subtype_of(&SequenceType::ANY));
     }
 

@@ -15,11 +15,26 @@ const TITLES: &[&str] = &[
     "Structural Joins",
     "Projecting XML Documents",
 ];
-const LASTS: &[&str] =
-    &["Laing", "Stevens", "Abiteboul", "Buneman", "Suciu", "Gerbarg", "Bruno", "Koudas"];
-const FIRSTS: &[&str] = &["Ronald", "W.", "Serge", "Peter", "Dan", "Darcy", "Nicolas", "Nick"];
-const PUBLISHERS: &[&str] =
-    &["Addison-Wesley", "Morgan Kaufmann", "Springer Verlag", "Kluwer", "MIT Press"];
+const LASTS: &[&str] = &[
+    "Laing",
+    "Stevens",
+    "Abiteboul",
+    "Buneman",
+    "Suciu",
+    "Gerbarg",
+    "Bruno",
+    "Koudas",
+];
+const FIRSTS: &[&str] = &[
+    "Ronald", "W.", "Serge", "Peter", "Dan", "Darcy", "Nicolas", "Nick",
+];
+const PUBLISHERS: &[&str] = &[
+    "Addison-Wesley",
+    "Morgan Kaufmann",
+    "Springer Verlag",
+    "Kluwer",
+    "MIT Press",
+];
 
 /// Generate a bibliography with `books` entries.
 pub fn bibliography(seed: u64, books: usize) -> String {
@@ -40,7 +55,10 @@ pub fn bibliography(seed: u64, books: usize) -> String {
                 FIRSTS[rng.gen_range(0..FIRSTS.len())]
             );
         }
-        let _ = write!(x, "<publisher>{publisher}</publisher><price>{price:.2}</price></book>");
+        let _ = write!(
+            x,
+            "<publisher>{publisher}</publisher><price>{price:.2}</price></book>"
+        );
     }
     x.push_str("</bib>");
     x

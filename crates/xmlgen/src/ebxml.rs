@@ -16,7 +16,11 @@ pub fn trading_partners(seed: u64, partners: usize) -> String {
     x.push_str("<wlc>");
     for i in 0..partners {
         let ptype = if rng.gen_bool(0.5) { "LOCAL" } else { "REMOTE" };
-        let protocol = if rng.gen_bool(0.7) { "ebXML" } else { "RosettaNet" };
+        let protocol = if rng.gen_bool(0.7) {
+            "ebXML"
+        } else {
+            "RosettaNet"
+        };
         let transport_protocol = if rng.gen_bool(0.5) { "http" } else { "https" };
         let _ = write!(
             x,

@@ -23,6 +23,10 @@ pub struct RandomTreeConfig {
     pub p_descendant: f64,
     /// Probability a node gets a short text child.
     pub p_text: f64,
+    /// Probability a node gets a small numeric `k="…"` attribute. Zero
+    /// (the default) draws nothing from the RNG, so documents generated
+    /// by older configs are byte-identical under the same seed.
+    pub p_attribute: f64,
 }
 
 impl Default for RandomTreeConfig {
@@ -35,6 +39,7 @@ impl Default for RandomTreeConfig {
             p_ancestor: 0.1,
             p_descendant: 0.2,
             p_text: 0.3,
+            p_attribute: 0.0,
         }
     }
 }
@@ -78,6 +83,9 @@ fn gen_subtree(
     let t = tag(rng, config);
     out.push('<');
     out.push_str(&t);
+    if config.p_attribute > 0.0 && rng.gen_bool(config.p_attribute) {
+        out.push_str(&format!(" k=\"{}\"", rng.gen_range(0..10)));
+    }
     out.push('>');
     if rng.gen_bool(config.p_text) {
         out.push('x');
@@ -105,7 +113,10 @@ mod tests {
 
     #[test]
     fn respects_budget_roughly() {
-        let c = RandomTreeConfig { nodes: 500, ..Default::default() };
+        let c = RandomTreeConfig {
+            nodes: 500,
+            ..Default::default()
+        };
         let x = random_tree(&c);
         let opens = x.matches('<').count();
         // opens counts both open and close tags; elements ≈ opens/2.
@@ -115,16 +126,45 @@ mod tests {
 
     #[test]
     fn selectivity_parameters_steer_tag_frequencies() {
-        let many_a = RandomTreeConfig { p_ancestor: 0.5, p_descendant: 0.1, ..Default::default() };
-        let few_a = RandomTreeConfig { p_ancestor: 0.01, p_descendant: 0.1, ..Default::default() };
+        let many_a = RandomTreeConfig {
+            p_ancestor: 0.5,
+            p_descendant: 0.1,
+            ..Default::default()
+        };
+        let few_a = RandomTreeConfig {
+            p_ancestor: 0.01,
+            p_descendant: 0.1,
+            ..Default::default()
+        };
         let xa = random_tree(&many_a);
         let xf = random_tree(&few_a);
         assert!(xa.matches("<a>").count() > xf.matches("<a>").count() * 3);
     }
 
     #[test]
+    fn attributes_appear_only_when_enabled() {
+        let plain = RandomTreeConfig::default();
+        assert!(!random_tree(&plain).contains(" k=\""));
+        let with_attrs = RandomTreeConfig {
+            p_attribute: 0.5,
+            ..Default::default()
+        };
+        assert!(random_tree(&with_attrs).contains(" k=\""));
+        // p_attribute: 0.0 draws nothing from the RNG: same bytes as
+        // before the field existed.
+        assert_eq!(
+            random_tree(&plain),
+            random_tree(&RandomTreeConfig::default())
+        );
+    }
+
+    #[test]
     fn depth_bounded() {
-        let c = RandomTreeConfig { max_depth: 3, nodes: 300, ..Default::default() };
+        let c = RandomTreeConfig {
+            max_depth: 3,
+            nodes: 300,
+            ..Default::default()
+        };
         let x = random_tree(&c);
         let mut depth = 0usize;
         let mut max = 0usize;

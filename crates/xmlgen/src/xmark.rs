@@ -11,12 +11,40 @@ const FIRST_NAMES: &[&str] = &[
     "Peter", "Wenfei", "Elke", "Michael", "Yanlei", "Alon",
 ];
 const LAST_NAMES: &[&str] = &[
-    "Laing", "Florescu", "Srivastava", "Simeon", "Fernandez", "Abiteboul", "Suciu", "Koudas",
-    "AmerYahia", "Lakshmanan", "Buneman", "Fan", "Rundensteiner", "Franklin", "Diao", "Halevy",
+    "Laing",
+    "Florescu",
+    "Srivastava",
+    "Simeon",
+    "Fernandez",
+    "Abiteboul",
+    "Suciu",
+    "Koudas",
+    "AmerYahia",
+    "Lakshmanan",
+    "Buneman",
+    "Fan",
+    "Rundensteiner",
+    "Franklin",
+    "Diao",
+    "Halevy",
 ];
 const WORDS: &[&str] = &[
-    "great", "true", "amphibian", "nature", "disposed", "politics", "experience", "persons",
-    "facts", "streaming", "token", "iterator", "lazy", "evaluation", "join", "pattern",
+    "great",
+    "true",
+    "amphibian",
+    "nature",
+    "disposed",
+    "politics",
+    "experience",
+    "persons",
+    "facts",
+    "streaming",
+    "token",
+    "iterator",
+    "lazy",
+    "evaluation",
+    "join",
+    "pattern",
 ];
 
 /// Generation parameters.
@@ -100,7 +128,12 @@ pub fn auction_site(config: &XmarkConfig) -> String {
             );
         }
         if rng.gen_bool(0.4) {
-            let _ = write!(x, "<creditcard>{:04} {:04}</creditcard>", rng.gen_range(0..9999), rng.gen_range(0..9999));
+            let _ = write!(
+                x,
+                "<creditcard>{:04} {:04}</creditcard>",
+                rng.gen_range(0..9999),
+                rng.gen_range(0..9999)
+            );
         }
         x.push_str("</person>");
     }
@@ -177,7 +210,12 @@ mod tests {
     #[test]
     fn sections_present() {
         let x = auction_site(&XmarkConfig::scaled(40));
-        for tag in ["<people>", "<regions>", "<open_auctions>", "<closed_auctions>"] {
+        for tag in [
+            "<people>",
+            "<regions>",
+            "<open_auctions>",
+            "<closed_auctions>",
+        ] {
             assert!(x.contains(tag), "{tag}");
         }
     }

@@ -120,7 +120,9 @@ impl<'a> XmlReader<'a> {
     /// `EndDocument`.
     pub fn next_event(&mut self) -> Result<XmlEvent> {
         if let Some(guard) = &self.guard {
-            guard.check_document_bytes(self.pos as u64).map_err(|e| e.at(self.pos))?;
+            guard
+                .check_document_bytes(self.pos as u64)
+                .map_err(|e| e.at(self.pos))?;
         }
         if !self.started {
             self.started = true;
@@ -195,7 +197,9 @@ impl<'a> XmlReader<'a> {
                 Some(b' ' | b'\t' | b'\r' | b'\n' | b'?')
             )
         {
-            let end = self.find("?>").ok_or_else(|| self.err("unterminated XML declaration"))?;
+            let end = self
+                .find("?>")
+                .ok_or_else(|| self.err("unterminated XML declaration"))?;
             self.pos = end + 2;
         }
         loop {
@@ -204,7 +208,9 @@ impl<'a> XmlReader<'a> {
                 self.skip_doctype()?;
             } else if self.input[self.pos..].starts_with(b"<!--") {
                 self.pos += 4;
-                let end = self.find("-->").ok_or_else(|| self.err("unterminated comment"))?;
+                let end = self
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
                 self.pos = end + 3;
             } else if self.input[self.pos..].starts_with(b"<?") {
                 let end = self.find("?>").ok_or_else(|| self.err("unterminated PI"))?;
@@ -225,13 +231,12 @@ impl<'a> XmlReader<'a> {
                 b'[' => in_internal = true,
                 b']' => in_internal = false,
                 b'<' if in_internal => depth += 1,
-                b'>'
-                    if !in_internal => {
-                        depth -= 1;
-                        if depth == 0 {
-                            return Ok(());
-                        }
+                b'>' if !in_internal => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
                     }
+                }
                 _ => {}
             }
         }
@@ -307,8 +312,10 @@ impl<'a> XmlReader<'a> {
                         return Ok(QName::prefixed(uri, p, local));
                     }
                 }
-                Err(Error::new(ErrorCode::UnboundPrefix, format!("unbound prefix {p:?}"))
-                    .at(self.pos))
+                Err(
+                    Error::new(ErrorCode::UnboundPrefix, format!("unbound prefix {p:?}"))
+                        .at(self.pos),
+                )
             }
         }
     }
@@ -344,7 +351,10 @@ impl<'a> XmlReader<'a> {
                     let value = self.read_attr_value()?;
                     // Namespace declarations are bindings, not attributes.
                     if attr_name == "xmlns" {
-                        decls.push(NamespaceDecl { prefix: None, uri: Arc::from(value.as_str()) });
+                        decls.push(NamespaceDecl {
+                            prefix: None,
+                            uri: Arc::from(value.as_str()),
+                        });
                     } else if let Some(p) = attr_name.strip_prefix("xmlns:") {
                         if p.is_empty() {
                             return Err(self.err("empty namespace prefix"));
@@ -384,7 +394,9 @@ impl<'a> XmlReader<'a> {
             .at(self.pos));
         }
         if let Some(guard) = &self.guard {
-            guard.enter_depth(depth as u64).map_err(|e| e.at(self.pos))?;
+            guard
+                .enter_depth(depth as u64)
+                .map_err(|e| e.at(self.pos))?;
         }
         // Push bindings before resolving names on this element.
         for d in &decls {
@@ -403,7 +415,10 @@ impl<'a> XmlReader<'a> {
                 )
                 .at(self.pos));
             }
-            attributes.push(Attribute { name: qn, value: Arc::from(av.as_str()) });
+            attributes.push(Attribute {
+                name: qn,
+                value: Arc::from(av.as_str()),
+            });
         }
         if empty {
             self.pending_end = Some(name.clone());
@@ -412,7 +427,12 @@ impl<'a> XmlReader<'a> {
         } else {
             self.open.push((name.clone(), decls.len()));
         }
-        Ok(XmlEvent::StartElement { name, attributes, namespaces: decls, empty })
+        Ok(XmlEvent::StartElement {
+            name,
+            attributes,
+            namespaces: decls,
+            empty,
+        })
     }
 
     fn pop_element(&mut self) {
@@ -460,7 +480,9 @@ impl<'a> XmlReader<'a> {
                 Some(_) => {
                     let start = self.pos;
                     while let Some(b) = self.peek() {
-                        if b == b'<' || b == b'&' || (b == b']' && self.input[self.pos..].starts_with(b"]]>"))
+                        if b == b'<'
+                            || b == b'&'
+                            || (b == b']' && self.input[self.pos..].starts_with(b"]]>"))
                         {
                             break;
                         }
@@ -476,7 +498,9 @@ impl<'a> XmlReader<'a> {
     fn read_entity(&mut self) -> Result<String> {
         debug_assert_eq!(self.peek(), Some(b'&'));
         self.pos += 1;
-        let end = self.find(";").ok_or_else(|| self.err("unterminated entity reference"))?;
+        let end = self
+            .find(";")
+            .ok_or_else(|| self.err("unterminated entity reference"))?;
         let name = &self.src[self.pos..end];
         self.pos = end + 1;
         Ok(match name {
@@ -500,11 +524,7 @@ impl<'a> XmlReader<'a> {
                     .ok_or_else(|| self.err(format!("invalid codepoint in &{name};")))?
                     .to_string()
             }
-            _ => {
-                return Err(self.err(format!(
-                    "unknown entity &{name}; (no DTD entity support)"
-                )))
-            }
+            _ => return Err(self.err(format!("unknown entity &{name}; (no DTD entity support)"))),
         })
     }
 
@@ -539,7 +559,12 @@ impl<'a> XmlReader<'a> {
                 Some(_) => {
                     let start = self.pos;
                     while let Some(b) = self.peek() {
-                        if b == quote || b == b'&' || b == b'<' || b == b'\t' || b == b'\n' || b == b'\r'
+                        if b == quote
+                            || b == b'&'
+                            || b == b'<'
+                            || b == b'\t'
+                            || b == b'\n'
+                            || b == b'\r'
                         {
                             break;
                         }
@@ -553,7 +578,9 @@ impl<'a> XmlReader<'a> {
     }
 
     fn read_comment(&mut self) -> Result<XmlEvent> {
-        let end = self.find("--").ok_or_else(|| self.err("unterminated comment"))?;
+        let end = self
+            .find("--")
+            .ok_or_else(|| self.err("unterminated comment"))?;
         let text = &self.src[self.pos..end];
         if !self.src[end..].starts_with("-->") {
             return Err(self.err("'--' not allowed inside a comment"));
@@ -566,7 +593,9 @@ impl<'a> XmlReader<'a> {
         if self.open.is_empty() {
             return Err(self.err("CDATA outside the root element"));
         }
-        let end = self.find("]]>").ok_or_else(|| self.err("unterminated CDATA section"))?;
+        let end = self
+            .find("]]>")
+            .ok_or_else(|| self.err("unterminated CDATA section"))?;
         let text = &self.src[self.pos..end];
         self.pos = end + 3;
         Ok(XmlEvent::Text(normalize_newlines(text).into()))
@@ -672,14 +701,18 @@ mod tests {
         )
         .unwrap();
         match &evs[1] {
-            XmlEvent::StartElement { name, namespaces, .. } => {
+            XmlEvent::StartElement {
+                name, namespaces, ..
+            } => {
                 assert_eq!(name.namespace(), Some("urn:b"));
                 assert_eq!(namespaces.len(), 2);
             }
             other => panic!("{other:?}"),
         }
         match &evs[2] {
-            XmlEvent::StartElement { name, attributes, .. } => {
+            XmlEvent::StartElement {
+                name, attributes, ..
+            } => {
                 assert_eq!(name.namespace(), Some("urn:a"));
                 assert_eq!(name.local_name(), "ref");
                 // prefixed attribute is in the prefix namespace
@@ -792,7 +825,10 @@ mod tests {
                 XmlEvent::ProcessingInstruction { .. } => "PI",
             })
             .collect();
-        assert_eq!(kinds, vec!["SD", "SE", "T", "SE", "T", "EE", "T", "EE", "ED"]);
+        assert_eq!(
+            kinds,
+            vec!["SD", "SE", "T", "SE", "T", "EE", "T", "EE", "ED"]
+        );
     }
 
     #[test]
@@ -900,7 +936,9 @@ mod tests {
     #[test]
     fn unicode_names_and_content() {
         let evs = parse_events("<données champ=\"é\">日本語</données>").unwrap();
-        assert!(matches!(&evs[1], XmlEvent::StartElement { name, .. } if name.local_name() == "données"));
+        assert!(
+            matches!(&evs[1], XmlEvent::StartElement { name, .. } if name.local_name() == "données")
+        );
         assert_eq!(texts(&evs), vec!["日本語"]);
     }
 }

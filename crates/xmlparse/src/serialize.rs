@@ -34,8 +34,7 @@ pub fn escape_attr(s: &str, out: &mut String) {
 }
 
 /// Serialization options.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WriterOptions {
     /// Pretty-print with this indent string per depth level; `None`
     /// writes everything on one line (lossless).
@@ -43,7 +42,6 @@ pub struct WriterOptions {
     /// Emit an XML declaration first.
     pub declaration: bool,
 }
-
 
 /// Streaming writer: feed events in document order; read the buffer at
 /// any point (the streaming benches measure time-to-first-byte this way).
@@ -72,7 +70,15 @@ impl XmlWriter {
                 out.push('\n');
             }
         }
-        XmlWriter { out, opts, depth: 0, tag_open: false, last_was_start: false, stack: Vec::new(), mixed: vec![false] }
+        XmlWriter {
+            out,
+            opts,
+            depth: 0,
+            tag_open: false,
+            last_was_start: false,
+            stack: Vec::new(),
+            mixed: vec![false],
+        }
     }
 
     pub fn into_string(self) -> String {
@@ -113,7 +119,12 @@ impl XmlWriter {
     pub fn write(&mut self, event: &XmlEvent) -> Result<()> {
         match event {
             XmlEvent::StartDocument | XmlEvent::EndDocument => {}
-            XmlEvent::StartElement { name, attributes, namespaces, .. } => {
+            XmlEvent::StartElement {
+                name,
+                attributes,
+                namespaces,
+                ..
+            } => {
                 self.close_tag_if_open();
                 self.newline_indent();
                 self.out.push('<');
@@ -135,9 +146,10 @@ impl XmlWriter {
                 self.mixed.push(false);
             }
             XmlEvent::EndElement { .. } => {
-                let name = self.stack.pop().ok_or_else(|| {
-                    Error::internal("unbalanced EndElement in serializer")
-                })?;
+                let name = self
+                    .stack
+                    .pop()
+                    .ok_or_else(|| Error::internal("unbalanced EndElement in serializer"))?;
                 self.depth -= 1;
                 let was_mixed = self.mixed.pop().unwrap_or(false);
                 if self.tag_open {
@@ -255,7 +267,10 @@ mod tests {
         let events = parse_events("<a><b><c/></b><d>t</d></a>").unwrap();
         let out = serialize_events(
             &events,
-            WriterOptions { indent: Some("  ".into()), declaration: false },
+            WriterOptions {
+                indent: Some("  ".into()),
+                declaration: false,
+            },
         )
         .unwrap();
         assert_eq!(out, "<a>\n  <b>\n    <c/>\n  </b>\n  <d>t</d>\n</a>");
@@ -266,7 +281,10 @@ mod tests {
         let events = parse_events("<a/>").unwrap();
         let out = serialize_events(
             &events,
-            WriterOptions { indent: None, declaration: true },
+            WriterOptions {
+                indent: None,
+                declaration: true,
+            },
         )
         .unwrap();
         assert!(out.starts_with("<?xml version=\"1.0\""));
@@ -291,7 +309,10 @@ mod tests {
         let events = parse_events("<p>one <b>two</b> three</p>").unwrap();
         let out = serialize_events(
             &events,
-            WriterOptions { indent: Some("  ".into()), declaration: false },
+            WriterOptions {
+                indent: Some("  ".into()),
+                declaration: false,
+            },
         )
         .unwrap();
         assert_eq!(out, "<p>one <b>two</b> three</p>");

@@ -136,14 +136,24 @@ impl CompOp {
     pub fn is_value(self) -> bool {
         matches!(
             self,
-            CompOp::ValEq | CompOp::ValNe | CompOp::ValLt | CompOp::ValLe | CompOp::ValGt | CompOp::ValGe
+            CompOp::ValEq
+                | CompOp::ValNe
+                | CompOp::ValLt
+                | CompOp::ValLe
+                | CompOp::ValGt
+                | CompOp::ValGe
         )
     }
 
     pub fn is_general(self) -> bool {
         matches!(
             self,
-            CompOp::GenEq | CompOp::GenNe | CompOp::GenLt | CompOp::GenLe | CompOp::GenGt | CompOp::GenGe
+            CompOp::GenEq
+                | CompOp::GenNe
+                | CompOp::GenLt
+                | CompOp::GenLe
+                | CompOp::GenGt
+                | CompOp::GenGe
         )
     }
 
@@ -329,13 +339,32 @@ impl Expr {
     pub fn pos(&self) -> Pos {
         use Expr::*;
         match self {
-            Literal(_, p) | VarRef(_, p) | ContextItem(p) | Sequence(_, p) | Range(_, _, p)
-            | Arith(_, _, _, p) | Neg(_, p) | Comparison(_, _, _, p) | And(_, _, p)
-            | Or(_, _, p) | Union(_, _, p) | Intersect(_, _, p) | Except(_, _, p)
-            | Path(_, _, p) | Root(p) | Filter(_, _, p) | FunctionCall(_, _, p)
-            | InstanceOf(_, _, p) | CastAs(_, _, p) | CastableAs(_, _, p) | TreatAs(_, _, p)
-            | ComputedText(_, p) | ComputedComment(_, p) | ComputedDocument(_, p)
-            | Ordered(_, p) | Unordered(_, p) => *p,
+            Literal(_, p)
+            | VarRef(_, p)
+            | ContextItem(p)
+            | Sequence(_, p)
+            | Range(_, _, p)
+            | Arith(_, _, _, p)
+            | Neg(_, p)
+            | Comparison(_, _, _, p)
+            | And(_, _, p)
+            | Or(_, _, p)
+            | Union(_, _, p)
+            | Intersect(_, _, p)
+            | Except(_, _, p)
+            | Path(_, _, p)
+            | Root(p)
+            | Filter(_, _, p)
+            | FunctionCall(_, _, p)
+            | InstanceOf(_, _, p)
+            | CastAs(_, _, p)
+            | CastableAs(_, _, p)
+            | TreatAs(_, _, p)
+            | ComputedText(_, p)
+            | ComputedComment(_, p)
+            | ComputedDocument(_, p)
+            | Ordered(_, p)
+            | Unordered(_, p) => *p,
             AxisStep { pos, .. }
             | Flwor { pos, .. }
             | Quantified { pos, .. }

@@ -75,13 +75,34 @@ pub const MAX_DEPTH: usize = 200;
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
         let ns = vec![
-            NsBinding { prefix: "xml".into(), uri: XML_NS.into() },
-            NsBinding { prefix: "xs".into(), uri: XS_NS.into() },
-            NsBinding { prefix: "xsd".into(), uri: XS_NS.into() },
-            NsBinding { prefix: "xdt".into(), uri: XDT_NS.into() },
-            NsBinding { prefix: "fn".into(), uri: FN_NS.into() },
-            NsBinding { prefix: "xf".into(), uri: FN_NS.into() },
-            NsBinding { prefix: "local".into(), uri: LOCAL_NS.into() },
+            NsBinding {
+                prefix: "xml".into(),
+                uri: XML_NS.into(),
+            },
+            NsBinding {
+                prefix: "xs".into(),
+                uri: XS_NS.into(),
+            },
+            NsBinding {
+                prefix: "xsd".into(),
+                uri: XS_NS.into(),
+            },
+            NsBinding {
+                prefix: "xdt".into(),
+                uri: XDT_NS.into(),
+            },
+            NsBinding {
+                prefix: "fn".into(),
+                uri: FN_NS.into(),
+            },
+            NsBinding {
+                prefix: "xf".into(),
+                uri: FN_NS.into(),
+            },
+            NsBinding {
+                prefix: "local".into(),
+                uri: LOCAL_NS.into(),
+            },
         ];
         Parser {
             src,
@@ -276,8 +297,11 @@ impl<'a> Parser<'a> {
                 return Ok(b.uri.clone());
             }
         }
-        Err(Error::new(ErrorCode::UnboundPrefix, format!("unbound prefix {prefix:?}"))
-            .at(self.pos))
+        Err(Error::new(
+            ErrorCode::UnboundPrefix,
+            format!("unbound prefix {prefix:?}"),
+        )
+        .at(self.pos))
     }
 
     /// Resolve a parsed raw name in element context (default element ns
@@ -369,7 +393,10 @@ impl<'a> Parser<'a> {
                 let prefix = self.parse_ncname()?;
                 self.expect("=")?;
                 let uri = self.parse_string_literal()?;
-                self.ns.push(NsBinding { prefix: prefix.clone(), uri: uri.clone() });
+                self.ns.push(NsBinding {
+                    prefix: prefix.clone(),
+                    uri: uri.clone(),
+                });
                 prolog.namespaces.push((prefix, uri));
                 self.expect(";")?;
             } else if self.eat_kw("default") {
@@ -389,7 +416,11 @@ impl<'a> Parser<'a> {
                 self.expect(";")?;
             } else if self.eat_kw("variable") {
                 let name = self.parse_var_name()?;
-                let ty = if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                let ty = if self.eat_kw("as") {
+                    Some(self.parse_sequence_type()?)
+                } else {
+                    None
+                };
                 let value = if self.eat_kw("external") {
                     None
                 } else if self.eat(":=") {
@@ -401,7 +432,9 @@ impl<'a> Parser<'a> {
                     self.expect("}")?;
                     Some(e)
                 } else {
-                    return Err(self.err("expected ':=', '{' or 'external' in variable declaration"));
+                    return Err(
+                        self.err("expected ':=', '{' or 'external' in variable declaration")
+                    );
                 };
                 prolog.variables.push(VarDecl { name, ty, value });
                 self.expect(";").ok(); // tolerate missing ';' in old syntax
@@ -429,8 +462,11 @@ impl<'a> Parser<'a> {
                         self.expect(",")?;
                     }
                 }
-                let return_type =
-                    if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                let return_type = if self.eat_kw("as") {
+                    Some(self.parse_sequence_type()?)
+                } else {
+                    None
+                };
                 let body = if self.eat_kw("external") {
                     None
                 } else {
@@ -439,7 +475,12 @@ impl<'a> Parser<'a> {
                     self.expect("}")?;
                     Some(e)
                 };
-                prolog.functions.push(FunctionDecl { name, params, return_type, body });
+                prolog.functions.push(FunctionDecl {
+                    name,
+                    params,
+                    return_type,
+                    body,
+                });
                 self.expect(";").ok();
             } else {
                 // Not a prolog declaration we know: rewind (could be the
@@ -492,15 +533,14 @@ impl<'a> Parser<'a> {
     fn parse_expr_single_inner(&mut self) -> Result<Expr> {
         self.ws();
         if self.peek_kw_then("validate", "{")
-            || (self.peek_kw("validate")
-                && {
-                    let save = self.pos;
-                    let two = self.eat_kw("validate")
-                        && (self.eat_kw("lax") || self.eat_kw("strict"))
-                        && self.eat("{");
-                    self.pos = save;
-                    two
-                })
+            || (self.peek_kw("validate") && {
+                let save = self.pos;
+                let two = self.eat_kw("validate")
+                    && (self.eat_kw("lax") || self.eat_kw("strict"))
+                    && self.eat("{");
+                self.pos = save;
+                two
+            })
         {
             return Err(Error::new(
                 ErrorCode::StaticProlog,
@@ -532,8 +572,11 @@ impl<'a> Parser<'a> {
                 self.eat_kw("for");
                 loop {
                     let var = self.parse_var_name()?;
-                    let ty =
-                        if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                    let ty = if self.eat_kw("as") {
+                        Some(self.parse_sequence_type()?)
+                    } else {
+                        None
+                    };
                     let position = if self.eat_kw("at") {
                         Some(self.parse_var_name()?)
                     } else {
@@ -541,7 +584,12 @@ impl<'a> Parser<'a> {
                     };
                     self.expect_kw("in")?;
                     let source = self.parse_expr_single()?;
-                    clauses.push(FlworClause::For { var, position, ty, source });
+                    clauses.push(FlworClause::For {
+                        var,
+                        position,
+                        ty,
+                        source,
+                    });
                     if !self.eat(",") {
                         break;
                     }
@@ -550,8 +598,11 @@ impl<'a> Parser<'a> {
                 self.eat_kw("let");
                 loop {
                     let var = self.parse_var_name()?;
-                    let ty =
-                        if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+                    let ty = if self.eat_kw("as") {
+                        Some(self.parse_sequence_type()?)
+                    } else {
+                        None
+                    };
                     self.expect(":=")?;
                     let value = self.parse_expr_single()?;
                     clauses.push(FlworClause::Let { var, ty, value });
@@ -595,7 +646,11 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 };
-                order_by.push(OrderSpec { key, descending, empty_least });
+                order_by.push(OrderSpec {
+                    key,
+                    descending,
+                    empty_least,
+                });
                 if !self.eat(",") {
                     break;
                 }
@@ -603,7 +658,14 @@ impl<'a> Parser<'a> {
         }
         self.expect_kw("return")?;
         let return_clause = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Flwor { clauses, where_clause, order_by, stable, return_clause, pos })
+        Ok(Expr::Flwor {
+            clauses,
+            where_clause,
+            order_by,
+            stable,
+            return_clause,
+            pos,
+        })
     }
 
     fn parse_quantified(&mut self) -> Result<Expr> {
@@ -618,7 +680,11 @@ impl<'a> Parser<'a> {
         let mut bindings = Vec::new();
         loop {
             let var = self.parse_var_name()?;
-            let ty = if self.eat_kw("as") { Some(self.parse_sequence_type()?) } else { None };
+            let ty = if self.eat_kw("as") {
+                Some(self.parse_sequence_type()?)
+            } else {
+                None
+            };
             self.expect_kw("in")?;
             let source = self.parse_expr_single()?;
             bindings.push((var, ty, source));
@@ -628,7 +694,12 @@ impl<'a> Parser<'a> {
         }
         self.expect_kw("satisfies")?;
         let satisfies = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Quantified { every, bindings, satisfies, pos })
+        Ok(Expr::Quantified {
+            every,
+            bindings,
+            satisfies,
+            pos,
+        })
     }
 
     fn parse_if(&mut self) -> Result<Expr> {
@@ -642,7 +713,12 @@ impl<'a> Parser<'a> {
         let then_branch = Box::new(self.parse_expr_single()?);
         self.expect_kw("else")?;
         let else_branch = Box::new(self.parse_expr_single()?);
-        Ok(Expr::If { cond, then_branch, else_branch, pos })
+        Ok(Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            pos,
+        })
     }
 
     fn parse_typeswitch(&mut self) -> Result<Expr> {
@@ -677,7 +753,13 @@ impl<'a> Parser<'a> {
         };
         self.expect_kw("return")?;
         let default_body = Box::new(self.parse_expr_single()?);
-        Ok(Expr::Typeswitch { operand, cases, default_var, default_body, pos })
+        Ok(Expr::Typeswitch {
+            operand,
+            cases,
+            default_var,
+            default_body,
+            pos,
+        })
     }
 
     fn ws_peek(&mut self) -> Option<u8> {
@@ -1036,8 +1118,12 @@ impl<'a> Parser<'a> {
         if self.starts_with("@") {
             self.pos += 1;
             let test = self.parse_node_test(AxisName::Attribute)?;
-            let step =
-                Expr::AxisStep { axis: AxisName::Attribute, test, predicates: Vec::new(), pos };
+            let step = Expr::AxisStep {
+                axis: AxisName::Attribute,
+                test,
+                predicates: Vec::new(),
+                pos,
+            };
             return self.attach_predicates_axis(step);
         }
         // Explicit axis `axis::test`.
@@ -1047,7 +1133,12 @@ impl<'a> Parser<'a> {
                 if let Some(axis) = AxisName::parse(&name) {
                     self.pos += 2;
                     let test = self.parse_node_test(axis)?;
-                    let step = Expr::AxisStep { axis, test, predicates: Vec::new(), pos };
+                    let step = Expr::AxisStep {
+                        axis,
+                        test,
+                        predicates: Vec::new(),
+                        pos,
+                    };
                     return self.attach_predicates_axis(step);
                 }
                 return Err(self.err(format!("unknown axis {name:?}")));
@@ -1074,7 +1165,12 @@ impl<'a> Parser<'a> {
             NodeTest::Attribute(_) => AxisName::Attribute,
             _ => AxisName::Child,
         };
-        let step = Expr::AxisStep { axis, test, predicates: Vec::new(), pos };
+        let step = Expr::AxisStep {
+            axis,
+            test,
+            predicates: Vec::new(),
+            pos,
+        };
         self.attach_predicates_axis(step)
     }
 
@@ -1336,14 +1432,13 @@ impl<'a> Parser<'a> {
         }
         let text = &self.src[start..self.pos];
         let value = if is_double {
-            AtomicValue::Double(
-                xqr_xdm::parse_double(text).map_err(|e| self.err(e.message))?,
-            )
+            AtomicValue::Double(xqr_xdm::parse_double(text).map_err(|e| self.err(e.message))?)
         } else if is_decimal {
             AtomicValue::Decimal(Decimal::parse(text).map_err(|e| self.err(e.message))?)
         } else {
             AtomicValue::Integer(
-                text.parse::<i64>().map_err(|_| self.err("integer literal overflow"))?,
+                text.parse::<i64>()
+                    .map_err(|_| self.err("integer literal overflow"))?,
             )
         };
         Ok(Expr::Literal(value, pos))
@@ -1400,12 +1495,17 @@ impl<'a> Parser<'a> {
             _ if name.starts_with("#x") || name.starts_with("#X") => {
                 let cp = u32::from_str_radix(&name[2..], 16)
                     .map_err(|_| self.err("bad character reference"))?;
-                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?.to_string()
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err("invalid codepoint"))?
+                    .to_string()
             }
             _ if name.starts_with('#') => {
-                let cp =
-                    name[1..].parse::<u32>().map_err(|_| self.err("bad character reference"))?;
-                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?.to_string()
+                let cp = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.err("bad character reference"))?;
+                char::from_u32(cp)
+                    .ok_or_else(|| self.err("invalid codepoint"))?
+                    .to_string()
             }
             _ => return Err(self.err(format!("unknown entity &{name};"))),
         })
@@ -1489,7 +1589,10 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect(")")?;
-                    return Ok(ItemType::Kind(NodeKind::ProcessingInstruction, NameTest::Any));
+                    return Ok(ItemType::Kind(
+                        NodeKind::ProcessingInstruction,
+                        NameTest::Any,
+                    ));
                 }
                 "document-node" => {
                     self.expect("(")?;
@@ -1553,8 +1656,14 @@ impl<'a> Parser<'a> {
         self.ws();
         let pos = self.pos;
         let save = self.pos;
-        for kw in ["element", "attribute", "text", "comment", "document", "processing-instruction"]
-        {
+        for kw in [
+            "element",
+            "attribute",
+            "text",
+            "comment",
+            "document",
+            "processing-instruction",
+        ] {
             if !self.peek_kw(kw) {
                 continue;
             }
@@ -1624,11 +1733,21 @@ impl<'a> Parser<'a> {
                     };
                     self.expect("}")?;
                     return Ok(Some(match kw {
-                        "element" => Expr::ComputedElement { name: Box::new(name), content, pos },
-                        "attribute" => {
-                            Expr::ComputedAttribute { name: Box::new(name), content, pos }
-                        }
-                        _ => Expr::ComputedPi { target: Box::new(name), content, pos },
+                        "element" => Expr::ComputedElement {
+                            name: Box::new(name),
+                            content,
+                            pos,
+                        },
+                        "attribute" => Expr::ComputedAttribute {
+                            name: Box::new(name),
+                            content,
+                            pos,
+                        },
+                        _ => Expr::ComputedPi {
+                            target: Box::new(name),
+                            content,
+                            pos,
+                        },
                     }));
                 }
                 _ => unreachable!(),
@@ -1706,15 +1825,18 @@ impl<'a> Parser<'a> {
                 Some(s)
             };
             if ap.is_none() && al == "xmlns" {
-                let uri = flat(&parts)
-                    .ok_or_else(|| self.err("xmlns value must be a literal string"))?;
+                let uri =
+                    flat(&parts).ok_or_else(|| self.err("xmlns value must be a literal string"))?;
                 self.default_elem_ns.push(Some(uri.clone()));
                 pushed_default = true;
                 namespaces.push((None, uri));
             } else if ap.as_deref() == Some("xmlns") {
-                let uri = flat(&parts)
-                    .ok_or_else(|| self.err("xmlns value must be a literal string"))?;
-                self.ns.push(NsBinding { prefix: al.clone(), uri: uri.clone() });
+                let uri =
+                    flat(&parts).ok_or_else(|| self.err("xmlns value must be a literal string"))?;
+                self.ns.push(NsBinding {
+                    prefix: al.clone(),
+                    uri: uri.clone(),
+                });
                 pushed_ns += 1;
                 namespaces.push((Some(al), uri));
             } else {
@@ -1749,7 +1871,13 @@ impl<'a> Parser<'a> {
         if pushed_default {
             self.default_elem_ns.pop();
         }
-        Ok(Expr::DirectElement { name, attributes, namespaces, content, pos })
+        Ok(Expr::DirectElement {
+            name,
+            attributes,
+            namespaces,
+            content,
+            pos,
+        })
     }
 
     fn parse_attr_value_template(&mut self) -> Result<Vec<AttrPart>> {
@@ -1819,7 +1947,11 @@ impl<'a> Parser<'a> {
                 None => return Err(self.err("unterminated element constructor")),
                 Some(b'<') => {
                     if !text.is_empty() {
-                        push_text(&mut content, std::mem::take(&mut text), self.preserve_boundary_space);
+                        push_text(
+                            &mut content,
+                            std::mem::take(&mut text),
+                            self.preserve_boundary_space,
+                        );
                     }
                     if self.starts_with("</") {
                         self.pos += 2;

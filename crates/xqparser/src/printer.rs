@@ -16,7 +16,10 @@ pub fn print_module(m: &Module) -> String {
         out.push_str("declare boundary-space preserve;\n");
     }
     for (prefix, uri) in &m.prolog.namespaces {
-        out.push_str(&format!("declare namespace {prefix} = \"{}\";\n", escape_str(uri)));
+        out.push_str(&format!(
+            "declare namespace {prefix} = \"{}\";\n",
+            escape_str(uri)
+        ));
     }
     if let Some(uri) = &m.prolog.default_element_ns {
         out.push_str(&format!(
@@ -158,7 +161,12 @@ pub fn print_expr(e: &Expr) -> String {
         }
         Expr::Except(a, b, _) => format!("({} except {})", print_expr(a), print_expr(b)),
         Expr::Path(lhs, rhs, _) => format!("{}/{}", print_expr(lhs), print_expr(rhs)),
-        Expr::AxisStep { axis, test, predicates, .. } => {
+        Expr::AxisStep {
+            axis,
+            test,
+            predicates,
+            ..
+        } => {
             let mut s = format!("{}{}", axis_prefix(*axis), print_test(test));
             for p in predicates {
                 s.push_str(&format!("[{}]", print_expr(p)));
@@ -176,11 +184,23 @@ pub fn print_expr(e: &Expr) -> String {
             let args: Vec<String> = args.iter().map(print_expr).collect();
             format!("{}({})", name.lexical(), args.join(", "))
         }
-        Expr::Flwor { clauses, where_clause, order_by, stable, return_clause, .. } => {
+        Expr::Flwor {
+            clauses,
+            where_clause,
+            order_by,
+            stable,
+            return_clause,
+            ..
+        } => {
             let mut s = String::new();
             for c in clauses {
                 match c {
-                    FlworClause::For { var, position, ty, source } => {
+                    FlworClause::For {
+                        var,
+                        position,
+                        ty,
+                        source,
+                    } => {
                         s.push_str(&format!("for ${}", var.lexical()));
                         if let Some(t) = ty {
                             s.push_str(&format!(" as {t}"));
@@ -226,7 +246,12 @@ pub fn print_expr(e: &Expr) -> String {
             s.push_str(&format!("return {}", print_expr(return_clause)));
             format!("({s})")
         }
-        Expr::Quantified { every, bindings, satisfies, .. } => {
+        Expr::Quantified {
+            every,
+            bindings,
+            satisfies,
+            ..
+        } => {
             let kw = if *every { "every" } else { "some" };
             let binds: Vec<String> = bindings
                 .iter()
@@ -235,15 +260,30 @@ pub fn print_expr(e: &Expr) -> String {
                     format!("${}{} in {}", v.lexical(), t, print_expr(src))
                 })
                 .collect();
-            format!("({kw} {} satisfies {})", binds.join(", "), print_expr(satisfies))
+            format!(
+                "({kw} {} satisfies {})",
+                binds.join(", "),
+                print_expr(satisfies)
+            )
         }
-        Expr::If { cond, then_branch, else_branch, .. } => format!(
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => format!(
             "(if ({}) then {} else {})",
             print_expr(cond),
             print_expr(then_branch),
             print_expr(else_branch)
         ),
-        Expr::Typeswitch { operand, cases, default_var, default_body, .. } => {
+        Expr::Typeswitch {
+            operand,
+            cases,
+            default_var,
+            default_body,
+            ..
+        } => {
             let mut s = format!("(typeswitch ({})", print_expr(operand));
             for c in cases {
                 s.push_str(" case ");
@@ -265,7 +305,13 @@ pub fn print_expr(e: &Expr) -> String {
             format!("({} castable as {})", print_expr(a), single_ty(ty))
         }
         Expr::TreatAs(a, ty, _) => format!("({} treat as {ty})", print_expr(a)),
-        Expr::DirectElement { name, attributes, namespaces, content, .. } => {
+        Expr::DirectElement {
+            name,
+            attributes,
+            namespaces,
+            content,
+            ..
+        } => {
             let mut s = format!("<{}", name.lexical());
             for (prefix, uri) in namespaces {
                 match prefix {
@@ -290,9 +336,7 @@ pub fn print_expr(e: &Expr) -> String {
                 for c in content {
                     match c {
                         DirContent::Text(t) => s.push_str(&escape_content(t)),
-                        DirContent::Enclosed(e) => {
-                            s.push_str(&format!("{{{}}}", print_expr(e)))
-                        }
+                        DirContent::Enclosed(e) => s.push_str(&format!("{{{}}}", print_expr(e))),
                         DirContent::Child(e) => s.push_str(&print_expr(e)),
                     }
                 }
@@ -308,9 +352,9 @@ pub fn print_expr(e: &Expr) -> String {
         }
         Expr::ComputedText(e, _) => format!("text {{ {} }}", print_expr(e)),
         Expr::ComputedComment(e, _) => format!("comment {{ {} }}", print_expr(e)),
-        Expr::ComputedPi { target, content, .. } => {
-            computed("processing-instruction", target, content.as_deref())
-        }
+        Expr::ComputedPi {
+            target, content, ..
+        } => computed("processing-instruction", target, content.as_deref()),
         Expr::ComputedDocument(e, _) => format!("document {{ {} }}", print_expr(e)),
         Expr::Ordered(e, _) => format!("ordered {{ {} }}", print_expr(e)),
         Expr::Unordered(e, _) => format!("unordered {{ {} }}", print_expr(e)),

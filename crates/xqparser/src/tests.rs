@@ -17,10 +17,22 @@ mod literals {
 
     #[test]
     fn numeric_literals() {
-        assert!(matches!(p("150"), Expr::Literal(AtomicValue::Integer(150), _)));
-        assert!(matches!(p("125.0"), Expr::Literal(AtomicValue::Decimal(_), _)));
-        assert!(matches!(p("125.e2"), Expr::Literal(AtomicValue::Double(_), _)));
-        assert!(matches!(p("1.5E-2"), Expr::Literal(AtomicValue::Double(_), _)));
+        assert!(matches!(
+            p("150"),
+            Expr::Literal(AtomicValue::Integer(150), _)
+        ));
+        assert!(matches!(
+            p("125.0"),
+            Expr::Literal(AtomicValue::Decimal(_), _)
+        ));
+        assert!(matches!(
+            p("125.e2"),
+            Expr::Literal(AtomicValue::Double(_), _)
+        ));
+        assert!(matches!(
+            p("1.5E-2"),
+            Expr::Literal(AtomicValue::Double(_), _)
+        ));
         assert!(matches!(p(".5"), Expr::Literal(AtomicValue::Decimal(_), _)));
     }
 
@@ -47,13 +59,19 @@ mod literals {
     #[test]
     fn empty_sequence_and_parens() {
         assert!(matches!(p("()"), Expr::Sequence(v, _) if v.is_empty()));
-        assert!(matches!(p("(1)"), Expr::Literal(AtomicValue::Integer(1), _)));
+        assert!(matches!(
+            p("(1)"),
+            Expr::Literal(AtomicValue::Integer(1), _)
+        ));
         assert!(matches!(p("(1, 2, 3)"), Expr::Sequence(v, _) if v.len() == 3));
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert!(matches!(p("(: c :) 1"), Expr::Literal(AtomicValue::Integer(1), _)));
+        assert!(matches!(
+            p("(: c :) 1"),
+            Expr::Literal(AtomicValue::Integer(1), _)
+        ));
         assert!(matches!(
             p("1 (: nested (: inner :) outer :) + 2"),
             Expr::Arith(ArithOp::Add, _, _, _)
@@ -81,19 +99,43 @@ mod operators {
     #[test]
     fn unary_minus() {
         assert!(matches!(p("-55.5"), Expr::Neg(_, _)));
-        assert!(matches!(p("--1"), Expr::Literal(AtomicValue::Integer(1), _)));
+        assert!(matches!(
+            p("--1"),
+            Expr::Literal(AtomicValue::Integer(1), _)
+        ));
         assert!(matches!(p("+1"), Expr::Literal(AtomicValue::Integer(1), _)));
     }
 
     #[test]
     fn comparisons_all_families() {
-        assert!(matches!(p("1 eq 2"), Expr::Comparison(CompOp::ValEq, _, _, _)));
-        assert!(matches!(p("1 = 2"), Expr::Comparison(CompOp::GenEq, _, _, _)));
-        assert!(matches!(p("1 != 2"), Expr::Comparison(CompOp::GenNe, _, _, _)));
-        assert!(matches!(p("1 <= 2"), Expr::Comparison(CompOp::GenLe, _, _, _)));
-        assert!(matches!(p("$a is $b"), Expr::Comparison(CompOp::Is, _, _, _)));
-        assert!(matches!(p("$a << $b"), Expr::Comparison(CompOp::Before, _, _, _)));
-        assert!(matches!(p("$a >> $b"), Expr::Comparison(CompOp::After, _, _, _)));
+        assert!(matches!(
+            p("1 eq 2"),
+            Expr::Comparison(CompOp::ValEq, _, _, _)
+        ));
+        assert!(matches!(
+            p("1 = 2"),
+            Expr::Comparison(CompOp::GenEq, _, _, _)
+        ));
+        assert!(matches!(
+            p("1 != 2"),
+            Expr::Comparison(CompOp::GenNe, _, _, _)
+        ));
+        assert!(matches!(
+            p("1 <= 2"),
+            Expr::Comparison(CompOp::GenLe, _, _, _)
+        ));
+        assert!(matches!(
+            p("$a is $b"),
+            Expr::Comparison(CompOp::Is, _, _, _)
+        ));
+        assert!(matches!(
+            p("$a << $b"),
+            Expr::Comparison(CompOp::Before, _, _, _)
+        ));
+        assert!(matches!(
+            p("$a >> $b"),
+            Expr::Comparison(CompOp::After, _, _, _)
+        ));
     }
 
     #[test]
@@ -113,9 +155,15 @@ mod operators {
 
     #[test]
     fn type_operators() {
-        assert!(matches!(p("5 instance of xs:integer"), Expr::InstanceOf(_, _, _)));
+        assert!(matches!(
+            p("5 instance of xs:integer"),
+            Expr::InstanceOf(_, _, _)
+        ));
         assert!(matches!(p("5 cast as xs:string"), Expr::CastAs(_, _, _)));
-        assert!(matches!(p("$x castable as xs:integer"), Expr::CastableAs(_, _, _)));
+        assert!(matches!(
+            p("$x castable as xs:integer"),
+            Expr::CastableAs(_, _, _)
+        ));
         assert!(matches!(p("$x treat as node()+"), Expr::TreatAs(_, _, _)));
         match p("5 instance of xs:integer?") {
             Expr::InstanceOf(_, SequenceType::Of(_, Occurrence::Optional), _) => {}
@@ -129,7 +177,10 @@ mod operators {
         // In a path step position, * is a wildcard.
         match p("$x/*") {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::AnyName, .. } => {}
+                Expr::AxisStep {
+                    test: NodeTest::AnyName,
+                    ..
+                } => {}
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
@@ -166,7 +217,11 @@ mod paths {
     fn attribute_abbreviation() {
         match p("$x/@year") {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { axis: AxisName::Attribute, test: NodeTest::Name(q), .. } => {
+                Expr::AxisStep {
+                    axis: AxisName::Attribute,
+                    test: NodeTest::Name(q),
+                    ..
+                } => {
                     assert_eq!(q, QName::local("year"));
                 }
                 other => panic!("{other:?}"),
@@ -210,7 +265,11 @@ mod paths {
             Expr::Path(_, step, _) => {
                 assert!(matches!(
                     *step,
-                    Expr::AxisStep { axis: AxisName::Parent, test: NodeTest::AnyKind, .. }
+                    Expr::AxisStep {
+                        axis: AxisName::Parent,
+                        test: NodeTest::AnyKind,
+                        ..
+                    }
                 ));
             }
             other => panic!("{other:?}"),
@@ -231,7 +290,9 @@ mod paths {
         // The classical mistake slide: $x/a/b[1] is $x/a/(b[1])
         match p("$x/a/b[1]") {
             Expr::Path(_, step, _) => {
-                assert!(matches!(*step, Expr::AxisStep { ref predicates, .. } if predicates.len() == 1));
+                assert!(
+                    matches!(*step, Expr::AxisStep { ref predicates, .. } if predicates.len() == 1)
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -241,19 +302,34 @@ mod paths {
     fn kind_tests() {
         match p("$x/text()") {
             Expr::Path(_, step, _) => {
-                assert!(matches!(*step, Expr::AxisStep { test: NodeTest::Text, .. }));
+                assert!(matches!(
+                    *step,
+                    Expr::AxisStep {
+                        test: NodeTest::Text,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
         match p("$x/comment()") {
             Expr::Path(_, step, _) => {
-                assert!(matches!(*step, Expr::AxisStep { test: NodeTest::Comment, .. }));
+                assert!(matches!(
+                    *step,
+                    Expr::AxisStep {
+                        test: NodeTest::Comment,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
         match p("$x/child::element(book)") {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::Element(Some(q)), .. } => {
+                Expr::AxisStep {
+                    test: NodeTest::Element(Some(q)),
+                    ..
+                } => {
                     assert_eq!(q.local_name(), "book");
                 }
                 other => panic!("{other:?}"),
@@ -262,7 +338,13 @@ mod paths {
         }
         match p("$x/attribute::attribute(*, xs:integer)") {
             Expr::Path(_, step, _) => {
-                assert!(matches!(*step, Expr::AxisStep { test: NodeTest::Attribute(None), .. }));
+                assert!(matches!(
+                    *step,
+                    Expr::AxisStep {
+                        test: NodeTest::Attribute(None),
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -272,20 +354,23 @@ mod paths {
     fn wildcards() {
         match p("$x/*:publisher") {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::LocalWildcard(l), .. } => {
+                Expr::AxisStep {
+                    test: NodeTest::LocalWildcard(l),
+                    ..
+                } => {
                     assert_eq!(l, "publisher")
                 }
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
         }
-        let q = parse_query(
-            "declare namespace myNS = \"urn:m\"; $x/myNS:*",
-        )
-        .unwrap();
+        let q = parse_query("declare namespace myNS = \"urn:m\"; $x/myNS:*").unwrap();
         match q.body {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::NamespaceWildcard(ns), .. } => {
+                Expr::AxisStep {
+                    test: NodeTest::NamespaceWildcard(ns),
+                    ..
+                } => {
                     assert_eq!(ns, "urn:m")
                 }
                 other => panic!("{other:?}"),
@@ -299,7 +384,13 @@ mod paths {
         let e = p("$x/ancestor::*");
         match e {
             Expr::Path(_, step, _) => {
-                assert!(matches!(*step, Expr::AxisStep { axis: AxisName::Ancestor, .. }));
+                assert!(matches!(
+                    *step,
+                    Expr::AxisStep {
+                        axis: AxisName::Ancestor,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -328,9 +419,16 @@ mod flwor {
 
     #[test]
     fn basic_for_let_where_return() {
-        let e = p(r#"for $x in //bib/book let $y := $x/author where $x/title = "U" return count($y)"#);
+        let e =
+            p(r#"for $x in //bib/book let $y := $x/author where $x/title = "U" return count($y)"#);
         match e {
-            Expr::Flwor { clauses, where_clause, order_by, return_clause, .. } => {
+            Expr::Flwor {
+                clauses,
+                where_clause,
+                order_by,
+                return_clause,
+                ..
+            } => {
                 assert_eq!(clauses.len(), 2);
                 assert!(matches!(clauses[0], FlworClause::For { .. }));
                 assert!(matches!(clauses[1], FlworClause::Let { .. }));
@@ -370,12 +468,10 @@ mod flwor {
         let e = p("for $x as xs:integer in (1,2) return $x");
         match e {
             Expr::Flwor { clauses, .. } => match &clauses[0] {
-                FlworClause::For { ty, .. } =>
-
-                    assert_eq!(
-                        ty.clone().unwrap(),
-                        SequenceType::atomic(xqr_xdm::AtomicType::Integer)
-                    ),
+                FlworClause::For { ty, .. } => assert_eq!(
+                    ty.clone().unwrap(),
+                    SequenceType::atomic(xqr_xdm::AtomicType::Integer)
+                ),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),
@@ -386,7 +482,9 @@ mod flwor {
     fn order_by_variants() {
         let e = p("for $x in //a order by $x/b descending empty least, $x/c return $x");
         match e {
-            Expr::Flwor { order_by, stable, .. } => {
+            Expr::Flwor {
+                order_by, stable, ..
+            } => {
                 assert_eq!(order_by.len(), 2);
                 assert!(order_by[0].descending);
                 assert_eq!(order_by[0].empty_least, Some(true));
@@ -405,7 +503,11 @@ mod flwor {
         assert!(matches!(e, Expr::Quantified { every: false, .. }));
         let e = p("every $x in //a, $y in //b satisfies $x eq $y");
         match e {
-            Expr::Quantified { every: true, bindings, .. } => assert_eq!(bindings.len(), 2),
+            Expr::Quantified {
+                every: true,
+                bindings,
+                ..
+            } => assert_eq!(bindings.len(), 2),
             other => panic!("{other:?}"),
         }
     }
@@ -422,7 +524,9 @@ mod flwor {
             "typeswitch ($x) case $a as xs:integer return 1 case xs:string return 2 default $d return 3",
         );
         match e {
-            Expr::Typeswitch { cases, default_var, .. } => {
+            Expr::Typeswitch {
+                cases, default_var, ..
+            } => {
                 assert_eq!(cases.len(), 2);
                 assert!(cases[0].var.is_some());
                 assert!(cases[1].var.is_none());
@@ -440,7 +544,12 @@ mod constructors {
     fn direct_element_literal_content() {
         let e = p("<result>literal text</result>");
         match e {
-            Expr::DirectElement { name, attributes, content, .. } => {
+            Expr::DirectElement {
+                name,
+                attributes,
+                content,
+                ..
+            } => {
                 assert_eq!(name, QName::local("result"));
                 assert!(attributes.is_empty());
                 assert_eq!(content.len(), 1);
@@ -495,7 +604,10 @@ mod constructors {
         match e {
             Expr::DirectElement { content, .. } => {
                 assert_eq!(content.len(), 2);
-                assert!(matches!(&content[0], DirContent::Child(Expr::DirectElement { .. })));
+                assert!(matches!(
+                    &content[0],
+                    DirContent::Child(Expr::DirectElement { .. })
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -522,11 +634,18 @@ mod constructors {
         )
         .unwrap();
         match q.body {
-            Expr::DirectElement { content, namespaces, .. } => {
+            Expr::DirectElement {
+                content,
+                namespaces,
+                ..
+            } => {
                 assert_eq!(namespaces.len(), 1);
                 match &content[0] {
                     DirContent::Enclosed(Expr::Path(_, step, _)) => match &**step {
-                        Expr::AxisStep { test: NodeTest::Name(q), .. } => {
+                        Expr::AxisStep {
+                            test: NodeTest::Name(q),
+                            ..
+                        } => {
                             assert_eq!(q.namespace(), Some("uri2"));
                         }
                         other => panic!("{other:?}"),
@@ -545,7 +664,10 @@ mod constructors {
         match q2.body {
             Expr::Sequence(items, _) => match &items[1] {
                 Expr::Path(_, step, _) => match &**step {
-                    Expr::AxisStep { test: NodeTest::Name(q), .. } => {
+                    Expr::AxisStep {
+                        test: NodeTest::Name(q),
+                        ..
+                    } => {
                         assert_eq!(q.namespace(), Some("uri1"));
                     }
                     other => panic!("{other:?}"),
@@ -588,8 +710,14 @@ mod constructors {
             Expr::ComputedAttribute { .. }
         ));
         assert!(matches!(p("text { \"x\" }"), Expr::ComputedText(_, _)));
-        assert!(matches!(p("comment { \"x\" }"), Expr::ComputedComment(_, _)));
-        assert!(matches!(p("document { <a/> }"), Expr::ComputedDocument(_, _)));
+        assert!(matches!(
+            p("comment { \"x\" }"),
+            Expr::ComputedComment(_, _)
+        ));
+        assert!(matches!(
+            p("document { <a/> }"),
+            Expr::ComputedDocument(_, _)
+        ));
     }
 
     #[test]
@@ -597,7 +725,10 @@ mod constructors {
         // `element` not followed by `{` must stay a name test.
         match p("$x/element") {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::Name(q), .. } => {
+                Expr::AxisStep {
+                    test: NodeTest::Name(q),
+                    ..
+                } => {
                     assert_eq!(q.local_name(), "element")
                 }
                 other => panic!("{other:?}"),
@@ -651,11 +782,13 @@ mod prolog {
 
     #[test]
     fn default_element_namespace() {
-        let m =
-            parse_query(r#"declare default element namespace "urn:d"; $x/book"#).unwrap();
+        let m = parse_query(r#"declare default element namespace "urn:d"; $x/book"#).unwrap();
         match m.body {
             Expr::Path(_, step, _) => match *step {
-                Expr::AxisStep { test: NodeTest::Name(q), .. } => {
+                Expr::AxisStep {
+                    test: NodeTest::Name(q),
+                    ..
+                } => {
                     assert_eq!(q.namespace(), Some("urn:d"))
                 }
                 other => panic!("{other:?}"),
@@ -769,7 +902,11 @@ mod types {
     #[test]
     fn sequence_types() {
         match p("$x instance of element(book)*") {
-            Expr::InstanceOf(_, SequenceType::Of(ItemType::Kind(_, _), Occurrence::ZeroOrMore), _) => {}
+            Expr::InstanceOf(
+                _,
+                SequenceType::Of(ItemType::Kind(_, _), Occurrence::ZeroOrMore),
+                _,
+            ) => {}
             other => panic!("{other:?}"),
         }
         match p("$x instance of empty()") {

@@ -18,13 +18,31 @@ fn arb_query() -> impl Strategy<Value = String> {
     ];
     atom.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("div"), Just("idiv"), Just("mod")
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("div"),
+                    Just("idiv"),
+                    Just("mod")
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("eq"), Just("="), Just("lt"), Just("<="), Just("and"), Just("or")
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("eq"),
+                    Just("="),
+                    Just("lt"),
+                    Just("<="),
+                    Just("and"),
+                    Just("or")
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| format!("(if ({a}) then {b} else ())")),
@@ -37,7 +55,9 @@ fn arb_query() -> impl Strategy<Value = String> {
             (inner.clone(), 1usize..4).prop_map(|(a, k)| format!("(({a}))[{k}]")),
             ("[a-z]{1,5}", inner.clone())
                 .prop_map(|(tag, c)| format!("<{tag} a=\"{{{c}}}\">{{{c}}}</{tag}>")),
-            inner.clone().prop_map(|a| format!("(some $q in ({a}) satisfies $q eq 1)")),
+            inner
+                .clone()
+                .prop_map(|a| format!("(some $q in ({a}) satisfies $q eq 1)")),
         ]
     })
 }

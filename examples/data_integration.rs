@@ -47,7 +47,10 @@ fn main() -> xqr::Result<()> {
         let _ = line;
     }
     // Pretty-print one report per line.
-    let out = result.serialize_guarded().unwrap().replace("</report>", "</report>\n");
+    let out = result
+        .serialize_guarded()
+        .unwrap()
+        .replace("</report>", "</report>\n");
     println!("{out}");
 
     // A cross-document value join, the talk's join slide shape.

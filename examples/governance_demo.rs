@@ -17,7 +17,11 @@ fn main() {
     let err = engine
         .query("for $x in 1 to 100000000 return <r/>")
         .unwrap_err();
-    println!("deadline: err:{} after {:?}", err.code.as_str(), t.elapsed());
+    println!(
+        "deadline: err:{} after {:?}",
+        err.code.as_str(),
+        t.elapsed()
+    );
 
     // 2. Cancellation from another thread.
     let engine = Engine::new();
@@ -36,7 +40,10 @@ fn main() {
 
     // 3. Panic containment: the process keeps going.
     let engine = Engine::with_options(EngineOptions {
-        runtime: RuntimeOptions { debug_inject_panic: true, ..Default::default() },
+        runtime: RuntimeOptions {
+            debug_inject_panic: true,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let err = engine.query("1").unwrap_err();

@@ -36,27 +36,47 @@ fn main() {
 
     let t = Instant::now();
     let st = stack_tree_desc(&alist, &dlist, JoinKind::AncestorDescendant);
-    println!("  stack-tree-desc: {:>8} pairs in {:?}", st.len(), t.elapsed());
+    println!(
+        "  stack-tree-desc: {:>8} pairs in {:?}",
+        st.len(),
+        t.elapsed()
+    );
 
     let t = Instant::now();
     let mj = mpmgjn(&alist, &dlist, JoinKind::AncestorDescendant);
-    println!("  mpmgjn:          {:>8} pairs in {:?}", mj.len(), t.elapsed());
+    println!(
+        "  mpmgjn:          {:>8} pairs in {:?}",
+        mj.len(),
+        t.elapsed()
+    );
 
     if alist.len() * dlist.len() <= 20_000_000 {
         let t = Instant::now();
         let nl = nested_loop(&alist, &dlist, JoinKind::AncestorDescendant);
-        println!("  nested-loop:     {:>8} pairs in {:?}", nl.len(), t.elapsed());
+        println!(
+            "  nested-loop:     {:>8} pairs in {:?}",
+            nl.len(),
+            t.elapsed()
+        );
     }
 
     let twig_ad = TwigPattern::parse("//a//d", &names).unwrap();
     let t = Instant::now();
     let nav = enumerate_matches(&doc, &twig_ad);
-    println!("  navigation:      {:>8} pairs in {:?}", nav.len(), t.elapsed());
+    println!(
+        "  navigation:      {:>8} pairs in {:?}",
+        nav.len(),
+        t.elapsed()
+    );
     assert_eq!(st.len(), nav.len());
 
     println!("\n//a[t0]/d (branching twig):");
     let twig = TwigPattern::parse("//a[t0]/d", &names).unwrap();
-    let lists: Vec<_> = twig.nodes.iter().map(|n| element_list(&doc, n.name)).collect();
+    let lists: Vec<_> = twig
+        .nodes
+        .iter()
+        .map(|n| element_list(&doc, n.name))
+        .collect();
     let t = Instant::now();
     let (matches, stats) = twig_stack(&twig, &lists);
     println!(

@@ -39,7 +39,10 @@ declare variable $wlc := doc("ebsample.xml");
 
 fn main() -> xqr::Result<()> {
     let xml = trading_partners(9, 100);
-    println!("input: {} KiB of generated ebXML configuration\n", xml.len() / 1024);
+    println!(
+        "input: {} KiB of generated ebXML configuration\n",
+        xml.len() / 1024
+    );
 
     let engine = Engine::new();
     engine.load_document("ebsample.xml", &xml)?;
@@ -52,7 +55,10 @@ fn main() -> xqr::Result<()> {
     let out = result.serialize_guarded().unwrap();
 
     let unopt = Engine::with_options(EngineOptions {
-        compile: CompileOptions { rewrite: RewriteConfig::none(), ..Default::default() },
+        compile: CompileOptions {
+            rewrite: RewriteConfig::none(),
+            ..Default::default()
+        },
         runtime: Default::default(),
     });
     unopt.load_document("ebsample.xml", &xml)?;
@@ -69,6 +75,13 @@ fn main() -> xqr::Result<()> {
     );
     println!("optimized:   {:>8.2?}", t_opt);
     println!("unoptimized: {:>8.2?}", t_unopt);
-    println!("\nfirst partner:\n{}", &out[..out.find("</trading-partner>").map(|i| i + 18).unwrap_or(200).min(out.len())]);
+    println!(
+        "\nfirst partner:\n{}",
+        &out[..out
+            .find("</trading-partner>")
+            .map(|i| i + 18)
+            .unwrap_or(200)
+            .min(out.len())]
+    );
     Ok(())
 }

@@ -112,7 +112,10 @@ fn main() -> xqr::Result<()> {
         let dt = t0.elapsed();
         let out = result.serialize_guarded().unwrap();
         let preview: String = out.chars().take(60).collect();
-        println!("{id:>4} {dt:>9.2?}  [{:>5} items]  {what}\n      {preview}", result.len());
+        println!(
+            "{id:>4} {dt:>9.2?}  [{:>5} items]  {what}\n      {preview}",
+            result.len()
+        );
     }
     Ok(())
 }

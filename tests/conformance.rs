@@ -2,9 +2,9 @@
 //! result, end to end through the engine, grouped by language feature.
 //! Every case also runs with the optimizer disabled and must agree.
 
-use xqr::{CompileOptions, DynamicContext, Engine, EngineOptions, RewriteConfig};
 #[allow(unused_imports)]
 use xqr::Result;
+use xqr::{CompileOptions, DynamicContext, Engine, EngineOptions, RewriteConfig};
 
 const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last><first>W.</first></author><publisher>Addison-Wesley</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author><last>Abiteboul</last><first>Serge</first></author><author><last>Buneman</last><first>Peter</first></author><author><last>Suciu</last><first>Dan</first></author><publisher>Morgan Kaufmann</publisher><price>39.95</price></book><book year="1999"><title>Economics of Tech</title><author><last>Shapiro</last><first>Carl</first></author><publisher>MIT Press</publisher><price>129.95</price></book><book year="1994"><title>Unix Programming</title><author><last>Stevens</last><first>W.</first></author><publisher>Addison-Wesley</publisher><price>65.95</price></book></bib>"#;
 
@@ -30,7 +30,8 @@ fn check_all(cases: &[(&str, &str)]) {
             let out = q
                 .execute(&engine, &DynamicContext::new())
                 .unwrap_or_else(|e| panic!("run {query:?} (opt={optimize}): {e}"))
-                .serialize_guarded().unwrap();
+                .serialize_guarded()
+                .unwrap();
             assert_eq!(&out, expected, "query {query:?} (optimize={optimize})");
         }
     }
@@ -190,12 +191,18 @@ fn paths_over_bib() {
         ("count(doc(\"bib.xml\")//book/../book)", "4"),
         ("count(doc(\"bib.xml\")//*)", "35"),
         ("count(doc(\"bib.xml\")//text())", "24"),
-        ("string(doc(\"bib.xml\")//book[last()]/title)", "Unix Programming"),
+        (
+            "string(doc(\"bib.xml\")//book[last()]/title)",
+            "Unix Programming",
+        ),
         (
             "string((doc(\"bib.xml\")//book[price < 50]/title)[1])",
             "Data on the Web",
         ),
-        ("count(doc(\"bib.xml\")//book[author/last = \"Suciu\"])", "1"),
+        (
+            "count(doc(\"bib.xml\")//book[author/last = \"Suciu\"])",
+            "1",
+        ),
     ]);
 }
 
@@ -232,8 +239,14 @@ fn constructors() {
         ("<a b=\"{1 + 1}\"/>", "<a b=\"2\"/>"),
         ("<a>{\"x\"}{\"y\"}</a>", "<a>x y</a>"),
         ("<a>x{\"y\"}</a>", "<a>xy</a>"),
-        ("element e { attribute x { 1 }, \"body\" }", "<e x=\"1\">body</e>"),
-        ("<out>{doc(\"bib.xml\")//book[1]/title}</out>", "<out><title>TCP/IP Illustrated</title></out>"),
+        (
+            "element e { attribute x { 1 }, \"body\" }",
+            "<e x=\"1\">body</e>",
+        ),
+        (
+            "<out>{doc(\"bib.xml\")//book[1]/title}</out>",
+            "<out><title>TCP/IP Illustrated</title></out>",
+        ),
         ("string(<a>one <b>two</b> three</a>)", "one two three"),
         ("document { <r/> }", "<r/>"),
         ("<a>{comment { \"note\" }}</a>", "<a><!--note--></a>"),
@@ -244,10 +257,22 @@ fn constructors() {
 #[test]
 fn node_operations() {
     check_all(&[
-        ("let $d := doc(\"bib.xml\") return $d//book[1] is $d//book[1]", "true"),
-        ("let $d := doc(\"bib.xml\") return $d//book[1] is $d//book[2]", "false"),
-        ("let $d := doc(\"bib.xml\") return $d//book[1] << $d//book[2]", "true"),
-        ("count(doc(\"bib.xml\")//book union doc(\"bib.xml\")//book)", "4"),
+        (
+            "let $d := doc(\"bib.xml\") return $d//book[1] is $d//book[1]",
+            "true",
+        ),
+        (
+            "let $d := doc(\"bib.xml\") return $d//book[1] is $d//book[2]",
+            "false",
+        ),
+        (
+            "let $d := doc(\"bib.xml\") return $d//book[1] << $d//book[2]",
+            "true",
+        ),
+        (
+            "count(doc(\"bib.xml\")//book union doc(\"bib.xml\")//book)",
+            "4",
+        ),
         (
             "count(doc(\"bib.xml\")//book intersect doc(\"bib.xml\")//book[@year = 1994])",
             "2",
@@ -294,10 +319,7 @@ fn user_functions_and_variables() {
 #[test]
 fn namespaces() {
     check_all(&[
-        (
-            r#"declare namespace x = "urn:x"; name(<x:a/>)"#,
-            "x:a",
-        ),
+        (r#"declare namespace x = "urn:x"; name(<x:a/>)"#, "x:a"),
         (
             r#"declare namespace x = "urn:x"; namespace-uri(<x:a/>)"#,
             "urn:x",
@@ -328,9 +350,15 @@ fn dates_and_durations() {
             "2004-09-14T08:30:00Z",
         ),
         (r#"year-from-date(xs:date("1967-05-20"))"#, "1967"),
-        (r#"month-from-dateTime(xs:dateTime("2004-09-14T10:11:12"))"#, "9"),
+        (
+            r#"month-from-dateTime(xs:dateTime("2004-09-14T10:11:12"))"#,
+            "9",
+        ),
         (r#"string(xs:dayTimeDuration("PT2H") * 2)"#, "PT4H"),
-        (r#"string(add-date(xs:date("2002-05-20"), xs:yearMonthDuration("P1Y")))"#, "2003-05-20"),
+        (
+            r#"string(add-date(xs:date("2002-05-20"), xs:yearMonthDuration("P1Y")))"#,
+            "2003-05-20",
+        ),
     ]);
 }
 
@@ -373,9 +401,15 @@ fn sibling_and_order_axes() {
         // `following` crosses subtree boundaries; `following-sibling` not.
         ("count(doc(\"bib.xml\")//author[1]/following::price)", "4"),
         ("count(doc(\"bib.xml\")//book[2]/preceding::title)", "1"),
-        ("count((doc(\"bib.xml\")//price)[1]/ancestor-or-self::*)", "3"),
+        (
+            "count((doc(\"bib.xml\")//price)[1]/ancestor-or-self::*)",
+            "3",
+        ),
         ("count(doc(\"bib.xml\")//book[self::book])", "4"),
-        ("count(doc(\"bib.xml\")//book/descendant-or-self::book)", "4"),
+        (
+            "count(doc(\"bib.xml\")//book/descendant-or-self::book)",
+            "4",
+        ),
         ("count(doc(\"bib.xml\")//book/descendant::last)", "6"),
     ]);
 }
@@ -417,14 +451,35 @@ fn positional_semantics() {
 #[test]
 fn duration_component_accessors() {
     check_all(&[
-        (r#"years-from-duration(xs:yearMonthDuration("P20Y15M"))"#, "21"),
-        (r#"months-from-duration(xs:yearMonthDuration("P20Y15M"))"#, "3"),
+        (
+            r#"years-from-duration(xs:yearMonthDuration("P20Y15M"))"#,
+            "21",
+        ),
+        (
+            r#"months-from-duration(xs:yearMonthDuration("P20Y15M"))"#,
+            "3",
+        ),
         (r#"days-from-duration(xs:dayTimeDuration("P3DT10H"))"#, "3"),
-        (r#"hours-from-duration(xs:dayTimeDuration("P3DT10H"))"#, "10"),
-        (r#"minutes-from-duration(xs:dayTimeDuration("PT90M"))"#, "30"),
-        (r#"seconds-from-duration(xs:dayTimeDuration("PT90.5S"))"#, "30.5"),
-        (r#"years-from-duration(xs:yearMonthDuration("-P15M"))"#, "-1"),
-        (r#"months-from-duration(xs:yearMonthDuration("-P15M"))"#, "-3"),
+        (
+            r#"hours-from-duration(xs:dayTimeDuration("P3DT10H"))"#,
+            "10",
+        ),
+        (
+            r#"minutes-from-duration(xs:dayTimeDuration("PT90M"))"#,
+            "30",
+        ),
+        (
+            r#"seconds-from-duration(xs:dayTimeDuration("PT90.5S"))"#,
+            "30.5",
+        ),
+        (
+            r#"years-from-duration(xs:yearMonthDuration("-P15M"))"#,
+            "-1",
+        ),
+        (
+            r#"months-from-duration(xs:yearMonthDuration("-P15M"))"#,
+            "-3",
+        ),
     ]);
 }
 
@@ -471,7 +526,13 @@ fn collection_function() {
         xqr::NodeRef::new(d1, xqr::NodeId(0)),
         xqr::NodeRef::new(d2, xqr::NodeId(0)),
     ];
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "3");
+    assert_eq!(
+        q.execute(&engine, &ctx)
+            .unwrap()
+            .serialize_guarded()
+            .unwrap(),
+        "3"
+    );
     // collection(uri) behaves like doc(uri).
     assert_eq!(
         engine.query(r#"count(collection("b.xml")//x)"#).unwrap(),
@@ -512,7 +573,9 @@ fn deep_nesting_documents() {
     assert_eq!(engine.query_xml(&xml, "count(//n)").unwrap(), "300");
     assert_eq!(engine.query_xml(&xml, "string(/n)").unwrap(), "x");
     assert_eq!(
-        engine.query_xml(&xml, "count((//n)[last()]/ancestor::n)").unwrap(),
+        engine
+            .query_xml(&xml, "count((//n)[last()]/ancestor::n)")
+            .unwrap(),
         "299"
     );
 }
@@ -560,7 +623,9 @@ fn boundary_space_declaration() {
         "<a> <b/> </a>"
     );
     assert_eq!(
-        engine.query("declare boundary-space strip; <a> <b/> </a>").unwrap(),
+        engine
+            .query("declare boundary-space strip; <a> <b/> </a>")
+            .unwrap(),
         "<a><b/></a>"
     );
 }
@@ -579,8 +644,14 @@ fn comments_and_pis_as_nodes() {
             "count(<a><?p d?><?q e?></a>/processing-instruction(\"p\"))",
             "1",
         ),
-        ("name((<a><?tgt d?></a>/processing-instruction())[1])", "tgt"),
-        ("string((<a><?tgt some data?></a>/processing-instruction())[1])", "some data"),
+        (
+            "name((<a><?tgt d?></a>/processing-instruction())[1])",
+            "tgt",
+        ),
+        (
+            "string((<a><?tgt some data?></a>/processing-instruction())[1])",
+            "some data",
+        ),
         // Comments/PIs are not elements or text.
         ("count(<a><!--x--></a>/*)", "0"),
         ("count(<a><!--x--></a>/text())", "0"),
@@ -595,7 +666,10 @@ fn comments_and_pis_as_nodes() {
 fn static_typing_strict_engine_mode() {
     use xqr::CompileOptions;
     let strict = Engine::with_options(EngineOptions {
-        compile: CompileOptions { static_typing: true, ..Default::default() },
+        compile: CompileOptions {
+            static_typing: true,
+            ..Default::default()
+        },
         runtime: Default::default(),
     });
     // Provable type errors are rejected at compile time.
@@ -607,4 +681,127 @@ fn static_typing_strict_engine_mode() {
         .compile("declare function local:f() as xs:integer { \"s\" }; local:f()")
         .map(|_| ())
         .is_err());
+}
+
+#[test]
+fn positional_predicates_on_axis_steps() {
+    check_all(&[
+        // Positional predicates bind per context node on an axis step…
+        ("count(doc(\"bib.xml\")//book/author[1])", "4"),
+        ("count(doc(\"bib.xml\")//book/author[2])", "1"),
+        // …but once per whole sequence on a parenthesized filter.
+        ("count((doc(\"bib.xml\")//book/author)[2])", "1"),
+        (
+            "string(doc(\"bib.xml\")//book[2]/author[2]/last)",
+            "Buneman",
+        ),
+        (
+            "string(doc(\"bib.xml\")//book[position() = 3]/title)",
+            "Economics of Tech",
+        ),
+        (
+            "string-join(doc(\"bib.xml\")//book[position() gt 2]/title, \";\")",
+            "Economics of Tech;Unix Programming",
+        ),
+        // last() relative to the step's own context sequence.
+        (
+            "string-join(doc(\"bib.xml\")//book/author[last()]/last, \" \")",
+            "Stevens Suciu Shapiro Stevens",
+        ),
+        (
+            "string(doc(\"bib.xml\")//book[last() - 1]/title)",
+            "Economics of Tech",
+        ),
+        // Positional predicate after a non-positional one.
+        (
+            "string(doc(\"bib.xml\")//book[price > 40][2]/title)",
+            "Economics of Tech",
+        ),
+        // Reverse axes number positions in reverse document order.
+        (
+            "string(doc(\"bib.xml\")//book[4]/preceding-sibling::book[1]/title)",
+            "Economics of Tech",
+        ),
+        (
+            "string(doc(\"bib.xml\")//book[4]/preceding-sibling::book[3]/title)",
+            "TCP/IP Illustrated",
+        ),
+        ("string((doc(\"bib.xml\")//last)[last()])", "Stevens"),
+    ]);
+}
+
+#[test]
+fn backward_axes() {
+    check_all(&[
+        // ancestor / ancestor-or-self (step results deduplicate: the six
+        // `last` elements share `bib` and the four `book`/`author`
+        // chains, leaving 11 distinct ancestors).
+        ("count(doc(\"bib.xml\")//last/ancestor::*)", "11"),
+        ("count(doc(\"bib.xml\")//last/ancestor-or-self::*)", "17"),
+        ("count(doc(\"bib.xml\")//first/ancestor::bib)", "1"),
+        (
+            "string((doc(\"bib.xml\")//last[. = \"Suciu\"]/ancestor::book/title)[1])",
+            "Data on the Web",
+        ),
+        // parent
+        ("count(doc(\"bib.xml\")//author/parent::book)", "4"),
+        ("count(doc(\"bib.xml\")//title/..)", "4"),
+        // preceding covers everything strictly before the context node
+        // (ancestors excluded; the earlier books are siblings).
+        ("count(doc(\"bib.xml\")//book[3]/preceding::book)", "2"),
+        (
+            "count(doc(\"bib.xml\")//book[3]/preceding-sibling::book)",
+            "2",
+        ),
+        ("count(doc(\"bib.xml\")//book[3]/preceding::author)", "4"),
+        // Results come back in document order regardless of axis
+        // direction.
+        (
+            "string-join(doc(\"bib.xml\")//book[3]/preceding-sibling::book/title, \";\")",
+            "TCP/IP Illustrated;Data on the Web",
+        ),
+        // A backward axis composed after a forward one.
+        (
+            "count(doc(\"bib.xml\")//price/preceding-sibling::author/last)",
+            "6",
+        ),
+        ("count(doc(\"bib.xml\")//price/ancestor::book/author)", "6"),
+    ]);
+}
+
+/// The structural-join execution path (element lists + stack joins) must
+/// agree with exhaustive navigation on the same conformance document the
+/// engine-level sections above use.
+#[test]
+fn twig_joins_agree_with_navigation_on_bib() {
+    use std::sync::Arc;
+    use xqr::xqr_joins::{element_list, enumerate_matches, path_stack, twig_stack, TwigPattern};
+    use xqr::Document;
+    use xqr_xdm::NamePool;
+
+    let names = Arc::new(NamePool::new());
+    let doc = Document::parse(BIB, names.clone()).unwrap();
+    for pattern in [
+        "//book//last",
+        "//book/author",
+        "//book/author/last",
+        "//bib//author//first",
+        "//book[author]/title",
+        "//book[author/last]/price",
+    ] {
+        let twig = TwigPattern::parse(pattern, &names).unwrap();
+        let lists: Vec<_> = twig
+            .nodes
+            .iter()
+            .map(|n| element_list(&doc, n.name))
+            .collect();
+        let mut want = enumerate_matches(&doc, &twig);
+        want.sort();
+        want.dedup();
+        if twig.is_path() {
+            assert_eq!(path_stack(&twig, &lists), want, "path_stack {pattern}");
+        }
+        let (got, _) = twig_stack(&twig, &lists);
+        assert_eq!(got, want, "twig_stack {pattern}");
+    }
 }

@@ -15,7 +15,9 @@ fn compile_err(query: &str) -> ErrorCode {
 
 fn run_err(query: &str) -> ErrorCode {
     let engine = Engine::new();
-    engine.load_document("bib.xml", "<bib><book><price>10</price></book></bib>").unwrap();
+    engine
+        .load_document("bib.xml", "<bib><book><price>10</price></book></bib>")
+        .unwrap();
     let q = engine
         .compile(query)
         .unwrap_or_else(|e| panic!("{query:?} should compile, got {e}"));
@@ -34,7 +36,10 @@ fn static_errors() {
     assert_eq!(compile_err("let $x = 1 return $x"), ErrorCode::Syntax);
     // Undefined names.
     assert_eq!(compile_err("$nope"), ErrorCode::UndefinedName);
-    assert_eq!(compile_err("let $x := 1 return $y"), ErrorCode::UndefinedName);
+    assert_eq!(
+        compile_err("let $x := 1 return $y"),
+        ErrorCode::UndefinedName
+    );
     // Variable scope ends at the binding expression.
     assert_eq!(
         compile_err("(let $x := 1 return $x) + $x"),
@@ -49,7 +54,10 @@ fn static_errors() {
     // Unknown types.
     assert_eq!(compile_err("1 instance of xs:frob"), ErrorCode::Syntax);
     // Duplicate attributes in a direct constructor.
-    assert_eq!(compile_err(r#"<a x="1" x="2"/>"#), ErrorCode::DuplicateAttribute);
+    assert_eq!(
+        compile_err(r#"<a x="1" x="2"/>"#),
+        ErrorCode::DuplicateAttribute
+    );
 }
 
 #[test]
@@ -59,7 +67,10 @@ fn dynamic_type_errors() {
     assert_eq!(run_err(r#""a" eq 1"#), ErrorCode::Type);
     assert_eq!(run_err("(1, 2) eq 1"), ErrorCode::Type);
     assert_eq!(run_err("1 treat as xs:string"), ErrorCode::Type);
-    assert_eq!(run_err(r#""x" cast as xs:integer"#), ErrorCode::InvalidValue);
+    assert_eq!(
+        run_err(r#""x" cast as xs:integer"#),
+        ErrorCode::InvalidValue
+    );
     assert_eq!(run_err("() cast as xs:integer"), ErrorCode::Type);
     // `<a>42</a> eq 42` — the talk's slide says error.
     assert_eq!(run_err("<a>42</a> eq 42"), ErrorCode::Type);
@@ -72,10 +83,7 @@ fn arithmetic_errors() {
     assert_eq!(run_err("1 idiv 0"), ErrorCode::DivisionByZero);
     assert_eq!(run_err("1 mod 0"), ErrorCode::DivisionByZero);
     assert_eq!(run_err("1.5 div 0"), ErrorCode::DivisionByZero); // exact decimal
-    assert_eq!(
-        run_err("9223372036854775807 + 1"),
-        ErrorCode::Overflow
-    );
+    assert_eq!(run_err("9223372036854775807 + 1"), ErrorCode::Overflow);
     // IEEE doubles divide by zero without error.
     let engine = Engine::new();
     assert_eq!(engine.query("string(1e0 div 0)").unwrap(), "INF");
@@ -95,9 +103,15 @@ fn context_errors() {
     assert_eq!(run_err("./a"), ErrorCode::MissingContext);
     assert_eq!(run_err("position()"), ErrorCode::MissingContext);
     // Unbound external variable.
-    assert_eq!(run_err("declare variable $v external; $v"), ErrorCode::MissingContext);
+    assert_eq!(
+        run_err("declare variable $v external; $v"),
+        ErrorCode::MissingContext
+    );
     // Missing document.
-    assert_eq!(run_err(r#"doc("no-such.xml")"#), ErrorCode::DocumentNotFound);
+    assert_eq!(
+        run_err(r#"doc("no-such.xml")"#),
+        ErrorCode::DocumentNotFound
+    );
 }
 
 #[test]
@@ -120,7 +134,10 @@ fn constructor_errors() {
         run_err(r#"element a { ("text", attribute x { 1 }) }"#),
         ErrorCode::InvalidConstructor
     );
-    assert_eq!(run_err(r#"comment { "a--b" }"#), ErrorCode::InvalidConstructor);
+    assert_eq!(
+        run_err(r#"comment { "a--b" }"#),
+        ErrorCode::InvalidConstructor
+    );
     assert_eq!(
         run_err(r#"processing-instruction xml { "x" }"#),
         ErrorCode::InvalidConstructor
@@ -135,7 +152,10 @@ fn user_errors_and_limits() {
         run_err("declare function local:f($n) { local:f($n) }; local:f(1)"),
         ErrorCode::Limit
     );
-    assert_eq!(run_err(r#"tokenize("x", "[bad")"#), ErrorCode::InvalidPattern);
+    assert_eq!(
+        run_err(r#"tokenize("x", "[bad")"#),
+        ErrorCode::InvalidPattern
+    );
 }
 
 #[test]
@@ -157,7 +177,9 @@ fn governance_error_codes_are_stable() {
         },
         ..Default::default()
     });
-    let q = budgeted.compile("for $x in 1 to 100000000 return $x").unwrap();
+    let q = budgeted
+        .compile("for $x in 1 to 100000000 return $x")
+        .unwrap();
     let err = q.execute(&budgeted, &DynamicContext::new()).unwrap_err();
     assert_eq!(err.code, ErrorCode::Limit);
 
@@ -168,7 +190,9 @@ fn governance_error_codes_are_stable() {
         },
         ..Default::default()
     });
-    let q = deadlined.compile("for $x in 1 to 100000000 return $x").unwrap();
+    let q = deadlined
+        .compile("for $x in 1 to 100000000 return $x")
+        .unwrap();
     let err = q.execute(&deadlined, &DynamicContext::new()).unwrap_err();
     assert_eq!(err.code, ErrorCode::Timeout);
 }
@@ -191,13 +215,18 @@ fn function_signature_enforcement() {
 fn laziness_of_errors() {
     // Errors in unevaluated branches never fire.
     let engine = Engine::new();
-    assert_eq!(engine.query("if (true()) then 1 else 1 idiv 0").unwrap(), "1");
+    assert_eq!(
+        engine.query("if (true()) then 1 else 1 idiv 0").unwrap(),
+        "1"
+    );
     assert_eq!(engine.query("(1 to 10)[1] , ()").unwrap(), "1");
     // The talk: false and error → false is permitted.
     assert_eq!(engine.query("1 eq 2 and 1 idiv 0 eq 1").unwrap(), "false");
     // Early-exit operators skip erroring tails.
     assert_eq!(
-        engine.query("some $x in (1, 1 idiv 0) satisfies $x eq 1").unwrap(),
+        engine
+            .query("some $x in (1, 1 idiv 0) satisfies $x eq 1")
+            .unwrap(),
         "true"
     );
 }
@@ -210,7 +239,9 @@ fn let_declared_types_enforced() {
     );
     let engine = Engine::new();
     assert_eq!(
-        engine.query("let $x as xs:integer := 5 return $x + 1").unwrap(),
+        engine
+            .query("let $x as xs:integer := 5 return $x + 1")
+            .unwrap(),
         "6"
     );
     assert_eq!(

@@ -3,13 +3,14 @@
 //! panics on the evaluation thread are contained at the engine boundary.
 
 use std::time::{Duration, Instant};
-use xqr::{
-    DynamicContext, Engine, EngineOptions, ErrorCode, Limits, QueryGuard, RuntimeOptions,
-};
+use xqr::{DynamicContext, Engine, EngineOptions, ErrorCode, Limits, QueryGuard, RuntimeOptions};
 
 fn engine_with_limits(limits: Limits) -> Engine {
     Engine::with_options(EngineOptions {
-        runtime: RuntimeOptions { limits, ..Default::default() },
+        runtime: RuntimeOptions {
+            limits,
+            ..Default::default()
+        },
         ..Default::default()
     })
 }
@@ -25,9 +26,7 @@ fn run_err(engine: &Engine, query: &str) -> xqr::Error {
 fn deadline_stops_unbounded_query_mid_stream() {
     // The acceptance query: effectively infinite work, bounded only by
     // the wall-clock deadline.
-    let engine = engine_with_limits(
-        Limits::unlimited().with_deadline(Duration::from_millis(100)),
-    );
+    let engine = engine_with_limits(Limits::unlimited().with_deadline(Duration::from_millis(100)));
     let start = Instant::now();
     let err = run_err(&engine, "for $x in 1 to 100000000 return <r/>");
     let elapsed = start.elapsed();
@@ -41,7 +40,9 @@ fn deadline_stops_unbounded_query_mid_stream() {
 #[test]
 fn cancellation_from_a_second_thread() {
     let engine = Engine::new();
-    let q = engine.compile("count(for $x in 1 to 100000000 return $x)").unwrap();
+    let q = engine
+        .compile("count(for $x in 1 to 100000000 return $x)")
+        .unwrap();
     let guard = QueryGuard::new(Limits::unlimited());
     let handle = guard.cancel_handle();
     let canceller = std::thread::spawn(move || {
@@ -59,7 +60,9 @@ fn cancellation_from_a_second_thread() {
 #[test]
 fn cancelling_before_execution_trips_immediately() {
     let engine = Engine::new();
-    let q = engine.compile("for $x in 1 to 100000000 return $x").unwrap();
+    let q = engine
+        .compile("for $x in 1 to 100000000 return $x")
+        .unwrap();
     let guard = QueryGuard::new(Limits::unlimited());
     guard.cancel_handle().cancel();
     let err = q
@@ -82,7 +85,9 @@ fn materialization_budget_bounds_item_count() {
 #[test]
 fn output_byte_cap_applies_to_serialization() {
     let engine = engine_with_limits(Limits::unlimited().with_max_output_bytes(64));
-    let q = engine.compile("for $x in 1 to 40 return <r>{$x}</r>").unwrap();
+    let q = engine
+        .compile("for $x in 1 to 40 return <r>{$x}</r>")
+        .unwrap();
     let result = q.execute(&engine, &DynamicContext::new()).unwrap();
     // The items materialized fine; the cap trips at serialization time.
     let err = result.serialize_guarded().unwrap_err();
@@ -128,9 +133,7 @@ fn document_size_cap_applies_to_fn_doc() {
 
 #[test]
 fn deadline_applies_to_streaming_execution() {
-    let engine = engine_with_limits(
-        Limits::unlimited().with_deadline(Duration::from_millis(0)),
-    );
+    let engine = engine_with_limits(Limits::unlimited().with_deadline(Duration::from_millis(0)));
     let q = engine.compile("/list/item").unwrap();
     let mut xml = String::from("<list>");
     for i in 0..5000 {
@@ -158,7 +161,10 @@ fn token_budget_applies_to_streaming_execution() {
 #[test]
 fn panic_on_eval_thread_is_contained() {
     let engine = Engine::with_options(EngineOptions {
-        runtime: RuntimeOptions { debug_inject_panic: true, ..Default::default() },
+        runtime: RuntimeOptions {
+            debug_inject_panic: true,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let err = engine.query("1 + 1").unwrap_err();
@@ -171,7 +177,9 @@ fn panic_on_eval_thread_is_contained() {
 #[test]
 fn budget_gauges_surface_in_counters() {
     let engine = engine_with_limits(Limits::unlimited().with_max_items(1_000_000));
-    let q = engine.compile("count(for $x in 1 to 500 return $x)").unwrap();
+    let q = engine
+        .compile("count(for $x in 1 to 500 return $x)")
+        .unwrap();
     let r = q.execute(&engine, &DynamicContext::new()).unwrap();
     assert!(
         r.counters.budget_items.get() >= 500,

@@ -9,8 +9,11 @@ fn generated_workloads_parse_and_query() {
     let engine = Engine::new();
     let xmark = auction_site(&XmarkConfig::scaled(400));
     engine.load_document("auction.xml", &xmark).unwrap();
-    let people: usize =
-        engine.query(r#"count(doc("auction.xml")/site/people/person)"#).unwrap().parse().unwrap();
+    let people: usize = engine
+        .query(r#"count(doc("auction.xml")/site/people/person)"#)
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(people > 50);
     // Every person has a name.
     assert_eq!(
@@ -32,7 +35,9 @@ fn generated_workloads_parse_and_query() {
 fn xmark_join_query() {
     // Join closed auctions to buyers — the XMark Q8/Q9 shape.
     let engine = Engine::new();
-    engine.load_document("a.xml", &auction_site(&XmarkConfig::scaled(300))).unwrap();
+    engine
+        .load_document("a.xml", &auction_site(&XmarkConfig::scaled(300)))
+        .unwrap();
     let q = engine
         .compile(
             r#"
@@ -65,7 +70,9 @@ fn xmark_join_query() {
 fn bibliography_report_roundtrips_through_reparse() {
     // Query output is well-formed XML that can be re-loaded and queried.
     let engine = Engine::new();
-    engine.load_document("bib.xml", &bibliography(7, 40)).unwrap();
+    engine
+        .load_document("bib.xml", &bibliography(7, 40))
+        .unwrap();
     let report = engine
         .query(
             r#"<report>{
@@ -76,15 +83,21 @@ fn bibliography_report_roundtrips_through_reparse() {
         )
         .unwrap();
     let engine2 = Engine::new();
-    let n = engine2.query_xml(&report, "count(/report/expensive)").unwrap();
-    let m = engine.query(r#"count(doc("bib.xml")//book[price > 100])"#).unwrap();
+    let n = engine2
+        .query_xml(&report, "count(/report/expensive)")
+        .unwrap();
+    let m = engine
+        .query(r#"count(doc("bib.xml")//book[price > 100])"#)
+        .unwrap();
     assert_eq!(n, m);
 }
 
 #[test]
 fn trading_partner_doc_queryable_by_customer_shapes() {
     let engine = Engine::new();
-    engine.load_document("eb.xml", &trading_partners(4, 25)).unwrap();
+    engine
+        .load_document("eb.xml", &trading_partners(4, 25))
+        .unwrap();
     // The dc/de/tr names triple-join completely: every delivery channel
     // resolves to exactly one document exchange and transport.
     assert_eq!(
@@ -109,9 +122,19 @@ fn external_variables_flow_through_engine() {
         )
         .unwrap();
     let mut ctx = DynamicContext::new();
-    bind(&mut ctx, "xs", vec![Item::integer(1), Item::integer(5), Item::integer(9)]);
+    bind(
+        &mut ctx,
+        "xs",
+        vec![Item::integer(1), Item::integer(5), Item::integer(9)],
+    );
     bind(&mut ctx, "k", vec![Item::integer(5)]);
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "50 90");
+    assert_eq!(
+        q.execute(&engine, &ctx)
+            .unwrap()
+            .serialize_guarded()
+            .unwrap(),
+        "50 90"
+    );
 }
 
 #[test]
@@ -127,7 +150,10 @@ fn unoptimized_engine_runs_everything_the_optimized_does() {
         engine.load_document("g.xml", &xml).unwrap();
         queries.iter().map(|q| engine.query(q).unwrap()).collect()
     };
-    assert_eq!(run(EngineOptions::default()), run(EngineOptions::unoptimized()));
+    assert_eq!(
+        run(EngineOptions::default()),
+        run(EngineOptions::unoptimized())
+    );
 }
 
 #[test]
@@ -136,9 +162,16 @@ fn store_grows_with_constructed_documents_only_when_constructing() {
     engine.load_document("b.xml", &bibliography(1, 5)).unwrap();
     let before = engine.store().doc_count();
     engine.query(r#"count(doc("b.xml")//book)"#).unwrap();
-    assert_eq!(engine.store().doc_count(), before, "pure query adds no documents");
+    assert_eq!(
+        engine.store().doc_count(),
+        before,
+        "pure query adds no documents"
+    );
     engine.query("<a><b/></a>").unwrap();
-    assert!(engine.store().doc_count() > before, "construction adds documents");
+    assert!(
+        engine.store().doc_count() > before,
+        "construction adds documents"
+    );
 }
 
 #[test]
@@ -146,7 +179,10 @@ fn error_positions_point_into_the_query() {
     let engine = Engine::new();
     let err = engine.compile("1 +\n+ $undefined").map(|_| ()).unwrap_err();
     assert!(err.position.is_some());
-    let err = engine.compile("for $x in (1,2) return $y").map(|_| ()).unwrap_err();
+    let err = engine
+        .compile("for $x in (1,2) return $y")
+        .map(|_| ())
+        .unwrap_err();
     assert_eq!(err.code, xqr::ErrorCode::UndefinedName);
 }
 
@@ -240,7 +276,11 @@ fn group_join_preserves_results_and_accelerates_q8() {
         "{}",
         prepared.explain()
     );
-    let opt2 = prepared.execute(&engine, &DynamicContext::new()).unwrap().serialize_guarded().unwrap();
+    let opt2 = prepared
+        .execute(&engine, &DynamicContext::new())
+        .unwrap()
+        .serialize_guarded()
+        .unwrap();
     let engine2 = Engine::with_options(EngineOptions::unoptimized());
     engine2.load_document("a.xml", &xml).unwrap();
     let unopt2 = engine2.query(q2).unwrap();
@@ -287,10 +327,22 @@ fn context_with_doc_helper() {
     let ctx = xqr::context_with_doc(&engine, "inv.xml", "<inv><item/><item/></inv>").unwrap();
     // Context item is bound to the document…
     let q = engine.compile("count(.//item)").unwrap();
-    assert_eq!(q.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "2");
+    assert_eq!(
+        q.execute(&engine, &ctx)
+            .unwrap()
+            .serialize_guarded()
+            .unwrap(),
+        "2"
+    );
     // …and the document is also reachable via fn:doc.
     let q2 = engine.compile(r#"count(doc("inv.xml")//item)"#).unwrap();
-    assert_eq!(q2.execute(&engine, &ctx).unwrap().serialize_guarded().unwrap(), "2");
+    assert_eq!(
+        q2.execute(&engine, &ctx)
+            .unwrap()
+            .serialize_guarded()
+            .unwrap(),
+        "2"
+    );
 }
 
 #[test]
@@ -301,9 +353,14 @@ fn streaming_count_agrees_with_materialized() {
     let q = engine.compile("count(/site/people/person)").unwrap();
     assert!(q.is_streamable_count());
     let (n, stats) = q.execute_streaming_count(&engine, &xml).unwrap();
-    let materialized = engine.query_xml(&xml, "count(/site/people/person)").unwrap();
+    let materialized = engine
+        .query_xml(&xml, "count(/site/people/person)")
+        .unwrap();
     assert_eq!(n.to_string(), materialized);
-    assert!(stats.tokens_skipped > 0, "match subtrees should be skipped: {stats:?}");
+    assert!(
+        stats.tokens_skipped > 0,
+        "match subtrees should be skipped: {stats:?}"
+    );
     // Non-count queries refuse.
     let q2 = engine.compile("/site/people/person").unwrap();
     assert!(!q2.is_streamable_count());

@@ -13,14 +13,13 @@ use xqr_xdm::NamePool;
 fn arb_xml() -> impl Strategy<Value = String> {
     let name = prop_oneof![Just("a"), Just("b"), Just("c"), Just("item"), Just("x-y")];
     let text = "[a-zA-Z0-9 ]{0,12}";
-    let leaf = (name.clone(), text.prop_map(String::from))
-        .prop_map(|(n, t)| {
-            if t.is_empty() {
-                format!("<{n}/>")
-            } else {
-                format!("<{n}>{t}</{n}>")
-            }
-        });
+    let leaf = (name.clone(), text.prop_map(String::from)).prop_map(|(n, t)| {
+        if t.is_empty() {
+            format!("<{n}/>")
+        } else {
+            format!("<{n}>{t}</{n}>")
+        }
+    });
     leaf.prop_recursive(4, 64, 5, move |inner| {
         (
             prop_oneof![Just("r"), Just("node"), Just("wrap")],

@@ -26,6 +26,7 @@ fn arb_tree() -> impl Strategy<Value = String> {
             p_ancestor: 0.2,
             p_descendant: 0.3,
             p_text: 0.2,
+            ..Default::default()
         })
     })
 }
@@ -170,13 +171,24 @@ fn arb_closed_query() -> impl Strategy<Value = String> {
     ];
     atom.prop_recursive(4, 40, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("idiv"), Just("mod")
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just("+"), Just("-"), Just("*"), Just("idiv"), Just("mod")]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("eq"), Just("="), Just("!="), Just("le"), Just("and"), Just("or")
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("eq"),
+                    Just("="),
+                    Just("!="),
+                    Just("le"),
+                    Just("and"),
+                    Just("or")
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             (inner.clone(), inner.clone(), inner.clone())
                 .prop_map(|(c, t, e)| format!("(if ({c}) then {t} else {e})")),
@@ -188,9 +200,9 @@ fn arb_closed_query() -> impl Strategy<Value = String> {
             inner.clone().prop_map(|a| format!("reverse(({a}))")),
             inner.clone().prop_map(|a| format!("exists(({a}))")),
             (inner.clone(), 1usize..4).prop_map(|(a, k)| format!("(({a}))[{k}]")),
-            ("[a-z]{1,4}", inner.clone())
-                .prop_map(|(t, c)| format!("string(<{t}>{{{c}}}</{t}>)")),
-            inner.clone()
+            ("[a-z]{1,4}", inner.clone()).prop_map(|(t, c)| format!("string(<{t}>{{{c}}}</{t}>)")),
+            inner
+                .clone()
                 .prop_map(|a| format!("(some $q in ({a}) satisfies $q = 1)")),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| format!("concat(string(({a})[1]), string(({b})[1]))")),
@@ -273,7 +285,10 @@ fn run_guarded_case(q: &str) -> std::result::Result<(), TestCaseError> {
         .with_max_output_bytes(1 << 20)
         .with_deadline(std::time::Duration::from_secs(5));
     let engine = Engine::with_options(EngineOptions {
-        runtime: RuntimeOptions { limits, ..Default::default() },
+        runtime: RuntimeOptions {
+            limits,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let prepared = match engine.compile(q) {
@@ -290,7 +305,12 @@ fn run_guarded_case(q: &str) -> std::result::Result<(), TestCaseError> {
     // Items are charged one at a time, so consumption stops within one
     // charge of the cap.
     let u = guard.usage();
-    prop_assert!(u.items <= MAX_ITEMS + 1, "items gauge ran away: {} for {}", u.items, q);
+    prop_assert!(
+        u.items <= MAX_ITEMS + 1,
+        "items gauge ran away: {} for {}",
+        u.items,
+        q
+    );
     Ok(())
 }
 

@@ -1,0 +1,117 @@
+//! Named regression tests promoted from the checked-in proptest
+//! regression seed files (`tests/*.proptest-regressions`).
+//!
+//! The seed files replay only when the owning proptest runs, are easy
+//! to lose in refactors (they key on the *strategy*, so a changed
+//! strategy silently orphans them), and say nothing about *why* the
+//! case once failed. These tests pin the shrunken counterexamples as
+//! plain `#[test]`s that always run, with the failing inputs inlined.
+
+use std::sync::Arc;
+use xqr::xqr_tokenstream::{decode, encode, tokens_to_xml, TokenStream};
+use xqr::{Engine, EngineOptions, NodeId};
+use xqr_xdm::NamePool;
+
+/// From `proptest_roundtrip.proptest-regressions`
+/// (`wire_encoding_roundtrips`, `pooled = true`): nested repeated tags
+/// with empty and single-char attribute values. The pooled wire
+/// encoding dedupes text through the buffer pool; this shape once broke
+/// the decode side's pool reconstruction.
+#[test]
+fn wire_encoding_pooled_nested_repeats() {
+    let xml = "<r><a>a</a><r><a>A</a><a>B</a><r a=\"\"><a>5</a></r><a>b</a></r>\
+               <r><a> </a><r a=\"0\"><a>c</a></r><a>C</a></r></r>";
+    let names = Arc::new(NamePool::new());
+    let stream = TokenStream::from_xml(xml, names).unwrap();
+    for pooled in [true, false] {
+        let bytes = encode(&stream, pooled);
+        let decoded = decode(bytes, Arc::new(NamePool::new())).unwrap();
+        let a = tokens_to_xml(&mut stream.iter(), Default::default()).unwrap();
+        let b = tokens_to_xml(&mut decoded.iter(), Default::default()).unwrap();
+        assert_eq!(a, b, "pooled = {pooled}");
+    }
+}
+
+/// From `proptest_semantics.proptest-regressions` (`pattern = "//d"`):
+/// a document with `d` elements at several depths including
+/// immediately-nested `d/d` — the shape that distinguishes "all
+/// matches" from "outermost matches only".
+const SEMANTICS_SEED_DOC: &str = "<root><t1></t1><d></d><d><d></d></d><a><t0>x</t0></a>\
+     <t2><d></d></t2><a></a><a>x<d></d></a><d></d>\
+     <t2><a></a><t1></t1><t0></t0></t2><a></a><t2><d></d><d></d></t2></root>";
+
+/// The twig-join side of the pinned case: `//d` through the structural
+/// join machinery must agree with exhaustive navigation.
+#[test]
+fn semantics_seed_doc_joins_agree_on_slash_slash_d() {
+    use xqr::xqr_joins::{element_list, enumerate_matches, path_stack, twig_stack, TwigPattern};
+    use xqr::Document;
+
+    let names = Arc::new(NamePool::new());
+    let doc = Document::parse(SEMANTICS_SEED_DOC, names.clone()).unwrap();
+    let twig = TwigPattern::parse("//d", &names).unwrap();
+    let lists: Vec<_> = twig
+        .nodes
+        .iter()
+        .map(|n| element_list(&doc, n.name))
+        .collect();
+    let mut want = enumerate_matches(&doc, &twig);
+    want.sort();
+    want.dedup();
+    assert_eq!(path_stack(&twig, &lists), want);
+    let (got, _) = twig_stack(&twig, &lists);
+    assert_eq!(got, want);
+    // 8 `d` elements in the document, one nested inside another `d`.
+    assert_eq!(want.len(), 8);
+}
+
+/// The engine side of the pinned case: optimized and unoptimized
+/// evaluation agree on `//d` (and friends) over the seed document, and
+/// the streaming matcher reports exactly the outermost matches.
+#[test]
+fn semantics_seed_doc_streaming_outermost() {
+    let engine = Engine::new();
+    let q = engine.compile("//d").unwrap();
+    assert!(q.is_streamable());
+    assert!(!q.streaming_is_exact());
+    let mut count = 0u64;
+    q.execute_streaming(&engine, SEMANTICS_SEED_DOC, |_| count += 1)
+        .unwrap();
+    // 8 `d` elements, but the `d/d` inner one has a `d` ancestor:
+    // streaming emits outermost matches only.
+    assert_eq!(count, 7);
+    let outermost = engine
+        .query_xml(SEMANTICS_SEED_DOC, "count(//d[empty(ancestor::d)])")
+        .unwrap();
+    assert_eq!(outermost, "7");
+}
+
+#[test]
+fn semantics_seed_doc_optimizer_agrees() {
+    for q in [
+        "count(//d)",
+        "(//d)[2]",
+        "for $x in //a return count($x/d)",
+        "string((//a)[1])",
+    ] {
+        let optimized = Engine::new().query_xml(SEMANTICS_SEED_DOC, q).unwrap();
+        let baseline = Engine::with_options(EngineOptions::unoptimized())
+            .query_xml(SEMANTICS_SEED_DOC, q)
+            .unwrap();
+        assert_eq!(optimized, baseline, "query {q}");
+    }
+}
+
+/// Guard against the root-cause class of the roundtrip seed: documents
+/// whose store form and wire form must agree node-for-node.
+#[test]
+fn roundtrip_seed_doc_store_form_is_stable() {
+    let xml = "<r><a>a</a><r><a>A</a><a>B</a><r a=\"\"><a>5</a></r><a>b</a></r>\
+               <r><a> </a><r a=\"0\"><a>c</a></r><a>C</a></r></r>";
+    let names = Arc::new(NamePool::new());
+    let doc = xqr::Document::parse(xml, names).unwrap();
+    let once = doc.serialize_node(NodeId(0));
+    let names2 = Arc::new(NamePool::new());
+    let doc2 = xqr::Document::parse(&once, names2).unwrap();
+    assert_eq!(doc2.serialize_node(NodeId(0)), once);
+}

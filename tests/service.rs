@@ -11,14 +11,20 @@ use xqr::{DynamicContext, Engine, ErrorCode, Limits};
 fn repeated_queries_hit_the_plan_cache_with_identical_results() {
     let service = QueryService::new(ServiceConfig::default());
     service
-        .load_document("bib.xml", "<bib><book><price>7</price></book><book><price>35</price></book></bib>")
+        .load_document(
+            "bib.xml",
+            "<bib><book><price>7</price></book><book><price>35</price></book></bib>",
+        )
         .unwrap();
     let q = r#"sum(for $p in doc("bib.xml")//price return xs:integer($p))"#;
 
     // Uncached reference: a plain engine compiling from scratch.
     let engine = Engine::new();
     engine
-        .load_document("bib.xml", "<bib><book><price>7</price></book><book><price>35</price></book></bib>")
+        .load_document(
+            "bib.xml",
+            "<bib><book><price>7</price></book><book><price>35</price></book></bib>",
+        )
         .unwrap();
     let uncached = engine.query(q).unwrap();
 
@@ -32,7 +38,10 @@ fn repeated_queries_hit_the_plan_cache_with_identical_results() {
     }
 
     let s = service.stats();
-    assert!(s.plan_hit_rate() > 0.0, "repeated queries must hit the cache: {s}");
+    assert!(
+        s.plan_hit_rate() > 0.0,
+        "repeated queries must hit the cache: {s}"
+    );
     assert_eq!(s.plan_misses, 1, "one compile for ten executions: {s}");
     assert_eq!(s.plan_hits, 9, "{s}");
     assert_eq!(s.served, 10, "{s}");
@@ -52,17 +61,25 @@ fn catalog_evicts_under_its_byte_budget() {
         ..Default::default()
     });
     for i in 0..10 {
-        service.load_document(&format!("doc{i}.xml"), &doc(i)).unwrap();
+        service
+            .load_document(&format!("doc{i}.xml"), &doc(i))
+            .unwrap();
     }
     let s = service.stats();
-    assert!(s.catalog_docs <= 2, "byte budget admits at most two docs: {s}");
+    assert!(
+        s.catalog_docs <= 2,
+        "byte budget admits at most two docs: {s}"
+    );
     assert!(s.catalog_bytes <= one_doc * 2 + one_doc / 2, "{s}");
     assert_eq!(s.catalog_evictions, 8, "{s}");
     // The newest documents survived; the store itself shrank too.
     assert_eq!(service.run(r#"string(doc("doc9.xml")/d/n)"#).unwrap(), "9");
     let err = service.run(r#"doc("doc0.xml")"#).unwrap_err();
     assert_eq!(err.code, ErrorCode::DocumentNotFound);
-    assert_eq!(service.engine().store().doc_count(), s.catalog_docs as usize);
+    assert_eq!(
+        service.engine().store().doc_count(),
+        s.catalog_docs as usize
+    );
 }
 
 #[test]
@@ -74,12 +91,17 @@ fn saturating_the_pool_rejects_with_xqrl0004() {
     });
     // Occupy the single worker with a long query, cancellable so the
     // test always terminates.
-    let blocker = service.submit("sum(1 to 10000000000)", DynamicContext::new()).unwrap();
+    let blocker = service
+        .submit("sum(1 to 10000000000)", DynamicContext::new())
+        .unwrap();
     let cancel = blocker.cancel_handle();
     // Wait until it is actually running, not just queued.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while service.stats().active == 0 {
-        assert!(std::time::Instant::now() < deadline, "blocker never started");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "blocker never started"
+        );
         std::thread::yield_now();
     }
     // Fill the one queue slot.
@@ -106,7 +128,10 @@ fn eight_threads_share_one_cached_plan() {
         ..Default::default()
     }));
     service
-        .load_document("bib.xml", "<bib><book><price>7</price></book><book><price>35</price></book></bib>")
+        .load_document(
+            "bib.xml",
+            "<bib><book><price>7</price></book><book><price>35</price></book></bib>",
+        )
         .unwrap();
     let q = r#"sum(for $p in doc("bib.xml")//price return xs:integer($p))"#;
     service.prepare(q).unwrap(); // warm the cache: every lookup below is a hit
@@ -165,8 +190,15 @@ fn stats_counters_are_consistent() {
         "hits + misses must equal lookups: {s}"
     );
     assert_eq!(s.served + s.failed, 11, "{s}");
-    assert_eq!(s.latency_count, s.served + s.failed, "every finished query is timed: {s}");
-    assert_eq!(s.plan_entries, 6, "five distinct sums + the failing query: {s}");
+    assert_eq!(
+        s.latency_count,
+        s.served + s.failed,
+        "every finished query is timed: {s}"
+    );
+    assert_eq!(
+        s.plan_entries, 6,
+        "five distinct sums + the failing query: {s}"
+    );
 }
 
 #[test]
@@ -179,8 +211,12 @@ fn service_level_deadlines_include_queue_wait() {
     });
     // Both queries carry a 100 ms deadline from *submission*; the first
     // burns its own budget, and the second times out mostly in queue.
-    let a = service.submit("sum(1 to 10000000000)", DynamicContext::new()).unwrap();
-    let b = service.submit("sum(1 to 10000000000)", DynamicContext::new()).unwrap();
+    let a = service
+        .submit("sum(1 to 10000000000)", DynamicContext::new())
+        .unwrap();
+    let b = service
+        .submit("sum(1 to 10000000000)", DynamicContext::new())
+        .unwrap();
     assert_eq!(a.wait().unwrap_err().code, ErrorCode::Timeout);
     assert_eq!(b.wait().unwrap_err().code, ErrorCode::Timeout);
     assert_eq!(service.stats().failed, 2);

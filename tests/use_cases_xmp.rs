@@ -61,11 +61,14 @@ fn engine() -> Engine {
 
 fn run(q: &str) -> String {
     let e = engine();
-    let prepared = e.compile(q).unwrap_or_else(|err| panic!("compile: {err}\n{q}"));
+    let prepared = e
+        .compile(q)
+        .unwrap_or_else(|err| panic!("compile: {err}\n{q}"));
     prepared
         .execute(&e, &DynamicContext::new())
         .unwrap_or_else(|err| panic!("run: {err}\n{q}"))
-        .serialize_guarded().unwrap()
+        .serialize_guarded()
+        .unwrap()
 }
 
 #[test]
@@ -108,7 +111,10 @@ fn q3_title_with_all_authors() {
     "#);
     assert_eq!(out.matches("<result>").count(), 4);
     // Data on the Web keeps 3 authors in one result.
-    let data = out.split("<result>").find(|s| s.contains("Data on the Web")).unwrap();
+    let data = out
+        .split("<result>")
+        .find(|s| s.contains("Data on the Web"))
+        .unwrap();
     assert_eq!(data.matches("<author>").count(), 3);
 }
 
@@ -130,7 +136,10 @@ fn q4_author_with_all_titles() {
             </result>
         }</results>
     "#);
-    let stevens = out.split("<result>").find(|s| s.contains("Stevens")).unwrap();
+    let stevens = out
+        .split("<result>")
+        .find(|s| s.contains("Stevens"))
+        .unwrap();
     assert_eq!(stevens.matches("<title>").count(), 2);
 }
 
@@ -183,7 +192,10 @@ fn q10_prices_by_title() {
           return <minprice title="{$t}">{min(for $x in $p return number($x))}</minprice>
         }</results>
     "#);
-    assert!(out.contains(r#"<minprice title="Data on the Web">34.95</minprice>"#), "{out}");
+    assert!(
+        out.contains(r#"<minprice title="Data on the Web">34.95</minprice>"#),
+        "{out}"
+    );
     assert_eq!(out.matches("<minprice").count(), 3);
 }
 

@@ -60,7 +60,11 @@ impl Default for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
         let end = data.len();
-        Bytes { data: Arc::new(data), start: 0, end }
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -108,7 +112,9 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -10,19 +10,18 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
-}
-
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 50 }
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 50,
+        }
     }
 }
 
@@ -43,7 +42,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
         f(&mut b);
         b.report(&self.name, &id.label);
         self
@@ -58,7 +60,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: Vec::new(), budget: self.sample_size };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
         f(&mut b, input);
         b.report(&self.name, &id.label);
         self
@@ -73,13 +78,17 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -110,7 +119,8 @@ impl Bencher {
             for _ in 0..per_batch {
                 black_box(f());
             }
-            self.samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / per_batch as f64);
             if bench_start.elapsed() > wall_budget {
                 break;
             }

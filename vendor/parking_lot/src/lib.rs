@@ -23,7 +23,9 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -38,14 +40,18 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         match self.inner.read() {
             Ok(guard) => RwLockReadGuard { guard },
-            Err(poisoned) => RwLockReadGuard { guard: poisoned.into_inner() },
+            Err(poisoned) => RwLockReadGuard {
+                guard: poisoned.into_inner(),
+            },
         }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         match self.inner.write() {
             Ok(guard) => RwLockWriteGuard { guard },
-            Err(poisoned) => RwLockWriteGuard { guard: poisoned.into_inner() },
+            Err(poisoned) => RwLockWriteGuard {
+                guard: poisoned.into_inner(),
+            },
         }
     }
 
@@ -99,7 +105,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 }
 
@@ -107,7 +115,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         match self.inner.lock() {
             Ok(guard) => MutexGuard { guard },
-            Err(poisoned) => MutexGuard { guard: poisoned.into_inner() },
+            Err(poisoned) => MutexGuard {
+                guard: poisoned.into_inner(),
+            },
         }
     }
 }

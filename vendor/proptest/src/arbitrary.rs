@@ -13,7 +13,9 @@ pub struct Any<T> {
 }
 
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: PhantomData }
+    Any {
+        _marker: PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {

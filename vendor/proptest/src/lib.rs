@@ -12,19 +12,21 @@
 //! - **Fixed seeding.** Cases are generated from a deterministic
 //!   per-case seed, so failures reproduce across runs.
 
-pub mod test_runner;
-pub mod strategy;
-pub mod string;
 pub mod arbitrary;
 pub mod collection;
 pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
 
 /// Mirror of upstream's `proptest::prelude`.
 pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of upstream's `prop` module namespace.
     pub mod prop {
@@ -132,9 +134,10 @@ macro_rules! prop_assert_ne {
         let left = $left;
         let right = $right;
         if left == right {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!("assertion failed: `{:?}` == `{:?}`", left, right),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
         }
     }};
 }

@@ -22,7 +22,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Arc::new(self) }
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
     }
 
     /// Recursive strategies: `f` receives a strategy for the inner level
@@ -61,7 +63,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: self.inner.clone() }
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -102,7 +106,9 @@ pub struct Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { arms: self.arms.clone() }
+        Union {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -165,11 +171,11 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/a);
-impl_tuple_strategy!(A/a, B/b);
-impl_tuple_strategy!(A/a, B/b, C/c);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d);
-impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
 
 // ---- string patterns ------------------------------------------------------
 
@@ -201,7 +207,11 @@ mod tests {
 
     #[test]
     fn union_uses_every_arm() {
-        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
         let mut rng = TestRng::from_seed(2);
         let mut seen = [false; 4];
         for _ in 0..100 {

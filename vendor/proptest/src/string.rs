@@ -76,7 +76,10 @@ fn parse(pattern: &str) -> Vec<Element> {
                         ranges.push((c, c));
                     }
                 }
-                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
                 i += 1; // ']'
                 Atom::Class(ranges)
             }
@@ -127,7 +130,10 @@ fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
         Atom::Dot => (0x20 + rng.below(0x7F - 0x20) as u8) as char,
         Atom::Lit(c) => *c,
         Atom::Class(ranges) => {
-            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1)
+                .sum();
             let mut pick = rng.below(total);
             for (lo, hi) in ranges {
                 let span = (*hi as u64 - *lo as u64) + 1;
@@ -193,8 +199,7 @@ mod tests {
             assert!(s.len() <= 80);
             for c in s.chars() {
                 assert!(
-                    c.is_ascii_lowercase()
-                        || "<>/=\"'& ;![]-".contains(c),
+                    c.is_ascii_lowercase() || "<>/=\"'& ;![]-".contains(c),
                     "unexpected char {c:?}"
                 );
             }

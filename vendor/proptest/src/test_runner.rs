@@ -8,7 +8,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn from_seed(seed: u64) -> Self {
-        let mut rng = TestRng { state: seed ^ 0x9e3779b97f4a7c15 };
+        let mut rng = TestRng {
+            state: seed ^ 0x9e3779b97f4a7c15,
+        };
         let _ = rng.next_u64();
         rng
     }
@@ -42,13 +44,19 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
     }
 }
 
