@@ -32,6 +32,7 @@ fn bench_rewrite_ablation(c: &mut Criterion) {
                 ..Default::default()
             },
             runtime: RuntimeOptions::default(),
+            ..Default::default()
         });
         engine.load_document("bib.xml", &bib).unwrap();
         let prepared = engine.compile(q).unwrap();

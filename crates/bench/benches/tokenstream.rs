@@ -77,6 +77,7 @@ fn bench_memoization(c: &mut Criterion) {
             memoize_functions: true,
             ..Default::default()
         },
+        ..Default::default()
     });
     let prepared_m = memo.compile(q).unwrap();
     group.bench_function("fib18_memoized", |b| {

@@ -476,6 +476,7 @@ pub fn e7_rewrites(scale: Scale) -> Table {
                     ..Default::default()
                 },
                 runtime: RuntimeOptions::default(),
+                ..Default::default()
             });
             engine.load_document("bib.xml", &bib).unwrap();
             let prepared = engine.compile(q).unwrap();
@@ -911,6 +912,7 @@ pub fn e12_memo(scale: Scale) -> Table {
             memoize_functions: true,
             ..Default::default()
         },
+        ..Default::default()
     });
     let prepared_m = engine_memo.compile(q).unwrap();
     let (r2, t_memo) = time(|| {

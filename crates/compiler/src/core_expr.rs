@@ -218,6 +218,15 @@ pub enum Core {
         group: Option<GroupSpec>,
         body: Box<Core>,
     },
+    /// An index-answerable absolute path/twig (planted by access-path
+    /// selection, after all other rewrites). The runtime answers it from
+    /// the anchored document's structural index when one is attached,
+    /// and evaluates `fallback` — the original navigational subtree,
+    /// semantically identical — otherwise.
+    IndexScan {
+        pattern: crate::access::AccessPattern,
+        fallback: Box<Core>,
+    },
 }
 
 impl Core {
@@ -377,6 +386,7 @@ impl Core {
                 }
                 f(body);
             }
+            IndexScan { fallback, .. } => f(fallback),
         }
     }
 
@@ -525,6 +535,7 @@ impl Core {
                 }
                 f(body);
             }
+            IndexScan { fallback, .. } => f(fallback),
         }
     }
 

@@ -12,6 +12,7 @@
 //!    and firing statistics;
 //! 5. [`pipeline`] — ties it together into [`pipeline::compile`].
 
+pub mod access;
 pub mod analysis;
 pub mod builtins;
 pub mod core_expr;
@@ -21,6 +22,7 @@ pub mod pipeline;
 pub mod rewrite;
 pub mod typing;
 
+pub use access::{AccessAnchor, AccessEdge, AccessNode, AccessPattern};
 pub use core_expr::*;
 pub use normalize::normalize_module;
 pub use pipeline::{compile, CompileOptions, CompiledQuery};

@@ -2,6 +2,7 @@
 //! (optimize). The talk's "major compilation steps" with code generation
 //! deferred to the runtime (which interprets the annotated core tree).
 
+use crate::access::select_access_paths;
 use crate::analysis::needs_node_identity;
 use crate::core_expr::CoreModule;
 use crate::normalize::normalize_module;
@@ -16,6 +17,11 @@ pub struct CompileOptions {
     pub rewrite: RewriteConfig,
     /// Enforce the static typing feature (strict mode).
     pub static_typing: bool,
+    /// Run access-path selection after the rewrites: absolute path/twig
+    /// subtrees become [`crate::core_expr::Core::IndexScan`] candidates
+    /// the runtime answers from a structural index when one is attached
+    /// (falling back to navigation otherwise).
+    pub access_paths: bool,
 }
 
 impl Default for CompileOptions {
@@ -23,6 +29,7 @@ impl Default for CompileOptions {
         CompileOptions {
             rewrite: RewriteConfig::all(),
             static_typing: false,
+            access_paths: true,
         }
     }
 }
@@ -47,7 +54,15 @@ pub fn compile(source: &str, options: &CompileOptions) -> Result<CompiledQuery> 
     // Type-check before optimization so user-visible static errors do
     // not depend on which rewrites fired.
     let body_type = check_module(&module, options.static_typing)?;
-    let stats = optimize_module(&mut module, &options.rewrite);
+    let mut stats = optimize_module(&mut module, &options.rewrite);
+    if options.access_paths {
+        // After every rewrite: selection wants the collapsed/simplified
+        // path shapes, and no rewrite needs to understand IndexScan.
+        let planted = select_access_paths(&mut module);
+        if planted > 0 {
+            *stats.entry("index-access-path").or_insert(0) += planted;
+        }
+    }
     let needs_node_ids = needs_node_identity(&module.body)
         || module
             .functions

@@ -408,6 +408,8 @@ pub fn infer(e: &Core, env: &mut TypeEnv<'_>) -> SequenceType {
                 SequenceType::Of(item, _) => SequenceType::zero_or_more(item),
             }
         }
+        // Planted after typing; semantically identical to its fallback.
+        IndexScan { fallback, .. } => infer(fallback, env),
     }
 }
 

@@ -41,22 +41,39 @@ fn contain_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
 const EVAL_STACK_BYTES: usize = 256 * 1024 * 1024;
 
 /// Engine-level options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     pub compile: CompileOptions,
     pub runtime: RuntimeOptions,
+    /// Build a structural index for every document registered through
+    /// [`Engine::load_document`], enabling index-backed access paths.
+    /// Transient `query_xml` inputs are never indexed. Default: `true`.
+    pub index_documents: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            compile: CompileOptions::default(),
+            runtime: RuntimeOptions::default(),
+            index_documents: true,
+        }
+    }
 }
 
 impl EngineOptions {
     /// Options with the optimizer disabled (the materializing baseline
-    /// for the benches).
+    /// for the benches): no rewrites, no access-path selection, no
+    /// document indexing.
     pub fn unoptimized() -> Self {
         EngineOptions {
             compile: CompileOptions {
                 rewrite: xqr_compiler::RewriteConfig::none(),
+                access_paths: false,
                 ..Default::default()
             },
             runtime: RuntimeOptions::default(),
+            index_documents: false,
         }
     }
 
@@ -112,8 +129,19 @@ impl Engine {
     }
 
     /// Parse and register a document under a URI (for `fn:doc`).
+    ///
+    /// When [`EngineOptions::index_documents`] is set, a structural index
+    /// is built and attached so index-eligible queries take index-backed
+    /// access paths. The build is guarded by the engine's limits; a build
+    /// that trips its budget leaves the document loaded but unindexed —
+    /// queries then fall back to navigation.
     pub fn load_document(&self, uri: &str, xml: &str) -> Result<DocId> {
-        self.store.load_xml(xml, Some(uri))
+        let id = self.store.load_xml(xml, Some(uri))?;
+        if self.options.index_documents {
+            let guard = QueryGuard::new(self.options.runtime.limits);
+            let _ = xqr_index::ensure_indexed(&self.store, id, &guard);
+        }
+        Ok(id)
     }
 
     /// Compile a query with the engine's options.

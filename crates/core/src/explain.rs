@@ -95,6 +95,9 @@ fn render(e: &Core, depth: usize, out: &mut String) {
         Core::CommentCtor(_) => "comment-ctor".into(),
         Core::PiCtor { .. } => "pi-ctor".into(),
         Core::DocCtor(_) => "document-ctor".into(),
+        Core::IndexScan { pattern, .. } => {
+            format!("index-scan {pattern} (fallback: navigation)")
+        }
         Core::HashJoin { group, .. } => {
             if group.is_some() {
                 "hash-group-join".into()

@@ -57,8 +57,8 @@ pub enum Verdict {
 
 #[derive(Debug)]
 pub struct Divergence {
-    /// Which leg disagreed (`optimized`, `service`, `service-cached`,
-    /// `streaming`).
+    /// Which leg disagreed (`optimized`, `indexed`, `service`,
+    /// `service-cached`, `streaming`).
     pub leg: &'static str,
     pub reference: LegOutcome,
     pub actual: LegOutcome,
@@ -80,6 +80,7 @@ pub struct CaseResult {
 pub struct Oracle {
     ref_options: EngineOptions,
     opt_options: EngineOptions,
+    idx_options: EngineOptions,
     service: QueryService,
     case_no: u64,
 }
@@ -95,6 +96,9 @@ impl Oracle {
         ref_options.runtime.limits = limits;
         let mut rewrite = RewriteConfig::all();
         rewrite.debug_miscompile_sub = mutate;
+        // Optimized leg: full rewrites + access-path selection, but NO
+        // document indexes — every planted `IndexScan` misses and takes
+        // its navigational fallback, so the fallback path is fuzzed too.
         let opt_options = EngineOptions {
             compile: CompileOptions {
                 rewrite,
@@ -104,6 +108,14 @@ impl Oracle {
                 limits,
                 ..Default::default()
             },
+            index_documents: false,
+        };
+        // Indexed leg: same plans, but documents carry structural
+        // indexes, so index-eligible subtrees are answered from the
+        // tag/path inverted lists instead of navigation.
+        let idx_options = EngineOptions {
+            index_documents: true,
+            ..opt_options.clone()
         };
         let service = QueryService::new(ServiceConfig {
             engine: opt_options.clone(),
@@ -119,6 +131,7 @@ impl Oracle {
         Oracle {
             ref_options,
             opt_options,
+            idx_options,
             service,
             case_no: 0,
         }
@@ -149,6 +162,18 @@ impl Oracle {
         })());
 
         if let Some(v) = self.compare("optimized", &reference, &optimized) {
+            return CaseResult {
+                verdict: v,
+                rewrite_stats,
+                streamed,
+            };
+        }
+
+        // Indexed: identical compilation, but the document is loaded
+        // with a structural index attached, so index-backed access paths
+        // actually fire instead of falling back.
+        let indexed = run_engine(&self.idx_options, query, xml);
+        if let Some(v) = self.compare("indexed", &reference, &indexed) {
             return CaseResult {
                 verdict: v,
                 rewrite_stats,
@@ -279,6 +304,11 @@ mod tests {
             "some $v0 in //d satisfies $v0 = \"x\"",
             "(//a)[2]",
             "//d[position() < 2]",
+            // Index-eligible shapes: the `indexed` leg answers these
+            // from the structural index.
+            "//a[d]",
+            "/root//d",
+            "//a[d]/d",
         ] {
             let r = oracle.run_case(q, DOC);
             assert!(matches!(r.verdict, Verdict::Agree), "{q}: {:?}", r.verdict);

@@ -87,6 +87,11 @@ pub struct Counters {
     pub function_calls: Cell<u64>,
     pub memo_hits: Cell<u64>,
     pub join_builds: Cell<u64>,
+    /// Index-backed access paths answered from a structural index.
+    pub index_hits: Cell<u64>,
+    /// Index-backed access paths that fell back to navigation (no index
+    /// attached, unknown document, or no context node).
+    pub index_misses: Cell<u64>,
     /// Budget consumption gauges, copied from the [`xqr_xdm::QueryGuard`]
     /// after execution so explain/bench output can report them.
     pub budget_items: Cell<u64>,
@@ -528,6 +533,30 @@ impl<'m> Evaluator<'m> {
                 st,
                 sink,
             ),
+            Core::IndexScan { pattern, fallback } => {
+                match crate::index_scan::try_index_scan(pattern, st) {
+                    Some(nodes) => {
+                        self.counters
+                            .index_hits
+                            .set(self.counters.index_hits.get() + 1);
+                        // Index answers bypass per-step pushes, so charge
+                        // the guard per emitted node (like `Range`).
+                        for n in nodes {
+                            st.guard.note_items(1)?;
+                            if sink.accept(self, st, Item::Node(n))? == Flow::Done {
+                                return Ok(Flow::Done);
+                            }
+                        }
+                        Ok(Flow::More)
+                    }
+                    None => {
+                        self.counters
+                            .index_misses
+                            .set(self.counters.index_misses.get() + 1);
+                        self.push(fallback, st, sink)
+                    }
+                }
+            }
         }
     }
 

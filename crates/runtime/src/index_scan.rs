@@ -1,0 +1,138 @@
+//! Answering [`Core::IndexScan`] patterns from a document's structural
+//! index.
+//!
+//! The compiler's access-path selection guarantees the pattern is a pure
+//! existence path/twig over named element/attribute steps, so the answer
+//! is computable exactly from the index's tag/path inverted lists:
+//!
+//! * **linear** patterns are pure path-dictionary lookups — the matching
+//!   path-id set selects a document-ordered sublist, no join at all;
+//! * **branching** patterns run the holistic twig join from `xqr-joins`
+//!   over per-node lists that are first path-filtered by each node's
+//!   root chain (which also enforces the root edge `/a` vs `//a` that
+//!   the join itself does not check).
+//!
+//! `None` means "cannot answer here" — no context node, unknown
+//! document, or no index attached — and the caller falls back to the
+//! navigational plan.
+
+use crate::env::ExecState;
+use xqr_compiler::access::{AccessAnchor, AccessEdge, AccessPattern};
+use xqr_index::{index_of, DocIndex, IndexedAccess, PathStep};
+use xqr_joins::{twig_stack, EdgeKind, Labeled, TwigPattern};
+use xqr_store::NodeRef;
+use xqr_xdm::NameId;
+
+fn map_edge(e: AccessEdge) -> EdgeKind {
+    match e {
+        AccessEdge::Child => EdgeKind::Child,
+        AccessEdge::Descendant => EdgeKind::Descendant,
+    }
+}
+
+/// Try to answer `pattern` from an attached index. `Ok(None)` = fall
+/// back to navigation.
+pub fn try_index_scan(pattern: &AccessPattern, st: &ExecState) -> Option<Vec<NodeRef>> {
+    // Resolve the anchored document.
+    let doc_id = match &pattern.anchor {
+        AccessAnchor::ContextRoot => st.context_item().ok()?.as_node()?.doc,
+        AccessAnchor::Doc(uri) => st.store.document_by_uri(uri).ok()?.0,
+    };
+    let index = index_of(&st.store, doc_id)?;
+
+    // Resolve pattern names against the shared pool. A name that was
+    // never interned occurs in no document, so the answer is exactly
+    // empty — still an index hit.
+    let names: Option<Vec<NameId>> = pattern
+        .nodes
+        .iter()
+        .map(|n| st.store.names().get(&n.name))
+        .collect();
+    let Some(names) = names else {
+        return Some(Vec::new());
+    };
+
+    let nodes = if pattern.is_linear() {
+        answer_linear(pattern, &names, &index)
+    } else {
+        answer_twig(pattern, &names, &index)
+    };
+    Some(nodes.into_iter().map(|n| NodeRef::new(doc_id, n)).collect())
+}
+
+/// Root-to-`i` chain of `(edge, name)` steps.
+fn chain_to(pattern: &AccessPattern, names: &[NameId], i: usize) -> Vec<PathStep> {
+    let mut steps = Vec::new();
+    let mut cur = Some(i);
+    while let Some(c) = cur {
+        steps.push((map_edge(pattern.nodes[c].edge), names[c]));
+        cur = pattern.nodes[c].parent;
+    }
+    steps.reverse();
+    steps
+}
+
+fn answer_linear(
+    pattern: &AccessPattern,
+    names: &[NameId],
+    index: &DocIndex,
+) -> Vec<xqr_store::NodeId> {
+    let out = &pattern.nodes[pattern.output];
+    let labels = if out.attribute {
+        let owner_steps = chain_to(pattern, names, pattern.output);
+        let (attr_step, owner_steps) = owner_steps.split_last().expect("output step exists");
+        index.linear_attributes(owner_steps, attr_step.0, attr_step.1)
+    } else {
+        index.linear_elements(&chain_to(pattern, names, pattern.output))
+    };
+    labels.into_iter().map(|l| l.node).collect()
+}
+
+fn answer_twig(
+    pattern: &AccessPattern,
+    names: &[NameId],
+    index: &DocIndex,
+) -> Vec<xqr_store::NodeId> {
+    // Mirror the pattern as a TwigPattern (selection guarantees parents
+    // precede children, and node 0 is the trunk root).
+    let mut twig = TwigPattern::path(
+        map_edge(pattern.nodes[0].edge),
+        &[(map_edge(pattern.nodes[0].edge), names[0])],
+    );
+    for (i, n) in pattern.nodes.iter().enumerate().skip(1) {
+        let parent = n.parent.expect("non-root pattern nodes have parents");
+        let idx = twig.add_child(parent, map_edge(n.edge), names[i]);
+        debug_assert_eq!(idx, i);
+    }
+
+    // Per-node input lists, path-filtered by each node's root chain.
+    // The filter is a necessary condition (any witness's root path must
+    // match), shrinks the join input, and enforces the root edge.
+    let dict = index.path_dict();
+    let lists: Vec<Vec<Labeled>> = pattern
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            if n.attribute {
+                let owner_steps = chain_to(pattern, names, i);
+                let (attr_step, owner_steps) = owner_steps.split_last().expect("node i");
+                let keep = match attr_step.0 {
+                    EdgeKind::Child => dict.matching(owner_steps),
+                    EdgeKind::Descendant => dict.matching_prefix(owner_steps),
+                };
+                index.attributes_on_paths(names[i], &keep)
+            } else {
+                let keep = dict.matching(&chain_to(pattern, names, i));
+                index.elements_on_paths(names[i], &keep)
+            }
+        })
+        .collect();
+
+    let (tuples, _stats) = twig_stack(&twig, &lists);
+    let mut out: Vec<xqr_store::NodeId> =
+        tuples.iter().map(|tuple| tuple[pattern.output]).collect();
+    out.sort();
+    out.dedup();
+    out
+}

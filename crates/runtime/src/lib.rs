@@ -10,6 +10,7 @@ pub mod construct;
 pub mod env;
 pub mod eval;
 pub mod functions;
+pub mod index_scan;
 pub mod regex;
 pub mod stream_path;
 pub mod value;

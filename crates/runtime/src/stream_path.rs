@@ -73,6 +73,9 @@ fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
     match core {
         Core::Root => true,
         Core::Ddo(inner) => collect(inner, steps),
+        // An index-backed plan streams via its navigational fallback: the
+        // streaming path never consults the store (or its indexes) at all.
+        Core::IndexScan { fallback, .. } => collect(fallback, steps),
         Core::PathMap { input, step } => {
             if !collect(input, steps) {
                 return false;

@@ -17,31 +17,49 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use xqr_store::{DocId, Store};
-use xqr_xdm::Result;
+use xqr_xdm::{Limits, QueryGuard, Result};
 
 /// Catalog counters, snapshotted via [`DocumentCatalog::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CatalogStats {
     /// Live named documents.
     pub docs: u64,
-    /// Sum of the live documents' in-memory sizes.
+    /// Sum of the live documents' in-memory sizes (tree + structural
+    /// index — both count against the byte budget).
     pub bytes: u64,
+    /// The structural-index share of `bytes`.
+    pub index_bytes: u64,
     /// Documents evicted to stay under the byte budget (replacements and
     /// explicit removals are not counted).
     pub evictions: u64,
+    /// Structural indexes built (a budget-tripped build is not counted;
+    /// its document stays live, unindexed).
+    pub index_builds: u64,
+    /// Total wall-clock nanoseconds spent building structural indexes.
+    pub index_build_nanos: u64,
 }
 
 struct CatEntry {
     id: DocId,
     bytes: u64,
+    index_bytes: u64,
     last_used: u64,
 }
 
 struct CatalogInner {
     entries: HashMap<String, CatEntry>,
     total_bytes: u64,
+    total_index_bytes: u64,
+}
+
+impl CatalogInner {
+    fn drop_entry(&mut self, e: &CatEntry) {
+        self.total_bytes = self.total_bytes.saturating_sub(e.bytes);
+        self.total_index_bytes = self.total_index_bytes.saturating_sub(e.index_bytes);
+    }
 }
 
 /// Named documents with LRU eviction under a total-bytes budget.
@@ -49,22 +67,45 @@ pub struct DocumentCatalog {
     store: Arc<Store>,
     /// Total in-memory byte budget; `None` means unbounded.
     max_bytes: Option<u64>,
+    /// `Some(limits)` = build a structural index for every loaded
+    /// document, with the build guarded by `limits`.
+    index_limits: Option<Limits>,
     inner: Mutex<CatalogInner>,
     tick: AtomicU64,
     evictions: AtomicU64,
+    index_builds: AtomicU64,
+    index_build_nanos: AtomicU64,
 }
 
 impl DocumentCatalog {
     pub fn new(store: Arc<Store>, max_bytes: Option<u64>) -> Self {
+        Self::with_indexing(store, max_bytes, None)
+    }
+
+    /// A catalog that additionally builds a structural index for every
+    /// document it loads (when `index_limits` is `Some`). Index bytes
+    /// count against the byte budget and are freed with the document on
+    /// eviction, replacement, and removal. A build that trips its
+    /// budget leaves the document loaded but unindexed — queries fall
+    /// back to navigation.
+    pub fn with_indexing(
+        store: Arc<Store>,
+        max_bytes: Option<u64>,
+        index_limits: Option<Limits>,
+    ) -> Self {
         DocumentCatalog {
             store,
             max_bytes,
+            index_limits,
             inner: Mutex::new(CatalogInner {
                 entries: HashMap::new(),
                 total_bytes: 0,
+                total_index_bytes: 0,
             }),
             tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            index_builds: AtomicU64::new(0),
+            index_build_nanos: AtomicU64::new(0),
         }
     }
 
@@ -79,13 +120,25 @@ impl DocumentCatalog {
     /// own eviction victim — a single document larger than the whole
     /// budget is admitted alone (and will be evicted by the next load).
     pub fn put(&self, name: &str, xml: &str) -> Result<DocId> {
-        // Parse outside the catalog lock: loads can be large.
+        // Parse (and index) outside the catalog lock: loads can be large.
         let id = self.store.load_xml(xml, Some(name))?;
-        let bytes = self.store.document(id).memory_bytes() as u64;
+        let mut bytes = self.store.document(id).memory_bytes() as u64;
+        let mut index_bytes = 0;
+        if let Some(limits) = self.index_limits {
+            let started = Instant::now();
+            let guard = QueryGuard::new(limits);
+            if let Ok(Some(index)) = xqr_index::ensure_indexed(&self.store, id, &guard) {
+                index_bytes = index.memory_bytes() as u64;
+                bytes += index_bytes;
+                self.index_builds.fetch_add(1, Ordering::Relaxed);
+                self.index_build_nanos
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
         let mut inner = self.inner.lock().expect("catalog lock");
         if let Some(old) = inner.entries.remove(name) {
             self.store.remove_document(old.id);
-            inner.total_bytes = inner.total_bytes.saturating_sub(old.bytes);
+            inner.drop_entry(&old);
         }
         let tick = self.next_tick();
         inner.entries.insert(
@@ -93,10 +146,12 @@ impl DocumentCatalog {
             CatEntry {
                 id,
                 bytes,
+                index_bytes,
                 last_used: tick,
             },
         );
         inner.total_bytes += bytes;
+        inner.total_index_bytes += index_bytes;
         if let Some(budget) = self.max_bytes {
             while inner.total_bytes > budget && inner.entries.len() > 1 {
                 let victim = inner
@@ -108,7 +163,7 @@ impl DocumentCatalog {
                     .expect("len > 1 and one entry is the new doc");
                 let evicted = inner.entries.remove(&victim).expect("victim exists");
                 self.store.remove_document(evicted.id);
-                inner.total_bytes = inner.total_bytes.saturating_sub(evicted.bytes);
+                inner.drop_entry(&evicted);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -142,7 +197,7 @@ impl DocumentCatalog {
         match inner.entries.remove(name) {
             Some(e) => {
                 self.store.remove_document(e.id);
-                inner.total_bytes = inner.total_bytes.saturating_sub(e.bytes);
+                inner.drop_entry(&e);
                 true
             }
             None => false,
@@ -167,7 +222,10 @@ impl DocumentCatalog {
         CatalogStats {
             docs: inner.entries.len() as u64,
             bytes: inner.total_bytes,
+            index_bytes: inner.total_index_bytes,
             evictions: self.evictions.load(Ordering::Relaxed),
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            index_build_nanos: self.index_build_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -239,6 +297,46 @@ mod tests {
         // The oversized doc evicted everything else but stays itself.
         assert_eq!(cat.len(), 1);
         assert!(cat.contains("big.xml"));
+    }
+
+    #[test]
+    fn indexing_catalog_attaches_and_accounts_indexes() {
+        use xqr_xdm::Limits;
+        let store = Store::new();
+        let cat = DocumentCatalog::with_indexing(store.clone(), None, Some(Limits::unlimited()));
+        let id = cat.put("a.xml", "<a><b/><b/></a>").unwrap();
+        let index = xqr_index::index_of(&store, id).expect("index attached");
+        assert!(index.memory_bytes() > 0);
+        let stats = cat.stats();
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.index_bytes, index.memory_bytes() as u64);
+        assert!(
+            stats.bytes > store.document(id).memory_bytes() as u64,
+            "index bytes count against the budget"
+        );
+        // Removal frees the index accounting along with the document.
+        assert!(cat.remove("a.xml"));
+        let stats = cat.stats();
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.index_bytes, 0);
+        assert!(xqr_index::index_of(&store, id).is_none());
+    }
+
+    #[test]
+    fn index_build_budget_trip_leaves_document_unindexed() {
+        use xqr_xdm::Limits;
+        let store = Store::new();
+        let cat = DocumentCatalog::with_indexing(
+            store.clone(),
+            None,
+            Some(Limits::unlimited().with_max_items(2)),
+        );
+        let id = cat.put("a.xml", "<a><b/><b/><b/><b/></a>").unwrap();
+        assert!(xqr_index::index_of(&store, id).is_none());
+        let stats = cat.stats();
+        assert_eq!(stats.index_builds, 0);
+        assert_eq!(stats.index_bytes, 0);
+        assert_eq!(stats.docs, 1, "the document itself is still live");
     }
 
     #[test]

@@ -66,6 +66,8 @@ struct ServiceShared {
     limits: Limits,
     served: AtomicU64,
     failed: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -110,7 +112,17 @@ impl QueryTicket {
 impl QueryService {
     pub fn new(config: ServiceConfig) -> Self {
         let engine = Arc::new(Engine::with_options(config.engine.clone()));
-        let catalog = DocumentCatalog::new(engine.store().clone(), config.catalog_max_bytes);
+        // Catalog loads build structural indexes under the same budgets
+        // queries run with; an index build is bounded work, like a query.
+        let index_limits = config
+            .engine
+            .index_documents
+            .then_some(config.per_query_limits);
+        let catalog = DocumentCatalog::with_indexing(
+            engine.store().clone(),
+            config.catalog_max_bytes,
+            index_limits,
+        );
         QueryService {
             shared: Arc::new(ServiceShared {
                 engine,
@@ -118,6 +130,8 @@ impl QueryService {
                 limits: config.per_query_limits,
                 served: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                index_hits: AtomicU64::new(0),
+                index_misses: AtomicU64::new(0),
                 latency: LatencyHistogram::new(),
             }),
             catalog,
@@ -168,7 +182,15 @@ impl QueryService {
                 .plans
                 .get_or_compile(&shared.engine, &query)
                 .and_then(|plan| plan.execute_guarded(&shared.engine, &ctx, guard))
-                .and_then(|result| result.serialize_guarded());
+                .and_then(|result| {
+                    shared
+                        .index_hits
+                        .fetch_add(result.counters.index_hits.get(), Ordering::Relaxed);
+                    shared
+                        .index_misses
+                        .fetch_add(result.counters.index_misses.get(), Ordering::Relaxed);
+                    result.serialize_guarded()
+                });
             shared.latency.record(submitted.elapsed());
             match &outcome {
                 Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
@@ -219,6 +241,11 @@ impl QueryService {
             catalog_docs: catalog.docs,
             catalog_bytes: catalog.bytes,
             catalog_evictions: catalog.evictions,
+            index_builds: catalog.index_builds,
+            index_bytes: catalog.index_bytes,
+            index_build_time: Duration::from_nanos(catalog.index_build_nanos),
+            index_hits: self.shared.index_hits.load(Ordering::Relaxed),
+            index_misses: self.shared.index_misses.load(Ordering::Relaxed),
             latency_count: self.shared.latency.count(),
             latency_mean: self.shared.latency.mean(),
             latency_p50: self.shared.latency.p50(),
@@ -256,6 +283,16 @@ pub struct ServiceStats {
     pub catalog_docs: u64,
     pub catalog_bytes: u64,
     pub catalog_evictions: u64,
+    /// Structural indexes built by catalog loads.
+    pub index_builds: u64,
+    /// Live structural-index bytes (part of `catalog_bytes`).
+    pub index_bytes: u64,
+    /// Total wall-clock time spent building structural indexes.
+    pub index_build_time: Duration,
+    /// `IndexScan` operators answered from a structural index.
+    pub index_hits: u64,
+    /// `IndexScan` operators that fell back to navigation.
+    pub index_misses: u64,
     pub latency_count: u64,
     pub latency_mean: Duration,
     pub latency_p50: Duration,
@@ -294,6 +331,15 @@ impl std::fmt::Display for ServiceStats {
             f,
             "catalog: docs: {} bytes: {} evictions: {}",
             self.catalog_docs, self.catalog_bytes, self.catalog_evictions
+        )?;
+        writeln!(
+            f,
+            "indexes: builds: {} bytes: {} build-time: {:?} hits: {} misses: {}",
+            self.index_builds,
+            self.index_bytes,
+            self.index_build_time,
+            self.index_hits,
+            self.index_misses
         )?;
         writeln!(
             f,
@@ -397,8 +443,44 @@ mod tests {
         let service = QueryService::new(ServiceConfig::default());
         service.run("1").unwrap();
         let text = service.stats_text();
-        for section in ["service:", "plans:", "catalog:", "pool:", "latency:"] {
+        for section in [
+            "service:", "plans:", "catalog:", "indexes:", "pool:", "latency:",
+        ] {
             assert!(text.contains(section), "{text}");
         }
+    }
+
+    #[test]
+    fn catalog_loads_feed_index_backed_queries() {
+        let service = QueryService::new(ServiceConfig::default());
+        service
+            .load_document(
+                "bib.xml",
+                "<bib><book><author/><title>t</title></book><book><title/></book></bib>",
+            )
+            .unwrap();
+        assert_eq!(
+            service
+                .run(r#"count(doc("bib.xml")//book[author]/title)"#)
+                .unwrap(),
+            "1"
+        );
+        let s = service.stats();
+        assert_eq!(s.index_builds, 1);
+        assert!(s.index_bytes > 0);
+        assert!(s.index_hits >= 1, "query was answered from the index: {s}");
+        // Disabling indexing on the engine disables catalog builds too.
+        let service = QueryService::new(ServiceConfig {
+            engine: EngineOptions {
+                index_documents: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        service.load_document("bib.xml", "<bib/>").unwrap();
+        assert_eq!(service.run(r#"count(doc("bib.xml")//x)"#).unwrap(), "0");
+        let s = service.stats();
+        assert_eq!(s.index_builds, 0);
+        assert!(s.index_hits == 0 && s.index_misses >= 1, "{s}");
     }
 }

@@ -8,6 +8,7 @@
 //! expression contain newly created nodes?").
 
 use crate::document::{DocId, Document, NodeId};
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 use xqr_xdm::{Error, ErrorCode, NamePool, Result};
@@ -31,6 +32,11 @@ impl NodeRef {
 struct Slot {
     generation: u32,
     doc: Option<Arc<Document>>,
+    /// Generation-checked side attachment (e.g. a structural index built
+    /// by `xqr-index`). Cleared whenever the document leaves the slot, so
+    /// an attachment can never outlive — or be read through a stale id
+    /// of — the document it describes.
+    aux: Option<Arc<dyn Any + Send + Sync>>,
 }
 
 #[derive(Default)]
@@ -80,6 +86,7 @@ impl Store {
             Some(index) => {
                 let slot = &mut inner.slots[index as usize];
                 slot.doc = Some(doc.clone());
+                slot.aux = None;
                 DocId::new(index, slot.generation)
             }
             None => {
@@ -87,6 +94,7 @@ impl Store {
                 inner.slots.push(Slot {
                     generation: 0,
                     doc: Some(doc.clone()),
+                    aux: None,
                 });
                 DocId::new(index, 0)
             }
@@ -115,6 +123,7 @@ impl Store {
             return false;
         }
         let doc = slot.doc.take().expect("checked live above");
+        slot.aux = None;
         slot.generation = slot.generation.wrapping_add(1);
         inner.free.push(id.index());
         inner.live_bytes = inner.live_bytes.saturating_sub(doc.memory_bytes() as u64);
@@ -163,6 +172,33 @@ impl Store {
             return None;
         }
         slot.doc.clone()
+    }
+
+    /// Attach auxiliary per-document data (a structural index, say) to a
+    /// live slot. Returns `false` when the id is stale — the attachment
+    /// is dropped rather than applied to whatever reused the slot. The
+    /// attachment is cleared automatically when the document is removed.
+    pub fn set_aux(&self, id: DocId, aux: Arc<dyn Any + Send + Sync>) -> bool {
+        let mut inner = self.inner.write().expect("store lock");
+        let Some(slot) = inner.slots.get_mut(id.index() as usize) else {
+            return false;
+        };
+        if slot.generation != id.generation() || slot.doc.is_none() {
+            return false;
+        }
+        slot.aux = Some(aux);
+        true
+    }
+
+    /// Read back the auxiliary attachment for a document, generation
+    /// checked: a stale id yields `None`, never another document's data.
+    pub fn aux(&self, id: DocId) -> Option<Arc<dyn Any + Send + Sync>> {
+        let inner = self.inner.read().expect("store lock");
+        let slot = inner.slots.get(id.index() as usize)?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        slot.aux.clone()
     }
 
     pub fn document_by_uri(&self, uri: &str) -> Result<(DocId, Arc<Document>)> {
@@ -278,6 +314,30 @@ mod tests {
         let id = store.load_xml("<a/>", None).unwrap();
         store.remove_document(id);
         store.document(id);
+    }
+
+    #[test]
+    fn aux_attachment_is_generation_checked() {
+        let store = Store::new();
+        let id = store.load_xml("<a/>", None).unwrap();
+        assert!(store.aux(id).is_none());
+        assert!(store.set_aux(id, Arc::new(41u64)));
+        let got = store.aux(id).expect("attached");
+        assert_eq!(got.downcast_ref::<u64>(), Some(&41));
+
+        // Removal clears the attachment and stales the id.
+        assert!(store.remove_document(id));
+        assert!(store.aux(id).is_none());
+        assert!(!store.set_aux(id, Arc::new(99u64)));
+
+        // The reused slot starts clean, and the stale id still reads
+        // nothing even though the slot index is occupied again.
+        let id2 = store.load_xml("<b/>", None).unwrap();
+        assert_eq!(id2.index(), id.index());
+        assert!(store.aux(id2).is_none());
+        assert!(store.aux(id).is_none());
+        assert!(store.set_aux(id2, Arc::new(7u64)));
+        assert!(store.aux(id).is_none(), "stale id must not see new aux");
     }
 
     #[test]

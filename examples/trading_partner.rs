@@ -60,6 +60,7 @@ fn main() -> xqr::Result<()> {
             ..Default::default()
         },
         runtime: Default::default(),
+        ..Default::default()
     });
     unopt.load_document("ebsample.xml", &xml)?;
     let q2 = unopt.compile(QUERY)?;

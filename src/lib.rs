@@ -28,6 +28,7 @@
 pub use xqr_core::*;
 
 pub use xqr_compiler;
+pub use xqr_index;
 pub use xqr_joins;
 pub use xqr_runtime;
 pub use xqr_service;

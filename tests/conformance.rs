@@ -4,7 +4,7 @@
 
 #[allow(unused_imports)]
 use xqr::Result;
-use xqr::{CompileOptions, DynamicContext, Engine, EngineOptions, RewriteConfig};
+use xqr::{DynamicContext, Engine, EngineOptions};
 
 const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last><first>W.</first></author><publisher>Addison-Wesley</publisher><price>65.95</price></book><book year="2000"><title>Data on the Web</title><author><last>Abiteboul</last><first>Serge</first></author><author><last>Buneman</last><first>Peter</first></author><author><last>Suciu</last><first>Dan</first></author><publisher>Morgan Kaufmann</publisher><price>39.95</price></book><book year="1999"><title>Economics of Tech</title><author><last>Shapiro</last><first>Carl</first></author><publisher>MIT Press</publisher><price>129.95</price></book><book year="1994"><title>Unix Programming</title><author><last>Stevens</last><first>W.</first></author><publisher>Addison-Wesley</publisher><price>65.95</price></book></bib>"#;
 
@@ -14,13 +14,8 @@ fn check_all(cases: &[(&str, &str)]) {
             let opts = if optimize {
                 EngineOptions::default()
             } else {
-                EngineOptions {
-                    compile: CompileOptions {
-                        rewrite: RewriteConfig::none(),
-                        ..Default::default()
-                    },
-                    runtime: Default::default(),
-                }
+                // No rewrites, no access-path selection, no indexes.
+                EngineOptions::unoptimized()
             };
             let engine = Engine::with_options(opts);
             engine.load_document("bib.xml", BIB).unwrap();
@@ -670,7 +665,7 @@ fn static_typing_strict_engine_mode() {
             static_typing: true,
             ..Default::default()
         },
-        runtime: Default::default(),
+        ..Default::default()
     });
     // Provable type errors are rejected at compile time.
     assert!(strict.compile("\"a\" + 1").map(|_| ()).is_err());

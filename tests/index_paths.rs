@@ -1,0 +1,126 @@
+//! Index-backed access paths, end to end: eligible queries compile to
+//! an `index-scan` (visible in `explain`), answer from the structural
+//! index when the document is indexed, fall back to navigation when it
+//! is not — and all three agree byte-for-byte.
+
+use xqr::{context_with_doc, Engine, EngineOptions};
+
+const BIB: &str = r#"<bib><book year="1994"><title>TCP/IP Illustrated</title><author><last>Stevens</last><first>W.</first></author><price>65.95</price></book><book><title>No Authors Here</title><price>9.95</price></book><book year="2000"><title>Data on the Web</title><author><last>Abiteboul</last><first>Serge</first></author><author><last>Buneman</last><first>Peter</first></author><price>39.95</price></book></bib>"#;
+
+/// Queries whose trunk (or whole body) is index-eligible.
+const ELIGIBLE: &[&str] = &[
+    "//book",
+    "/bib/book/title",
+    "//book//last",
+    "//book[author]/title",
+    "//book[author/last]/title",
+    "//book[author][price]/title",
+    "//book/@year",
+    "//book[@year]/title",
+    "count(//book[author])",
+    r#"doc("bib.xml")//book[author]/title"#,
+];
+
+/// Control group: shapes access-path selection must leave alone —
+/// positional and value predicates, wildcards, reverse axes.
+const INELIGIBLE: &[&str] = &["//book[1]", "//book[price > 50]/title", "//*[author]"];
+
+#[test]
+fn eligible_queries_show_index_scan_in_explain() {
+    let engine = Engine::new();
+    for q in ELIGIBLE {
+        let text = engine.compile(q).unwrap().explain();
+        assert!(
+            text.contains("index-scan"),
+            "{q} should be index-backed:\n{text}"
+        );
+        assert!(
+            text.contains("fallback: navigation"),
+            "{q} explain should show the fallback:\n{text}"
+        );
+    }
+    for q in INELIGIBLE {
+        let text = engine.compile(q).unwrap().explain();
+        assert!(!text.contains("index-scan"), "{q} must navigate:\n{text}");
+    }
+    // An ineligible step (reverse axis) doesn't poison the whole plan:
+    // the eligible `//book` prefix is still planted as an index-scan.
+    let text = engine.compile("//book/author/..").unwrap().explain();
+    assert!(text.contains("index-scan //book"), "{text}");
+}
+
+/// The acceptance criterion: a conformance-style query demonstrably
+/// switches to an index-backed twig join and returns byte-identical
+/// results.
+#[test]
+fn indexed_navigation_and_unoptimized_agree_byte_for_byte() {
+    for q in ELIGIBLE {
+        // Indexed: default engine, load_document attaches an index.
+        let indexed = Engine::new();
+        let ctx = context_with_doc(&indexed, "bib.xml", BIB).unwrap();
+        let plan = indexed.compile(q).unwrap();
+        let result = plan.execute(&indexed, &ctx).unwrap();
+        assert!(
+            result.counters.index_hits.get() >= 1,
+            "{q} should be answered from the index"
+        );
+        assert_eq!(result.counters.index_misses.get(), 0, "{q}");
+        let from_index = result.serialize_guarded().unwrap();
+
+        // Fallback: same plan shape, but the document carries no index,
+        // so the IndexScan misses and navigates.
+        let unindexed = Engine::with_options(EngineOptions {
+            index_documents: false,
+            ..Default::default()
+        });
+        let ctx = context_with_doc(&unindexed, "bib.xml", BIB).unwrap();
+        let plan = unindexed.compile(q).unwrap();
+        let result = plan.execute(&unindexed, &ctx).unwrap();
+        assert!(
+            result.counters.index_misses.get() >= 1,
+            "{q} should fall back"
+        );
+        let from_fallback = result.serialize_guarded().unwrap();
+
+        // Reference: no access paths, no rewrites, no indexes.
+        let reference = Engine::with_options(EngineOptions::unoptimized());
+        let ctx = context_with_doc(&reference, "bib.xml", BIB).unwrap();
+        let from_navigation = reference
+            .compile(q)
+            .unwrap()
+            .execute(&reference, &ctx)
+            .unwrap()
+            .serialize_guarded()
+            .unwrap();
+
+        assert_eq!(from_index, from_navigation, "{q}");
+        assert_eq!(from_fallback, from_navigation, "{q}");
+    }
+}
+
+/// A twig query specifically: the branching `[author]` predicate runs
+/// through the holistic twig join, not navigation.
+#[test]
+fn twig_query_switches_to_index_backed_join() {
+    let engine = Engine::new();
+    let ctx = context_with_doc(&engine, "bib.xml", BIB).unwrap();
+    let plan = engine.compile("//book[author]/title").unwrap();
+    assert!(plan.explain().contains("index-scan //book[author]/title"));
+    let result = plan.execute(&engine, &ctx).unwrap();
+    assert_eq!(result.counters.index_hits.get(), 1);
+    assert_eq!(
+        result.serialize_guarded().unwrap(),
+        "<title>TCP/IP Illustrated</title><title>Data on the Web</title>"
+    );
+}
+
+/// Transient `query_xml` inputs are never indexed: the plan still runs
+/// (via fallback) and agrees.
+#[test]
+fn transient_documents_fall_back_to_navigation() {
+    let engine = Engine::new();
+    let out = engine
+        .query_xml(BIB, "count(//book[author]/title)")
+        .unwrap();
+    assert_eq!(out, "2");
+}

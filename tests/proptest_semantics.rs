@@ -109,7 +109,7 @@ proptest! {
         let run = |rewrite: RewriteConfig| -> String {
             let engine = Engine::with_options(EngineOptions {
                 compile: CompileOptions { rewrite, ..Default::default() },
-                runtime: Default::default(),
+                ..Default::default()
             });
             engine.query_xml(&xml, q).unwrap()
         };
@@ -218,7 +218,7 @@ proptest! {
         let run = |rewrite: RewriteConfig| {
             let engine = Engine::with_options(EngineOptions {
                 compile: CompileOptions { rewrite, ..Default::default() },
-                runtime: Default::default(),
+                ..Default::default()
             });
             engine.query(&q)
         };
@@ -331,7 +331,7 @@ proptest! {
         let run = |rewrite: RewriteConfig| {
             let engine = Engine::with_options(EngineOptions {
                 compile: CompileOptions { rewrite, ..Default::default() },
-                runtime: Default::default(),
+                ..Default::default()
             });
             engine.query_xml(&xml, &q).unwrap()
         };
