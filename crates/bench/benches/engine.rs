@@ -1,7 +1,7 @@
 //! E7/E8/E9 micro-benchmarks: optimizer ablation, compilation phases,
 //! and the customer transformation vs its baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use xqr_bench::experiments::{customer_query, dom_baseline_transform, giant_customer_query};
 use xqr_compiler::RewriteConfig;
 use xqr_core::{CompileOptions, DynamicContext, Engine, EngineOptions};
@@ -93,4 +93,16 @@ criterion_group!(
     bench_compile_phases,
     bench_transformation
 );
-criterion_main!(benches);
+fn main() {
+    // CI sets XQR_REQUIRE_FAULTS_OFF=1 to prove that benchmark builds
+    // carry the no-op faultpoint macros, not the injection machinery: a
+    // bench binary that can inject faults is also paying for armed()
+    // checks on every measured hot path.
+    if std::env::var_os("XQR_REQUIRE_FAULTS_OFF").is_some() {
+        assert!(
+            !xqr_faults::compiled_with_failpoints(),
+            "bench build was compiled with the failpoints feature"
+        );
+    }
+    benches();
+}

@@ -26,7 +26,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Run `f` with panics contained: a panic becomes `err:XQRL0000`.
-fn contain_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+///
+/// Public because panic containment is a boundary concern: every API an
+/// embedder calls directly (the service's catalog loads, say) wants the
+/// same "a panic is an internal error, not an abort" conversion the
+/// engine applies around evaluation.
+pub fn contain_panic<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
         Ok(result) => result,
         Err(payload) => Err(Error::internal(format!(
@@ -336,11 +341,17 @@ impl PreparedQuery {
                         ExecState::with_guard(store.clone(), compiled.module.var_count, guard);
                     let items = ev.eval_module(&mut st);
                     ev.counters.record_guard_usage(&st.guard.usage());
+                    // On success the constructed-document ledger
+                    // transfers to the result (freed when it drops); on
+                    // error or panic, `ExecState::drop` frees it.
+                    let items = items?;
+                    let mut counters = ev.counters;
+                    counters.constructed_docs = st.take_constructed_docs();
                     Ok(QueryResult {
-                        items: items?,
+                        items,
                         store,
-                        counters: ev.counters,
-                        guard: st.guard,
+                        counters,
+                        guard: st.guard.clone(),
                     })
                 })
                 .map_err(|e| Error::internal(format!("failed to spawn eval thread: {e}")))?;
@@ -387,6 +398,14 @@ impl PreparedQuery {
 }
 
 /// The materialized result of one execution.
+///
+/// Owns the store documents its constructors allocated: node identities
+/// created by the query (element/document/attribute/text/comment/PI
+/// constructors, plus context documents loaded by `fn:doc`) live exactly
+/// as long as the result and are freed from the store when it drops. In
+/// a long-lived shared store (the query service) they would otherwise
+/// accumulate forever. Extract what you need — usually via
+/// [`QueryResult::serialize_guarded`] — before dropping it.
 #[derive(Debug)]
 pub struct QueryResult {
     pub items: Sequence,
@@ -468,6 +487,20 @@ impl QueryResult {
             }
         }
         Ok(out)
+    }
+}
+
+impl Drop for QueryResult {
+    fn drop(&mut self) {
+        // Constructed documents live exactly as long as their result.
+        // Each removal is panic-contained: drops can run mid-unwind,
+        // where a second panic (injected faults target the removal
+        // path) would abort the process.
+        for id in std::mem::take(&mut self.counters.constructed_docs) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.store.remove_document(id)
+            }));
+        }
     }
 }
 

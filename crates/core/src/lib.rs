@@ -15,7 +15,9 @@
 pub mod engine;
 pub mod explain;
 
-pub use engine::{bind, context_with_doc, Engine, EngineOptions, PreparedQuery, QueryResult};
+pub use engine::{
+    bind, contain_panic, context_with_doc, Engine, EngineOptions, PreparedQuery, QueryResult,
+};
 pub use explain::explain;
 
 // Re-export the layers a downstream user needs to drive the API.

@@ -42,6 +42,7 @@
 //! replayable from the printed seed: case `i` of a run with master seed
 //! `S` is exactly case `0` of a run with `--seed S+i`.
 
+pub mod chaos;
 pub mod gen;
 pub mod oracle;
 pub mod report;

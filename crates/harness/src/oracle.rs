@@ -37,7 +37,11 @@ fn outcome_of(r: Result<String, Error>) -> LegOutcome {
 fn is_resource(code: ErrorCode) -> bool {
     matches!(
         code,
-        ErrorCode::Limit | ErrorCode::Timeout | ErrorCode::Cancelled | ErrorCode::Overloaded
+        ErrorCode::Limit
+            | ErrorCode::Timeout
+            | ErrorCode::Cancelled
+            | ErrorCode::Overloaded
+            | ErrorCode::Unavailable
     )
 }
 
@@ -127,6 +131,10 @@ impl Oracle {
             max_concurrent: 2,
             max_queued: 8,
             per_query_limits: limits,
+            // No retries in the differential oracle: a transient code is
+            // already a *skip* verdict, and retrying would hide how often
+            // legs shed. The chaos harness turns retries on explicitly.
+            retry: xqr_service::RetryPolicy::none(),
         });
         Oracle {
             ref_options,

@@ -36,6 +36,7 @@ pub fn ensure_indexed(
     if let Some(existing) = index_of(store, id) {
         return Ok(Some(existing));
     }
+    xqr_faults::faultpoint!("index.build");
     let Some(doc) = store.try_document(id) else {
         return Ok(None);
     };

@@ -7,10 +7,14 @@ use crate::value::{Item, Sequence};
 use std::collections::HashMap;
 use std::sync::Arc;
 use xqr_compiler::VarId;
-use xqr_store::{NodeRef, Store};
+use xqr_store::{DocId, NodeRef, Store};
 use xqr_xdm::{DateTime, Error, ErrorCode, QName, QueryGuard, Result, TzOffset};
 
 /// Values for the dynamic context, supplied by the application.
+///
+/// `Clone` so a caller can retry a failed submission with the same
+/// bindings: every field is plain data (sequences are `Arc`-backed).
+#[derive(Clone)]
 pub struct DynamicContext {
     /// External variable bindings by name.
     pub variables: HashMap<QName, Sequence>,
@@ -142,6 +146,12 @@ pub struct ExecState {
     /// Resource governance for this execution; `QueryGuard::unlimited()`
     /// when the embedder set no limits.
     pub guard: QueryGuard,
+    /// Store documents allocated by node constructors during this
+    /// execution. Constructed nodes get fresh documents in the *shared*
+    /// store, so a long-lived embedder (the query service) would leak
+    /// them without this ledger: on success they transfer to the result
+    /// (freed when it drops), on error they are freed immediately.
+    pub constructed_docs: Vec<DocId>,
 }
 
 impl ExecState {
@@ -155,7 +165,15 @@ impl ExecState {
             frame: Frame::new(frame_size),
             focus: Vec::new(),
             guard,
+            constructed_docs: Vec::new(),
         }
+    }
+
+    /// Hand the constructed-document ledger to the caller (normally
+    /// into [`crate::Counters::constructed_docs`] on success), leaving
+    /// nothing for [`Drop`] to free.
+    pub fn take_constructed_docs(&mut self) -> Vec<DocId> {
+        std::mem::take(&mut self.constructed_docs)
     }
 
     pub fn focus(&self) -> Option<&Focus> {
@@ -167,6 +185,21 @@ impl ExecState {
             .last()
             .map(|f| &f.item)
             .ok_or_else(|| Error::new(ErrorCode::MissingContext, "no context item"))
+    }
+}
+
+impl Drop for ExecState {
+    fn drop(&mut self) {
+        // Anything still in the ledger belongs to an execution that
+        // errored or panicked: nothing references those documents, and
+        // in a shared store they would leak forever. Removal is
+        // panic-contained because this can run mid-unwind, where a
+        // second panic would abort the process.
+        for id in self.constructed_docs.drain(..) {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.store.remove_document(id)
+            }));
+        }
     }
 }
 

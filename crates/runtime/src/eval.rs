@@ -20,7 +20,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 use xqr_compiler::{Core, CoreClause, CoreModule, CoreName, FuncId, VarId};
-use xqr_store::{walk, Axis, NodeId, NodeRef};
+use xqr_store::{walk, Axis, DocId, NodeId, NodeRef};
 use xqr_xdm::{
     AtomicType, AtomicValue, Error, ErrorCode, GuardUsage, ItemType, Limits, NameTest, NodeKind,
     QName, Result, SequenceType,
@@ -98,6 +98,10 @@ pub struct Counters {
     pub budget_tokens: Cell<u64>,
     pub budget_output_bytes: Cell<u64>,
     pub budget_peak_depth: Cell<u64>,
+    /// Store documents allocated by constructors, transferred from
+    /// [`crate::ExecState::constructed_docs`] after a successful
+    /// execution. The result owner frees them when it is done.
+    pub constructed_docs: Vec<DocId>,
 }
 
 impl Counters {
@@ -268,6 +272,7 @@ impl<'m> Evaluator<'m> {
 
     /// Stream `e` into `sink`.
     pub fn push(&self, e: &Core, st: &mut ExecState, sink: &mut dyn Sink) -> Result<Flow> {
+        xqr_faults::faultpoint!("eval.next");
         self.counters
             .items_produced
             .set(self.counters.items_produced.get() + 1);
@@ -492,6 +497,7 @@ impl<'m> Evaluator<'m> {
             Core::DocCtor(inner) => {
                 let items = self.eval(inner, st)?;
                 let node = construct::build_document(&st.store, &items)?;
+                st.constructed_docs.push(node.doc);
                 self.counters
                     .nodes_constructed
                     .set(self.counters.nodes_constructed.get() + 1);
@@ -771,6 +777,7 @@ impl<'m> Evaluator<'m> {
             items.extend(self.eval(c, st)?);
         }
         let node = construct::build_element(&st.store, &qname, namespaces, &items)?;
+        st.constructed_docs.push(node.doc);
         self.counters
             .nodes_constructed
             .set(self.counters.nodes_constructed.get() + 1);
@@ -806,6 +813,7 @@ impl<'m> Evaluator<'m> {
             }
         }
         let node = construct::build_attribute(&st.store, &qname, &s)?;
+        st.constructed_docs.push(node.doc);
         self.counters
             .nodes_constructed
             .set(self.counters.nodes_constructed.get() + 1);
@@ -835,6 +843,7 @@ impl<'m> Evaluator<'m> {
             LeafCtor::Text => construct::build_text(&st.store, &s)?,
             LeafCtor::Comment => construct::build_comment(&st.store, &s)?,
         };
+        st.constructed_docs.push(node.doc);
         self.counters
             .nodes_constructed
             .set(self.counters.nodes_constructed.get() + 1);
@@ -858,6 +867,7 @@ impl<'m> Evaluator<'m> {
             .collect::<Vec<_>>()
             .join(" ");
         let node = construct::build_pi(&st.store, target.local_name(), &s)?;
+        st.constructed_docs.push(node.doc);
         sink.accept(self, st, Item::Node(node))
     }
 
@@ -1139,6 +1149,10 @@ impl<'m> Evaluator<'m> {
             )
         })?;
         let id = st.store.load_xml_guarded(xml, Some(uri), &st.guard)?;
+        // Context documents are per-execution inputs: ledger them like
+        // constructed docs so they don't outlive the result in a
+        // long-lived shared store.
+        st.constructed_docs.push(id);
         let n = NodeRef::new(id, NodeId(0));
         self.doc_cache.borrow_mut().insert(uri.to_string(), n);
         Ok(n)

@@ -53,7 +53,13 @@ pub fn execute_guarded(
     let mut st = ExecState::with_guard(store.clone(), query.module.var_count, guard);
     let result = ev.eval_module(&mut st);
     ev.counters.record_guard_usage(&st.guard.usage());
-    Ok((result?, ev.counters))
+    // On success the constructed-document ledger transfers to the
+    // caller (the result references those documents); on error — or a
+    // panic unwinding past us — `ExecState::drop` frees the leftovers.
+    let items = result?;
+    let mut counters = ev.counters;
+    counters.constructed_docs = st.take_constructed_docs();
+    Ok((items, counters))
 }
 
 #[cfg(test)]

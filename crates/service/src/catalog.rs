@@ -17,10 +17,16 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::resilience::{lock_recover, CircuitBreaker};
 use xqr_store::{DocId, Store};
 use xqr_xdm::{Limits, QueryGuard, Result};
+
+/// Consecutive index-build failures that open the catalog's breaker.
+const INDEX_BREAKER_THRESHOLD: u32 = 3;
+/// How long an open breaker skips index builds before probing again.
+const INDEX_BREAKER_COOLDOWN: Duration = Duration::from_millis(250);
 
 /// Catalog counters, snapshotted via [`DocumentCatalog::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +46,15 @@ pub struct CatalogStats {
     pub index_builds: u64,
     /// Total wall-clock nanoseconds spent building structural indexes.
     pub index_build_nanos: u64,
+    /// Index builds that failed (budget trip or injected fault); their
+    /// documents stay live, unindexed.
+    pub index_build_failures: u64,
+    /// Times the index-build circuit breaker opened after
+    /// consecutive failures.
+    pub index_breaker_opens: u64,
+    /// Loads served in `Degraded::NoIndex` mode: the breaker was open,
+    /// so no build was attempted and queries fall back to navigation.
+    pub degraded_no_index: u64,
 }
 
 struct CatEntry {
@@ -62,6 +77,24 @@ impl CatalogInner {
     }
 }
 
+/// Rolls a store load back if [`DocumentCatalog::put`] unwinds between
+/// loading the document and registering its catalog entry (a panic in
+/// the index build, say): an unregistered document would otherwise leak
+/// outside the catalog's accounting forever.
+struct LoadRollback<'a> {
+    store: &'a Store,
+    id: DocId,
+    armed: bool,
+}
+
+impl Drop for LoadRollback<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.store.remove_document(self.id);
+        }
+    }
+}
+
 /// Named documents with LRU eviction under a total-bytes budget.
 pub struct DocumentCatalog {
     store: Arc<Store>,
@@ -75,6 +108,11 @@ pub struct DocumentCatalog {
     evictions: AtomicU64,
     index_builds: AtomicU64,
     index_build_nanos: AtomicU64,
+    index_build_failures: AtomicU64,
+    degraded_no_index: AtomicU64,
+    /// Opens after repeated build failures; while open, loads skip the
+    /// build entirely (`Degraded::NoIndex`) instead of failing it again.
+    index_breaker: CircuitBreaker,
 }
 
 impl DocumentCatalog {
@@ -106,7 +144,16 @@ impl DocumentCatalog {
             evictions: AtomicU64::new(0),
             index_builds: AtomicU64::new(0),
             index_build_nanos: AtomicU64::new(0),
+            index_build_failures: AtomicU64::new(0),
+            degraded_no_index: AtomicU64::new(0),
+            index_breaker: CircuitBreaker::new(INDEX_BREAKER_THRESHOLD, INDEX_BREAKER_COOLDOWN),
         }
+    }
+
+    /// Is the catalog currently serving loads unindexed because the
+    /// index-build breaker is open?
+    pub fn index_degraded(&self) -> bool {
+        self.index_breaker.is_open()
     }
 
     fn next_tick(&self) -> u64 {
@@ -120,24 +167,54 @@ impl DocumentCatalog {
     /// own eviction victim — a single document larger than the whole
     /// budget is admitted alone (and will be evicted by the next load).
     pub fn put(&self, name: &str, xml: &str) -> Result<DocId> {
+        xqr_faults::faultpoint!("catalog.load");
         // Parse (and index) outside the catalog lock: loads can be large.
         let id = self.store.load_xml(xml, Some(name))?;
+        let mut rollback = LoadRollback {
+            store: &self.store,
+            id,
+            armed: true,
+        };
         let mut bytes = self.store.document(id).memory_bytes() as u64;
         let mut index_bytes = 0;
         if let Some(limits) = self.index_limits {
-            let started = Instant::now();
-            let guard = QueryGuard::new(limits);
-            if let Ok(Some(index)) = xqr_index::ensure_indexed(&self.store, id, &guard) {
-                index_bytes = index.memory_bytes() as u64;
-                bytes += index_bytes;
-                self.index_builds.fetch_add(1, Ordering::Relaxed);
-                self.index_build_nanos
-                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if self.index_breaker.allow() {
+                let started = Instant::now();
+                let guard = QueryGuard::new(limits);
+                match xqr_index::ensure_indexed(&self.store, id, &guard) {
+                    Ok(Some(index)) => {
+                        index_bytes = index.memory_bytes() as u64;
+                        bytes += index_bytes;
+                        self.index_builds.fetch_add(1, Ordering::Relaxed);
+                        self.index_build_nanos
+                            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        self.index_breaker.record_success();
+                    }
+                    // Removed concurrently — nothing to index, nothing
+                    // failed.
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Budget trip or injected fault: the document
+                        // stays live, unindexed; queries fall back to
+                        // navigation. Enough of these in a row open the
+                        // breaker.
+                        self.index_build_failures.fetch_add(1, Ordering::Relaxed);
+                        self.index_breaker.record_failure();
+                    }
+                }
+            } else {
+                // Degraded::NoIndex — don't pay for a build that keeps
+                // failing; probe again after the cooldown.
+                self.degraded_no_index.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let mut inner = self.inner.lock().expect("catalog lock");
-        if let Some(old) = inner.entries.remove(name) {
-            self.store.remove_document(old.id);
+        let mut inner = lock_recover(&self.inner);
+        if let Some(old_id) = inner.entries.get(name).map(|e| e.id) {
+            // Free the store slot *before* unlinking the entry: a panic
+            // mid-removal (chaos) leaves a retriable catalog entry, never
+            // a document leaked outside the catalog's accounting.
+            self.store.remove_document(old_id);
+            let old = inner.entries.remove(name).expect("entry checked above");
             inner.drop_entry(&old);
         }
         let tick = self.next_tick();
@@ -150,6 +227,9 @@ impl DocumentCatalog {
                 last_used: tick,
             },
         );
+        // Committed: the entry owns the document from here on, so a
+        // later unwind (eviction loop) must not remove it.
+        rollback.armed = false;
         inner.total_bytes += bytes;
         inner.total_index_bytes += index_bytes;
         if let Some(budget) = self.max_bytes {
@@ -161,8 +241,10 @@ impl DocumentCatalog {
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(k, _)| k.clone())
                     .expect("len > 1 and one entry is the new doc");
+                let victim_id = inner.entries[&victim].id;
+                // Store removal first — see the replacement path above.
+                self.store.remove_document(victim_id);
                 let evicted = inner.entries.remove(&victim).expect("victim exists");
-                self.store.remove_document(evicted.id);
                 inner.drop_entry(&evicted);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -173,7 +255,7 @@ impl DocumentCatalog {
     /// Resolve a name, refreshing its LRU position. `None` if the name
     /// was never loaded or has been evicted.
     pub fn get(&self, name: &str) -> Option<DocId> {
-        let mut inner = self.inner.lock().expect("catalog lock");
+        let mut inner = lock_recover(&self.inner);
         let tick = self.next_tick();
         inner.entries.get_mut(name).map(|e| {
             e.last_used = tick;
@@ -183,29 +265,25 @@ impl DocumentCatalog {
 
     /// True while `name` is loaded (does not refresh LRU position).
     pub fn contains(&self, name: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("catalog lock")
-            .entries
-            .contains_key(name)
+        lock_recover(&self.inner).entries.contains_key(name)
     }
 
     /// Remove a named document, freeing its store slot. Returns `false`
     /// if the name is not loaded.
     pub fn remove(&self, name: &str) -> bool {
-        let mut inner = self.inner.lock().expect("catalog lock");
-        match inner.entries.remove(name) {
-            Some(e) => {
-                self.store.remove_document(e.id);
-                inner.drop_entry(&e);
-                true
-            }
-            None => false,
-        }
+        let mut inner = lock_recover(&self.inner);
+        let Some(id) = inner.entries.get(name).map(|e| e.id) else {
+            return false;
+        };
+        // Store removal first — see the replacement path in `put`.
+        self.store.remove_document(id);
+        let e = inner.entries.remove(name).expect("entry checked above");
+        inner.drop_entry(&e);
+        true
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("catalog lock").entries.len()
+        lock_recover(&self.inner).entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -214,11 +292,11 @@ impl DocumentCatalog {
 
     /// Sum of live documents' in-memory sizes.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().expect("catalog lock").total_bytes
+        lock_recover(&self.inner).total_bytes
     }
 
     pub fn stats(&self) -> CatalogStats {
-        let inner = self.inner.lock().expect("catalog lock");
+        let inner = lock_recover(&self.inner);
         CatalogStats {
             docs: inner.entries.len() as u64,
             bytes: inner.total_bytes,
@@ -226,6 +304,9 @@ impl DocumentCatalog {
             evictions: self.evictions.load(Ordering::Relaxed),
             index_builds: self.index_builds.load(Ordering::Relaxed),
             index_build_nanos: self.index_build_nanos.load(Ordering::Relaxed),
+            index_build_failures: self.index_build_failures.load(Ordering::Relaxed),
+            index_breaker_opens: self.index_breaker.opens(),
+            degraded_no_index: self.degraded_no_index.load(Ordering::Relaxed),
         }
     }
 }

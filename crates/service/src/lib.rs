@@ -33,9 +33,11 @@
 pub mod catalog;
 pub mod plan_cache;
 pub mod pool;
+pub mod resilience;
 pub mod service;
 
 pub use catalog::{CatalogStats, DocumentCatalog};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use pool::{PoolStats, WorkerPool};
+pub use resilience::{CircuitBreaker, Degraded, RetryPolicy};
 pub use service::{QueryService, ServiceConfig, ServiceStats};

@@ -23,6 +23,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::resilience::lock_recover;
 use xqr_core::{Engine, PreparedQuery};
 use xqr_xdm::Result;
 
@@ -117,7 +118,7 @@ impl PlanCache {
         let key: Key = (Arc::from(query), engine.options().fingerprint());
         self.lookups.fetch_add(1, Ordering::Relaxed);
         {
-            let mut shard = self.shard_of(&key).lock().expect("plan cache lock");
+            let mut shard = lock_recover(self.shard_of(&key));
             if let Some(entry) = shard.map.get_mut(&key) {
                 entry.last_used = self.next_tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -129,7 +130,11 @@ impl PlanCache {
         // may also compile, and whichever inserts last wins. Both get a
         // correct plan either way.
         let plan = engine.compile_shared(query)?;
-        let mut shard = self.shard_of(&key).lock().expect("plan cache lock");
+        // The insert is where a real cache subsystem would touch shared
+        // storage; an injected fault here fails the lookup, and the
+        // service degrades to compiling without caching.
+        xqr_faults::faultpoint!("plans.insert");
+        let mut shard = lock_recover(self.shard_of(&key));
         while shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
             let oldest = shard
                 .map
@@ -151,19 +156,36 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// Look up a cached plan without compiling on a miss — the
+    /// `Degraded::CacheOnly` read path when the insert side of the cache
+    /// is unhealthy. Hits refresh LRU position and count as lookups.
+    pub fn get_cached(&self, engine: &Engine, query: &str) -> Option<Arc<PreparedQuery>> {
+        let key: Key = (Arc::from(query), engine.options().fingerprint());
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock_recover(self.shard_of(&key));
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.next_tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.plan.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Drop every cached plan (counters are preserved).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("plan cache lock").map.clear();
+            lock_recover(shard).map.clear();
         }
     }
 
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("plan cache lock").map.len())
-            .sum()
+        self.shards.iter().map(|s| lock_recover(s).map.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -287,6 +309,35 @@ mod tests {
         assert_eq!(s.entries, cache.len() as u64);
         // Evictions never exceed insertions (= misses that compiled).
         assert!(s.evictions <= s.misses, "{s:?}");
+    }
+
+    /// A worker that panics while holding a shard lock (injected faults
+    /// do exactly this) must not turn the whole cache read-only: every
+    /// later caller recovers the lock instead of propagating the panic.
+    #[test]
+    fn a_poisoned_shard_does_not_take_down_the_cache() {
+        let engine = Engine::new();
+        let cache = PlanCache::new(64, 4);
+        cache.get_or_compile(&engine, "1 + 1").unwrap();
+        let before = crate::resilience::lock_recoveries();
+        // Poison every shard: whichever one "1 + 1" hashes into is
+        // certainly covered.
+        for shard in &cache.shards {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("poison the shard");
+            }));
+            assert!(shard.is_poisoned());
+        }
+        // Reads, writes and stats all still work...
+        cache.get_or_compile(&engine, "1 + 1").unwrap();
+        cache.get_or_compile(&engine, "2 + 2").unwrap();
+        assert!(cache.get_cached(&engine, "1 + 1").is_some());
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, s.lookups, "{s:?}");
+        assert_eq!(s.entries, 2);
+        // ...and the recoveries were counted for the operator.
+        assert!(crate::resilience::lock_recoveries() >= before + 4);
     }
 
     #[test]

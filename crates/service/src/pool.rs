@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::resilience::lock_recover;
 use xqr_xdm::{Error, Result};
 
 /// The work phase of a job. It may return a *publish* closure, which the
@@ -115,7 +116,8 @@ impl WorkerPool {
         &self,
         job: impl FnOnce() -> Publish + Send + 'static,
     ) -> Result<()> {
-        let mut state = self.shared.state.lock().expect("pool lock");
+        xqr_faults::faultpoint!("pool.dispatch");
+        let mut state = lock_recover(&self.shared.state);
         if state.shutdown {
             return Err(Error::overloaded("service is shutting down"));
         }
@@ -135,7 +137,7 @@ impl WorkerPool {
     }
 
     pub fn stats(&self) -> PoolStats {
-        let state = self.shared.state.lock().expect("pool lock");
+        let state = lock_recover(&self.shared.state);
         PoolStats {
             active: state.active as u64,
             queued: state.queue.len() as u64,
@@ -151,12 +153,26 @@ impl WorkerPool {
     pub fn max_queued(&self) -> usize {
         self.shared.max_queued
     }
+
+    /// Begin shutdown: new submissions are rejected with a stable
+    /// `err:XQRL0004`, queued-but-unstarted jobs are dropped (their
+    /// submitters see the result channel close, not a hang), and
+    /// in-flight jobs run to completion. Idempotent; [`Drop`] calls it
+    /// before joining the workers.
+    pub fn shutdown(&self) {
+        {
+            let mut state = lock_recover(&self.shared.state);
+            state.shutdown = true;
+            state.queue.clear();
+        }
+        self.shared.work_ready.notify_all();
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool lock");
+            let mut state = lock_recover(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     // Become active before releasing the lock: admission
@@ -168,7 +184,12 @@ fn worker_loop(shared: Arc<Shared>) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work_ready.wait(state).expect("pool lock");
+                // A Condvar wait can also observe poisoning; the pool
+                // state's invariants hold at every unlock, so recover.
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|p| p.into_inner());
             }
         };
         // Jobs are expected to contain their own panics (the engine's
@@ -177,7 +198,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).unwrap_or(None);
         shared.completed.fetch_add(1, Ordering::Relaxed);
         {
-            let mut state = shared.state.lock().expect("pool lock");
+            let mut state = lock_recover(&shared.state);
             state.active -= 1;
         }
         // Publish only after the slot is free: anyone woken by the result
@@ -190,14 +211,7 @@ fn worker_loop(shared: Arc<Shared>) {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("pool lock");
-            state.shutdown = true;
-            // Queued-but-unstarted jobs are dropped: their submitters see
-            // the result channel close, not a hang.
-            state.queue.clear();
-        }
-        self.shared.work_ready.notify_all();
+        self.shutdown();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -281,5 +295,74 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         pool.submit(move || tx.send(42).unwrap()).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_with_a_stable_code() {
+        let pool = WorkerPool::new(1, 4);
+        pool.shutdown();
+        let err = pool.submit(|| {}).unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Overloaded);
+        assert_eq!(err.code.as_str(), "XQRL0004");
+        assert!(err.to_string().contains("shutting down"), "{err}");
+        // Rejections-at-shutdown are not counted as load shedding.
+        assert_eq!(pool.stats().rejected, 0);
+        // Idempotent: a second shutdown (and the one in Drop) is a no-op.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_completes_in_flight_work_and_drops_queued_jobs() {
+        let pool = WorkerPool::new(1, 4);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<&'static str>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+            done_tx.send("in-flight ran to completion").unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Queue a job that would send if it ever ran; shutdown must drop
+        // it instead, closing the channel without a message.
+        let (q_tx, q_rx) = mpsc::channel::<()>();
+        pool.submit(move || q_tx.send(()).unwrap()).unwrap();
+
+        pool.shutdown();
+        // The queued job is gone the moment shutdown returns: its
+        // submitter observes a closed channel, never a hang.
+        assert_eq!(q_rx.try_recv(), Err(mpsc::TryRecvError::Disconnected));
+        // The in-flight job is still running; unblock it and drop the
+        // pool. Drop joins every worker, so a leaked or wedged thread
+        // would hang the test here rather than leak silently.
+        block_tx.send(()).unwrap();
+        drop(pool);
+        assert_eq!(
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "in-flight ran to completion"
+        );
+    }
+
+    #[test]
+    fn a_poisoned_admission_lock_does_not_take_down_the_pool() {
+        let pool = WorkerPool::new(1, 4);
+        let before = crate::resilience::lock_recoveries();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.shared.state.lock().unwrap();
+            panic!("poison the admission lock");
+        }));
+        assert!(pool.shared.state.is_poisoned());
+        // Admission, the workers and the gauges all recover the lock
+        // rather than propagating the panic to every later caller.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().completed < 1 {
+            assert!(std::time::Instant::now() < deadline, "job never completed");
+            std::thread::yield_now();
+        }
+        assert!(crate::resilience::lock_recoveries() > before);
     }
 }

@@ -1,0 +1,274 @@
+//! Resilience primitives: poison-recovering locks, bounded retry with
+//! deterministic backoff, and circuit breakers.
+//!
+//! The service's stance on failure comes from the error-code taxonomy
+//! ([`xqr_xdm::ErrorCode::is_retryable`]): *transient* codes
+//! (`XQRL0002/0004/0005`) describe a moment — queue pressure, a starved
+//! deadline, an injected subsystem fault — and deserve a bounded retry;
+//! every other code is deterministic and retrying it only burns
+//! capacity. When retries keep failing, the circuit breaker converts
+//! "try and fail every time" into an explicit degradation mode
+//! (`Degraded::NoIndex`, `Degraded::CacheOnly`) that is reported in
+//! [`crate::ServiceStats`] instead of being silently absorbed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Process-wide count of poisoned-lock recoveries in the service layer.
+static LOCK_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Lock `mutex`, recovering from poisoning instead of propagating the
+/// panic to every subsequent caller.
+///
+/// Poisoning means some holder panicked — with chaos injection, on
+/// purpose. Every structure locked through this helper (pool state,
+/// catalog map, plan-cache shards) keeps its invariants at each await
+/// point, so the data under a poisoned lock is still consistent; turning
+/// one contained panic into a permanent service outage would be the
+/// worse failure. Recoveries are counted so operators can see them.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        LOCK_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// Total poisoned-lock recoveries since process start.
+pub fn lock_recoveries() -> u64 {
+    LOCK_RECOVERIES.load(Ordering::Relaxed)
+}
+
+/// The degradation modes the service can enter instead of failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degraded {
+    /// The index-build breaker is open: catalog loads serve documents
+    /// unindexed and queries fall back to navigational evaluation.
+    NoIndex,
+    /// The plan-cache breaker is open: queries compile per-execution
+    /// (cached plans still hit) instead of going through cache inserts.
+    CacheOnly,
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based): exponential in
+    /// the attempt with ±50% jitter. Jitter is a pure function of
+    /// `(salt, attempt)` — no RNG, so a replayed chaos run backs off
+    /// identically — while distinct salts (e.g. a per-query counter)
+    /// still de-synchronize herds of retriers.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        // Map jitter into [50%, 150%] of the capped backoff.
+        let jitter = splitmix64(salt ^ u64::from(attempt)) % 1001;
+        capped.mul_f64(0.5 + jitter as f64 / 1000.0)
+    }
+}
+
+/// A consecutive-failure circuit breaker.
+///
+/// * **Closed** (normal): operations run; each failure increments a
+///   consecutive-failure count, any success resets it.
+/// * **Open**: after `threshold` consecutive failures, [`allow`] returns
+///   `false` for `cooldown` — callers take their degraded path without
+///   paying for the doomed operation.
+/// * **Half-open**: once the cooldown elapses, a single probe is let
+///   through; success closes the breaker, failure re-opens it for
+///   another cooldown.
+///
+/// [`allow`]: CircuitBreaker::allow
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerState>,
+    opens: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    /// A half-open probe is in flight; further callers stay degraded
+    /// until it reports.
+    probing: bool,
+}
+
+impl CircuitBreaker {
+    /// Opens after `threshold` consecutive failures (clamped to ≥ 1),
+    /// for `cooldown` per open period.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(BreakerState::default()),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    /// Should the caller attempt the protected operation? `false` means
+    /// take the degraded path. A `true` during cooldown expiry admits
+    /// exactly one half-open probe; the caller must report the outcome
+    /// via [`record_success`] / [`record_failure`].
+    ///
+    /// [`record_success`]: CircuitBreaker::record_success
+    /// [`record_failure`]: CircuitBreaker::record_failure
+    pub fn allow(&self) -> bool {
+        let mut state = lock_recover(&self.state);
+        match state.open_until {
+            None => true,
+            Some(until) if Instant::now() < until => false,
+            Some(_) => {
+                if state.probing {
+                    false
+                } else {
+                    state.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    pub fn record_success(&self) {
+        let mut state = lock_recover(&self.state);
+        state.consecutive_failures = 0;
+        state.open_until = None;
+        state.probing = false;
+    }
+
+    pub fn record_failure(&self) {
+        let mut state = lock_recover(&self.state);
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        state.probing = false;
+        if state.consecutive_failures >= self.threshold {
+            state.open_until = Some(Instant::now() + self.cooldown);
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Is the breaker currently refusing operations?
+    pub fn is_open(&self) -> bool {
+        let state = lock_recover(&self.state);
+        matches!(state.open_until, Some(until) if Instant::now() < until)
+    }
+
+    /// Times the breaker has transitioned closed → open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_recover_survives_a_poisoning_panic() {
+        let m = Mutex::new(7u32);
+        let before = lock_recoveries();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7, "data still readable");
+        assert_eq!(lock_recoveries(), before + 1);
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_bounds() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(60),
+        };
+        let b1 = p.backoff(1, 1);
+        let b3 = p.backoff(3, 1);
+        // Attempt 1 jitters around 10ms: within [5ms, 15ms].
+        assert!(b1 >= Duration::from_millis(5) && b1 <= Duration::from_millis(15));
+        // Attempt 3 would be 40ms ±50%: within [20ms, 60ms] (cap 60ms ⇒
+        // at most 90ms even with jitter — still ≤ 1.5 × cap).
+        assert!(b3 >= Duration::from_millis(20));
+        assert!(b3 <= Duration::from_millis(90));
+        // Deterministic: same (attempt, salt) → same backoff.
+        assert_eq!(p.backoff(2, 9), p.backoff(2, 9));
+        assert_ne!(p.backoff(2, 9), p.backoff(2, 10), "salt de-synchronizes");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_half_open() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(20));
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert!(b.allow(), "below threshold: still closed");
+        b.record_failure();
+        assert!(b.is_open());
+        assert!(!b.allow(), "open: callers degrade");
+        assert_eq!(b.opens(), 1);
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow(), "cooldown over: one half-open probe");
+        assert!(!b.allow(), "second caller waits for the probe");
+        b.record_failure();
+        assert!(!b.allow(), "probe failed: re-opened");
+        assert_eq!(b.opens(), 2);
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        b.record_success();
+        assert!(b.allow(), "probe succeeded: closed again");
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert!(b.allow(), "streak was reset; one failure is not two");
+        assert_eq!(b.opens(), 0);
+    }
+}

@@ -19,10 +19,16 @@ use std::time::{Duration, Instant};
 use crate::catalog::DocumentCatalog;
 use crate::plan_cache::PlanCache;
 use crate::pool::WorkerPool;
+use crate::resilience::{self, CircuitBreaker, RetryPolicy};
 use xqr_core::{Engine, EngineOptions, PreparedQuery};
-use xqr_runtime::DynamicContext;
-use xqr_store::DocId;
-use xqr_xdm::{CancelHandle, Error, LatencyHistogram, Limits, QueryGuard, Result};
+use xqr_runtime::{DynamicContext, Item};
+use xqr_store::{DocId, NodeId, NodeRef};
+use xqr_xdm::{CancelHandle, Error, ErrorCode, LatencyHistogram, Limits, QueryGuard, Result};
+
+/// Consecutive plan-cache failures that open the service's breaker.
+const PLAN_BREAKER_THRESHOLD: u32 = 3;
+/// How long the open plan breaker serves `Degraded::CacheOnly`.
+const PLAN_BREAKER_COOLDOWN: Duration = Duration::from_millis(250);
 
 /// Configuration for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -44,6 +50,10 @@ pub struct ServiceConfig {
     /// Budgets applied to every query (deadline measured from
     /// submission, so queue wait is included).
     pub per_query_limits: Limits,
+    /// Retry policy for [`QueryService::run`]-family calls: transient
+    /// failures (`XQRL0002/0004/0005`) are retried with exponential
+    /// backoff; deterministic errors are returned immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +66,7 @@ impl Default for ServiceConfig {
             max_concurrent: std::thread::available_parallelism().map_or(4, |n| n.get()),
             max_queued: 64,
             per_query_limits: Limits::unlimited(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -64,11 +75,57 @@ struct ServiceShared {
     engine: Arc<Engine>,
     plans: PlanCache,
     limits: Limits,
+    retry: RetryPolicy,
     served: AtomicU64,
     failed: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
+    /// Transient-failure re-submissions by the `run` family.
+    retries: AtomicU64,
+    /// De-synchronizes concurrent retriers' jittered backoff.
+    retry_salt: AtomicU64,
+    /// Shed queries served by the caller-thread streaming fallback.
+    shed_to_streaming: AtomicU64,
+    /// Plan acquisitions served in `Degraded::CacheOnly` mode.
+    degraded_cache_only: AtomicU64,
+    /// Opens after repeated plan-cache failures; while open, queries
+    /// serve cached plans or compile uncached (`Degraded::CacheOnly`).
+    plans_breaker: CircuitBreaker,
     latency: LatencyHistogram,
+}
+
+impl ServiceShared {
+    /// Get a plan for `query`, degrading around an unhealthy plan cache.
+    ///
+    /// A cache whose *insert* side is failing (`err:XQRL0005`, e.g. an
+    /// injected fault at `plans.insert`) must not take query execution
+    /// down with it: the failed lookup falls back to an uncached
+    /// compile, and enough consecutive failures open the breaker so the
+    /// cache is bypassed wholesale (cached plans still hit) until a
+    /// cooldown probe succeeds. Deterministic compile errors are the
+    /// query's own problem and pass through untouched.
+    fn acquire_plan(&self, query: &str) -> Result<Arc<PreparedQuery>> {
+        if self.plans_breaker.allow() {
+            match self.plans.get_or_compile(&self.engine, query) {
+                Ok(plan) => {
+                    self.plans_breaker.record_success();
+                    Ok(plan)
+                }
+                Err(e) if e.code == ErrorCode::Unavailable => {
+                    self.plans_breaker.record_failure();
+                    self.degraded_cache_only.fetch_add(1, Ordering::Relaxed);
+                    self.engine.compile_shared(query)
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            self.degraded_cache_only.fetch_add(1, Ordering::Relaxed);
+            match self.plans.get_cached(&self.engine, query) {
+                Some(plan) => Ok(plan),
+                None => self.engine.compile_shared(query),
+            }
+        }
+    }
 }
 
 /// A thread-safe query service over one engine. See the crate docs.
@@ -128,10 +185,16 @@ impl QueryService {
                 engine,
                 plans: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
                 limits: config.per_query_limits,
+                retry: config.retry,
                 served: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
                 index_hits: AtomicU64::new(0),
                 index_misses: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                retry_salt: AtomicU64::new(0),
+                shed_to_streaming: AtomicU64::new(0),
+                degraded_cache_only: AtomicU64::new(0),
+                plans_breaker: CircuitBreaker::new(PLAN_BREAKER_THRESHOLD, PLAN_BREAKER_COOLDOWN),
                 latency: LatencyHistogram::new(),
             }),
             catalog,
@@ -152,13 +215,19 @@ impl QueryService {
 
     /// Load `xml` under `name`, reachable from queries as `doc("name")`.
     /// May evict least-recently-used documents to fit the byte budget.
+    ///
+    /// Panic-contained: a panic during parse/index/evict (injected or
+    /// otherwise) surfaces as `err:XQRL0000`, never unwinds into the
+    /// embedder. The catalog keeps its accounting consistent either way.
     pub fn load_document(&self, name: &str, xml: &str) -> Result<DocId> {
-        self.catalog.put(name, xml)
+        xqr_core::contain_panic(|| self.catalog.put(name, xml))
     }
 
-    /// Remove a named document. `false` if not loaded.
+    /// Remove a named document. `false` if not loaded. Panic-contained
+    /// like [`QueryService::load_document`]; a contained panic reports
+    /// `false` (the entry, if any, survives for a later retry).
     pub fn remove_document(&self, name: &str) -> bool {
-        self.catalog.remove(name)
+        xqr_core::contain_panic(|| Ok(self.catalog.remove(name))).unwrap_or(false)
     }
 
     /// Compile through the plan cache without executing (warm-up path).
@@ -179,8 +248,7 @@ impl QueryService {
         let (tx, rx) = mpsc::channel();
         self.pool.submit_with_publish(move || {
             let outcome = shared
-                .plans
-                .get_or_compile(&shared.engine, &query)
+                .acquire_plan(&query)
                 .and_then(|plan| plan.execute_guarded(&shared.engine, &ctx, guard))
                 .and_then(|result| {
                     shared
@@ -206,15 +274,67 @@ impl QueryService {
         Ok(QueryTicket { rx, cancel })
     }
 
-    /// Run a query to completion with an empty dynamic context.
+    /// Run a query to completion with an empty dynamic context,
+    /// retrying transient failures per [`ServiceConfig::retry`].
     pub fn run(&self, query: &str) -> Result<String> {
-        self.submit(query, DynamicContext::new())?.wait()
+        self.run_with_context(query, DynamicContext::new())
     }
 
     /// Run a query to completion with the given context (external
     /// variable bindings, context item, …).
+    ///
+    /// Transient failures — shed at admission (`XQRL0004`), a starved
+    /// deadline (`XQRL0002`), or a subsystem fault (`XQRL0005`) — are
+    /// re-submitted up to [`RetryPolicy::max_retries`] times with
+    /// jittered exponential backoff. Deterministic errors (type errors,
+    /// budget trips, cancellation) return immediately: retrying them
+    /// would burn capacity to get the same answer.
     pub fn run_with_context(&self, query: &str, ctx: DynamicContext) -> Result<String> {
-        self.submit(query, ctx)?.wait()
+        let policy = self.shared.retry;
+        let salt = self.shared.retry_salt.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.submit(query, ctx.clone()).and_then(|t| t.wait());
+            match outcome {
+                Err(e) if e.is_retryable() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt, salt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Run `query` against `xml` bound as the context item, with one
+    /// more degradation rung below the retry loop: if the pool is still
+    /// shedding (`XQRL0004`) after every retry and the plan is
+    /// streamable with exact semantics, the query runs on the *caller's*
+    /// thread through the token-streaming matcher — trading the pool's
+    /// parallelism for guaranteed progress under overload.
+    pub fn run_on_xml(&self, query: &str, xml: &str) -> Result<String> {
+        let id = self.shared.engine.store().load_xml(xml, None)?;
+        let mut ctx = DynamicContext::new();
+        ctx.context_item = Some(Item::Node(NodeRef::new(id, NodeId(0))));
+        let pooled = self.run_with_context(query, ctx);
+        self.shared.engine.store().remove_document(id);
+        match pooled {
+            Err(e) if e.code == ErrorCode::Overloaded => {
+                let plan = self.shared.acquire_plan(query)?;
+                if plan.is_streamable() && plan.streaming_is_exact() {
+                    self.shared
+                        .shed_to_streaming
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut out = String::new();
+                    plan.execute_streaming(&self.shared.engine, xml, |m| out.push_str(m))?;
+                    self.shared.served.fetch_add(1, Ordering::Relaxed);
+                    Ok(out)
+                } else {
+                    Err(e)
+                }
+            }
+            other => other,
+        }
     }
 
     /// A consistent-enough snapshot of every service counter. Individual
@@ -246,6 +366,14 @@ impl QueryService {
             index_build_time: Duration::from_nanos(catalog.index_build_nanos),
             index_hits: self.shared.index_hits.load(Ordering::Relaxed),
             index_misses: self.shared.index_misses.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            shed_to_streaming: self.shared.shed_to_streaming.load(Ordering::Relaxed),
+            degraded_cache_only: self.shared.degraded_cache_only.load(Ordering::Relaxed),
+            degraded_no_index: catalog.degraded_no_index,
+            index_build_failures: catalog.index_build_failures,
+            index_breaker_opens: catalog.index_breaker_opens,
+            plan_breaker_opens: self.shared.plans_breaker.opens(),
+            lock_recoveries: resilience::lock_recoveries(),
             latency_count: self.shared.latency.count(),
             latency_mean: self.shared.latency.mean(),
             latency_p50: self.shared.latency.p50(),
@@ -293,6 +421,24 @@ pub struct ServiceStats {
     pub index_hits: u64,
     /// `IndexScan` operators that fell back to navigation.
     pub index_misses: u64,
+    /// Transient-failure re-submissions by the `run` family.
+    pub retries: u64,
+    /// Shed queries served by the caller-thread streaming fallback.
+    pub shed_to_streaming: u64,
+    /// Plan acquisitions that bypassed the cache (`Degraded::CacheOnly`).
+    pub degraded_cache_only: u64,
+    /// Catalog loads served unindexed under an open breaker
+    /// (`Degraded::NoIndex`).
+    pub degraded_no_index: u64,
+    /// Structural-index builds that failed (their documents stay live,
+    /// unindexed).
+    pub index_build_failures: u64,
+    /// Times the catalog's index-build breaker opened.
+    pub index_breaker_opens: u64,
+    /// Times the service's plan-cache breaker opened.
+    pub plan_breaker_opens: u64,
+    /// Poisoned-lock recoveries in the service layer (process-wide).
+    pub lock_recoveries: u64,
     pub latency_count: u64,
     pub latency_mean: Duration,
     pub latency_p50: Duration,
@@ -345,6 +491,19 @@ impl std::fmt::Display for ServiceStats {
             f,
             "pool:    active: {} queued: {} max-concurrent: {} max-queued: {}",
             self.active, self.queued, self.max_concurrent, self.max_queued
+        )?;
+        writeln!(
+            f,
+            "resilience: retries: {} shed-to-streaming: {} cache-only: {} no-index: {} \
+build-failures: {} breaker-opens: {}/{} lock-recoveries: {}",
+            self.retries,
+            self.shed_to_streaming,
+            self.degraded_cache_only,
+            self.degraded_no_index,
+            self.index_build_failures,
+            self.index_breaker_opens,
+            self.plan_breaker_opens,
+            self.lock_recoveries
         )?;
         write!(
             f,
@@ -444,7 +603,13 @@ mod tests {
         service.run("1").unwrap();
         let text = service.stats_text();
         for section in [
-            "service:", "plans:", "catalog:", "indexes:", "pool:", "latency:",
+            "service:",
+            "plans:",
+            "catalog:",
+            "indexes:",
+            "pool:",
+            "resilience:",
+            "latency:",
         ] {
             assert!(text.contains(section), "{text}");
         }

@@ -10,7 +10,7 @@
 use crate::document::{DocId, Document, NodeId};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use xqr_xdm::{Error, ErrorCode, NamePool, Result};
 
 /// A node in some document of a store.
@@ -77,10 +77,24 @@ impl Store {
         &self.names
     }
 
+    /// Poison-recovering read lock. Every mutation of `StoreInner` keeps
+    /// its invariants at each exit point, so a panic in a holder (a
+    /// chaos-injected one, say) leaves consistent state; aborting every
+    /// later reader over it would turn one contained panic into a
+    /// process-wide outage.
+    fn read(&self) -> RwLockReadGuard<'_, StoreInner> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Poison-recovering write lock; see [`Store::read`].
+    fn write(&self) -> RwLockWriteGuard<'_, StoreInner> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Register a document, returning its id. Slots of previously removed
     /// documents are reused (with a fresh generation).
     pub fn add_document(&self, doc: Arc<Document>) -> DocId {
-        let mut inner = self.inner.write().expect("store lock");
+        let mut inner = self.write();
         inner.live_bytes += doc.memory_bytes() as u64;
         let id = match inner.free.pop() {
             Some(index) => {
@@ -115,7 +129,8 @@ impl Store {
     /// `Arc<Document>` are unaffected — the tree is freed when the last
     /// clone drops.
     pub fn remove_document(&self, id: DocId) -> bool {
-        let mut inner = self.inner.write().expect("store lock");
+        xqr_faults::faultpoint_infallible!("store.remove");
+        let mut inner = self.write();
         let Some(slot) = inner.slots.get_mut(id.index() as usize) else {
             return false;
         };
@@ -139,6 +154,7 @@ impl Store {
 
     /// Parse and register XML text under an optional URI.
     pub fn load_xml(&self, xml: &str, uri: Option<&str>) -> Result<DocId> {
+        xqr_faults::faultpoint!("store.load");
         let doc = Document::parse_with_uri(xml, self.names.clone(), uri)?;
         Ok(self.add_document(doc))
     }
@@ -152,6 +168,7 @@ impl Store {
         uri: Option<&str>,
         guard: &xqr_xdm::QueryGuard,
     ) -> Result<DocId> {
+        xqr_faults::faultpoint!("store.load");
         let doc = Document::parse_guarded(xml, self.names.clone(), uri, guard)?;
         Ok(self.add_document(doc))
     }
@@ -166,7 +183,7 @@ impl Store {
 
     /// Resolve a document id, returning `None` when the id is stale.
     pub fn try_document(&self, id: DocId) -> Option<Arc<Document>> {
-        let inner = self.inner.read().expect("store lock");
+        let inner = self.read();
         let slot = inner.slots.get(id.index() as usize)?;
         if slot.generation != id.generation() {
             return None;
@@ -179,7 +196,7 @@ impl Store {
     /// is dropped rather than applied to whatever reused the slot. The
     /// attachment is cleared automatically when the document is removed.
     pub fn set_aux(&self, id: DocId, aux: Arc<dyn Any + Send + Sync>) -> bool {
-        let mut inner = self.inner.write().expect("store lock");
+        let mut inner = self.write();
         let Some(slot) = inner.slots.get_mut(id.index() as usize) else {
             return false;
         };
@@ -193,7 +210,7 @@ impl Store {
     /// Read back the auxiliary attachment for a document, generation
     /// checked: a stale id yields `None`, never another document's data.
     pub fn aux(&self, id: DocId) -> Option<Arc<dyn Any + Send + Sync>> {
-        let inner = self.inner.read().expect("store lock");
+        let inner = self.read();
         let slot = inner.slots.get(id.index() as usize)?;
         if slot.generation != id.generation() {
             return None;
@@ -202,7 +219,8 @@ impl Store {
     }
 
     pub fn document_by_uri(&self, uri: &str) -> Result<(DocId, Arc<Document>)> {
-        let inner = self.inner.read().expect("store lock");
+        xqr_faults::faultpoint!("store.read");
+        let inner = self.read();
         match inner.by_uri.get(uri) {
             Some(&id) => {
                 let doc = inner.slots[id.index() as usize]
@@ -220,14 +238,14 @@ impl Store {
 
     /// Number of live (not removed) documents.
     pub fn doc_count(&self) -> usize {
-        let inner = self.inner.read().expect("store lock");
+        let inner = self.read();
         inner.slots.len() - inner.free.len()
     }
 
     /// Approximate bytes held by live documents
     /// (sum of [`Document::memory_bytes`]).
     pub fn live_bytes(&self) -> u64 {
-        self.inner.read().expect("store lock").live_bytes
+        self.read().live_bytes
     }
 
     /// Resolve a node reference to its document.

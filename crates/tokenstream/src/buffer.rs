@@ -31,6 +31,7 @@ impl<I: TokenIterator> Shared<I> {
     /// Ensure the buffer holds at least `n+1` tokens (or upstream is
     /// exhausted); returns the token at `n` if any.
     fn fill_to(&mut self, n: usize) -> Result<Option<Token>> {
+        xqr_faults::faultpoint!("tokens.buffer");
         while self.buf.len() <= n && !self.done {
             match self.upstream.next_token()? {
                 Some(t) => {

@@ -65,9 +65,49 @@ pub enum ErrorCode {
     /// Service admission control rejected the query (worker pool and run
     /// queue both full); not a W3C code.
     Overloaded,
+    /// A subsystem (store, index, cache, …) failed transiently — an
+    /// injected fault or an I/O-class error that a retry may not see
+    /// again; not a W3C code.
+    Unavailable,
 }
 
 impl ErrorCode {
+    /// Every code the engine can raise, in stable order. The table tests
+    /// iterate this to pin code strings, retryability, and descriptions.
+    pub const ALL: &'static [ErrorCode] = {
+        use ErrorCode::*;
+        &[
+            Syntax,
+            UndefinedName,
+            UndefinedFunction,
+            Type,
+            MixedPathResult,
+            PathOnAtomic,
+            AxisOnAtomic,
+            InvalidValue,
+            InvalidArgument,
+            DivisionByZero,
+            Overflow,
+            InvalidQName,
+            Cardinality,
+            DocumentNotFound,
+            UnboundPrefix,
+            UnsupportedCollation,
+            InvalidPattern,
+            DuplicateAttribute,
+            InvalidConstructor,
+            MissingContext,
+            UserError,
+            StaticProlog,
+            Limit,
+            Internal,
+            Timeout,
+            Cancelled,
+            Overloaded,
+            Unavailable,
+        ]
+    };
+
     /// The W3C-style code string, used in messages and tests.
     pub fn as_str(self) -> &'static str {
         use ErrorCode::*;
@@ -99,6 +139,64 @@ impl ErrorCode {
             Timeout => "XQRL0002",
             Cancelled => "XQRL0003",
             Overloaded => "XQRL0004",
+            Unavailable => "XQRL0005",
+        }
+    }
+
+    /// Is a failure with this code worth retrying?
+    ///
+    /// The classification every resilience layer (service retry loop,
+    /// circuit breakers, embedder backoff) dispatches on:
+    ///
+    /// * **transient** — the failure described a moment, not the query:
+    ///   a deadline that may have been starved by queueing
+    ///   (`XQRL0002`), admission-control shedding under momentary load
+    ///   (`XQRL0004`), or a subsystem fault a retry may not see again
+    ///   (`XQRL0005`);
+    /// * **deterministic** — everything else: the same query will fail
+    ///   the same way, so a retry only burns capacity. Cancellation
+    ///   (`XQRL0003`) is deliberately non-retryable: the embedder asked
+    ///   for the query to stop.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Timeout | ErrorCode::Overloaded | ErrorCode::Unavailable
+        )
+    }
+
+    /// One-line description of the failure class, used in docs and the
+    /// drift test (`tests/errors.rs`).
+    pub fn description(self) -> &'static str {
+        use ErrorCode::*;
+        match self {
+            Syntax => "grammar / syntax error in the query text",
+            UndefinedName => "undefined variable or other name",
+            UndefinedFunction => "unknown function or wrong arity",
+            Type => "static or dynamic type mismatch",
+            MixedPathResult => "path step mixes nodes and atomic values",
+            PathOnAtomic => "path step applied to an atomic value",
+            AxisOnAtomic => "axis step with a non-node context item",
+            InvalidValue => "invalid lexical value for a cast/constructor",
+            InvalidArgument => "invalid argument type",
+            DivisionByZero => "division by zero",
+            Overflow => "numeric overflow/underflow",
+            InvalidQName => "invalid QName lexical form",
+            Cardinality => "occurrence constraint violated",
+            DocumentNotFound => "document/collection not available",
+            UnboundPrefix => "no namespace found for prefix",
+            UnsupportedCollation => "unsupported collation",
+            InvalidPattern => "invalid regular-expression pattern",
+            DuplicateAttribute => "duplicate attribute name in constructor",
+            InvalidConstructor => "constructor content error",
+            MissingContext => "dynamic context component absent",
+            UserError => "fn:error() or user-raised error",
+            StaticProlog => "static error in prolog declarations",
+            Limit => "engine resource budget exceeded",
+            Internal => "internal invariant violation (engine bug)",
+            Timeout => "wall-clock deadline exceeded",
+            Cancelled => "execution cancelled by the embedder",
+            Overloaded => "admission control shed the query",
+            Unavailable => "transient subsystem fault",
         }
     }
 }
@@ -157,6 +255,15 @@ impl Error {
     pub fn overloaded(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Overloaded, message)
     }
+
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Unavailable, message)
+    }
+
+    /// Is this failure worth retrying? See [`ErrorCode::is_retryable`].
+    pub fn is_retryable(&self) -> bool {
+        self.code.is_retryable()
+    }
 }
 
 impl fmt::Display for Error {
@@ -188,20 +295,18 @@ mod tests {
     #[test]
     fn codes_are_distinct_strings() {
         use std::collections::HashSet;
-        let all = [
-            ErrorCode::Syntax,
-            ErrorCode::UndefinedName,
-            ErrorCode::UndefinedFunction,
-            ErrorCode::Type,
-            ErrorCode::InvalidValue,
-            ErrorCode::DivisionByZero,
-            ErrorCode::Overflow,
-            ErrorCode::Cardinality,
-            ErrorCode::DocumentNotFound,
-            ErrorCode::MissingContext,
-            ErrorCode::Internal,
-        ];
-        let set: HashSet<_> = all.iter().map(|c| c.as_str()).collect();
-        assert_eq!(set.len(), all.len());
+        let set: HashSet<_> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(set.len(), ErrorCode::ALL.len());
+    }
+
+    #[test]
+    fn retryable_class_is_exactly_the_transient_codes() {
+        let retryable: Vec<_> = ErrorCode::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.is_retryable())
+            .map(|c| c.as_str())
+            .collect();
+        assert_eq!(retryable, ["XQRL0002", "XQRL0004", "XQRL0005"]);
     }
 }

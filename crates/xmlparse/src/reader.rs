@@ -119,6 +119,7 @@ impl<'a> XmlReader<'a> {
     /// Pull the next event. After `EndDocument`, keeps returning
     /// `EndDocument`.
     pub fn next_event(&mut self) -> Result<XmlEvent> {
+        xqr_faults::faultpoint!("xml.read");
         if let Some(guard) = &self.guard {
             guard
                 .check_document_bytes(self.pos as u64)

@@ -198,6 +198,68 @@ fn governance_error_codes_are_stable() {
 }
 
 #[test]
+fn error_code_table_has_not_drifted() {
+    // The full stable error-code table, pinned row by row: embedders
+    // dispatch on the code strings and the retryable classification, so
+    // changing any existing row is an API break. Adding a code means
+    // consciously appending a row here (and to `ErrorCode::ALL`).
+    #[rustfmt::skip]
+    const TABLE: &[(ErrorCode, &str, bool, &str)] = &[
+        (ErrorCode::Syntax,               "XPST0003", false, "grammar / syntax error in the query text"),
+        (ErrorCode::UndefinedName,        "XPST0008", false, "undefined variable or other name"),
+        (ErrorCode::UndefinedFunction,    "XPST0017", false, "unknown function or wrong arity"),
+        (ErrorCode::Type,                 "XPTY0004", false, "static or dynamic type mismatch"),
+        (ErrorCode::MixedPathResult,      "XPTY0018", false, "path step mixes nodes and atomic values"),
+        (ErrorCode::PathOnAtomic,         "XPTY0019", false, "path step applied to an atomic value"),
+        (ErrorCode::AxisOnAtomic,         "XPTY0020", false, "axis step with a non-node context item"),
+        (ErrorCode::InvalidValue,         "FORG0001", false, "invalid lexical value for a cast/constructor"),
+        (ErrorCode::InvalidArgument,      "FORG0006", false, "invalid argument type"),
+        (ErrorCode::DivisionByZero,       "FOAR0001", false, "division by zero"),
+        (ErrorCode::Overflow,             "FOAR0002", false, "numeric overflow/underflow"),
+        (ErrorCode::InvalidQName,         "FOCA0002", false, "invalid QName lexical form"),
+        (ErrorCode::Cardinality,          "FORG0004", false, "occurrence constraint violated"),
+        (ErrorCode::DocumentNotFound,     "FODC0002", false, "document/collection not available"),
+        (ErrorCode::UnboundPrefix,        "FONS0004", false, "no namespace found for prefix"),
+        (ErrorCode::UnsupportedCollation, "FOCH0002", false, "unsupported collation"),
+        (ErrorCode::InvalidPattern,       "FORX0002", false, "invalid regular-expression pattern"),
+        (ErrorCode::DuplicateAttribute,   "XQDY0025", false, "duplicate attribute name in constructor"),
+        (ErrorCode::InvalidConstructor,   "XQDY0026", false, "constructor content error"),
+        (ErrorCode::MissingContext,       "XPDY0002", false, "dynamic context component absent"),
+        (ErrorCode::UserError,            "FOER0000", false, "fn:error() or user-raised error"),
+        (ErrorCode::StaticProlog,         "XQST0034", false, "static error in prolog declarations"),
+        (ErrorCode::Limit,                "XQRL0001", false, "engine resource budget exceeded"),
+        (ErrorCode::Internal,             "XQRL0000", false, "internal invariant violation (engine bug)"),
+        (ErrorCode::Timeout,              "XQRL0002", true,  "wall-clock deadline exceeded"),
+        (ErrorCode::Cancelled,            "XQRL0003", false, "execution cancelled by the embedder"),
+        (ErrorCode::Overloaded,           "XQRL0004", true,  "admission control shed the query"),
+        (ErrorCode::Unavailable,          "XQRL0005", true,  "transient subsystem fault"),
+    ];
+    assert_eq!(
+        TABLE.len(),
+        ErrorCode::ALL.len(),
+        "a code was added or removed without updating the pinned table"
+    );
+    for (i, (code, s, retryable, description)) in TABLE.iter().enumerate() {
+        assert_eq!(
+            *code,
+            ErrorCode::ALL[i],
+            "ErrorCode::ALL order drifted at index {i}"
+        );
+        assert_eq!(code.as_str(), *s, "{code:?}: code string drifted");
+        assert_eq!(
+            code.is_retryable(),
+            *retryable,
+            "{code:?}: retryable classification drifted"
+        );
+        assert_eq!(
+            code.description(),
+            *description,
+            "{code:?}: description drifted"
+        );
+    }
+}
+
+#[test]
 fn function_signature_enforcement() {
     // Declared parameter types are checked at call time.
     assert_eq!(

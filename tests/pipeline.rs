@@ -157,7 +157,7 @@ fn unoptimized_engine_runs_everything_the_optimized_does() {
 }
 
 #[test]
-fn store_grows_with_constructed_documents_only_when_constructing() {
+fn constructed_documents_live_exactly_as_long_as_their_result() {
     let engine = Engine::new();
     engine.load_document("b.xml", &bibliography(1, 5)).unwrap();
     let before = engine.store().doc_count();
@@ -167,10 +167,21 @@ fn store_grows_with_constructed_documents_only_when_constructing() {
         before,
         "pure query adds no documents"
     );
-    engine.query("<a><b/></a>").unwrap();
+    // Constructors allocate fresh documents in the shared store; the
+    // result owns them, and dropping it frees them again — a long-lived
+    // engine (the query service) must not accumulate result garbage.
+    let prepared = engine.compile("<a><b/></a>").unwrap();
+    let result = prepared.execute(&engine, &DynamicContext::new()).unwrap();
     assert!(
         engine.store().doc_count() > before,
-        "construction adds documents"
+        "construction adds documents while the result is alive"
+    );
+    assert_eq!(result.serialize_guarded().unwrap(), "<a><b/></a>");
+    drop(result);
+    assert_eq!(
+        engine.store().doc_count(),
+        before,
+        "dropping the result frees its constructed documents"
     );
 }
 

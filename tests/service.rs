@@ -221,3 +221,73 @@ fn service_level_deadlines_include_queue_wait() {
     assert_eq!(b.wait().unwrap_err().code, ErrorCode::Timeout);
     assert_eq!(service.stats().failed, 2);
 }
+
+/// Satellite of the chaos PR: a worker panic mid-evaluation (injected
+/// through the failpoint framework) must surface as the stable internal
+/// error code and leave the service fully healthy — stats readable,
+/// plan cache serving, later queries correct. Poisoned-lock recovery at
+/// the structure level is covered by the pool and plan-cache unit tests.
+#[test]
+fn an_injected_worker_panic_leaves_the_service_healthy() {
+    assert!(xqr_faults::compiled_with_failpoints());
+    // Keep the injected panic quiet; real (unarmed) panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !xqr_faults::armed() {
+            default_hook(info);
+        }
+    }));
+
+    let service = QueryService::new(ServiceConfig::default());
+    assert_eq!(service.run("1 + 1").unwrap(), "2"); // warm the plan cache
+    let err = {
+        let _faults = xqr_faults::install(
+            xqr_faults::FaultSchedule::new(11).rule(
+                xqr_faults::FaultRule::new("eval.next", xqr_faults::FaultKind::Panic)
+                    .one_in(1)
+                    .max_fires(1),
+            ),
+        );
+        service.run("2 + 3").unwrap_err()
+    };
+    // The panic is contained into the deterministic internal code — it
+    // neither unwinds into the waiter nor triggers a retry.
+    assert_eq!(err.code, ErrorCode::Internal);
+    // The service keeps serving: the same query now answers, the cached
+    // plan still hits, and the stats snapshot is consistent.
+    assert_eq!(service.run("2 + 3").unwrap(), "5");
+    assert_eq!(service.run("1 + 1").unwrap(), "2");
+    let s = service.stats();
+    assert_eq!(s.failed, 1, "{s}");
+    assert!(s.plan_hits >= 1, "{s}");
+    assert_eq!(s.served, 3, "{s}");
+}
+
+/// Dropping the service is a shutdown: queued-but-unstarted queries fail
+/// with a stable coded error (never a hang), while the in-flight query
+/// runs to its own deadline and reports normally.
+#[test]
+fn dropping_the_service_fails_queued_queries_with_a_stable_code() {
+    let service = QueryService::new(ServiceConfig {
+        max_concurrent: 1,
+        max_queued: 8,
+        per_query_limits: Limits::unlimited().with_deadline(Duration::from_millis(200)),
+        ..Default::default()
+    });
+    // Occupy the single worker — waiting until the query is actually
+    // running, not just queued — then queue a second query behind it.
+    let slow = service
+        .submit("sum(1 to 10000000000)", DynamicContext::new())
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while service.stats().active == 0 {
+        assert!(std::time::Instant::now() < deadline, "worker never started");
+        std::thread::yield_now();
+    }
+    let queued = service.submit("1 + 1", DynamicContext::new()).unwrap();
+    // Shutdown drops the queued job immediately and waits out the
+    // in-flight one (bounded by its 200 ms deadline).
+    drop(service);
+    assert_eq!(queued.wait().unwrap_err().code, ErrorCode::Cancelled);
+    assert_eq!(slow.wait().unwrap_err().code, ErrorCode::Timeout);
+}
