@@ -181,6 +181,7 @@ impl ChaosRunner {
             max_queued: 8,
             per_query_limits: limits,
             retry: RetryPolicy::default(),
+            persist_dir: None,
         });
         ChaosRunner {
             options,

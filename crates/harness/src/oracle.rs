@@ -135,6 +135,7 @@ impl Oracle {
             // already a *skip* verdict, and retrying would hide how often
             // legs shed. The chaos harness turns retries on explicitly.
             retry: xqr_service::RetryPolicy::none(),
+            persist_dir: None,
         });
         Oracle {
             ref_options,

@@ -59,7 +59,12 @@ impl Postings {
 
 /// Read access to a document's inverted lists, as consumed by the join
 /// operators: per-name sorted label streams plus path-filtered views.
-pub trait IndexedAccess {
+///
+/// Both the heap-built [`DocIndex`] and the mmap-backed segment view
+/// implement this, so every index consumer (scan planner, catalog
+/// accounting) works against `Arc<dyn IndexedAccess>` and never learns
+/// whether the lists live on the heap or in a mapped file.
+pub trait IndexedAccess: Send + Sync {
     /// All elements named `name`, document-ordered. Empty for unknown names.
     fn element_labels(&self, name: NameId) -> &[Labeled];
     /// All attributes named `name`, document-ordered.
@@ -70,6 +75,47 @@ pub trait IndexedAccess {
     fn elements_on_paths(&self, name: NameId, keep: &[bool]) -> Vec<Labeled>;
     /// Attributes named `name` whose owner's path is in `keep`.
     fn attributes_on_paths(&self, name: NameId, keep: &[bool]) -> Vec<Labeled>;
+    /// Total indexed entries (elements + attributes).
+    fn entry_count(&self) -> usize;
+    /// Approximate footprint in bytes — heap for built indexes, mapped
+    /// bytes for segment views; what the catalog charges its budget.
+    fn memory_bytes(&self) -> usize;
+
+    /// Downcast hook for serializers that need the concrete heap-built
+    /// index (segment writers walk its postings maps directly). Mapped
+    /// views return `None` — they already *are* serialized.
+    fn as_doc_index(&self) -> Option<&DocIndex> {
+        None
+    }
+
+    /// Answer a *linear* element pattern (`/a/b`, `//a//b`, …) entirely
+    /// from the path dictionary: the result is the path-indexed sublist
+    /// of the final step's name, already in document order and distinct.
+    /// An empty pattern yields nothing (there is no element at the root
+    /// path itself).
+    fn linear_elements(&self, steps: &[PathStep]) -> Vec<Labeled> {
+        let Some(&(_, last_name)) = steps.last() else {
+            return Vec::new();
+        };
+        self.elements_on_paths(last_name, &self.path_dict().matching(steps))
+    }
+
+    /// Answer a linear pattern ending in an attribute step: `owner_steps`
+    /// constrain the owning element's path (`attr_edge` says whether the
+    /// attribute hangs off the last step directly (`/@a`) or off any
+    /// descendant-or-self of it (`//@a`)).
+    fn linear_attributes(
+        &self,
+        owner_steps: &[PathStep],
+        attr_edge: EdgeKind,
+        attr: NameId,
+    ) -> Vec<Labeled> {
+        let keep = match attr_edge {
+            EdgeKind::Child => self.path_dict().matching(owner_steps),
+            EdgeKind::Descendant => self.path_dict().matching_prefix(owner_steps),
+        };
+        self.attributes_on_paths(attr, &keep)
+    }
 }
 
 /// The per-document structural index.
@@ -181,39 +227,15 @@ impl DocIndex {
             + per_name(&self.attributes)
     }
 
-    /// Answer a *linear* element pattern (`/a/b`, `//a//b`, …) entirely
-    /// from the path dictionary: the result is the path-indexed sublist
-    /// of the final step's name, already in document order and distinct.
-    /// An empty pattern yields nothing (there is no element at the root
-    /// path itself).
-    pub fn linear_elements(&self, steps: &[PathStep]) -> Vec<Labeled> {
-        let Some(&(_, last_name)) = steps.last() else {
-            return Vec::new();
-        };
-        let Some(postings) = self.elements.get(&last_name) else {
-            return Vec::new();
-        };
-        postings.filtered(&self.paths.matching(steps))
+    /// Iterate the element inverted lists (serialization order is
+    /// unspecified; segment writers sort by name id for determinism).
+    pub fn element_postings(&self) -> impl Iterator<Item = (NameId, &Postings)> {
+        self.elements.iter().map(|(n, p)| (*n, p))
     }
 
-    /// Answer a linear pattern ending in an attribute step: `owner_steps`
-    /// constrain the owning element's path (`attr_edge` says whether the
-    /// attribute hangs off the last step directly (`/@a`) or off any
-    /// descendant-or-self of it (`//@a`)).
-    pub fn linear_attributes(
-        &self,
-        owner_steps: &[PathStep],
-        attr_edge: EdgeKind,
-        attr: NameId,
-    ) -> Vec<Labeled> {
-        let Some(postings) = self.attributes.get(&attr) else {
-            return Vec::new();
-        };
-        let keep = match attr_edge {
-            EdgeKind::Child => self.paths.matching(owner_steps),
-            EdgeKind::Descendant => self.paths.matching_prefix(owner_steps),
-        };
-        postings.filtered(&keep)
+    /// Iterate the attribute inverted lists.
+    pub fn attribute_postings(&self) -> impl Iterator<Item = (NameId, &Postings)> {
+        self.attributes.iter().map(|(n, p)| (*n, p))
     }
 }
 
@@ -240,6 +262,18 @@ impl IndexedAccess for DocIndex {
         self.attributes
             .get(&name)
             .map_or_else(Vec::new, |p| p.filtered(keep))
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn as_doc_index(&self) -> Option<&DocIndex> {
+        Some(self)
     }
 }
 

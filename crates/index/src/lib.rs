@@ -36,4 +36,4 @@ pub mod registry;
 
 pub use doc_index::{DocIndex, IndexedAccess, Postings};
 pub use path_dict::{PathDict, PathId, PathStep};
-pub use registry::{attach_index, ensure_indexed, index_of};
+pub use registry::{attach_index, ensure_indexed, index_of, SharedIndex};

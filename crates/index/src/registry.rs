@@ -6,33 +6,38 @@
 //! document's index (the store refuses both the write and the read when
 //! the generation doesn't match).
 
-use crate::doc_index::DocIndex;
+use crate::doc_index::{DocIndex, IndexedAccess};
 use std::sync::Arc;
 use xqr_store::{DocId, Store};
 use xqr_xdm::{QueryGuard, Result};
 
+/// A shared handle to any index implementation — heap-built
+/// [`DocIndex`] or an mmap-backed segment view.
+pub type SharedIndex = Arc<dyn IndexedAccess>;
+
+/// The concrete aux payload: `Arc<dyn Any>` can only downcast to a
+/// sized type, so the trait object rides inside this wrapper.
+struct IndexSlot(SharedIndex);
+
 /// Attach a built index to its document's slot. Returns `false` when the
 /// id is stale — the index is dropped instead of being attached to
 /// whatever document reused the slot.
-pub fn attach_index(store: &Store, id: DocId, index: Arc<DocIndex>) -> bool {
-    store.set_aux(id, index)
+pub fn attach_index(store: &Store, id: DocId, index: SharedIndex) -> bool {
+    store.set_aux(id, Arc::new(IndexSlot(index)))
 }
 
 /// Look up the index for a document, generation checked. `None` means
 /// unindexed *or* stale id.
-pub fn index_of(store: &Store, id: DocId) -> Option<Arc<DocIndex>> {
-    store.aux(id)?.downcast::<DocIndex>().ok()
+pub fn index_of(store: &Store, id: DocId) -> Option<SharedIndex> {
+    let slot = store.aux(id)?.downcast::<IndexSlot>().ok()?;
+    Some(slot.0.clone())
 }
 
 /// Ensure a document is indexed: reuse an existing attachment or build
 /// one under `guard` and attach it. `Ok(None)` means the id went stale
 /// (document removed concurrently); errors are guard trips during the
 /// build.
-pub fn ensure_indexed(
-    store: &Store,
-    id: DocId,
-    guard: &QueryGuard,
-) -> Result<Option<Arc<DocIndex>>> {
+pub fn ensure_indexed(store: &Store, id: DocId, guard: &QueryGuard) -> Result<Option<SharedIndex>> {
     if let Some(existing) = index_of(store, id) {
         return Ok(Some(existing));
     }
@@ -40,14 +45,13 @@ pub fn ensure_indexed(
     let Some(doc) = store.try_document(id) else {
         return Ok(None);
     };
-    let index = Arc::new(DocIndex::build_guarded(&doc, guard)?);
+    let index: SharedIndex = Arc::new(DocIndex::build_guarded(&doc, guard)?);
     Ok(attach_index(store, id, index.clone()).then_some(index))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::doc_index::IndexedAccess;
     use xqr_xdm::QName;
 
     #[test]

@@ -1136,11 +1136,19 @@ impl<'m> Evaluator<'m> {
         if let Some(n) = self.doc_cache.borrow().get(uri) {
             return Ok(*n);
         }
-        // Already loaded in the store?
-        if let Ok((id, _)) = st.store.document_by_uri(uri) {
-            let n = NodeRef::new(id, NodeId(0));
-            self.doc_cache.borrow_mut().insert(uri.to_string(), n);
-            return Ok(n);
+        // Already loaded in the store (or reloadable via its resolver)?
+        // A plain miss falls through to the context documents, but a
+        // failed reload — a quarantined segment (`XQRL0006`), an I/O
+        // fault — is a real answer and must surface, not degrade into
+        // "document not found".
+        match st.store.document_by_uri(uri) {
+            Ok((id, _)) => {
+                let n = NodeRef::new(id, NodeId(0));
+                self.doc_cache.borrow_mut().insert(uri.to_string(), n);
+                return Ok(n);
+            }
+            Err(e) if e.code != ErrorCode::DocumentNotFound => return Err(e),
+            Err(_) => {}
         }
         let xml = self.dyn_ctx.documents.get(uri).ok_or_else(|| {
             Error::new(

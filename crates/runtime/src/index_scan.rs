@@ -18,7 +18,7 @@
 
 use crate::env::ExecState;
 use xqr_compiler::access::{AccessAnchor, AccessEdge, AccessPattern};
-use xqr_index::{index_of, DocIndex, IndexedAccess, PathStep};
+use xqr_index::{index_of, IndexedAccess, PathStep};
 use xqr_joins::{twig_stack, EdgeKind, Labeled, TwigPattern};
 use xqr_store::NodeRef;
 use xqr_xdm::NameId;
@@ -53,9 +53,9 @@ pub fn try_index_scan(pattern: &AccessPattern, st: &ExecState) -> Option<Vec<Nod
     };
 
     let nodes = if pattern.is_linear() {
-        answer_linear(pattern, &names, &index)
+        answer_linear(pattern, &names, &*index)
     } else {
-        answer_twig(pattern, &names, &index)
+        answer_twig(pattern, &names, &*index)
     };
     Some(nodes.into_iter().map(|n| NodeRef::new(doc_id, n)).collect())
 }
@@ -75,7 +75,7 @@ fn chain_to(pattern: &AccessPattern, names: &[NameId], i: usize) -> Vec<PathStep
 fn answer_linear(
     pattern: &AccessPattern,
     names: &[NameId],
-    index: &DocIndex,
+    index: &dyn IndexedAccess,
 ) -> Vec<xqr_store::NodeId> {
     let out = &pattern.nodes[pattern.output];
     let labels = if out.attribute {
@@ -91,7 +91,7 @@ fn answer_linear(
 fn answer_twig(
     pattern: &AccessPattern,
     names: &[NameId],
-    index: &DocIndex,
+    index: &dyn IndexedAccess,
 ) -> Vec<xqr_store::NodeId> {
     // Mirror the pattern as a TwigPattern (selection guarantees parents
     // precede children, and node 0 is the trunk root).

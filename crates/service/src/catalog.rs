@@ -1,4 +1,5 @@
-//! Document catalog: named documents under a total-bytes budget.
+//! Document catalog: named documents under a total-bytes budget, with
+//! optional durable persistence.
 //!
 //! A long-lived service cannot let its document store grow without
 //! bound. The catalog owns every document it loads — named, so queries
@@ -12,16 +13,47 @@
 //! Eviction is safe with respect to running queries: a query that has
 //! already resolved the document holds an `Arc<Document>` and keeps the
 //! tree alive until it finishes; a query that resolves *after* eviction
-//! gets a clean `err:FODC0002` (document not found).
+//! gets a clean `err:FODC0002` (document not found) — or, under
+//! persistence, a transparent reload from the document's segment.
+//!
+//! # Persistence
+//!
+//! [`DocumentCatalog::with_persistence`] puts an `xqr-segment` store
+//! behind the catalog. Every `put` additionally serializes the document
+//! (tree + tokens + structural index) into a checksummed segment file,
+//! written crash-safely (temp file → fsync → atomic rename → directory
+//! fsync) and recorded in an append-only manifest with a generation
+//! number. On reopen the manifest is replayed, orphan files are swept,
+//! and every recorded document comes back as a lazily-loaded entry:
+//! the first access mmaps the segment, verifies its checksums, and
+//! re-registers the document with a zero-copy mapped index — no XML
+//! parsing, no index build.
+//!
+//! A segment that fails verification is **quarantined**: it is never
+//! served (every access yields the non-retryable `err:XQRL0006
+//! CorruptSegment`), and its on-disk bytes stay charged against the
+//! catalog's byte budget until the entry is removed — corruption must
+//! not silently *free* budget that operators sized for the data.
+//!
+//! Under persistence, LRU eviction demotes a document to its segment
+//! instead of dropping it: the tree leaves memory, the entry stays, and
+//! the next `fn:doc` call reloads it through the store's URI-miss
+//! resolver hook.
 
 use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 use crate::resilience::{lock_recover, CircuitBreaker};
+use xqr_index::{DocIndex, IndexedAccess, SharedIndex};
+use xqr_segment::{
+    clean_orphans, segment_bytes, write_segment_file, Manifest, ManifestRecord, Segment,
+};
 use xqr_store::{DocId, Store};
-use xqr_xdm::{Limits, QueryGuard, Result};
+use xqr_xdm::{Error, ErrorCode, Limits, QueryGuard, Result};
 
 /// Consecutive index-build failures that open the catalog's breaker.
 const INDEX_BREAKER_THRESHOLD: u32 = 3;
@@ -31,15 +63,17 @@ const INDEX_BREAKER_COOLDOWN: Duration = Duration::from_millis(250);
 /// Catalog counters, snapshotted via [`DocumentCatalog::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CatalogStats {
-    /// Live named documents.
+    /// Catalog entries: in-memory documents plus (under persistence)
+    /// on-disk and quarantined ones.
     pub docs: u64,
-    /// Sum of the live documents' in-memory sizes (tree + structural
-    /// index — both count against the byte budget).
+    /// Bytes charged against the budget: live documents' in-memory sizes
+    /// (tree + structural index) plus quarantined segments' disk sizes.
     pub bytes: u64,
     /// The structural-index share of `bytes`.
     pub index_bytes: u64,
     /// Documents evicted to stay under the byte budget (replacements and
-    /// explicit removals are not counted).
+    /// explicit removals are not counted). Under persistence an eviction
+    /// demotes the document to its segment instead of dropping it.
     pub evictions: u64,
     /// Structural indexes built (a budget-tripped build is not counted;
     /// its document stays live, unindexed).
@@ -55,13 +89,66 @@ pub struct CatalogStats {
     /// Loads served in `Degraded::NoIndex` mode: the breaker was open,
     /// so no build was attempted and queries fall back to navigation.
     pub degraded_no_index: u64,
+    /// Segments written durably by `put`.
+    pub segments_written: u64,
+    /// Segments loaded back from disk (verified, mmapped, re-registered).
+    pub segments_recovered: u64,
+    /// Segments that failed verification and were quarantined.
+    pub segments_quarantined: u64,
+    /// Wall-clock nanoseconds the persistent open spent replaying the
+    /// manifest, sweeping orphans, and adopting entries (0 when the
+    /// catalog is memory-only).
+    pub cold_start_nanos: u64,
+}
+
+/// Where a catalog entry's document currently lives.
+enum Residency {
+    /// In memory (and, under persistence, also on disk).
+    Loaded {
+        id: DocId,
+        bytes: u64,
+        index_bytes: u64,
+    },
+    /// Durable on disk only; reloaded lazily on the next access.
+    OnDisk,
+    /// The segment failed verification. Never served; its disk bytes
+    /// stay charged until the entry is removed or replaced.
+    Quarantined,
+}
+
+/// The durable half of an entry: which segment file holds it.
+#[derive(Clone)]
+struct Durable {
+    generation: u64,
+    file: String,
+    disk_bytes: u64,
 }
 
 struct CatEntry {
-    id: DocId,
-    bytes: u64,
-    index_bytes: u64,
+    residency: Residency,
+    durable: Option<Durable>,
     last_used: u64,
+}
+
+impl CatEntry {
+    /// What this entry charges against the budget:
+    /// `(total bytes, index share)`.
+    fn charge(&self) -> (u64, u64) {
+        match &self.residency {
+            Residency::Loaded {
+                bytes, index_bytes, ..
+            } => (*bytes, *index_bytes),
+            Residency::OnDisk => (0, 0),
+            Residency::Quarantined => (self.durable.as_ref().map_or(0, |d| d.disk_bytes), 0),
+        }
+    }
+
+    fn loaded_id(&self) -> Option<DocId> {
+        match self.residency {
+            Residency::Loaded { id, .. } => Some(id),
+            _ => None,
+        }
+    }
 }
 
 struct CatalogInner {
@@ -71,10 +158,24 @@ struct CatalogInner {
 }
 
 impl CatalogInner {
-    fn drop_entry(&mut self, e: &CatEntry) {
-        self.total_bytes = self.total_bytes.saturating_sub(e.bytes);
-        self.total_index_bytes = self.total_index_bytes.saturating_sub(e.index_bytes);
+    fn charge_entry(&mut self, e: &CatEntry) {
+        let (b, ib) = e.charge();
+        self.total_bytes += b;
+        self.total_index_bytes += ib;
     }
+
+    fn uncharge_entry(&mut self, e: &CatEntry) {
+        let (b, ib) = e.charge();
+        self.total_bytes = self.total_bytes.saturating_sub(b);
+        self.total_index_bytes = self.total_index_bytes.saturating_sub(ib);
+    }
+}
+
+/// The segment store behind a persistent catalog.
+struct Persistence {
+    dir: PathBuf,
+    manifest: Manifest,
+    next_generation: AtomicU64,
 }
 
 /// Rolls a store load back if [`DocumentCatalog::put`] unwinds between
@@ -95,7 +196,8 @@ impl Drop for LoadRollback<'_> {
     }
 }
 
-/// Named documents with LRU eviction under a total-bytes budget.
+/// Named documents with LRU eviction under a total-bytes budget, and
+/// optional segment-backed persistence (see the module docs).
 pub struct DocumentCatalog {
     store: Arc<Store>,
     /// Total in-memory byte budget; `None` means unbounded.
@@ -103,6 +205,7 @@ pub struct DocumentCatalog {
     /// `Some(limits)` = build a structural index for every loaded
     /// document, with the build guarded by `limits`.
     index_limits: Option<Limits>,
+    persist: Option<Persistence>,
     inner: Mutex<CatalogInner>,
     tick: AtomicU64,
     evictions: AtomicU64,
@@ -110,6 +213,11 @@ pub struct DocumentCatalog {
     index_build_nanos: AtomicU64,
     index_build_failures: AtomicU64,
     degraded_no_index: AtomicU64,
+    segments_written: AtomicU64,
+    segments_recovered: AtomicU64,
+    segments_quarantined: AtomicU64,
+    /// Set once by the persistent open; 0 for memory-only catalogs.
+    cold_start_nanos: u64,
     /// Opens after repeated build failures; while open, loads skip the
     /// build entirely (`Degraded::NoIndex`) instead of failing it again.
     index_breaker: CircuitBreaker,
@@ -135,6 +243,7 @@ impl DocumentCatalog {
             store,
             max_bytes,
             index_limits,
+            persist: None,
             inner: Mutex::new(CatalogInner {
                 entries: HashMap::new(),
                 total_bytes: 0,
@@ -146,8 +255,93 @@ impl DocumentCatalog {
             index_build_nanos: AtomicU64::new(0),
             index_build_failures: AtomicU64::new(0),
             degraded_no_index: AtomicU64::new(0),
+            segments_written: AtomicU64::new(0),
+            segments_recovered: AtomicU64::new(0),
+            segments_quarantined: AtomicU64::new(0),
+            cold_start_nanos: 0,
             index_breaker: CircuitBreaker::new(INDEX_BREAKER_THRESHOLD, INDEX_BREAKER_COOLDOWN),
         }
+    }
+
+    /// Open (or create) a persistent catalog over `dir`.
+    ///
+    /// Replays the manifest, sweeps orphan files (`*.tmp` and segments
+    /// no live record references), and adopts every recorded document as
+    /// a lazily-loaded entry — O(manifest) work, no segment is read yet.
+    /// Checksums are verified on first touch; a failing segment is
+    /// quarantined, never served. The store's URI-miss resolver is wired
+    /// to this catalog (via a `Weak`, so the pair still drops), which is
+    /// what lets `fn:doc("name")` transparently reload evicted or
+    /// not-yet-touched documents.
+    pub fn with_persistence(
+        store: Arc<Store>,
+        max_bytes: Option<u64>,
+        index_limits: Option<Limits>,
+        dir: impl Into<PathBuf>,
+    ) -> Result<Arc<Self>> {
+        let started = Instant::now();
+        let dir = dir.into();
+        let manifest = Manifest::open(&dir)?;
+        let replay = manifest.replay()?;
+        let live = replay.live();
+        clean_orphans(&dir, |f| live.values().any(|l| l.file == f))?;
+
+        let mut entries = HashMap::new();
+        let mut quarantined = 0u64;
+        let mut total_bytes = 0u64;
+        for (uri, l) in &live {
+            // Adoption only needs the file's existence and size; content
+            // verification is deferred to first touch. A manifest record
+            // whose file is missing (externally deleted) is quarantined
+            // up front — it can never be served.
+            let (residency, disk_bytes) = match fs::metadata(dir.join(&l.file)) {
+                Ok(m) => (Residency::OnDisk, m.len()),
+                Err(_) => {
+                    quarantined += 1;
+                    (Residency::Quarantined, 0)
+                }
+            };
+            let entry = CatEntry {
+                residency,
+                durable: Some(Durable {
+                    generation: l.generation,
+                    file: l.file.clone(),
+                    disk_bytes,
+                }),
+                last_used: 0,
+            };
+            total_bytes += entry.charge().0;
+            entries.insert(uri.clone(), entry);
+        }
+
+        let mut catalog = Self::with_indexing(store, max_bytes, index_limits);
+        catalog.persist = Some(Persistence {
+            dir,
+            manifest,
+            next_generation: AtomicU64::new(replay.next_generation()),
+        });
+        catalog.inner = Mutex::new(CatalogInner {
+            entries,
+            total_bytes,
+            total_index_bytes: 0,
+        });
+        catalog.segments_quarantined = AtomicU64::new(quarantined);
+        catalog.cold_start_nanos = started.elapsed().as_nanos() as u64;
+
+        let catalog = Arc::new(catalog);
+        let weak: Weak<DocumentCatalog> = Arc::downgrade(&catalog);
+        catalog
+            .store
+            .set_doc_resolver(Some(Arc::new(move |uri: &str| match weak.upgrade() {
+                Some(cat) => cat.resolve(uri),
+                None => Ok(None),
+            })));
+        Ok(catalog)
+    }
+
+    /// Is this catalog backed by a durable segment store?
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
     }
 
     /// Is the catalog currently serving loads unindexed because the
@@ -166,6 +360,14 @@ impl DocumentCatalog {
     /// fits its byte budget again. The just-loaded document is never its
     /// own eviction victim — a single document larger than the whole
     /// budget is admitted alone (and will be evicted by the next load).
+    ///
+    /// Under persistence the document is also serialized into a new
+    /// segment file and recorded in the manifest before the entry
+    /// becomes visible; a persist failure fails the whole `put`, so a
+    /// successful return means the document is durable. Exception: a
+    /// document whose *guarded index build* failed stays memory-only
+    /// (serializing it would require an unguarded build, circumventing
+    /// the very limits that tripped).
     pub fn put(&self, name: &str, xml: &str) -> Result<DocId> {
         xqr_faults::faultpoint!("catalog.load");
         // Parse (and index) outside the catalog lock: loads can be large.
@@ -177,6 +379,8 @@ impl DocumentCatalog {
         };
         let mut bytes = self.store.document(id).memory_bytes() as u64;
         let mut index_bytes = 0;
+        let mut built: Option<SharedIndex> = None;
+        let mut build_failed = false;
         if let Some(limits) = self.index_limits {
             if self.index_breaker.allow() {
                 let started = Instant::now();
@@ -185,6 +389,7 @@ impl DocumentCatalog {
                     Ok(Some(index)) => {
                         index_bytes = index.memory_bytes() as u64;
                         bytes += index_bytes;
+                        built = Some(index);
                         self.index_builds.fetch_add(1, Ordering::Relaxed);
                         self.index_build_nanos
                             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -198,6 +403,7 @@ impl DocumentCatalog {
                         // stays live, unindexed; queries fall back to
                         // navigation. Enough of these in a row open the
                         // breaker.
+                        build_failed = true;
                         self.index_build_failures.fetch_add(1, Ordering::Relaxed);
                         self.index_breaker.record_failure();
                     }
@@ -205,80 +411,280 @@ impl DocumentCatalog {
             } else {
                 // Degraded::NoIndex — don't pay for a build that keeps
                 // failing; probe again after the cooldown.
+                build_failed = true;
                 self.degraded_no_index.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Serialize and write the segment file outside the lock; the
+        // manifest append happens under it, so record order and entry
+        // order can't disagree between racing puts of the same name.
+        let durable = match (&self.persist, build_failed) {
+            (Some(p), false) => Some(self.write_segment(p, id, built.as_deref())?),
+            _ => None,
+        };
         let mut inner = lock_recover(&self.inner);
-        if let Some(old_id) = inner.entries.get(name).map(|e| e.id) {
+        if let Some(p) = &self.persist {
+            match &durable {
+                Some(d) => {
+                    if let Err(e) = p.manifest.append(&ManifestRecord::Add {
+                        generation: d.generation,
+                        file: d.file.clone(),
+                        uri: name.to_string(),
+                    }) {
+                        // The written file is an unreferenced orphan now;
+                        // sweep it eagerly (reopen would sweep it anyway).
+                        let _ = fs::remove_file(p.dir.join(&d.file));
+                        return Err(e);
+                    }
+                    self.segments_written.fetch_add(1, Ordering::Relaxed);
+                }
+                // Degraded memory-only replace: retire any stale durable
+                // copy, or a restart would serve the *old* version of
+                // this name — a wrong answer, not just a missing one.
+                None => {
+                    if inner.entries.get(name).is_some_and(|e| e.durable.is_some()) {
+                        let generation = p.next_generation.fetch_add(1, Ordering::Relaxed);
+                        p.manifest.append(&ManifestRecord::Del {
+                            generation,
+                            uri: name.to_string(),
+                        })?;
+                    }
+                }
+            }
+        }
+        if let Some(old) = inner.entries.remove(name) {
             // Free the store slot *before* unlinking the entry: a panic
             // mid-removal (chaos) leaves a retriable catalog entry, never
             // a document leaked outside the catalog's accounting.
-            self.store.remove_document(old_id);
-            let old = inner.entries.remove(name).expect("entry checked above");
-            inner.drop_entry(&old);
+            if let Some(old_id) = old.loaded_id() {
+                self.store.remove_document(old_id);
+            }
+            inner.uncharge_entry(&old);
+            // The new Add record supersedes the old one for this URI, so
+            // the old segment file is dead weight; best-effort delete
+            // (reopen sweeps it as an orphan regardless).
+            if let (Some(p), Some(d)) = (&self.persist, &old.durable) {
+                let _ = fs::remove_file(p.dir.join(&d.file));
+            }
         }
         let tick = self.next_tick();
-        inner.entries.insert(
-            name.to_string(),
-            CatEntry {
+        let entry = CatEntry {
+            residency: Residency::Loaded {
                 id,
                 bytes,
                 index_bytes,
-                last_used: tick,
             },
-        );
+            durable,
+            last_used: tick,
+        };
+        inner.charge_entry(&entry);
+        inner.entries.insert(name.to_string(), entry);
         // Committed: the entry owns the document from here on, so a
         // later unwind (eviction loop) must not remove it.
         rollback.armed = false;
-        inner.total_bytes += bytes;
-        inner.total_index_bytes += index_bytes;
-        if let Some(budget) = self.max_bytes {
-            while inner.total_bytes > budget && inner.entries.len() > 1 {
-                let victim = inner
-                    .entries
-                    .iter()
-                    .filter(|(_, e)| e.id != id)
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k.clone())
-                    .expect("len > 1 and one entry is the new doc");
-                let victim_id = inner.entries[&victim].id;
-                // Store removal first — see the replacement path above.
-                self.store.remove_document(victim_id);
-                let evicted = inner.entries.remove(&victim).expect("victim exists");
-                inner.drop_entry(&evicted);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        self.evict_to_budget(&mut inner, id);
         Ok(id)
     }
 
-    /// Resolve a name, refreshing its LRU position. `None` if the name
-    /// was never loaded or has been evicted.
-    pub fn get(&self, name: &str) -> Option<DocId> {
-        let mut inner = lock_recover(&self.inner);
-        let tick = self.next_tick();
-        inner.entries.get_mut(name).map(|e| {
-            e.last_used = tick;
-            e.id
+    /// Serialize `id` and write its segment file crash-safely. The
+    /// manifest is NOT appended here — that happens under the catalog
+    /// lock; until then the file is an unreferenced orphan a crash
+    /// would sweep.
+    fn write_segment(
+        &self,
+        p: &Persistence,
+        id: DocId,
+        index: Option<&dyn xqr_index::IndexedAccess>,
+    ) -> Result<Durable> {
+        let doc = self.store.document(id);
+        let throwaway;
+        let concrete: &DocIndex = match index.and_then(|i| i.as_doc_index()) {
+            Some(d) => d,
+            None => {
+                // Indexing is off for this catalog; the segment format
+                // still carries the inverted lists, so build them just
+                // for the durable copy.
+                throwaway = DocIndex::build(&doc)?;
+                &throwaway
+            }
+        };
+        let blob = segment_bytes(&doc, concrete)?;
+        let generation = p.next_generation.fetch_add(1, Ordering::Relaxed);
+        let file = format!("seg-{generation}.seg");
+        write_segment_file(&p.dir, &file, &blob)?;
+        Ok(Durable {
+            generation,
+            file,
+            disk_bytes: blob.len() as u64,
         })
     }
 
-    /// True while `name` is loaded (does not refresh LRU position).
+    /// Evict least-recently-used *loaded* entries until the budget fits.
+    /// Under persistence a victim is demoted to its segment (the entry
+    /// stays, reloadable); memory-only victims are dropped entirely.
+    fn evict_to_budget(&self, inner: &mut CatalogInner, protect: DocId) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        while inner.total_bytes > budget {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.loaded_id().is_some_and(|id| id != protect))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                // Nothing left to evict (only the protected document,
+                // on-disk entries, and quarantined bytes remain).
+                break;
+            };
+            let entry = inner.entries.get(&victim).expect("victim exists");
+            let id = entry.loaded_id().expect("victim is loaded");
+            // Store removal first — see the replacement path in `put`.
+            self.store.remove_document(id);
+            let mut evicted = inner.entries.remove(&victim).expect("victim exists");
+            inner.uncharge_entry(&evicted);
+            if evicted.durable.is_some() {
+                // Demote: the document lives on in its segment and
+                // reloads on the next access.
+                evicted.residency = Residency::OnDisk;
+                inner.charge_entry(&evicted);
+                inner.entries.insert(victim, evicted);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Load an on-disk entry back into memory: mmap, verify, register.
+    /// Caller holds the inner lock and has checked the entry is
+    /// `OnDisk`. Corruption quarantines the entry (bytes stay charged)
+    /// and returns the coded error; transient faults leave it on disk,
+    /// retryable.
+    fn reload_locked(&self, inner: &mut CatalogInner, name: &str) -> Result<DocId> {
+        let persist = self
+            .persist
+            .as_ref()
+            .expect("on-disk entry implies persistence");
+        let durable = inner
+            .entries
+            .get(name)
+            .and_then(|e| e.durable.clone())
+            .expect("on-disk entry has a segment");
+        let path = persist.dir.join(&durable.file);
+        let loaded = (|| -> Result<(DocId, u64, u64)> {
+            let seg = Segment::open(&path)?;
+            if seg.uri() != Some(name) {
+                return Err(Error::corrupt_segment(format!(
+                    "segment {} carries uri {:?}, catalog expected {name:?}",
+                    durable.file,
+                    seg.uri()
+                )));
+            }
+            let (doc, index) = seg.load(self.store.names())?;
+            let index_bytes = index.memory_bytes() as u64;
+            let bytes = doc.memory_bytes() as u64 + index_bytes;
+            let id = self.store.add_document(doc);
+            xqr_index::attach_index(&self.store, id, index);
+            Ok((id, bytes, index_bytes))
+        })();
+        let tick = self.next_tick();
+        let entry = inner.entries.get_mut(name).expect("caller checked");
+        match loaded {
+            Ok((id, bytes, index_bytes)) => {
+                // OnDisk charged nothing, so no uncharge needed.
+                entry.residency = Residency::Loaded {
+                    id,
+                    bytes,
+                    index_bytes,
+                };
+                entry.last_used = tick;
+                inner.total_bytes += bytes;
+                inner.total_index_bytes += index_bytes;
+                self.segments_recovered.fetch_add(1, Ordering::Relaxed);
+                self.evict_to_budget(inner, id);
+                Ok(id)
+            }
+            Err(e) if e.code == ErrorCode::CorruptSegment => {
+                entry.residency = Residency::Quarantined;
+                inner.total_bytes += durable.disk_bytes;
+                self.segments_quarantined.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+            // Transient (an injected mmap fault, say): stay OnDisk so a
+            // retry can succeed.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolve a name to a live document id, reloading from disk when
+    /// necessary. `Ok(None)` means the name is genuinely absent; a
+    /// quarantined entry propagates `err:XQRL0006`. This is the store's
+    /// URI-miss resolver under persistence.
+    pub fn resolve(&self, name: &str) -> Result<Option<DocId>> {
+        let mut inner = lock_recover(&self.inner);
+        let tick = self.next_tick();
+        match inner.entries.get_mut(name) {
+            None => Ok(None),
+            Some(e) => match e.residency {
+                Residency::Loaded { id, .. } => {
+                    e.last_used = tick;
+                    Ok(Some(id))
+                }
+                Residency::OnDisk => self.reload_locked(&mut inner, name).map(Some),
+                Residency::Quarantined => Err(Error::corrupt_segment(format!(
+                    "document {name:?} is quarantined: its segment failed integrity \
+                     verification"
+                ))),
+            },
+        }
+    }
+
+    /// Resolve a name, refreshing its LRU position. `None` if the name
+    /// was never loaded, has been dropped, or cannot be served (a
+    /// quarantined or currently-unreadable segment — use
+    /// [`DocumentCatalog::resolve`] for the coded error).
+    pub fn get(&self, name: &str) -> Option<DocId> {
+        self.resolve(name).ok().flatten()
+    }
+
+    /// True while `name` has a catalog entry (loaded, on disk, or
+    /// quarantined; does not refresh LRU position).
     pub fn contains(&self, name: &str) -> bool {
         lock_recover(&self.inner).entries.contains_key(name)
     }
 
-    /// Remove a named document, freeing its store slot. Returns `false`
-    /// if the name is not loaded.
+    /// Remove a named document: frees its store slot and, under
+    /// persistence, appends a deletion record and deletes the segment
+    /// file (releasing any quarantined bytes). Returns `false` if the
+    /// name is not present — or if the deletion record could not be
+    /// made durable, in which case the entry survives for a retry.
     pub fn remove(&self, name: &str) -> bool {
         let mut inner = lock_recover(&self.inner);
-        let Some(id) = inner.entries.get(name).map(|e| e.id) else {
+        let Some(entry) = inner.entries.get(name) else {
             return false;
         };
+        if let (Some(p), Some(d)) = (&self.persist, &entry.durable) {
+            let generation = p.next_generation.fetch_add(1, Ordering::Relaxed);
+            if p.manifest
+                .append(&ManifestRecord::Del {
+                    generation,
+                    uri: name.to_string(),
+                })
+                .is_err()
+            {
+                // Not durable — the segment would resurrect on reopen.
+                // Keep the entry consistent with disk and let the caller
+                // retry.
+                return false;
+            }
+            let _ = fs::remove_file(p.dir.join(&d.file));
+        }
         // Store removal first — see the replacement path in `put`.
-        self.store.remove_document(id);
+        if let Some(id) = entry.loaded_id() {
+            self.store.remove_document(id);
+        }
         let e = inner.entries.remove(name).expect("entry checked above");
-        inner.drop_entry(&e);
+        inner.uncharge_entry(&e);
         true
     }
 
@@ -290,9 +696,15 @@ impl DocumentCatalog {
         self.len() == 0
     }
 
-    /// Sum of live documents' in-memory sizes.
+    /// Bytes charged against the budget (in-memory documents plus
+    /// quarantined segments' disk bytes).
     pub fn total_bytes(&self) -> u64 {
         lock_recover(&self.inner).total_bytes
+    }
+
+    /// The directory a persistent catalog stores segments in.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
     }
 
     pub fn stats(&self) -> CatalogStats {
@@ -307,6 +719,10 @@ impl DocumentCatalog {
             index_build_failures: self.index_build_failures.load(Ordering::Relaxed),
             index_breaker_opens: self.index_breaker.opens(),
             degraded_no_index: self.degraded_no_index.load(Ordering::Relaxed),
+            segments_written: self.segments_written.load(Ordering::Relaxed),
+            segments_recovered: self.segments_recovered.load(Ordering::Relaxed),
+            segments_quarantined: self.segments_quarantined.load(Ordering::Relaxed),
+            cold_start_nanos: self.cold_start_nanos,
         }
     }
 }
@@ -318,6 +734,12 @@ mod tests {
     fn doc_of_bytes(n: usize) -> String {
         // Rough size control: one text node of n bytes.
         format!("<d>{}</d>", "x".repeat(n))
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xqr-catalog-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -431,5 +853,57 @@ mod tests {
         assert!(!cat.contains("a.xml"));
         let err = engine.query(r#"doc("a.xml")"#).unwrap_err();
         assert_eq!(err.code, xqr_xdm::ErrorCode::DocumentNotFound);
+    }
+
+    #[test]
+    fn persistent_put_survives_reopen() {
+        let dir = scratch("reopen");
+        let store = Store::new();
+        let cat = DocumentCatalog::with_persistence(store, None, Some(Limits::unlimited()), &dir)
+            .unwrap();
+        cat.put("a.xml", "<a><b/><b/></a>").unwrap();
+        assert_eq!(cat.stats().segments_written, 1);
+        drop(cat); // simulated shutdown: only the fsynced files survive
+
+        let store = Store::new();
+        let cat = DocumentCatalog::with_persistence(store.clone(), None, None, &dir).unwrap();
+        assert!(cat.contains("a.xml"));
+        assert_eq!(store.doc_count(), 0, "adoption is lazy");
+        let id = cat.get("a.xml").expect("reloads from segment");
+        assert_eq!(store.doc_count(), 1);
+        assert_eq!(cat.stats().segments_recovered, 1);
+        // The reload attached the mapped index.
+        assert!(xqr_index::index_of(&store, id).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_eviction_demotes_and_reloads() {
+        let dir = scratch("demote");
+        let store = Store::new();
+        let cat = DocumentCatalog::with_persistence(store.clone(), Some(1), None, &dir).unwrap();
+        cat.put("a.xml", "<a>one</a>").unwrap();
+        cat.put("b.xml", "<b>two</b>").unwrap(); // 1-byte budget: evicts a
+        assert!(cat.contains("a.xml"), "demoted, not dropped");
+        assert!(cat.stats().evictions >= 1);
+        // The next access transparently reloads from the segment.
+        let id = cat.get("a.xml").expect("reload after demotion");
+        assert!(store.try_document(id).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_remove_is_durable() {
+        let dir = scratch("remove");
+        {
+            let cat = DocumentCatalog::with_persistence(Store::new(), None, None, &dir).unwrap();
+            cat.put("a.xml", "<a/>").unwrap();
+            cat.put("b.xml", "<b/>").unwrap();
+            assert!(cat.remove("a.xml"));
+        }
+        let cat = DocumentCatalog::with_persistence(Store::new(), None, None, &dir).unwrap();
+        assert!(!cat.contains("a.xml"), "deletion replayed from manifest");
+        assert!(cat.contains("b.xml"));
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -12,6 +12,7 @@
 //! run queue counts against the budget, which is the service-level
 //! meaning of a deadline.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -54,6 +55,12 @@ pub struct ServiceConfig {
     /// failures (`XQRL0002/0004/0005`) are retried with exponential
     /// backoff; deterministic errors are returned immediately.
     pub retry: RetryPolicy,
+    /// Directory for the durable segment store. `None` (the default)
+    /// keeps the catalog purely in-memory; `Some(dir)` makes every
+    /// loaded document crash-safe on disk and lets a restarted service
+    /// recover its corpus by replaying the manifest — construct with
+    /// [`QueryService::open`] to observe recovery errors.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +74,7 @@ impl Default for ServiceConfig {
             max_queued: 64,
             per_query_limits: Limits::unlimited(),
             retry: RetryPolicy::default(),
+            persist_dir: None,
         }
     }
 }
@@ -131,7 +139,7 @@ impl ServiceShared {
 /// A thread-safe query service over one engine. See the crate docs.
 pub struct QueryService {
     shared: Arc<ServiceShared>,
-    catalog: DocumentCatalog,
+    catalog: Arc<DocumentCatalog>,
     pool: WorkerPool,
 }
 
@@ -167,7 +175,18 @@ impl QueryTicket {
 }
 
 impl QueryService {
+    /// Build an in-memory service. Panics if [`ServiceConfig::persist_dir`]
+    /// is set and opening the segment store fails (an I/O or recovery
+    /// error); use [`QueryService::open`] to handle that case.
     pub fn new(config: ServiceConfig) -> Self {
+        Self::open(config).expect("service construction failed")
+    }
+
+    /// Build a service, opening (or creating) the durable segment store
+    /// when [`ServiceConfig::persist_dir`] is set. Recovery is O(manifest):
+    /// documents persisted by earlier incarnations are adopted lazily and
+    /// mmapped — checksum-verified — on first `doc("name")` touch.
+    pub fn open(config: ServiceConfig) -> Result<Self> {
         let engine = Arc::new(Engine::with_options(config.engine.clone()));
         // Catalog loads build structural indexes under the same budgets
         // queries run with; an index build is bounded work, like a query.
@@ -175,12 +194,20 @@ impl QueryService {
             .engine
             .index_documents
             .then_some(config.per_query_limits);
-        let catalog = DocumentCatalog::with_indexing(
-            engine.store().clone(),
-            config.catalog_max_bytes,
-            index_limits,
-        );
-        QueryService {
+        let catalog = match &config.persist_dir {
+            Some(dir) => DocumentCatalog::with_persistence(
+                engine.store().clone(),
+                config.catalog_max_bytes,
+                index_limits,
+                dir.clone(),
+            )?,
+            None => Arc::new(DocumentCatalog::with_indexing(
+                engine.store().clone(),
+                config.catalog_max_bytes,
+                index_limits,
+            )),
+        };
+        Ok(QueryService {
             shared: Arc::new(ServiceShared {
                 engine,
                 plans: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
@@ -199,7 +226,7 @@ impl QueryService {
             }),
             catalog,
             pool: WorkerPool::new(config.max_concurrent, config.max_queued),
-        }
+        })
     }
 
     /// The engine the service runs on (e.g. for `explain` output).
@@ -361,6 +388,10 @@ impl QueryService {
             catalog_docs: catalog.docs,
             catalog_bytes: catalog.bytes,
             catalog_evictions: catalog.evictions,
+            segments_written: catalog.segments_written,
+            segments_recovered: catalog.segments_recovered,
+            segments_quarantined: catalog.segments_quarantined,
+            cold_start_load: Duration::from_nanos(catalog.cold_start_nanos),
             index_builds: catalog.index_builds,
             index_bytes: catalog.index_bytes,
             index_build_time: Duration::from_nanos(catalog.index_build_nanos),
@@ -411,6 +442,16 @@ pub struct ServiceStats {
     pub catalog_docs: u64,
     pub catalog_bytes: u64,
     pub catalog_evictions: u64,
+    /// Durable segments written by catalog loads (persistent catalogs).
+    pub segments_written: u64,
+    /// Segments reloaded from disk (cold-start touches and post-eviction
+    /// re-reads).
+    pub segments_recovered: u64,
+    /// Segments quarantined after failing integrity verification.
+    pub segments_quarantined: u64,
+    /// Wall-clock cost of opening the segment store: manifest replay,
+    /// orphan sweep and lazy adoption — not any document load.
+    pub cold_start_load: Duration,
     /// Structural indexes built by catalog loads.
     pub index_builds: u64,
     /// Live structural-index bytes (part of `catalog_bytes`).
@@ -477,6 +518,14 @@ impl std::fmt::Display for ServiceStats {
             f,
             "catalog: docs: {} bytes: {} evictions: {}",
             self.catalog_docs, self.catalog_bytes, self.catalog_evictions
+        )?;
+        writeln!(
+            f,
+            "segments: written: {} recovered: {} quarantined: {} cold-start: {:?}",
+            self.segments_written,
+            self.segments_recovered,
+            self.segments_quarantined,
+            self.cold_start_load
         )?;
         writeln!(
             f,
@@ -606,6 +655,7 @@ mod tests {
             "service:",
             "plans:",
             "catalog:",
+            "segments:",
             "indexes:",
             "pool:",
             "resilience:",
@@ -613,6 +663,43 @@ mod tests {
         ] {
             assert!(text.contains(section), "{text}");
         }
+    }
+
+    #[test]
+    fn persistent_service_recovers_corpus_after_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "xqr-service-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            persist_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+
+        let service = QueryService::open(config.clone()).unwrap();
+        service
+            .load_document("bib.xml", "<bib><book><title>t</title></book><book/></bib>")
+            .unwrap();
+        let before = service.run(r#"doc("bib.xml")//title"#).unwrap();
+        assert_eq!(service.stats().segments_written, 1);
+        drop(service);
+
+        // A fresh incarnation: nothing is loaded until a query touches
+        // the document, then the answer must be byte-identical.
+        let service = QueryService::open(config).unwrap();
+        let s = service.stats();
+        assert_eq!((s.catalog_docs, s.segments_recovered), (1, 0));
+        assert_eq!(service.run(r#"doc("bib.xml")//title"#).unwrap(), before);
+        let s = service.stats();
+        assert_eq!(s.segments_recovered, 1);
+        assert!(text_has_segment_counters(&service.stats_text()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn text_has_segment_counters(text: &str) -> bool {
+        text.contains("segments: written: 0 recovered: 1 quarantined: 0")
     }
 
     #[test]

@@ -44,7 +44,13 @@ impl DocId {
 }
 
 /// A node within one document: its preorder index.
+///
+/// `repr(transparent)` is load-bearing: the segment layer persists
+/// `Labeled { node: NodeId, … }` records byte-for-byte and reads them
+/// back as zero-copy slices from mapped files, which requires `NodeId`
+/// to have exactly `u32`'s layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 pub const NO_NODE: u32 = u32::MAX;
@@ -315,6 +321,78 @@ impl Document {
             + self.tag_index.memory_bytes()
     }
 
+    /// Borrowed view of the struct-of-arrays, for serialization into a
+    /// durable segment. Node id == array index throughout.
+    pub fn raw_parts(&self) -> DocParts<'_> {
+        DocParts {
+            kinds: &self.kinds,
+            node_names: &self.node_names,
+            parents: &self.parents,
+            next_siblings: &self.next_siblings,
+            first_children: &self.first_children,
+            subtree_ends: &self.subtree_ends,
+            levels: &self.levels,
+            values: &self.values,
+            strings: &self.strings,
+            uri: self.uri.as_deref(),
+        }
+    }
+
+    /// Reassemble a document from deserialized arrays (the segment load
+    /// path — skips parsing entirely). Validates the cross-array
+    /// invariants that later accessors index on without bounds checks,
+    /// so a logic error in a segment reader surfaces here as a coded
+    /// error rather than a panic mid-query. The tag index is rebuilt
+    /// (one cheap pass) instead of being persisted.
+    pub fn from_raw_parts(names: Arc<NamePool>, parts: DocPartsOwned) -> Result<Arc<Document>> {
+        let n = parts.kinds.len();
+        if parts.node_names.len() != n
+            || parts.parents.len() != n
+            || parts.next_siblings.len() != n
+            || parts.first_children.len() != n
+            || parts.subtree_ends.len() != n
+            || parts.levels.len() != n
+            || parts.values.len() != n
+        {
+            return Err(Error::value("document arrays disagree on length"));
+        }
+        let n32 = n as u32;
+        let in_range = |v: u32| v == NO_NODE || v < n32;
+        let pool_len = parts.strings.len() as u32;
+        let name_len = names.len() as u32;
+        for i in 0..n {
+            if !in_range(parts.parents[i])
+                || !in_range(parts.next_siblings[i])
+                || !in_range(parts.first_children[i])
+                || parts.subtree_ends[i] >= n32
+            {
+                return Err(Error::value("document link out of range"));
+            }
+            let v = parts.values[i];
+            if v != NO_NODE && v >= pool_len {
+                return Err(Error::value("document value id out of range"));
+            }
+            if parts.node_names[i].0 >= name_len {
+                return Err(Error::value("document name id out of range"));
+            }
+        }
+        let tag_index = TagIndex::build(&parts.kinds, &parts.node_names);
+        Ok(Arc::new(Document {
+            names,
+            kinds: parts.kinds,
+            node_names: parts.node_names,
+            parents: parts.parents,
+            next_siblings: parts.next_siblings,
+            first_children: parts.first_children,
+            subtree_ends: parts.subtree_ends,
+            levels: parts.levels,
+            values: parts.values,
+            strings: parts.strings,
+            tag_index,
+            uri: parts.uri,
+        }))
+    }
+
     /// Serialize the subtree rooted at `n` back to XML text.
     pub fn serialize_node(&self, n: NodeId) -> String {
         let mut out = String::new();
@@ -484,6 +562,36 @@ impl std::fmt::Debug for Document {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Document({} nodes)", self.len())
     }
+}
+
+/// Borrowed struct-of-arrays view of a document (see
+/// [`Document::raw_parts`]).
+pub struct DocParts<'a> {
+    pub kinds: &'a [NodeKind],
+    pub node_names: &'a [NameId],
+    pub parents: &'a [u32],
+    pub next_siblings: &'a [u32],
+    pub first_children: &'a [u32],
+    pub subtree_ends: &'a [u32],
+    pub levels: &'a [u16],
+    pub values: &'a [u32],
+    pub strings: &'a StringPool,
+    pub uri: Option<&'a str>,
+}
+
+/// Owned struct-of-arrays for reassembly (see
+/// [`Document::from_raw_parts`]).
+pub struct DocPartsOwned {
+    pub kinds: Vec<NodeKind>,
+    pub node_names: Vec<NameId>,
+    pub parents: Vec<u32>,
+    pub next_siblings: Vec<u32>,
+    pub first_children: Vec<u32>,
+    pub subtree_ends: Vec<u32>,
+    pub levels: Vec<u16>,
+    pub values: Vec<u32>,
+    pub strings: StringPool,
+    pub uri: Option<String>,
 }
 
 /// Streaming builder producing the struct-of-arrays representation.

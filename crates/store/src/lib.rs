@@ -13,6 +13,6 @@ pub mod index;
 pub mod store;
 
 pub use axis::{walk, Axis};
-pub use document::{DocId, Document, DocumentBuilder, NodeId, NO_NODE};
+pub use document::{DocId, DocParts, DocPartsOwned, Document, DocumentBuilder, NodeId, NO_NODE};
 pub use index::TagIndex;
-pub use store::{NodeRef, Store};
+pub use store::{DocResolver, NodeRef, Store};

@@ -49,6 +49,12 @@ struct StoreInner {
     live_bytes: u64,
 }
 
+/// A URI-miss hook: given a URI the store has no live document for,
+/// try to materialize one (e.g. reload it from a durable segment) and
+/// return its id. `Ok(None)` means "genuinely absent"; an error (a
+/// quarantined segment's `XQRL0006`, say) propagates to the query.
+pub type DocResolver = dyn Fn(&str) -> Result<Option<DocId>> + Send + Sync;
+
 /// A shared collection of documents. Loading is cheap-append; removal
 /// ([`Store::remove_document`]) frees the slot for reuse so long-lived
 /// stores (one-shot query paths, document catalogs with eviction) run in
@@ -56,6 +62,10 @@ struct StoreInner {
 pub struct Store {
     names: Arc<NamePool>,
     inner: RwLock<StoreInner>,
+    /// Consulted by [`Store::document_by_uri`] on a miss, outside the
+    /// inner lock (the resolver re-enters the store to add the reloaded
+    /// document).
+    resolver: RwLock<Option<Arc<DocResolver>>>,
 }
 
 impl Store {
@@ -63,6 +73,7 @@ impl Store {
         Arc::new(Store {
             names: Arc::new(NamePool::new()),
             inner: RwLock::new(StoreInner::default()),
+            resolver: RwLock::new(None),
         })
     }
 
@@ -70,7 +81,15 @@ impl Store {
         Arc::new(Store {
             names,
             inner: RwLock::new(StoreInner::default()),
+            resolver: RwLock::new(None),
         })
+    }
+
+    /// Install (or clear) the URI-miss resolver. The resolver must not
+    /// capture an owning reference back to whatever owns this store's
+    /// `Arc` (use a `Weak`), or the pair never drops.
+    pub fn set_doc_resolver(&self, r: Option<Arc<DocResolver>>) {
+        *self.resolver.write().unwrap_or_else(|p| p.into_inner()) = r;
     }
 
     pub fn names(&self) -> &Arc<NamePool> {
@@ -220,20 +239,36 @@ impl Store {
 
     pub fn document_by_uri(&self, uri: &str) -> Result<(DocId, Arc<Document>)> {
         xqr_faults::faultpoint!("store.read");
-        let inner = self.read();
-        match inner.by_uri.get(uri) {
-            Some(&id) => {
+        // Fast path under the read lock.
+        {
+            let inner = self.read();
+            if let Some(&id) = inner.by_uri.get(uri) {
                 let doc = inner.slots[id.index() as usize]
                     .doc
                     .clone()
                     .expect("by_uri points at a live slot");
-                Ok((id, doc))
+                return Ok((id, doc));
             }
-            None => Err(Error::new(
-                ErrorCode::DocumentNotFound,
-                format!("no document available at {uri:?}"),
-            )),
         }
+        // Miss: give the resolver a chance to materialize the document
+        // (reload from a durable segment). Both locks are released here —
+        // the resolver re-enters the store via `add_document`.
+        let resolver = self
+            .resolver
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        if let Some(resolver) = resolver {
+            if let Some(id) = resolver(uri)? {
+                if let Some(doc) = self.try_document(id) {
+                    return Ok((id, doc));
+                }
+            }
+        }
+        Err(Error::new(
+            ErrorCode::DocumentNotFound,
+            format!("no document available at {uri:?}"),
+        ))
     }
 
     /// Number of live (not removed) documents.

@@ -90,6 +90,9 @@ fn put_opt_str(buf: &mut BytesMut, s: Option<&str>) {
 }
 
 fn get_opt_str(buf: &mut Bytes) -> Result<Option<String>> {
+    if !buf.has_remaining() {
+        return Err(Error::value("truncated option tag in token stream"));
+    }
     match buf.get_u8() {
         0 => Ok(None),
         1 => Ok(Some(get_str(buf)?)),

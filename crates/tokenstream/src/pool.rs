@@ -55,6 +55,26 @@ impl StringPool {
         self.strings.iter().map(|s| s.len()).sum()
     }
 
+    /// Rebuild a pool from its dumped string list (segment load path).
+    /// Ids are assigned in order, so a pool dumped via [`StringPool::iter`]
+    /// and rebuilt here preserves every `StrId`. Duplicate entries keep
+    /// the first id, matching intern semantics.
+    pub fn from_strings<I, S>(strings: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut pool = StringPool::new();
+        for s in strings {
+            let s = s.as_ref();
+            let arc: Arc<str> = Arc::from(s);
+            let id = StrId(pool.strings.len() as u32);
+            pool.strings.push(arc.clone());
+            pool.index.entry(arc).or_insert(id);
+        }
+        pool
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = (StrId, &str)> {
         self.strings
             .iter()

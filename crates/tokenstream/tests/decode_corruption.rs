@@ -1,0 +1,64 @@
+//! Corruption hardening for the binary token-stream codec: `decode` must
+//! never panic on hostile input — truncated, bit-flipped, or arbitrary
+//! bytes all come back as `Ok` (when the damage happens to stay
+//! well-formed) or a coded `Err`, never an abort. The durable segment
+//! layer relies on this: its CRCs catch corruption first, but the decoder
+//! is the last line of defence and must hold on its own.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+use xqr_tokenstream::{decode, encode, TokenStream};
+use xqr_xdm::NamePool;
+use xqr_xmlgen::{random_tree, RandomTreeConfig};
+
+fn arb_encoding() -> impl Strategy<Value = Vec<u8>> {
+    (any::<u64>(), 5usize..120, any::<bool>()).prop_map(|(seed, nodes, pooled)| {
+        let xml = random_tree(&RandomTreeConfig {
+            seed,
+            nodes,
+            ..Default::default()
+        });
+        let stream = TokenStream::from_xml(&xml, Arc::new(NamePool::new())).unwrap();
+        encode(&stream, pooled).to_vec()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncation_never_panics(bytes in arb_encoding(), cut in 0usize..4096) {
+        let mut bytes = bytes;
+        bytes.truncate(cut % (bytes.len() + 1));
+        // Ok (a shorter prefix can still balance) or a coded Err —
+        // reaching either without a panic is the property.
+        let _ = decode(Bytes::from(bytes), Arc::new(NamePool::new()));
+    }
+
+    #[test]
+    fn bit_flips_never_panic(bytes in arb_encoding(), pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = bytes;
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        let _ = decode(Bytes::from(bytes), Arc::new(NamePool::new()));
+    }
+
+    #[test]
+    fn multi_byte_corruption_never_panics(
+        bytes in arb_encoding(),
+        edits in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
+    ) {
+        let mut bytes = bytes;
+        for (pos, val) in edits {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        let _ = decode(Bytes::from(bytes), Arc::new(NamePool::new()));
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(Bytes::from(bytes), Arc::new(NamePool::new()));
+    }
+}

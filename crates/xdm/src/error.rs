@@ -69,6 +69,11 @@ pub enum ErrorCode {
     /// injected fault or an I/O-class error that a retry may not see
     /// again; not a W3C code.
     Unavailable,
+    /// A persisted segment failed its integrity verification (bad magic,
+    /// checksum mismatch, malformed section). The segment is quarantined
+    /// and will never be served; retrying reads the same corrupt bytes,
+    /// so the code is deliberately non-retryable. Not a W3C code.
+    CorruptSegment,
 }
 
 impl ErrorCode {
@@ -105,6 +110,7 @@ impl ErrorCode {
             Cancelled,
             Overloaded,
             Unavailable,
+            CorruptSegment,
         ]
     };
 
@@ -140,6 +146,7 @@ impl ErrorCode {
             Cancelled => "XQRL0003",
             Overloaded => "XQRL0004",
             Unavailable => "XQRL0005",
+            CorruptSegment => "XQRL0006",
         }
     }
 
@@ -197,6 +204,7 @@ impl ErrorCode {
             Cancelled => "execution cancelled by the embedder",
             Overloaded => "admission control shed the query",
             Unavailable => "transient subsystem fault",
+            CorruptSegment => "persisted segment failed integrity verification",
         }
     }
 }
@@ -258,6 +266,10 @@ impl Error {
 
     pub fn unavailable(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Unavailable, message)
+    }
+
+    pub fn corrupt_segment(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::CorruptSegment, message)
     }
 
     /// Is this failure worth retrying? See [`ErrorCode::is_retryable`].

@@ -166,6 +166,8 @@ fn governance_error_codes_are_stable() {
     assert_eq!(ErrorCode::Timeout.as_str(), "XQRL0002");
     assert_eq!(ErrorCode::Cancelled.as_str(), "XQRL0003");
     assert_eq!(ErrorCode::Overloaded.as_str(), "XQRL0004");
+    assert_eq!(ErrorCode::Unavailable.as_str(), "XQRL0005");
+    assert_eq!(ErrorCode::CorruptSegment.as_str(), "XQRL0006");
 
     use std::time::Duration;
     use xqr::{EngineOptions, Limits, RuntimeOptions};
@@ -233,6 +235,7 @@ fn error_code_table_has_not_drifted() {
         (ErrorCode::Cancelled,            "XQRL0003", false, "execution cancelled by the embedder"),
         (ErrorCode::Overloaded,           "XQRL0004", true,  "admission control shed the query"),
         (ErrorCode::Unavailable,          "XQRL0005", true,  "transient subsystem fault"),
+        (ErrorCode::CorruptSegment,       "XQRL0006", false, "persisted segment failed integrity verification"),
     ];
     assert_eq!(
         TABLE.len(),
