@@ -248,6 +248,13 @@ impl PreparedQuery {
         self.streamable.is_some()
     }
 
+    /// The extracted streamable pattern, if any. The subscription
+    /// subsystem compiles these into a combined shared-prefix automaton
+    /// so one document pass serves every standing query.
+    pub fn stream_pattern(&self) -> Option<&StreamPattern> {
+        self.streamable.as_ref()
+    }
+
     /// Is this a `count(//path)` query that can stream-count?
     pub fn is_streamable_count(&self) -> bool {
         self.streamable_count.is_some()
@@ -296,7 +303,14 @@ impl PreparedQuery {
     /// Human-readable plan.
     pub fn explain(&self) -> String {
         let mut text = explain(&self.compiled);
-        text.push_str(&format!("streamable: {}\n", self.is_streamable()));
+        match &self.streamable {
+            Some(p) => text.push_str(&format!(
+                "streamable: true (steps: {}, exact: {})\n",
+                p.steps.len(),
+                p.is_exact()
+            )),
+            None => text.push_str("streamable: false\n"),
+        }
         text.push_str(&format!("limits: {}\n", self.runtime.limits));
         text
     }

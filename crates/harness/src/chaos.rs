@@ -60,6 +60,7 @@ pub const SITES: &[&str] = &[
     "catalog.load",
     "plans.insert",
     "pool.dispatch",
+    "subscribe.deliver",
 ];
 
 /// Budgets for chaos cases: the fuzz budgets, minus most of the

@@ -45,6 +45,7 @@
 pub mod chaos;
 pub mod gen;
 pub mod oracle;
+pub mod pubsub;
 pub mod recover;
 pub mod report;
 pub mod shrink;

@@ -1,0 +1,67 @@
+//! The pub/sub suite: fixed seeds, one invariant — N standing
+//! subscriptions over a document stream ≡ N independent one-shot
+//! queries per document, byte-for-byte or the same coded error, with
+//! and without injected delivery faults.
+//!
+//! All cases run inside ONE test function because `install()` holds a
+//! process-wide exclusive lock (see tests/chaos.rs for the rationale).
+//! A failing seed replays standalone via
+//! `cargo run -p xqr-harness --bin pubsub -- --seed <s> --cases 1`.
+
+use xqr_harness::case_seed;
+use xqr_harness::pubsub::run_case;
+
+const MASTER_SEED: u64 = 0x5B5C;
+const CASES: u64 = 120;
+
+#[test]
+fn pubsub_suite_matches_one_shot_across_fixed_seeds() {
+    assert!(
+        xqr_faults::compiled_with_failpoints(),
+        "the pubsub suite requires the failpoints feature (harness dev graph turns it on)"
+    );
+
+    // Injected panics are expected traffic while a schedule is armed.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !xqr_faults::armed() {
+            default_hook(info);
+        }
+    }));
+
+    let (mut agreed, mut shared, mut fallback, mut fired) = (0u64, 0u64, 0u64, 0u64);
+    let mut violations = Vec::new();
+    for i in 0..CASES {
+        let seed = case_seed(MASTER_SEED, i);
+        for faulted in [false, true] {
+            let case = run_case(seed, faulted);
+            agreed += case.agreed;
+            shared += case.shared_pass as u64;
+            fallback += case.fallback as u64;
+            fired += case.fired;
+            for v in case.violations {
+                violations.push(format!(
+                    "case {i}{} (replay: pubsub --seed {} --cases 1) {}: {}",
+                    if faulted { " [faulted]" } else { "" },
+                    MASTER_SEED.wrapping_add(i),
+                    v.at,
+                    v.detail
+                ));
+            }
+        }
+    }
+
+    assert!(
+        violations.is_empty(),
+        "{} invariant violations:\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+
+    // The suite must exercise what it claims to: both routes ran, some
+    // comparisons agreed byte-for-byte, and faults actually fired.
+    assert!(agreed > 0, "no comparison ever agreed across {CASES} cases");
+    assert!(shared > 0, "no case ever used the shared combined pass");
+    assert!(fallback > 0, "no case ever used the one-shot fallback");
+    assert!(fired > 0, "no injections fired in the faulted legs");
+}

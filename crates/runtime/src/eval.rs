@@ -98,6 +98,13 @@ pub struct Counters {
     pub budget_tokens: Cell<u64>,
     pub budget_output_bytes: Cell<u64>,
     pub budget_peak_depth: Cell<u64>,
+    /// Streaming-pass gauges, recorded via
+    /// [`Counters::record_stream_stats`] when an execution (or a pub/sub
+    /// shared pass) ran the token-streaming matcher, so `skip()` pruning
+    /// shows up on the same surface as materialized counters.
+    pub stream_tokens_seen: Cell<u64>,
+    pub stream_tokens_skipped: Cell<u64>,
+    pub stream_matches: Cell<u64>,
     /// Store documents allocated by constructors, transferred from
     /// [`crate::ExecState::constructed_docs`] after a successful
     /// execution. The result owner frees them when it is done.
@@ -111,6 +118,18 @@ impl Counters {
         self.budget_tokens.set(usage.tokens);
         self.budget_output_bytes.set(usage.output_bytes);
         self.budget_peak_depth.set(usage.peak_depth);
+    }
+
+    /// Accumulate one streaming pass's [`crate::StreamStats`] into the
+    /// stream gauges (accumulating, not overwriting: a publish may run a
+    /// shared pass and later record fallback passes too).
+    pub fn record_stream_stats(&self, stats: &crate::StreamStats) {
+        self.stream_tokens_seen
+            .set(self.stream_tokens_seen.get() + stats.tokens_seen);
+        self.stream_tokens_skipped
+            .set(self.stream_tokens_skipped.get() + stats.tokens_skipped);
+        self.stream_matches
+            .set(self.stream_matches.get() + stats.matches);
     }
 }
 

@@ -39,15 +39,30 @@ pub struct StreamPattern {
 }
 
 impl StreamPattern {
+    /// Longest recognizable pattern. The matcher keeps per-element state
+    /// as a `u32` bitmask of matched prefix lengths (bit `p` = prefix of
+    /// length `p`, bit `len` = full match), so a pattern may have at
+    /// most 31 steps; longer paths silently stay on the navigational
+    /// plan, which answers them correctly without streaming.
+    pub const MAX_STEPS: usize = 31;
+
     /// Try to recognize the compiled core as a streamable path rooted at
     /// the document: nests of `Ddo(PathMap(..))` over `Root` with
     /// child/descendant(-or-self) element name steps and no predicates.
     pub fn extract(core: &Core) -> Option<StreamPattern> {
         let mut steps = Vec::new();
-        if !collect(core, &mut steps) {
+        let mut pending_dos = false;
+        if !collect(core, &mut steps, &mut pending_dos) {
             return None;
         }
-        if steps.is_empty() || steps.len() > 32 {
+        // A trailing descendant-or-self::node() pseudo-step never merged
+        // into a following named step: the streaming encoding would match
+        // descendant *elements* only, while materialized evaluation also
+        // returns the context node itself and non-element nodes.
+        if pending_dos {
+            return None;
+        }
+        if steps.is_empty() || steps.len() > Self::MAX_STEPS {
             return None;
         }
         Some(StreamPattern { steps })
@@ -69,15 +84,15 @@ impl StreamPattern {
     }
 }
 
-fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
+fn collect(core: &Core, steps: &mut Vec<StreamStep>, pending_dos: &mut bool) -> bool {
     match core {
         Core::Root => true,
-        Core::Ddo(inner) => collect(inner, steps),
+        Core::Ddo(inner) => collect(inner, steps, pending_dos),
         // An index-backed plan streams via its navigational fallback: the
         // streaming path never consults the store (or its indexes) at all.
-        Core::IndexScan { fallback, .. } => collect(fallback, steps),
+        Core::IndexScan { fallback, .. } => collect(fallback, steps, pending_dos),
         Core::PathMap { input, step } => {
-            if !collect(input, steps) {
+            if !collect(input, steps, pending_dos) {
                 return false;
             }
             match &**step {
@@ -86,14 +101,15 @@ fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
                         AxisName::Child => false,
                         AxisName::Descendant => true,
                         AxisName::DescendantOrSelf => {
-                            // dos::node() as an intermediate: mark the
-                            // *next* step descendant via a pending flag —
-                            // we encode it as an anonymous descendant
-                            // step matched by merging below.
-                            steps.push(StreamStep {
-                                descendant: true,
-                                name: None,
-                            });
+                            // dos::node() as an intermediate (the `//`
+                            // expansion): mark the *next* step descendant.
+                            // The flag — not a pushed pseudo-step — so a
+                            // genuine `descendant::*` step can never be
+                            // mistaken for one and wrongly merged.
+                            if *pending_dos {
+                                return false;
+                            }
+                            *pending_dos = true;
                             return matches!(test, NodeTest::AnyKind);
                         }
                         _ => return false,
@@ -103,18 +119,22 @@ fn collect(core: &Core, steps: &mut Vec<StreamStep>) -> bool {
                         NodeTest::AnyName => None,
                         _ => return false,
                     };
-                    // Merge a pending dos::node() pseudo-step.
-                    if let Some(last) = steps.last() {
-                        if last.descendant && last.name.is_none() && !descendant {
-                            steps.pop();
-                            steps.push(StreamStep {
-                                descendant: true,
-                                name,
-                            });
-                            return true;
+                    if *pending_dos {
+                        *pending_dos = false;
+                        if descendant {
+                            // dos::node()/descendant::x has no single-step
+                            // streaming encoding: the self component of
+                            // dos makes x reachable one level shallower
+                            // than `descendant, then descendant` allows.
+                            return false;
                         }
+                        steps.push(StreamStep {
+                            descendant: true,
+                            name,
+                        });
+                    } else {
+                        steps.push(StreamStep { descendant, name });
                     }
-                    steps.push(StreamStep { descendant, name });
                     true
                 }
                 _ => false,
@@ -499,5 +519,117 @@ mod tests {
         let (out, _) = run("//a//a", "<a><a><a/></a></a>");
         // outer capture at the first nested a
         assert_eq!(out, vec!["<a><a/></a>"]);
+    }
+
+    #[test]
+    fn step_cap_rejects_long_paths() {
+        // The per-element state is a u32 prefix bitmask, so patterns cap
+        // at MAX_STEPS; one past it must fall off the streaming plan
+        // (the navigational path still answers it — pinned in
+        // tests/regressions.rs at the workspace root).
+        let at_cap: String = (0..StreamPattern::MAX_STEPS)
+            .map(|i| format!("/e{i}"))
+            .collect();
+        assert_eq!(pattern(&at_cap).steps.len(), StreamPattern::MAX_STEPS);
+        let over: String = (0..StreamPattern::MAX_STEPS + 1)
+            .map(|i| format!("/e{i}"))
+            .collect();
+        let q = compile(&over, &CompileOptions::default()).unwrap();
+        assert!(
+            StreamPattern::extract(&q.module.body).is_none(),
+            "a {}-step path must not extract",
+            StreamPattern::MAX_STEPS + 1
+        );
+    }
+
+    #[test]
+    fn dos_node_pseudo_step_merges_into_next_child_step() {
+        // `/a/descendant-or-self::node()/b` is exactly `a//b`: the
+        // pseudo-step must merge into one descendant step, not linger.
+        let q = compile(
+            "/a/descendant-or-self::node()/b",
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let p = StreamPattern::extract(&q.module.body).expect("streamable");
+        assert_eq!(p.steps.len(), 2);
+        assert!(!p.steps[0].descendant);
+        assert!(p.steps[1].descendant);
+        assert_eq!(p.steps[1].name.as_ref().unwrap().local_name(), "b");
+    }
+
+    #[test]
+    fn trailing_dos_node_is_not_streamable() {
+        // With no following step to merge into, dos::node() has no
+        // element-step encoding (materialized evaluation returns the
+        // context node itself plus text/comment descendants).
+        let q = compile("/a/descendant-or-self::node()", &CompileOptions::default()).unwrap();
+        assert!(StreamPattern::extract(&q.module.body).is_none());
+        // Likewise dos::node() followed by an explicit descendant step:
+        // the self component makes the target reachable one level
+        // shallower than two chained descendant steps allow.
+        let q = compile(
+            "/a/descendant-or-self::node()/descendant::b",
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(StreamPattern::extract(&q.module.body).is_none());
+    }
+
+    #[test]
+    fn explicit_descendant_wildcard_does_not_merge() {
+        // `/a/descendant::*/b` requires b at depth >= 3: an element
+        // strictly below a, then a b child. The old pseudo-step merge
+        // collapsed this to `a//b`, wrongly matching `<a><b/></a>`.
+        let q = compile("/a/descendant::*/b", &CompileOptions::default()).unwrap();
+        let p = StreamPattern::extract(&q.module.body).expect("streamable");
+        assert_eq!(p.steps.len(), 3);
+        assert!(p.steps[1].descendant && p.steps[1].name.is_none());
+        assert!(!p.steps[2].descendant);
+        let it = ParserTokenIterator::new("<a><b>shallow</b></a>", Arc::new(NamePool::new()));
+        let mut m = StreamMatcher::new(it, p.clone());
+        assert_eq!(m.all_matches().unwrap(), Vec::<String>::new());
+        let it = ParserTokenIterator::new("<a><z><b>deep</b></z></a>", Arc::new(NamePool::new()));
+        let mut m = StreamMatcher::new(it, p);
+        assert_eq!(m.all_matches().unwrap(), vec!["<b>deep</b>"]);
+    }
+
+    #[test]
+    fn wildcard_steps_match_any_element() {
+        let (out, _) = run("/a/*", "<a><b>1</b><c>2</c></a>");
+        assert_eq!(out, vec!["<b>1</b>", "<c>2</c>"]);
+        let p = pattern("//*");
+        assert_eq!(p.steps.len(), 1);
+        assert!(p.steps[0].descendant && p.steps[0].name.is_none());
+        let it = ParserTokenIterator::new("<a><b/></a>", Arc::new(NamePool::new()));
+        let mut m = StreamMatcher::new(it, p);
+        // Outermost semantics: the document element swallows everything.
+        assert_eq!(m.all_matches().unwrap(), vec!["<a><b/></a>"]);
+    }
+
+    #[test]
+    fn empty_and_elementless_input_through_next_match() {
+        // A document with no elements at all still terminates cleanly.
+        let p = pattern("/a/b");
+        let it = ParserTokenIterator::new("", Arc::new(NamePool::new()));
+        let mut m = StreamMatcher::new(it, p.clone());
+        match m.next_match() {
+            Ok(None) => {}
+            Ok(Some(m)) => panic!("match from empty input: {m:?}"),
+            Err(e) => assert_ne!(
+                e.code,
+                xqr_xdm::ErrorCode::Internal,
+                "empty input must not surface an internal error: {e}"
+            ),
+        }
+        // Whitespace-only input likewise: either a clean end-of-stream
+        // or a coded parse error, never a panic or a match.
+        let it = ParserTokenIterator::new("   ", Arc::new(NamePool::new()));
+        let mut m = StreamMatcher::new(it, p);
+        match m.next_match() {
+            Ok(None) => {}
+            Ok(Some(m)) => panic!("match from whitespace input: {m:?}"),
+            Err(e) => assert_ne!(e.code, xqr_xdm::ErrorCode::Internal),
+        }
     }
 }

@@ -354,6 +354,50 @@ impl DocumentCatalog {
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Parse (and, breaker permitting, index) a document WITHOUT
+    /// creating a catalog entry: the caller owns the returned id and
+    /// must remove it from the store when done. The publish path uses
+    /// this for the shared fallback document of one publish — index
+    /// accounting and the build breaker apply exactly as for [`put`],
+    /// but the document never competes for the catalog byte budget,
+    /// is never persisted, and is invisible to `doc()` resolution.
+    ///
+    /// [`put`]: DocumentCatalog::put
+    pub fn load_transient_indexed(&self, xml: &str) -> Result<DocId> {
+        xqr_faults::faultpoint!("catalog.load");
+        let id = self.store.load_xml(xml, None)?;
+        if let Some(limits) = self.index_limits {
+            if self.index_breaker.allow() {
+                let started = Instant::now();
+                let guard = QueryGuard::new(limits);
+                // Panic-contained: unlike `put`, there is no rollback
+                // guard here — an unwind would leak the un-entried
+                // document past the caller's ownership.
+                let built =
+                    xqr_core::contain_panic(|| xqr_index::ensure_indexed(&self.store, id, &guard));
+                match built {
+                    Ok(Some(_)) => {
+                        self.index_builds.fetch_add(1, Ordering::Relaxed);
+                        self.index_build_nanos
+                            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        self.index_breaker.record_success();
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Budget trip or injected fault: the transient
+                        // document stays usable unindexed; fallback
+                        // evaluations navigate instead.
+                        self.index_build_failures.fetch_add(1, Ordering::Relaxed);
+                        self.index_breaker.record_failure();
+                    }
+                }
+            } else {
+                self.degraded_no_index.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(id)
+    }
+
     /// Parse `xml` and register it under `name` (reachable from queries
     /// as `doc("name")`). Replaces any previous document of the same
     /// name, then evicts least-recently-used documents until the catalog

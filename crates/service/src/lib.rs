@@ -14,7 +14,12 @@
 //! * **admission control** ([`WorkerPool`]): a bounded run queue in front
 //!   of a fixed set of workers — when both the workers and the queue are
 //!   full, new queries are rejected with the stable error
-//!   `err:XQRL0004 Overloaded` instead of queueing without bound.
+//!   `err:XQRL0004 Overloaded` instead of queueing without bound;
+//! * **standing queries** (`xqr-subscribe`): register subscriptions with
+//!   [`QueryService::subscribe`], push documents at the whole set with
+//!   [`QueryService::publish`] — streamable subscriptions share one
+//!   combined-automaton pass per document, everything else falls back to
+//!   one-shot evaluation over a single shared materialized copy.
 //!
 //! [`QueryService`] composes the three and surfaces a [`ServiceStats`]
 //! snapshot (cache hit rate, p50/p99 latency, active/queued gauges) both
@@ -41,3 +46,6 @@ pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use pool::{PoolStats, WorkerPool};
 pub use resilience::{CircuitBreaker, Degraded, RetryPolicy};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
+pub use xqr_subscribe::{
+    CollectingSink, Delivery, PublishReport, SubId, SubscribeStats, SubscriptionSink,
+};

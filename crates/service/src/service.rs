@@ -22,8 +22,9 @@ use crate::plan_cache::PlanCache;
 use crate::pool::WorkerPool;
 use crate::resilience::{self, CircuitBreaker, RetryPolicy};
 use xqr_core::{Engine, EngineOptions, PreparedQuery};
-use xqr_runtime::{DynamicContext, Item};
+use xqr_runtime::{DynamicContext, Item, StreamStats};
 use xqr_store::{DocId, NodeId, NodeRef};
+use xqr_subscribe::{PublishReport, SubId, SubscriptionRegistry, SubscriptionSink};
 use xqr_xdm::{CancelHandle, Error, ErrorCode, LatencyHistogram, Limits, QueryGuard, Result};
 
 /// Consecutive plan-cache failures that open the service's breaker.
@@ -100,6 +101,11 @@ struct ServiceShared {
     /// serve cached plans or compile uncached (`Degraded::CacheOnly`).
     plans_breaker: CircuitBreaker,
     latency: LatencyHistogram,
+    /// Streaming-pass gauges, fed by both the shed-to-streaming rung
+    /// and the publish path's shared automaton pass.
+    stream_tokens_seen: AtomicU64,
+    stream_tokens_skipped: AtomicU64,
+    stream_matches: AtomicU64,
 }
 
 impl ServiceShared {
@@ -134,6 +140,15 @@ impl ServiceShared {
             }
         }
     }
+
+    fn record_stream(&self, stats: &StreamStats) {
+        self.stream_tokens_seen
+            .fetch_add(stats.tokens_seen, Ordering::Relaxed);
+        self.stream_tokens_skipped
+            .fetch_add(stats.tokens_skipped, Ordering::Relaxed);
+        self.stream_matches
+            .fetch_add(stats.matches, Ordering::Relaxed);
+    }
 }
 
 /// A thread-safe query service over one engine. See the crate docs.
@@ -141,6 +156,7 @@ pub struct QueryService {
     shared: Arc<ServiceShared>,
     catalog: Arc<DocumentCatalog>,
     pool: WorkerPool,
+    subs: SubscriptionRegistry,
 }
 
 /// An admitted, in-flight query. Obtain from [`QueryService::submit`];
@@ -223,9 +239,13 @@ impl QueryService {
                 degraded_cache_only: AtomicU64::new(0),
                 plans_breaker: CircuitBreaker::new(PLAN_BREAKER_THRESHOLD, PLAN_BREAKER_COOLDOWN),
                 latency: LatencyHistogram::new(),
+                stream_tokens_seen: AtomicU64::new(0),
+                stream_tokens_skipped: AtomicU64::new(0),
+                stream_matches: AtomicU64::new(0),
             }),
             catalog,
             pool: WorkerPool::new(config.max_concurrent, config.max_queued),
+            subs: SubscriptionRegistry::new(),
         })
     }
 
@@ -260,6 +280,80 @@ impl QueryService {
     /// Compile through the plan cache without executing (warm-up path).
     pub fn prepare(&self, query: &str) -> Result<Arc<PreparedQuery>> {
         self.shared.plans.get_or_compile(&self.shared.engine, query)
+    }
+
+    /// Register a standing query: every subsequent
+    /// [`QueryService::publish`] evaluates it against the published
+    /// document. Compiles through the plan cache, so a hot subscription
+    /// query and its one-shot twin share one plan. The subscription
+    /// runs under [`ServiceConfig::per_query_limits`] per document.
+    pub fn subscribe(&self, query: &str) -> Result<SubId> {
+        self.subscribe_with_sink(query, None)
+    }
+
+    /// [`QueryService::subscribe`] with a delivery sink: the sink
+    /// receives this subscription's outcome (matches or its coded
+    /// error) for every published document, on the publishing thread.
+    /// A panicking or failing sink degrades only this subscription.
+    pub fn subscribe_with_sink(
+        &self,
+        query: &str,
+        sink: Option<Arc<dyn SubscriptionSink>>,
+    ) -> Result<SubId> {
+        let plan = self.shared.acquire_plan(query)?;
+        Ok(self.subs.register(query, plan, self.shared.limits, sink))
+    }
+
+    /// Remove a standing query. `false` for stale ids (already
+    /// unsubscribed, or the slot was reused) — never affects the
+    /// slot's current tenant.
+    pub fn unsubscribe(&self, id: SubId) -> bool {
+        self.subs.unregister(id)
+    }
+
+    /// Live standing-query count.
+    pub fn subscriptions(&self) -> usize {
+        self.subs.active()
+    }
+
+    /// Publish a transient document at every standing subscription:
+    /// one tokenization pass drives the combined automaton for all
+    /// streamable subscriptions; non-streamable ones share a single
+    /// materialized (and, breaker permitting, indexed) copy routed
+    /// through the catalog's accounting, removed again before this
+    /// returns. The document is NOT retained — it is never reachable
+    /// via `doc("name")`.
+    pub fn publish(&self, name: &str, xml: &str) -> Result<PublishReport> {
+        let report = self.subs.publish_with_doc(
+            &self.shared.engine,
+            name,
+            xml,
+            self.shared.limits,
+            || {
+                self.catalog
+                    .load_transient_indexed(xml)
+                    .map(|id| (id, true))
+            },
+        )?;
+        self.shared.record_stream(&report.stats);
+        Ok(report)
+    }
+
+    /// [`QueryService::publish`] + retention: the document also
+    /// becomes (or replaces) catalog entry `name`, queryable afterwards
+    /// as `doc("name")`. Fallback subscriptions evaluate against the
+    /// retained copy, so nothing is parsed twice.
+    pub fn publish_retained(&self, name: &str, xml: &str) -> Result<PublishReport> {
+        let id = self.load_document(name, xml)?;
+        let report = self.subs.publish_with_doc(
+            &self.shared.engine,
+            name,
+            xml,
+            self.shared.limits,
+            || Ok((id, false)),
+        )?;
+        self.shared.record_stream(&report.stats);
+        Ok(report)
     }
 
     /// Admit a query for execution, or fail fast with `err:XQRL0004`
@@ -353,7 +447,9 @@ impl QueryService {
                         .shed_to_streaming
                         .fetch_add(1, Ordering::Relaxed);
                     let mut out = String::new();
-                    plan.execute_streaming(&self.shared.engine, xml, |m| out.push_str(m))?;
+                    let stats =
+                        plan.execute_streaming(&self.shared.engine, xml, |m| out.push_str(m))?;
+                    self.shared.record_stream(&stats);
                     self.shared.served.fetch_add(1, Ordering::Relaxed);
                     Ok(out)
                 } else {
@@ -372,6 +468,7 @@ impl QueryService {
         let plans = self.shared.plans.stats();
         let catalog = self.catalog.stats();
         let pool = self.pool.stats();
+        let subs = self.subs.stats();
         ServiceStats {
             served: self.shared.served.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
@@ -405,6 +502,15 @@ impl QueryService {
             index_breaker_opens: catalog.index_breaker_opens,
             plan_breaker_opens: self.shared.plans_breaker.opens(),
             lock_recoveries: resilience::lock_recoveries(),
+            subscriptions_active: subs.active,
+            documents_published: subs.documents_published,
+            matches_delivered: subs.matches_delivered,
+            shared_pass_evals: subs.shared_pass_evals,
+            fallback_evals: subs.fallback_evals,
+            delivery_failures: subs.delivery_failures,
+            stream_tokens_seen: self.shared.stream_tokens_seen.load(Ordering::Relaxed),
+            stream_tokens_skipped: self.shared.stream_tokens_skipped.load(Ordering::Relaxed),
+            stream_matches: self.shared.stream_matches.load(Ordering::Relaxed),
             latency_count: self.shared.latency.count(),
             latency_mean: self.shared.latency.mean(),
             latency_p50: self.shared.latency.p50(),
@@ -480,6 +586,29 @@ pub struct ServiceStats {
     pub plan_breaker_opens: u64,
     /// Poisoned-lock recoveries in the service layer (process-wide).
     pub lock_recoveries: u64,
+    /// Live standing subscriptions.
+    pub subscriptions_active: u64,
+    /// Documents pushed through [`QueryService::publish`] (and
+    /// `publish_retained`).
+    pub documents_published: u64,
+    /// Per-subscription match deliveries that charged a budget
+    /// successfully, summed over publishes.
+    pub matches_delivered: u64,
+    /// Subscriptions served by the combined shared pass, summed over
+    /// publishes.
+    pub shared_pass_evals: u64,
+    /// Subscriptions served by one-shot fallback, summed over publishes.
+    pub fallback_evals: u64,
+    /// Sink deliveries that errored or panicked (each degraded only its
+    /// own subscription).
+    pub delivery_failures: u64,
+    /// Tokens inspected by streaming passes (publish shared pass +
+    /// shed-to-streaming rung).
+    pub stream_tokens_seen: u64,
+    /// Tokens pruned by `skip()` without inspection.
+    pub stream_tokens_skipped: u64,
+    /// Matches emitted by streaming passes.
+    pub stream_matches: u64,
     pub latency_count: u64,
     pub latency_mean: Duration,
     pub latency_p50: Duration,
@@ -553,6 +682,22 @@ build-failures: {} breaker-opens: {}/{} lock-recoveries: {}",
             self.index_breaker_opens,
             self.plan_breaker_opens,
             self.lock_recoveries
+        )?;
+        writeln!(
+            f,
+            "pubsub:  subscriptions: {} published: {} matches: {} shared-pass: {} fallback: {} \
+delivery-failures: {}",
+            self.subscriptions_active,
+            self.documents_published,
+            self.matches_delivered,
+            self.shared_pass_evals,
+            self.fallback_evals,
+            self.delivery_failures
+        )?;
+        writeln!(
+            f,
+            "stream:  tokens-seen: {} tokens-skipped: {} matches: {}",
+            self.stream_tokens_seen, self.stream_tokens_skipped, self.stream_matches
         )?;
         write!(
             f,
@@ -659,10 +804,83 @@ mod tests {
             "indexes:",
             "pool:",
             "resilience:",
+            "pubsub:",
+            "stream:",
             "latency:",
         ] {
             assert!(text.contains(section), "{text}");
         }
+    }
+
+    #[test]
+    fn standing_subscriptions_receive_published_documents() {
+        let service = QueryService::new(ServiceConfig::default());
+        let streamed = service.subscribe("/bib/book/title").unwrap();
+        let fallback = service.subscribe("count(//book)").unwrap();
+        assert_eq!(service.subscriptions(), 2);
+
+        let xml = "<bib><book><title>a</title></book><book><title>b</title></book></bib>";
+        let report = service.publish("feed-1", xml).unwrap();
+        assert_eq!(
+            report.result_for(streamed).unwrap().as_ref().unwrap(),
+            "<title>a</title><title>b</title>"
+        );
+        assert_eq!(report.result_for(fallback).unwrap().as_ref().unwrap(), "2");
+
+        // Transient publish: the fallback copy must not linger in the
+        // store or the catalog.
+        assert_eq!(service.engine().store().doc_count(), 0);
+        assert!(service
+            .run(r#"doc("feed-1")"#)
+            .is_err_and(|e| e.code == ErrorCode::DocumentNotFound));
+
+        assert!(service.unsubscribe(streamed));
+        assert!(!service.unsubscribe(streamed), "stale id is a no-op");
+        let report = service.publish("feed-2", xml).unwrap();
+        assert!(report.result_for(streamed).is_none());
+        assert_eq!(service.subscriptions(), 1);
+
+        let s = service.stats();
+        assert_eq!(s.subscriptions_active, 1);
+        assert_eq!(s.documents_published, 2);
+        assert_eq!(s.shared_pass_evals, 1);
+        assert_eq!(s.fallback_evals, 2);
+        assert!(s.matches_delivered >= 3);
+        assert!(s.stream_tokens_seen > 0, "{s}");
+    }
+
+    #[test]
+    fn publish_retained_keeps_the_document_queryable() {
+        let service = QueryService::new(ServiceConfig::default());
+        let id = service.subscribe("//title").unwrap();
+        let report = service
+            .publish_retained("bib.xml", "<bib><book><title>t</title></book></bib>")
+            .unwrap();
+        assert_eq!(
+            report.result_for(id).unwrap().as_ref().unwrap(),
+            "<title>t</title>"
+        );
+        assert_eq!(
+            service.run(r#"doc("bib.xml")//title"#).unwrap(),
+            "<title>t</title>"
+        );
+        assert_eq!(service.stats().catalog_docs, 1);
+    }
+
+    #[test]
+    fn publish_skips_subtrees_no_subscription_can_match() {
+        let service = QueryService::new(ServiceConfig::default());
+        service.subscribe("/a/b/c").unwrap();
+        // The <z> subtree can never match /a/b/c: the combined pass
+        // must prune it rather than walk its tokens.
+        let xml = "<a><b><c>hit</c></b><z><w/><w/><w/><w/></z></a>";
+        service.publish("d", xml).unwrap();
+        let s = service.stats();
+        assert!(
+            s.stream_tokens_skipped > 0,
+            "publish pass must prune dead subtrees: {s}"
+        );
+        assert_eq!(s.stream_matches, 1);
     }
 
     #[test]

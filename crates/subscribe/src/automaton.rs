@@ -1,0 +1,528 @@
+//! The combined matcher: every registered streamable pattern compiled
+//! into ONE shared-prefix automaton, run once per published document.
+//!
+//! # Construction
+//!
+//! The automaton is a trie over `(descendant, QName)` steps: patterns
+//! sharing a step prefix share the trie path (YFilter-style), so
+//! matching cost scales with the *distinct structure* of the
+//! subscription set, not its cardinality — 256 subscriptions over
+//! common `//a/b/...` stems cost barely more than one.
+//!
+//! # Execution
+//!
+//! An NFA state-set run over the token stream. Each open element carries
+//! a set of states; a state is a trie node in one of two modes:
+//!
+//! - **full** (`node << 1`): the node's path just matched ending at this
+//!   element. Child and descendant out-edges both apply below it.
+//! - **residual** (`node << 1 | 1`): the node matched at some ancestor
+//!   and survives only because it has descendant out-edges; child edges
+//!   do NOT apply (they are anchored to the element that completed the
+//!   prefix). This distinction is what makes mixed child/descendant
+//!   fan-out correct — a plain self-loop over the trie node would let
+//!   child edges fire at arbitrary depth.
+//!
+//! A pattern accepts when its trie leaf is entered in full mode. Unlike
+//! the single-query [`StreamMatcher`](xqr_runtime::StreamMatcher)
+//! (outermost-match semantics), the combined run emits **every** match,
+//! nested ones included, in document order — exactly the node set
+//! materialized evaluation returns, so one shared pass substitutes for
+//! N independent one-shot queries byte-for-byte.
+//!
+//! When the state set of an element comes up empty and no capture is in
+//! flight, the whole subtree is `skip()`ed — the paper's pruning,
+//! shared across every subscription at once.
+
+use xqr_runtime::{StreamPattern, StreamStats};
+use xqr_tokenstream::{Token, TokenIterator};
+use xqr_xdm::{QName, Result};
+use xqr_xmlparse::{Attribute, NamespaceDecl, WriterOptions, XmlEvent, XmlWriter};
+
+/// Index of a pattern in the slice the automaton was built from.
+pub type PatternId = u32;
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Out-edges taken only from an element that completed this node's
+    /// path (full mode). `None` = wildcard.
+    child_edges: Vec<(Option<QName>, u32)>,
+    /// Out-edges applicable at any depth below a completion.
+    desc_edges: Vec<(Option<QName>, u32)>,
+    /// Patterns whose full path ends here.
+    accepts: Vec<PatternId>,
+}
+
+/// The shared-prefix trie/NFA over a set of streamable patterns.
+#[derive(Debug)]
+pub struct CombinedAutomaton {
+    nodes: Vec<Node>,
+    patterns: usize,
+}
+
+impl CombinedAutomaton {
+    /// Build the trie; patterns keep their slice index as [`PatternId`].
+    pub fn build(patterns: &[StreamPattern]) -> CombinedAutomaton {
+        let mut nodes = vec![Node::default()];
+        for (pid, pat) in patterns.iter().enumerate() {
+            let mut cur = 0usize;
+            for step in &pat.steps {
+                let found = {
+                    let list = if step.descendant {
+                        &nodes[cur].desc_edges
+                    } else {
+                        &nodes[cur].child_edges
+                    };
+                    list.iter().find(|(n, _)| *n == step.name).map(|&(_, t)| t)
+                };
+                cur = match found {
+                    Some(t) => t as usize,
+                    None => {
+                        let t = nodes.len();
+                        nodes.push(Node::default());
+                        let list = if step.descendant {
+                            &mut nodes[cur].desc_edges
+                        } else {
+                            &mut nodes[cur].child_edges
+                        };
+                        list.push((step.name.clone(), t as u32));
+                        t
+                    }
+                };
+            }
+            nodes[cur].accepts.push(pid as PatternId);
+        }
+        CombinedAutomaton {
+            nodes,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Trie size — the quantity matching cost actually scales with.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+
+    /// One NFA step: from the parent element's state set and a child
+    /// element's name, compute the child's state set and the patterns
+    /// accepting at it. `out`/`accepted` are scratch, cleared here.
+    fn advance(
+        &self,
+        parent: &[u32],
+        name: &QName,
+        out: &mut Vec<u32>,
+        accepted: &mut Vec<PatternId>,
+    ) {
+        out.clear();
+        accepted.clear();
+        for &s in parent {
+            let node = &self.nodes[(s >> 1) as usize];
+            let residual = s & 1 == 1;
+            if !residual {
+                for (n, t) in &node.child_edges {
+                    if n.as_ref().is_none_or(|q| q == name) {
+                        out.push(t << 1);
+                    }
+                }
+            }
+            for (n, t) in &node.desc_edges {
+                if n.as_ref().is_none_or(|q| q == name) {
+                    out.push(t << 1);
+                }
+            }
+            if !node.desc_edges.is_empty() {
+                // Survive below in residual mode: descendant edges stay
+                // live at any depth, child edges are spent.
+                out.push(s | 1);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        for &s in out.iter() {
+            if s & 1 == 0 {
+                accepted.extend(self.nodes[(s >> 1) as usize].accepts.iter().copied());
+            }
+        }
+        accepted.sort_unstable();
+        accepted.dedup();
+    }
+}
+
+/// Per-pattern results of one document pass: the serialized matches in
+/// document order, or the error (budget trip, typically) that stopped
+/// collection for that pattern alone.
+#[derive(Debug)]
+pub struct CombinedOutcome {
+    pub per_pattern: Vec<Result<Vec<String>>>,
+    pub stats: StreamStats,
+}
+
+/// An in-flight capture: one matched element being serialized for one or
+/// more accepting patterns.
+struct Capture {
+    /// Open-element depth of the captured element (captures form a
+    /// stack: strictly increasing depth).
+    depth: usize,
+    writer: XmlWriter,
+    /// `(pattern, reserved match slot)` recipients. The slot was
+    /// reserved at capture open, so nested matches land in document
+    /// order of their start tags even though inner captures close first.
+    recipients: Vec<(PatternId, usize)>,
+}
+
+/// Run one document through the automaton. `charge(pattern, bytes)` is
+/// invoked once per delivered match for per-subscription output budgets;
+/// an error stops collection for that pattern only — the shared pass
+/// (and every other pattern) continues. A top-level error means the
+/// document itself could not be read (parse error, token budget): no
+/// per-pattern results exist in that case.
+pub fn run_document<I, F>(
+    automaton: &CombinedAutomaton,
+    it: &mut I,
+    mut charge: F,
+) -> Result<CombinedOutcome>
+where
+    I: TokenIterator,
+    F: FnMut(PatternId, u64) -> Result<()>,
+{
+    let npat = automaton.pattern_count();
+    let mut per_pattern: Vec<Result<Vec<String>>> = (0..npat).map(|_| Ok(Vec::new())).collect();
+    let mut stats = StreamStats::default();
+    // Flat state-set arena: `states[bounds[d]..bounds[d+1]]` is the set
+    // for open-element depth d+1; the trailing segment is the top.
+    let mut states: Vec<u32> = vec![0]; // trie root, full mode
+    let mut bounds: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut accepted: Vec<PatternId> = Vec::new();
+    let mut captures: Vec<Capture> = Vec::new();
+    // Start-tag buffer: attributes/namespace tokens arrive after
+    // StartElement; the tag is written to capture writers on the first
+    // non-attribute token.
+    let mut pending: Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)> = None;
+
+    fn flush_pending(
+        pending: &mut Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)>,
+        captures: &mut [Capture],
+    ) -> Result<()> {
+        if let Some((name, attributes, namespaces)) = pending.take() {
+            for c in captures.iter_mut() {
+                c.writer.write(&XmlEvent::StartElement {
+                    name: name.clone(),
+                    attributes: attributes.clone(),
+                    namespaces: namespaces.clone(),
+                    empty: false,
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    while let Some(tok) = it.next_token()? {
+        stats.tokens_seen += 1;
+        match tok {
+            Token::StartDocument | Token::EndDocument => {}
+            Token::StartElement(nid) => {
+                let name = it.name(nid);
+                flush_pending(&mut pending, &mut captures)?;
+                let start = bounds.last().copied().unwrap_or(0) as usize;
+                automaton.advance(&states[start..], &name, &mut scratch, &mut accepted);
+                bounds.push(states.len() as u32);
+                states.extend_from_slice(&scratch);
+                let depth = bounds.len();
+                // Open at most one capture per element; all accepting
+                // patterns still collecting share its writer.
+                let mut recipients: Vec<(PatternId, usize)> = Vec::new();
+                for &pid in &accepted {
+                    if let Ok(slots) = &mut per_pattern[pid as usize] {
+                        slots.push(String::new()); // reserve in doc order
+                        recipients.push((pid, slots.len() - 1));
+                    }
+                }
+                if !recipients.is_empty() {
+                    captures.push(Capture {
+                        depth,
+                        writer: XmlWriter::new(WriterOptions::default()),
+                        recipients,
+                    });
+                }
+                if !captures.is_empty() {
+                    pending = Some((name, Vec::new(), Vec::new()));
+                } else if scratch.is_empty() {
+                    // No live state and nothing being serialized: no
+                    // subscription can match anything below — skip the
+                    // whole subtree, once, for all of them.
+                    let skipped = it.skip_subtree()?;
+                    stats.tokens_skipped += skipped as u64;
+                    states.truncate(bounds.pop().expect("pushed above") as usize);
+                }
+            }
+            Token::Attribute(nid, vid) => {
+                if let Some((_, attrs, _)) = pending.as_mut() {
+                    attrs.push(Attribute {
+                        name: it.name(nid),
+                        value: it.pooled_str(vid),
+                    });
+                }
+            }
+            Token::NamespaceDecl(pid, uid) => {
+                if let Some((_, _, decls)) = pending.as_mut() {
+                    let prefix = it.pooled_str(pid);
+                    decls.push(NamespaceDecl {
+                        prefix: if prefix.is_empty() {
+                            None
+                        } else {
+                            Some(prefix)
+                        },
+                        uri: it.pooled_str(uid),
+                    });
+                }
+            }
+            Token::Text(sid) => {
+                if !captures.is_empty() {
+                    flush_pending(&mut pending, &mut captures)?;
+                    let text = it.pooled_str(sid);
+                    for c in captures.iter_mut() {
+                        c.writer.write(&XmlEvent::Text(text.clone()))?;
+                    }
+                }
+            }
+            Token::Comment(sid) => {
+                if !captures.is_empty() {
+                    flush_pending(&mut pending, &mut captures)?;
+                    let text = it.pooled_str(sid);
+                    for c in captures.iter_mut() {
+                        c.writer.write(&XmlEvent::Comment(text.clone()))?;
+                    }
+                }
+            }
+            Token::ProcessingInstruction(nid, did) => {
+                if !captures.is_empty() {
+                    flush_pending(&mut pending, &mut captures)?;
+                    let target: std::sync::Arc<str> =
+                        std::sync::Arc::from(it.name(nid).local_name());
+                    let data = it.pooled_str(did);
+                    for c in captures.iter_mut() {
+                        c.writer.write(&XmlEvent::ProcessingInstruction {
+                            target: target.clone(),
+                            data: data.clone(),
+                        })?;
+                    }
+                }
+            }
+            Token::EndElement => {
+                if !captures.is_empty() {
+                    flush_pending(&mut pending, &mut captures)?;
+                    for c in captures.iter_mut() {
+                        c.writer.write(&XmlEvent::EndElement {
+                            name: QName::local(""),
+                        })?;
+                    }
+                }
+                let depth = bounds.len();
+                if let Some(start) = bounds.pop() {
+                    states.truncate(start as usize);
+                }
+                if captures.last().is_some_and(|c| c.depth == depth) {
+                    let cap = captures.pop().expect("checked above");
+                    let out = cap.writer.into_string();
+                    for (pid, slot) in cap.recipients {
+                        // A pattern that already failed (budget tripped
+                        // on an earlier, possibly nested, match) stays
+                        // failed; skip it.
+                        if let Ok(slots) = &mut per_pattern[pid as usize] {
+                            match charge(pid, out.len() as u64) {
+                                Ok(()) => {
+                                    stats.matches += 1;
+                                    slots[slot] = out.clone();
+                                }
+                                Err(e) => per_pattern[pid as usize] = Err(e),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(CombinedOutcome { per_pattern, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xqr_tokenstream::ParserTokenIterator;
+    use xqr_xdm::NamePool;
+
+    fn pat(query: &str) -> StreamPattern {
+        xqr_core::Engine::new()
+            .compile(query)
+            .expect("compiles")
+            .stream_pattern()
+            .expect("streamable")
+            .clone()
+    }
+
+    fn run_all(patterns: &[&str], xml: &str) -> (Vec<Result<Vec<String>>>, StreamStats) {
+        let pats: Vec<StreamPattern> = patterns.iter().map(|q| pat(q)).collect();
+        let a = CombinedAutomaton::build(&pats);
+        let mut it = ParserTokenIterator::new(xml, Arc::new(NamePool::new()));
+        let out = run_document(&a, &mut it, |_, _| Ok(())).expect("document reads");
+        (out.per_pattern, out.stats)
+    }
+
+    fn oks(r: &[Result<Vec<String>>]) -> Vec<Vec<String>> {
+        r.iter().map(|x| x.as_ref().unwrap().clone()).collect()
+    }
+
+    #[test]
+    fn shared_prefix_patterns_share_trie_nodes() {
+        let pats: Vec<StreamPattern> = ["/a/b/c", "/a/b/d", "/a/b/e"]
+            .iter()
+            .map(|q| pat(q))
+            .collect();
+        let a = CombinedAutomaton::build(&pats);
+        // root + a + b + {c,d,e}: 6 nodes, not 10.
+        assert_eq!(a.node_count(), 6);
+        assert_eq!(a.pattern_count(), 3);
+    }
+
+    #[test]
+    fn each_pattern_gets_only_its_matches() {
+        let (r, _) = run_all(
+            &["/a/b", "/a/c", "//d"],
+            "<a><b>1</b><c>2</c><x><d>3</d></x></a>",
+        );
+        assert_eq!(
+            oks(&r),
+            vec![
+                vec!["<b>1</b>".to_string()],
+                vec!["<c>2</c>".to_string()],
+                vec!["<d>3</d>".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn emits_nested_matches_in_document_order() {
+        // Unlike StreamMatcher's outermost semantics: materialized
+        // evaluation of //b returns BOTH b elements, outer first.
+        let (r, _) = run_all(&["//b"], "<a><b>outer<b>inner</b></b></a>");
+        assert_eq!(
+            oks(&r),
+            vec![vec![
+                "<b>outer<b>inner</b></b>".to_string(),
+                "<b>inner</b>".to_string(),
+            ]]
+        );
+    }
+
+    #[test]
+    fn mixed_child_and_descendant_edges_stay_anchored() {
+        // /a/b (child-child) and //c share the automaton. The child
+        // edge for b must NOT fire at depths below a's children.
+        let (r, _) = run_all(
+            &["/a/b", "//c"],
+            "<a><x><b>deep</b><c>yes</c></x><b>hit</b></a>",
+        );
+        assert_eq!(
+            oks(&r),
+            vec![
+                vec!["<b>hit</b>".to_string()],
+                vec!["<c>yes</c>".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn skip_fires_only_when_no_pattern_is_live() {
+        // /a/b alone would skip <z>: but //d keeps every subtree live.
+        let (_, stats) = run_all(&["/a/b", "//d"], "<a><z><junk/><junk/></z><b/></a>");
+        assert_eq!(stats.tokens_skipped, 0);
+        // With only child patterns, the z subtree is pruned once.
+        let (r, stats) = run_all(&["/a/b", "/a/c"], "<a><z><junk/><junk/></z><b/></a>");
+        assert!(stats.tokens_skipped > 0, "{stats:?}");
+        assert_eq!(
+            oks(&r),
+            vec![vec!["<b/>".to_string()], Vec::<String>::new()]
+        );
+    }
+
+    #[test]
+    fn same_pattern_registered_twice_matches_twice() {
+        let (r, _) = run_all(&["/a/b", "/a/b"], "<a><b>x</b></a>");
+        assert_eq!(
+            oks(&r),
+            vec![vec!["<b>x</b>".to_string()], vec!["<b>x</b>".to_string()]]
+        );
+    }
+
+    #[test]
+    fn budget_trip_degrades_one_pattern_only() {
+        let pats = vec![pat("/a/b"), pat("/a/b"), pat("/a/c")];
+        let a = CombinedAutomaton::build(&pats);
+        let mut it =
+            ParserTokenIterator::new("<a><b>1</b><b>2</b><c>3</c></a>", Arc::new(NamePool::new()));
+        // Pattern 1 trips after its first delivered match.
+        let mut p1_bytes = 0u64;
+        let out = run_document(&a, &mut it, |pid, bytes| {
+            if pid == 1 {
+                p1_bytes += bytes;
+                if p1_bytes > 8 {
+                    return Err(xqr_xdm::Error::new(
+                        xqr_xdm::ErrorCode::Limit,
+                        "output budget",
+                    ));
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            out.per_pattern[0].as_ref().unwrap(),
+            &vec!["<b>1</b>".to_string(), "<b>2</b>".to_string()]
+        );
+        assert_eq!(
+            out.per_pattern[1].as_ref().unwrap_err().code,
+            xqr_xdm::ErrorCode::Limit
+        );
+        assert_eq!(
+            out.per_pattern[2].as_ref().unwrap(),
+            &vec!["<c>3</c>".to_string()]
+        );
+    }
+
+    #[test]
+    fn attributes_namespaces_and_text_serialize_through_shared_captures() {
+        let (r, _) = run_all(&["//b", "/a/b"], r#"<a><b k="v">t<!--c--></b></a>"#);
+        let want = vec![r#"<b k="v">t<!--c--></b>"#.to_string()];
+        assert_eq!(oks(&r), vec![want.clone(), want]);
+    }
+
+    #[test]
+    fn empty_pattern_set_consumes_nothing() {
+        let a = CombinedAutomaton::build(&[]);
+        let mut it = ParserTokenIterator::new("<a><b/></a>", Arc::new(NamePool::new()));
+        let out = run_document(&a, &mut it, |_, _| Ok(())).unwrap();
+        assert!(out.per_pattern.is_empty());
+        // The document element's subtree is skipped wholesale.
+        assert!(out.stats.tokens_skipped > 0);
+    }
+
+    #[test]
+    fn wildcard_descendant_pattern_accepts_every_element() {
+        let (r, _) = run_all(&["//*"], "<a><b/><c><d/></c></a>");
+        assert_eq!(
+            oks(&r),
+            vec![vec![
+                "<a><b/><c><d/></c></a>".to_string(),
+                "<b/>".to_string(),
+                "<c><d/></c>".to_string(),
+                "<d/>".to_string(),
+            ]]
+        );
+    }
+}

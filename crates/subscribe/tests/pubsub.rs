@@ -1,0 +1,303 @@
+//! End-to-end registry tests: registration lifecycle, shared-pass vs
+//! fallback equivalence with one-shot evaluation, and per-subscription
+//! fault isolation (budgets, panicking sinks, injected delivery
+//! faults).
+
+use std::sync::Arc;
+use xqr_core::Engine;
+use xqr_subscribe::{CollectingSink, Delivery, SubscriptionRegistry, SubscriptionSink};
+use xqr_xdm::{ErrorCode, Limits};
+
+fn register(reg: &SubscriptionRegistry, engine: &Engine, query: &str) -> xqr_subscribe::SubId {
+    let plan = engine.compile_shared(query).expect("compiles");
+    reg.register(query, plan, Limits::unlimited(), None)
+}
+
+#[test]
+fn publish_matches_one_shot_evaluation_for_mixed_sets() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let xml = r#"<bib><book year="1994"><title>TCP/IP</title><price>65.95</price></book><book><title>Data on the Web</title></book><note>text</note></bib>"#;
+    // Streamable, streamable-with-descendant (nested matters), and two
+    // non-streamable queries share one publish.
+    let queries = [
+        "/bib/book/title",
+        "//title",
+        "count(//book)",
+        "for $b in /bib/book where $b/@year return $b/title",
+    ];
+    let ids: Vec<_> = queries.iter().map(|q| register(&reg, &engine, q)).collect();
+    let report = reg
+        .publish(&engine, "bib.xml", xml, Limits::unlimited())
+        .expect("publish");
+    assert_eq!(report.shared_pass, 2);
+    assert_eq!(report.fallback, 2);
+    for (id, query) in ids.iter().zip(queries) {
+        let want = engine.query_xml(xml, query).expect("one-shot");
+        let got = report
+            .result_for(*id)
+            .expect("result present")
+            .as_ref()
+            .expect("ok");
+        assert_eq!(got, &want, "subscription {query:?} diverged from one-shot");
+    }
+    // The document must not leak from the fallback materialization.
+    assert_eq!(engine.store().doc_count(), 0);
+}
+
+#[test]
+fn nested_descendant_matches_equal_materialized_results() {
+    // The single-query StreamMatcher is outermost-only here; the
+    // combined pass must emit ALL matches to equal one-shot results.
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let id = register(&reg, &engine, "//b");
+    let xml = "<a><b>outer<b>inner</b></b><b/></a>";
+    let report = reg.publish(&engine, "d", xml, Limits::unlimited()).unwrap();
+    let want = engine.query_xml(xml, "//b").unwrap();
+    assert_eq!(report.result_for(id).unwrap().as_ref().unwrap(), &want);
+    assert_eq!(report.shared_pass, 1);
+}
+
+#[test]
+fn stale_ids_never_touch_reused_slots() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let a = register(&reg, &engine, "/a/b");
+    assert!(reg.unregister(a));
+    assert!(!reg.unregister(a), "double unsubscribe must be a no-op");
+    let b = register(&reg, &engine, "/a/c");
+    assert_ne!(a, b, "reused slot must carry a new generation");
+    assert!(!reg.unregister(a), "stale id must not evict the new tenant");
+    assert_eq!(reg.active(), 1);
+    assert_eq!(reg.query_of(b).as_deref(), Some("/a/c"));
+    assert_eq!(reg.query_of(a), None);
+    assert!(reg.unregister(b));
+    assert_eq!(reg.active(), 0);
+}
+
+#[test]
+fn unsubscribed_queries_stop_receiving() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let keep = register(&reg, &engine, "/a/b");
+    let drop_ = register(&reg, &engine, "/a/b");
+    reg.unregister(drop_);
+    let report = reg
+        .publish(&engine, "d", "<a><b>x</b></a>", Limits::unlimited())
+        .unwrap();
+    assert!(report.result_for(keep).is_some());
+    assert!(report.result_for(drop_).is_none());
+    assert_eq!(report.results.len(), 1);
+}
+
+#[test]
+fn per_subscription_budget_trips_do_not_cross_contaminate() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let plan = engine.compile_shared("/a/b").unwrap();
+    let tiny = reg.register(
+        "/a/b",
+        plan.clone(),
+        Limits::unlimited().with_max_output_bytes(4),
+        None,
+    );
+    let roomy = reg.register("/a/b", plan, Limits::unlimited(), None);
+    let report = reg
+        .publish(&engine, "d", "<a><b>12345678</b></a>", Limits::unlimited())
+        .unwrap();
+    assert_eq!(
+        report.result_for(tiny).unwrap().as_ref().unwrap_err().code,
+        ErrorCode::Limit
+    );
+    assert_eq!(
+        report.result_for(roomy).unwrap().as_ref().unwrap(),
+        "<b>12345678</b>"
+    );
+}
+
+#[test]
+fn fallback_evaluation_errors_are_isolated_too() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    // Non-streamable and guaranteed to fail at runtime: division by zero.
+    let failing = register(&reg, &engine, "1 div 0");
+    let fine = register(&reg, &engine, "count(//b)");
+    let report = reg
+        .publish(&engine, "d", "<a><b/><b/></a>", Limits::unlimited())
+        .unwrap();
+    assert!(report.result_for(failing).unwrap().is_err());
+    assert_eq!(report.result_for(fine).unwrap().as_ref().unwrap(), "2");
+}
+
+struct PanickingSink;
+impl SubscriptionSink for PanickingSink {
+    fn deliver(&self, _d: &Delivery<'_>) -> xqr_xdm::Result<()> {
+        panic!("subscriber exploded");
+    }
+}
+
+#[test]
+fn panicking_sink_degrades_only_itself() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let plan = engine.compile_shared("/a/b").unwrap();
+    let bad = reg.register(
+        "/a/b",
+        plan.clone(),
+        Limits::unlimited(),
+        Some(Arc::new(PanickingSink)),
+    );
+    let good_sink = CollectingSink::new();
+    let good = reg.register("/a/b", plan, Limits::unlimited(), Some(good_sink.clone()));
+    let report = reg
+        .publish(&engine, "d", "<a><b>x</b></a>", Limits::unlimited())
+        .unwrap();
+    // The panic is contained as this subscription's XQRL0000.
+    assert_eq!(
+        report.result_for(bad).unwrap().as_ref().unwrap_err().code,
+        ErrorCode::Internal
+    );
+    assert_eq!(
+        report.result_for(good).unwrap().as_ref().unwrap(),
+        "<b>x</b>"
+    );
+    let received = good_sink.take();
+    assert_eq!(received.len(), 1);
+    assert_eq!(received[0].1.as_ref().unwrap(), "<b>x</b>");
+    assert_eq!(report.delivery_failures, 1);
+}
+
+#[test]
+fn sinks_see_error_outcomes_for_their_own_subscription() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let sink = CollectingSink::new();
+    let id = reg.register(
+        "/a/b",
+        engine.compile_shared("/a/b").unwrap(),
+        Limits::unlimited().with_max_output_bytes(1),
+        Some(sink.clone()),
+    );
+    let report = reg
+        .publish(&engine, "d", "<a><b>wide</b></a>", Limits::unlimited())
+        .unwrap();
+    assert!(report.result_for(id).unwrap().is_err());
+    let received = sink.take();
+    assert_eq!(received.len(), 1);
+    assert_eq!(received[0].1.as_ref().unwrap_err().code, ErrorCode::Limit);
+}
+
+#[test]
+fn publish_with_no_subscriptions_is_cheap_and_clean() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let report = reg
+        .publish(&engine, "d", "<a><b/></a>", Limits::unlimited())
+        .unwrap();
+    assert!(report.results.is_empty());
+    assert_eq!(report.stats.tokens_seen, 0, "no pass should run");
+    assert_eq!(engine.store().doc_count(), 0);
+}
+
+#[test]
+fn stats_accumulate_across_publishes() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    register(&reg, &engine, "/a/b");
+    register(&reg, &engine, "count(//b)");
+    for _ in 0..3 {
+        reg.publish(&engine, "d", "<a><b>x</b></a>", Limits::unlimited())
+            .unwrap();
+    }
+    let s = reg.stats();
+    assert_eq!(s.active, 2);
+    assert_eq!(s.documents_published, 3);
+    assert_eq!(s.shared_pass_evals, 3);
+    assert_eq!(s.fallback_evals, 3);
+    assert_eq!(s.matches_delivered, 6); // 3 streamed matches + 3 fallback
+    assert!(s.stream_tokens_seen > 0);
+}
+
+mod injected_delivery_faults {
+    use super::*;
+    use xqr_faults::{FaultKind, FaultRule, FaultSchedule};
+
+    #[test]
+    fn delivery_fault_degrades_one_subscriber_never_the_pass() {
+        assert!(
+            xqr_faults::compiled_with_failpoints(),
+            "test build must arm failpoints"
+        );
+        let engine = Engine::new();
+        let reg = SubscriptionRegistry::new();
+        let plan = engine.compile_shared("/a/b").unwrap();
+        let sinks: Vec<Arc<CollectingSink>> = (0..3).map(|_| CollectingSink::new()).collect();
+        let ids: Vec<_> = sinks
+            .iter()
+            .map(|s| reg.register("/a/b", plan.clone(), Limits::unlimited(), Some(s.clone())))
+            .collect();
+        // Exactly the second delivery of the publish fails.
+        let schedule = FaultSchedule::new(7).rule(
+            FaultRule::new("subscribe.deliver", FaultKind::ErrorReturn)
+                .skip_first(1)
+                .max_fires(1),
+        );
+        let (report, fired) = {
+            let _guard = xqr_faults::install(schedule);
+            let r = reg
+                .publish(&engine, "d", "<a><b>x</b></a>", Limits::unlimited())
+                .unwrap();
+            (r, xqr_faults::fires())
+        };
+        assert_eq!(fired, 1, "the delivery fault must actually fire");
+        assert_eq!(report.delivery_failures, 1);
+        let outcomes: Vec<_> = ids
+            .iter()
+            .map(|id| report.result_for(*id).unwrap())
+            .collect();
+        assert!(outcomes[0].is_ok() && outcomes[2].is_ok());
+        let failed = outcomes[1].as_ref().unwrap_err();
+        assert_ne!(failed.code, ErrorCode::Internal, "coded, not a panic leak");
+        // The healthy subscribers actually received their deliveries.
+        assert_eq!(sinks[0].take().len(), 1);
+        assert_eq!(sinks[1].take().len(), 0, "faulted delivery never arrived");
+        assert_eq!(sinks[2].take().len(), 1);
+    }
+
+    #[test]
+    fn delivery_panic_fault_is_contained_per_subscription() {
+        let engine = Engine::new();
+        let reg = SubscriptionRegistry::new();
+        let sink = CollectingSink::new();
+        let plan = engine.compile_shared("/a/b").unwrap();
+        let victim = reg.register(
+            "/a/b",
+            plan.clone(),
+            Limits::unlimited(),
+            Some(sink.clone()),
+        );
+        let silent = reg.register("/a/b", plan, Limits::unlimited(), None);
+        let schedule = FaultSchedule::new(9)
+            .rule(FaultRule::new("subscribe.deliver", FaultKind::Panic).max_fires(1));
+        let report = {
+            let _guard = xqr_faults::install(schedule);
+            reg.publish(&engine, "d", "<a><b>x</b></a>", Limits::unlimited())
+                .unwrap()
+        };
+        assert_eq!(
+            report
+                .result_for(victim)
+                .unwrap()
+                .as_ref()
+                .unwrap_err()
+                .code,
+            ErrorCode::Internal,
+            "a contained panic is XQRL0000 for the victim"
+        );
+        assert_eq!(
+            report.result_for(silent).unwrap().as_ref().unwrap(),
+            "<b>x</b>"
+        );
+    }
+}

@@ -23,7 +23,8 @@
 //! (XQuery front-end), [`xqr_compiler`], [`xqr_runtime`],
 //! [`xqr_xmlgen`] (workload generators), and [`xqr_service`] (the
 //! concurrent query service: plan cache, document catalog, admission
-//! control).
+//! control), and [`xqr_subscribe`] (standing continuous queries over
+//! document streams).
 
 pub use xqr_core::*;
 
@@ -33,6 +34,7 @@ pub use xqr_joins;
 pub use xqr_runtime;
 pub use xqr_service;
 pub use xqr_store;
+pub use xqr_subscribe;
 pub use xqr_tokenstream;
 pub use xqr_xdm;
 pub use xqr_xmlgen;

@@ -102,6 +102,48 @@ fn semantics_seed_doc_optimizer_agrees() {
     }
 }
 
+/// The streaming extractor silently caps patterns at
+/// [`StreamPattern::MAX_STEPS`] steps (the matcher's per-element prefix
+/// state is a `u32` bitmask, so step 32 would shift out of it). A path
+/// one step past the cap must still answer — via the navigational
+/// path — not stream wrongly and not error.
+#[test]
+fn paths_beyond_the_streaming_step_cap_answer_navigationally() {
+    use xqr::xqr_runtime::StreamPattern;
+
+    let depth = StreamPattern::MAX_STEPS + 1;
+    let mut xml = String::new();
+    for _ in 0..depth {
+        xml.push_str("<s>");
+    }
+    xml.push('x');
+    for _ in 0..depth {
+        xml.push_str("</s>");
+    }
+    let engine = Engine::new();
+
+    // At the cap: still streamable, and streaming agrees with
+    // materialized evaluation byte-for-byte.
+    let at_cap = "/s".repeat(StreamPattern::MAX_STEPS);
+    let plan = engine.compile(&at_cap).unwrap();
+    assert!(plan.is_streamable() && plan.streaming_is_exact());
+    let mut streamed = String::new();
+    plan.execute_streaming(&engine, &xml, |m| streamed.push_str(m))
+        .unwrap();
+    assert_eq!(streamed, engine.query_xml(&xml, &at_cap).unwrap());
+
+    // One past the cap: the plan quietly refuses to stream and the
+    // navigational path answers correctly.
+    let past_cap = "/s".repeat(depth);
+    let plan = engine.compile(&past_cap).unwrap();
+    assert!(
+        !plan.is_streamable(),
+        "{depth} steps exceed the streaming cap of {}",
+        StreamPattern::MAX_STEPS
+    );
+    assert_eq!(engine.query_xml(&xml, &past_cap).unwrap(), "<s>x</s>");
+}
+
 /// Guard against the root-cause class of the roundtrip seed: documents
 /// whose store form and wire form must agree node-for-node.
 #[test]
