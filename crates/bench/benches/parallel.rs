@@ -1,0 +1,182 @@
+//! E18: morsel-parallel twig joins and shared-scan batch execution.
+//!
+//! Three questions, mirroring the claims in `EXPERIMENTS.md`:
+//!
+//! 1. **Large-document speedup** — on an index-fed twig over ~10⁵
+//!    elements, how does the morsel executor scale with the morsel
+//!    count vs the serial `twig_stack` kernel?
+//! 2. **Small-document overhead** — on a document far below
+//!    `min_split`, forcing a split should *lose* (the honest negative:
+//!    pool handoff + merge dominate microsecond joins), which is why
+//!    the default config refuses to split small inputs.
+//! 3. **Batch amortization** — `Engine::query_batch` over one document
+//!    vs compiling/loading per query, with the shared scan cache
+//!    deduplicating inverted-list builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use xqr_core::{Engine, EngineOptions};
+use xqr_joins::{element_list, twig_stack, TwigPattern};
+use xqr_parallel::{parallel_twig_stack, ParallelConfig};
+use xqr_store::Document;
+use xqr_xdm::{Limits, NamePool, QueryGuard};
+use xqr_xmlgen::{random_tree, RandomTreeConfig};
+
+struct Fixture {
+    twig: TwigPattern,
+    lists: Vec<Vec<xqr_joins::Labeled>>,
+    shared: Vec<Arc<Vec<xqr_joins::Labeled>>>,
+}
+
+fn fixture(nodes: usize) -> Fixture {
+    let names = Arc::new(NamePool::new());
+    let cfg = RandomTreeConfig {
+        seed: 0xE18,
+        nodes,
+        max_depth: 12,
+        alphabet: 3,
+        p_ancestor: 0.2,
+        p_descendant: 0.25,
+        ..Default::default()
+    };
+    let doc = Document::parse(&random_tree(&cfg), names.clone()).unwrap();
+    let twig = TwigPattern::parse("//t0[t1]//t2", &names).unwrap();
+    let lists: Vec<_> = twig
+        .nodes
+        .iter()
+        .map(|n| element_list(&doc, n.name))
+        .collect();
+    let shared: Vec<_> = lists.iter().cloned().map(Arc::new).collect();
+    Fixture {
+        twig,
+        lists,
+        shared,
+    }
+}
+
+fn bench_parallel_twig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_parallel_twig");
+    group.sample_size(20);
+    let f = fixture(120_000);
+    let guard = QueryGuard::new(Limits::unlimited());
+
+    group.bench_function("serial_twig_stack", |b| {
+        b.iter(|| twig_stack(&f.twig, &f.lists))
+    });
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for m in [2usize, 4, ncpu] {
+        group.bench_with_input(BenchmarkId::new("morsels", m), &m, |b, &m| {
+            b.iter(|| {
+                parallel_twig_stack(
+                    &f.twig,
+                    f.shared.clone(),
+                    &ParallelConfig::forced(m),
+                    &guard,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_doc_negative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_small_doc");
+    let f = fixture(300);
+    let guard = QueryGuard::new(Limits::unlimited());
+
+    group.bench_function("serial", |b| b.iter(|| twig_stack(&f.twig, &f.lists)));
+    group.bench_function("forced_4_morsels", |b| {
+        b.iter(|| {
+            parallel_twig_stack(
+                &f.twig,
+                f.shared.clone(),
+                &ParallelConfig::forced(4),
+                &guard,
+            )
+            .unwrap()
+        })
+    });
+    // What the default config actually does on this input: refuses to
+    // split (below `min_split`), paying only the heuristic check.
+    group.bench_function("default_config", |b| {
+        b.iter(|| {
+            parallel_twig_stack(
+                &f.twig,
+                f.shared.clone(),
+                &ParallelConfig::default(),
+                &guard,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e18_batch");
+    group.sample_size(20);
+    let xml = random_tree(&RandomTreeConfig {
+        seed: 0xBA7C,
+        nodes: 30_000,
+        max_depth: 10,
+        alphabet: 3,
+        p_ancestor: 0.2,
+        p_descendant: 0.25,
+        ..Default::default()
+    });
+    // Eight queries sharing three underlying inverted-list scans.
+    let queries: Vec<&str> = vec![
+        "count(//t0//t1)",
+        "count(//t0[t1]//t2)",
+        "count(//t0/t1)",
+        "count(//t1//t2)",
+        "count(//t0[t2])",
+        "count(//t0[t1][t2])",
+        "count(//t2)",
+        "count(//t1)",
+    ];
+
+    group.bench_function("query_batch_shared_scans", |b| {
+        let engine = Engine::with_options(EngineOptions::default());
+        b.iter(|| engine.query_batch(&xml, &queries))
+    });
+    group.bench_function("individual_queries", |b| {
+        let engine = Engine::with_options(EngineOptions::default());
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| engine.query_xml(&xml, q))
+                .collect::<Vec<_>>()
+        })
+    });
+    // Parse + index once outside the loop: what remains is compile +
+    // execute per query with *no* shared scan cache, isolating the
+    // scan-sharing benefit from the parse/index amortization.
+    group.bench_function("individual_preloaded", |b| {
+        let engine = Engine::with_options(EngineOptions::default());
+        let ctx = xqr_core::context_with_doc(&engine, "e18.xml", &xml).unwrap();
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| {
+                    engine
+                        .compile(q)
+                        .and_then(|p| p.execute(&engine, &ctx))
+                        .and_then(|r| r.serialize_guarded())
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_twig,
+    bench_small_doc_negative,
+    bench_batch
+);
+criterion_main!(benches);

@@ -5,8 +5,8 @@ use crate::explain::explain;
 use std::sync::Arc;
 use xqr_compiler::{compile, CompileOptions, CompiledQuery};
 use xqr_runtime::{
-    serialize_sequence, Counters, DynamicContext, Evaluator, ExecState, Item, RuntimeOptions,
-    Sequence, StreamMatcher, StreamPattern, StreamStats,
+    serialize_sequence, Counters, DynamicContext, Evaluator, ExecState, Item, ParallelConfig,
+    RuntimeOptions, ScanCache, Sequence, StreamMatcher, StreamPattern, StreamStats,
 };
 use xqr_store::{DocId, NodeRef, Store};
 use xqr_tokenstream::ParserTokenIterator;
@@ -96,6 +96,17 @@ impl EngineOptions {
         format!("{:?}", self.compile).hash(&mut h);
         format!("{:?}", self.runtime).hash(&mut h);
         h.finish()
+    }
+
+    /// Set the morsel-parallel join configuration (builder form).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.runtime.parallel = parallel;
+        self
+    }
+
+    /// Is morsel-parallel join execution enabled?
+    pub fn parallel_joins(&self) -> bool {
+        self.runtime.parallel.enabled
     }
 }
 
@@ -201,6 +212,40 @@ impl Engine {
     /// one compilation can serve concurrent executions on many threads.
     pub fn compile_shared(&self, query: &str) -> Result<Arc<PreparedQuery>> {
         self.compile(query).map(Arc::new)
+    }
+
+    /// Run many queries over one document in a single pass, sharing
+    /// inverted-list scans: the document is loaded (and, when
+    /// [`EngineOptions::index_documents`] is set, indexed) **once**, and
+    /// queries touching the same QNames reuse each other's path-filtered
+    /// lists through a batch-scoped [`ScanCache`] instead of rebuilding
+    /// them. Per-query failures are per-slot `Err`s — one bad query does
+    /// not fail its batch siblings. The document is removed when the
+    /// batch completes, like [`Engine::query_xml`].
+    pub fn query_batch(&self, xml: &str, queries: &[&str]) -> Vec<Result<String>> {
+        let doc = match self.store.load_xml(xml, None) {
+            Ok(doc) => doc,
+            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+        };
+        if self.options.index_documents {
+            let guard = QueryGuard::new(self.options.runtime.limits);
+            let _ = xqr_index::ensure_indexed(&self.store, doc, &guard);
+        }
+        let cache = Arc::new(ScanCache::new());
+        let mut ctx = DynamicContext::new();
+        ctx.context_item = Some(Item::Node(NodeRef::new(doc, xqr_store::NodeId(0))));
+        let out = queries
+            .iter()
+            .map(|query| {
+                let prepared = self.compile(query)?;
+                let guard = QueryGuard::new(prepared.runtime.limits);
+                prepared
+                    .execute_shared_scans(self, &ctx, guard, cache.clone())
+                    .and_then(|result| result.serialize_guarded())
+            })
+            .collect();
+        self.store.remove_document(doc);
+        out
     }
 }
 
@@ -312,6 +357,7 @@ impl PreparedQuery {
             None => text.push_str("streamable: false\n"),
         }
         text.push_str(&format!("limits: {}\n", self.runtime.limits));
+        text.push_str(&format!("parallel: {}\n", self.runtime.parallel));
         text
     }
 
@@ -338,6 +384,32 @@ impl PreparedQuery {
         ctx: &DynamicContext,
         guard: QueryGuard,
     ) -> Result<QueryResult> {
+        self.execute_inner(engine, ctx, guard, None)
+    }
+
+    /// [`PreparedQuery::execute_guarded`] with a batch-scoped scan cache
+    /// installed: inverted-list scans this execution builds are shared
+    /// with (and reused from) every other query holding the same cache.
+    /// The batch APIs ([`Engine::query_batch`], the service's
+    /// `run_batch`) call this; standalone executions skip the cache
+    /// entirely.
+    pub fn execute_shared_scans(
+        &self,
+        engine: &Engine,
+        ctx: &DynamicContext,
+        guard: QueryGuard,
+        scans: Arc<ScanCache>,
+    ) -> Result<QueryResult> {
+        self.execute_inner(engine, ctx, guard, Some(scans))
+    }
+
+    fn execute_inner(
+        &self,
+        engine: &Engine,
+        ctx: &DynamicContext,
+        guard: QueryGuard,
+        scans: Option<Arc<ScanCache>>,
+    ) -> Result<QueryResult> {
         // A guard that expired (or was cancelled) while the query waited
         // in a run queue must fail here, deterministically — the charge
         // stride never polls the clock on a query this cheap.
@@ -353,6 +425,9 @@ impl PreparedQuery {
                     let ev = Evaluator::new(&compiled.module, ctx).with_options(runtime);
                     let mut st =
                         ExecState::with_guard(store.clone(), compiled.module.var_count, guard);
+                    if let Some(cache) = scans {
+                        st = st.with_scan_cache(cache);
+                    }
                     let items = ev.eval_module(&mut st);
                     ev.counters.record_guard_usage(&st.guard.usage());
                     // On success the constructed-document ledger
@@ -734,6 +809,51 @@ mod tests {
             .unwrap_err();
         canceller.join().unwrap();
         assert_eq!(err.code, ErrorCode::Cancelled);
+    }
+
+    #[test]
+    fn explain_reports_parallel_config() {
+        let engine = Engine::new();
+        let q = engine.compile("1").unwrap();
+        assert!(
+            q.explain().contains("parallel: on (morsels: auto"),
+            "{}",
+            q.explain()
+        );
+        let engine = Engine::with_options(
+            EngineOptions::default().with_parallel(xqr_runtime::ParallelConfig::off()),
+        );
+        assert!(!engine.options().parallel_joins());
+        let q = engine.compile("1").unwrap();
+        assert!(q.explain().contains("parallel: off"), "{}", q.explain());
+    }
+
+    #[test]
+    fn parallel_config_perturbs_fingerprint() {
+        let on = EngineOptions::default();
+        let off = EngineOptions::default().with_parallel(xqr_runtime::ParallelConfig::off());
+        assert_ne!(on.fingerprint(), off.fingerprint());
+    }
+
+    #[test]
+    fn query_batch_shares_one_document() {
+        let engine = Engine::new();
+        let xml = "<r><a><b>1</b></a><a><b>2</b></a><c>9</c></r>";
+        let out = engine.query_batch(xml, &["count(//a/b)", "string(/r/c)", "count(//a)"]);
+        let out: Vec<String> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(out, ["2", "9", "2"]);
+        // The batch document is transient, exactly like query_xml's.
+        assert_eq!(engine.store().doc_count(), 0);
+    }
+
+    #[test]
+    fn query_batch_isolates_per_query_failures() {
+        let engine = Engine::new();
+        let out = engine.query_batch("<a/>", &["1 idiv 0", "((", "2 + 2"]);
+        assert!(out[0].is_err());
+        assert!(out[1].is_err());
+        assert_eq!(out[2].as_deref().unwrap(), "4");
+        assert_eq!(engine.store().doc_count(), 0);
     }
 
     #[test]

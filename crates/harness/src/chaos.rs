@@ -60,6 +60,7 @@ pub const SITES: &[&str] = &[
     "catalog.load",
     "plans.insert",
     "pool.dispatch",
+    "parallel.morsel",
     "subscribe.deliver",
 ];
 
@@ -173,6 +174,10 @@ impl ChaosRunner {
         let limits = chaos_limits();
         let mut options = EngineOptions::default();
         options.runtime.limits = limits;
+        // Force the morsel executor on (split even tiny lists, 3 ways)
+        // so the `parallel.morsel` site actually fires on the suite's
+        // small documents — default heuristics would run them serially.
+        options.runtime.parallel = xqr_runtime::ParallelConfig::forced(3);
         let service = QueryService::new(ServiceConfig {
             engine: options.clone(),
             plan_cache_capacity: 64,

@@ -61,8 +61,8 @@ pub enum Verdict {
 
 #[derive(Debug)]
 pub struct Divergence {
-    /// Which leg disagreed (`optimized`, `indexed`, `service`,
-    /// `service-cached`, `streaming`).
+    /// Which leg disagreed (`optimized`, `indexed`, `parallel`,
+    /// `service`, `service-cached`, `streaming`).
     pub leg: &'static str,
     pub reference: LegOutcome,
     pub actual: LegOutcome,
@@ -85,6 +85,7 @@ pub struct Oracle {
     ref_options: EngineOptions,
     opt_options: EngineOptions,
     idx_options: EngineOptions,
+    par_options: EngineOptions,
     service: QueryService,
     case_no: u64,
 }
@@ -121,6 +122,19 @@ impl Oracle {
             index_documents: true,
             ..opt_options.clone()
         };
+        // Parallel leg: the indexed leg with morsel splitting *forced*
+        // (3 morsels, no minimum input size), so even tiny fuzz
+        // documents exercise label-range partitioning, boundary
+        // replication and the document-order merge. Output must be
+        // byte-identical to the serial legs.
+        let par_options = EngineOptions {
+            runtime: RuntimeOptions {
+                limits,
+                parallel: xqr_runtime::ParallelConfig::forced(3),
+                ..Default::default()
+            },
+            ..idx_options.clone()
+        };
         let service = QueryService::new(ServiceConfig {
             engine: opt_options.clone(),
             // Small on purpose: a few hundred distinct queries per run
@@ -141,6 +155,7 @@ impl Oracle {
             ref_options,
             opt_options,
             idx_options,
+            par_options,
             service,
             case_no: 0,
         }
@@ -183,6 +198,18 @@ impl Oracle {
         // actually fire instead of falling back.
         let indexed = run_engine(&self.idx_options, query, xml);
         if let Some(v) = self.compare("indexed", &reference, &indexed) {
+            return CaseResult {
+                verdict: v,
+                rewrite_stats,
+                streamed,
+            };
+        }
+
+        // Parallel: the indexed leg again with forced morsel splitting —
+        // the parallel-vs-serial differential. Byte-for-byte agreement
+        // with the reference is required, exactly like every other leg.
+        let parallel = run_engine(&self.par_options, query, xml);
+        if let Some(v) = self.compare("parallel", &reference, &parallel) {
             return CaseResult {
                 verdict: v,
                 rewrite_stats,

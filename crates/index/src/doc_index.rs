@@ -39,6 +39,14 @@ impl Postings {
         self.labels.is_empty()
     }
 
+    /// The range cursor over this inverted list: entries whose `start`
+    /// falls in `[lo, hi]`, located by binary search. This is the slice
+    /// a label-range morsel reads — zero-copy off the postings, whether
+    /// they live on the heap or in a mapped segment.
+    pub fn labels_in(&self, lo: u32, hi: u32) -> &[Labeled] {
+        xqr_joins::range_by_start(&self.labels, lo, hi)
+    }
+
     /// The path-indexed sublist: entries whose path id is in `keep`
     /// (a membership vector from [`PathDict::matching`]). Preserves
     /// document order.
@@ -86,6 +94,18 @@ pub trait IndexedAccess: Send + Sync {
     /// views return `None` — they already *are* serialized.
     fn as_doc_index(&self) -> Option<&DocIndex> {
         None
+    }
+
+    /// Range cursor: elements named `name` whose `start` label falls in
+    /// `[lo, hi]` — the per-morsel window of a label-range-partitioned
+    /// parallel join. Binary search over the sorted list; zero-copy.
+    fn elements_in_range(&self, name: NameId, lo: u32, hi: u32) -> &[Labeled] {
+        xqr_joins::range_by_start(self.element_labels(name), lo, hi)
+    }
+
+    /// Range cursor over an attribute inverted list.
+    fn attributes_in_range(&self, name: NameId, lo: u32, hi: u32) -> &[Labeled] {
+        xqr_joins::range_by_start(self.attribute_labels(name), lo, hi)
     }
 
     /// Answer a *linear* element pattern (`/a/b`, `//a//b`, …) entirely
@@ -363,6 +383,34 @@ mod tests {
                 .len(),
             2
         );
+    }
+
+    #[test]
+    fn range_cursors_slice_the_sorted_lists() {
+        let (_doc, index, names) = build();
+        let c = nid(&names, "c");
+        let all = index.element_labels(c);
+        assert_eq!(all.len(), 3);
+        // Full window is the whole list, zero-copy.
+        let full = index.elements_in_range(c, 0, u32::MAX);
+        assert_eq!(full.as_ptr(), all.as_ptr());
+        assert_eq!(full.len(), 3);
+        // A window covering only the middle entry.
+        let mid = index.elements_in_range(c, all[1].start, all[1].start);
+        assert_eq!(mid, &all[1..2]);
+        // Disjoint window → empty; unknown name → empty.
+        assert!(index.elements_in_range(c, u32::MAX, u32::MAX).is_empty());
+        assert!(index.elements_in_range(NameId(999), 0, u32::MAX).is_empty());
+        // Attribute cursor, and the Postings-level equivalent.
+        let k = nid(&names, "k");
+        let ks = index.attribute_labels(k);
+        assert_eq!(index.attributes_in_range(k, 0, u32::MAX), ks);
+        assert_eq!(
+            index.attributes_in_range(k, ks[1].start, u32::MAX),
+            &ks[1..]
+        );
+        let (_, postings) = index.element_postings().find(|(n, _)| *n == c).unwrap();
+        assert_eq!(postings.labels_in(0, u32::MAX), all);
     }
 
     #[test]

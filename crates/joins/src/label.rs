@@ -39,6 +39,19 @@ impl Labeled {
     }
 }
 
+/// The window of `list` (sorted by `start`) whose starts fall in
+/// `[lo, hi]`, both ends inclusive, as a zero-copy subslice.
+///
+/// This is the range-splitting primitive of the parallel join executor:
+/// containment labels guarantee that every non-root witness of a twig
+/// match starts inside its root's `(start, end]` interval, so slicing
+/// each input list to a root chunk's label window loses no match.
+pub fn range_by_start(list: &[Labeled], lo: u32, hi: u32) -> &[Labeled] {
+    let from = list.partition_point(|e| e.start < lo);
+    let to = list.partition_point(|e| e.start <= hi);
+    &list[from..to]
+}
+
 /// The inverted list for one element name, sorted by `start`.
 pub fn element_list(doc: &Document, name: NameId) -> Vec<Labeled> {
     doc.elements_named(name)
@@ -93,5 +106,22 @@ mod tests {
         assert!(alist[0].is_parent_of(&blist[0]));
         assert!(!alist[0].is_parent_of(&blist[1]));
         assert!(alist[1].is_parent_of(&blist[1]));
+    }
+
+    #[test]
+    fn range_by_start_windows() {
+        let l = |s: u32| Labeled {
+            node: NodeId(s),
+            start: s,
+            end: s,
+            level: 0,
+        };
+        let list: Vec<Labeled> = [1u32, 3, 5, 7, 9].iter().map(|&s| l(s)).collect();
+        assert_eq!(range_by_start(&list, 3, 7).len(), 3);
+        assert_eq!(range_by_start(&list, 0, 100).len(), 5);
+        assert_eq!(range_by_start(&list, 4, 4).len(), 0);
+        assert_eq!(range_by_start(&list, 9, 9).len(), 1);
+        assert_eq!(range_by_start(&list, 10, 20).len(), 0);
+        assert_eq!(range_by_start(&[], 0, 10).len(), 0);
     }
 }

@@ -35,11 +35,11 @@ pub mod stacktree;
 pub mod twig;
 pub mod twigstack;
 
-pub use label::{all_elements_list, element_list, Labeled};
+pub use label::{all_elements_list, element_list, range_by_start, Labeled};
 pub use navigate::{count_matches, enumerate_matches, matches_of_node};
-pub use pathstack::path_stack;
+pub use pathstack::{path_stack, path_stack_on, Tick};
 pub use stacktree::{
     mpmgjn, nested_loop, normalize, stack_tree_anc, stack_tree_desc, JoinKind, Pair,
 };
 pub use twig::{EdgeKind, TwigNode, TwigPattern};
-pub use twigstack::{twig_stack, TwigStats};
+pub use twigstack::{twig_stack, twig_stack_on, TwigStats};

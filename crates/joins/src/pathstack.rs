@@ -7,6 +7,17 @@
 use crate::label::Labeled;
 use crate::twig::{EdgeKind, TwigPattern};
 use xqr_store::NodeId;
+use xqr_xdm::Result;
+
+/// Cooperative-interruption hook for the join main loops: called once
+/// per iteration, an `Err` aborts the join immediately. The parallel
+/// executor uses it to observe `QueryGuard` cancellation/deadlines and
+/// sibling-morsel failures inside a running morsel; the serial wrappers
+/// pass a no-op. The kernels are generic over the closure (a dyn hook
+/// costs a measurable indirect call per kernel advance; monomorphized,
+/// the no-op vanishes entirely) — this alias remains for callers that
+/// want to name a boxed hook.
+pub type Tick<'t> = &'t mut dyn FnMut() -> Result<()>;
 
 /// One stack entry: the element plus the height of the parent-pattern
 /// stack at push time (the "pointer" of the paper).
@@ -23,6 +34,17 @@ struct Entry {
 /// Panics if the twig is not a pure path — callers route branching twigs
 /// to [`crate::twigstack::twig_stack`].
 pub fn path_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> Vec<Vec<NodeId>> {
+    let slices: Vec<&[Labeled]> = lists.iter().map(|l| l.as_slice()).collect();
+    path_stack_on(twig, &slices, &mut || Ok(())).expect("path_stack with a no-op tick cannot fail")
+}
+
+/// [`path_stack`] over borrowed list windows with a [`Tick`] hook — the
+/// form the morsel executor runs, one call per label-range slice.
+pub fn path_stack_on(
+    twig: &TwigPattern,
+    lists: &[&[Labeled]],
+    tick: &mut impl FnMut() -> Result<()>,
+) -> Result<Vec<Vec<NodeId>>> {
     assert!(twig.is_path(), "path_stack requires a linear pattern");
     let n = twig.len();
     assert_eq!(lists.len(), n);
@@ -32,6 +54,7 @@ pub fn path_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> Vec<Vec<NodeId>
     let mut out: Vec<Vec<NodeId>> = Vec::new();
 
     loop {
+        tick()?;
         // qmin = pattern node whose next element has minimal start.
         let mut qmin = None;
         let mut min_start = u32::MAX;
@@ -85,7 +108,7 @@ pub fn path_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> Vec<Vec<NodeId>
     // Solutions are emitted leaf-ordered; normalize to sorted tuples.
     out.sort();
     out.dedup();
-    out
+    Ok(out)
 }
 
 /// Recursively expand one leaf entry into all consistent ancestor chains.

@@ -9,7 +9,7 @@
 use xqr_xdm::{NameId, NamePool, QName, Result};
 
 /// Edge type between a twig node and its parent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// `/` — parent-child.
     Child,

@@ -11,6 +11,7 @@ use crate::pathstack;
 use crate::twig::{EdgeKind, TwigPattern};
 use std::collections::HashMap;
 use xqr_store::NodeId;
+use xqr_xdm::Result;
 
 /// Instrumentation for the optimality claims.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -25,7 +26,7 @@ pub struct TwigStats {
 
 struct State<'a> {
     twig: &'a TwigPattern,
-    lists: &'a [Vec<Labeled>],
+    lists: &'a [&'a [Labeled]],
     cursors: Vec<usize>,
     stacks: Vec<Vec<(Labeled, usize)>>,
     /// Path solutions per leaf twig node: tuples along `path_to(leaf)`.
@@ -182,16 +183,28 @@ impl<'a> State<'a> {
 /// Run TwigStack over per-twig-node sorted element lists. Returns full
 /// match tuples (indexed by twig node) and the instrumentation.
 pub fn twig_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> (Vec<Vec<NodeId>>, TwigStats) {
+    let slices: Vec<&[Labeled]> = lists.iter().map(|l| l.as_slice()).collect();
+    twig_stack_on(twig, &slices, &mut || Ok(())).expect("twig_stack with a no-op tick cannot fail")
+}
+
+/// [`twig_stack`] over borrowed list windows with a
+/// [`Tick`](crate::pathstack::Tick) hook — the range-splittable form the
+/// morsel executor runs, one call per label-range slice of the inputs.
+pub fn twig_stack_on(
+    twig: &TwigPattern,
+    lists: &[&[Labeled]],
+    tick: &mut impl FnMut() -> Result<()>,
+) -> Result<(Vec<Vec<NodeId>>, TwigStats)> {
     assert_eq!(lists.len(), twig.len());
     // Fast path: PathStack already handles linear patterns.
     if twig.is_path() {
-        let sols = pathstack::path_stack(twig, lists);
+        let sols = pathstack::path_stack_on(twig, lists, tick)?;
         let stats = TwigStats {
             path_solutions: sols.len(),
             merged: sols.len(),
             pushes: 0,
         };
-        return (sols, stats);
+        return Ok((sols, stats));
     }
     let leaves = twig.leaves();
     let paths: Vec<Vec<usize>> = (0..twig.len()).map(|i| twig.path_to(i)).collect();
@@ -207,6 +220,7 @@ pub fn twig_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> (Vec<Vec<NodeId
     };
 
     while !st.ended() {
+        tick()?;
         let q = st.get_next(0);
         if st.exhausted(q) {
             break;
@@ -233,7 +247,7 @@ pub fn twig_stack(twig: &TwigPattern, lists: &[Vec<Labeled>]) -> (Vec<Vec<NodeId
 
     let merged = merge_path_solutions(twig, &leaves, &st.solutions);
     st.stats.merged = merged.len();
-    (merged, st.stats)
+    Ok((merged, st.stats))
 }
 
 /// Merge per-leaf path solutions into full twig matches: tuples must

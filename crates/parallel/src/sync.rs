@@ -1,0 +1,31 @@
+//! Poison-recovering locks, shared by the worker pool and every layer
+//! above it (the service re-exports these so its own structures count
+//! into the same process-wide gauge).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Process-wide count of poisoned-lock recoveries.
+static LOCK_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Lock `mutex`, recovering from poisoning instead of propagating the
+/// panic to every subsequent caller.
+///
+/// Poisoning means some holder panicked — with chaos injection, on
+/// purpose. Every structure locked through this helper (pool state,
+/// morsel error slots, catalog map, plan-cache shards) keeps its
+/// invariants at every unlock, so the data under a poisoned lock is
+/// still consistent; turning one contained panic into a permanent
+/// outage would be the worse failure. Recoveries are counted so
+/// operators can see them.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        LOCK_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// Total poisoned-lock recoveries since process start.
+pub fn lock_recoveries() -> u64 {
+    LOCK_RECOVERIES.load(Ordering::Relaxed)
+}

@@ -152,6 +152,12 @@ pub struct ExecState {
     /// them without this ledger: on success they transfer to the result
     /// (freed when it drops), on error they are freed immediately.
     pub constructed_docs: Vec<DocId>,
+    /// Shared inverted-list scan cache for batch execution: when many
+    /// queries run over the same document in one batch, the embedder
+    /// installs one cache across all of them so path-filtered list
+    /// builds for the same (document, name, root chain) happen once.
+    /// `None` (the default) for standalone queries — no overhead.
+    pub scan_cache: Option<Arc<crate::index_scan::ScanCache>>,
 }
 
 impl ExecState {
@@ -166,7 +172,14 @@ impl ExecState {
             focus: Vec::new(),
             guard,
             constructed_docs: Vec::new(),
+            scan_cache: None,
         }
+    }
+
+    /// Install a shared scan cache (batch execution).
+    pub fn with_scan_cache(mut self, cache: Arc<crate::index_scan::ScanCache>) -> Self {
+        self.scan_cache = Some(cache);
+        self
     }
 
     /// Hand the constructed-document ledger to the caller (normally

@@ -17,8 +17,10 @@ pub mod value;
 
 pub use env::{DynamicContext, ExecState, Focus, Frame};
 pub use eval::{Counters, Evaluator, Flow, RuntimeOptions, Sink};
+pub use index_scan::ScanCache;
 pub use stream_path::{StreamMatcher, StreamPattern, StreamStats, StreamStep};
 pub use value::{effective_boolean_value, serialize_sequence, Item, Sequence};
+pub use xqr_parallel::{ParallelConfig, ParallelRun};
 
 use std::sync::Arc;
 use xqr_compiler::CompiledQuery;

@@ -1,368 +1,12 @@
-//! Admission-controlled worker pool: bounded queue, fixed workers.
+//! The bounded worker pool, re-exported from `xqr-parallel`.
 //!
-//! The admission state machine has three regions, decided under one
-//! lock so the decision is exact (no lost-wakeup or double-count races):
-//!
-//! 1. **admit-run** — an idle worker exists (`active < workers`): the
-//!    job enqueues and a worker picks it up immediately;
-//! 2. **admit-queue** — all workers busy but the queue has room
-//!    (`queue.len() < max_queued`): the job waits its turn;
-//! 3. **reject** — workers and queue both full: the submission fails
-//!    *immediately* with `err:XQRL0004 Overloaded`. Back-pressure is the
-//!    caller's problem by design — a loaded service must shed work, not
-//!    buffer it without bound.
-//!
-//! Workers mark themselves active while still holding the queue lock as
-//! they dequeue, so `active` can never transiently undercount and let an
-//! extra job slip past the bound.
+//! The pool started life here as the service's admission-control
+//! machinery; the morsel-parallel join executor now reuses the same
+//! implementation for intra-query work, so the code lives in
+//! `xqr-parallel` (below the service in the crate DAG) and the service
+//! re-exports it under its historical path. Everything — submission,
+//! shedding with `err:XQRL0004`, the publish phase, shutdown semantics —
+//! is unchanged; see `xqr_parallel::pool` for the implementation and
+//! its tests.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-
-use crate::resilience::lock_recover;
-use xqr_xdm::{Error, Result};
-
-/// The work phase of a job. It may return a *publish* closure, which the
-/// worker runs only after freeing its slot — see
-/// [`WorkerPool::submit_with_publish`].
-type Job = Box<dyn FnOnce() -> Publish + Send + 'static>;
-type Publish = Option<Box<dyn FnOnce() + Send + 'static>>;
-
-/// Pool gauges and counters, snapshotted via [`WorkerPool::stats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Jobs currently executing on a worker.
-    pub active: u64,
-    /// Jobs admitted but not yet started.
-    pub queued: u64,
-    /// Jobs rejected with `err:XQRL0004` since the pool started.
-    pub rejected: u64,
-    /// Jobs that ran to completion.
-    pub completed: u64,
-}
-
-struct PoolState {
-    queue: VecDeque<Job>,
-    /// Jobs currently executing. Incremented under the lock at dequeue,
-    /// decremented after the job returns.
-    active: usize,
-    shutdown: bool,
-}
-
-struct Shared {
-    state: Mutex<PoolState>,
-    /// Signalled when a job is enqueued or shutdown begins.
-    work_ready: Condvar,
-    workers: usize,
-    max_queued: usize,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-}
-
-/// A fixed-size worker pool with a bounded run queue.
-pub struct WorkerPool {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawn `workers` threads (clamped to at least 1) serving a queue
-    /// of at most `max_queued` waiting jobs.
-    pub fn new(workers: usize, max_queued: usize) -> Self {
-        let workers = workers.max(1);
-        let shared = Arc::new(Shared {
-            state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                active: 0,
-                shutdown: false,
-            }),
-            work_ready: Condvar::new(),
-            workers,
-            max_queued,
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-        });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("xqr-service-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { shared, handles }
-    }
-
-    /// Admit `job` or reject it with `err:XQRL0004`. Admission never
-    /// blocks the submitter; the job itself runs on a worker thread.
-    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<()> {
-        self.submit_with_publish(move || {
-            job();
-            None
-        })
-    }
-
-    /// Like [`WorkerPool::submit`], but the job returns an optional
-    /// *publish* closure that the worker runs only after decrementing
-    /// `active`. Use this when completing the job is observable to other
-    /// threads (delivering a result over a channel): by the time an
-    /// observer sees the result, the worker slot is already free, so a
-    /// caller that serializes "wait for result, then submit" is never
-    /// spuriously shed with `XQRL0004` while a worker is logically idle.
-    pub fn submit_with_publish(
-        &self,
-        job: impl FnOnce() -> Publish + Send + 'static,
-    ) -> Result<()> {
-        xqr_faults::faultpoint!("pool.dispatch");
-        let mut state = lock_recover(&self.shared.state);
-        if state.shutdown {
-            return Err(Error::overloaded("service is shutting down"));
-        }
-        // Reject only when no worker is idle AND the queue is full.
-        if state.active >= self.shared.workers && state.queue.len() >= self.shared.max_queued {
-            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(Error::overloaded(format!(
-                "all {} workers busy and run queue full ({} waiting)",
-                self.shared.workers,
-                state.queue.len()
-            )));
-        }
-        state.queue.push_back(Box::new(job));
-        drop(state);
-        self.shared.work_ready.notify_one();
-        Ok(())
-    }
-
-    pub fn stats(&self) -> PoolStats {
-        let state = lock_recover(&self.shared.state);
-        PoolStats {
-            active: state.active as u64,
-            queued: state.queue.len() as u64,
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-        }
-    }
-
-    pub fn workers(&self) -> usize {
-        self.shared.workers
-    }
-
-    pub fn max_queued(&self) -> usize {
-        self.shared.max_queued
-    }
-
-    /// Begin shutdown: new submissions are rejected with a stable
-    /// `err:XQRL0004`, queued-but-unstarted jobs are dropped (their
-    /// submitters see the result channel close, not a hang), and
-    /// in-flight jobs run to completion. Idempotent; [`Drop`] calls it
-    /// before joining the workers.
-    pub fn shutdown(&self) {
-        {
-            let mut state = lock_recover(&self.shared.state);
-            state.shutdown = true;
-            state.queue.clear();
-        }
-        self.shared.work_ready.notify_all();
-    }
-}
-
-fn worker_loop(shared: Arc<Shared>) {
-    loop {
-        let job = {
-            let mut state = lock_recover(&shared.state);
-            loop {
-                if let Some(job) = state.queue.pop_front() {
-                    // Become active before releasing the lock: admission
-                    // must see either the queue entry or the active
-                    // increment, never neither.
-                    state.active += 1;
-                    break job;
-                }
-                if state.shutdown {
-                    return;
-                }
-                // A Condvar wait can also observe poisoning; the pool
-                // state's invariants hold at every unlock, so recover.
-                state = shared
-                    .work_ready
-                    .wait(state)
-                    .unwrap_or_else(|p| p.into_inner());
-            }
-        };
-        // Jobs are expected to contain their own panics (the engine's
-        // execute path does); a panic here would poison nothing but this
-        // worker, and the catch keeps the pool at full strength anyway.
-        let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).unwrap_or(None);
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut state = lock_recover(&shared.state);
-            state.active -= 1;
-        }
-        // Publish only after the slot is free: anyone woken by the result
-        // can immediately re-submit without a spurious rejection.
-        if let Some(publish) = publish {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(publish));
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        self.shutdown();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::mpsc;
-    use std::time::Duration;
-
-    #[test]
-    fn jobs_run_and_complete() {
-        let pool = WorkerPool::new(2, 8);
-        let (tx, rx) = mpsc::channel();
-        for i in 0..10 {
-            let tx = tx.clone();
-            pool.submit(move || tx.send(i).unwrap()).unwrap();
-        }
-        let mut got: Vec<i32> = (0..10)
-            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap())
-            .collect();
-        got.sort();
-        assert_eq!(got, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn saturation_rejects_with_overloaded() {
-        let pool = WorkerPool::new(1, 1);
-        let (block_tx, block_rx) = mpsc::channel::<()>();
-        let (started_tx, started_rx) = mpsc::channel::<()>();
-        // Occupy the single worker...
-        pool.submit(move || {
-            started_tx.send(()).unwrap();
-            block_rx.recv().unwrap();
-        })
-        .unwrap();
-        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        // ...fill the queue...
-        let (q_tx, _q_rx) = mpsc::channel::<()>();
-        pool.submit(move || drop(q_tx)).unwrap();
-        // ...and the next submission is shed, immediately.
-        let err = pool.submit(|| {}).unwrap_err();
-        assert_eq!(err.code, xqr_xdm::ErrorCode::Overloaded);
-        assert_eq!(err.code.as_str(), "XQRL0004");
-        assert_eq!(pool.stats().rejected, 1);
-        // Unblock; the queued job drains and capacity returns.
-        block_tx.send(()).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while pool.stats().completed < 2 {
-            assert!(std::time::Instant::now() < deadline, "pool did not drain");
-            std::thread::yield_now();
-        }
-        pool.submit(|| {}).unwrap();
-    }
-
-    #[test]
-    fn gauges_track_active_and_queued() {
-        let pool = WorkerPool::new(1, 4);
-        let (block_tx, block_rx) = mpsc::channel::<()>();
-        let (started_tx, started_rx) = mpsc::channel::<()>();
-        pool.submit(move || {
-            started_tx.send(()).unwrap();
-            block_rx.recv().unwrap();
-        })
-        .unwrap();
-        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        pool.submit(|| {}).unwrap();
-        pool.submit(|| {}).unwrap();
-        let s = pool.stats();
-        assert_eq!(s.active, 1);
-        assert_eq!(s.queued, 2);
-        block_tx.send(()).unwrap();
-    }
-
-    #[test]
-    fn a_panicking_job_does_not_kill_the_worker() {
-        let pool = WorkerPool::new(1, 4);
-        pool.submit(|| panic!("job bug")).unwrap();
-        let (tx, rx) = mpsc::channel();
-        pool.submit(move || tx.send(42).unwrap()).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 42);
-    }
-
-    #[test]
-    fn shutdown_rejects_new_work_with_a_stable_code() {
-        let pool = WorkerPool::new(1, 4);
-        pool.shutdown();
-        let err = pool.submit(|| {}).unwrap_err();
-        assert_eq!(err.code, xqr_xdm::ErrorCode::Overloaded);
-        assert_eq!(err.code.as_str(), "XQRL0004");
-        assert!(err.to_string().contains("shutting down"), "{err}");
-        // Rejections-at-shutdown are not counted as load shedding.
-        assert_eq!(pool.stats().rejected, 0);
-        // Idempotent: a second shutdown (and the one in Drop) is a no-op.
-        pool.shutdown();
-    }
-
-    #[test]
-    fn drop_completes_in_flight_work_and_drops_queued_jobs() {
-        let pool = WorkerPool::new(1, 4);
-        let (block_tx, block_rx) = mpsc::channel::<()>();
-        let (started_tx, started_rx) = mpsc::channel::<()>();
-        let (done_tx, done_rx) = mpsc::channel::<&'static str>();
-        pool.submit(move || {
-            started_tx.send(()).unwrap();
-            block_rx.recv().unwrap();
-            done_tx.send("in-flight ran to completion").unwrap();
-        })
-        .unwrap();
-        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        // Queue a job that would send if it ever ran; shutdown must drop
-        // it instead, closing the channel without a message.
-        let (q_tx, q_rx) = mpsc::channel::<()>();
-        pool.submit(move || q_tx.send(()).unwrap()).unwrap();
-
-        pool.shutdown();
-        // The queued job is gone the moment shutdown returns: its
-        // submitter observes a closed channel, never a hang.
-        assert_eq!(q_rx.try_recv(), Err(mpsc::TryRecvError::Disconnected));
-        // The in-flight job is still running; unblock it and drop the
-        // pool. Drop joins every worker, so a leaked or wedged thread
-        // would hang the test here rather than leak silently.
-        block_tx.send(()).unwrap();
-        drop(pool);
-        assert_eq!(
-            done_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
-            "in-flight ran to completion"
-        );
-    }
-
-    #[test]
-    fn a_poisoned_admission_lock_does_not_take_down_the_pool() {
-        let pool = WorkerPool::new(1, 4);
-        let before = crate::resilience::lock_recoveries();
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = pool.shared.state.lock().unwrap();
-            panic!("poison the admission lock");
-        }));
-        assert!(pool.shared.state.is_poisoned());
-        // Admission, the workers and the gauges all recover the lock
-        // rather than propagating the panic to every later caller.
-        let (tx, rx) = mpsc::channel();
-        pool.submit(move || tx.send(7).unwrap()).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while pool.stats().completed < 1 {
-            assert!(std::time::Instant::now() < deadline, "job never completed");
-            std::thread::yield_now();
-        }
-        assert!(crate::resilience::lock_recoveries() > before);
-    }
-}
+pub use xqr_parallel::{PoolStats, WorkerPool};

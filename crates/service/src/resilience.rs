@@ -12,32 +12,15 @@
 //! [`crate::ServiceStats`] instead of being silently absorbed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Process-wide count of poisoned-lock recoveries in the service layer.
-static LOCK_RECOVERIES: AtomicU64 = AtomicU64::new(0);
-
-/// Lock `mutex`, recovering from poisoning instead of propagating the
-/// panic to every subsequent caller.
-///
-/// Poisoning means some holder panicked — with chaos injection, on
-/// purpose. Every structure locked through this helper (pool state,
-/// catalog map, plan-cache shards) keeps its invariants at each await
-/// point, so the data under a poisoned lock is still consistent; turning
-/// one contained panic into a permanent service outage would be the
-/// worse failure. Recoveries are counted so operators can see them.
-pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|poisoned| {
-        LOCK_RECOVERIES.fetch_add(1, Ordering::Relaxed);
-        poisoned.into_inner()
-    })
-}
-
-/// Total poisoned-lock recoveries since process start.
-pub fn lock_recoveries() -> u64 {
-    LOCK_RECOVERIES.load(Ordering::Relaxed)
-}
+// The poison-recovering lock moved to `xqr-parallel` with the worker
+// pool (the morsel executor's structures recover through it too);
+// re-exported here so service-layer code and embedders keep their
+// import path, and so every recovery still lands in one process-wide
+// gauge.
+pub use xqr_parallel::{lock_recover, lock_recoveries};
 
 /// The degradation modes the service can enter instead of failing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -89,6 +89,16 @@ struct ServiceShared {
     failed: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
+    /// Index-fed joins that split into ≥ 2 morsels, summed over queries.
+    parallel_joins: AtomicU64,
+    /// Morsels executed by those joins.
+    morsels_run: AtomicU64,
+    /// Inverted-list scans served from a batch's shared scan cache.
+    scan_shared_hits: AtomicU64,
+    /// `run_batch` calls admitted.
+    batches: AtomicU64,
+    /// Queries executed inside batches.
+    batch_queries: AtomicU64,
     /// Transient-failure re-submissions by the `run` family.
     retries: AtomicU64,
     /// De-synchronizes concurrent retriers' jittered backoff.
@@ -139,6 +149,20 @@ impl ServiceShared {
                 None => self.engine.compile_shared(query),
             }
         }
+    }
+
+    /// Fold one execution's per-query counters into the service gauges.
+    fn record_counters(&self, counters: &xqr_runtime::Counters) {
+        self.index_hits
+            .fetch_add(counters.index_hits.get(), Ordering::Relaxed);
+        self.index_misses
+            .fetch_add(counters.index_misses.get(), Ordering::Relaxed);
+        self.parallel_joins
+            .fetch_add(counters.parallel_joins.get(), Ordering::Relaxed);
+        self.morsels_run
+            .fetch_add(counters.morsels_run.get(), Ordering::Relaxed);
+        self.scan_shared_hits
+            .fetch_add(counters.scan_cache_hits.get(), Ordering::Relaxed);
     }
 
     fn record_stream(&self, stats: &StreamStats) {
@@ -233,6 +257,11 @@ impl QueryService {
                 failed: AtomicU64::new(0),
                 index_hits: AtomicU64::new(0),
                 index_misses: AtomicU64::new(0),
+                parallel_joins: AtomicU64::new(0),
+                morsels_run: AtomicU64::new(0),
+                scan_shared_hits: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                batch_queries: AtomicU64::new(0),
                 retries: AtomicU64::new(0),
                 retry_salt: AtomicU64::new(0),
                 shed_to_streaming: AtomicU64::new(0),
@@ -372,12 +401,7 @@ impl QueryService {
                 .acquire_plan(&query)
                 .and_then(|plan| plan.execute_guarded(&shared.engine, &ctx, guard))
                 .and_then(|result| {
-                    shared
-                        .index_hits
-                        .fetch_add(result.counters.index_hits.get(), Ordering::Relaxed);
-                    shared
-                        .index_misses
-                        .fetch_add(result.counters.index_misses.get(), Ordering::Relaxed);
+                    shared.record_counters(&result.counters);
                     result.serialize_guarded()
                 });
             shared.latency.record(submitted.elapsed());
@@ -460,6 +484,70 @@ impl QueryService {
         }
     }
 
+    /// Run many queries against one catalog document in a single pass,
+    /// sharing inverted-list scans across them.
+    ///
+    /// The whole batch is **one pool admission**: it occupies one worker
+    /// slot (or is shed as a unit with `err:XQRL0004`), and inside it
+    /// every query gets its own plan-cache acquisition, its own
+    /// [`QueryGuard`] from [`ServiceConfig::per_query_limits`], and its
+    /// own result slot — one failing query never poisons its batch
+    /// siblings. Queries touching the same QNames reuse each other's
+    /// path-filtered inverted lists through a batch-scoped scan cache,
+    /// which is where the shared-scan speedup comes from.
+    ///
+    /// The outer `Err` covers batch-level failures only: an unknown or
+    /// quarantined document, or admission shedding.
+    pub fn run_batch(&self, doc: &str, queries: &[&str]) -> Result<Vec<Result<String>>> {
+        let id = self.catalog.resolve(doc)?.ok_or_else(|| {
+            Error::new(
+                ErrorCode::DocumentNotFound,
+                format!("run_batch: no catalog document named {doc:?}"),
+            )
+        })?;
+        let shared = self.shared.clone();
+        let queries: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        let submitted = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        self.pool.submit_with_publish(move || {
+            let scans = Arc::new(xqr_runtime::ScanCache::new());
+            let mut ctx = DynamicContext::new();
+            ctx.context_item = Some(Item::Node(NodeRef::new(id, NodeId(0))));
+            shared.batches.fetch_add(1, Ordering::Relaxed);
+            let outcomes: Vec<Result<String>> = queries
+                .iter()
+                .map(|query| {
+                    shared.batch_queries.fetch_add(1, Ordering::Relaxed);
+                    let outcome = shared
+                        .acquire_plan(query)
+                        .and_then(|plan| {
+                            plan.execute_shared_scans(
+                                &shared.engine,
+                                &ctx,
+                                QueryGuard::new(shared.limits),
+                                scans.clone(),
+                            )
+                        })
+                        .and_then(|result| {
+                            shared.record_counters(&result.counters);
+                            result.serialize_guarded()
+                        });
+                    match &outcome {
+                        Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                    outcome
+                })
+                .collect();
+            shared.latency.record(submitted.elapsed());
+            Some(Box::new(move || {
+                let _ = tx.send(outcomes);
+            }) as Box<dyn FnOnce() + Send>)
+        })?;
+        rx.recv()
+            .map_err(|_| Error::cancelled("service shut down before the batch ran"))
+    }
+
     /// A consistent-enough snapshot of every service counter. Individual
     /// gauges are read with relaxed ordering, so a snapshot taken while
     /// queries are in flight may be mid-update; quiescent snapshots are
@@ -494,6 +582,11 @@ impl QueryService {
             index_build_time: Duration::from_nanos(catalog.index_build_nanos),
             index_hits: self.shared.index_hits.load(Ordering::Relaxed),
             index_misses: self.shared.index_misses.load(Ordering::Relaxed),
+            parallel_joins: self.shared.parallel_joins.load(Ordering::Relaxed),
+            morsels_run: self.shared.morsels_run.load(Ordering::Relaxed),
+            scan_shared_hits: self.shared.scan_shared_hits.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batch_queries: self.shared.batch_queries.load(Ordering::Relaxed),
             retries: self.shared.retries.load(Ordering::Relaxed),
             shed_to_streaming: self.shared.shed_to_streaming.load(Ordering::Relaxed),
             degraded_cache_only: self.shared.degraded_cache_only.load(Ordering::Relaxed),
@@ -568,6 +661,16 @@ pub struct ServiceStats {
     pub index_hits: u64,
     /// `IndexScan` operators that fell back to navigation.
     pub index_misses: u64,
+    /// Index-fed twig joins that split into ≥ 2 morsels.
+    pub parallel_joins: u64,
+    /// Morsels executed across those joins.
+    pub morsels_run: u64,
+    /// Inverted-list scans served from a batch's shared scan cache.
+    pub scan_shared_hits: u64,
+    /// [`QueryService::run_batch`] calls admitted.
+    pub batches: u64,
+    /// Queries executed inside batches.
+    pub batch_queries: u64,
     /// Transient-failure re-submissions by the `run` family.
     pub retries: u64,
     /// Shed queries served by the caller-thread streaming fallback.
@@ -669,6 +772,15 @@ impl std::fmt::Display for ServiceStats {
             f,
             "pool:    active: {} queued: {} max-concurrent: {} max-queued: {}",
             self.active, self.queued, self.max_concurrent, self.max_queued
+        )?;
+        writeln!(
+            f,
+            "parallel: joins: {} morsels: {} scan-shared-hits: {} batches: {} batch-queries: {}",
+            self.parallel_joins,
+            self.morsels_run,
+            self.scan_shared_hits,
+            self.batches,
+            self.batch_queries
         )?;
         writeln!(
             f,
@@ -803,6 +915,7 @@ mod tests {
             "segments:",
             "indexes:",
             "pool:",
+            "parallel:",
             "resilience:",
             "pubsub:",
             "stream:",
@@ -918,6 +1031,45 @@ mod tests {
 
     fn text_has_segment_counters(text: &str) -> bool {
         text.contains("segments: written: 0 recovered: 1 quarantined: 0")
+    }
+
+    #[test]
+    fn run_batch_shares_scans_and_isolates_failures() {
+        let service = QueryService::new(ServiceConfig::default());
+        service
+            .load_document(
+                "bib.xml",
+                "<bib><book><author/><title>a</title></book>\
+                 <book><title>b</title></book></bib>",
+            )
+            .unwrap();
+        let out = service
+            .run_batch(
+                "bib.xml",
+                &[
+                    "count(//book/title)",
+                    "count(//book/title)", // same scans as the first
+                    "1 idiv 0",            // fails alone
+                    "count(//book[author]/title)",
+                ],
+            )
+            .unwrap();
+        assert_eq!(out[0].as_deref().unwrap(), "2");
+        assert_eq!(out[1].as_deref().unwrap(), "2");
+        assert!(out[2].is_err());
+        assert_eq!(out[3].as_deref().unwrap(), "1");
+        let s = service.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_queries, 4);
+        assert_eq!(s.served, 3);
+        assert_eq!(s.failed, 1);
+        assert!(
+            s.scan_shared_hits > 0,
+            "repeated scans must hit the batch cache: {s}"
+        );
+        // Unknown documents fail the batch as a unit.
+        let err = service.run_batch("nope.xml", &["1"]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::DocumentNotFound);
     }
 
     #[test]

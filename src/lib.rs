@@ -21,7 +21,8 @@
 //! [`xqr_tokenstream`] (the token substrate), [`xqr_store`] (labeled
 //! node store), [`xqr_joins`] (structural/twig joins), [`xqr_xqparser`]
 //! (XQuery front-end), [`xqr_compiler`], [`xqr_runtime`],
-//! [`xqr_xmlgen`] (workload generators), and [`xqr_service`] (the
+//! [`xqr_xmlgen`] (workload generators), [`xqr_parallel`] (the
+//! morsel-driven parallel join executor and worker pool), and [`xqr_service`] (the
 //! concurrent query service: plan cache, document catalog, admission
 //! control), and [`xqr_subscribe`] (standing continuous queries over
 //! document streams).
@@ -31,6 +32,7 @@ pub use xqr_core::*;
 pub use xqr_compiler;
 pub use xqr_index;
 pub use xqr_joins;
+pub use xqr_parallel;
 pub use xqr_runtime;
 pub use xqr_service;
 pub use xqr_store;

@@ -1,0 +1,93 @@
+//! Cancellation latency for the morsel executor, end to end through
+//! the engine: cancelling a running parallel query must (a) surface
+//! `err:XQRL0003`, and (b) stop *every* morsel worker promptly — no
+//! thread may still be touching the query's inputs after the error
+//! returns. The morsel tick polls the cancel flag on every kernel
+//! advance, so the stop is bounded by one advance, not by morsel size.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use xqr::xqr_runtime::ParallelConfig;
+use xqr::{context_with_doc, Engine, EngineOptions};
+use xqr_xdm::{ErrorCode, Limits, QueryGuard};
+
+/// Both tests read process-wide morsel-pool gauges; serialize them so
+/// neither sees the other's in-flight morsels.
+static POOL_GAUGES: Mutex<()> = Mutex::new(());
+
+/// Deep recursive nesting makes `//t//t` quadratic in the nesting
+/// depth: plenty of kernel advances for the cancel to land mid-join.
+fn deep_doc(depth: usize) -> String {
+    let mut xml = String::with_capacity(depth * 7 + 16);
+    for _ in 0..depth {
+        xml.push_str("<t>");
+    }
+    xml.push('x');
+    for _ in 0..depth {
+        xml.push_str("</t>");
+    }
+    format!("<r>{xml}</r>")
+}
+
+#[test]
+fn cancelling_a_parallel_query_stops_all_morsels() {
+    let _gauges = POOL_GAUGES.lock().unwrap();
+    let options = EngineOptions::default().with_parallel(ParallelConfig::forced(4));
+    let engine = Engine::with_options(options);
+    let xml = deep_doc(1200);
+    let ctx = context_with_doc(&engine, "cancel.xml", &xml).unwrap();
+    let prepared = engine.compile("count(//t[t]//t)").unwrap();
+
+    let guard = QueryGuard::new(Limits::unlimited());
+    let handle = guard.cancel_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        handle.cancel();
+    });
+
+    let err = prepared
+        .execute_guarded(&engine, &ctx, guard)
+        .expect_err("a cancelled quadratic join must not complete");
+    assert_eq!(err.code, ErrorCode::Cancelled, "{err}");
+    canceller.join().unwrap();
+
+    // The executor drains every submitted morsel before returning, so
+    // by the time the error is visible no pool worker should still be
+    // running our morsels. Poll briefly: other tests share the global
+    // pool, so give unrelated work a moment to clear too.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if xqr::xqr_parallel::morsel_pool().stats().active == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "morsel workers still active 5s after cancellation returned: {:?}",
+            xqr::xqr_parallel::morsel_pool().stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn a_pre_cancelled_guard_never_starts_morsels() {
+    let _gauges = POOL_GAUGES.lock().unwrap();
+    let options = EngineOptions::default().with_parallel(ParallelConfig::forced(4));
+    let engine = Engine::with_options(options);
+    let xml = deep_doc(64);
+    let ctx = context_with_doc(&engine, "pre.xml", &xml).unwrap();
+    let prepared = engine.compile("count(//t//t)").unwrap();
+
+    let guard = QueryGuard::new(Limits::unlimited());
+    guard.cancel_handle().cancel();
+    let before = xqr::xqr_parallel::parallel_stats().morsels_run;
+    let err = prepared
+        .execute_guarded(&engine, &ctx, guard)
+        .expect_err("cancelled before start");
+    assert_eq!(err.code, ErrorCode::Cancelled, "{err}");
+    assert_eq!(
+        xqr::xqr_parallel::parallel_stats().morsels_run,
+        before,
+        "a pre-cancelled query must fail at startup, before any morsel runs"
+    );
+}

@@ -157,3 +157,99 @@ fn roundtrip_seed_doc_store_form_is_stable() {
     let doc2 = xqr::Document::parse(&once, names2).unwrap();
     assert_eq!(doc2.serialize_node(NodeId(0)), once);
 }
+
+// ---------------------------------------------------------------------
+// Morsel-boundary regressions for the parallel twig executor. The
+// partition puts each root-list chunk in exactly one morsel and slices
+// the other lists to the chunk's label window; these pin the seam cases
+// where that slicing has to replicate, dedupe, or degenerate.
+
+/// Serial vs parallel comparison over an explicit document and twig, at
+/// an explicit morsel count.
+fn assert_parallel_matches_serial(xml: &str, pattern: &str, morsels: usize) {
+    use xqr::xqr_joins::{element_list, twig_stack, TwigPattern};
+    use xqr::xqr_parallel::{parallel_twig_stack, ParallelConfig};
+    use xqr::Document;
+    use xqr_xdm::{Limits, QueryGuard};
+
+    let names = Arc::new(NamePool::new());
+    let doc = Document::parse(xml, names.clone()).unwrap();
+    let twig = TwigPattern::parse(pattern, &names).unwrap();
+    let lists: Vec<Vec<_>> = twig
+        .nodes
+        .iter()
+        .map(|n| element_list(&doc, n.name))
+        .collect();
+    let (want, _) = twig_stack(&twig, &lists);
+    let shared: Vec<_> = lists.into_iter().map(Arc::new).collect();
+    let guard = QueryGuard::new(Limits::unlimited());
+    let (got, run) =
+        parallel_twig_stack(&twig, shared, &ParallelConfig::forced(morsels), &guard).unwrap();
+    assert_eq!(
+        got, want,
+        "morsels={morsels} diverged on {pattern:?} over {xml:?} \
+         (ran {} morsels)",
+        run.morsels
+    );
+}
+
+/// A deep chain of `a` elements whose only `b` witness sits at the
+/// bottom: every chunk's ancestors *straddle* later chunks, so each
+/// morsel's descendant window must extend to the chunk's maximum `end`,
+/// not its last `start`.
+#[test]
+fn morsel_seam_straddling_ancestors_keep_their_deep_witness() {
+    let mut xml = String::new();
+    for _ in 0..7 {
+        xml.push_str("<a>");
+    }
+    xml.push_str("<b/>");
+    for _ in 0..7 {
+        xml.push_str("</a>");
+    }
+    for morsels in [2, 3, 5, 7, 16] {
+        assert_parallel_matches_serial(&xml, "//a//b", morsels);
+        assert_parallel_matches_serial(&xml, "//a[b]", morsels);
+    }
+}
+
+/// Witness lists replicated into adjacent morsel windows must not
+/// produce duplicate tuples after the merge: sibling `a` subtrees share
+/// `b`/`c` names right at the chunk seams.
+#[test]
+fn morsel_seam_replicated_witnesses_do_not_duplicate_tuples() {
+    let xml = "<r>\
+        <a><b/><c/></a><a><b/><b/><c/></a><a><c/></a>\
+        <a><a><b/><c/></a><c/></a><a><b/><c/></a>\
+        </r>";
+    for morsels in [2, 3, 4, 5, 8] {
+        assert_parallel_matches_serial(xml, "//a[b]/c", morsels);
+        assert_parallel_matches_serial(xml, "//a[b][c]", morsels);
+        assert_parallel_matches_serial(xml, "//a//c", morsels);
+    }
+}
+
+/// More morsels than root-list entries: the tail chunks are empty and
+/// must contribute nothing (and not panic on empty ranges).
+#[test]
+fn morsel_count_beyond_root_list_yields_empty_morsels() {
+    let xml = "<r><a><b/></a><a/><a><b/></a></r>";
+    for morsels in [4, 8, 64] {
+        assert_parallel_matches_serial(xml, "//a//b", morsels);
+    }
+}
+
+/// The degenerate single-node document: one root-list entry, every
+/// forced split collapses to one non-empty morsel.
+#[test]
+fn morsel_split_of_a_single_node_document() {
+    assert_parallel_matches_serial("<a/>", "//a", 4);
+    assert_parallel_matches_serial("<a><b/></a>", "//a//b", 4);
+
+    // And end to end through the engine: forced parallel on a one-node
+    // document must still answer.
+    use xqr::xqr_runtime::ParallelConfig;
+    let engine =
+        Engine::with_options(EngineOptions::default().with_parallel(ParallelConfig::forced(4)));
+    assert_eq!(engine.query_xml("<a/>", "count(//a)").unwrap(), "1");
+}
