@@ -62,6 +62,8 @@ pub const SITES: &[&str] = &[
     "pool.dispatch",
     "parallel.morsel",
     "subscribe.deliver",
+    "ingest.chunk",
+    "ingest.flush",
 ];
 
 /// Budgets for chaos cases: the fuzz budgets, minus most of the
@@ -188,6 +190,7 @@ impl ChaosRunner {
             per_query_limits: limits,
             retry: RetryPolicy::default(),
             persist_dir: None,
+            ..Default::default()
         });
         ChaosRunner {
             options,
@@ -240,6 +243,35 @@ impl ChaosRunner {
         let stats_before = self.service.stats();
         let store = self.service.engine().store().clone();
         let doc_name = format!("chaos-{}.xml", self.case_no);
+
+        // Un-faulted whole-document publish: the reference for the
+        // chunked-ingestion leg. The engine reference above cannot
+        // anchor it — cross-document node order (a constructed node
+        // unioned with stored ones) is implementation-defined and
+        // depends on the store's doc-id history, so a subscription
+        // evaluated on the long-lived service can legitimately order a
+        // union differently from a throwaway engine. The ingest
+        // invariant is *chunked == whole on the same service*, and
+        // that is what gets judged.
+        let ingest_reference = outcome(match contain_panic(|| self.service.subscribe(&query)) {
+            Ok(sub) => {
+                let run = contain_panic(|| {
+                    let report = self.service.publish(&doc_name, &xml)?;
+                    report
+                        .result_for(sub)
+                        .ok_or_else(|| {
+                            xqr_xdm::Error::internal(
+                                "live subscription missing from the whole-document report",
+                            )
+                        })?
+                        .clone()
+                });
+                self.service.unsubscribe(sub);
+                run
+            }
+            Err(e) => Err(e),
+        });
+
         // Baseline for the leak check, taken before any faulted work.
         let (base_docs, base_bytes) = (store.doc_count(), store.live_bytes());
 
@@ -305,8 +337,59 @@ impl ChaosRunner {
                 }
             }
 
+            // Leg 4: chunked ingestion — the query rides a standing
+            // subscription, the document arrives split into small
+            // chunks through a service chunk session. `ingest.chunk`
+            // and `ingest.flush` fire here; any fault must end the
+            // session with a stable coded error and leave no session
+            // (checked below) and no store residue (leak check below).
+            let chunk_len = rng.gen_range(1usize..33);
+            let ingest_leg = outcome(match contain_panic(|| self.service.subscribe(&query)) {
+                Ok(sub) => {
+                    // The session ops get their own containment so the
+                    // unsubscribe below runs even when an injected panic
+                    // unwinds out of a feed or finish.
+                    let run = contain_panic(|| {
+                        let sid = self.service.open_chunk_session(&doc_name)?;
+                        for c in xml.as_bytes().chunks(chunk_len) {
+                            self.service.feed_chunk(sid, c)?;
+                        }
+                        let report = self.service.finish_chunk_session(sid)?;
+                        report
+                            .result_for(sub)
+                            .ok_or_else(|| {
+                                xqr_xdm::Error::internal(
+                                    "live subscription missing from the chunked report",
+                                )
+                            })?
+                            .clone()
+                    });
+                    self.service.unsubscribe(sub);
+                    run
+                }
+                Err(e) => Err(e),
+            });
+            self.judge(
+                &mut case,
+                "ingest",
+                &ingest_reference,
+                ingest_leg,
+                panics_scheduled,
+            );
+
             case.fired = xqr_faults::fires();
             // Guard drops here: later cleanup runs un-faulted.
+        }
+
+        // A failed chunk session must be cleaned up, not leaked.
+        if self.service.chunk_sessions() != 0 {
+            case.violations.push(Violation {
+                leg: "ingest",
+                detail: format!(
+                    "{} chunk session(s) leaked past the case",
+                    self.service.chunk_sessions()
+                ),
+            });
         }
 
         // Cleanup + leak check: with injection off, removal must restore

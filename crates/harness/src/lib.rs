@@ -44,6 +44,7 @@
 
 pub mod chaos;
 pub mod gen;
+pub mod ingest;
 pub mod oracle;
 pub mod pubsub;
 pub mod recover;

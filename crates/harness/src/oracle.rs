@@ -150,6 +150,7 @@ impl Oracle {
             // legs shed. The chaos harness turns retries on explicitly.
             retry: xqr_service::RetryPolicy::none(),
             persist_dir: None,
+            ..Default::default()
         });
         Oracle {
             ref_options,

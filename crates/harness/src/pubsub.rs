@@ -84,14 +84,14 @@ pub struct PubsubCase {
 /// Budgets for pub/sub cases: bounded so a pathological generated query
 /// cannot wedge the suite, generous enough that resource trips stay
 /// rare (each one skips a comparison).
-fn case_limits() -> Limits {
+pub(crate) fn case_limits() -> Limits {
     Limits::unlimited()
         .with_deadline(Duration::from_secs(10))
         .with_max_items(200_000)
         .with_max_output_bytes(4 * 1024 * 1024)
 }
 
-fn doc_config(rng: &mut StdRng, seed: u64) -> RandomTreeConfig {
+pub(crate) fn doc_config(rng: &mut StdRng, seed: u64) -> RandomTreeConfig {
     RandomTreeConfig {
         seed,
         nodes: rng.gen_range(20usize..120),
@@ -107,7 +107,7 @@ fn doc_config(rng: &mut StdRng, seed: u64) -> RandomTreeConfig {
 /// A random path expression over the tag alphabet `random_tree` emits.
 /// These are the queries that ride the shared pass: child/descendant
 /// steps, wildcards included.
-fn random_path(rng: &mut StdRng) -> String {
+pub(crate) fn random_path(rng: &mut StdRng) -> String {
     const NAMES: &[&str] = &["root", "a", "d", "t0", "t1", "t2", "t3", "*"];
     let steps = rng.gen_range(1usize..5);
     let mut q = String::new();

@@ -1,0 +1,335 @@
+//! The bounded SPSC event channel — the ingestion pipeline's backbone.
+//!
+//! The producer (the lexing side) parks in [`EventSender::send`] when
+//! the consumer falls behind, so pipeline memory stays O(capacity), not
+//! O(document). Parked producers poll their [`QueryGuard`] each wakeup:
+//! cancellation and deadline trips unblock them with the guard's coded
+//! error instead of hanging a caller thread forever. Dropping the
+//! receiver likewise unblocks the producer (with `XQRL0003 Cancelled`):
+//! a consumer that errored out and unwound must not strand the feeder.
+//!
+//! Occupancy is instrumented: [`ChannelGauges::peak`] is the high-water
+//! mark the bounded-memory acceptance test asserts against — a 64 MiB
+//! document through a slow consumer must top out at `capacity`, never
+//! above it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use xqr_xdm::{Error, QueryGuard, Result};
+use xqr_xmlparse::XmlEvent;
+
+/// How long a parked producer sleeps between guard polls. Short enough
+/// that cancellation feels immediate, long enough not to spin.
+const PARK_POLL: Duration = Duration::from_millis(20);
+
+/// Occupancy and throughput gauges, shared with the service stats
+/// surface. All monotonic except `capacity` (fixed at construction).
+#[derive(Debug)]
+pub struct ChannelGauges {
+    capacity: usize,
+    peak: AtomicUsize,
+    events_sent: AtomicU64,
+    blocked_sends: AtomicU64,
+}
+
+impl ChannelGauges {
+    /// The bound: queue occupancy can never exceed this.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of queue occupancy over the channel's life.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Events pushed through the channel.
+    pub fn events_sent(&self) -> u64 {
+        self.events_sent.load(Ordering::Relaxed)
+    }
+
+    /// Sends that found the queue full and had to park at least once —
+    /// the backpressure counter.
+    pub fn blocked_sends(&self) -> u64 {
+        self.blocked_sends.load(Ordering::Relaxed)
+    }
+}
+
+struct State {
+    queue: VecDeque<XmlEvent>,
+    /// Producer called close (cleanly or with an error).
+    closed: bool,
+    /// Producer-side failure, delivered to the consumer *after* the
+    /// queued prefix drains: events lexed before the failure are valid.
+    error: Option<Error>,
+    /// Consumer dropped; sends fail immediately.
+    receiver_gone: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    gauges: Arc<ChannelGauges>,
+}
+
+/// Short panic-free critical sections only: poisoned state is sound.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Producer half. Not `Clone`: the channel is single-producer.
+pub struct EventSender {
+    shared: Arc<Shared>,
+}
+
+/// Consumer half. Not `Clone`: the channel is single-consumer.
+pub struct EventReceiver {
+    shared: Arc<Shared>,
+}
+
+/// A bounded single-producer single-consumer channel of parse events.
+/// `capacity` must be at least 1.
+pub fn event_channel(capacity: usize) -> (EventSender, EventReceiver) {
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            closed: false,
+            error: None,
+            receiver_gone: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        gauges: Arc::new(ChannelGauges {
+            capacity,
+            peak: AtomicUsize::new(0),
+            events_sent: AtomicU64::new(0),
+            blocked_sends: AtomicU64::new(0),
+        }),
+    });
+    (
+        EventSender {
+            shared: shared.clone(),
+        },
+        EventReceiver { shared },
+    )
+}
+
+impl EventSender {
+    /// Enqueue one event, parking while the queue is at capacity. While
+    /// parked the optional guard is polled: a cancellation or deadline
+    /// trip aborts the send with the guard's error. A dropped receiver
+    /// aborts it with `Cancelled`.
+    pub fn send(&self, ev: XmlEvent, guard: Option<&QueryGuard>) -> Result<()> {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        let mut parked = false;
+        loop {
+            if st.receiver_gone {
+                return Err(Error::cancelled("ingest consumer dropped mid-stream"));
+            }
+            if st.queue.len() < self.shared.gauges.capacity {
+                break;
+            }
+            if !parked {
+                parked = true;
+                self.shared
+                    .gauges
+                    .blocked_sends
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            st = self
+                .shared
+                .not_full
+                .wait_timeout(st, PARK_POLL)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+            if let Some(g) = guard {
+                g.check_startup()?;
+            }
+        }
+        st.queue.push_back(ev);
+        let len = st.queue.len();
+        drop(st);
+        self.shared
+            .gauges
+            .events_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.gauges.peak.fetch_max(len, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Declare the stream over. `error` (first close wins) is handed to
+    /// the consumer once the queued prefix drains. Idempotent; also runs
+    /// on drop (clean close), so a panicking producer can't hang the
+    /// consumer.
+    pub fn close(&self, error: Option<Error>) {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        if !st.closed {
+            st.closed = true;
+            st.error = error;
+        }
+        drop(st);
+        self.shared.not_empty.notify_all();
+    }
+
+    /// The channel's occupancy gauges (shared with the receiver).
+    pub fn gauges(&self) -> Arc<ChannelGauges> {
+        self.shared.gauges.clone()
+    }
+}
+
+impl Drop for EventSender {
+    fn drop(&mut self) {
+        self.close(None);
+    }
+}
+
+impl EventReceiver {
+    /// Next event, blocking while the queue is empty and the stream is
+    /// open. `Ok(None)` is a clean end of stream; a producer-side error
+    /// is returned (sticky) only after every event queued before the
+    /// failure has been handed out.
+    pub fn recv(&self) -> Result<Option<XmlEvent>> {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        loop {
+            if let Some(ev) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(Some(ev));
+            }
+            if st.closed {
+                return match &st.error {
+                    Some(e) => Err(e.clone()),
+                    None => Ok(None),
+                };
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait_timeout(st, PARK_POLL)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+
+    /// Current queue occupancy (instantaneous; for tests and gauges).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's occupancy gauges (shared with the sender).
+    pub fn gauges(&self) -> Arc<ChannelGauges> {
+        self.shared.gauges.clone()
+    }
+}
+
+impl Drop for EventReceiver {
+    fn drop(&mut self) {
+        let mut st = lock_unpoisoned(&self.shared.state);
+        st.receiver_gone = true;
+        drop(st);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use xqr_xdm::{ErrorCode, Limits};
+
+    fn text(s: &str) -> XmlEvent {
+        XmlEvent::Text(Arc::from(s))
+    }
+
+    #[test]
+    fn events_flow_in_order_and_close_ends_stream() {
+        let (tx, rx) = event_channel(4);
+        tx.send(text("a"), None).unwrap();
+        tx.send(text("b"), None).unwrap();
+        tx.close(None);
+        assert_eq!(rx.recv().unwrap(), Some(text("a")));
+        assert_eq!(rx.recv().unwrap(), Some(text("b")));
+        assert_eq!(rx.recv().unwrap(), None);
+        assert_eq!(rx.recv().unwrap(), None); // stays closed
+    }
+
+    #[test]
+    fn producer_parks_at_capacity_and_resumes_when_drained() {
+        let (tx, rx) = event_channel(2);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(text(&i.to_string()), None).unwrap();
+            }
+            tx.close(None);
+            tx.gauges().peak()
+        });
+        // Give the producer time to fill the queue and park, so the
+        // blocked_sends assertion below is deterministic.
+        thread::sleep(std::time::Duration::from_millis(100));
+        let mut got = 0;
+        while rx.recv().unwrap().is_some() {
+            got += 1;
+            // The queue can never hold more than the capacity.
+            assert!(rx.len() <= 2);
+        }
+        got += 0;
+        assert_eq!(got, 100);
+        let peak = producer.join().unwrap();
+        assert!(peak <= 2, "peak {peak} exceeds capacity");
+        assert!(rx.gauges().blocked_sends() > 0, "producer never parked");
+    }
+
+    #[test]
+    fn error_is_delivered_after_valid_prefix_and_is_sticky() {
+        let (tx, rx) = event_channel(8);
+        tx.send(text("ok"), None).unwrap();
+        tx.close(Some(Error::syntax("boom")));
+        assert_eq!(rx.recv().unwrap(), Some(text("ok")));
+        assert_eq!(rx.recv().unwrap_err().code, ErrorCode::Syntax);
+        assert_eq!(rx.recv().unwrap_err().code, ErrorCode::Syntax);
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_parked_producer() {
+        let (tx, rx) = event_channel(1);
+        tx.send(text("fills the queue"), None).unwrap();
+        let producer = thread::spawn(move || tx.send(text("parks"), None));
+        thread::sleep(Duration::from_millis(50));
+        drop(rx);
+        let err = producer.join().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_unblocks_parked_producer() {
+        let (tx, _rx) = event_channel(1);
+        let guard = QueryGuard::new(Limits::unlimited());
+        let cancel = guard.cancel_handle();
+        tx.send(text("fills the queue"), None).unwrap();
+        let producer = thread::spawn(move || tx.send(text("parks"), Some(&guard)));
+        thread::sleep(Duration::from_millis(50));
+        cancel.cancel();
+        let err = producer.join().unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Cancelled);
+    }
+
+    #[test]
+    fn dropped_sender_closes_cleanly() {
+        let (tx, rx) = event_channel(4);
+        tx.send(text("last"), None).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), Some(text("last")));
+        assert_eq!(rx.recv().unwrap(), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! # xqr-ingest — async chunked ingestion with bounded buffers
+//!
+//! Documents arrive over a wire in arbitrary byte chunks; queries and
+//! standing subscriptions should see results while bytes are still
+//! arriving, and memory should be bounded by a buffer, not the
+//! document. This crate is the pipe between those two worlds:
+//!
+//! * [`event_channel`] — a bounded SPSC channel of parse events with
+//!   backpressure: the producer parks when the consumer falls behind,
+//!   and a parked producer observes guard cancellation/deadlines and
+//!   receiver drops instead of hanging;
+//! * [`pipeline`] — wires the resumable chunk-fed lexer
+//!   ([`XmlReader::incremental`](xqr_xmlparse::XmlReader::incremental))
+//!   to the channel: [`IngestPipeline::feed`] accepts chunks split at
+//!   *any* byte boundary (mid-tag, mid-entity, mid-UTF-8) on the
+//!   feeding thread;
+//! * [`ChannelTokenIterator`] — the consumer end as a standard
+//!   [`TokenIterator`](xqr_tokenstream::TokenIterator), so the
+//!   streaming matcher and the pub/sub combined automaton run over a
+//!   live byte stream unmodified;
+//! * [`ChannelGauges`] — occupancy instrumentation (peak, blocked
+//!   sends) surfaced through the service stats; the bounded-memory
+//!   acceptance test pins `peak <= capacity` for a 64 MiB document
+//!   against a slow consumer.
+//!
+//! The invariant, enforced by the chunked differential oracle: a
+//! document fed through this pipeline in any chunking produces exactly
+//! the token sequence — and therefore exactly the query results and
+//! coded errors — of the whole-document pull path.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::thread;
+//! use xqr_ingest::pipeline;
+//! use xqr_tokenstream::{drain, TokenIterator};
+//! use xqr_xdm::NamePool;
+//!
+//! let (mut tx, mut rx) = pipeline(Arc::new(NamePool::new()), 16, None);
+//! let feeder = thread::spawn(move || {
+//!     for chunk in [&b"<a><b>x"[..], &b"</b></a>"[..]] {
+//!         tx.feed(chunk).unwrap();
+//!     }
+//!     tx.finish().unwrap();
+//! });
+//! let tokens = drain(&mut rx).unwrap();
+//! feeder.join().unwrap();
+//! assert_eq!(tokens, 7); // SD <a> <b> "x" </b> </a> ED
+//! ```
+
+mod channel;
+mod pipeline;
+
+pub use channel::{event_channel, ChannelGauges, EventReceiver, EventSender};
+pub use pipeline::{pipeline, ChannelTokenIterator, IngestPipeline};

@@ -1,0 +1,380 @@
+//! The two ends of the ingestion pipeline.
+//!
+//! [`IngestPipeline`] is the producer: it owns the resumable lexer,
+//! accepts arbitrary byte chunks, and pushes completed events into the
+//! bounded channel — parking (backpressure) when the consumer lags.
+//! [`ChannelTokenIterator`] is the consumer: a [`TokenIterator`] over
+//! the channel, so every pull-driven component in the engine — the
+//! single-query [`StreamMatcher`](xqr_runtime::StreamMatcher), the
+//! pub/sub shared pass — runs over a live byte stream unmodified.
+//!
+//! Events cross the thread boundary as owned [`XmlEvent`]s and are
+//! re-interned consumer-side through the same `event_to_tokens` mapping
+//! the whole-document pull adapter uses, so both paths produce
+//! identical token sequences.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use xqr_tokenstream::{event_to_tokens, StrId, Token, TokenIterator};
+use xqr_xdm::{Error, NameId, NamePool, QName, QueryGuard, Result};
+use xqr_xmlparse::XmlReader;
+
+use crate::channel::{event_channel, ChannelGauges, EventReceiver, EventSender};
+
+/// Producer half: chunked bytes in, backpressured events out.
+///
+/// Errors are sticky: once the lexer or the channel fails, every later
+/// call returns the same error, and the failure has already been pushed
+/// to the consumer (after the valid event prefix).
+pub struct IngestPipeline {
+    reader: XmlReader<'static>,
+    tx: EventSender,
+    guard: Option<QueryGuard>,
+    failed: Option<Error>,
+    finished: bool,
+    bytes_fed: u64,
+}
+
+/// Build a pipeline: the [`IngestPipeline`] stays with the feeding
+/// thread, the [`ChannelTokenIterator`] moves to the evaluating thread.
+/// `capacity` bounds in-flight events (memory is O(capacity), not
+/// O(document)); `guard`, when given, applies reader limits and token
+/// budgets on both ends and lets a parked producer observe cancellation.
+pub fn pipeline(
+    names: Arc<NamePool>,
+    capacity: usize,
+    guard: Option<QueryGuard>,
+) -> (IngestPipeline, ChannelTokenIterator) {
+    let (tx, rx) = event_channel(capacity);
+    let reader = match &guard {
+        Some(g) => XmlReader::incremental().with_guard(g.clone()),
+        None => XmlReader::incremental(),
+    };
+    (
+        IngestPipeline {
+            reader,
+            tx,
+            guard: guard.clone(),
+            failed: None,
+            finished: false,
+            bytes_fed: 0,
+        },
+        ChannelTokenIterator::new(rx, names, guard),
+    )
+}
+
+impl IngestPipeline {
+    fn check_failed(&self) -> Result<()> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Record a failure, push it to the consumer, and return it.
+    fn fail<T>(&mut self, e: Error) -> Result<T> {
+        self.failed = Some(e.clone());
+        self.tx.close(Some(e.clone()));
+        Err(e)
+    }
+
+    /// Drain every event the lexer has completed into the channel,
+    /// parking when it is full.
+    fn pump(&mut self) -> Result<()> {
+        loop {
+            match self.reader.poll_event() {
+                Ok(Some(ev)) => {
+                    if let Err(e) = self.tx.send(ev, self.guard.as_ref()) {
+                        return self.fail(e);
+                    }
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return self.fail(e),
+            }
+        }
+    }
+
+    /// Feed one chunk (any boundary — mid-tag, mid-entity, mid-UTF-8
+    /// sequence) and push whatever events completed. Blocks only when
+    /// the channel is full (backpressure).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<()> {
+        self.check_failed()?;
+        self.bytes_fed += chunk.len() as u64;
+        if let Err(e) = self.reader.feed(chunk) {
+            return self.fail(e);
+        }
+        self.pump()
+    }
+
+    /// Declare end of input: flush the final events and close the
+    /// channel. The consumer's stream ends cleanly (or with the
+    /// document's coded error — e.g. an unclosed element).
+    pub fn finish(&mut self) -> Result<()> {
+        self.check_failed()?;
+        if self.finished {
+            return Ok(());
+        }
+        if let Err(e) = self.reader.finish() {
+            return self.fail(e);
+        }
+        self.pump()?;
+        self.finished = true;
+        self.tx.close(None);
+        Ok(())
+    }
+
+    /// Total bytes accepted by [`IngestPipeline::feed`].
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes_fed
+    }
+
+    /// Bytes parked in the lexer awaiting a complete syntactic unit.
+    pub fn buffered_bytes(&self) -> usize {
+        self.reader.buffered_bytes()
+    }
+
+    /// The channel's occupancy gauges.
+    pub fn gauges(&self) -> Arc<ChannelGauges> {
+        self.tx.gauges()
+    }
+}
+
+/// Consumer half: a [`TokenIterator`] over the event channel. Blocks in
+/// `next_token` while the producer is still lexing; ends (or errors)
+/// when the producer closes.
+pub struct ChannelTokenIterator {
+    rx: EventReceiver,
+    pool: xqr_tokenstream::StringPool,
+    names: Arc<NamePool>,
+    queue: VecDeque<Token>,
+    finished: bool,
+    last_opened: bool,
+    guard: Option<QueryGuard>,
+}
+
+impl ChannelTokenIterator {
+    fn new(rx: EventReceiver, names: Arc<NamePool>, guard: Option<QueryGuard>) -> Self {
+        ChannelTokenIterator {
+            rx,
+            pool: xqr_tokenstream::StringPool::new(),
+            names,
+            queue: VecDeque::new(),
+            finished: false,
+            last_opened: false,
+            guard,
+        }
+    }
+
+    pub fn names(&self) -> &Arc<NamePool> {
+        &self.names
+    }
+
+    /// The channel's occupancy gauges.
+    pub fn gauges(&self) -> Arc<ChannelGauges> {
+        self.rx.gauges()
+    }
+}
+
+/// Pooled payload bytes the consumer carries before recycling its pool
+/// at the next safe point (drained queue) — mirrors the push
+/// tokenizer's window so channel consumers stay O(window) too.
+const POOL_RECYCLE_BYTES: usize = 64 * 1024;
+
+impl TokenIterator for ChannelTokenIterator {
+    fn next_token(&mut self) -> Result<Option<Token>> {
+        // Every handed-out token has been resolved by now (consumers
+        // resolve ids before pulling the next token), so a grown pool
+        // recycles instead of accumulating every unique string the
+        // document ever contained.
+        if self.queue.is_empty() && self.pool.payload_bytes() > POOL_RECYCLE_BYTES {
+            self.pool.recycle();
+        }
+        while self.queue.is_empty() {
+            if self.finished {
+                return Ok(None);
+            }
+            match self.rx.recv()? {
+                Some(ev) => {
+                    if event_to_tokens(&ev, &self.names, &mut self.pool, &mut self.queue) {
+                        self.finished = true;
+                    }
+                }
+                None => {
+                    // Producer closed without EndDocument (it failed and
+                    // already delivered its error, or was dropped).
+                    self.finished = true;
+                }
+            }
+        }
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            if let Some(guard) = &self.guard {
+                guard.note_tokens(1)?;
+            }
+        }
+        self.last_opened = t.map(|t| t.opens()).unwrap_or(false);
+        Ok(t)
+    }
+
+    fn skip_subtree(&mut self) -> Result<usize> {
+        if !self.last_opened {
+            return Ok(0);
+        }
+        // Tokens still cross the channel (the producer can't seek), but
+        // they are dropped here without reaching the consumer logic —
+        // and without interning costs for pruned content is the point.
+        let mut depth = 1usize;
+        let mut skipped = 0usize;
+        loop {
+            let t = match self.next_token()? {
+                Some(t) => t,
+                None => return Ok(skipped),
+            };
+            skipped += 1;
+            if t.opens() {
+                depth += 1;
+            } else if t.closes() {
+                depth -= 1;
+                if depth == 0 {
+                    self.last_opened = false;
+                    return Ok(skipped);
+                }
+            }
+        }
+    }
+
+    fn pooled_str(&self, id: StrId) -> Arc<str> {
+        self.pool.get_arc(id)
+    }
+
+    fn name(&self, id: NameId) -> QName {
+        self.names.resolve(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use xqr_xdm::{ErrorCode, Limits};
+
+    const DOC: &str = concat!(
+        r#"<?xml version="1.0"?><order id="4711"><!-- note --><date>2003-08-19</date>"#,
+        r#"<lineitem xmlns="www.boo.com" qty="2">caf&#233;</lineitem><?audit log?></order>"#
+    );
+
+    fn render(t: &Token, r: &impl TokenIterator) -> String {
+        match t {
+            Token::StartDocument => "SD".into(),
+            Token::EndDocument => "ED".into(),
+            Token::StartElement(n) => format!("SE({})", r.name(*n)),
+            Token::EndElement => "EE".into(),
+            Token::Attribute(n, v) => format!("A({}={})", r.name(*n), r.pooled_str(*v)),
+            Token::NamespaceDecl(p, u) => {
+                format!("NS({}={})", r.pooled_str(*p), r.pooled_str(*u))
+            }
+            Token::Text(s) => format!("T({})", r.pooled_str(*s)),
+            Token::Comment(c) => format!("C({})", r.pooled_str(*c)),
+            Token::ProcessingInstruction(n, d) => {
+                format!("PI({} {})", r.name(*n), r.pooled_str(*d))
+            }
+        }
+    }
+
+    fn pull_tokens(doc: &str) -> Vec<String> {
+        let mut it = xqr_tokenstream::ParserTokenIterator::new(doc, Arc::new(NamePool::new()));
+        let mut out = Vec::new();
+        while let Some(t) = it.next_token().unwrap() {
+            out.push(render(&t, &it));
+        }
+        out
+    }
+
+    fn channel_tokens(doc: &'static str, chunk: usize, capacity: usize) -> Vec<String> {
+        let (mut tx, mut rx) = pipeline(Arc::new(NamePool::new()), capacity, None);
+        let feeder = thread::spawn(move || {
+            for c in doc.as_bytes().chunks(chunk) {
+                tx.feed(c).unwrap();
+            }
+            tx.finish().unwrap();
+        });
+        let mut out = Vec::new();
+        while let Some(t) = rx.next_token().unwrap() {
+            out.push(render(&t, &rx));
+        }
+        feeder.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn channel_iterator_equals_pull_adapter_at_any_chunk_size() {
+        let want = pull_tokens(DOC);
+        for chunk in [1, 3, 16, DOC.len()] {
+            assert_eq!(channel_tokens(DOC, chunk, 4), want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn tiny_capacity_applies_backpressure_without_losing_events() {
+        let want = pull_tokens(DOC);
+        let got = channel_tokens(DOC, 7, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lexer_error_reaches_consumer_after_valid_prefix() {
+        let (mut tx, mut rx) = pipeline(Arc::new(NamePool::new()), 8, None);
+        tx.feed(b"<a><b>x</b>").unwrap();
+        let e = tx.feed(b"</wrong>").unwrap_err();
+        assert_eq!(e.code, ErrorCode::Syntax);
+        // Everything lexed before the failure still comes through.
+        let mut tokens = 0;
+        let got = loop {
+            match rx.next_token() {
+                Ok(Some(_)) => tokens += 1,
+                Ok(None) => panic!("stream must end with the error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(tokens >= 3, "valid prefix delivered ({tokens} tokens)");
+        assert_eq!(got.code, ErrorCode::Syntax);
+        // Sticky on the producer too.
+        assert_eq!(tx.feed(b"<more/>").unwrap_err().code, ErrorCode::Syntax);
+    }
+
+    #[test]
+    fn stream_matcher_runs_over_a_live_channel() {
+        let q = xqr_core::Engine::new().compile("//date").unwrap();
+        let pattern = q.stream_pattern().unwrap().clone();
+        let (mut tx, rx) = pipeline(Arc::new(NamePool::new()), 2, None);
+        let feeder = thread::spawn(move || {
+            for c in DOC.as_bytes().chunks(5) {
+                tx.feed(c).unwrap();
+            }
+            tx.finish().unwrap();
+        });
+        let mut m = xqr_runtime::StreamMatcher::new(rx, pattern);
+        let matches = m.all_matches().unwrap();
+        feeder.join().unwrap();
+        assert_eq!(matches, vec!["<date>2003-08-19</date>".to_string()]);
+    }
+
+    #[test]
+    fn guard_token_budget_trips_across_the_channel() {
+        let guard = QueryGuard::new(Limits::unlimited().with_max_tokens(3));
+        let (mut tx, mut rx) = pipeline(Arc::new(NamePool::new()), 8, Some(guard));
+        // Producer-side reader also carries the guard; feed a small doc
+        // fully so the trip happens on the consumer side.
+        tx.feed(b"<a><b/><c/></a>").unwrap();
+        let _ = tx.finish();
+        let err = loop {
+            match rx.next_token() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("budget should trip"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.code, ErrorCode::Limit);
+    }
+}

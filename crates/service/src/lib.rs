@@ -36,12 +36,14 @@
 //! ```
 
 pub mod catalog;
+pub mod ingest;
 pub mod plan_cache;
 pub mod pool;
 pub mod resilience;
 pub mod service;
 
 pub use catalog::{CatalogStats, DocumentCatalog};
+pub use ingest::{SessionId, StreamQuery};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use pool::{PoolStats, WorkerPool};
 pub use resilience::{CircuitBreaker, Degraded, RetryPolicy};

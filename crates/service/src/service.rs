@@ -62,6 +62,17 @@ pub struct ServiceConfig {
     /// recover its corpus by replaying the manifest — construct with
     /// [`QueryService::open`] to observe recovery errors.
     pub persist_dir: Option<PathBuf>,
+    /// Live chunked-ingestion sessions the service will hold at once;
+    /// opening past this (after reaping idle sessions) fails with
+    /// `err:XQRL0004 Overloaded`.
+    pub max_chunk_sessions: usize,
+    /// Chunk sessions idle this long are reaped: the next admission
+    /// sweep (or an explicit [`QueryService::reap_idle_sessions`])
+    /// frees their slots and their buffered state.
+    pub chunk_session_idle: Duration,
+    /// Event capacity of a stream query's bounded channel — the memory
+    /// ceiling of chunked evaluation is O(this), not O(document).
+    pub ingest_channel_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +87,9 @@ impl Default for ServiceConfig {
             per_query_limits: Limits::unlimited(),
             retry: RetryPolicy::default(),
             persist_dir: None,
+            max_chunk_sessions: 64,
+            chunk_session_idle: Duration::from_secs(30),
+            ingest_channel_capacity: 256,
         }
     }
 }
@@ -181,6 +195,7 @@ pub struct QueryService {
     catalog: Arc<DocumentCatalog>,
     pool: WorkerPool,
     subs: SubscriptionRegistry,
+    ingest: crate::ingest::IngestState,
 }
 
 /// An admitted, in-flight query. Obtain from [`QueryService::submit`];
@@ -275,7 +290,39 @@ impl QueryService {
             catalog,
             pool: WorkerPool::new(config.max_concurrent, config.max_queued),
             subs: SubscriptionRegistry::new(),
+            ingest: crate::ingest::IngestState::new(
+                config.max_chunk_sessions,
+                config.chunk_session_idle,
+                config.ingest_channel_capacity,
+            ),
         })
+    }
+
+    pub(crate) fn ingest_state(&self) -> &crate::ingest::IngestState {
+        &self.ingest
+    }
+
+    pub(crate) fn subs_registry(&self) -> &SubscriptionRegistry {
+        &self.subs
+    }
+
+    pub(crate) fn limits(&self) -> Limits {
+        self.shared.limits
+    }
+
+    pub(crate) fn acquire_plan_for_ingest(&self, query: &str) -> Result<Arc<PreparedQuery>> {
+        self.shared.acquire_plan(query)
+    }
+
+    pub(crate) fn record_publish_stream(&self, stats: &StreamStats) {
+        self.shared.record_stream(stats);
+    }
+
+    pub(crate) fn note_stream_query_outcome(&self, outcome: &Result<String>) {
+        match outcome {
+            Ok(_) => self.shared.served.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.shared.failed.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     /// The engine the service runs on (e.g. for `explain` output).
@@ -557,6 +604,7 @@ impl QueryService {
         let catalog = self.catalog.stats();
         let pool = self.pool.stats();
         let subs = self.subs.stats();
+        let ingest = self.ingest.snapshot();
         ServiceStats {
             served: self.shared.served.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
@@ -604,6 +652,17 @@ impl QueryService {
             stream_tokens_seen: self.shared.stream_tokens_seen.load(Ordering::Relaxed),
             stream_tokens_skipped: self.shared.stream_tokens_skipped.load(Ordering::Relaxed),
             stream_matches: self.shared.stream_matches.load(Ordering::Relaxed),
+            ingest_sessions_opened: ingest.opened,
+            ingest_sessions_active: ingest.active,
+            ingest_sessions_finished: ingest.finished,
+            ingest_sessions_aborted: ingest.aborted,
+            ingest_sessions_reaped: ingest.reaped,
+            ingest_sessions_failed: ingest.failed,
+            ingest_chunks: ingest.chunks,
+            ingest_bytes: ingest.bytes,
+            ingest_stream_queries: ingest.stream_queries,
+            ingest_channel_capacity: ingest.channel_capacity,
+            ingest_channel_peak: ingest.channel_peak,
             latency_count: self.shared.latency.count(),
             latency_mean: self.shared.latency.mean(),
             latency_p50: self.shared.latency.p50(),
@@ -712,6 +771,30 @@ pub struct ServiceStats {
     pub stream_tokens_skipped: u64,
     /// Matches emitted by streaming passes.
     pub stream_matches: u64,
+    /// Chunk sessions opened ([`QueryService::open_chunk_session`]).
+    pub ingest_sessions_opened: u64,
+    /// Chunk sessions live right now.
+    pub ingest_sessions_active: u64,
+    /// Chunk sessions finished (document delivered to subscriptions).
+    pub ingest_sessions_finished: u64,
+    /// Chunk sessions dropped by [`QueryService::abort_chunk_session`].
+    pub ingest_sessions_aborted: u64,
+    /// Idle chunk sessions reclaimed by the reaper.
+    pub ingest_sessions_reaped: u64,
+    /// Chunk sessions removed by a feed/finish failure (lexing error,
+    /// budget trip, injected fault).
+    pub ingest_sessions_failed: u64,
+    /// Chunks accepted across all sessions.
+    pub ingest_chunks: u64,
+    /// Bytes accepted across all sessions.
+    pub ingest_bytes: u64,
+    /// Stream queries opened ([`QueryService::open_stream_query`]).
+    pub ingest_stream_queries: u64,
+    /// Configured event capacity of stream-query channels.
+    pub ingest_channel_capacity: u64,
+    /// High-water mark over every stream query's channel: backpressure
+    /// holds this at or under the capacity regardless of document size.
+    pub ingest_channel_peak: u64,
     pub latency_count: u64,
     pub latency_mean: Duration,
     pub latency_p50: Duration,
@@ -810,6 +893,22 @@ delivery-failures: {}",
             f,
             "stream:  tokens-seen: {} tokens-skipped: {} matches: {}",
             self.stream_tokens_seen, self.stream_tokens_skipped, self.stream_matches
+        )?;
+        writeln!(
+            f,
+            "ingest:  sessions: {} active: {} finished: {} aborted: {} reaped: {} failed: {} \
+chunks: {} bytes: {} stream-queries: {} channel-peak: {}/{}",
+            self.ingest_sessions_opened,
+            self.ingest_sessions_active,
+            self.ingest_sessions_finished,
+            self.ingest_sessions_aborted,
+            self.ingest_sessions_reaped,
+            self.ingest_sessions_failed,
+            self.ingest_chunks,
+            self.ingest_bytes,
+            self.ingest_stream_queries,
+            self.ingest_channel_peak,
+            self.ingest_channel_capacity
         )?;
         write!(
             f,
@@ -919,6 +1018,7 @@ mod tests {
             "resilience:",
             "pubsub:",
             "stream:",
+            "ingest:",
             "latency:",
         ] {
             assert!(text.contains(section), "{text}");

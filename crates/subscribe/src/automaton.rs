@@ -35,7 +35,7 @@
 //! shared across every subscription at once.
 
 use xqr_runtime::{StreamPattern, StreamStats};
-use xqr_tokenstream::{Token, TokenIterator};
+use xqr_tokenstream::{Token, TokenIterator, TokenResolve};
 use xqr_xdm::{QName, Result};
 use xqr_xmlparse::{Attribute, NamespaceDecl, WriterOptions, XmlEvent, XmlWriter};
 
@@ -174,12 +174,282 @@ struct Capture {
     recipients: Vec<(PatternId, usize)>,
 }
 
-/// Run one document through the automaton. `charge(pattern, bytes)` is
-/// invoked once per delivered match for per-subscription output budgets;
-/// an error stops collection for that pattern only — the shared pass
-/// (and every other pattern) continues. A top-level error means the
-/// document itself could not be read (parse error, token budget): no
-/// per-pattern results exist in that case.
+/// What the driver should do after a pushed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushAction {
+    /// Keep feeding tokens.
+    Continue,
+    /// The element just opened cannot contribute to any subscription:
+    /// a *pull* driver should `skip_subtree()` on its iterator and
+    /// report the count via [`CombinedRun::note_skipped`]. A *push*
+    /// driver (tokens arrive whether it wants them or not) may ignore
+    /// the hint — the run absorbs the dead subtree internally, at one
+    /// depth-counter tick per token.
+    SkipSubtree,
+}
+
+fn flush_pending(
+    pending: &mut Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)>,
+    captures: &mut [Capture],
+) -> Result<()> {
+    if let Some((name, attributes, namespaces)) = pending.take() {
+        for c in captures.iter_mut() {
+            c.writer.write(&XmlEvent::StartElement {
+                name: name.clone(),
+                attributes: attributes.clone(),
+                namespaces: namespaces.clone(),
+                empty: false,
+            })?;
+        }
+    }
+    Ok(())
+}
+
+/// The resumable state of one document pass: everything `run_document`
+/// used to keep on its stack, liftable across chunk boundaries.
+///
+/// A pull driver (whole document in hand) loops `next_token` → [`push`]
+/// and honours [`PushAction::SkipSubtree`] with a real `skip_subtree`.
+/// A push driver (chunked ingestion: tokens appear as network bytes
+/// arrive) calls [`push`] for whatever is available, in any number of
+/// installments, and [`finish`]es when the producer signals end of
+/// document. Both drivers produce identical [`CombinedOutcome`]s —
+/// results, errors, and stats — which is what makes `publish_chunked`
+/// byte-equivalent to `publish`.
+///
+/// The automaton is passed to [`push`] rather than stored so sessions
+/// can own the run alongside the `Arc` of the plan that holds the
+/// automaton; callers must pass the same automaton every time.
+///
+/// [`push`]: CombinedRun::push
+/// [`finish`]: CombinedRun::finish
+pub struct CombinedRun {
+    per_pattern: Vec<Result<Vec<String>>>,
+    stats: StreamStats,
+    // Flat state-set arena: `states[bounds[d]..bounds[d+1]]` is the set
+    // for open-element depth d+1; the trailing segment is the top.
+    states: Vec<u32>,
+    bounds: Vec<u32>,
+    scratch: Vec<u32>,
+    accepted: Vec<PatternId>,
+    captures: Vec<Capture>,
+    // Start-tag buffer: attributes/namespace tokens arrive after
+    // StartElement; the tag is written to capture writers on the first
+    // non-attribute token.
+    pending: Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)>,
+    // Nonzero while inside a dead subtree a push driver couldn't skip:
+    // open-element depth below the dead element's parent.
+    skip_depth: usize,
+}
+
+impl CombinedRun {
+    pub fn new(automaton: &CombinedAutomaton) -> CombinedRun {
+        CombinedRun {
+            per_pattern: (0..automaton.pattern_count())
+                .map(|_| Ok(Vec::new()))
+                .collect(),
+            stats: StreamStats::default(),
+            states: vec![0], // trie root, full mode
+            bounds: Vec::new(),
+            scratch: Vec::new(),
+            accepted: Vec::new(),
+            captures: Vec::new(),
+            pending: None,
+            skip_depth: 0,
+        }
+    }
+
+    /// Feed one token. `src` resolves its pooled ids (the iterator or
+    /// tokenizer that produced it); `charge(pattern, bytes)` is invoked
+    /// once per delivered match for per-subscription output budgets —
+    /// an error there stops collection for that pattern only, while the
+    /// shared pass and every other pattern continue. A returned error
+    /// means the pass itself failed (capture serialization).
+    pub fn push<R, F>(
+        &mut self,
+        automaton: &CombinedAutomaton,
+        tok: &Token,
+        src: &R,
+        charge: &mut F,
+    ) -> Result<PushAction>
+    where
+        R: TokenResolve + ?Sized,
+        F: FnMut(PatternId, u64) -> Result<()>,
+    {
+        if self.skip_depth > 0 {
+            // Inside a dead subtree the push driver couldn't skip:
+            // count depth, touch nothing else. Matches the pull path's
+            // accounting exactly — skip_subtree counts every consumed
+            // token including the matching close.
+            self.stats.tokens_skipped += 1;
+            if tok.opens() {
+                self.skip_depth += 1;
+            } else if tok.closes() {
+                self.skip_depth -= 1;
+            }
+            return Ok(PushAction::Continue);
+        }
+        self.stats.tokens_seen += 1;
+        match tok {
+            Token::StartDocument | Token::EndDocument => {}
+            Token::StartElement(nid) => {
+                let name = src.name(*nid);
+                flush_pending(&mut self.pending, &mut self.captures)?;
+                let start = self.bounds.last().copied().unwrap_or(0) as usize;
+                automaton.advance(
+                    &self.states[start..],
+                    &name,
+                    &mut self.scratch,
+                    &mut self.accepted,
+                );
+                self.bounds.push(self.states.len() as u32);
+                self.states.extend_from_slice(&self.scratch);
+                let depth = self.bounds.len();
+                // Open at most one capture per element; all accepting
+                // patterns still collecting share its writer.
+                let mut recipients: Vec<(PatternId, usize)> = Vec::new();
+                for &pid in &self.accepted {
+                    if let Ok(slots) = &mut self.per_pattern[pid as usize] {
+                        slots.push(String::new()); // reserve in doc order
+                        recipients.push((pid, slots.len() - 1));
+                    }
+                }
+                if !recipients.is_empty() {
+                    self.captures.push(Capture {
+                        depth,
+                        writer: XmlWriter::new(WriterOptions::default()),
+                        recipients,
+                    });
+                }
+                if !self.captures.is_empty() {
+                    self.pending = Some((name, Vec::new(), Vec::new()));
+                } else if self.scratch.is_empty() {
+                    // No live state and nothing being serialized: no
+                    // subscription can match anything below — skip the
+                    // whole subtree, once, for all of them.
+                    self.states
+                        .truncate(self.bounds.pop().expect("pushed above") as usize);
+                    self.skip_depth = 1;
+                    return Ok(PushAction::SkipSubtree);
+                }
+            }
+            Token::Attribute(nid, vid) => {
+                if let Some((_, attrs, _)) = self.pending.as_mut() {
+                    attrs.push(Attribute {
+                        name: src.name(*nid),
+                        value: src.pooled_str(*vid),
+                    });
+                }
+            }
+            Token::NamespaceDecl(pid, uid) => {
+                if let Some((_, _, decls)) = self.pending.as_mut() {
+                    let prefix = src.pooled_str(*pid);
+                    decls.push(NamespaceDecl {
+                        prefix: if prefix.is_empty() {
+                            None
+                        } else {
+                            Some(prefix)
+                        },
+                        uri: src.pooled_str(*uid),
+                    });
+                }
+            }
+            Token::Text(sid) => {
+                if !self.captures.is_empty() {
+                    flush_pending(&mut self.pending, &mut self.captures)?;
+                    let text = src.pooled_str(*sid);
+                    for c in self.captures.iter_mut() {
+                        c.writer.write(&XmlEvent::Text(text.clone()))?;
+                    }
+                }
+            }
+            Token::Comment(sid) => {
+                if !self.captures.is_empty() {
+                    flush_pending(&mut self.pending, &mut self.captures)?;
+                    let text = src.pooled_str(*sid);
+                    for c in self.captures.iter_mut() {
+                        c.writer.write(&XmlEvent::Comment(text.clone()))?;
+                    }
+                }
+            }
+            Token::ProcessingInstruction(nid, did) => {
+                if !self.captures.is_empty() {
+                    flush_pending(&mut self.pending, &mut self.captures)?;
+                    let target: std::sync::Arc<str> =
+                        std::sync::Arc::from(src.name(*nid).local_name());
+                    let data = src.pooled_str(*did);
+                    for c in self.captures.iter_mut() {
+                        c.writer.write(&XmlEvent::ProcessingInstruction {
+                            target: target.clone(),
+                            data: data.clone(),
+                        })?;
+                    }
+                }
+            }
+            Token::EndElement => {
+                if !self.captures.is_empty() {
+                    flush_pending(&mut self.pending, &mut self.captures)?;
+                    for c in self.captures.iter_mut() {
+                        c.writer.write(&XmlEvent::EndElement {
+                            name: QName::local(""),
+                        })?;
+                    }
+                }
+                let depth = self.bounds.len();
+                if let Some(start) = self.bounds.pop() {
+                    self.states.truncate(start as usize);
+                }
+                if self.captures.last().is_some_and(|c| c.depth == depth) {
+                    let cap = self.captures.pop().expect("checked above");
+                    let out = cap.writer.into_string();
+                    for (pid, slot) in cap.recipients {
+                        // A pattern that already failed (budget tripped
+                        // on an earlier, possibly nested, match) stays
+                        // failed; skip it.
+                        if let Ok(slots) = &mut self.per_pattern[pid as usize] {
+                            match charge(pid, out.len() as u64) {
+                                Ok(()) => {
+                                    self.stats.matches += 1;
+                                    slots[slot] = out.clone();
+                                }
+                                Err(e) => self.per_pattern[pid as usize] = Err(e),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PushAction::Continue)
+    }
+
+    /// A pull driver skipped the dead subtree itself (in response to
+    /// [`PushAction::SkipSubtree`]): record the count and resume normal
+    /// matching at the next token.
+    pub fn note_skipped(&mut self, tokens: usize) {
+        self.stats.tokens_skipped += tokens as u64;
+        self.skip_depth = 0;
+    }
+
+    /// Live instrumentation — readable mid-stream (matches so far,
+    /// tokens seen/skipped), before [`CombinedRun::finish`].
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// End of the token stream: yield the per-pattern outcomes.
+    pub fn finish(self) -> CombinedOutcome {
+        CombinedOutcome {
+            per_pattern: self.per_pattern,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Run one whole document through the automaton — the pull driver over
+/// [`CombinedRun`], honouring skip hints with the iterator's own
+/// `skip_subtree` (O(1) on materialized streams). A top-level error
+/// means the document itself could not be read (parse error, token
+/// budget): no per-pattern results exist in that case.
 pub fn run_document<I, F>(
     automaton: &CombinedAutomaton,
     it: &mut I,
@@ -189,165 +459,17 @@ where
     I: TokenIterator,
     F: FnMut(PatternId, u64) -> Result<()>,
 {
-    let npat = automaton.pattern_count();
-    let mut per_pattern: Vec<Result<Vec<String>>> = (0..npat).map(|_| Ok(Vec::new())).collect();
-    let mut stats = StreamStats::default();
-    // Flat state-set arena: `states[bounds[d]..bounds[d+1]]` is the set
-    // for open-element depth d+1; the trailing segment is the top.
-    let mut states: Vec<u32> = vec![0]; // trie root, full mode
-    let mut bounds: Vec<u32> = Vec::new();
-    let mut scratch: Vec<u32> = Vec::new();
-    let mut accepted: Vec<PatternId> = Vec::new();
-    let mut captures: Vec<Capture> = Vec::new();
-    // Start-tag buffer: attributes/namespace tokens arrive after
-    // StartElement; the tag is written to capture writers on the first
-    // non-attribute token.
-    let mut pending: Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)> = None;
-
-    fn flush_pending(
-        pending: &mut Option<(QName, Vec<Attribute>, Vec<NamespaceDecl>)>,
-        captures: &mut [Capture],
-    ) -> Result<()> {
-        if let Some((name, attributes, namespaces)) = pending.take() {
-            for c in captures.iter_mut() {
-                c.writer.write(&XmlEvent::StartElement {
-                    name: name.clone(),
-                    attributes: attributes.clone(),
-                    namespaces: namespaces.clone(),
-                    empty: false,
-                })?;
-            }
-        }
-        Ok(())
-    }
-
+    let mut run = CombinedRun::new(automaton);
     while let Some(tok) = it.next_token()? {
-        stats.tokens_seen += 1;
-        match tok {
-            Token::StartDocument | Token::EndDocument => {}
-            Token::StartElement(nid) => {
-                let name = it.name(nid);
-                flush_pending(&mut pending, &mut captures)?;
-                let start = bounds.last().copied().unwrap_or(0) as usize;
-                automaton.advance(&states[start..], &name, &mut scratch, &mut accepted);
-                bounds.push(states.len() as u32);
-                states.extend_from_slice(&scratch);
-                let depth = bounds.len();
-                // Open at most one capture per element; all accepting
-                // patterns still collecting share its writer.
-                let mut recipients: Vec<(PatternId, usize)> = Vec::new();
-                for &pid in &accepted {
-                    if let Ok(slots) = &mut per_pattern[pid as usize] {
-                        slots.push(String::new()); // reserve in doc order
-                        recipients.push((pid, slots.len() - 1));
-                    }
-                }
-                if !recipients.is_empty() {
-                    captures.push(Capture {
-                        depth,
-                        writer: XmlWriter::new(WriterOptions::default()),
-                        recipients,
-                    });
-                }
-                if !captures.is_empty() {
-                    pending = Some((name, Vec::new(), Vec::new()));
-                } else if scratch.is_empty() {
-                    // No live state and nothing being serialized: no
-                    // subscription can match anything below — skip the
-                    // whole subtree, once, for all of them.
-                    let skipped = it.skip_subtree()?;
-                    stats.tokens_skipped += skipped as u64;
-                    states.truncate(bounds.pop().expect("pushed above") as usize);
-                }
-            }
-            Token::Attribute(nid, vid) => {
-                if let Some((_, attrs, _)) = pending.as_mut() {
-                    attrs.push(Attribute {
-                        name: it.name(nid),
-                        value: it.pooled_str(vid),
-                    });
-                }
-            }
-            Token::NamespaceDecl(pid, uid) => {
-                if let Some((_, _, decls)) = pending.as_mut() {
-                    let prefix = it.pooled_str(pid);
-                    decls.push(NamespaceDecl {
-                        prefix: if prefix.is_empty() {
-                            None
-                        } else {
-                            Some(prefix)
-                        },
-                        uri: it.pooled_str(uid),
-                    });
-                }
-            }
-            Token::Text(sid) => {
-                if !captures.is_empty() {
-                    flush_pending(&mut pending, &mut captures)?;
-                    let text = it.pooled_str(sid);
-                    for c in captures.iter_mut() {
-                        c.writer.write(&XmlEvent::Text(text.clone()))?;
-                    }
-                }
-            }
-            Token::Comment(sid) => {
-                if !captures.is_empty() {
-                    flush_pending(&mut pending, &mut captures)?;
-                    let text = it.pooled_str(sid);
-                    for c in captures.iter_mut() {
-                        c.writer.write(&XmlEvent::Comment(text.clone()))?;
-                    }
-                }
-            }
-            Token::ProcessingInstruction(nid, did) => {
-                if !captures.is_empty() {
-                    flush_pending(&mut pending, &mut captures)?;
-                    let target: std::sync::Arc<str> =
-                        std::sync::Arc::from(it.name(nid).local_name());
-                    let data = it.pooled_str(did);
-                    for c in captures.iter_mut() {
-                        c.writer.write(&XmlEvent::ProcessingInstruction {
-                            target: target.clone(),
-                            data: data.clone(),
-                        })?;
-                    }
-                }
-            }
-            Token::EndElement => {
-                if !captures.is_empty() {
-                    flush_pending(&mut pending, &mut captures)?;
-                    for c in captures.iter_mut() {
-                        c.writer.write(&XmlEvent::EndElement {
-                            name: QName::local(""),
-                        })?;
-                    }
-                }
-                let depth = bounds.len();
-                if let Some(start) = bounds.pop() {
-                    states.truncate(start as usize);
-                }
-                if captures.last().is_some_and(|c| c.depth == depth) {
-                    let cap = captures.pop().expect("checked above");
-                    let out = cap.writer.into_string();
-                    for (pid, slot) in cap.recipients {
-                        // A pattern that already failed (budget tripped
-                        // on an earlier, possibly nested, match) stays
-                        // failed; skip it.
-                        if let Ok(slots) = &mut per_pattern[pid as usize] {
-                            match charge(pid, out.len() as u64) {
-                                Ok(()) => {
-                                    stats.matches += 1;
-                                    slots[slot] = out.clone();
-                                }
-                                Err(e) => per_pattern[pid as usize] = Err(e),
-                            }
-                        }
-                    }
-                }
+        match run.push(automaton, &tok, it, &mut charge)? {
+            PushAction::Continue => {}
+            PushAction::SkipSubtree => {
+                let skipped = it.skip_subtree()?;
+                run.note_skipped(skipped);
             }
         }
     }
-    Ok(CombinedOutcome { per_pattern, stats })
+    Ok(run.finish())
 }
 
 #[cfg(test)]
@@ -510,6 +632,75 @@ mod tests {
         assert!(out.per_pattern.is_empty());
         // The document element's subtree is skipped wholesale.
         assert!(out.stats.tokens_skipped > 0);
+    }
+
+    /// Drive the run push-style (no skip available, every token pushed,
+    /// chunk-agnostic) and compare against the pull driver.
+    fn run_pushed(patterns: &[&str], xml: &str) -> (Vec<Result<Vec<String>>>, StreamStats) {
+        let pats: Vec<StreamPattern> = patterns.iter().map(|q| pat(q)).collect();
+        let a = CombinedAutomaton::build(&pats);
+        let mut tok = xqr_tokenstream::PushTokenizer::new(Arc::new(NamePool::new()));
+        tok.feed(xml.as_bytes()).unwrap();
+        tok.finish().unwrap();
+        let mut run = CombinedRun::new(&a);
+        let mut charge = |_: PatternId, _: u64| Ok(());
+        while let Some(t) = tok.poll_token().unwrap() {
+            // Ignore the skip hint: a push driver can't seek.
+            run.push(&a, &t, &tok, &mut charge).unwrap();
+        }
+        let out = run.finish();
+        (out.per_pattern, out.stats)
+    }
+
+    #[test]
+    fn pushed_run_equals_pulled_run_results_and_stats() {
+        let patterns = ["/a/b", "/a/c", "//d", "//*"];
+        let docs = [
+            "<a><b>1</b><c>2</c><x><d>3</d></x></a>",
+            "<a><z><junk/><junk deep=\"1\"><q/></junk></z><b/></a>",
+            r#"<a><b k="v">t<!--c--></b><?pi data?></a>"#,
+            "<root/>",
+        ];
+        for doc in docs {
+            let (pulled, pstats) = run_all(&patterns, doc);
+            let (pushed, sstats) = run_pushed(&patterns, doc);
+            assert_eq!(oks(&pulled), oks(&pushed), "{doc}");
+            assert_eq!(pstats.tokens_seen, sstats.tokens_seen, "{doc}");
+            assert_eq!(pstats.tokens_skipped, sstats.tokens_skipped, "{doc}");
+            assert_eq!(pstats.matches, sstats.matches, "{doc}");
+        }
+        // Dead subtrees absorbed internally must also match the pull
+        // path's skip accounting when only child patterns are live.
+        let (pulled, pstats) = run_all(&["/a/b"], "<a><z><j/><j/></z><b/></a>");
+        let (pushed, sstats) = run_pushed(&["/a/b"], "<a><z><j/><j/></z><b/></a>");
+        assert_eq!(oks(&pulled), oks(&pushed));
+        assert!(sstats.tokens_skipped > 0);
+        assert_eq!(pstats.tokens_skipped, sstats.tokens_skipped);
+    }
+
+    #[test]
+    fn pushed_run_can_pause_at_any_token_boundary() {
+        // Feed the document byte-by-byte, pushing tokens as they
+        // complete — the run must not care where installments end.
+        let doc = "<a><b>outer<b>inner</b></b><c>x</c></a>";
+        let (want, _) = run_all(&["//b", "/a/c"], doc);
+        let pats = vec![pat("//b"), pat("/a/c")];
+        let a = CombinedAutomaton::build(&pats);
+        let mut tok = xqr_tokenstream::PushTokenizer::new(Arc::new(NamePool::new()));
+        let mut run = CombinedRun::new(&a);
+        let mut charge = |_: PatternId, _: u64| Ok(());
+        for byte in doc.as_bytes() {
+            tok.feed(std::slice::from_ref(byte)).unwrap();
+            while let Some(t) = tok.poll_token().unwrap() {
+                run.push(&a, &t, &tok, &mut charge).unwrap();
+            }
+        }
+        tok.finish().unwrap();
+        while let Some(t) = tok.poll_token().unwrap() {
+            run.push(&a, &t, &tok, &mut charge).unwrap();
+        }
+        let out = run.finish();
+        assert_eq!(oks(&want), oks(&out.per_pattern));
     }
 
     #[test]

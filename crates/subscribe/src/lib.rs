@@ -25,8 +25,10 @@
 mod automaton;
 mod registry;
 
-pub use automaton::{run_document, CombinedAutomaton, CombinedOutcome, PatternId};
+pub use automaton::{
+    run_document, CombinedAutomaton, CombinedOutcome, CombinedRun, PatternId, PushAction,
+};
 pub use registry::{
-    CollectingSink, Delivery, PublishReport, SubId, SubscribeStats, SubscriptionRegistry,
-    SubscriptionSink,
+    CollectingSink, Delivery, PublishReport, PublishSession, SubId, SubscribeStats,
+    SubscriptionRegistry, SubscriptionSink,
 };

@@ -21,12 +21,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use crate::automaton::{run_document, CombinedAutomaton};
+use crate::automaton::{run_document, CombinedAutomaton, CombinedOutcome, CombinedRun};
 use xqr_core::{contain_panic, Engine, Item, NodeId, NodeRef, PreparedQuery};
 use xqr_runtime::{Counters, DynamicContext, StreamPattern, StreamStats};
 use xqr_store::DocId;
-use xqr_tokenstream::ParserTokenIterator;
-use xqr_xdm::{Limits, QueryGuard, Result};
+use xqr_tokenstream::{ParserTokenIterator, PushTokenizer};
+use xqr_xdm::{Error, Limits, QueryGuard, Result};
 
 /// Generation-checked subscription handle: slots are reused, but a
 /// stale id (unsubscribed, then the slot re-registered) never aliases
@@ -355,20 +355,18 @@ impl SubscriptionRegistry {
         F: FnOnce() -> Result<(DocId, bool)>,
     {
         let plan = self.plan();
-        let counters = Counters::default();
-        let mut results: Vec<(SubId, Arc<Subscription>, Result<String>)> = Vec::new();
-        let mut stats = StreamStats::default();
-        let mut matches = 0u64;
 
         // Shared pass: tokenize once, match every streamable pattern.
-        if !plan.streamed.is_empty() {
+        let shared = if plan.streamed.is_empty() {
+            None
+        } else {
             let guards: Vec<QueryGuard> = plan
                 .streamed
                 .iter()
                 .map(|(_, s)| QueryGuard::new(s.limits))
                 .collect();
             let pass_guard = QueryGuard::new(publish_limits);
-            let outcome = contain_panic(|| {
+            Some(contain_panic(|| {
                 let mut it = if pass_guard.is_unlimited() {
                     ParserTokenIterator::new(xml, engine.names().clone())
                 } else {
@@ -377,7 +375,33 @@ impl SubscriptionRegistry {
                 run_document(&plan.automaton, &mut it, |pid, bytes| {
                     guards[pid as usize].note_output_bytes(bytes)
                 })
-            })?;
+            })?)
+        };
+
+        self.complete_publish(engine, name, &plan, shared, materialize)
+    }
+
+    /// Everything downstream of the shared pass: fallback evaluation,
+    /// delivery, counters, and the report. Shared between the
+    /// whole-document path above and [`PublishSession::finish`], so the
+    /// chunked path cannot drift from it.
+    fn complete_publish<F>(
+        &self,
+        engine: &Engine,
+        name: &str,
+        plan: &PublishPlan,
+        shared: Option<CombinedOutcome>,
+        materialize: F,
+    ) -> Result<PublishReport>
+    where
+        F: FnOnce() -> Result<(DocId, bool)>,
+    {
+        let counters = Counters::default();
+        let mut results: Vec<(SubId, Arc<Subscription>, Result<String>)> = Vec::new();
+        let mut stats = StreamStats::default();
+        let mut matches = 0u64;
+
+        if let Some(outcome) = shared {
             stats = outcome.stats;
             matches += stats.matches;
             for ((id, sub), matched) in plan.streamed.iter().zip(outcome.per_pattern) {
@@ -477,6 +501,95 @@ impl SubscriptionRegistry {
         !self.plan().fallback.is_empty()
     }
 
+    /// Start a *chunked* publish: the returned session accepts the
+    /// document as byte chunks split at any boundary and matches
+    /// streamable subscriptions incrementally, while bytes are still
+    /// arriving. [`PublishSession::finish`] then runs exactly the same
+    /// fallback/delivery tail as [`SubscriptionRegistry::publish`] —
+    /// the two paths produce identical reports (results, coded errors,
+    /// stream stats), which the chunked differential oracle enforces.
+    ///
+    /// The session pins the publish plan at creation:
+    /// register/unregister during a chunked publish affects later
+    /// publishes, not this one (same as the whole-document path, which
+    /// snapshots the plan on entry).
+    pub fn begin_publish(
+        &self,
+        engine: &Engine,
+        name: &str,
+        publish_limits: Limits,
+    ) -> PublishSession {
+        let plan = self.plan();
+        // No streamable subscription: nothing to match incrementally.
+        // The whole-document path never tokenizes in that case (the
+        // fallback materialization does its own parse), so the chunked
+        // path must not either — a parse error must surface as the
+        // fallback subscriptions' per-subscription error, not a
+        // top-level publish failure.
+        let streaming = if plan.streamed.is_empty() {
+            None
+        } else {
+            let guards: Vec<QueryGuard> = plan
+                .streamed
+                .iter()
+                .map(|(_, s)| QueryGuard::new(s.limits))
+                .collect();
+            let pass_guard = QueryGuard::new(publish_limits);
+            let tokenizer = if pass_guard.is_unlimited() {
+                PushTokenizer::new(engine.names().clone())
+            } else {
+                PushTokenizer::with_guard(engine.names().clone(), pass_guard)
+            };
+            Some(StreamingPass {
+                tokenizer,
+                run: CombinedRun::new(&plan.automaton),
+                guards,
+            })
+        };
+        let fallback_buf = if plan.fallback.is_empty() {
+            None
+        } else {
+            Some(Vec::new())
+        };
+        PublishSession {
+            plan,
+            document: name.to_string(),
+            streaming,
+            fallback_buf,
+            failed: None,
+            bytes_fed: 0,
+        }
+    }
+
+    /// Convenience chunked publish over an in-memory chunk list — the
+    /// differential oracle's entry point. Materializes fallback
+    /// documents exactly like [`SubscriptionRegistry::publish`].
+    pub fn publish_chunked<'a, C>(
+        &self,
+        engine: &Engine,
+        name: &str,
+        chunks: C,
+        publish_limits: Limits,
+    ) -> Result<PublishReport>
+    where
+        C: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut session = self.begin_publish(engine, name, publish_limits);
+        for chunk in chunks {
+            session.feed(chunk)?;
+        }
+        session.finish(self, engine, |xml| {
+            let id = engine.store().load_xml(xml, None)?;
+            if engine.options().index_documents {
+                let guard = QueryGuard::new(publish_limits);
+                let _ = contain_panic(|| {
+                    xqr_index::ensure_indexed(engine.store(), id, &guard).map(|_| ())
+                });
+            }
+            Ok((id, true))
+        })
+    }
+
     pub fn stats(&self) -> SubscribeStats {
         SubscribeStats {
             active: self.active() as u64,
@@ -490,6 +603,170 @@ impl SubscriptionRegistry {
             stream_matches: self.stream_matches.load(Ordering::Relaxed),
         }
     }
+}
+
+/// The incremental half of a chunked publish: the push tokenizer and
+/// the resumable automaton run, present only when at least one
+/// streamable subscription exists.
+struct StreamingPass {
+    tokenizer: PushTokenizer,
+    run: CombinedRun,
+    guards: Vec<QueryGuard>,
+}
+
+/// An in-flight chunked publish (see
+/// [`SubscriptionRegistry::begin_publish`]). Feed byte chunks as they
+/// arrive; streamable subscriptions are matched incrementally against
+/// whatever tokens complete, with memory bounded by the largest single
+/// syntactic unit — the document is buffered in full only when a
+/// non-streamable subscription will need a materialized copy.
+///
+/// Errors are sticky: a failed feed poisons the session, and
+/// [`PublishSession::finish`] returns the same error the whole-document
+/// publish would have (the oracle's contract).
+pub struct PublishSession {
+    plan: Arc<PublishPlan>,
+    document: String,
+    streaming: Option<StreamingPass>,
+    /// Raw document bytes, accumulated only when `plan.fallback` is
+    /// non-empty (a materialized copy will be needed at finish).
+    fallback_buf: Option<Vec<u8>>,
+    failed: Option<Error>,
+    bytes_fed: u64,
+}
+
+impl PublishSession {
+    fn check_failed(&self) -> Result<()> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn fail<T>(&mut self, e: Error) -> Result<T> {
+        self.failed = Some(e.clone());
+        Err(e)
+    }
+
+    /// The name this document is being published under.
+    pub fn document(&self) -> &str {
+        &self.document
+    }
+
+    /// Total bytes fed so far (for byte budgets and stats).
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes_fed
+    }
+
+    /// Bytes parked in the lexer awaiting a complete syntactic unit.
+    pub fn buffered_bytes(&self) -> usize {
+        self.streaming
+            .as_ref()
+            .map(|s| s.tokenizer.buffered_bytes())
+            .unwrap_or(0)
+    }
+
+    /// Matches delivered to streamable subscriptions so far — visible
+    /// while bytes are still arriving, which is the point.
+    pub fn matches_so_far(&self) -> u64 {
+        self.streaming
+            .as_ref()
+            .map(|s| s.run.stats().matches)
+            .unwrap_or(0)
+    }
+
+    /// Will `finish` need the full document text (non-streamable
+    /// subscriptions present)?
+    pub fn needs_fallback_doc(&self) -> bool {
+        self.fallback_buf.is_some()
+    }
+
+    /// Feed one chunk, split at any byte boundary. Streamable
+    /// subscriptions advance by however many tokens completed.
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<()> {
+        self.check_failed()?;
+        self.bytes_fed += chunk.len() as u64;
+        if let Some(buf) = &mut self.fallback_buf {
+            buf.extend_from_slice(chunk);
+        }
+        let Some(pass) = &mut self.streaming else {
+            return Ok(());
+        };
+        let plan = &self.plan;
+        let r = contain_panic(|| {
+            pass.tokenizer.feed(chunk)?;
+            drain_pass(pass, plan)
+        });
+        match r {
+            Ok(()) => Ok(()),
+            Err(e) => self.fail(e),
+        }
+    }
+
+    /// End of input: resolve constructs waiting on more bytes, run the
+    /// fallback evaluations (materializing via `materialize`, which
+    /// receives the full document text), deliver every outcome, and
+    /// report — identically to the whole-document publish.
+    pub fn finish<F>(
+        mut self,
+        registry: &SubscriptionRegistry,
+        engine: &Engine,
+        materialize: F,
+    ) -> Result<PublishReport>
+    where
+        F: FnOnce(&str) -> Result<(DocId, bool)>,
+    {
+        self.check_failed()?;
+        let shared = match self.streaming.take() {
+            Some(mut pass) => {
+                let plan = &self.plan;
+                let r = contain_panic(|| {
+                    pass.tokenizer.finish()?;
+                    drain_pass(&mut pass, plan)
+                });
+                if let Err(e) = r {
+                    return self.fail(e);
+                }
+                Some(pass.run.finish())
+            }
+            None => None,
+        };
+        let doc_text = match self.fallback_buf.take() {
+            Some(buf) => match String::from_utf8(buf) {
+                Ok(s) => Some(s),
+                // A streaming pass would have caught this in feed; with
+                // only fallback subscriptions it surfaces here, as the
+                // materialization failure those subscriptions report.
+                Err(_) => {
+                    return registry.complete_publish(
+                        engine,
+                        &self.document,
+                        &self.plan,
+                        shared,
+                        || Err(Error::syntax("invalid UTF-8 in document")),
+                    )
+                }
+            },
+            None => None,
+        };
+        registry.complete_publish(engine, &self.document, &self.plan, shared, || {
+            materialize(doc_text.as_deref().unwrap_or(""))
+        })
+    }
+}
+
+/// Push every completed token through the combined run. Skip hints are
+/// ignored — tokens arrive whether we want them or not; the run absorbs
+/// dead subtrees internally.
+fn drain_pass(pass: &mut StreamingPass, plan: &PublishPlan) -> Result<()> {
+    while let Some(tok) = pass.tokenizer.poll_token()? {
+        let guards = &pass.guards;
+        pass.run
+            .push(&plan.automaton, &tok, &pass.tokenizer, &mut |pid, bytes| {
+                guards[pid as usize].note_output_bytes(bytes)
+            })?;
+    }
+    Ok(())
 }
 
 /// Deliver one outcome through the subscription's sink, behind the

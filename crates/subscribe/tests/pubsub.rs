@@ -301,3 +301,160 @@ mod injected_delivery_faults {
         );
     }
 }
+
+// --- chunked publish: byte-for-byte equivalence with the whole path ---
+
+/// Compare two publish reports result-for-result (values and error
+/// codes) — the chunked-vs-whole contract.
+fn assert_reports_equal(
+    whole: &xqr_subscribe::PublishReport,
+    chunked: &xqr_subscribe::PublishReport,
+) {
+    assert_eq!(whole.results.len(), chunked.results.len());
+    for ((wid, wr), (cid, cr)) in whole.results.iter().zip(chunked.results.iter()) {
+        assert_eq!(wid, cid);
+        match (wr, cr) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "sub {wid} diverged"),
+            (Err(a), Err(b)) => assert_eq!(a.code, b.code, "sub {wid} error diverged"),
+            (a, b) => panic!("sub {wid}: whole={a:?} chunked={b:?}"),
+        }
+    }
+    assert_eq!(whole.stats.tokens_seen, chunked.stats.tokens_seen);
+    assert_eq!(whole.stats.tokens_skipped, chunked.stats.tokens_skipped);
+    assert_eq!(whole.stats.matches, chunked.stats.matches);
+    assert_eq!(whole.matches, chunked.matches);
+    assert_eq!(whole.shared_pass, chunked.shared_pass);
+    assert_eq!(whole.fallback, chunked.fallback);
+}
+
+#[test]
+fn publish_chunked_equals_publish_for_mixed_sets_at_any_chunk_size() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let xml = r#"<bib><book year="1994"><title>TCP/IP</title><price>65.95</price></book><book><title>Data on the Web</title></book><note>caf&#233; ☕</note></bib>"#;
+    for q in [
+        "/bib/book/title",
+        "//title",
+        "count(//book)",
+        "for $b in /bib/book where $b/@year return $b/title",
+    ] {
+        register(&reg, &engine, q);
+    }
+    let whole = reg
+        .publish(&engine, "bib.xml", xml, Limits::unlimited())
+        .unwrap();
+    for chunk in [1usize, 3, 7, 64, xml.len()] {
+        let chunks: Vec<&[u8]> = xml.as_bytes().chunks(chunk).collect();
+        let chunked = reg
+            .publish_chunked(&engine, "bib.xml", chunks, Limits::unlimited())
+            .unwrap();
+        assert_reports_equal(&whole, &chunked);
+    }
+    // Neither path may leak the fallback materialization.
+    assert_eq!(engine.store().doc_count(), 0);
+}
+
+#[test]
+fn chunked_session_matches_while_bytes_still_arrive() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    register(&reg, &engine, "//item");
+    let head = "<list><item>first</item>";
+    let tail = "<item>second</item></list>";
+    let mut session = reg.begin_publish(&engine, "live", Limits::unlimited());
+    session.feed(head.as_bytes()).unwrap();
+    // The first match is visible before the document is complete.
+    assert_eq!(session.matches_so_far(), 1);
+    session.feed(tail.as_bytes()).unwrap();
+    let report = session
+        .finish(&reg, &engine, |_| unreachable!("no fallback subs"))
+        .unwrap();
+    assert_eq!(report.matches, 2);
+}
+
+#[test]
+fn publish_chunked_reports_the_same_error_as_publish() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    register(&reg, &engine, "//a");
+    for bad in ["<a><b></a>", "<a>&bogus;</a>", "<a/><b/>", "<unclosed>"] {
+        let whole = reg
+            .publish(&engine, "bad", bad, Limits::unlimited())
+            .unwrap_err();
+        for chunk in [1usize, 2, bad.len()] {
+            let chunks: Vec<&[u8]> = bad.as_bytes().chunks(chunk).collect();
+            let chunked = reg
+                .publish_chunked(&engine, "bad", chunks, Limits::unlimited())
+                .unwrap_err();
+            assert_eq!(whole.code, chunked.code, "{bad:?} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn chunked_fallback_only_set_never_tokenizes_incrementally() {
+    // With no streamable subscription, a malformed document must become
+    // the fallback subscriptions' per-subscription error — not a
+    // top-level failure — exactly like the whole-document path.
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let id = register(&reg, &engine, "count(//b)");
+    let bad = "<a><b></a>";
+    let whole = reg
+        .publish(&engine, "bad", bad, Limits::unlimited())
+        .unwrap();
+    let chunks: Vec<&[u8]> = bad.as_bytes().chunks(3).collect();
+    let chunked = reg
+        .publish_chunked(&engine, "bad", chunks, Limits::unlimited())
+        .unwrap();
+    let w = whole.result_for(id).unwrap().as_ref().unwrap_err();
+    let c = chunked.result_for(id).unwrap().as_ref().unwrap_err();
+    assert_eq!(w.code, c.code);
+    assert_eq!(engine.store().doc_count(), 0);
+}
+
+#[test]
+fn chunked_feed_errors_are_sticky_and_poison_finish() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    register(&reg, &engine, "//a");
+    let mut session = reg.begin_publish(&engine, "bad", Limits::unlimited());
+    session.feed(b"<a><b>x</b>").unwrap();
+    let e1 = session.feed(b"</nope>").unwrap_err();
+    assert_eq!(e1.code, ErrorCode::Syntax);
+    let e2 = session.feed(b"<ignored/>").unwrap_err();
+    assert_eq!(e1.code, e2.code);
+    let e3 = session
+        .finish(&reg, &engine, |_| unreachable!())
+        .unwrap_err();
+    assert_eq!(e1.code, e3.code);
+    // No sink deliveries happened for the poisoned publish.
+    assert_eq!(reg.stats().documents_published, 0);
+}
+
+#[test]
+fn chunked_publish_respects_per_subscription_budgets() {
+    let engine = Engine::new();
+    let reg = SubscriptionRegistry::new();
+    let plan = engine.compile_shared("//b").unwrap();
+    let tight = reg.register(
+        "//b",
+        plan.clone(),
+        Limits::unlimited().with_max_output_bytes(4),
+        None,
+    );
+    let roomy = reg.register("//b", plan, Limits::unlimited(), None);
+    let xml = "<a><b>12345678</b></a>";
+    let whole = reg.publish(&engine, "d", xml, Limits::unlimited()).unwrap();
+    let chunks: Vec<&[u8]> = xml.as_bytes().chunks(2).collect();
+    let chunked = reg
+        .publish_chunked(&engine, "d", chunks, Limits::unlimited())
+        .unwrap();
+    for report in [&whole, &chunked] {
+        assert_eq!(
+            report.result_for(tight).unwrap().as_ref().unwrap_err().code,
+            ErrorCode::Limit
+        );
+        assert!(report.result_for(roomy).unwrap().is_ok());
+    }
+}

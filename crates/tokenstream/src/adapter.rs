@@ -56,47 +56,64 @@ impl<'a> ParserTokenIterator<'a> {
     }
 
     fn enqueue_event(&mut self, ev: XmlEvent) {
-        match ev {
-            XmlEvent::StartDocument => self.queue.push_back(Token::StartDocument),
-            XmlEvent::EndDocument => {
-                self.queue.push_back(Token::EndDocument);
-                self.finished = true;
-            }
-            XmlEvent::StartElement {
-                name,
-                attributes,
-                namespaces,
-                ..
-            } => {
-                let n = self.names.intern(&name);
-                self.queue.push_back(Token::StartElement(n));
-                for d in namespaces {
-                    let p = self.pool.intern(d.prefix.as_deref().unwrap_or(""));
-                    let u = self.pool.intern(&d.uri);
-                    self.queue.push_back(Token::NamespaceDecl(p, u));
-                }
-                for a in attributes {
-                    let an = self.names.intern(&a.name);
-                    let av = self.pool.intern(&a.value);
-                    self.queue.push_back(Token::Attribute(an, av));
-                }
-            }
-            XmlEvent::EndElement { .. } => self.queue.push_back(Token::EndElement),
-            XmlEvent::Text(t) => {
-                let id = self.pool.intern(&t);
-                self.queue.push_back(Token::Text(id));
-            }
-            XmlEvent::Comment(c) => {
-                let id = self.pool.intern(&c);
-                self.queue.push_back(Token::Comment(id));
-            }
-            XmlEvent::ProcessingInstruction { target, data } => {
-                let tn = self.names.intern(&QName::local(&target));
-                let dd = self.pool.intern(&data);
-                self.queue.push_back(Token::ProcessingInstruction(tn, dd));
-            }
+        if event_to_tokens(&ev, &self.names, &mut self.pool, &mut self.queue) {
+            self.finished = true;
         }
     }
+}
+
+/// The one mapping from parser events to data-model tokens, shared by the
+/// pull adapter above, the push tokenizer, and the chunked-ingestion
+/// channel consumer — every path MUST produce identical token sequences
+/// (the chunked-vs-whole differential oracle depends on it). Returns true
+/// when the event ends the document.
+pub fn event_to_tokens(
+    ev: &XmlEvent,
+    names: &NamePool,
+    pool: &mut StringPool,
+    queue: &mut VecDeque<Token>,
+) -> bool {
+    match ev {
+        XmlEvent::StartDocument => queue.push_back(Token::StartDocument),
+        XmlEvent::EndDocument => {
+            queue.push_back(Token::EndDocument);
+            return true;
+        }
+        XmlEvent::StartElement {
+            name,
+            attributes,
+            namespaces,
+            ..
+        } => {
+            let n = names.intern(name);
+            queue.push_back(Token::StartElement(n));
+            for d in namespaces {
+                let p = pool.intern(d.prefix.as_deref().unwrap_or(""));
+                let u = pool.intern(&d.uri);
+                queue.push_back(Token::NamespaceDecl(p, u));
+            }
+            for a in attributes {
+                let an = names.intern(&a.name);
+                let av = pool.intern(&a.value);
+                queue.push_back(Token::Attribute(an, av));
+            }
+        }
+        XmlEvent::EndElement { .. } => queue.push_back(Token::EndElement),
+        XmlEvent::Text(t) => {
+            let id = pool.intern(t);
+            queue.push_back(Token::Text(id));
+        }
+        XmlEvent::Comment(c) => {
+            let id = pool.intern(c);
+            queue.push_back(Token::Comment(id));
+        }
+        XmlEvent::ProcessingInstruction { target, data } => {
+            let tn = names.intern(&QName::local(target));
+            let dd = pool.intern(data);
+            queue.push_back(Token::ProcessingInstruction(tn, dd));
+        }
+    }
+    false
 }
 
 impl<'a> TokenIterator for ParserTokenIterator<'a> {

@@ -29,6 +29,32 @@ pub trait TokenIterator {
     fn name(&self, id: NameId) -> QName;
 }
 
+/// Id resolution alone — the read-only half of [`TokenIterator`].
+///
+/// Push-mode consumers (the pub/sub automaton's resumable run, the
+/// chunked-ingestion pipeline) receive tokens rather than pulling them,
+/// so they can't be driven through `next_token`; they still need to
+/// resolve pooled ids against whatever source produced the tokens. Every
+/// `TokenIterator` is a `TokenResolve` via the blanket impl below, and
+/// push sources (e.g. `PushTokenizer`) implement it directly.
+pub trait TokenResolve {
+    /// Resolve a pooled string id from this source.
+    fn pooled_str(&self, id: StrId) -> Arc<str>;
+
+    /// Resolve an interned name id.
+    fn name(&self, id: NameId) -> QName;
+}
+
+impl<T: TokenIterator + ?Sized> TokenResolve for T {
+    fn pooled_str(&self, id: StrId) -> Arc<str> {
+        TokenIterator::pooled_str(self, id)
+    }
+
+    fn name(&self, id: NameId) -> QName {
+        TokenIterator::name(self, id)
+    }
+}
+
 /// Blanket impl so `Box<dyn TokenIterator>` composes.
 impl<T: TokenIterator + ?Sized> TokenIterator for Box<T> {
     fn next_token(&mut self) -> Result<Option<Token>> {

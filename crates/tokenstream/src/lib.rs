@@ -35,13 +35,17 @@ pub mod buffer;
 pub mod encode;
 pub mod iterator;
 pub mod pool;
+pub mod push;
 pub mod stream;
 pub mod token;
 
-pub use adapter::{materialize, push_event, tokens_to_events, tokens_to_xml, ParserTokenIterator};
+pub use adapter::{
+    event_to_tokens, materialize, push_event, tokens_to_events, tokens_to_xml, ParserTokenIterator,
+};
 pub use buffer::{BufferFactory, BufferedIterator};
 pub use encode::{decode, encode};
-pub use iterator::{drain, TokenIterator};
+pub use iterator::{drain, TokenIterator, TokenResolve};
 pub use pool::StringPool;
+pub use push::PushTokenizer;
 pub use stream::{StreamIterator, TokenStream, TokenStreamBuilder};
 pub use token::{StrId, Token};

@@ -14,7 +14,9 @@ pub mod reader;
 pub mod serialize;
 
 pub use event::{Attribute, NamespaceDecl, XmlEvent};
-pub use reader::{is_name_char, is_name_start, parse_events, XmlReader, XML_NS};
+pub use reader::{
+    is_name_char, is_name_start, parse_events, parse_events_chunked, XmlReader, XML_NS,
+};
 pub use serialize::{
     escape_attr, escape_text, reserialize, serialize_events, WriterOptions, XmlWriter,
 };

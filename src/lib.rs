@@ -24,13 +24,15 @@
 //! [`xqr_xmlgen`] (workload generators), [`xqr_parallel`] (the
 //! morsel-driven parallel join executor and worker pool), and [`xqr_service`] (the
 //! concurrent query service: plan cache, document catalog, admission
-//! control), and [`xqr_subscribe`] (standing continuous queries over
-//! document streams).
+//! control), [`xqr_subscribe`] (standing continuous queries over
+//! document streams), and [`xqr_ingest`] (chunked push-based ingestion:
+//! resumable lexing over a bounded, backpressured token channel).
 
 pub use xqr_core::*;
 
 pub use xqr_compiler;
 pub use xqr_index;
+pub use xqr_ingest;
 pub use xqr_joins;
 pub use xqr_parallel;
 pub use xqr_runtime;
