@@ -584,11 +584,17 @@ impl Drop for QueryResult {
         // Constructed documents live exactly as long as their result.
         // Each removal is panic-contained: drops can run mid-unwind,
         // where a second panic (injected faults target the removal
-        // path) would abort the process.
+        // path) would abort the process. A removal that panicked is
+        // parked on the store's orphan list and retried by a later
+        // sweep — a bounded, recoverable leak, never a permanent one.
         for id in std::mem::take(&mut self.counters.constructed_docs) {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.store.remove_document(id)
-            }));
+            }))
+            .is_err()
+            {
+                self.store.park_orphan(id);
+            }
         }
     }
 }

@@ -64,6 +64,7 @@ pub const SITES: &[&str] = &[
     "subscribe.deliver",
     "ingest.chunk",
     "ingest.flush",
+    "pressure.charge",
 ];
 
 /// Budgets for chaos cases: the fuzz budgets, minus most of the
@@ -393,7 +394,10 @@ impl ChaosRunner {
         }
 
         // Cleanup + leak check: with injection off, removal must restore
-        // the store to its baseline exactly.
+        // the store to its baseline exactly. A transient publish doc
+        // whose removal was panicked mid-case is parked on the orphan
+        // list; the un-faulted reap here must reclaim it.
+        self.service.reap_orphaned_documents();
         self.service.remove_document(&doc_name);
         if store.doc_count() != base_docs || store.live_bytes() != base_bytes {
             case.violations.push(Violation {

@@ -46,6 +46,7 @@ pub mod chaos;
 pub mod gen;
 pub mod ingest;
 pub mod oracle;
+pub mod overload;
 pub mod pubsub;
 pub mod recover;
 pub mod report;

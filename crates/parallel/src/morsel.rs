@@ -154,11 +154,15 @@ pub struct ParallelStats {
     pub morsels_run: u64,
     /// Morsels that ran inline on the calling thread.
     pub morsels_inline: u64,
+    /// Joins that would have split but ran serially because the query's
+    /// guard carried the memory-pressure shed hint (brownout Yellow+).
+    pub joins_shed_pressure: u64,
 }
 
 static PARALLEL_JOINS: AtomicU64 = AtomicU64::new(0);
 static MORSELS_RUN: AtomicU64 = AtomicU64::new(0);
 static MORSELS_INLINE: AtomicU64 = AtomicU64::new(0);
+static JOINS_SHED_PRESSURE: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot the process-wide parallel-join gauges.
 pub fn parallel_stats() -> ParallelStats {
@@ -166,6 +170,7 @@ pub fn parallel_stats() -> ParallelStats {
         parallel_joins: PARALLEL_JOINS.load(Ordering::Relaxed),
         morsels_run: MORSELS_RUN.load(Ordering::Relaxed),
         morsels_inline: MORSELS_INLINE.load(Ordering::Relaxed),
+        joins_shed_pressure: JOINS_SHED_PRESSURE.load(Ordering::Relaxed),
     }
 }
 
@@ -320,7 +325,16 @@ pub fn parallel_twig_stack(
 ) -> Result<(Vec<Vec<NodeId>>, ParallelRun)> {
     assert_eq!(lists.len(), twig.len());
     let m = config.resolved_morsels().min(lists[0].len()).max(1);
-    if m <= 1 || !config.should_split(lists[0].len()) {
+    // Brownout rung: a guard flagged at admission (ledger Yellow+) sheds
+    // the fan-out — morsel output buffers are pure memory amplification
+    // under pressure — and takes the serial path below. The flag rides
+    // the guard, not the (plan-fingerprinted) config, so one query's
+    // shed never changes another query's plan identity.
+    let shed = guard.parallel_shed();
+    if shed && m > 1 && config.should_split(lists[0].len()) {
+        JOINS_SHED_PRESSURE.fetch_add(1, Ordering::Relaxed);
+    }
+    if shed || m <= 1 || !config.should_split(lists[0].len()) {
         // Serial fallback on the calling thread, still guard-polled.
         let slices: Vec<&[Labeled]> = lists.iter().map(|l| l.as_slice()).collect();
         let mut n: u32 = 0;
@@ -387,10 +401,24 @@ pub fn parallel_twig_stack(
     }
 
     let mut parts: Vec<Option<(Vec<Vec<NodeId>>, TwigStats)>> = (0..m).map(|_| None).collect();
+    // Morsel outputs held for the merge are charged to the service-wide
+    // memory ledger through the guard's sink (estimated: tuple count ×
+    // twig width × NodeId size) and released once merged — so a burst of
+    // wide parallel joins shows up in the pressure gauges.
+    let tuple_bytes = twig.len() * std::mem::size_of::<NodeId>();
+    let mut charged: u64 = 0;
+    let account = |part: &(Vec<Vec<NodeId>>, TwigStats)| -> u64 {
+        let bytes = (part.0.len() * tuple_bytes) as u64;
+        guard.charge_memory(bytes);
+        bytes
+    };
     let inline_count = inline.len();
     for c in inline {
         match contained(&shared, &plans[c]) {
-            Ok(part) => parts[c] = Some(part),
+            Ok(part) => {
+                charged += account(&part);
+                parts[c] = Some(part);
+            }
             Err(e) => shared.fail(e),
         }
     }
@@ -398,7 +426,12 @@ pub fn parallel_twig_stack(
     // this loop exits, no pool worker holds a reference to the inputs.
     for _ in 0..pending {
         match rx.recv() {
-            Ok((c, part)) => parts[c] = part,
+            Ok((c, part)) => {
+                if let Some(part) = &part {
+                    charged += account(part);
+                }
+                parts[c] = part;
+            }
             // Disconnected sender: the worker died mid-job. The pool's
             // own catch makes this unreachable; treat it as a failure
             // rather than hang.
@@ -407,6 +440,7 @@ pub fn parallel_twig_stack(
     }
 
     if let Some(err) = lock_recover(&shared.first_error).take() {
+        guard.release_memory(charged);
         return Err(err);
     }
 
@@ -429,6 +463,9 @@ pub fn parallel_twig_stack(
     }
     merged.dedup();
     stats.merged = merged.len();
+    // The per-morsel buffers are consumed into `merged`, whose bytes
+    // are the query's own output accounting from here on.
+    guard.release_memory(charged);
 
     PARALLEL_JOINS.fetch_add(1, Ordering::Relaxed);
     MORSELS_RUN.fetch_add(m as u64, Ordering::Relaxed);
@@ -553,6 +590,49 @@ mod tests {
             );
             std::thread::yield_now();
         }
+    }
+
+    #[test]
+    fn pressure_shed_guard_runs_serially_with_identical_output() {
+        let xml = "<r><a><b/><c/></a><a><b/></a><x><a><b/><c/><c/></a></x><a/></r>";
+        let names = Arc::new(NamePool::new());
+        let doc = Document::parse(xml, names.clone()).unwrap();
+        let twig = TwigPattern::parse("//a/b", &names).unwrap();
+        let lists = lists_for(&doc, &twig);
+        let (want, _) = twig_stack(&twig, &lists);
+        let shared: Vec<Arc<Vec<Labeled>>> = lists.into_iter().map(Arc::new).collect();
+        let cfg = ParallelConfig::forced(4);
+        let guard = QueryGuard::unlimited();
+        guard.shed_parallel();
+        let before = parallel_stats().joins_shed_pressure;
+        let (got, run) = parallel_twig_stack(&twig, shared, &cfg, &guard).unwrap();
+        assert_eq!(got, want, "shed path must stay bit-identical");
+        assert_eq!(run.morsels, 1, "shed join never fans out");
+        assert_eq!(run.inline_morsels, 1);
+        assert_eq!(parallel_stats().joins_shed_pressure, before + 1);
+    }
+
+    #[test]
+    fn morsel_buffers_are_charged_and_released_through_the_guard_sink() {
+        use xqr_pressure::{MemoryLedger, MorselSink, PressureConfig};
+        let xml = "<r><a><b/><c/></a><a><b/></a><x><a><b/><c/><c/></a></x></r>";
+        let names = Arc::new(NamePool::new());
+        let doc = Document::parse(xml, names.clone()).unwrap();
+        let twig = TwigPattern::parse("//a/b", &names).unwrap();
+        let lists: Vec<Arc<Vec<Labeled>>> =
+            lists_for(&doc, &twig).into_iter().map(Arc::new).collect();
+        let ledger = Arc::new(MemoryLedger::new(PressureConfig::default()));
+        let guard = QueryGuard::unlimited();
+        guard.set_memory_sink(Arc::new(MorselSink(ledger.clone())));
+        let (got, _) =
+            parallel_twig_stack(&twig, lists, &ParallelConfig::forced(3), &guard).unwrap();
+        assert!(!got.is_empty());
+        let snap = ledger.snapshot();
+        assert_eq!(snap.total, 0, "buffers released after the merge");
+        assert!(
+            snap.category(xqr_pressure::Category::MorselBuffers).peak > 0,
+            "in-flight buffers were visible to the ledger: {snap:?}"
+        );
     }
 
     #[test]

@@ -15,14 +15,26 @@
 //! Workers mark themselves active while still holding the queue lock as
 //! they dequeue, so `active` can never transiently undercount and let an
 //! extra job slip past the bound.
+//!
+//! Admission is **deadline-aware**: a job may carry the absolute
+//! deadline of the query it runs (the same clock its guard polls), and
+//! a worker dequeuing a job whose deadline already passed *drops* it —
+//! running its `expire` notifier instead of the work — so queue-wait is
+//! charged against the deadline and over-budget work never occupies a
+//! worker just to fail at `check_startup`. Queue-wait for every dequeued
+//! job (run or dropped) is recorded in a [`LatencyHistogram`], and the
+//! counters hold `dropped_expired + completed == admitted` once the
+//! queue drains (shutdown discards queued jobs outside the invariant).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::sync::lock_recover;
-use xqr_xdm::{Error, Result};
+use xqr_pressure::MemoryLedger;
+use xqr_xdm::{Error, LatencyHistogram, Result};
 
 /// The work phase of a job. It may return a *publish* closure, which the
 /// worker runs only after freeing its slot — see
@@ -41,10 +53,27 @@ pub struct PoolStats {
     pub rejected: u64,
     /// Jobs that ran to completion.
     pub completed: u64,
+    /// Jobs accepted into the queue (run or not).
+    pub admitted: u64,
+    /// Jobs dropped at dequeue because their deadline had already
+    /// passed — queue-wait consumed the whole budget.
+    pub dropped_expired: u64,
+}
+
+/// One admitted-but-unstarted job.
+struct Queued {
+    job: Job,
+    /// When admission accepted it — start of the queue-wait clock.
+    enqueued: Instant,
+    /// Absolute deadline of the query this job runs, if any.
+    deadline: Option<Instant>,
+    /// Runs instead of `job` when the deadline passed in the queue;
+    /// delivers the timeout to whoever is waiting on the result.
+    expire: Option<Box<dyn FnOnce() + Send + 'static>>,
 }
 
 struct PoolState {
-    queue: VecDeque<Job>,
+    queue: VecDeque<Queued>,
     /// Jobs currently executing. Incremented under the lock at dequeue,
     /// decremented after the job returns.
     active: usize,
@@ -59,6 +88,14 @@ struct Shared {
     max_queued: usize,
     rejected: AtomicU64,
     completed: AtomicU64,
+    admitted: AtomicU64,
+    dropped_expired: AtomicU64,
+    /// Time from admission to dequeue, for every dequeued job.
+    queue_wait: LatencyHistogram,
+    /// Optional memory-pressure source: lets the shed message say
+    /// whether the client hit a full queue under Green or a browning-out
+    /// process (set once by the owning service).
+    pressure: OnceLock<Arc<MemoryLedger>>,
 }
 
 /// A fixed-size worker pool with a bounded run queue.
@@ -83,6 +120,10 @@ impl WorkerPool {
             max_queued,
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            dropped_expired: AtomicU64::new(0),
+            queue_wait: LatencyHistogram::new(),
+            pressure: OnceLock::new(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -116,6 +157,22 @@ impl WorkerPool {
         &self,
         job: impl FnOnce() -> Publish + Send + 'static,
     ) -> Result<()> {
+        self.submit_governed(None, None, job)
+    }
+
+    /// Full-control admission: like [`WorkerPool::submit_with_publish`],
+    /// but the job may carry the absolute `deadline` of the query it
+    /// runs plus an `expire` notifier. If the deadline passes while the
+    /// job waits in the queue, a worker *drops* it — runs `expire`
+    /// (which should deliver the timeout to the result channel) instead
+    /// of the work — so over-budget queries cost the pool nothing but
+    /// the dequeue.
+    pub fn submit_governed(
+        &self,
+        deadline: Option<Instant>,
+        expire: Option<Box<dyn FnOnce() + Send + 'static>>,
+        job: impl FnOnce() -> Publish + Send + 'static,
+    ) -> Result<()> {
         xqr_faults::faultpoint!("pool.dispatch");
         let mut state = lock_recover(&self.shared.state);
         if state.shutdown {
@@ -124,16 +181,43 @@ impl WorkerPool {
         // Reject only when no worker is idle AND the queue is full.
         if state.active >= self.shared.workers && state.queue.len() >= self.shared.max_queued {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            // Name the pressure state so a client (or operator) can
+            // tell "run queue full under Green" from "process is
+            // browning out" without correlating logs.
+            let pressure = self
+                .shared
+                .pressure
+                .get()
+                .map_or("untracked", |l| l.state().as_str());
             return Err(Error::overloaded(format!(
-                "all {} workers busy and run queue full ({} waiting)",
+                "all {} workers busy and run queue full ({} waiting; memory pressure: {})",
                 self.shared.workers,
-                state.queue.len()
+                state.queue.len(),
+                pressure
             )));
         }
-        state.queue.push_back(Box::new(job));
+        state.queue.push_back(Queued {
+            job: Box::new(job),
+            enqueued: Instant::now(),
+            deadline,
+            expire,
+        });
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         drop(state);
         self.shared.work_ready.notify_one();
         Ok(())
+    }
+
+    /// Install the memory ledger whose pressure state annotates shed
+    /// errors. First call wins.
+    pub fn set_pressure(&self, ledger: Arc<MemoryLedger>) {
+        let _ = self.shared.pressure.set(ledger);
+    }
+
+    /// Queue-wait distribution: admission → dequeue, for every dequeued
+    /// job (run or expired-and-dropped).
+    pub fn queue_wait(&self) -> &LatencyHistogram {
+        &self.shared.queue_wait
     }
 
     pub fn stats(&self) -> PoolStats {
@@ -143,6 +227,8 @@ impl WorkerPool {
             queued: state.queue.len() as u64,
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            dropped_expired: self.shared.dropped_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -171,18 +257,33 @@ impl WorkerPool {
 
 fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let job = {
+        // Jobs whose deadline passed while queued: collected under the
+        // lock, expired outside it.
+        let mut expired: Vec<Queued> = Vec::new();
+        let mut quit = false;
+        let live = {
             let mut state = lock_recover(&shared.state);
-            loop {
-                if let Some(job) = state.queue.pop_front() {
+            'admit: loop {
+                while let Some(entry) = state.queue.pop_front() {
+                    if entry.deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Dropped from the queue, not executed: the
+                        // guard's clock already ran out waiting.
+                        expired.push(entry);
+                        continue;
+                    }
                     // Become active before releasing the lock: admission
                     // must see either the queue entry or the active
                     // increment, never neither.
                     state.active += 1;
-                    break job;
+                    break 'admit Some(entry);
                 }
                 if state.shutdown {
-                    return;
+                    quit = true;
+                    break 'admit None;
+                }
+                if !expired.is_empty() {
+                    // Deliver the expirations before going back to sleep.
+                    break 'admit None;
                 }
                 // A Condvar wait can also observe poisoning; the pool
                 // state's invariants hold at every unlock, so recover.
@@ -192,10 +293,25 @@ fn worker_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(|p| p.into_inner());
             }
         };
+        for entry in expired {
+            shared.queue_wait.record(entry.enqueued.elapsed());
+            shared.dropped_expired.fetch_add(1, Ordering::Relaxed);
+            if let Some(expire) = entry.expire {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(expire));
+            }
+        }
+        let Some(entry) = live else {
+            if quit {
+                return;
+            }
+            continue;
+        };
+        shared.queue_wait.record(entry.enqueued.elapsed());
         // Jobs are expected to contain their own panics (the engine's
         // execute path does); a panic here would poison nothing but this
         // worker, and the catch keeps the pool at full strength anyway.
-        let publish = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).unwrap_or(None);
+        let publish =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(entry.job)).unwrap_or(None);
         shared.completed.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = lock_recover(&shared.state);
@@ -342,6 +458,121 @@ mod tests {
             done_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
             "in-flight ran to completion"
         );
+    }
+
+    #[test]
+    fn expired_queued_jobs_are_dropped_not_executed() {
+        let pool = WorkerPool::new(1, 4);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Queue a job whose deadline is already in the past: it must be
+        // dropped at dequeue, with the expire notifier — not the job —
+        // delivering the outcome.
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        let expire_tx = tx.clone();
+        pool.submit_governed(
+            Some(std::time::Instant::now() - Duration::from_millis(1)),
+            Some(Box::new(move || expire_tx.send("expired").unwrap())),
+            move || {
+                tx.send("executed").unwrap();
+                None
+            },
+        )
+        .unwrap();
+        block_tx.send(()).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            "expired",
+            "over-deadline work must be dropped from the queue"
+        );
+        // Nothing else arrives: the job body never ran.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(200)),
+            Err(mpsc::RecvTimeoutError::Disconnected)
+        );
+        let s = pool.stats();
+        assert_eq!(s.dropped_expired, 1);
+        assert_eq!(s.completed, 1, "only the blocker executed");
+        assert!(pool.queue_wait().count() >= 2, "both dequeues recorded");
+    }
+
+    /// Satellite invariant: once the queue drains (and absent shutdown,
+    /// which discards jobs), every admitted job was either executed or
+    /// dropped expired — `dropped_expired + completed == admitted`.
+    #[test]
+    fn admission_accounting_invariant_holds_under_mixed_load() {
+        let pool = WorkerPool::new(2, 64);
+        let (tx, rx) = mpsc::channel::<()>();
+        let mut submitted = 0u64;
+        for i in 0..200u64 {
+            let tx = tx.clone();
+            // A third of the jobs carry an already-expired deadline.
+            let deadline =
+                (i % 3 == 0).then(|| std::time::Instant::now() - Duration::from_millis(1));
+            let expire_tx = tx.clone();
+            let admitted = pool.submit_governed(
+                deadline,
+                Some(Box::new(move || expire_tx.send(()).unwrap())),
+                move || {
+                    tx.send(()).unwrap();
+                    None
+                },
+            );
+            if admitted.is_ok() {
+                submitted += 1;
+            }
+        }
+        drop(tx);
+        // Every admitted job resolves one way or the other — no hang.
+        for _ in 0..submitted {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = pool.stats();
+            if s.queued == 0 && s.dropped_expired + s.completed == s.admitted {
+                assert_eq!(s.admitted, submitted);
+                assert!(s.dropped_expired > 0, "some jobs expired: {s:?}");
+                assert!(s.completed > 0, "some jobs ran: {s:?}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "invariant never settled: {s:?}"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.queue_wait().count(), submitted);
+    }
+
+    #[test]
+    fn shed_error_names_the_pressure_state_and_queue_depth() {
+        use xqr_pressure::{Category, MemoryLedger, PressureConfig};
+        let pool = WorkerPool::new(1, 1);
+        let ledger = Arc::new(MemoryLedger::new(PressureConfig::with_ceiling(1000)));
+        ledger.charge(Category::QueryOutput, 950); // drive it Red
+        pool.set_pressure(ledger);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        pool.submit(|| {}).unwrap(); // fill the queue
+        let err = pool.submit(|| {}).unwrap_err();
+        assert_eq!(err.code, xqr_xdm::ErrorCode::Overloaded);
+        let msg = err.to_string();
+        assert!(msg.contains("memory pressure: red"), "{msg}");
+        assert!(msg.contains("1 waiting"), "{msg}");
+        block_tx.send(()).unwrap();
     }
 
     #[test]

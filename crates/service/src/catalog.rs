@@ -31,9 +31,13 @@
 //!
 //! A segment that fails verification is **quarantined**: it is never
 //! served (every access yields the non-retryable `err:XQRL0006
-//! CorruptSegment`), and its on-disk bytes stay charged against the
-//! catalog's byte budget until the entry is removed — corruption must
-//! not silently *free* budget that operators sized for the data.
+//! CorruptSegment`). Quarantined bytes are *not* charged against the
+//! byte budget — the budget bounds memory the catalog actually holds,
+//! and a quarantined entry holds none — so a poisoned segment can never
+//! permanently shrink the capacity operators sized for live data. The
+//! quarantined disk footprint is tracked in its own gauge
+//! ([`CatalogStats::quarantined_bytes`]) for observability, and is
+//! released when the entry is removed or replaced.
 //!
 //! Under persistence, LRU eviction demotes a document to its segment
 //! instead of dropping it: the tree leaves memory, the entry stays, and
@@ -44,11 +48,12 @@ use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use crate::resilience::{lock_recover, CircuitBreaker};
 use xqr_index::{DocIndex, IndexedAccess, SharedIndex};
+use xqr_pressure::{Category, MemoryLedger, PressureState};
 use xqr_segment::{
     clean_orphans, segment_bytes, write_segment_file, Manifest, ManifestRecord, Segment,
 };
@@ -99,6 +104,14 @@ pub struct CatalogStats {
     /// manifest, sweeping orphans, and adopting entries (0 when the
     /// catalog is memory-only).
     pub cold_start_nanos: u64,
+    /// Disk bytes held by quarantined segments. Observability only —
+    /// quarantined entries hold no memory, so this never counts against
+    /// the byte budget.
+    pub quarantined_bytes: u64,
+    /// Loads that skipped the index build because the memory ledger was
+    /// at Yellow or worse (brownout `Degraded::NoIndex`). Also counted
+    /// in `degraded_no_index`.
+    pub pressure_no_index: u64,
 }
 
 /// Where a catalog entry's document currently lives.
@@ -111,8 +124,9 @@ enum Residency {
     },
     /// Durable on disk only; reloaded lazily on the next access.
     OnDisk,
-    /// The segment failed verification. Never served; its disk bytes
-    /// stay charged until the entry is removed or replaced.
+    /// The segment failed verification. Never served; holds no memory,
+    /// so it charges nothing against the budget (its disk footprint is
+    /// tracked in the `quarantined_bytes` gauge instead).
     Quarantined,
 }
 
@@ -139,7 +153,17 @@ impl CatEntry {
                 bytes, index_bytes, ..
             } => (*bytes, *index_bytes),
             Residency::OnDisk => (0, 0),
-            Residency::Quarantined => (self.durable.as_ref().map_or(0, |d| d.disk_bytes), 0),
+            // A quarantined segment holds no memory: charging its disk
+            // bytes would let corruption permanently shrink effective
+            // capacity (the old behavior, fixed in the overload PR).
+            Residency::Quarantined => (0, 0),
+        }
+    }
+
+    fn quarantined_disk_bytes(&self) -> u64 {
+        match self.residency {
+            Residency::Quarantined => self.durable.as_ref().map_or(0, |d| d.disk_bytes),
+            _ => 0,
         }
     }
 
@@ -221,6 +245,17 @@ pub struct DocumentCatalog {
     /// Opens after repeated build failures; while open, loads skip the
     /// build entirely (`Degraded::NoIndex`) instead of failing it again.
     index_breaker: CircuitBreaker,
+    /// Disk bytes held by quarantined segments (gauge; never budgeted).
+    quarantined_bytes: AtomicU64,
+    /// Index builds skipped because the memory ledger said Yellow+.
+    pressure_no_index: AtomicU64,
+    /// Service-wide memory ledger this catalog mirrors its resident
+    /// bytes into (`Category::CatalogResident`); set once via
+    /// [`DocumentCatalog::attach_ledger`].
+    ledger: OnceLock<Arc<MemoryLedger>>,
+    /// Last `total_bytes` value pushed to the ledger; mutated only under
+    /// the inner lock, so the mirrored delta is exact.
+    ledger_synced: AtomicU64,
 }
 
 impl DocumentCatalog {
@@ -260,7 +295,47 @@ impl DocumentCatalog {
             segments_quarantined: AtomicU64::new(0),
             cold_start_nanos: 0,
             index_breaker: CircuitBreaker::new(INDEX_BREAKER_THRESHOLD, INDEX_BREAKER_COOLDOWN),
+            quarantined_bytes: AtomicU64::new(0),
+            pressure_no_index: AtomicU64::new(0),
+            ledger: OnceLock::new(),
+            ledger_synced: AtomicU64::new(0),
         }
+    }
+
+    /// Mirror this catalog's resident bytes into a service-wide memory
+    /// ledger (`Category::CatalogResident`) and let pressure states
+    /// drive the brownout ladder (Yellow+ skips index builds). First
+    /// call wins; callable on a shared catalog (`Arc<Self>`).
+    pub fn attach_ledger(&self, ledger: Arc<MemoryLedger>) {
+        if self.ledger.set(ledger).is_ok() {
+            // Adopted entries (persistent open) may already be charged.
+            let inner = lock_recover(&self.inner);
+            self.sync_ledger(&inner);
+        }
+    }
+
+    /// Push the delta between the catalog's charged bytes and what the
+    /// ledger last saw. Must be called with the inner lock held (the
+    /// caller passes the guard's target to prove it), so deltas from
+    /// concurrent mutations cannot interleave.
+    fn sync_ledger(&self, inner: &CatalogInner) {
+        let Some(ledger) = self.ledger.get() else {
+            return;
+        };
+        let now = inner.total_bytes;
+        let prev = self.ledger_synced.swap(now, Ordering::Relaxed);
+        if now > prev {
+            ledger.charge(Category::CatalogResident, now - prev);
+        } else {
+            ledger.release(Category::CatalogResident, prev - now);
+        }
+    }
+
+    /// Brownout rung: is the attached ledger at Yellow or worse?
+    fn pressure_brownout(&self) -> bool {
+        self.ledger
+            .get()
+            .is_some_and(|l| l.state() >= PressureState::Yellow)
     }
 
     /// Open (or create) a persistent catalog over `dir`.
@@ -367,7 +442,14 @@ impl DocumentCatalog {
         xqr_faults::faultpoint!("catalog.load");
         let id = self.store.load_xml(xml, None)?;
         if let Some(limits) = self.index_limits {
-            if self.index_breaker.allow() {
+            if self.pressure_brownout() {
+                // Brownout Yellow+: an index build is pure memory
+                // amplification right when memory is the problem. Serve
+                // unindexed (`Degraded::NoIndex`), same as an open
+                // breaker.
+                self.pressure_no_index.fetch_add(1, Ordering::Relaxed);
+                self.degraded_no_index.fetch_add(1, Ordering::Relaxed);
+            } else if self.index_breaker.allow() {
                 let started = Instant::now();
                 let guard = QueryGuard::new(limits);
                 // Panic-contained: unlike `put`, there is no rollback
@@ -426,7 +508,14 @@ impl DocumentCatalog {
         let mut built: Option<SharedIndex> = None;
         let mut build_failed = false;
         if let Some(limits) = self.index_limits {
-            if self.index_breaker.allow() {
+            if self.pressure_brownout() {
+                // Brownout Yellow+: skip the build (and the durable
+                // write below, which would rebuild throwaway lists) —
+                // the document loads, queries navigate.
+                build_failed = true;
+                self.pressure_no_index.fetch_add(1, Ordering::Relaxed);
+                self.degraded_no_index.fetch_add(1, Ordering::Relaxed);
+            } else if self.index_breaker.allow() {
                 let started = Instant::now();
                 let guard = QueryGuard::new(limits);
                 match xqr_index::ensure_indexed(&self.store, id, &guard) {
@@ -504,6 +593,9 @@ impl DocumentCatalog {
                 self.store.remove_document(old_id);
             }
             inner.uncharge_entry(&old);
+            // Replacing a quarantined entry releases its gauge bytes.
+            self.quarantined_bytes
+                .fetch_sub(old.quarantined_disk_bytes(), Ordering::Relaxed);
             // The new Add record supersedes the old one for this URI, so
             // the old segment file is dead weight; best-effort delete
             // (reopen sweeps it as an orphan regardless).
@@ -527,6 +619,7 @@ impl DocumentCatalog {
         // later unwind (eviction loop) must not remove it.
         rollback.armed = false;
         self.evict_to_budget(&mut inner, id);
+        self.sync_ledger(&inner);
         Ok(id)
     }
 
@@ -570,16 +663,34 @@ impl DocumentCatalog {
         let Some(budget) = self.max_bytes else {
             return;
         };
+        self.evict_to(inner, budget, Some(protect));
+    }
+
+    /// Shed resident documents until the catalog holds at most
+    /// `target_bytes` — the brownout ladder's demote/evict rung. Under
+    /// persistence victims are demoted to their segments (reloadable);
+    /// memory-only victims are dropped. Cheap when already under the
+    /// target (one lock, no scan).
+    pub fn shed_cold(&self, target_bytes: u64) {
+        let mut inner = lock_recover(&self.inner);
+        if inner.total_bytes <= target_bytes {
+            return;
+        }
+        self.evict_to(&mut inner, target_bytes, None);
+        self.sync_ledger(&inner);
+    }
+
+    fn evict_to(&self, inner: &mut CatalogInner, budget: u64, protect: Option<DocId>) {
         while inner.total_bytes > budget {
             let Some(victim) = inner
                 .entries
                 .iter()
-                .filter(|(_, e)| e.loaded_id().is_some_and(|id| id != protect))
+                .filter(|(_, e)| e.loaded_id().is_some_and(|id| Some(id) != protect))
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             else {
-                // Nothing left to evict (only the protected document,
-                // on-disk entries, and quarantined bytes remain).
+                // Nothing left to evict (only the protected document
+                // and on-disk entries remain).
                 break;
             };
             let entry = inner.entries.get(&victim).expect("victim exists");
@@ -649,8 +760,11 @@ impl DocumentCatalog {
                 Ok(id)
             }
             Err(e) if e.code == ErrorCode::CorruptSegment => {
+                // Quarantine holds no memory, so the budget is untouched;
+                // the disk footprint goes to the observability gauge.
                 entry.residency = Residency::Quarantined;
-                inner.total_bytes += durable.disk_bytes;
+                self.quarantined_bytes
+                    .fetch_add(durable.disk_bytes, Ordering::Relaxed);
                 self.segments_quarantined.fetch_add(1, Ordering::Relaxed);
                 Err(e)
             }
@@ -667,7 +781,7 @@ impl DocumentCatalog {
     pub fn resolve(&self, name: &str) -> Result<Option<DocId>> {
         let mut inner = lock_recover(&self.inner);
         let tick = self.next_tick();
-        match inner.entries.get_mut(name) {
+        let out = match inner.entries.get_mut(name) {
             None => Ok(None),
             Some(e) => match e.residency {
                 Residency::Loaded { id, .. } => {
@@ -680,7 +794,9 @@ impl DocumentCatalog {
                      verification"
                 ))),
             },
-        }
+        };
+        self.sync_ledger(&inner);
+        out
     }
 
     /// Resolve a name, refreshing its LRU position. `None` if the name
@@ -729,6 +845,9 @@ impl DocumentCatalog {
         }
         let e = inner.entries.remove(name).expect("entry checked above");
         inner.uncharge_entry(&e);
+        self.quarantined_bytes
+            .fetch_sub(e.quarantined_disk_bytes(), Ordering::Relaxed);
+        self.sync_ledger(&inner);
         true
     }
 
@@ -766,6 +885,8 @@ impl DocumentCatalog {
             segments_written: self.segments_written.load(Ordering::Relaxed),
             segments_recovered: self.segments_recovered.load(Ordering::Relaxed),
             segments_quarantined: self.segments_quarantined.load(Ordering::Relaxed),
+            quarantined_bytes: self.quarantined_bytes.load(Ordering::Relaxed),
+            pressure_no_index: self.pressure_no_index.load(Ordering::Relaxed),
             cold_start_nanos: self.cold_start_nanos,
         }
     }
@@ -933,6 +1054,94 @@ mod tests {
         // The next access transparently reloads from the segment.
         let id = cat.get("a.xml").expect("reload after demotion");
         assert!(store.try_document(id).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_mirrors_resident_bytes_through_put_evict_remove() {
+        let ledger = Arc::new(MemoryLedger::unbounded());
+        let store = Store::new();
+        let cat = DocumentCatalog::new(store, None);
+        cat.attach_ledger(Arc::clone(&ledger));
+        assert_eq!(ledger.total(), 0);
+
+        cat.put("a.xml", &doc_of_bytes(2_000)).unwrap();
+        let after_a = ledger.total();
+        assert_eq!(after_a, cat.total_bytes(), "ledger tracks the catalog");
+        assert!(after_a > 2_000);
+
+        cat.put("b.xml", &doc_of_bytes(1_000)).unwrap();
+        assert_eq!(ledger.total(), cat.total_bytes());
+        assert_eq!(
+            ledger
+                .snapshot()
+                .category(Category::CatalogResident)
+                .current,
+            cat.total_bytes()
+        );
+
+        cat.remove("a.xml");
+        cat.remove("b.xml");
+        assert_eq!(ledger.total(), 0, "all resident bytes released");
+    }
+
+    #[test]
+    fn attach_ledger_charges_preexisting_residents() {
+        let store = Store::new();
+        let cat = DocumentCatalog::new(store, None);
+        cat.put("a.xml", &doc_of_bytes(500)).unwrap();
+        let ledger = Arc::new(MemoryLedger::unbounded());
+        cat.attach_ledger(Arc::clone(&ledger));
+        assert_eq!(ledger.total(), cat.total_bytes(), "late attach syncs");
+    }
+
+    #[test]
+    fn brownout_skips_index_builds_but_serves_documents() {
+        use xqr_xdm::Limits;
+        // A tiny ceiling already in Yellow before the catalog charges.
+        let ledger = Arc::new(MemoryLedger::new(
+            xqr_pressure::PressureConfig::with_ceiling(1_000),
+        ));
+        ledger.charge(Category::QueryOutput, 800); // 80% > yellow_enter
+        assert!(ledger.state() >= PressureState::Yellow);
+
+        let store = Store::new();
+        let cat = DocumentCatalog::with_indexing(store.clone(), None, Some(Limits::unlimited()));
+        cat.attach_ledger(Arc::clone(&ledger));
+        let id = cat.put("a.xml", "<a><b/><b/></a>").unwrap();
+        assert!(
+            xqr_index::index_of(&store, id).is_none(),
+            "no index under pressure"
+        );
+        let stats = cat.stats();
+        assert_eq!(stats.index_builds, 0);
+        assert_eq!(stats.pressure_no_index, 1);
+        assert_eq!(stats.degraded_no_index, 1);
+        assert_eq!(stats.docs, 1, "the document itself still loads");
+
+        // Pressure clears: the next load builds its index again.
+        ledger.release(Category::QueryOutput, 800);
+        assert_eq!(ledger.state(), PressureState::Green);
+        let id2 = cat.put("b.xml", "<b><c/></b>").unwrap();
+        assert!(xqr_index::index_of(&store, id2).is_some());
+    }
+
+    #[test]
+    fn shed_cold_demotes_down_to_target() {
+        let dir = scratch("shed-cold");
+        let store = Store::new();
+        let cat = DocumentCatalog::with_persistence(store, None, None, &dir).unwrap();
+        cat.put("a.xml", &doc_of_bytes(4_000)).unwrap();
+        cat.put("b.xml", &doc_of_bytes(4_000)).unwrap();
+        let full = cat.total_bytes();
+        assert!(full > 8_000);
+
+        cat.shed_cold(full / 2);
+        assert!(cat.total_bytes() <= full / 2, "shed to the target");
+        assert!(cat.contains("a.xml"), "demoted entries survive on disk");
+        assert!(cat.contains("b.xml"));
+        // And reload transparently once pressure is gone.
+        assert!(cat.get("a.xml").is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

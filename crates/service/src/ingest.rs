@@ -26,16 +26,23 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::resilience::lock_recover;
 use crate::service::QueryService;
 use xqr_ingest::IngestPipeline;
+use xqr_pressure::{Category, Charge};
 use xqr_runtime::{StreamMatcher, StreamStats};
 use xqr_subscribe::{PublishReport, PublishSession};
 use xqr_xdm::{Error, QueryGuard, Result};
+
+/// Baseline ledger charge for a live chunk session or buffered stream
+/// query (slot bookkeeping, lexer state); fed bytes grow it.
+const SESSION_BASE_BYTES: u64 = 4096;
+/// Estimated bytes per event slot in a stream query's bounded channel.
+const CHANNEL_EVENT_BYTES: u64 = 64;
 
 /// Generation-checked handle to a live chunk session. Stale ids (the
 /// session finished, aborted, or was reaped, and the slot may have been
@@ -60,6 +67,9 @@ struct SessionEntry {
     /// feed, cancellation.
     guard: QueryGuard,
     last_activity: Instant,
+    /// Ledger charge for this session's buffered state; grows with every
+    /// fed chunk and releases when the session ends, however it ends.
+    charge: Charge,
 }
 
 /// Shared ingestion state: the fixed slot table (one mutex per slot, so
@@ -178,12 +188,22 @@ impl QueryService {
     /// the deadline clock starts now, and document-byte budgets cover
     /// the whole feed.
     pub fn open_chunk_session(&self, name: &str) -> Result<SessionId> {
+        self.check_red("chunk session")?;
         let st = self.ingest_state();
         let mut reaped = false;
         loop {
             for (i, slot) in st.slots.iter().enumerate() {
                 let mut entry = lock_recover(slot);
                 if entry.is_none() {
+                    // Ceiling-checked: a session that cannot even cover
+                    // its base footprint is refused outright (and this
+                    // is the `pressure.charge` faultpoint the chaos
+                    // suite injects through).
+                    let charge = Charge::try_new(
+                        Arc::clone(self.ledger()),
+                        Category::ChunkSessions,
+                        SESSION_BASE_BYTES,
+                    )?;
                     let generation = st.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
                     let session =
                         self.subs_registry()
@@ -193,6 +213,7 @@ impl QueryService {
                         session,
                         guard: QueryGuard::new(self.limits()),
                         last_activity: Instant::now(),
+                        charge,
                     });
                     st.sessions_opened.fetch_add(1, Ordering::Relaxed);
                     return Ok(SessionId {
@@ -349,6 +370,7 @@ impl QueryService {
     /// capacity); everything else buffers and evaluates at
     /// [`StreamQuery::finish`] with identical results and error codes.
     pub fn open_stream_query(&self, query: &str) -> Result<StreamQuery<'_>> {
+        self.check_red("stream query")?;
         let st = self.ingest_state();
         let plan = self.acquire_plan_for_ingest(query)?;
         let inner = match plan.stream_pattern() {
@@ -388,9 +410,22 @@ impl QueryService {
             },
         };
         st.stream_queries.fetch_add(1, Ordering::Relaxed);
+        // Streamed mode's footprint is the bounded channel; buffered
+        // mode starts at the baseline and grows with every fed chunk.
+        let charge = Charge::new(
+            Arc::clone(self.ledger()),
+            Category::IngestChannels,
+            match &inner {
+                StreamQueryInner::Streamed { .. } => {
+                    st.channel_capacity as u64 * CHANNEL_EVENT_BYTES
+                }
+                StreamQueryInner::Buffered { .. } => SESSION_BASE_BYTES,
+            },
+        );
         Ok(StreamQuery {
             service: self,
             inner,
+            charge,
         })
     }
 }
@@ -401,7 +436,11 @@ fn feed_entry(e: &mut SessionEntry, chunk: &[u8]) -> Result<()> {
     e.guard.check_startup()?;
     e.guard
         .check_document_bytes(e.session.bytes_fed() + chunk.len() as u64)?;
-    e.session.feed(chunk)
+    e.session.feed(chunk)?;
+    // Ceiling-checked growth: a feed that would blow the hard ceiling
+    // fails the session with `err:XQRL0004` instead of charging past it.
+    e.charge.try_grow(chunk.len() as u64)?;
+    Ok(())
 }
 
 fn finish_entry(service: &QueryService, entry: SessionEntry) -> Result<PublishReport> {
@@ -435,6 +474,9 @@ enum StreamQueryInner {
 pub struct StreamQuery<'s> {
     service: &'s QueryService,
     inner: StreamQueryInner,
+    /// Ledger charge for this query's channel or buffer; released when
+    /// the query finishes or is dropped.
+    charge: Charge,
 }
 
 impl StreamQuery<'_> {
@@ -445,6 +487,7 @@ impl StreamQuery<'_> {
             StreamQueryInner::Streamed { pipeline, .. } => pipeline.feed(chunk),
             StreamQueryInner::Buffered { buf, .. } => {
                 buf.extend_from_slice(chunk);
+                self.charge.grow(chunk.len() as u64);
                 Ok(())
             }
         }

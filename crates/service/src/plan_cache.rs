@@ -21,11 +21,17 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::resilience::lock_recover;
 use xqr_core::{Engine, PreparedQuery};
+use xqr_pressure::{Category, MemoryLedger};
 use xqr_xdm::Result;
+
+/// Coarse per-plan overhead estimate: the compiled operator tree plus
+/// map/entry bookkeeping. Plans don't expose exact sizes; the ledger
+/// needs a stable order-of-magnitude signal, not an audit.
+const PLAN_OVERHEAD_BYTES: u64 = 1024;
 
 /// Cache counters, snapshotted via [`PlanCache::stats`].
 ///
@@ -56,6 +62,8 @@ impl PlanCacheStats {
 struct Entry {
     plan: Arc<PreparedQuery>,
     last_used: u64,
+    /// Estimated footprint charged to the ledger; released on removal.
+    bytes: u64,
 }
 
 type Key = (Arc<str>, u64);
@@ -75,6 +83,9 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Optional memory ledger mirroring estimated plan bytes under
+    /// [`Category::PlanCache`].
+    ledger: OnceLock<Arc<MemoryLedger>>,
 }
 
 impl PlanCache {
@@ -97,6 +108,32 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            ledger: OnceLock::new(),
+        }
+    }
+
+    /// Mirror estimated plan bytes into `ledger` under
+    /// [`Category::PlanCache`]. First attach wins; entries inserted
+    /// before the attach are not retro-charged (the cache usually
+    /// attaches empty, at service construction).
+    pub fn attach_ledger(&self, ledger: Arc<MemoryLedger>) {
+        let _ = self.ledger.set(ledger);
+    }
+
+    /// Estimated footprint of one cached plan for `query`.
+    fn entry_bytes(query: &str) -> u64 {
+        query.len() as u64 + PLAN_OVERHEAD_BYTES
+    }
+
+    fn ledger_charge(&self, bytes: u64) {
+        if let Some(l) = self.ledger.get() {
+            l.charge(Category::PlanCache, bytes);
+        }
+    }
+
+    fn ledger_release(&self, bytes: u64) {
+        if let Some(l) = self.ledger.get() {
+            l.release(Category::PlanCache, bytes);
         }
     }
 
@@ -134,6 +171,8 @@ impl PlanCache {
         // storage; an injected fault here fails the lookup, and the
         // service degrades to compiling without caching.
         xqr_faults::faultpoint!("plans.insert");
+        let bytes = Self::entry_bytes(query);
+        let mut freed = 0u64;
         let mut shard = lock_recover(self.shard_of(&key));
         while shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
             let oldest = shard
@@ -142,18 +181,53 @@ impl PlanCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
                 .expect("shard at capacity is non-empty");
-            shard.map.remove(&oldest);
+            if let Some(victim) = shard.map.remove(&oldest) {
+                freed += victim.bytes;
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let tick = self.next_tick();
-        shard.map.insert(
+        let replaced = shard.map.insert(
             key,
             Entry {
                 plan: plan.clone(),
                 last_used: tick,
+                bytes,
             },
         );
+        drop(shard);
+        freed += replaced.map_or(0, |e| e.bytes);
+        self.ledger_charge(bytes);
+        self.ledger_release(freed);
         Ok(plan)
+    }
+
+    /// Evict least-recently-used plans until at most `max_entries`
+    /// remain — the brownout ladder's plan-shedding rung. The configured
+    /// capacity is untouched, so the cache regrows once pressure clears.
+    /// Returns the number of plans shed.
+    pub fn shrink_to(&self, max_entries: usize) -> u64 {
+        let per_shard = max_entries.div_ceil(self.shards.len());
+        let mut shed = 0u64;
+        let mut freed = 0u64;
+        for shard in &self.shards {
+            let mut shard = lock_recover(shard);
+            while shard.map.len() > per_shard {
+                let oldest = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty while over target");
+                if let Some(victim) = shard.map.remove(&oldest) {
+                    freed += victim.bytes;
+                }
+                shed += 1;
+            }
+        }
+        self.evictions.fetch_add(shed, Ordering::Relaxed);
+        self.ledger_release(freed);
+        shed
     }
 
     /// Look up a cached plan without compiling on a miss — the
@@ -178,9 +252,13 @@ impl PlanCache {
 
     /// Drop every cached plan (counters are preserved).
     pub fn clear(&self) {
+        let mut freed = 0u64;
         for shard in &self.shards {
-            lock_recover(shard).map.clear();
+            let mut shard = lock_recover(shard);
+            freed += shard.map.values().map(|e| e.bytes).sum::<u64>();
+            shard.map.clear();
         }
+        self.ledger_release(freed);
     }
 
     /// Live entries across all shards.
@@ -264,6 +342,64 @@ mod tests {
         assert_eq!(cache.stats().hits, before + 1, "\"1\" survived eviction");
         cache.get_or_compile(&engine, "2").unwrap();
         assert_eq!(cache.stats().misses, 4, "\"2\" was the LRU victim");
+    }
+
+    #[test]
+    fn ledger_tracks_inserts_evictions_and_shrink() {
+        let engine = Engine::new();
+        let ledger = Arc::new(MemoryLedger::unbounded());
+        let cache = PlanCache::new(8, 2);
+        cache.attach_ledger(Arc::clone(&ledger));
+
+        for i in 0..8 {
+            cache
+                .get_or_compile(&engine, &format!("{i} + {i}"))
+                .unwrap();
+        }
+        // Shard skew may evict during the fill; the live charge matches
+        // whatever actually stayed resident.
+        let live = cache.len() as u64;
+        let full = ledger.snapshot().category(Category::PlanCache).current;
+        assert!(full >= live * PLAN_OVERHEAD_BYTES, "{full} for {live}");
+
+        let shed = cache.shrink_to(2);
+        assert!(shed >= live - 2, "shed {shed} of {live}");
+        assert!(cache.len() <= 2);
+        let after = ledger.snapshot().category(Category::PlanCache).current;
+        assert!(after < full, "shrink released bytes: {after} vs {full}");
+        assert!(cache.stats().evictions >= shed);
+
+        cache.clear();
+        assert_eq!(
+            ledger.snapshot().category(Category::PlanCache).current,
+            0,
+            "clear releases everything"
+        );
+        // The cache regrows after a shrink — capacity was untouched.
+        cache.get_or_compile(&engine, "1 + 1").unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(ledger.snapshot().category(Category::PlanCache).current > 0);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_ledger_balanced() {
+        let engine = Engine::new();
+        let ledger = Arc::new(MemoryLedger::unbounded());
+        let cache = PlanCache::new(2, 1);
+        cache.attach_ledger(Arc::clone(&ledger));
+        for i in 0..20 {
+            cache
+                .get_or_compile(&engine, &format!("{} + 1", i % 7))
+                .unwrap();
+        }
+        // Live charge equals the sum over live entries, not the churn.
+        let live = ledger.snapshot().category(Category::PlanCache).current;
+        assert!(
+            live <= 2 * (PLAN_OVERHEAD_BYTES + 16),
+            "charge bounded by capacity: {live}"
+        );
+        cache.clear();
+        assert_eq!(ledger.total(), 0);
     }
 
     #[test]

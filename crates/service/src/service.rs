@@ -22,10 +22,13 @@ use crate::plan_cache::PlanCache;
 use crate::pool::WorkerPool;
 use crate::resilience::{self, CircuitBreaker, RetryPolicy};
 use xqr_core::{Engine, EngineOptions, PreparedQuery};
+use xqr_pressure::{Category, Charge, MemoryLedger, MorselSink, PressureConfig, PressureState};
 use xqr_runtime::{DynamicContext, Item, StreamStats};
 use xqr_store::{DocId, NodeId, NodeRef};
 use xqr_subscribe::{PublishReport, SubId, SubscriptionRegistry, SubscriptionSink};
-use xqr_xdm::{CancelHandle, Error, ErrorCode, LatencyHistogram, Limits, QueryGuard, Result};
+use xqr_xdm::{
+    CancelHandle, Error, ErrorCode, LatencyHistogram, Limits, MemorySink, QueryGuard, Result,
+};
 
 /// Consecutive plan-cache failures that open the service's breaker.
 const PLAN_BREAKER_THRESHOLD: u32 = 3;
@@ -73,6 +76,14 @@ pub struct ServiceConfig {
     /// Event capacity of a stream query's bounded channel — the memory
     /// ceiling of chunked evaluation is O(this), not O(document).
     pub ingest_channel_capacity: usize,
+    /// Process-wide memory governance: ceiling, watermark fractions and
+    /// hysteresis for the service's [`MemoryLedger`]. The default has no
+    /// ceiling — every category is tracked, nothing is shed. With a
+    /// ceiling, Yellow triggers the brownout ladder (no new index
+    /// builds, plan-cache shrink, catalog demotion, parallel joins run
+    /// inline) and Red sheds new chunk sessions, publishes and batch
+    /// jobs with `err:XQRL0004`.
+    pub pressure: PressureConfig,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +101,7 @@ impl Default for ServiceConfig {
             max_chunk_sessions: 64,
             chunk_session_idle: Duration::from_secs(30),
             ingest_channel_capacity: 256,
+            pressure: PressureConfig::default(),
         }
     }
 }
@@ -130,6 +142,16 @@ struct ServiceShared {
     stream_tokens_seen: AtomicU64,
     stream_tokens_skipped: AtomicU64,
     stream_matches: AtomicU64,
+    /// Process-wide memory governance: every subsystem charges here.
+    ledger: Arc<MemoryLedger>,
+    /// Per-query morsel-buffer accounting channel (see [`MorselSink`]).
+    morsel_sink: Arc<MorselSink>,
+    /// Configured plan-cache capacity — the shrink rung's reference.
+    plan_cache_capacity: usize,
+    /// Yellow/Red transitions already acted on by the brownout ladder.
+    brownouts_seen: AtomicU64,
+    /// Work shed at admission because the ledger was Red.
+    pressure_sheds: AtomicU64,
 }
 
 impl ServiceShared {
@@ -186,6 +208,34 @@ impl ServiceShared {
             .fetch_add(stats.tokens_skipped, Ordering::Relaxed);
         self.stream_matches
             .fetch_add(stats.matches, Ordering::Relaxed);
+    }
+
+    /// Build a per-query guard wired for pressure governance: the morsel
+    /// sink is attached, and at Yellow or worse the query is pinned to
+    /// inline join execution for its whole run (sticky per query — a
+    /// mid-flight transition never splits one query across strategies).
+    fn governed_guard(&self) -> QueryGuard {
+        let guard = QueryGuard::new(self.limits);
+        guard.set_memory_sink(Arc::clone(&self.morsel_sink) as Arc<dyn MemorySink>);
+        if self.ledger.state() >= PressureState::Yellow {
+            guard.shed_parallel();
+        }
+        guard
+    }
+
+    /// Red-state admission check for sheddable work (chunk sessions,
+    /// publishes, batch jobs). Queries themselves are *not* shed here —
+    /// the pool's bounded queue plus deadline-aware dequeue govern them.
+    fn check_red(&self, what: &str) -> Result<()> {
+        if self.ledger.state() == PressureState::Red {
+            self.pressure_sheds.fetch_add(1, Ordering::Relaxed);
+            let snap = self.ledger.snapshot();
+            return Err(Error::overloaded(format!(
+                "memory pressure is red ({} of {} bytes): {what} shed at admission",
+                snap.total, snap.ceiling
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -262,10 +312,16 @@ impl QueryService {
                 index_limits,
             )),
         };
+        let ledger = Arc::new(MemoryLedger::new(config.pressure));
+        let plans = PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards);
+        plans.attach_ledger(Arc::clone(&ledger));
+        catalog.attach_ledger(Arc::clone(&ledger));
+        let pool = WorkerPool::new(config.max_concurrent, config.max_queued);
+        pool.set_pressure(Arc::clone(&ledger));
         Ok(QueryService {
             shared: Arc::new(ServiceShared {
                 engine,
-                plans: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
+                plans,
                 limits: config.per_query_limits,
                 retry: config.retry,
                 served: AtomicU64::new(0),
@@ -286,9 +342,14 @@ impl QueryService {
                 stream_tokens_seen: AtomicU64::new(0),
                 stream_tokens_skipped: AtomicU64::new(0),
                 stream_matches: AtomicU64::new(0),
+                morsel_sink: Arc::new(MorselSink(Arc::clone(&ledger))),
+                ledger,
+                plan_cache_capacity: config.plan_cache_capacity,
+                brownouts_seen: AtomicU64::new(0),
+                pressure_sheds: AtomicU64::new(0),
             }),
             catalog,
-            pool: WorkerPool::new(config.max_concurrent, config.max_queued),
+            pool,
             subs: SubscriptionRegistry::new(),
             ingest: crate::ingest::IngestState::new(
                 config.max_chunk_sessions,
@@ -312,6 +373,37 @@ impl QueryService {
 
     pub(crate) fn acquire_plan_for_ingest(&self, query: &str) -> Result<Arc<PreparedQuery>> {
         self.shared.acquire_plan(query)
+    }
+
+    /// The service's memory ledger: live bytes per category, pressure
+    /// state, transition counters. Embedders can watch it directly;
+    /// everything it reports also surfaces in [`QueryService::stats`].
+    pub fn ledger(&self) -> &Arc<MemoryLedger> {
+        &self.shared.ledger
+    }
+
+    pub(crate) fn check_red(&self, what: &str) -> Result<()> {
+        self.shared.check_red(what)
+    }
+
+    /// Apply the once-per-transition brownout rungs: on each *new*
+    /// Yellow/Red transition, shrink the plan cache to half capacity and
+    /// (under persistence, where demotion is lossless) shed cold catalog
+    /// residents to half their bytes. Steady-state pressure costs one
+    /// atomic read per call; the rungs re-arm every time pressure
+    /// re-enters Yellow.
+    fn enforce_brownout(&self) {
+        let snap = self.shared.ledger.snapshot();
+        let seen = snap.to_yellow + snap.to_red;
+        let prev = self.shared.brownouts_seen.swap(seen, Ordering::Relaxed);
+        if seen > prev && snap.state >= PressureState::Yellow {
+            self.shared
+                .plans
+                .shrink_to(self.shared.plan_cache_capacity / 2);
+            if self.catalog.persist_dir().is_some() {
+                self.catalog.shed_cold(self.catalog.total_bytes() / 2);
+            }
+        }
     }
 
     pub(crate) fn record_publish_stream(&self, stats: &StreamStats) {
@@ -353,9 +445,47 @@ impl QueryService {
         xqr_core::contain_panic(|| Ok(self.catalog.remove(name))).unwrap_or(false)
     }
 
+    /// Retry removal of store documents orphaned by a contained panic
+    /// mid-removal (a query result's constructed document, a publish's
+    /// transient). Every publish reaps automatically; this reclaims
+    /// without publishing (a quiesced-service sweep). Returns how many
+    /// documents were freed.
+    pub fn reap_orphaned_documents(&self) -> usize {
+        self.engine().store().reap_orphans()
+    }
+
     /// Compile through the plan cache without executing (warm-up path).
     pub fn prepare(&self, query: &str) -> Result<Arc<PreparedQuery>> {
         self.shared.plans.get_or_compile(&self.shared.engine, query)
+    }
+
+    /// Render `query`'s compiled plan plus the service's pressure
+    /// posture — why a join would run inline or an admission would shed
+    /// is explainable from this output alone.
+    pub fn explain(&self, query: &str) -> Result<String> {
+        let plan = self.shared.acquire_plan(query)?;
+        let snap = self.shared.ledger.snapshot();
+        let mut text = plan.explain();
+        text.push_str(&format!(
+            "pressure: {} ({} of {} bytes, peak {}; transitions green: {} yellow: {} red: {})\n",
+            snap.state.as_str(),
+            snap.total,
+            snap.ceiling,
+            snap.peak,
+            snap.to_green,
+            snap.to_yellow,
+            snap.to_red,
+        ));
+        for cat in Category::ALL {
+            let c = snap.category(cat);
+            text.push_str(&format!(
+                "  memory {}: {} (peak {})\n",
+                cat.as_str(),
+                c.current,
+                c.peak
+            ));
+        }
+        Ok(text)
     }
 
     /// Register a standing query: every subsequent
@@ -400,6 +530,15 @@ impl QueryService {
     /// returns. The document is NOT retained — it is never reachable
     /// via `doc("name")`.
     pub fn publish(&self, name: &str, xml: &str) -> Result<PublishReport> {
+        self.enforce_brownout();
+        self.shared.check_red("publish")?;
+        // The tokenization pass and any transient fallback copy are this
+        // publish's footprint; released when the report is delivered.
+        let _charge = Charge::new(
+            Arc::clone(&self.shared.ledger),
+            Category::Subscriptions,
+            xml.len() as u64,
+        );
         let report = self.subs.publish_with_doc(
             &self.shared.engine,
             name,
@@ -420,6 +559,13 @@ impl QueryService {
     /// as `doc("name")`. Fallback subscriptions evaluate against the
     /// retained copy, so nothing is parsed twice.
     pub fn publish_retained(&self, name: &str, xml: &str) -> Result<PublishReport> {
+        self.enforce_brownout();
+        self.shared.check_red("publish")?;
+        let _charge = Charge::new(
+            Arc::clone(&self.shared.ledger),
+            Category::Subscriptions,
+            xml.len() as u64,
+        );
         let id = self.load_document(name, xml)?;
         let report = self.subs.publish_with_doc(
             &self.shared.engine,
@@ -437,13 +583,29 @@ impl QueryService {
     /// (or the cache hit) happens on the worker, so a shed query costs
     /// the service nothing but the admission check.
     pub fn submit(&self, query: &str, ctx: DynamicContext) -> Result<QueryTicket> {
+        self.enforce_brownout();
         let shared = self.shared.clone();
         let query = query.to_string();
-        let guard = QueryGuard::new(shared.limits);
+        let guard = shared.governed_guard();
         let cancel = guard.cancel_handle();
+        let deadline = guard.deadline_at();
         let submitted = Instant::now();
         let (tx, rx) = mpsc::channel();
-        self.pool.submit_with_publish(move || {
+        // Deadline-aware admission: if this query's deadline passes
+        // while it waits in the run queue, the pool drops it without
+        // executing and this closure fails the ticket — over-deadline
+        // work is not worth a worker slot.
+        let expire = deadline.map(|_| {
+            let tx = tx.clone();
+            let shared = self.shared.clone();
+            Box::new(move || {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Err(Error::timeout(
+                    "deadline expired while queued: dropped at admission, never executed",
+                )));
+            }) as Box<dyn FnOnce() + Send>
+        });
+        self.pool.submit_governed(deadline, expire, move || {
             let outcome = shared
                 .acquire_plan(&query)
                 .and_then(|plan| plan.execute_guarded(&shared.engine, &ctx, guard))
@@ -456,11 +618,21 @@ impl QueryService {
                 Ok(_) => shared.served.fetch_add(1, Ordering::Relaxed),
                 Err(_) => shared.failed.fetch_add(1, Ordering::Relaxed),
             };
+            // The serialized result is live until the waiter receives
+            // it; charge it for exactly that window.
+            let charge = outcome.as_ref().ok().map(|s| {
+                Charge::new(
+                    Arc::clone(&shared.ledger),
+                    Category::QueryOutput,
+                    s.len() as u64,
+                )
+            });
             // Deliver in the publish phase: the worker slot is free by the
             // time the waiter wakes, so "wait, then submit" never sheds.
             // The submitter may have stopped waiting; that's fine.
             Some(Box::new(move || {
                 let _ = tx.send(outcome);
+                drop(charge);
             }) as Box<dyn FnOnce() + Send>)
         })?;
         Ok(QueryTicket { rx, cancel })
@@ -546,6 +718,8 @@ impl QueryService {
     /// The outer `Err` covers batch-level failures only: an unknown or
     /// quarantined document, or admission shedding.
     pub fn run_batch(&self, doc: &str, queries: &[&str]) -> Result<Vec<Result<String>>> {
+        self.enforce_brownout();
+        self.shared.check_red("batch job")?;
         let id = self.catalog.resolve(doc)?.ok_or_else(|| {
             Error::new(
                 ErrorCode::DocumentNotFound,
@@ -571,7 +745,7 @@ impl QueryService {
                             plan.execute_shared_scans(
                                 &shared.engine,
                                 &ctx,
-                                QueryGuard::new(shared.limits),
+                                shared.governed_guard(),
                                 scans.clone(),
                             )
                         })
@@ -605,6 +779,12 @@ impl QueryService {
         let pool = self.pool.stats();
         let subs = self.subs.stats();
         let ingest = self.ingest.snapshot();
+        let ledger = self.shared.ledger.snapshot();
+        let queue_wait = self.pool.queue_wait();
+        let mut memory_category_peak = [0u64; Category::ALL.len()];
+        for (slot, cat) in memory_category_peak.iter_mut().zip(Category::ALL) {
+            *slot = ledger.category(cat).peak;
+        }
         ServiceStats {
             served: self.shared.served.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
@@ -667,6 +847,25 @@ impl QueryService {
             latency_mean: self.shared.latency.mean(),
             latency_p50: self.shared.latency.p50(),
             latency_p99: self.shared.latency.p99(),
+            pressure_state: ledger.state,
+            memory_bytes: ledger.total,
+            memory_peak: ledger.peak,
+            memory_ceiling: ledger.ceiling,
+            pressure_to_green: ledger.to_green,
+            pressure_to_yellow: ledger.to_yellow,
+            pressure_to_red: ledger.to_red,
+            memory_rejected: ledger.rejected,
+            pressure_sheds: self.shared.pressure_sheds.load(Ordering::Relaxed),
+            memory_category_peak,
+            joins_shed_pressure: xqr_parallel::parallel_stats().joins_shed_pressure,
+            quarantined_bytes: catalog.quarantined_bytes,
+            pressure_no_index: catalog.pressure_no_index,
+            admitted: pool.admitted,
+            dropped_expired: pool.dropped_expired,
+            queue_wait_count: queue_wait.count(),
+            queue_wait_mean: queue_wait.mean(),
+            queue_wait_p50: queue_wait.p50(),
+            queue_wait_p99: queue_wait.p99(),
         }
     }
 
@@ -799,6 +998,43 @@ pub struct ServiceStats {
     pub latency_mean: Duration,
     pub latency_p50: Duration,
     pub latency_p99: Duration,
+    /// Ledger pressure state at snapshot time.
+    pub pressure_state: PressureState,
+    /// Live ledger-tracked bytes across every category.
+    pub memory_bytes: u64,
+    /// High-water mark of `memory_bytes`.
+    pub memory_peak: u64,
+    /// Configured memory ceiling; 0 when governance is off.
+    pub memory_ceiling: u64,
+    /// Pressure-state transitions, by destination.
+    pub pressure_to_green: u64,
+    pub pressure_to_yellow: u64,
+    pub pressure_to_red: u64,
+    /// `try_charge` refusals at the hard ceiling.
+    pub memory_rejected: u64,
+    /// Publishes, batch jobs and chunk sessions shed at admission
+    /// because the ledger was Red.
+    pub pressure_sheds: u64,
+    /// Per-category ledger peaks, in [`Category::ALL`] order.
+    pub memory_category_peak: [u64; Category::ALL.len()],
+    /// Parallel joins routed to inline execution by pressure
+    /// (process-wide, like `lock_recoveries`).
+    pub joins_shed_pressure: u64,
+    /// Disk bytes held by quarantined segments (observability gauge —
+    /// never charged against the catalog budget).
+    pub quarantined_bytes: u64,
+    /// Catalog loads served unindexed because the ledger was at Yellow
+    /// or worse (also counted in `degraded_no_index`).
+    pub pressure_no_index: u64,
+    /// Jobs admitted into the worker pool (ran or expired in queue).
+    pub admitted: u64,
+    /// Queued jobs dropped unexecuted because their deadline passed.
+    pub dropped_expired: u64,
+    /// Queue-wait distribution over every dequeue, including drops.
+    pub queue_wait_count: u64,
+    pub queue_wait_mean: Duration,
+    pub queue_wait_p50: Duration,
+    pub queue_wait_p99: Duration,
 }
 
 impl ServiceStats {
@@ -853,8 +1089,19 @@ impl std::fmt::Display for ServiceStats {
         )?;
         writeln!(
             f,
-            "pool:    active: {} queued: {} max-concurrent: {} max-queued: {}",
-            self.active, self.queued, self.max_concurrent, self.max_queued
+            "pool:    active: {} queued: {} max-concurrent: {} max-queued: {} admitted: {} \
+dropped-expired: {}",
+            self.active,
+            self.queued,
+            self.max_concurrent,
+            self.max_queued,
+            self.admitted,
+            self.dropped_expired
+        )?;
+        writeln!(
+            f,
+            "queue-wait: n: {} mean: {:?} p50: {:?} p99: {:?}",
+            self.queue_wait_count, self.queue_wait_mean, self.queue_wait_p50, self.queue_wait_p99
         )?;
         writeln!(
             f,
@@ -910,6 +1157,28 @@ chunks: {} bytes: {} stream-queries: {} channel-peak: {}/{}",
             self.ingest_channel_peak,
             self.ingest_channel_capacity
         )?;
+        writeln!(
+            f,
+            "pressure: state: {} bytes: {} peak: {} ceiling: {} to-green: {} to-yellow: {} \
+to-red: {} rejected: {} sheds: {} morsels-inline: {} no-index: {} quarantined-bytes: {}",
+            self.pressure_state.as_str(),
+            self.memory_bytes,
+            self.memory_peak,
+            self.memory_ceiling,
+            self.pressure_to_green,
+            self.pressure_to_yellow,
+            self.pressure_to_red,
+            self.memory_rejected,
+            self.pressure_sheds,
+            self.joins_shed_pressure,
+            self.pressure_no_index,
+            self.quarantined_bytes
+        )?;
+        write!(f, "memory: ")?;
+        for (cat, peak) in Category::ALL.iter().zip(self.memory_category_peak) {
+            write!(f, " {}: {}", cat.as_str(), peak)?;
+        }
+        writeln!(f, " (peak bytes)")?;
         write!(
             f,
             "latency: n: {} mean: {:?} p50: {:?} p99: {:?}",
@@ -1019,6 +1288,9 @@ mod tests {
             "pubsub:",
             "stream:",
             "ingest:",
+            "pressure:",
+            "memory:",
+            "queue-wait:",
             "latency:",
         ] {
             assert!(text.contains(section), "{text}");

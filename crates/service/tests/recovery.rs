@@ -66,7 +66,7 @@ fn byte_flip_surfaces_as_coded_quarantine_through_queries() {
 }
 
 #[test]
-fn quarantined_bytes_count_toward_the_budget_until_removed() {
+fn quarantined_bytes_are_a_gauge_not_a_budget_charge() {
     let dir = scratch("quarantine-accounting");
     let file_len;
     {
@@ -90,16 +90,45 @@ fn quarantined_bytes_count_toward_the_budget_until_removed() {
     assert_eq!(catalog.total_bytes(), 0);
     let err = catalog.resolve("a.xml").unwrap_err();
     assert_eq!(err.code, ErrorCode::CorruptSegment);
-    // Regression: the quarantined segment's bytes stay charged against
-    // `catalog_max_bytes` until the document is deleted — quarantine
-    // must not become a free way to exceed the budget on disk.
-    assert_eq!(catalog.total_bytes(), file_len);
+    // Regression: a quarantined entry holds no memory, so it charges
+    // nothing against `catalog_max_bytes` — a poisoned segment must not
+    // permanently shrink the effective capacity for healthy documents.
+    // Its disk footprint is visible in the dedicated gauge instead.
+    assert_eq!(catalog.total_bytes(), 0);
+    assert_eq!(catalog.stats().quarantined_bytes, file_len);
     assert_eq!(catalog.stats().segments_quarantined, 1);
     assert!(catalog.contains("a.xml"), "quarantined, not forgotten");
 
     assert!(catalog.remove("a.xml"));
     assert_eq!(catalog.total_bytes(), 0);
+    assert_eq!(catalog.stats().quarantined_bytes, 0, "gauge released");
     assert!(!catalog.contains("a.xml"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantine_does_not_shrink_effective_capacity() {
+    let dir = scratch("quarantine-capacity");
+    {
+        let store = Store::new();
+        let catalog = DocumentCatalog::with_persistence(store, None, None, &dir).unwrap();
+        catalog.put("bad.xml", "<a><b/><b/><c>txt</c></a>").unwrap();
+    }
+    flip_a_byte(&dir);
+
+    // A budget sized for one healthy document. If the quarantined
+    // segment's disk bytes were still charged, this load would thrash or
+    // evict the healthy document immediately.
+    let store = Store::new();
+    let catalog =
+        DocumentCatalog::with_persistence(store.clone(), Some(64 * 1024), None, &dir).unwrap();
+    assert_eq!(
+        catalog.resolve("bad.xml").unwrap_err().code,
+        ErrorCode::CorruptSegment
+    );
+    let id = catalog.put("good.xml", "<g>healthy</g>").unwrap();
+    assert_eq!(catalog.get("good.xml"), Some(id), "stays resident");
+    assert_eq!(catalog.stats().evictions, 0, "no pressure from quarantine");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

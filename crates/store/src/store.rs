@@ -66,6 +66,11 @@ pub struct Store {
     /// inner lock (the resolver re-enters the store to add the reloaded
     /// document).
     resolver: RwLock<Option<Arc<DocResolver>>>,
+    /// Documents whose removal panicked (a contained fault mid-drop):
+    /// parked here by [`Store::park_orphan`] and retried by
+    /// [`Store::reap_orphans`], so a panic at the removal site is a
+    /// bounded, recoverable leak instead of a permanent one.
+    orphans: std::sync::Mutex<Vec<DocId>>,
 }
 
 impl Store {
@@ -74,6 +79,7 @@ impl Store {
             names: Arc::new(NamePool::new()),
             inner: RwLock::new(StoreInner::default()),
             resolver: RwLock::new(None),
+            orphans: std::sync::Mutex::new(Vec::new()),
         })
     }
 
@@ -82,6 +88,7 @@ impl Store {
             names,
             inner: RwLock::new(StoreInner::default()),
             resolver: RwLock::new(None),
+            orphans: std::sync::Mutex::new(Vec::new()),
         })
     }
 
@@ -169,6 +176,52 @@ impl Store {
             }
         }
         true
+    }
+
+    /// Park a document whose removal panicked (the panic was contained
+    /// by the caller). [`Store::reap_orphans`] retries it later, so a
+    /// fault at the removal site cannot leak the document permanently.
+    pub fn park_orphan(&self, id: DocId) {
+        self.orphans
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(id);
+    }
+
+    /// Retry removal of parked orphans. Each retry is panic-contained;
+    /// documents whose removal panics again stay parked for the next
+    /// sweep. Returns how many were freed (removal is idempotent, so a
+    /// document freed some other way still counts).
+    pub fn reap_orphans(&self) -> usize {
+        let pending = {
+            let mut orphans = self.orphans.lock().unwrap_or_else(|p| p.into_inner());
+            if orphans.is_empty() {
+                return 0;
+            }
+            std::mem::take(&mut *orphans)
+        };
+        let mut reclaimed = 0;
+        let mut kept = Vec::new();
+        for id in pending {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.remove_document(id)
+            })) {
+                Ok(_) => reclaimed += 1,
+                Err(_) => kept.push(id),
+            }
+        }
+        if !kept.is_empty() {
+            self.orphans
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .append(&mut kept);
+        }
+        reclaimed
+    }
+
+    /// Documents currently parked for a removal retry.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// Parse and register XML text under an optional URI.

@@ -396,6 +396,10 @@ impl SubscriptionRegistry {
     where
         F: FnOnce() -> Result<(DocId, bool)>,
     {
+        // Self-healing: reclaim any document left behind by an earlier
+        // removal that panicked (a query result's constructed doc, a
+        // previous publish's transient).
+        engine.store().reap_orphans();
         let counters = Counters::default();
         let mut results: Vec<(SubId, Arc<Subscription>, Result<String>)> = Vec::new();
         let mut stats = StreamStats::default();
@@ -436,12 +440,18 @@ impl SubscriptionRegistry {
                     }
                     if owned {
                         // Contained so an injected panic at the remove
-                        // site degrades to a (retriable) leak report,
-                        // never an unwind out of publish.
-                        let _ = contain_panic(|| {
+                        // site never unwinds out of publish. A document
+                        // whose removal panicked is parked on the orphan
+                        // list and reclaimed by a later pass — the fault
+                        // degrades to a bounded, recoverable leak, not a
+                        // permanent one.
+                        let removed = contain_panic(|| {
                             engine.store().remove_document(doc);
                             Ok(())
                         });
+                        if removed.is_err() {
+                            engine.store().park_orphan(doc);
+                        }
                     }
                 }
                 Err(e) => {

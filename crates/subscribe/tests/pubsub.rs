@@ -266,6 +266,33 @@ mod injected_delivery_faults {
     }
 
     #[test]
+    fn panicked_transient_removal_is_reaped_not_leaked() {
+        let engine = Engine::new();
+        let reg = SubscriptionRegistry::new();
+        // A non-streamable query forces the fallback materialization —
+        // an owned transient document the publish removes afterwards.
+        register(&reg, &engine, "count(//b)");
+        let schedule = FaultSchedule::new(11)
+            .rule(FaultRule::new("store.remove", FaultKind::Panic).max_fires(1));
+        {
+            let _guard = xqr_faults::install(schedule);
+            reg.publish(&engine, "d", "<a><b/></a>", Limits::unlimited())
+                .unwrap();
+        }
+        // The contained panic stranded the transient in the store...
+        assert_eq!(engine.store().doc_count(), 1, "orphaned by the panic");
+        assert_eq!(engine.store().orphan_count(), 1);
+        // ...parked on the orphan list; an un-faulted reap reclaims it.
+        assert_eq!(engine.store().reap_orphans(), 1);
+        assert_eq!(engine.store().doc_count(), 0);
+        assert_eq!(engine.store().reap_orphans(), 0, "orphan list drained");
+        // A later publish cleans up after itself again.
+        reg.publish(&engine, "d", "<a><b/></a>", Limits::unlimited())
+            .unwrap();
+        assert_eq!(engine.store().doc_count(), 0);
+    }
+
+    #[test]
     fn delivery_panic_fault_is_contained_per_subscription() {
         let engine = Engine::new();
         let reg = SubscriptionRegistry::new();

@@ -23,7 +23,7 @@ pub use atomic::{fmt_float, parse_double, parse_integer, AtomicType, AtomicValue
 pub use datetime::{Date, DateTime, Duration, Gregorian, GregorianKind, Time, TzOffset};
 pub use decimal::Decimal;
 pub use error::{Error, ErrorCode, Result};
-pub use guard::{CancelHandle, GuardUsage, Limits, QueryGuard};
+pub use guard::{CancelHandle, GuardUsage, Limits, MemorySink, QueryGuard};
 pub use histogram::{LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use node::NodeKind;
 pub use qname::{NameId, NamePool, QName};

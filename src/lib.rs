@@ -35,6 +35,7 @@ pub use xqr_index;
 pub use xqr_ingest;
 pub use xqr_joins;
 pub use xqr_parallel;
+pub use xqr_pressure;
 pub use xqr_runtime;
 pub use xqr_service;
 pub use xqr_store;
